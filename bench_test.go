@@ -1,0 +1,500 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls
+// out. Each benchmark reports the experiment's headline numbers as
+// custom metrics, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness:
+//
+//	BenchmarkTable3FirstTrigger  avg_sec=…  success_pct=…
+//
+// Scale is exp.Quick(); run cmd/report -scale full for paper-sized
+// workloads.
+package bombdroid_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/attack"
+	"bombdroid/internal/core"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/exp"
+	"bombdroid/internal/fuzz"
+	"bombdroid/internal/symexec"
+	"bombdroid/internal/vm"
+)
+
+func BenchmarkTable1Statics(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loc := 0
+		for _, r := range rows {
+			loc += r.AvgLOC
+		}
+		b.ReportMetric(float64(loc)/float64(len(rows)), "avg_loc")
+	}
+}
+
+func BenchmarkTable2Injection(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bombs := 0
+		for _, r := range rows {
+			bombs += r.Bombs
+		}
+		b.ReportMetric(float64(bombs)/float64(len(rows)), "avg_bombs")
+	}
+}
+
+func BenchmarkTable3FirstTrigger(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var avg, success, sessions float64
+		for _, r := range rows {
+			avg += r.AvgSec
+			success += float64(r.Success)
+			sessions += float64(r.Sessions)
+		}
+		b.ReportMetric(avg/float64(len(rows)), "avg_sec")
+		b.ReportMetric(100*success/sessions, "success_pct")
+	}
+}
+
+func BenchmarkTable4Fuzzers(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var monkey, dyno float64
+		for _, r := range rows {
+			monkey += r.Monkey
+			dyno += r.Dynodroid
+		}
+		b.ReportMetric(monkey/float64(len(rows)), "monkey_pct")
+		b.ReportMetric(dyno/float64(len(rows)), "dynodroid_pct")
+	}
+}
+
+func BenchmarkTable5Overhead(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table5(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var oh, size float64
+		for _, r := range rows {
+			oh += r.OverheadPct
+			size += r.SizePct
+		}
+		b.ReportMetric(oh/float64(len(rows)), "overhead_pct")
+		b.ReportMetric(size/float64(len(rows)), "size_pct")
+	}
+}
+
+func BenchmarkFigure3Entropy(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		series, err := exp.Figure3(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.Var == "App.posX" {
+				b.ReportMetric(float64(s.Unique), "posX_unique")
+			}
+			if s.Var == "App.dir" {
+				b.ReportMetric(float64(s.Unique), "dir_unique")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4Strength(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure4(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var weak, strong int
+		for _, r := range rows {
+			weak += r.ExistWeak
+			strong += r.ExistStrong + r.ArtStrong
+		}
+		b.ReportMetric(float64(weak), "weak_total")
+		b.ReportMetric(float64(strong), "strong_total")
+	}
+}
+
+func BenchmarkFigure5DynodroidBombs(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		series, err := exp.Figure5(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var final float64
+		for _, s := range series {
+			final += s.FinalPct
+		}
+		b.ReportMetric(final/float64(len(series)), "final_triggered_pct")
+	}
+}
+
+func BenchmarkHumanAnalyst(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.HumanAnalystStudy(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pct float64
+		for _, r := range rows {
+			pct += r.Pct
+		}
+		b.ReportMetric(pct/float64(len(rows)), "triggered_pct")
+	}
+}
+
+func BenchmarkFalsePositives(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.FalsePositives(sc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fp := 0
+		for _, r := range rows {
+			fp += r.Responses
+		}
+		b.ReportMetric(float64(fp), "false_positives")
+	}
+}
+
+func BenchmarkCodeSize(b *testing.B) {
+	sc := exp.Quick()
+	for i := 0; i < b.N; i++ {
+		_, avg, err := exp.CodeSize(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avg, "avg_size_increase_pct")
+	}
+}
+
+func BenchmarkResilienceMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.ResilienceMatrix(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defeats := 0
+		for _, r := range rows {
+			if r.Protection == "bombdroid" && r.Defeated {
+				defeats++
+			}
+		}
+		b.ReportMetric(float64(defeats), "bombdroid_defeats")
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ---
+
+func benchApp(b *testing.B) (*appgen.App, *apk.Package, *apk.KeyPair) {
+	b.Helper()
+	app, err := appgen.Generate(appgen.Config{
+		Name: "bench", Seed: 77, TargetLOC: 2000, QCPerMethod: 1.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := apk.NewKeyPair(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkg, err := apk.Sign(apk.Build("bench", app.File, apk.Resources{Strings: []string{"x"}}), key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app, pkg, key
+}
+
+func BenchmarkProtect(b *testing.B) {
+	app, pkg, key := benchApp(b)
+	_ = app
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := core.ProtectPackage(pkg, key, core.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.Bombs()), "bombs")
+	}
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	app, pkg, _ := benchApp(b)
+	v, err := vm.New(pkg, android.EmulatorLab(1)[0], vm.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	handlers := v.Handlers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := handlers[rng.Intn(len(handlers))]
+		if _, err := v.Invoke(h, dex.Int64(rng.Int63n(app.Config.ParamDomain)), dex.Int64(rng.Int63n(app.Config.ParamDomain))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymbolicExecution(b *testing.B) {
+	app, pkg, key := benchApp(b)
+	_ = app
+	prot, _, err := core.ProtectPackage(pkg, key, core.Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	file, err := prot.DexFile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := symexec.Analyze(file, symexec.Options{Targets: []dex.API{dex.APIDecryptLoad}})
+		if len(sum.SolvedHits()) != 0 {
+			b.Fatal("G1 violated")
+		}
+	}
+}
+
+func BenchmarkDexCodec(b *testing.B) {
+	app, _, _ := benchApp(b)
+	data := dex.Encode(app.File)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dex.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationSalt: per-bomb salts vs one global salt — a shared
+// salt lets one precomputed table serve every bomb with the same
+// constant (duplicate Hc values give it away).
+func BenchmarkAblationSalt(b *testing.B) {
+	app, pkg, key := benchApp(b)
+	_ = app
+	for i := 0; i < b.N; i++ {
+		dup := func(opts core.Options) float64 {
+			_, res, err := core.ProtectPackage(pkg, key, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seen := map[string]int{}
+			for _, bomb := range res.Bombs {
+				hc := bomb.Salt + "|" + bomb.Const.String()
+				if opts.GlobalSalt != "" {
+					hc = bomb.Const.String()
+				}
+				seen[hc]++
+			}
+			dups := 0
+			for _, n := range seen {
+				if n > 1 {
+					dups += n - 1
+				}
+			}
+			return float64(dups)
+		}
+		b.ReportMetric(dup(core.Options{Seed: 5}), "dup_keys_salted")
+		b.ReportMetric(dup(core.Options{Seed: 5, GlobalSalt: "fixed"}), "dup_keys_global")
+	}
+}
+
+// BenchmarkAblationDoubleTrigger: single- vs double-trigger bombs
+// under one virtual hour of Dynodroid in the attacker lab.
+func BenchmarkAblationDoubleTrigger(b *testing.B) {
+	app, pkg, key := benchApp(b)
+	for i := 0; i < b.N; i++ {
+		triggered := func(single bool) float64 {
+			prot, res, err := core.ProtectPackage(pkg, key, core.Options{Seed: 5, SingleTrigger: single})
+			if err != nil {
+				b.Fatal(err)
+			}
+			attacker, err := apk.NewKeyPair(404)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pirated, err := apk.Repackage(prot, attacker, apk.RepackOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := vm.NewUnverified(pirated, android.EmulatorLab(1)[0], vm.Options{Seed: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := fuzz.Run(v, fuzz.NewDynodroid(), app.Config.ParamDomain, fuzz.Options{
+				DurationMs:     60 * 60_000,
+				Seed:           3,
+				HandlerScreens: app.HandlerScreens,
+				ScreenField:    app.ScreenField,
+				WatchFields:    app.IntFieldRefs,
+			})
+			total := len(res.RealBombs())
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(len(r.DetectionRuns)) / float64(total)
+		}
+		b.ReportMetric(triggered(true), "single_trigger_pct")
+		b.ReportMetric(triggered(false), "double_trigger_pct")
+	}
+}
+
+// BenchmarkAblationHotMethods: bombing hot methods vs excluding them —
+// the overhead impact of the paper's top-10% exclusion.
+func BenchmarkAblationHotMethods(b *testing.B) {
+	app, pkg, key := benchApp(b)
+	profVM, err := vm.New(pkg, android.EmulatorLab(1)[0], vm.Options{Seed: 1, Profile: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile, fieldVals := fuzz.Profile(profVM, app.Config.ParamDomain, 2500, app.IntFieldRefs, 1)
+	measure := func(hotFrac float64) float64 {
+		opts := core.Options{Seed: 5, Profile: profile, FieldValues: fieldVals, HotFrac: hotFrac}
+		if hotFrac < 0 {
+			opts.Profile = nil // no exclusion at all
+			opts.HotFrac = 0
+		}
+		prot, _, err := core.ProtectPackage(pkg, key, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks := func(p *apk.Package) int64 {
+			v, err := vm.New(p, android.EmulatorLab(1)[0], vm.Options{Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := fuzz.Run(v, fuzz.NewDynodroid(), app.Config.ParamDomain, fuzz.Options{
+				DurationMs: 1 << 40, MaxEvents: 1500, EventGapMs: 250, Seed: 7,
+				HandlerScreens: app.HandlerScreens, ScreenField: app.ScreenField,
+			})
+			return v.NowTicks() - int64(r.Events)*250*vm.TicksPerMilli
+		}
+		ta := ticks(pkg)
+		tb := ticks(prot)
+		return 100 * float64(tb-ta) / float64(ta)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(measure(0.10), "overhead_pct_hot_excluded")
+		b.ReportMetric(measure(-1), "overhead_pct_no_exclusion")
+	}
+}
+
+// BenchmarkAblationDeletion: weaving + bogus bombs on vs off, against
+// the delete-everything attack — corruption rate of the mutilated app.
+func BenchmarkAblationDeletion(b *testing.B) {
+	app, pkg, key := benchApp(b)
+	corruption := func(noWeave bool) float64 {
+		opts := core.Options{Seed: 5, NoWeave: noWeave}
+		if noWeave {
+			opts.BogusFrac = -1 // disable (withDefaults keeps negatives)
+		}
+		prot, _, err := core.ProtectPackage(pkg, key, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		file, err := prot.DexFile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		del := attack.DeleteSuspiciousCode(file)
+		attacker, err := apk.NewKeyPair(405)
+		if err != nil {
+			b.Fatal(err)
+		}
+		broken, err := apk.Sign(apk.Build("bench", del.File, pkg.Res), attacker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Compare trajectories against the intact protected app.
+		rng := rand.New(rand.NewSource(3))
+		dev := android.SamplePopulation("u", rng)
+		vb, err := vm.New(broken, dev.Clone(), vm.Options{Seed: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vp, err := vm.New(prot, dev.Clone(), vm.Options{Seed: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		diverged := 0
+		const events = 1200
+		for i := 0; i < events; i++ {
+			h := app.Handlers[rng.Intn(len(app.Handlers))]
+			x, y := dex.Int64(rng.Int63n(64)), dex.Int64(rng.Int63n(64))
+			_, e1 := vb.Invoke(h, x, y)
+			_, e2 := vp.Invoke(h, x, y)
+			if vm.AbnormalExit(e1) != vm.AbnormalExit(e2) {
+				diverged++
+				continue
+			}
+			for _, ref := range app.IntFieldRefs {
+				if !vb.Static(ref).Equal(vp.Static(ref)) {
+					diverged++
+					break
+				}
+			}
+		}
+		return 100 * float64(diverged) / float64(events)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(corruption(false), "corruption_pct_woven")
+		b.ReportMetric(corruption(true), "corruption_pct_noweave")
+	}
+}
+
+// BenchmarkAblationAlpha: artificial-QC density vs bombs and size.
+func BenchmarkAblationAlpha(b *testing.B) {
+	_, pkg, key := benchApp(b)
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0.10, 0.25, 0.50} {
+			_, res, err := core.ProtectPackage(pkg, key, core.Options{Seed: 5, Alpha: alpha})
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch alpha {
+			case 0.10:
+				b.ReportMetric(float64(res.Stats.BombsArtificial), "artificial_a10")
+			case 0.25:
+				b.ReportMetric(float64(res.Stats.BombsArtificial), "artificial_a25")
+			default:
+				b.ReportMetric(float64(res.Stats.BombsArtificial), "artificial_a50")
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bombdroid/internal/apk"
+)
+
+func TestRunNamedApp(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fish.apk")
+	if err := run("AndroFish", "", 0, out, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Unpack(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pkg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name != "AndroFish" {
+		t.Errorf("name = %q", pkg.Name)
+	}
+}
+
+func TestRunCategoryApp(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "game.apk")
+	if err := run("", "Game", 3, out, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", "NoSuchCategory", 0, filepath.Join(dir, "x.apk"), 1); err == nil {
+		t.Error("unknown category must fail")
+	}
+	if err := run("", "Game", 9999, filepath.Join(dir, "x.apk"), 1); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+	if err := run("NoSuchApp", "", 0, filepath.Join(dir, "x.apk"), 1); err == nil {
+		t.Error("unknown named app must fail")
+	}
+}

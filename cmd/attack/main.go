@@ -1,0 +1,120 @@
+// Command attack runs the adversary toolbox against a protected .apk:
+// text search, bomb-site recon, brute force, deletion, forced
+// execution, slicing, and whole-file symbolic execution.
+//
+// Usage:
+//
+//	attack -apk protected.apk [-mode all|text|scan|brute|delete|force|slice|sym]
+//	       [-budget 65536] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bombdroid/internal/apk"
+	"bombdroid/internal/attack"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/symexec"
+)
+
+func main() {
+	apkPath := flag.String("apk", "", "package to attack")
+	mode := flag.String("mode", "all", "all|text|scan|brute|delete|force|slice|sym")
+	budget := flag.Int64("budget", 1<<16, "brute-force integer budget per site")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+	if *apkPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*apkPath, *mode, *budget, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(apkPath, mode string, budget, seed int64) error {
+	data, err := os.ReadFile(apkPath)
+	if err != nil {
+		return err
+	}
+	pkg, err := apk.Unpack(data)
+	if err != nil {
+		return err
+	}
+	file, err := pkg.DexFile()
+	if err != nil {
+		return err
+	}
+	all := mode == "all"
+
+	if all || mode == "text" {
+		fmt.Println("== text search ==")
+		for _, f := range attack.TextSearch(file) {
+			fmt.Printf("  %-20s %d occurrences\n", f.Token, f.Count)
+		}
+	}
+	if all || mode == "scan" {
+		sites := attack.ScanBombSites(file)
+		fmt.Printf("== bomb-site recon: %d sites ==\n", len(sites))
+		for i, s := range sites {
+			if i >= 10 {
+				fmt.Printf("  … and %d more\n", len(sites)-10)
+				break
+			}
+			fmt.Printf("  %s pc=%d salt=%s Hc=%s… blob=%d\n",
+				s.Method, s.PC, s.Salt, s.Hc[:12], s.BlobIdx)
+		}
+	}
+	if all || mode == "brute" {
+		res := attack.BruteForce(file, attack.BruteForceOptions{IntBudget: budget})
+		fmt.Printf("== brute force: cracked %d/%d sites in %d attempts ==\n",
+			len(res.Cracked), res.Sites, res.Attempts)
+		for i, c := range res.Cracked {
+			if i >= 10 {
+				fmt.Printf("  … and %d more\n", len(res.Cracked)-10)
+				break
+			}
+			fmt.Printf("  %s: key = %s\n", c.Site.Method, c.Key)
+		}
+	}
+	if all || mode == "delete" {
+		res := attack.DeleteSuspiciousCode(file)
+		fmt.Printf("== code deletion: %d sites nopped (run the result to see the corruption) ==\n",
+			res.SitesDeleted)
+	}
+	if all || mode == "force" {
+		res, err := attack.ForcedExecution(file, pkg.Res, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== forced execution: %d branches forced ==\n", res.BranchesForced)
+		fmt.Printf("  payloads revealed: %d (forced-only: %d), runs corrupted: %d, clean: %d\n",
+			res.PayloadRevealed, res.ForcedOnlyReveals, res.Corrupted, res.CleanRuns)
+	}
+	if all || mode == "slice" {
+		res, err := attack.ExecuteSlices(file, pkg.Res, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== slicing: %d slices, %d executed, %d revealed, %d corrupted ==\n",
+			res.Slices, res.Executed, res.Revealed, res.Corrupted)
+	}
+	if all || mode == "sym" {
+		sum := symexec.Analyze(file, symexec.Options{Targets: []dex.API{
+			dex.APIDecryptLoad, dex.APIGetPublicKey, dex.APIReflectCall,
+		}})
+		fmt.Printf("== symbolic execution: %d methods, %d paths, %d target hits ==\n",
+			sum.Methods, sum.PathsExplored, len(sum.Hits))
+		fmt.Printf("  solved: %d, unsolvable: %d\n", len(sum.SolvedHits()), len(sum.UnsolvableHits()))
+		for i, h := range sum.UnsolvableHits() {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  %s pc=%d: %s\n", h.Method, h.PC, h.Reason)
+		}
+	}
+	return nil
+}

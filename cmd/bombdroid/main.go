@@ -1,0 +1,124 @@
+// Command bombdroid protects an app package with logic bombs — the
+// paper's tool, end to end (Fig. 1): unpack the .apk, extract the
+// public key from CERT.RSA, profile, instrument, and write the
+// protected package back out.
+//
+// Usage:
+//
+//	bombdroid -in app.apk -out protected.apk [-keyseed N] [-alpha F]
+//	          [-single-trigger] [-no-weave] [-report report.txt]
+//
+// The input package must be signed; the developer key (regenerated
+// from -keyseed, matching cmd/apkgen) re-signs the output, mirroring
+// the paper's "sent to the legitimate developer to sign" step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/core"
+	"bombdroid/internal/fuzz"
+	"bombdroid/internal/vm"
+)
+
+func main() {
+	in := flag.String("in", "", "input .apk (signed)")
+	out := flag.String("out", "", "output .apk (protected, re-signed)")
+	keySeed := flag.Int64("keyseed", 1, "developer key seed (must match the signer of -in)")
+	alpha := flag.Float64("alpha", 0.25, "fraction of candidate methods given artificial QCs")
+	single := flag.Bool("single-trigger", false, "disable inner (environment) triggers")
+	noWeave := flag.Bool("no-weave", false, "disable code weaving")
+	profileEvents := flag.Int("profile-events", 10_000, "profiling events for hot-method detection")
+	domain := flag.Int64("domain", 64, "handler parameter domain for profiling")
+	reportPath := flag.String("report", "", "write the bomb inventory here")
+	seed := flag.Int64("seed", 42, "instrumentation seed")
+	flag.Parse()
+
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *keySeed, *alpha, *single, *noWeave, *profileEvents, *domain, *reportPath, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "bombdroid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, keySeed int64, alpha float64, single, noWeave bool,
+	profileEvents int, domain int64, reportPath string, seed int64) error {
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	pkg, err := apk.Unpack(data)
+	if err != nil {
+		return err
+	}
+	if err := pkg.Verify(); err != nil {
+		return fmt.Errorf("input package does not verify: %w", err)
+	}
+	devKey, err := apk.NewKeyPair(keySeed)
+	if err != nil {
+		return err
+	}
+
+	// Profiling pass (paper §7.1).
+	profVM, err := vm.New(pkg, android.EmulatorLab(1)[0], vm.Options{Seed: seed, Profile: true})
+	if err != nil {
+		return err
+	}
+	file, err := pkg.DexFile()
+	if err != nil {
+		return err
+	}
+	var watch []string
+	for _, c := range file.Classes {
+		for _, f := range c.Fields {
+			watch = append(watch, c.Name+"."+f.Name)
+		}
+	}
+	profile, fieldVals := fuzz.Profile(profVM, domain, profileEvents, watch, seed)
+
+	protected, res, err := core.ProtectPackage(pkg, devKey, core.Options{
+		Seed:          seed,
+		Alpha:         alpha,
+		SingleTrigger: single,
+		NoWeave:       noWeave,
+		Profile:       profile,
+		FieldValues:   fieldVals,
+	})
+	if err != nil {
+		return err
+	}
+	packed, err := apk.Pack(protected)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, packed, 0o644); err != nil {
+		return err
+	}
+
+	st := res.Stats
+	fmt.Printf("protected %s -> %s\n", in, out)
+	fmt.Printf("  methods=%d candidates=%d (hot excluded: %d)\n", st.Methods, st.Candidates, st.HotExcluded)
+	fmt.Printf("  bombs: %d existing + %d artificial (+%d bogus), %d woven\n",
+		st.BombsExisting, st.BombsArtificial, st.BombsBogus, st.Woven)
+	fmt.Printf("  code: %d -> %d instructions, %d payload bytes\n", st.InstrBefore, st.InstrAfter, st.BlobBytes)
+
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for _, b := range res.Bombs {
+			fmt.Fprintf(f, "%s\tmethod=%s\tsource=%s\tstrength=%s\tdetect=%s\tresponse=%s\twoven=%v\tinner=%q\n",
+				b.ID, b.Method, b.Source, b.Strength, b.Detect, b.Response, b.Woven, b.Inner.String())
+		}
+	}
+	return nil
+}

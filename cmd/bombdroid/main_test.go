@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+)
+
+// writeTestAPK builds a signed package on disk (what cmd/apkgen does).
+func writeTestAPK(t *testing.T, dir string, keySeed int64) string {
+	t.Helper()
+	app, err := appgen.Generate(appgen.Config{Name: "cli", Seed: 3, TargetLOC: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := apk.NewKeyPair(keySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Sign(apk.Build("cli", app.File, apk.Resources{
+		Strings: []string{"x"}, Author: "dev", Icon: []byte{1},
+	}), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := apk.Pack(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "app.apk")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProtectsOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestAPK(t, dir, 1)
+	out := filepath.Join(dir, "prot.apk")
+	report := filepath.Join(dir, "bombs.txt")
+
+	if err := run(in, out, 1, 0.25, false, false, 1500, 64, report, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Unpack(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pkg.Verify(); err != nil {
+		t.Fatalf("protected output must verify: %v", err)
+	}
+	rep, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rep), "Bomb0") {
+		t.Error("report missing bomb inventory")
+	}
+	if !strings.Contains(string(rep), "inner=") {
+		t.Error("report missing inner conditions")
+	}
+}
+
+func TestRunRejectsWrongKey(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestAPK(t, dir, 1)
+	out := filepath.Join(dir, "prot.apk")
+	if err := run(in, out, 999, 0.25, false, false, 500, 64, "", 7); err == nil {
+		t.Fatal("mismatched key seed must fail")
+	}
+}
+
+func TestRunRejectsGarbageInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "junk.apk")
+	if err := os.WriteFile(in, []byte("not an apk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, filepath.Join(dir, "o.apk"), 1, 0.25, false, false, 500, 64, "", 7); err == nil {
+		t.Fatal("garbage input must fail")
+	}
+}

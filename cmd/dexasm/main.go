@@ -1,0 +1,84 @@
+// Command dexasm converts between the textual assembly form and the
+// binary GDEX format, and disassembles the classes.dex inside an .apk.
+//
+// Usage:
+//
+//	dexasm -asm prog.s -out prog.gdex       # assemble
+//	dexasm -dis prog.gdex                   # disassemble a dex file
+//	dexasm -dis app.apk                     # disassemble a package
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bombdroid/internal/apk"
+	"bombdroid/internal/dex"
+)
+
+func main() {
+	asmPath := flag.String("asm", "", "assembly source to assemble")
+	disPath := flag.String("dis", "", ".gdex or .apk to disassemble")
+	out := flag.String("out", "", "output path for -asm")
+	flag.Parse()
+
+	switch {
+	case *asmPath != "":
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "dexasm: -asm needs -out")
+			os.Exit(2)
+		}
+		if err := assemble(*asmPath, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "dexasm:", err)
+			os.Exit(1)
+		}
+	case *disPath != "":
+		if err := disassemble(*disPath); err != nil {
+			fmt.Fprintln(os.Stderr, "dexasm:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func assemble(in, out string) error {
+	src, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	f, err := dex.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, dex.Encode(f), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("assembled %s -> %s (%d classes, %d instructions)\n",
+		in, out, len(f.Classes), f.InstrCount())
+	return nil
+}
+
+func disassemble(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f *dex.File
+	if strings.HasSuffix(path, ".apk") {
+		pkg, err := apk.Unpack(data)
+		if err != nil {
+			return err
+		}
+		if f, err = pkg.DexFile(); err != nil {
+			return err
+		}
+	} else if f, err = dex.Decode(data); err != nil {
+		return err
+	}
+	fmt.Print(dex.Disassemble(f))
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const src = `
+class T
+method m 0
+  const-int r0, 7
+  return r0
+end
+endclass
+`
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	asmPath := filepath.Join(dir, "t.s")
+	outPath := filepath.Join(dir, "t.gdex")
+	if err := os.WriteFile(asmPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := assemble(asmPath, outPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := disassemble(outPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := assemble(filepath.Join(dir, "missing.s"), filepath.Join(dir, "o")); err == nil {
+		t.Error("missing source must fail")
+	}
+	bad := filepath.Join(dir, "bad.s")
+	os.WriteFile(bad, []byte("class C\nmethod"), 0o644)
+	if err := assemble(bad, filepath.Join(dir, "o")); err == nil {
+		t.Error("bad source must fail")
+	}
+	junk := filepath.Join(dir, "junk.gdex")
+	os.WriteFile(junk, []byte("xx"), 0o644)
+	if err := disassemble(junk); err == nil {
+		t.Error("junk dex must fail")
+	}
+	junkApk := filepath.Join(dir, "junk.apk")
+	os.WriteFile(junkApk, []byte("xx"), 0o644)
+	if err := disassemble(junkApk); err == nil {
+		t.Error("junk apk must fail")
+	}
+}

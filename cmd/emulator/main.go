@@ -1,0 +1,109 @@
+// Command emulator installs an .apk on a simulated device and drives
+// it — with a fuzzer (attacker lab) or as a simulated user session —
+// reporting triggered bombs, detections, and responses.
+//
+// Usage:
+//
+//	emulator -apk app.apk [-device emulator|population] [-fuzzer dynodroid]
+//	         [-minutes 10] [-seed 1] [-as-user]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/fuzz"
+	"bombdroid/internal/vm"
+)
+
+func main() {
+	apkPath := flag.String("apk", "", "package to run")
+	deviceKind := flag.String("device", "emulator", "emulator or population")
+	fuzzer := flag.String("fuzzer", "dynodroid", "monkey, puma, hooker, or dynodroid")
+	minutes := flag.Int("minutes", 10, "virtual run length")
+	seed := flag.Int64("seed", 1, "seed")
+	domain := flag.Int64("domain", 64, "handler parameter domain")
+	unverified := flag.Bool("allow-unverified", false, "skip signature verification (attacker lab)")
+	flag.Parse()
+
+	if *apkPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*apkPath, *deviceKind, *fuzzer, *minutes, *seed, *domain, *unverified); err != nil {
+		fmt.Fprintln(os.Stderr, "emulator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, unverified bool) error {
+	data, err := os.ReadFile(apkPath)
+	if err != nil {
+		return err
+	}
+	pkg, err := apk.Unpack(data)
+	if err != nil {
+		return err
+	}
+
+	var dev *android.Device
+	switch deviceKind {
+	case "emulator":
+		dev = android.EmulatorLab(1)[0]
+	case "population":
+		dev = android.SamplePopulation("cli-user", rand.New(rand.NewSource(seed)))
+	default:
+		return fmt.Errorf("unknown device kind %q", deviceKind)
+	}
+
+	var v *vm.VM
+	if unverified {
+		v, err = vm.NewUnverified(pkg, dev, vm.Options{Seed: seed, Profile: true})
+	} else {
+		v, err = vm.New(pkg, dev, vm.Options{Seed: seed, Profile: true})
+	}
+	if err != nil {
+		return err
+	}
+
+	var fz fuzz.Fuzzer
+	switch strings.ToLower(fuzzer) {
+	case "monkey":
+		fz = fuzz.Monkey{}
+	case "puma":
+		fz = fuzz.PUMA{}
+	case "hooker":
+		fz = &fuzz.AndroidHooker{}
+	case "dynodroid":
+		fz = fuzz.NewDynodroid()
+	default:
+		return fmt.Errorf("unknown fuzzer %q", fuzzer)
+	}
+
+	fmt.Printf("running %s on %s with %s for %d virtual minutes\n",
+		pkg.Name, dev, fz.Name(), minutes)
+	res := fuzz.Run(v, fz, domain, fuzz.Options{
+		DurationMs: int64(minutes) * 60_000,
+		Seed:       seed,
+	})
+
+	fmt.Printf("events: %d  (abnormal exits: %d)\n", res.Events, res.AbnormalExits)
+	fmt.Printf("outer triggers satisfied: %d\n", len(res.OuterSatisfied))
+	fmt.Printf("bombs fully triggered: %d\n", len(res.DetectionRuns))
+	for id, n := range res.DetectionRuns {
+		fmt.Printf("  %s: detection ran %d times\n", id, n)
+	}
+	for _, r := range res.Responses {
+		fmt.Printf("response at %.1fs: %s %s (bomb %s)\n",
+			float64(r.TimeMillis)/1000, r.Kind, r.Info, r.BombID)
+	}
+	if len(res.Responses) == 0 {
+		fmt.Println("no responses fired")
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+)
+
+func writeAPK(t *testing.T, dir string) string {
+	t.Helper()
+	app, err := appgen.Generate(appgen.Config{Name: "emu", Seed: 4, TargetLOC: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := apk.NewKeyPair(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Sign(apk.Build("emu", app.File, apk.Resources{Strings: []string{"x"}}), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := apk.Pack(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "emu.apk")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllFuzzersAndDevices(t *testing.T) {
+	dir := t.TempDir()
+	path := writeAPK(t, dir)
+	for _, fz := range []string{"monkey", "puma", "hooker", "dynodroid"} {
+		if err := run(path, "emulator", fz, 1, 1, 64, false); err != nil {
+			t.Errorf("fuzzer %s: %v", fz, err)
+		}
+	}
+	if err := run(path, "population", "dynodroid", 1, 2, 64, true); err != nil {
+		t.Errorf("population device: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := writeAPK(t, dir)
+	if err := run(path, "emulator", "nosuch", 1, 1, 64, false); err == nil {
+		t.Error("unknown fuzzer must fail")
+	}
+	if err := run(path, "toaster", "monkey", 1, 1, 64, false); err == nil {
+		t.Error("unknown device must fail")
+	}
+	if err := run(filepath.Join(dir, "nope.apk"), "emulator", "monkey", 1, 1, 64, false); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,146 @@
+// Command report regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	report [-scale quick|full] [-table N] [-figure N] [-extra name] [-all]
+//
+// With -all (the default when nothing is selected) every table, figure
+// and extra experiment is produced in order. Extras: fp (false
+// positives), size (code size), human (analyst study), matrix
+// (attack × protection resilience matrix), ablate (design-choice
+// ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bombdroid/internal/exp"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "workload scale: quick or full")
+	table := flag.Int("table", 0, "print one table (1-5)")
+	figure := flag.Int("figure", 0, "print one figure (3-5)")
+	extra := flag.String("extra", "", "print one extra: fp, size, human, matrix")
+	all := flag.Bool("all", false, "print everything")
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scale {
+	case "quick":
+		sc = exp.Quick()
+	case "full":
+		sc = exp.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	selected := *table != 0 || *figure != 0 || *extra != ""
+	if *all || !selected {
+		*all = true
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		rows, err := exp.Table1(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatTable1(rows))
+	}
+	if *all || *table == 2 {
+		rows, err := exp.Table2(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatTable2(rows))
+	}
+	if *all || *table == 3 {
+		rows, err := exp.Table3(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatTable3(rows))
+	}
+	if *all || *table == 4 {
+		rows, err := exp.Table4(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatTable4(rows))
+	}
+	if *all || *table == 5 {
+		rows, err := exp.Table5(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatTable5(rows))
+	}
+	if *all || *figure == 3 {
+		series, err := exp.Figure3(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatFigure3(series))
+	}
+	if *all || *figure == 4 {
+		rows, err := exp.Figure4(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatFigure4(rows))
+	}
+	if *all || *figure == 5 {
+		series, err := exp.Figure5(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatFigure5(series))
+	}
+	if *all || *extra == "fp" {
+		hours := 10
+		if *scale == "quick" {
+			hours = 2
+		}
+		rows, err := exp.FalsePositives(sc, hours)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatFPResults(rows))
+	}
+	if *all || *extra == "size" {
+		rows, avg, err := exp.CodeSize(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatSizeRows(rows, avg))
+	}
+	if *all || *extra == "human" {
+		rows, err := exp.HumanAnalystStudy(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatAnalystRows(rows))
+	}
+	if *all || *extra == "matrix" {
+		rows, err := exp.ResilienceMatrix(7)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatMatrix(rows))
+	}
+	if *all || *extra == "ablate" {
+		rows, err := exp.Ablations(11)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatAblations(rows))
+	}
+}

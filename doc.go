@@ -1,0 +1,13 @@
+// Package bombdroid is a from-scratch Go reproduction of "Resilient
+// Decentralized Android Application Repackaging Detection Using Logic
+// Bombs" (Zeng, Luo, Qian, Du, Li — CGO 2018).
+//
+// The repository implements the paper's protection pipeline (BombDroid)
+// together with every substrate it depends on: a register-based bytecode
+// and runtime standing in for Dalvik/ART, an APK-like signed package
+// format, a device/population model, four blackbox fuzzers, a symbolic
+// executor, and the full adversary toolbox used in the paper's
+// resilience evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record of every table
+// and figure.
+package bombdroid

@@ -1,0 +1,75 @@
+// Market response: the decentralized aggregation story from paper §1.
+// A pirated copy reaches an alternative market; user devices detect it
+// during ordinary use; crashes and freezes drive bad ratings, and
+// piracy reports flow back to the original developer, who can request
+// a takedown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/core"
+	"bombdroid/internal/sim"
+)
+
+func main() {
+	app, err := appgen.Generate(appgen.Config{Name: "beatbox", Seed: 33, TargetLOC: 2400, QCPerMethod: 1.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	devKey, err := apk.NewKeyPair(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig, err := apk.Sign(apk.Build("beatbox", app.File, apk.Resources{Strings: []string{"Play"}}), devKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prot, _, err := core.ProtectPackage(orig, devKey, core.Options{Seed: 33})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pirate, err := apk.NewKeyPair(4242)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pirated, err := apk.Repackage(prot, pirate, apk.RepackOptions{NewAuthor: "FreeAppz"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	surf := sim.SurfaceOf(app)
+	const downloads = 60
+	fmt.Printf("'FreeAppz' uploads a repackaged beatbox; %d users download it\n\n", downloads)
+	cr, err := sim.RunCampaign(pirated, surf, downloads, 30*60_000, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("within the first sessions:\n")
+	fmt.Printf("  %d/%d users hit a detonated bomb\n", cr.Successes, cr.Sessions)
+	fmt.Printf("  fastest detonation: %.0fs; average: %.0fs\n",
+		float64(cr.MinMs)/1000, float64(cr.AvgMs)/1000)
+	fmt.Printf("  %d users suffered crashes/freezes/warnings -> 1-star reviews\n", cr.Complaints)
+	fmt.Printf("  %d piracy reports reached the original developer\n\n", cr.Reports)
+
+	stars := 5.0 - 4.0*float64(cr.Complaints)/float64(cr.Sessions)
+	fmt.Printf("market listing rating collapses to ~%.1f stars\n", stars)
+	if cr.Reports > 0 {
+		fmt.Println("the developer files a takedown with evidence from the reports;")
+		fmt.Println("on Google Play, the Remote Application Removal Feature wipes the")
+		fmt.Println("repackaged app from victim devices (paper §1).")
+	}
+
+	// Control: the same fleet on the genuine app.
+	fmt.Println()
+	gc, err := sim.RunCampaign(prot, surf, 20, 10*60_000, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("control (genuine app, 20 users): %d complaints, %d reports — silent as designed\n",
+		gc.Complaints, gc.Reports)
+}

@@ -1,0 +1,89 @@
+// Quickstart: protect an app with logic bombs, repackage it like an
+// attacker, and watch a bomb detonate on a user device — the paper's
+// whole story in one run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/core"
+	"bombdroid/internal/sim"
+)
+
+func main() {
+	// 1. A developer builds an app…
+	app, err := appgen.Generate(appgen.Config{Name: "fishgame", Seed: 7, TargetLOC: 2000, QCPerMethod: 1.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	devKey, err := apk.NewKeyPair(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	original, err := apk.Sign(apk.Build("fishgame", app.File, apk.Resources{
+		Strings: []string{"Tap the fish!"}, Author: "honest dev",
+	}), devKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %s: %d LOC, %d methods\n", app.Name, app.LOC, len(app.File.Methods()))
+
+	// 2. …BombDroid weaves repackaging detection into it…
+	protected, res, err := core.ProtectPackage(original, devKey, core.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("protected: %d bombs (%d existing + %d artificial, %d bogus, %d woven)\n",
+		st.Bombs(), st.BombsExisting, st.BombsArtificial, st.BombsBogus, st.Woven)
+
+	// 3. …a pirate repackages and re-signs it…
+	pirateKey, err := apk.NewKeyPair(666)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pirated, err := apk.Repackage(protected, pirateKey, apk.RepackOptions{NewAuthor: "pirate co"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pirated copy verifies: %v (but its public key changed)\n", pirated.Verify() == nil)
+
+	// 4. …and ordinary users detonate the bombs.
+	surf := sim.SurfaceOf(app)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		dev := android.SamplePopulation(fmt.Sprintf("user%d", i), rng)
+		sr, err := sim.RunUserSession(pirated, surf, dev, sim.SessionOptions{
+			Seed: int64(i) * 31, StartClockMs: -1, CapMs: 30 * 60_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case sr.Triggered:
+			fmt.Printf("user %d on %s: bomb %s fired after %.1fs",
+				i, dev, sr.FirstBomb, float64(sr.TimeToFirstMs)/1000)
+			if len(sr.Responses) > 0 {
+				fmt.Printf(" -> %s response", sr.Responses[0].Kind)
+			}
+			fmt.Println()
+		default:
+			fmt.Printf("user %d on %s: nothing in this session\n", i, dev)
+		}
+	}
+
+	// 5. Sanity: the genuine app never responds.
+	dev := android.SamplePopulation("control", rng)
+	sr, err := sim.RunUserSession(protected, surf, dev, sim.SessionOptions{
+		Seed: 99, StartClockMs: -1, CapMs: 10 * 60_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("genuine app control: %d responses (must be 0)\n", len(sr.Responses))
+}

@@ -1,0 +1,3 @@
+module bombdroid
+
+go 1.23

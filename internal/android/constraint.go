@@ -1,0 +1,363 @@
+package android
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CmpOp is a comparison operator in an inner trigger constraint
+// ("f(env) op r", paper §6).
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota // x == v
+	OpNe              // x != v
+	OpLt              // x < v
+	OpGt              // x > v
+	OpIn              // lo <= x <= hi (the paper's "101 < C < 132" form)
+)
+
+// String returns the operator symbol.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpGt:
+		return ">"
+	case OpIn:
+		return "in"
+	}
+	return "?"
+}
+
+// Constraint is one environment comparison. For string variables only
+// OpEq/OpNe are meaningful and StrVal carries the operand; for integer
+// variables Val carries it (Lo/Hi for OpIn).
+type Constraint struct {
+	Var    string
+	Op     CmpOp
+	Val    int64
+	Lo, Hi int64
+	StrVal string
+}
+
+// Eval evaluates the constraint against a device at a clock reading.
+func (c Constraint) Eval(d *Device, clockMillis int64) bool {
+	spec := Spec(c.Var)
+	if spec == nil {
+		return false
+	}
+	if spec.Kind == VarStr {
+		got := d.GetStr(c.Var)
+		switch c.Op {
+		case OpEq:
+			return got == c.StrVal
+		case OpNe:
+			return got != c.StrVal
+		}
+		return false
+	}
+	got := d.GetInt(c.Var, clockMillis)
+	switch c.Op {
+	case OpEq:
+		return got == c.Val
+	case OpNe:
+		return got != c.Val
+	case OpLt:
+		return got < c.Val
+	case OpGt:
+		return got > c.Val
+	case OpIn:
+		return got >= c.Lo && got <= c.Hi
+	}
+	return false
+}
+
+// Prob returns the population probability that the constraint holds,
+// computed from the catalog distribution (assuming dynamic variables
+// are uniform over their range at a random read).
+func (c Constraint) Prob() float64 {
+	spec := Spec(c.Var)
+	if spec == nil {
+		return 0
+	}
+	if spec.Kind == VarStr {
+		p := 0.0
+		total := 0.0
+		for _, v := range spec.StrVals {
+			total += v.Weight
+			if v.Val == c.StrVal {
+				p += v.Weight
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		p /= total
+		if c.Op == OpNe {
+			return 1 - p
+		}
+		return p
+	}
+	sat := func(x int64) bool {
+		switch c.Op {
+		case OpEq:
+			return x == c.Val
+		case OpNe:
+			return x != c.Val
+		case OpLt:
+			return x < c.Val
+		case OpGt:
+			return x > c.Val
+		case OpIn:
+			return x >= c.Lo && x <= c.Hi
+		}
+		return false
+	}
+	if len(spec.IntWeights) > 0 {
+		p, total := 0.0, 0.0
+		for _, v := range spec.IntWeights {
+			total += v.Weight
+			if sat(v.Val) {
+				p += v.Weight
+			}
+		}
+		return p / total
+	}
+	n := spec.Hi - spec.Lo + 1
+	if n <= 0 {
+		return 0
+	}
+	// Closed-form counting; ranges are small except mac/serial/gps,
+	// where only OpIn/OpLt/OpGt make sense and count directly.
+	var count int64
+	switch c.Op {
+	case OpEq:
+		if c.Val >= spec.Lo && c.Val <= spec.Hi {
+			count = 1
+		}
+	case OpNe:
+		count = n
+		if c.Val >= spec.Lo && c.Val <= spec.Hi {
+			count--
+		}
+	case OpLt:
+		count = clamp64(c.Val-spec.Lo, 0, n)
+	case OpGt:
+		count = clamp64(spec.Hi-c.Val, 0, n)
+	case OpIn:
+		lo, hi := max64(c.Lo, spec.Lo), min64(c.Hi, spec.Hi)
+		count = clamp64(hi-lo+1, 0, n)
+	}
+	return float64(count) / float64(n)
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	spec := Spec(c.Var)
+	if spec != nil && spec.Kind == VarStr {
+		return fmt.Sprintf("%s %s %q", c.Var, c.Op, c.StrVal)
+	}
+	if c.Op == OpIn {
+		return fmt.Sprintf("%d <= %s <= %d", c.Lo, c.Var, c.Hi)
+	}
+	return fmt.Sprintf("%s %s %d", c.Var, c.Op, c.Val)
+}
+
+// InnerCond is a quantifier-free formula over environment constraints:
+// a conjunction (AnyOf=false) or disjunction (AnyOf=true) of
+// constraints, matching the paper's "&&/|| concatenated" form.
+type InnerCond struct {
+	Constraints []Constraint
+	AnyOf       bool
+}
+
+// Eval evaluates the formula on a device.
+func (ic InnerCond) Eval(d *Device, clockMillis int64) bool {
+	if len(ic.Constraints) == 0 {
+		return true
+	}
+	for _, c := range ic.Constraints {
+		ok := c.Eval(d, clockMillis)
+		if ic.AnyOf && ok {
+			return true
+		}
+		if !ic.AnyOf && !ok {
+			return false
+		}
+	}
+	return !ic.AnyOf
+}
+
+// Prob returns the satisfaction probability over the population,
+// treating distinct variables as independent. Disjunctions are built
+// over the same variable with disjoint equalities, so their
+// probabilities add; conjunctions multiply.
+func (ic InnerCond) Prob() float64 {
+	if len(ic.Constraints) == 0 {
+		return 1
+	}
+	if ic.AnyOf {
+		p := 0.0
+		for _, c := range ic.Constraints {
+			p += c.Prob()
+		}
+		if p > 1 {
+			p = 1
+		}
+		return p
+	}
+	p := 1.0
+	for _, c := range ic.Constraints {
+		p *= c.Prob()
+	}
+	return p
+}
+
+// String renders the formula.
+func (ic InnerCond) String() string {
+	if len(ic.Constraints) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(ic.Constraints))
+	for i, c := range ic.Constraints {
+		parts[i] = c.String()
+	}
+	sep := " && "
+	if ic.AnyOf {
+		sep = " || "
+	}
+	return strings.Join(parts, sep)
+}
+
+// BuildInnerCond constructs a random inner trigger condition whose
+// population satisfaction probability lies in [pLo, pHi] — the
+// customizable range the paper sets to [0.1, 0.2] (§7.3). The shape
+// varies: an integer window over a high-cardinality variable, a
+// disjunction of weighted string equalities, or a conjunction across
+// two variables.
+func BuildInnerCond(rng *rand.Rand, pLo, pHi float64) InnerCond {
+	if pLo <= 0 || pHi <= pLo {
+		panic("android: invalid probability range")
+	}
+	target := pLo + rng.Float64()*(pHi-pLo)
+	for attempt := 0; attempt < 64; attempt++ {
+		var ic InnerCond
+		switch rng.Intn(3) {
+		case 0:
+			ic = windowCond(rng, target)
+		case 1:
+			ic = strDisjunction(rng, target)
+		default:
+			ic = conjunction(rng, target)
+		}
+		if p := ic.Prob(); p >= pLo && p <= pHi {
+			return ic
+		}
+	}
+	// Fallback: an ip_c window has fully controllable probability.
+	w := int64(target * 256)
+	if w < 1 {
+		w = 1
+	}
+	lo := rng.Int63n(256 - w)
+	return InnerCond{Constraints: []Constraint{{Var: "ip_c", Op: OpIn, Lo: lo, Hi: lo + w - 1}}}
+}
+
+// windowCond picks a uniform integer variable and a window of mass ≈ p.
+func windowCond(rng *rand.Rand, p float64) InnerCond {
+	// Only variables whose population/read distribution really is
+	// uniform, so Prob() is exact (light_lux and battery follow
+	// non-uniform dynamics and are excluded).
+	uniformVars := []string{"ip_b", "ip_c", "ip_d", "mac_hash", "serial_hash", "patch_level", "time_hour", "gps_lat_e6", "gps_lon_e6"}
+	name := uniformVars[rng.Intn(len(uniformVars))]
+	spec := Spec(name)
+	n := spec.Hi - spec.Lo + 1
+	w := int64(p * float64(n))
+	if w < 1 {
+		w = 1
+	}
+	if w >= n {
+		w = n - 1
+	}
+	lo := spec.Lo
+	if n-w > 0 {
+		lo += rng.Int63n(n - w)
+	}
+	return InnerCond{Constraints: []Constraint{{Var: name, Op: OpIn, Lo: lo, Hi: lo + w - 1}}}
+}
+
+// strDisjunction accumulates weighted string equalities up to mass ≈ p.
+func strDisjunction(rng *rand.Rand, p float64) InnerCond {
+	strVars := []string{"manufacturer", "brand", "board", "locale", "bootloader"}
+	name := strVars[rng.Intn(len(strVars))]
+	spec := Spec(name)
+	vals := append([]WeightedStr(nil), spec.StrVals...)
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	total := 0.0
+	for _, v := range vals {
+		total += v.Weight
+	}
+	var ic InnerCond
+	ic.AnyOf = true
+	mass := 0.0
+	for _, v := range vals {
+		share := v.Weight / total
+		if mass+share > p*1.25 {
+			continue
+		}
+		ic.Constraints = append(ic.Constraints, Constraint{Var: name, Op: OpEq, StrVal: v.Val})
+		mass += share
+		if mass >= p*0.8 {
+			break
+		}
+	}
+	if len(ic.Constraints) == 0 {
+		ic.Constraints = append(ic.Constraints, Constraint{Var: name, Op: OpEq, StrVal: vals[0].Val})
+	}
+	return ic
+}
+
+// conjunction combines a wide window with a second coarse predicate.
+func conjunction(rng *rand.Rand, p float64) InnerCond {
+	// First factor: a coarse platform predicate.
+	first := Constraint{Var: "api_level", Op: OpGt, Val: 23}
+	q1 := first.Prob()
+	// Second factor: window with mass p/q1.
+	rest := p / q1
+	if rest > 0.9 {
+		rest = 0.9
+	}
+	w := windowCond(rng, rest)
+	return InnerCond{Constraints: []Constraint{first, w.Constraints[0]}}
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package android
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstraintEvalAndProb(t *testing.T) {
+	d := EmulatorLab(1)[0] // ip = 10.0.2.15, api 23, manufacturer lge
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Constraint{Var: "ip_c", Op: OpEq, Val: 2}, true},
+		{Constraint{Var: "ip_c", Op: OpNe, Val: 2}, false},
+		{Constraint{Var: "ip_c", Op: OpLt, Val: 3}, true},
+		{Constraint{Var: "ip_c", Op: OpGt, Val: 3}, false},
+		{Constraint{Var: "ip_c", Op: OpIn, Lo: 0, Hi: 5}, true},
+		{Constraint{Var: "ip_c", Op: OpIn, Lo: 101, Hi: 131}, false},
+		{Constraint{Var: "manufacturer", Op: OpEq, StrVal: "lge"}, true},
+		{Constraint{Var: "manufacturer", Op: OpNe, StrVal: "lge"}, false},
+		{Constraint{Var: "manufacturer", Op: OpEq, StrVal: "sony"}, false},
+		{Constraint{Var: "nonexistent", Op: OpEq, Val: 1}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Eval(d, 0); got != tc.want {
+			t.Errorf("%s on emulator = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestPaperIPExample(t *testing.T) {
+	// Paper §7.3: "101 < C < 132 has p = 30/256".
+	c := Constraint{Var: "ip_c", Op: OpIn, Lo: 102, Hi: 131}
+	if got, want := c.Prob(), 30.0/256.0; got != want {
+		t.Errorf("Prob = %v, want %v", got, want)
+	}
+}
+
+func TestConstraintProbEdges(t *testing.T) {
+	if p := (Constraint{Var: "ip_c", Op: OpNe, Val: 7}).Prob(); p != 255.0/256.0 {
+		t.Errorf("Ne prob = %v", p)
+	}
+	if p := (Constraint{Var: "ip_c", Op: OpEq, Val: 999}).Prob(); p != 0 {
+		t.Errorf("out-of-range Eq prob = %v", p)
+	}
+	if p := (Constraint{Var: "bogus", Op: OpEq, Val: 1}).Prob(); p != 0 {
+		t.Errorf("unknown var prob = %v", p)
+	}
+	// Weighted int var.
+	p := (Constraint{Var: "api_level", Op: OpGt, Val: 23}).Prob()
+	if p < 0.4 || p > 0.6 {
+		t.Errorf("api_level > 23 prob = %v, want ~0.48", p)
+	}
+	// Weighted string var.
+	ps := (Constraint{Var: "manufacturer", Op: OpEq, StrVal: "samsung"}).Prob()
+	if ps < 0.25 || ps > 0.35 {
+		t.Errorf("samsung prob = %v", ps)
+	}
+}
+
+// Property: Prob agrees with the empirical satisfaction frequency over
+// sampled devices, for static variables.
+func TestProbMatchesEmpirical(t *testing.T) {
+	conds := []Constraint{
+		{Var: "ip_c", Op: OpIn, Lo: 102, Hi: 131},
+		{Var: "manufacturer", Op: OpEq, StrVal: "samsung"},
+		{Var: "api_level", Op: OpGt, Val: 23},
+		{Var: "flash_gb", Op: OpEq, Val: 64},
+	}
+	rng := rand.New(rand.NewSource(21))
+	const n = 30000
+	hits := make([]int, len(conds))
+	for i := 0; i < n; i++ {
+		d := SamplePopulation("u", rng)
+		for j, c := range conds {
+			if c.Eval(d, 0) {
+				hits[j]++
+			}
+		}
+	}
+	for j, c := range conds {
+		got := float64(hits[j]) / n
+		want := c.Prob()
+		if diff := got - want; diff > 0.015 || diff < -0.015 {
+			t.Errorf("%s: empirical %.3f vs analytic %.3f", c, got, want)
+		}
+	}
+}
+
+func TestInnerCondEval(t *testing.T) {
+	d := EmulatorLab(1)[0]
+	sat := Constraint{Var: "ip_c", Op: OpEq, Val: 2}
+	unsat := Constraint{Var: "ip_c", Op: OpEq, Val: 9}
+	and := InnerCond{Constraints: []Constraint{sat, unsat}}
+	or := InnerCond{Constraints: []Constraint{sat, unsat}, AnyOf: true}
+	if and.Eval(d, 0) {
+		t.Error("conjunction with false term should fail")
+	}
+	if !or.Eval(d, 0) {
+		t.Error("disjunction with true term should hold")
+	}
+	if !(InnerCond{}).Eval(d, 0) {
+		t.Error("empty condition is vacuously true")
+	}
+	if (InnerCond{}).Prob() != 1 {
+		t.Error("empty condition prob should be 1")
+	}
+	if and.String() == "" || or.String() == "" || (InnerCond{}).String() != "true" {
+		t.Error("String rendering broken")
+	}
+}
+
+func TestInnerCondProbCombinators(t *testing.T) {
+	a := Constraint{Var: "ip_c", Op: OpIn, Lo: 0, Hi: 127} // 1/2
+	b := Constraint{Var: "ip_b", Op: OpIn, Lo: 0, Hi: 63}  // 1/4
+	and := InnerCond{Constraints: []Constraint{a, b}}
+	if p := and.Prob(); p != 0.125 {
+		t.Errorf("conjunction prob = %v, want 0.125", p)
+	}
+	e1 := Constraint{Var: "manufacturer", Op: OpEq, StrVal: "sony"}
+	e2 := Constraint{Var: "manufacturer", Op: OpEq, StrVal: "htc"}
+	or := InnerCond{Constraints: []Constraint{e1, e2}, AnyOf: true}
+	if p := or.Prob(); p <= e1.Prob() || p >= e1.Prob()+e2.Prob()+1e-9 {
+		t.Errorf("disjunction prob = %v", p)
+	}
+}
+
+// Property: BuildInnerCond always lands in the requested band and
+// evaluates consistently with its declared probability over the
+// population.
+func TestBuildInnerCondProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ic := BuildInnerCond(rng, 0.1, 0.2)
+		p := ic.Prob()
+		return p >= 0.1-1e-9 && p <= 0.2+1e-9
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildInnerCondEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const users = 4000
+	devices := make([]*Device, users)
+	for i := range devices {
+		devices[i] = SamplePopulation("u", rng)
+	}
+	// Average satisfaction over many conditions should sit inside the
+	// configured band.
+	const conds = 60
+	sum := 0.0
+	for i := 0; i < conds; i++ {
+		ic := BuildInnerCond(rng, 0.1, 0.2)
+		hits := 0
+		for _, d := range devices {
+			// Random read time scatters dynamic variables.
+			if ic.Eval(d, rng.Int63n(7*86_400_000)) {
+				hits++
+			}
+		}
+		sum += float64(hits) / users
+	}
+	avg := sum / conds
+	if avg < 0.08 || avg > 0.25 {
+		t.Errorf("average empirical satisfaction %.3f outside plausible band", avg)
+	}
+}
+
+func TestBuildInnerCondPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid range should panic")
+		}
+	}()
+	BuildInnerCond(rand.New(rand.NewSource(1)), 0.5, 0.1)
+}
+
+func TestEmulatorsRarelySatisfyInnerConds(t *testing.T) {
+	// The design premise (D1): conditions tuned to p∈[0.1,0.2] over the
+	// population hold on few of the attacker's fixed emulator configs.
+	rng := rand.New(rand.NewSource(99))
+	lab := EmulatorLab(5)
+	const conds = 200
+	sat := 0
+	for i := 0; i < conds; i++ {
+		ic := BuildInnerCond(rng, 0.1, 0.2)
+		for _, d := range lab {
+			if ic.Eval(d, 1_800_000) {
+				sat++
+			}
+		}
+	}
+	frac := float64(sat) / float64(conds*len(lab))
+	if frac > 0.3 {
+		t.Errorf("emulators satisfy %.2f of inner conditions; lab too diverse", frac)
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	for _, o := range []CmpOp{OpEq, OpNe, OpLt, OpGt, OpIn} {
+		if o.String() == "?" {
+			t.Errorf("missing name for op %d", o)
+		}
+	}
+	if CmpOp(99).String() != "?" {
+		t.Error("unknown op should render ?")
+	}
+}

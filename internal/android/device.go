@@ -1,0 +1,234 @@
+package android
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Device is one concrete Android device: a fixed assignment to every
+// static environment variable plus per-device dynamics (sensors, time
+// offsets) that vary between reads. Devices come from two sources:
+// draws from the user population (SamplePopulation) and the attacker's
+// small emulator lab (EmulatorLab).
+type Device struct {
+	ID     string
+	ints   map[string]int64
+	strs   map[string]string
+	tzOff  int64 // hours, cached from timezone_off
+	jitter *rand.Rand
+}
+
+// SamplePopulation draws a device from the population distributions.
+// Deterministic given rng state.
+func SamplePopulation(id string, rng *rand.Rand) *Device {
+	d := &Device{
+		ID:     id,
+		ints:   make(map[string]int64, len(catalog)),
+		strs:   make(map[string]string, 8),
+		jitter: rand.New(rand.NewSource(rng.Int63())),
+	}
+	for _, s := range catalog {
+		iv, sv := s.sample(rng)
+		if s.Kind == VarStr {
+			d.strs[s.Name] = sv
+		} else {
+			d.ints[s.Name] = iv
+		}
+	}
+	d.tzOff = d.ints["timezone_off"]
+	return d
+}
+
+// Emulator describes one attacker lab configuration: the fields the
+// paper's testers vary between runs (device type, SDK version,
+// CPU/ABI, §8.2) with everything else at emulator defaults.
+type Emulator struct {
+	Name         string
+	Manufacturer string
+	CPUABI       string
+	APILevel     int64
+	ScreenW      int64
+	ScreenH      int64
+}
+
+// NewEmulator materializes an emulator configuration as a Device.
+// Emulator defaults are conspicuous: generic board, x86 ABI unless
+// overridden, IP in the 10.0.2.x NAT range, null-island GPS — the
+// homogeneity that keeps inner triggers dormant in the attacker lab.
+func NewEmulator(cfg Emulator, seed int64) *Device {
+	d := &Device{
+		ID:     "emulator-" + cfg.Name,
+		ints:   make(map[string]int64, len(catalog)),
+		strs:   make(map[string]string, 8),
+		jitter: rand.New(rand.NewSource(seed)),
+	}
+	d.strs["manufacturer"] = cfg.Manufacturer
+	d.strs["brand"] = "generic"
+	d.strs["board"] = "goldfish"
+	d.strs["bootloader"] = "unknown"
+	d.strs["cpu_abi"] = cfg.CPUABI
+	d.strs["locale"] = "en_US"
+	d.ints["screen_w"] = cfg.ScreenW
+	d.ints["screen_h"] = cfg.ScreenH
+	d.ints["density_dpi"] = 320
+	d.ints["flash_gb"] = 32
+	d.ints["mac_hash"] = 0x5254_00 // QEMU OUI prefix
+	d.ints["serial_hash"] = seed & 0xFFFFFF
+	d.ints["battery_pct"] = 100
+	d.ints["os_version"] = cfg.APILevel
+	d.ints["api_level"] = cfg.APILevel
+	d.ints["patch_level"] = 12
+	d.ints["ip_a"], d.ints["ip_b"], d.ints["ip_c"], d.ints["ip_d"] = 10, 0, 2, 15
+	d.ints["timezone_off"] = 0
+	d.ints["gps_lat_e6"], d.ints["gps_lon_e6"] = 0, 0
+	return d
+}
+
+// EmulatorLab returns the attacker's emulator fleet: n configurations
+// drawn from the handful of distinct setups an attacker can afford to
+// maintain (paper observation D1). n is capped at the lab catalog size.
+func EmulatorLab(n int) []*Device {
+	cfgs := []Emulator{
+		{"nexus5-api23", "lge", "armeabi-v7a", 23, 1080, 1920},
+		{"pixel-api25", "google", "arm64-v8a", 25, 1080, 1920},
+		{"generic-api19", "unknown", "x86", 19, 720, 1280},
+		{"nexus7-api22", "asus", "armeabi-v7a", 22, 1200, 1920},
+		{"pixel2-api26", "google", "arm64-v8a", 26, 1080, 1920},
+		{"galaxy-api24", "samsung", "arm64-v8a", 24, 1440, 2560},
+		{"generic-api21", "unknown", "x86", 21, 768, 1280},
+		{"oneplus-api25", "oneplus", "arm64-v8a", 25, 1080, 1920},
+	}
+	if n > len(cfgs) {
+		n = len(cfgs)
+	}
+	out := make([]*Device, n)
+	for i := 0; i < n; i++ {
+		out[i] = NewEmulator(cfgs[i], int64(i+1))
+	}
+	return out
+}
+
+// GetInt reads an integer environment variable. Dynamic variables
+// (time, sensors) are derived from the supplied virtual clock and the
+// device's jitter stream; static ones return the fixed assignment.
+// Unknown names return 0, matching a framework default.
+func (d *Device) GetInt(name string, clockMillis int64) int64 {
+	spec := Spec(name)
+	if spec == nil || spec.Kind != VarInt {
+		return 0
+	}
+	if !spec.Dynamic {
+		return d.ints[name]
+	}
+	switch name {
+	case "time_hour":
+		return ((clockMillis/3_600_000)%24 + d.tzOff + 24) % 24
+	case "time_min":
+		return (clockMillis / 60_000) % 60
+	case "time_dow":
+		return (clockMillis / 86_400_000) % 7
+	case "battery_pct":
+		base := d.ints[name]
+		drain := (clockMillis / 600_000) % 40 // ~1%/10min cycle
+		v := base - drain
+		if v < 5 {
+			v = 5
+		}
+		return v
+	case "light_lux":
+		// Diurnal curve plus per-read jitter.
+		h := ((clockMillis/3_600_000)%24 + d.tzOff + 24) % 24
+		base := int64(0)
+		if h >= 7 && h <= 19 {
+			base = 4000
+		} else {
+			base = 40
+		}
+		return base + d.jitter.Int63n(500)
+	case "temp_c":
+		return 15 + d.jitter.Int63n(15)
+	default:
+		return d.ints[name]
+	}
+}
+
+// GetStr reads a string environment variable; unknown names return "".
+func (d *Device) GetStr(name string) string {
+	return d.strs[name]
+}
+
+// Has reports whether the device carries the named variable.
+func (d *Device) Has(name string) bool {
+	if _, ok := d.ints[name]; ok {
+		return true
+	}
+	_, ok := d.strs[name]
+	return ok
+}
+
+// MutateEnv overrides one variable, modelling the paper's human
+// analysts who "mutate environment variables' values" (§8.3.2) on a
+// hacked attacker device. Integer variables parse from val's int
+// field; string variables from its str field.
+func (d *Device) MutateEnv(name string, intVal int64, strVal string) error {
+	spec := Spec(name)
+	if spec == nil {
+		return fmt.Errorf("android: unknown env var %q", name)
+	}
+	if spec.Kind == VarStr {
+		d.strs[name] = strVal
+	} else {
+		d.ints[name] = intVal
+		if name == "timezone_off" {
+			d.tzOff = intVal
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy (same static assignment, forked
+// jitter stream).
+func (d *Device) Clone() *Device {
+	n := &Device{
+		ID:     d.ID,
+		ints:   make(map[string]int64, len(d.ints)),
+		strs:   make(map[string]string, len(d.strs)),
+		tzOff:  d.tzOff,
+		jitter: rand.New(rand.NewSource(d.jitter.Int63())),
+	}
+	for k, v := range d.ints {
+		n.ints[k] = v
+	}
+	for k, v := range d.strs {
+		n.strs[k] = v
+	}
+	return n
+}
+
+// String summarizes the device's distinguishing fields.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(%s/%s api%d)", d.ID, d.strs["manufacturer"], d.strs["cpu_abi"], d.ints["api_level"])
+}
+
+// Fingerprint returns a deterministic summary of all static fields,
+// useful in tests asserting device diversity.
+func (d *Device) Fingerprint() string {
+	keys := make([]string, 0, len(d.ints)+len(d.strs))
+	for k := range d.ints {
+		keys = append(keys, k)
+	}
+	for k := range d.strs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		if s, ok := d.strs[k]; ok {
+			out += k + "=" + s + ";"
+		} else {
+			out += fmt.Sprintf("%s=%d;", k, d.ints[k])
+		}
+	}
+	return out
+}

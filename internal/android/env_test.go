@@ -1,0 +1,215 @@
+package android
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCatalogWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Catalog() {
+		if s.Name == "" {
+			t.Fatal("empty var name")
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate var %q", s.Name)
+		}
+		seen[s.Name] = true
+		switch s.Kind {
+		case VarStr:
+			if len(s.StrVals) == 0 {
+				t.Errorf("%s: string var with no support", s.Name)
+			}
+			for _, v := range s.StrVals {
+				if v.Weight <= 0 {
+					t.Errorf("%s: non-positive weight for %q", s.Name, v.Val)
+				}
+			}
+		case VarInt:
+			if len(s.IntWeights) == 0 && s.Hi < s.Lo {
+				t.Errorf("%s: empty range", s.Name)
+			}
+		}
+		if s.Domain() <= 0 {
+			t.Errorf("%s: non-positive domain", s.Name)
+		}
+	}
+	// Paper-named variables must exist (§6 examples).
+	for _, want := range []string{"manufacturer", "board", "bootloader", "brand",
+		"cpu_abi", "mac_hash", "serial_hash", "flash_gb", "api_level",
+		"os_version", "ip_c", "gps_lat_e6", "light_lux", "temp_c", "time_hour"} {
+		if Spec(want) == nil {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+	if Spec("no_such_var") != nil {
+		t.Error("unknown var should have nil spec")
+	}
+	if len(Names()) != len(Catalog()) {
+		t.Error("Names length mismatch")
+	}
+}
+
+func TestSamplePopulationRespectsSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		d := SamplePopulation("u", rng)
+		for _, s := range Catalog() {
+			if !d.Has(s.Name) {
+				t.Fatalf("device missing %q", s.Name)
+			}
+			if s.Kind == VarStr {
+				got := d.GetStr(s.Name)
+				found := false
+				for _, v := range s.StrVals {
+					if v.Val == got {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s = %q outside support", s.Name, got)
+				}
+			} else if !s.Dynamic {
+				got := d.GetInt(s.Name, 0)
+				if len(s.IntWeights) > 0 {
+					found := false
+					for _, v := range s.IntWeights {
+						if v.Val == got {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%s = %d outside weighted support", s.Name, got)
+					}
+				} else if got < s.Lo || got > s.Hi {
+					t.Fatalf("%s = %d outside [%d,%d]", s.Name, got, s.Lo, s.Hi)
+				}
+			}
+		}
+	}
+}
+
+func TestPopulationDiversity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prints := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		prints[SamplePopulation("u", rng).Fingerprint()] = true
+	}
+	if len(prints) < 95 {
+		t.Errorf("population not diverse: %d distinct of 100", len(prints))
+	}
+}
+
+func TestEmulatorLabHomogeneity(t *testing.T) {
+	lab := EmulatorLab(5)
+	if len(lab) != 5 {
+		t.Fatalf("lab size = %d", len(lab))
+	}
+	for _, d := range lab {
+		if d.GetStr("board") != "goldfish" {
+			t.Errorf("%s: board = %q, want goldfish", d.ID, d.GetStr("board"))
+		}
+		if d.GetInt("ip_a", 0) != 10 || d.GetInt("ip_c", 0) != 2 {
+			t.Errorf("%s: not in emulator NAT range", d.ID)
+		}
+		if d.GetInt("gps_lat_e6", 0) != 0 {
+			t.Errorf("%s: emulator GPS should be null island", d.ID)
+		}
+	}
+	if got := len(EmulatorLab(100)); got > 8 {
+		t.Errorf("lab should cap at catalog size, got %d", got)
+	}
+}
+
+func TestDynamicVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := SamplePopulation("u", rng)
+	d.MutateEnv("timezone_off", 0, "")
+	hour0 := d.GetInt("time_hour", 0)
+	hour5 := d.GetInt("time_hour", 5*3_600_000)
+	if hour5 != (hour0+5)%24 {
+		t.Errorf("time_hour progression wrong: %d then %d", hour0, hour5)
+	}
+	if m := d.GetInt("time_min", 61*60_000); m != 1 {
+		t.Errorf("time_min = %d, want 1", m)
+	}
+	if dow := d.GetInt("time_dow", 8*86_400_000); dow != 1 {
+		t.Errorf("time_dow = %d, want 1", dow)
+	}
+	day := d.GetInt("light_lux", 12*3_600_000)
+	night := d.GetInt("light_lux", 2*3_600_000)
+	if day < night {
+		t.Errorf("day lux %d < night lux %d", day, night)
+	}
+	if b := d.GetInt("battery_pct", 0); b < 5 || b > 100 {
+		t.Errorf("battery out of range: %d", b)
+	}
+	if d.GetInt("no_such", 0) != 0 || d.GetStr("no_such") != "" {
+		t.Error("unknown vars should read as zero values")
+	}
+}
+
+func TestMutateEnv(t *testing.T) {
+	d := EmulatorLab(1)[0]
+	if err := d.MutateEnv("manufacturer", 0, "samsung"); err != nil {
+		t.Fatal(err)
+	}
+	if d.GetStr("manufacturer") != "samsung" {
+		t.Error("string mutation lost")
+	}
+	if err := d.MutateEnv("api_level", 27, ""); err != nil {
+		t.Fatal(err)
+	}
+	if d.GetInt("api_level", 0) != 27 {
+		t.Error("int mutation lost")
+	}
+	if err := d.MutateEnv("bogus", 1, "x"); err == nil {
+		t.Error("unknown var mutation should fail")
+	}
+	if err := d.MutateEnv("timezone_off", 5, ""); err != nil {
+		t.Fatal(err)
+	}
+	if h := d.GetInt("time_hour", 0); h != 5 {
+		t.Errorf("timezone mutation not applied to clock: hour = %d", h)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := SamplePopulation("u", rng)
+	c := d.Clone()
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Error("clone differs")
+	}
+	c.MutateEnv("api_level", 99, "")
+	if d.GetInt("api_level", 0) == 99 {
+		t.Error("clone shares state")
+	}
+	if d.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Empirical check: sampled manufacturer frequencies approximate the
+// declared weights.
+func TestSamplingMatchesWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 20000
+	count := map[string]int{}
+	for i := 0; i < n; i++ {
+		count[SamplePopulation("u", rng).GetStr("manufacturer")]++
+	}
+	spec := Spec("manufacturer")
+	total := 0.0
+	for _, v := range spec.StrVals {
+		total += v.Weight
+	}
+	for _, v := range spec.StrVals {
+		want := v.Weight / total
+		got := float64(count[v.Val]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s: freq %.3f, want %.3f", v.Val, got, want)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package apk
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bombdroid/internal/dex"
+)
+
+func testDex(t *testing.T) *dex.File {
+	t.Helper()
+	f := dex.NewFile()
+	b := dex.NewBuilder(f, "onCreate", 0)
+	r := b.Reg()
+	b.ConstInt(r, 7)
+	b.PutStatic("App.state", r)
+	m := b.MustFinish()
+	m.Flags = dex.FlagInit
+	c := &dex.Class{Name: "App", Fields: []dex.Field{{Name: "state", Init: dex.Int64(0)}}}
+	c.AddMethod(m)
+	if err := f.AddClass(c); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func testPackage(t *testing.T, seed int64) (*Package, *KeyPair) {
+	t.Helper()
+	key, err := NewKeyPair(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Resources{
+		Strings: []string{"hello", "world"},
+		Icon:    []byte{0x89, 'P', 'N', 'G'},
+		Author:  "honest dev",
+	}
+	p, err := Sign(Build("com.example.app", testDex(t), res), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, key
+}
+
+func TestKeyPairDeterministic(t *testing.T) {
+	k1, err := NewKeyPair(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKeyPair(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := NewKeyPair(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.PublicKeyHex() != k2.PublicKeyHex() {
+		t.Error("same seed should give same key")
+	}
+	if k1.PublicKeyHex() == k3.PublicKeyHex() {
+		t.Error("different seeds should give different keys")
+	}
+	if len(k1.PublicKeyHex()) != 64 {
+		t.Errorf("public key hex length = %d", len(k1.PublicKeyHex()))
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	p, key := testPackage(t, 1)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("freshly signed package must verify: %v", err)
+	}
+	if p.PublicKeyHex() != key.PublicKeyHex() {
+		t.Error("package public key differs from signer")
+	}
+	if _, err := p.DexFile(); err != nil {
+		t.Errorf("dex should decode: %v", err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	base, _ := testPackage(t, 1)
+
+	t.Run("dex flip", func(t *testing.T) {
+		p := base.Clone()
+		p.Dex[len(p.Dex)-1] ^= 0xFF
+		if p.Verify() == nil {
+			t.Error("flipped dex byte must break verification")
+		}
+	})
+	t.Run("resource edit", func(t *testing.T) {
+		p := base.Clone()
+		p.Res.Strings[0] = "evil"
+		if p.Verify() == nil {
+			t.Error("edited resource must break verification")
+		}
+	})
+	t.Run("author swap", func(t *testing.T) {
+		p := base.Clone()
+		p.Res.Author = "pirate"
+		if p.Verify() == nil {
+			t.Error("swapped author must break verification")
+		}
+	})
+	t.Run("manifest forgery", func(t *testing.T) {
+		p := base.Clone()
+		p.Dex[0] ^= 1
+		p.Manifest.Digests[EntryDex] = DigestHex(p.Dex)
+		if p.Verify() == nil {
+			t.Error("re-digested manifest without re-signing must fail")
+		}
+	})
+	t.Run("missing cert", func(t *testing.T) {
+		p := base.Clone()
+		p.Cert = nil
+		if p.Verify() != ErrNoCertificate {
+			t.Error("missing certificate must be reported")
+		}
+	})
+	t.Run("extra manifest entry", func(t *testing.T) {
+		p := base.Clone()
+		p.Manifest.Digests["sneaky"] = DigestHex(nil)
+		if p.Verify() == nil {
+			t.Error("extra manifest entry must fail")
+		}
+	})
+}
+
+// Property: any single byte flip anywhere in the dex breaks Verify.
+func TestVerifyByteFlipProperty(t *testing.T) {
+	base, _ := testPackage(t, 5)
+	if err := quick.Check(func(pos uint16, mask byte) bool {
+		if mask == 0 {
+			return true
+		}
+		p := base.Clone()
+		i := int(pos) % len(p.Dex)
+		p.Dex[i] ^= mask
+		return p.Verify() != nil
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepackageChangesPublicKey(t *testing.T) {
+	victim, devKey := testPackage(t, 1)
+	attacker, err := NewKeyPair(666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pirated, err := Repackage(victim, attacker, RepackOptions{NewAuthor: "pirate co"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pirated.Verify(); err != nil {
+		t.Fatalf("repackaged app is validly signed and must verify: %v", err)
+	}
+	if pirated.PublicKeyHex() == devKey.PublicKeyHex() {
+		t.Fatal("repackaging must change the public key — the detection premise")
+	}
+	if pirated.Res.Author != "pirate co" {
+		t.Error("author not replaced")
+	}
+	if pirated.Name != victim.Name {
+		t.Error("app name should be preserved")
+	}
+}
+
+func TestRepackageInjectsMalware(t *testing.T) {
+	victim, _ := testPackage(t, 1)
+	attacker, _ := NewKeyPair(667)
+	mal := &dex.Class{Name: "Malware"}
+	mb := dex.NewBuilder(dex.NewFile(), "steal", 0)
+	mb.ReturnVoid()
+	mal.AddMethod(mb.MustFinish())
+	pirated, err := Repackage(victim, attacker, RepackOptions{InjectClass: mal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pirated.DexFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Class("Malware") == nil {
+		t.Error("injected class missing")
+	}
+	if f.Class("App") == nil {
+		t.Error("original class lost")
+	}
+}
+
+func TestRepackageMutateDex(t *testing.T) {
+	victim, _ := testPackage(t, 1)
+	attacker, _ := NewKeyPair(668)
+	pirated, err := Repackage(victim, attacker, RepackOptions{
+		MutateDex: func(f *dex.File) error {
+			f.Class("App").Methods[0].Code = []dex.Instr{{Op: dex.OpReturnVoid, A: -1, B: -1, C: -1}}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := pirated.DexFile()
+	if len(f.Class("App").Methods[0].Code) != 1 {
+		t.Error("mutation not applied")
+	}
+	if err := pirated.Verify(); err != nil {
+		t.Errorf("mutated+resigned app must verify: %v", err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	p, _ := testPackage(t, 9)
+	data, err := Pack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unpack(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Res.Author != p.Res.Author {
+		t.Error("metadata lost in round trip")
+	}
+	if string(q.Dex) != string(p.Dex) {
+		t.Error("dex bytes changed")
+	}
+	if len(q.Res.Strings) != len(p.Res.Strings) {
+		t.Error("strings lost")
+	}
+	if err := q.Verify(); err != nil {
+		t.Errorf("unpacked package must still verify: %v", err)
+	}
+	if _, err := Unpack([]byte("junk")); err == nil {
+		t.Error("junk archive should fail")
+	}
+}
+
+func TestStegoRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	covers := []string{"Tap to start", "", "日本語テキスト", "a"}
+	secrets := []string{"ab12cd", "deadbeef00", "x"}
+	for _, cover := range covers {
+		for _, secret := range secrets {
+			s := HideInString(cover, secret, rng)
+			if got := ExtractFromString(s); got != secret {
+				t.Errorf("cover %q secret %q: extracted %q", cover, secret, got)
+			}
+			if !CarriesHidden(s) {
+				t.Error("stego string should carry marker")
+			}
+			// The visible text is unchanged once markers are stripped.
+			visible := strings.Map(func(r rune) rune {
+				if r == zwBit0 || r == zwBit1 || r == zwMark {
+					return -1
+				}
+				return r
+			}, s)
+			wantVisible := cover
+			if cover == "" {
+				wantVisible = "ok"
+			}
+			if visible != wantVisible {
+				t.Errorf("visible text %q != cover %q", visible, wantVisible)
+			}
+		}
+	}
+	if ExtractFromString("no secrets here") != "" {
+		t.Error("plain string should extract empty")
+	}
+	if CarriesHidden("plain") {
+		t.Error("plain string should not carry markers")
+	}
+}
+
+// Property: stego round-trips arbitrary ASCII secrets through
+// arbitrary covers.
+func TestStegoProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if err := quick.Check(func(cover string, raw []byte) bool {
+		secret := DigestHex(raw)[:16]
+		return ExtractFromString(HideInString(cover, secret, rng)) == secret
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalSizeAndClone(t *testing.T) {
+	p, _ := testPackage(t, 2)
+	if p.TotalSize() <= 0 {
+		t.Error("TotalSize should be positive")
+	}
+	q := p.Clone()
+	q.Res.Icon[0] = 0
+	q.Manifest.Digests[EntryDex] = "x"
+	if p.Res.Icon[0] == 0 || p.Manifest.Digests[EntryDex] == "x" {
+		t.Error("Clone shares state")
+	}
+}

@@ -1,0 +1,168 @@
+package apk
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bombdroid/internal/dex"
+)
+
+// Manifest is MANIFEST.MF: the per-entry digest table the Android
+// system manages after installation. App processes read it (code
+// digest comparison, §4.1) but cannot modify it.
+type Manifest struct {
+	Digests map[string]string // entry name -> hex SHA-256
+}
+
+// DigestOf returns the recorded digest of an entry ("" if absent).
+func (m Manifest) DigestOf(name string) string { return m.Digests[name] }
+
+// canonical renders the manifest deterministically for signing.
+func (m Manifest) canonical() []byte {
+	names := make([]string, 0, len(m.Digests))
+	for n := range m.Digests {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("Manifest-Version: 1.0\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "Name: %s\nSHA-256-Digest: %s\n", n, m.Digests[n])
+	}
+	return []byte(b.String())
+}
+
+// Entry names inside the package.
+const (
+	EntryDex      = "classes.dex"
+	EntryStrings  = "res/strings.xml"
+	EntryIcon     = "res/icon.png"
+	EntryAuthor   = "res/author.txt"
+	EntryManifest = "META-INF/MANIFEST.MF"
+	EntryCert     = "META-INF/CERT.RSA"
+)
+
+// Unsigned is a built-but-unsigned package: BombDroid's output before
+// it goes back to the legitimate developer for signing (paper Fig. 1).
+type Unsigned struct {
+	Name string
+	Dex  []byte
+	Res  Resources
+}
+
+// Build assembles an unsigned package from a dex file and resources.
+func Build(name string, file *dex.File, res Resources) *Unsigned {
+	return &Unsigned{Name: name, Dex: dex.Encode(file), Res: res.Clone()}
+}
+
+// Package is an installed-form APK: content, manifest, certificate.
+type Package struct {
+	Name     string
+	Dex      []byte
+	Res      Resources
+	Manifest Manifest
+	Cert     *Certificate
+}
+
+// DigestHex returns the hex SHA-256 of content.
+func DigestHex(content []byte) string {
+	sum := sha256.Sum256(content)
+	return hex.EncodeToString(sum[:])
+}
+
+// buildManifest digests every content entry.
+func buildManifest(u *Unsigned) Manifest {
+	return Manifest{Digests: map[string]string{
+		EntryDex:     DigestHex(u.Dex),
+		EntryStrings: DigestHex(u.Res.encodeStrings()),
+		EntryIcon:    DigestHex(u.Res.Icon),
+		EntryAuthor:  DigestHex([]byte(u.Res.Author)),
+	}}
+}
+
+// Sign produces the final package under the developer's key.
+func Sign(u *Unsigned, key *KeyPair) (*Package, error) {
+	man := buildManifest(u)
+	cert, err := key.certificate(man.canonical())
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Name:     u.Name,
+		Dex:      append([]byte(nil), u.Dex...),
+		Res:      u.Res.Clone(),
+		Manifest: man,
+		Cert:     cert,
+	}, nil
+}
+
+// Errors returned by Verify.
+var (
+	ErrNoCertificate  = errors.New("apk: package carries no certificate")
+	ErrDigestMismatch = errors.New("apk: manifest digest mismatch")
+)
+
+// Verify performs install-time validation: every manifest digest must
+// match the content, and the certificate signature must cover the
+// manifest. A package that fails Verify is rejected by the system and
+// never reaches a device.
+func (p *Package) Verify() error {
+	if p.Cert == nil {
+		return ErrNoCertificate
+	}
+	want := buildManifest(&Unsigned{Name: p.Name, Dex: p.Dex, Res: p.Res})
+	for name, digest := range want.Digests {
+		if p.Manifest.DigestOf(name) != digest {
+			return fmt.Errorf("%w: %s", ErrDigestMismatch, name)
+		}
+	}
+	if len(p.Manifest.Digests) != len(want.Digests) {
+		return fmt.Errorf("%w: entry count", ErrDigestMismatch)
+	}
+	return p.Cert.verify(p.Manifest.canonical())
+}
+
+// PublicKeyHex is the runtime getPublicKey value for this package.
+func (p *Package) PublicKeyHex() string {
+	if p.Cert == nil {
+		return ""
+	}
+	return p.Cert.PublicKeyHex()
+}
+
+// DexFile decodes the package's bytecode.
+func (p *Package) DexFile() (*dex.File, error) {
+	return dex.Decode(p.Dex)
+}
+
+// Clone returns an independent copy.
+func (p *Package) Clone() *Package {
+	man := Manifest{Digests: make(map[string]string, len(p.Manifest.Digests))}
+	for k, v := range p.Manifest.Digests {
+		man.Digests[k] = v
+	}
+	var cert *Certificate
+	if p.Cert != nil {
+		cert = &Certificate{
+			PubDER:    append([]byte(nil), p.Cert.PubDER...),
+			Signature: append([]byte(nil), p.Cert.Signature...),
+		}
+	}
+	return &Package{
+		Name:     p.Name,
+		Dex:      append([]byte(nil), p.Dex...),
+		Res:      p.Res.Clone(),
+		Manifest: man,
+		Cert:     cert,
+	}
+}
+
+// TotalSize returns the package's content size in bytes — the
+// code-size metric denominator for §8.4.
+func (p *Package) TotalSize() int {
+	return len(p.Dex) + len(p.Res.encodeStrings()) + len(p.Res.Icon) + len(p.Res.Author)
+}

@@ -1,0 +1,55 @@
+package apk
+
+import (
+	"fmt"
+
+	"bombdroid/internal/dex"
+)
+
+// RepackOptions selects the modifications a repackaging attacker
+// applies before re-signing (paper §1: replace icon and author
+// information, optionally insert malicious code).
+type RepackOptions struct {
+	NewAuthor   string
+	NewIcon     []byte
+	InjectClass *dex.Class // optional malware class spliced into the dex
+	// MutateDex, when set, rewrites the decoded dex before repack —
+	// the hook code-deletion and instrumentation attacks use.
+	MutateDex func(*dex.File) error
+}
+
+// Repackage unpacks a victim package, applies the attacker's
+// modifications, and re-signs with the attacker's own key — the whole
+// automated pipeline the paper's threat model assumes. The output
+// passes Verify (it is a validly signed app) but its public key
+// necessarily differs from the original developer's.
+func Repackage(victim *Package, attacker *KeyPair, opts RepackOptions) (*Package, error) {
+	res := victim.Res.Clone()
+	if opts.NewAuthor != "" {
+		res.Author = opts.NewAuthor
+	}
+	if opts.NewIcon != nil {
+		res.Icon = append([]byte(nil), opts.NewIcon...)
+	}
+
+	dexBytes := append([]byte(nil), victim.Dex...)
+	if opts.InjectClass != nil || opts.MutateDex != nil {
+		file, err := dex.Decode(dexBytes)
+		if err != nil {
+			return nil, fmt.Errorf("apk: decoding victim dex: %w", err)
+		}
+		if opts.InjectClass != nil {
+			if err := file.AddClass(opts.InjectClass); err != nil {
+				return nil, err
+			}
+		}
+		if opts.MutateDex != nil {
+			if err := opts.MutateDex(file); err != nil {
+				return nil, err
+			}
+		}
+		dexBytes = dex.Encode(file)
+	}
+
+	return Sign(&Unsigned{Name: victim.Name, Dex: dexBytes, Res: res}, attacker)
+}

@@ -1,0 +1,117 @@
+package apk
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Resources is the res/ folder analogue: the app's string table
+// (strings.xml) plus icon bytes and author metadata — the fields
+// attackers replace when repackaging (paper §1).
+type Resources struct {
+	Strings []string
+	Icon    []byte
+	Author  string
+}
+
+// Clone returns an independent copy.
+func (r Resources) Clone() Resources {
+	return Resources{
+		Strings: append([]string(nil), r.Strings...),
+		Icon:    append([]byte(nil), r.Icon...),
+		Author:  r.Author,
+	}
+}
+
+// encodeStrings renders the string table as a strings.xml-like
+// document; it is the byte form digested by the manifest.
+func (r Resources) encodeStrings() []byte {
+	var b strings.Builder
+	b.WriteString("<resources>\n")
+	for i, s := range r.Strings {
+		fmt.Fprintf(&b, "  <string name=\"s%d\">%s</string>\n", i, s)
+	}
+	b.WriteString("</resources>\n")
+	return []byte(b.String())
+}
+
+// Steganography (paper §4.1, "Code Digest Comparison"): a digest
+// fragment Do is hidden inside an innocuous resource string using
+// zero-width Unicode characters, so the value survives in plain sight;
+// the recovery logic lives only inside encrypted payloads, so an
+// attacker "does not know how to manipulate strings in strings.xml
+// even when they look suspicious".
+const (
+	zwBit0 = '\u200b' // zero-width space      -> bit 0
+	zwBit1 = '\u200c' // zero-width non-joiner -> bit 1
+	zwMark = '\u200d' // zero-width joiner     -> start marker
+)
+
+// HideInString embeds secret into cover, returning the stego string.
+// Bits of each secret byte are appended as zero-width runes after a
+// start marker at a position derived from rng.
+func HideInString(cover, secret string, rng *rand.Rand) string {
+	if cover == "" {
+		cover = "ok"
+	}
+	runes := []rune(cover)
+	pos := rng.Intn(len(runes) + 1)
+	var payload []rune
+	payload = append(payload, zwMark)
+	for _, by := range []byte(secret) {
+		for bit := 7; bit >= 0; bit-- {
+			if by>>uint(bit)&1 == 1 {
+				payload = append(payload, zwBit1)
+			} else {
+				payload = append(payload, zwBit0)
+			}
+		}
+	}
+	out := make([]rune, 0, len(runes)+len(payload))
+	out = append(out, runes[:pos]...)
+	out = append(out, payload...)
+	out = append(out, runes[pos:]...)
+	return string(out)
+}
+
+// ExtractFromString recovers a hidden secret, returning "" when the
+// string carries none.
+func ExtractFromString(s string) string {
+	var bits []byte
+	started := false
+	for _, r := range s {
+		switch r {
+		case zwMark:
+			started = true
+		case zwBit0:
+			if started {
+				bits = append(bits, 0)
+			}
+		case zwBit1:
+			if started {
+				bits = append(bits, 1)
+			}
+		}
+	}
+	if len(bits) < 8 {
+		return ""
+	}
+	n := len(bits) / 8
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		var by byte
+		for j := 0; j < 8; j++ {
+			by = by<<1 | bits[i*8+j]
+		}
+		out[i] = by
+	}
+	return string(out)
+}
+
+// CarriesHidden reports whether s contains stego markers. The
+// adversary's text search can detect *that* something is hidden — but
+// not what the recovery logic expects, which is the paper's point.
+func CarriesHidden(s string) bool {
+	return strings.ContainsRune(s, zwMark)
+}

@@ -1,0 +1,122 @@
+package apk
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Pack writes the package as a real zip archive with the standard
+// entry layout (classes.dex, res/*, META-INF/*) — the on-disk .apk
+// form the command-line tools exchange.
+func Pack(p *Package) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+
+	write := func(name string, content []byte) error {
+		w, err := zw.Create(name)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(content)
+		return err
+	}
+
+	stringsDoc, err := json.Marshal(p.Res.Strings)
+	if err != nil {
+		return nil, fmt.Errorf("apk: encoding strings: %w", err)
+	}
+	var cert bytes.Buffer
+	if p.Cert != nil {
+		if err := p.Cert.encode(&cert); err != nil {
+			return nil, fmt.Errorf("apk: encoding certificate: %w", err)
+		}
+	}
+	manifest, err := json.Marshal(p.Manifest.Digests)
+	if err != nil {
+		return nil, fmt.Errorf("apk: encoding manifest: %w", err)
+	}
+	meta, err := json.Marshal(map[string]string{"name": p.Name, "author": p.Res.Author})
+	if err != nil {
+		return nil, fmt.Errorf("apk: encoding metadata: %w", err)
+	}
+
+	entries := []struct {
+		name    string
+		content []byte
+	}{
+		{EntryDex, p.Dex},
+		{EntryStrings, stringsDoc},
+		{EntryIcon, p.Res.Icon},
+		{"meta.json", meta},
+		{EntryManifest, manifest},
+		{EntryCert, cert.Bytes()},
+	}
+	for _, e := range entries {
+		if err := write(e.name, e.content); err != nil {
+			return nil, fmt.Errorf("apk: writing %s: %w", e.name, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("apk: closing archive: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unpack parses an archive produced by Pack. It does not Verify; that
+// is the installer's decision, mirroring how apktool unpacks
+// regardless of signature state.
+func Unpack(data []byte) (*Package, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("apk: opening archive: %w", err)
+	}
+	content := make(map[string][]byte, len(zr.File))
+	for _, f := range zr.File {
+		rc, err := f.Open()
+		if err != nil {
+			return nil, fmt.Errorf("apk: opening %s: %w", f.Name, err)
+		}
+		b, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("apk: reading %s: %w", f.Name, err)
+		}
+		content[f.Name] = b
+	}
+
+	p := &Package{Manifest: Manifest{Digests: map[string]string{}}}
+	p.Dex = content[EntryDex]
+	if p.Dex == nil {
+		return nil, fmt.Errorf("apk: archive missing %s", EntryDex)
+	}
+	if b := content[EntryStrings]; b != nil {
+		if err := json.Unmarshal(b, &p.Res.Strings); err != nil {
+			return nil, fmt.Errorf("apk: decoding strings: %w", err)
+		}
+	}
+	p.Res.Icon = content[EntryIcon]
+	if b := content["meta.json"]; b != nil {
+		var meta map[string]string
+		if err := json.Unmarshal(b, &meta); err != nil {
+			return nil, fmt.Errorf("apk: decoding metadata: %w", err)
+		}
+		p.Name = meta["name"]
+		p.Res.Author = meta["author"]
+	}
+	if b := content[EntryManifest]; b != nil {
+		if err := json.Unmarshal(b, &p.Manifest.Digests); err != nil {
+			return nil, fmt.Errorf("apk: decoding manifest: %w", err)
+		}
+	}
+	if b := content[EntryCert]; len(b) > 0 {
+		cert, err := decodeCertificate(bytes.NewReader(b))
+		if err != nil {
+			return nil, err
+		}
+		p.Cert = cert
+	}
+	return p, nil
+}

@@ -1,0 +1,397 @@
+package appgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/cfg"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/vm"
+)
+
+func TestCompileSimpleMethod(t *testing.T) {
+	f := dex.NewFile()
+	body := []Stmt{
+		Assign(LocalRef("x"), Bin(dex.OpAdd, ArgRef(0), IntLit(5))),
+		If(Cmp(CmpEq, LocalRef("x"), IntLit(7)),
+			[]Stmt{Assign(FieldRef("App.hit"), IntLit(1))}, nil),
+		Ret(LocalRef("x")),
+	}
+	m, err := CompileMethod(f, "calc", 1, 0, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &dex.Class{Name: "App", Fields: []dex.Field{{Name: "hit", Init: dex.Int64(0)}}}
+	cl.AddMethod(m)
+	if err := f.AddClass(cl); err != nil {
+		t.Fatal(err)
+	}
+	if err := dex.ValidateLinked(f); err != nil {
+		t.Fatal(err)
+	}
+	v := newVM(t, f)
+	res, err := v.Invoke("App.calc", dex.Int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Int != 7 {
+		t.Errorf("calc(2) = %v, want 7", res)
+	}
+	if v.Static("App.hit").Int != 1 {
+		t.Error("then-branch not taken")
+	}
+	res, _ = v.Invoke("App.calc", dex.Int64(10))
+	if res.Int != 15 {
+		t.Errorf("calc(10) = %v", res)
+	}
+}
+
+func newVM(t *testing.T, f *dex.File) *vm.VM {
+	t.Helper()
+	key, err := apk.NewKeyPair(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Sign(apk.Build("t", f, apk.Resources{}), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(pkg, android.EmulatorLab(1)[0], vm.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCompileControlFlow(t *testing.T) {
+	f := dex.NewFile()
+	body := []Stmt{
+		Assign(LocalRef("acc"), IntLit(0)),
+		For(4, []Stmt{
+			Assign(LocalRef("acc"), Bin(dex.OpAdd, LocalRef("acc"), IntLit(3))),
+		}),
+		Switch(ArgRef(0),
+			[]Case{
+				{Val: 1, Body: []Stmt{Assign(LocalRef("acc"), Bin(dex.OpMul, LocalRef("acc"), IntLit(2)))}},
+				{Val: 2, Body: []Stmt{Assign(LocalRef("acc"), IntLit(0))}},
+			},
+			[]Stmt{Assign(LocalRef("acc"), Bin(dex.OpNeg, LocalRef("acc"), IntLit(0)))}),
+		Ret(LocalRef("acc")),
+	}
+	// OpNeg is unary; Bin with OpNeg would mis-compile. Use proper
+	// subtraction instead.
+	body[2].Default = []Stmt{Assign(LocalRef("acc"), Bin(dex.OpSub, IntLit(0), LocalRef("acc")))}
+
+	m, err := CompileMethod(f, "flow", 1, 0, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &dex.Class{Name: "App"}
+	cl.AddMethod(m)
+	if err := f.AddClass(cl); err != nil {
+		t.Fatal(err)
+	}
+	v := newVM(t, f)
+	for arg, want := range map[int64]int64{1: 24, 2: 0, 9: -12} {
+		res, err := v.Invoke("App.flow", dex.Int64(arg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Int != want {
+			t.Errorf("flow(%d) = %v, want %d", arg, res.Int, want)
+		}
+	}
+}
+
+func TestCompileIfElse(t *testing.T) {
+	f := dex.NewFile()
+	body := []Stmt{
+		If(Cmp(CmpLt, ArgRef(0), IntLit(10)),
+			[]Stmt{Ret(IntLit(1))},
+			[]Stmt{Ret(IntLit(2))}),
+	}
+	m, err := CompileMethod(f, "ifelse", 1, 0, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &dex.Class{Name: "App"}
+	cl.AddMethod(m)
+	if err := f.AddClass(cl); err != nil {
+		t.Fatal(err)
+	}
+	v := newVM(t, f)
+	if r, _ := v.Invoke("App.ifelse", dex.Int64(3)); r.Int != 1 {
+		t.Errorf("then: %v", r)
+	}
+	if r, _ := v.Invoke("App.ifelse", dex.Int64(30)); r.Int != 2 {
+		t.Errorf("else: %v", r)
+	}
+}
+
+func TestCompileStrCond(t *testing.T) {
+	f := dex.NewFile()
+	body := []Stmt{
+		If(StrCmp(dex.APIStrEquals, FieldRef("App.mode"), StrLit("game")),
+			[]Stmt{Ret(IntLit(1))}, nil),
+		Ret(IntLit(0)),
+	}
+	m, err := CompileMethod(f, "inGame", 0, 0, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &dex.Class{Name: "App", Fields: []dex.Field{{Name: "mode", Init: dex.Str("game")}}}
+	cl.AddMethod(m)
+	if err := f.AddClass(cl); err != nil {
+		t.Fatal(err)
+	}
+	v := newVM(t, f)
+	if r, _ := v.Invoke("App.inGame"); r.Int != 1 {
+		t.Errorf("mode=game: %v", r)
+	}
+	v.SetStatic("App.mode", dex.Str("menu"))
+	if r, _ := v.Invoke("App.inGame"); r.Int != 0 {
+		t.Errorf("mode=menu: %v", r)
+	}
+	// The condition must surface as a strong QC.
+	qcs := cfg.FindQCs(f, m)
+	strong := 0
+	for _, q := range qcs {
+		if q.Kind == cfg.Strong {
+			strong++
+		}
+	}
+	if strong != 1 {
+		t.Errorf("strong QCs = %d, want 1", strong)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	f := dex.NewFile()
+	if _, err := CompileMethod(f, "bad", 0, 0, []Stmt{
+		Assign(IntLit(3), IntLit(4)), // literal as assignment target
+	}); err == nil {
+		t.Error("bad assignment target should fail")
+	}
+	if _, err := CompileMethod(f, "bad2", 0, 0, []Stmt{
+		Do(Expr{Kind: ExprKind(99)}),
+	}); err == nil {
+		t.Error("bad expression kind should fail")
+	}
+	if _, err := CompileMethod(f, "bad3", 0, 0, []Stmt{
+		Assign(FieldRef("App.x"), APICall(dex.APILog, StrLit("s"))),
+	}); err == nil {
+		t.Error("void API as value should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg1 := Config{Name: "x", Seed: 99, TargetLOC: 1500}
+	a, err := Generate(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dex.Encode(a.File)) != string(dex.Encode(b.File)) {
+		t.Error("same seed must generate identical apps")
+	}
+	c, err := Generate(Config{Name: "x", Seed: 100, TargetLOC: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dex.Encode(a.File)) == string(dex.Encode(c.File)) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGeneratedAppRunsCleanly(t *testing.T) {
+	app, err := Generate(Config{Name: "runner", Seed: 4, TargetLOC: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := newVM(t, app.File)
+	// Drive every handler with a few hundred random events: a healthy
+	// generated app never faults.
+	rng := rand.New(rand.NewSource(1))
+	for _, init := range v.InitMethods() {
+		if _, err := v.Invoke(init); err != nil {
+			t.Fatalf("init %s: %v", init, err)
+		}
+	}
+	handlers := v.Handlers()
+	if len(handlers) < 4 {
+		t.Fatalf("handlers = %d", len(handlers))
+	}
+	for i := 0; i < 500; i++ {
+		h := handlers[rng.Intn(len(handlers))]
+		_, err := v.Invoke(h,
+			dex.Int64(rng.Int63n(app.Config.ParamDomain)),
+			dex.Int64(rng.Int63n(app.Config.ParamDomain)))
+		if err != nil {
+			t.Fatalf("event %d on %s: %v", i, h, err)
+		}
+	}
+	if len(v.Profile()) == 0 {
+		t.Error("profiler should have counts")
+	}
+}
+
+func TestGeneratedAppHasQCs(t *testing.T) {
+	app, err := Generate(Config{Name: "qcful", Seed: 8, TargetLOC: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weak, medium, strong, inLoop int
+	for _, m := range app.File.Methods() {
+		for _, q := range cfg.FindQCs(app.File, m) {
+			switch q.Kind {
+			case cfg.Weak:
+				weak++
+			case cfg.Medium:
+				medium++
+			case cfg.Strong:
+				strong++
+			}
+			if q.InLoop {
+				inLoop++
+			}
+		}
+	}
+	if weak == 0 || medium == 0 || strong == 0 {
+		t.Errorf("QC mix incomplete: weak=%d medium=%d strong=%d", weak, medium, strong)
+	}
+	total := weak + medium + strong
+	if total < 20 {
+		t.Errorf("too few QCs for a 3k LOC app: %d", total)
+	}
+	t.Logf("QCs: weak=%d medium=%d strong=%d (inLoop=%d)", weak, medium, strong, inLoop)
+}
+
+func TestGeneratedAppStats(t *testing.T) {
+	app, err := Generate(Config{Name: "stats", Seed: 15, TargetLOC: 5000, EnvVars: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.LOC < 3000 || app.LOC > 8000 {
+		t.Errorf("LOC = %d, want ≈5000", app.LOC)
+	}
+	if len(app.EnvVarNames) != 9 {
+		t.Errorf("env vars = %d", len(app.EnvVarNames))
+	}
+	if len(app.Handlers) < 4 {
+		t.Errorf("handlers = %d", len(app.Handlers))
+	}
+	if len(app.IntFieldRefs) == 0 || len(app.StrFieldRefs) == 0 {
+		t.Error("field refs missing")
+	}
+}
+
+func TestNamedApps(t *testing.T) {
+	for _, name := range NamedApps {
+		app, err := NamedApp(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if app.Name != name {
+			t.Errorf("name = %q", app.Name)
+		}
+		if err := dex.ValidateLinked(app.File); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := NamedApp("NoSuchApp"); err == nil {
+		t.Error("unknown app should fail")
+	}
+}
+
+func TestAndroFishVariableEntropy(t *testing.T) {
+	app, err := NamedApp("AndroFish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := newVM(t, app.File)
+	// Drive the fish handlers; record distinct values per Figure 3 var.
+	uniq := map[string]map[int64]bool{}
+	for _, ref := range AndroFishVars {
+		uniq[ref] = map[int64]bool{}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		var h string
+		switch i % 3 {
+		case 0:
+			h = "App.onFishMove"
+		case 1:
+			h = "App.onFishSpawn"
+		default:
+			h = "App.onFishTap"
+		}
+		if _, err := v.Invoke(h, dex.Int64(rng.Int63n(64)), dex.Int64(rng.Int63n(64))); err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range AndroFishVars {
+			uniq[ref][v.Static(ref).Int] = true
+		}
+	}
+	// Figure 3's shape: dir has few values; posX/posY many.
+	if n := len(uniq["App.dir"]); n > 4 {
+		t.Errorf("dir values = %d, want <= 4", n)
+	}
+	if n := len(uniq["App.width"]); n > 8 {
+		t.Errorf("width values = %d, want <= 8", n)
+	}
+	if n := len(uniq["App.posX"]); n < 100 {
+		t.Errorf("posX values = %d, want many", n)
+	}
+	if n := len(uniq["App.posY"]); n < 50 {
+		t.Errorf("posY values = %d, want many", n)
+	}
+	if len(uniq["App.posX"]) <= len(uniq["App.dir"]) {
+		t.Error("entropy ordering broken")
+	}
+}
+
+func TestCorpusSpecs(t *testing.T) {
+	if CorpusSize() != 963 {
+		t.Errorf("corpus size = %d, want 963 (paper §8)", CorpusSize())
+	}
+	if len(Categories) != 8 {
+		t.Errorf("categories = %d, want 8", len(Categories))
+	}
+}
+
+func TestSampleCategoryGeneratesValidApps(t *testing.T) {
+	spec := Categories[0]
+	count := 0
+	err := SampleCategory(spec, 3, func(app *App) error {
+		count++
+		if app.Category != spec.Name {
+			t.Errorf("category = %q", app.Category)
+		}
+		return dex.ValidateLinked(app.File)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("sampled %d apps, want 3", count)
+	}
+}
+
+func TestCountStmts(t *testing.T) {
+	body := []Stmt{
+		Assign(LocalRef("x"), IntLit(1)),
+		If(Truthy(LocalRef("x")),
+			[]Stmt{Do(APICall(dex.APILog, StrLit("y")))},
+			[]Stmt{RetVoid()}),
+		Switch(LocalRef("x"), []Case{{Val: 1, Body: []Stmt{RetVoid()}}}, []Stmt{RetVoid()}),
+	}
+	// 7 statements + 4 closing-brace lines for the non-empty blocks.
+	if got := CountStmts(body); got != 11 {
+		t.Errorf("CountStmts = %d, want 11", got)
+	}
+}

@@ -1,0 +1,144 @@
+package appgen
+
+import (
+	"fmt"
+
+	"bombdroid/internal/dex"
+)
+
+// The eight apps the paper's Tables 2–5 and Figures 3–5 evaluate,
+// with configurations tuned so their static profiles (size, QC
+// density, program-variable entropy) land near the published numbers.
+
+// NamedApps lists the evaluation apps in the paper's order.
+var NamedApps = []string{
+	"AndroFish", "Angulo", "SWJournal", "Calendar",
+	"BRouter", "Binaural Beat", "Hash Droid", "CatLog",
+}
+
+// namedConfigs maps app name to its tuned generation config.
+// TargetLOC values follow each app's real-world scale relative to its
+// category; QC densities are tuned so bomb injection counts land near
+// Table 2.
+var namedConfigs = map[string]Config{
+	"AndroFish": {
+		Category: "Game", Seed: 0xF154, TargetLOC: 2600,
+		QCPerMethod: 1.20, EnvVars: 16, IntFields: 10, StrFields: 3,
+		ExtraFields:  androFishFields(),
+		ExtraMethods: androFishMethods(),
+	},
+	"Angulo": {
+		Category: "Science&Edu.", Seed: 0xA6010, TargetLOC: 2100,
+		QCPerMethod: 1.05, EnvVars: 8, IntFields: 8,
+	},
+	"SWJournal": {
+		Category: "Writing", Seed: 0x51013, TargetLOC: 2700,
+		QCPerMethod: 0.95, EnvVars: 6, StrFields: 6,
+		QCTypeMix: [3]float64{0.40, 0.34, 0.26},
+	},
+	"Calendar": {
+		Category: "Writing", Seed: 0xCA1E, TargetLOC: 4600,
+		QCPerMethod: 1.15, EnvVars: 7, IntFields: 16,
+	},
+	"BRouter": {
+		Category: "Navigation", Seed: 0xB407E4, TargetLOC: 11000,
+		QCPerMethod: 1.10, EnvVars: 9, IntFields: 20, StrFields: 6,
+	},
+	"Binaural Beat": {
+		Category: "Multimedia", Seed: 0xBEA7, TargetLOC: 3600,
+		QCPerMethod: 1.15, EnvVars: 17, IntFields: 12,
+	},
+	"Hash Droid": {
+		Category: "Security", Seed: 0x4A54, TargetLOC: 2900,
+		QCPerMethod: 1.05, EnvVars: 12, StrFields: 5,
+		QCTypeMix: [3]float64{0.42, 0.33, 0.25},
+	},
+	"CatLog": {
+		Category: "Development", Seed: 0xCA7106, TargetLOC: 3200,
+		QCPerMethod: 1.05, EnvVars: 11, StrFields: 5,
+	},
+}
+
+// NamedApp generates one of the paper's evaluation apps.
+func NamedApp(name string) (*App, error) {
+	cfg, ok := namedConfigs[name]
+	if !ok {
+		return nil, fmt.Errorf("appgen: unknown named app %q (want one of %v)", name, NamedApps)
+	}
+	cfg.Name = name
+	return Generate(cfg)
+}
+
+// AndroFishVars are the six program variables Figure 3 visualizes:
+// state of the currently visible fish.
+var AndroFishVars = []string{
+	"App.dir", "App.width", "App.height", "App.speed", "App.posX", "App.posY",
+}
+
+func androFishFields() []dex.Field {
+	return []dex.Field{
+		{Name: "dir", Init: dex.Int64(0)},     // 4 headings (low entropy)
+		{Name: "width", Init: dex.Int64(24)},  // few sizes
+		{Name: "height", Init: dex.Int64(16)}, // few sizes
+		{Name: "speed", Init: dex.Int64(5)},   // ~20 values
+		{Name: "posX", Init: dex.Int64(0)},    // 0..100000 (high entropy)
+		{Name: "posY", Init: dex.Int64(0)},    // 0..160000 (high entropy)
+		{Name: "score", Init: dex.Int64(0)},
+	}
+}
+
+// androFishMethods reproduces the fish-movement logic whose variable
+// entropy Figure 3 plots: dir/width/height/speed take few distinct
+// values; posX/posY walk large ranges.
+func androFishMethods() []MethodSpec {
+	moveBody := []Stmt{
+		// dir = arg0 % 4 on swipe; speed in [1, 20].
+		Assign(FieldRef("App.dir"), Bin(dex.OpRem, ArgRef(0), IntLit(4))),
+		Assign(FieldRef("App.speed"),
+			Bin(dex.OpAdd, Bin(dex.OpRem, ArgRef(1), IntLit(20)), IntLit(1))),
+		// posX = (posX + speed*(dir+1)*17) % 100000
+		Assign(FieldRef("App.posX"),
+			Bin(dex.OpRem,
+				Bin(dex.OpAdd, FieldRef("App.posX"),
+					Bin(dex.OpMul, FieldRef("App.speed"),
+						Bin(dex.OpMul, Bin(dex.OpAdd, FieldRef("App.dir"), IntLit(1)), IntLit(17)))),
+				IntLit(100000))),
+		// posY = (posY + speed*23) % 160000
+		Assign(FieldRef("App.posY"),
+			Bin(dex.OpRem,
+				Bin(dex.OpAdd, FieldRef("App.posY"),
+					Bin(dex.OpMul, FieldRef("App.speed"), IntLit(23))),
+				IntLit(160000))),
+		Do(APICall(dex.APIUIDraw, FieldRef("App.posX"))),
+		RetVoid(),
+	}
+	spawnBody := []Stmt{
+		// New fish: size from a small palette.
+		Assign(FieldRef("App.width"),
+			Bin(dex.OpAdd, Bin(dex.OpMul, Bin(dex.OpRem, ArgRef(0), IntLit(7)), IntLit(4)), IntLit(12))),
+		Assign(FieldRef("App.height"),
+			Bin(dex.OpAdd, Bin(dex.OpMul, Bin(dex.OpRem, ArgRef(1), IntLit(5)), IntLit(4)), IntLit(10))),
+		RetVoid(),
+	}
+	tapBody := []Stmt{
+		// Catch the fish when the tap grid cell matches its position.
+		If(Cmp(CmpEq,
+			Bin(dex.OpRem, ArgRef(0), IntLit(32)),
+			Bin(dex.OpRem, FieldRef("App.posX"), IntLit(32))),
+			[]Stmt{
+				Assign(FieldRef("App.score"), Bin(dex.OpAdd, FieldRef("App.score"), IntLit(10))),
+				Do(APICall(dex.APIPlaySound, IntLit(2))),
+			}, nil),
+		// Hidden bonus mode: an existing medium QC on score.
+		If(Cmp(CmpEq, FieldRef("App.score"), IntLit(150)), []Stmt{
+			Do(APICall(dex.APIVibrate, IntLit(120))),
+			Assign(FieldRef("App.speed"), IntLit(20)),
+		}, nil),
+		RetVoid(),
+	}
+	return []MethodSpec{
+		{Name: "onFishMove", NumArgs: 2, Flags: dex.FlagHandler, Body: moveBody},
+		{Name: "onFishSpawn", NumArgs: 2, Flags: dex.FlagHandler, Body: spawnBody},
+		{Name: "onFishTap", NumArgs: 2, Flags: dex.FlagHandler, Body: tapBody},
+	}
+}

@@ -1,0 +1,201 @@
+// Package appgen synthesizes Android-like apps as dex bytecode: an
+// AST of statements and expressions, a compiler from the AST to
+// register bytecode, a parameterized random program generator, the
+// eight named evaluation apps from the paper's Tables 2/3 (AndroFish,
+// Angulo, SWJournal, Calendar, BRouter, Binaural Beat, Hash Droid,
+// CatLog), and the 963-app corpus behind Table 1. The paper evaluates
+// on F-Droid apps; this generator reproduces the *statistics* that
+// matter to BombDroid — method counts, qualified-condition density and
+// type mix, environment-variable usage, hot/cold skew, and program
+// variables with controllable entropy.
+package appgen
+
+import (
+	"bombdroid/internal/dex"
+)
+
+// ExprKind discriminates expression nodes.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	EInt   ExprKind = iota // integer literal
+	EStr                   // string literal
+	EField                 // static field "Class.field"
+	EArg                   // handler/method argument index
+	ELocal                 // named local
+	EBin                   // binary arithmetic (Op)
+	ECall                  // method call (Method, Args)
+	EAPI                   // framework call (API, Args)
+)
+
+// Expr is an expression node (a compact tagged union — the generator
+// allocates millions of these, so no interface boxing).
+type Expr struct {
+	Kind   ExprKind
+	Int    int64
+	Str    string
+	Field  string
+	Arg    int
+	Local  string
+	Op     dex.Op
+	API    dex.API
+	Method string
+	Args   []Expr
+}
+
+// Convenience constructors.
+
+// IntLit returns an integer literal.
+func IntLit(v int64) Expr { return Expr{Kind: EInt, Int: v} }
+
+// StrLit returns a string literal.
+func StrLit(s string) Expr { return Expr{Kind: EStr, Str: s} }
+
+// FieldRef returns a static field reference.
+func FieldRef(ref string) Expr { return Expr{Kind: EField, Field: ref} }
+
+// ArgRef returns an argument reference.
+func ArgRef(i int) Expr { return Expr{Kind: EArg, Arg: i} }
+
+// LocalRef returns a local variable reference.
+func LocalRef(name string) Expr { return Expr{Kind: ELocal, Local: name} }
+
+// Bin returns a binary arithmetic expression.
+func Bin(op dex.Op, l, r Expr) Expr { return Expr{Kind: EBin, Op: op, Args: []Expr{l, r}} }
+
+// Call returns a method-call expression.
+func Call(method string, args ...Expr) Expr {
+	return Expr{Kind: ECall, Method: method, Args: args}
+}
+
+// APICall returns a framework-call expression.
+func APICall(api dex.API, args ...Expr) Expr {
+	return Expr{Kind: EAPI, API: api, Args: args}
+}
+
+// CondKind discriminates condition nodes.
+type CondKind uint8
+
+// Condition kinds.
+const (
+	CCmp    CondKind = iota // integer comparison (CmpOp)
+	CTruthy                 // nonzero test
+	CStrCmp                 // string comparison API against a literal
+)
+
+// CmpOp is the comparison in a CCmp condition.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// Cond is a branch condition.
+type Cond struct {
+	Kind CondKind
+	Op   CmpOp
+	API  dex.API // equals/startsWith/endsWith for CStrCmp
+	L, R Expr    // R must be a literal for QC-forming conditions
+}
+
+// Cmp builds an integer comparison condition.
+func Cmp(op CmpOp, l, r Expr) Cond { return Cond{Kind: CCmp, Op: op, L: l, R: r} }
+
+// Truthy builds a nonzero test.
+func Truthy(e Expr) Cond { return Cond{Kind: CTruthy, L: e} }
+
+// StrCmp builds a string comparison condition.
+func StrCmp(api dex.API, l, r Expr) Cond { return Cond{Kind: CStrCmp, API: api, L: l, R: r} }
+
+// StmtKind discriminates statement nodes.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SAssign StmtKind = iota // Target = E
+	SIf                     // if Cond { Then } else { Else }
+	SSwitch                 // switch E { Cases / Default }
+	SFor                    // bounded loop: N iterations of Body
+	SExpr                   // evaluate E for effect
+	SReturn                 // return E (or void if E.Kind == EInt && Void)
+)
+
+// Case is one switch arm.
+type Case struct {
+	Val  int64
+	Body []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind    StmtKind
+	Target  Expr // SAssign: EField or ELocal
+	E       Expr
+	Cond    Cond
+	Then    []Stmt
+	Else    []Stmt
+	Cases   []Case
+	Default []Stmt
+	N       int64 // SFor iteration count
+	Body    []Stmt
+	Void    bool // SReturn without value
+}
+
+// Assign builds Target = E.
+func Assign(target, e Expr) Stmt { return Stmt{Kind: SAssign, Target: target, E: e} }
+
+// If builds a conditional.
+func If(c Cond, then []Stmt, els []Stmt) Stmt {
+	return Stmt{Kind: SIf, Cond: c, Then: then, Else: els}
+}
+
+// Switch builds a table switch.
+func Switch(e Expr, cases []Case, def []Stmt) Stmt {
+	return Stmt{Kind: SSwitch, E: e, Cases: cases, Default: def}
+}
+
+// For builds a bounded counted loop.
+func For(n int64, body []Stmt) Stmt { return Stmt{Kind: SFor, N: n, Body: body} }
+
+// Do builds an expression statement.
+func Do(e Expr) Stmt { return Stmt{Kind: SExpr, E: e} }
+
+// Ret builds return E.
+func Ret(e Expr) Stmt { return Stmt{Kind: SReturn, E: e} }
+
+// RetVoid builds a void return.
+func RetVoid() Stmt { return Stmt{Kind: SReturn, Void: true} }
+
+// CountStmts returns the source-line count of a body, recursively —
+// the repository's "lines of code" metric for generated apps. It
+// counts one line per statement plus one closing-brace line per
+// nested block, approximating what CLOC reports for the equivalent
+// Java (the paper measures LOC with CLOC); method and class overhead
+// is added by the generator's LOC accounting.
+func CountStmts(body []Stmt) int {
+	n := 0
+	for i := range body {
+		s := &body[i]
+		n++
+		n += blockLines(s.Then) + blockLines(s.Else) + blockLines(s.Body) + blockLines(s.Default)
+		for _, c := range s.Cases {
+			n += blockLines(c.Body)
+		}
+	}
+	return n
+}
+
+// blockLines counts a nested block plus its closing brace line.
+func blockLines(body []Stmt) int {
+	if len(body) == 0 {
+		return 0
+	}
+	return CountStmts(body) + 1
+}

@@ -1,0 +1,350 @@
+package appgen
+
+import (
+	"fmt"
+
+	"bombdroid/internal/dex"
+)
+
+// compiler lowers one method body to bytecode.
+type compiler struct {
+	b       *dex.Builder
+	f       *dex.File
+	locals  map[string]int32
+	nextLbl int
+}
+
+// CompileMethod compiles body into a method. Locals are allocated
+// ahead of temporaries so statement-scoped temporary reuse never
+// collides with them. Equality conditions compile to the branch shapes
+// cfg.FindQCs recognizes, so AST-level QCs and bytecode-level QCs
+// correspond one-to-one.
+func CompileMethod(f *dex.File, name string, numArgs int, flags dex.MethodFlags, body []Stmt) (*dex.Method, error) {
+	b := dex.NewBuilder(f, name, numArgs)
+	b.SetFlags(flags)
+	c := &compiler{b: b, f: f, locals: map[string]int32{}}
+	for _, l := range collectLocals(body, nil) {
+		if _, dup := c.locals[l]; !dup {
+			c.locals[l] = b.Reg()
+		}
+	}
+	if err := c.stmts(body); err != nil {
+		return nil, fmt.Errorf("appgen: compiling %s: %w", name, err)
+	}
+	return b.Finish()
+}
+
+// collectLocals gathers local names in first-assignment order.
+func collectLocals(body []Stmt, acc []string) []string {
+	var walkExpr func(e *Expr)
+	walkExpr = func(e *Expr) {
+		if e.Kind == ELocal {
+			acc = append(acc, e.Local)
+		}
+		for i := range e.Args {
+			walkExpr(&e.Args[i])
+		}
+	}
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for i := range body {
+			s := &body[i]
+			if s.Kind == SAssign {
+				walkExpr(&s.Target)
+			}
+			walkExpr(&s.E)
+			walkExpr(&s.Cond.L)
+			walkExpr(&s.Cond.R)
+			walk(s.Then)
+			walk(s.Else)
+			walk(s.Body)
+			walk(s.Default)
+			for _, cs := range s.Cases {
+				walk(cs.Body)
+			}
+		}
+	}
+	walk(body)
+	// Deduplicate, preserving order.
+	seen := map[string]bool{}
+	out := acc[:0]
+	for _, l := range acc {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (c *compiler) label(prefix string) string {
+	c.nextLbl++
+	return fmt.Sprintf("%s%d", prefix, c.nextLbl)
+}
+
+func (c *compiler) stmts(body []Stmt) error {
+	for i := range body {
+		if err := c.stmt(&body[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s *Stmt) error {
+	mark := c.b.Mark()
+	defer c.b.Release(mark)
+	switch s.Kind {
+	case SAssign:
+		switch s.Target.Kind {
+		case EField:
+			r, err := c.expr(&s.E)
+			if err != nil {
+				return err
+			}
+			c.b.PutStatic(s.Target.Field, r)
+		case ELocal:
+			dst, ok := c.locals[s.Target.Local]
+			if !ok {
+				return fmt.Errorf("unknown local %q", s.Target.Local)
+			}
+			r, err := c.expr(&s.E)
+			if err != nil {
+				return err
+			}
+			c.b.Move(dst, r)
+		default:
+			return fmt.Errorf("bad assignment target kind %d", s.Target.Kind)
+		}
+
+	case SIf:
+		els := c.label("else")
+		join := c.label("join")
+		target := els
+		if len(s.Else) == 0 {
+			target = join
+		}
+		if err := c.condFalseJump(&s.Cond, target); err != nil {
+			return err
+		}
+		if err := c.stmts(s.Then); err != nil {
+			return err
+		}
+		if len(s.Else) > 0 {
+			c.b.Goto(join)
+			c.b.Label(els)
+			if err := c.stmts(s.Else); err != nil {
+				return err
+			}
+		}
+		c.b.Label(join)
+
+	case SSwitch:
+		r, err := c.expr(&s.E)
+		if err != nil {
+			return err
+		}
+		matches := make([]int64, len(s.Cases))
+		caseLabels := make([]string, len(s.Cases))
+		for i, cs := range s.Cases {
+			matches[i] = cs.Val
+			caseLabels[i] = c.label("case")
+		}
+		defLbl := c.label("default")
+		join := c.label("swjoin")
+		c.b.Switch(r, matches, caseLabels, defLbl)
+		for i, cs := range s.Cases {
+			c.b.Label(caseLabels[i])
+			if err := c.stmts(cs.Body); err != nil {
+				return err
+			}
+			c.b.Goto(join)
+		}
+		c.b.Label(defLbl)
+		if err := c.stmts(s.Default); err != nil {
+			return err
+		}
+		c.b.Label(join)
+
+	case SFor:
+		i := c.b.Reg()
+		lim := c.b.Reg()
+		c.b.ConstInt(i, 0)
+		c.b.ConstInt(lim, s.N)
+		head := c.label("for")
+		done := c.label("forend")
+		c.b.Label(head)
+		c.b.Branch(dex.OpIfGe, i, lim, done)
+		if err := c.stmts(s.Body); err != nil {
+			return err
+		}
+		c.b.AddK(i, i, 1)
+		c.b.Goto(head)
+		c.b.Label(done)
+
+	case SExpr:
+		if _, err := c.exprVoidOK(&s.E); err != nil {
+			return err
+		}
+
+	case SReturn:
+		if s.Void {
+			c.b.ReturnVoid()
+			return nil
+		}
+		r, err := c.expr(&s.E)
+		if err != nil {
+			return err
+		}
+		c.b.Return(r)
+
+	default:
+		return fmt.Errorf("bad statement kind %d", s.Kind)
+	}
+	return nil
+}
+
+// condFalseJump emits code that jumps to target when the condition is
+// FALSE (the if-then fallthrough shape that keeps equality conditions
+// recognizable as QCs with weavable then-regions).
+func (c *compiler) condFalseJump(cond *Cond, target string) error {
+	switch cond.Kind {
+	case CTruthy:
+		r, err := c.expr(&cond.L)
+		if err != nil {
+			return err
+		}
+		c.b.BranchZ(dex.OpIfEqz, r, target)
+		return nil
+
+	case CStrCmp:
+		l, err := c.expr(&cond.L)
+		if err != nil {
+			return err
+		}
+		r, err := c.expr(&cond.R)
+		if err != nil {
+			return err
+		}
+		res := c.b.Reg()
+		c.b.CallAPI(res, cond.API, l, r)
+		c.b.BranchZ(dex.OpIfEqz, res, target)
+		return nil
+
+	case CCmp:
+		l, err := c.expr(&cond.L)
+		if err != nil {
+			return err
+		}
+		r, err := c.expr(&cond.R)
+		if err != nil {
+			return err
+		}
+		var negated dex.Op
+		switch cond.Op {
+		case CmpEq:
+			negated = dex.OpIfNe
+		case CmpNe:
+			negated = dex.OpIfEq
+		case CmpLt:
+			negated = dex.OpIfGe
+		case CmpLe:
+			negated = dex.OpIfGt
+		case CmpGt:
+			negated = dex.OpIfLe
+		case CmpGe:
+			negated = dex.OpIfLt
+		default:
+			return fmt.Errorf("bad cmp op %d", cond.Op)
+		}
+		c.b.Branch(negated, l, r, target)
+		return nil
+	}
+	return fmt.Errorf("bad condition kind %d", cond.Kind)
+}
+
+// expr evaluates to a register holding the value.
+func (c *compiler) expr(e *Expr) (int32, error) {
+	r, err := c.exprVoidOK(e)
+	if err != nil {
+		return 0, err
+	}
+	if r == -1 {
+		return 0, fmt.Errorf("void expression used as value")
+	}
+	return r, nil
+}
+
+// exprVoidOK evaluates an expression; void API calls return -1.
+func (c *compiler) exprVoidOK(e *Expr) (int32, error) {
+	switch e.Kind {
+	case EInt:
+		r := c.b.Reg()
+		c.b.ConstInt(r, e.Int)
+		return r, nil
+	case EStr:
+		r := c.b.Reg()
+		c.b.ConstStr(r, e.Str)
+		return r, nil
+	case EField:
+		r := c.b.Reg()
+		c.b.GetStatic(r, e.Field)
+		return r, nil
+	case EArg:
+		return int32(e.Arg), nil
+	case ELocal:
+		r, ok := c.locals[e.Local]
+		if !ok {
+			return 0, fmt.Errorf("unknown local %q", e.Local)
+		}
+		return r, nil
+	case EBin:
+		if len(e.Args) != 2 {
+			return 0, fmt.Errorf("binary op with %d operands", len(e.Args))
+		}
+		l, err := c.expr(&e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		r, err := c.expr(&e.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		dst := c.b.Reg()
+		c.b.Arith(e.Op, dst, l, r)
+		return dst, nil
+	case ECall, EAPI:
+		regs := make([]int32, len(e.Args))
+		for i := range e.Args {
+			r, err := c.expr(&e.Args[i])
+			if err != nil {
+				return 0, err
+			}
+			regs[i] = r
+		}
+		if e.Kind == ECall {
+			dst := c.b.Reg()
+			c.b.Invoke(dst, e.Method, regs...)
+			return dst, nil
+		}
+		if isVoidAPI(e.API) {
+			c.b.CallAPI(-1, e.API, regs...)
+			return -1, nil
+		}
+		dst := c.b.Reg()
+		c.b.CallAPI(dst, e.API, regs...)
+		return dst, nil
+	}
+	return 0, fmt.Errorf("bad expression kind %d", e.Kind)
+}
+
+// isVoidAPI lists APIs with no return value.
+func isVoidAPI(api dex.API) bool {
+	switch api {
+	case dex.APILog, dex.APIUIDraw, dex.APIPlaySound, dex.APIVibrate,
+		dex.APIReportPiracy, dex.APIWarnUser, dex.APICrash,
+		dex.APILeakMemory, dex.APISpinLoop, dex.APIDelayBomb:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CategorySpec drives corpus generation for one Table 1 row: the app
+// count and the averages the generated population should reproduce.
+type CategorySpec struct {
+	Name        string
+	Apps        int
+	AvgLOC      int
+	AvgEnvVars  int
+	QCPerMethod float64
+	// StmtsPerMethod controls method granularity so candidate-method
+	// counts track the paper's per-category averages.
+	StmtsPerMethod int
+}
+
+// Categories reproduces the corpus composition of Table 1
+// (963 F-Droid apps across eight categories). QCPerMethod and
+// StmtsPerMethod are derived from the paper's per-category averages
+// (avg LOC / avg candidate methods / avg existing QCs).
+var Categories = []CategorySpec{
+	{Name: "Game", Apps: 105, AvgLOC: 3043, AvgEnvVars: 16, QCPerMethod: 0.53, StmtsPerMethod: 15},
+	{Name: "Science&Edu.", Apps: 98, AvgLOC: 4046, AvgEnvVars: 8, QCPerMethod: 0.46, StmtsPerMethod: 23},
+	{Name: "Sport&Health", Apps: 87, AvgLOC: 5467, AvgEnvVars: 11, QCPerMethod: 0.32, StmtsPerMethod: 24},
+	{Name: "Writing", Apps: 149, AvgLOC: 7099, AvgEnvVars: 6, QCPerMethod: 0.40, StmtsPerMethod: 24},
+	{Name: "Navigation", Apps: 121, AvgLOC: 9374, AvgEnvVars: 9, QCPerMethod: 0.25, StmtsPerMethod: 25},
+	{Name: "Multimedia", Apps: 108, AvgLOC: 10032, AvgEnvVars: 17, QCPerMethod: 0.32, StmtsPerMethod: 25},
+	{Name: "Security", Apps: 152, AvgLOC: 11073, AvgEnvVars: 12, QCPerMethod: 0.32, StmtsPerMethod: 23},
+	{Name: "Development", Apps: 143, AvgLOC: 14376, AvgEnvVars: 11, QCPerMethod: 0.22, StmtsPerMethod: 19},
+}
+
+// CorpusSize is the total number of apps in the evaluation corpus.
+func CorpusSize() int {
+	n := 0
+	for _, c := range Categories {
+		n += c.Apps
+	}
+	return n
+}
+
+// CategoryConfig builds the generation config for the i-th app of a
+// category, jittering sizes around the category average so the
+// population has realistic spread while its mean matches Table 1.
+func CategoryConfig(spec CategorySpec, i int) Config {
+	rng := rand.New(rand.NewSource(int64(i)*7919 + int64(len(spec.Name))*104729))
+	loc := int(float64(spec.AvgLOC) * (0.6 + rng.Float64()*0.8)) // ±40%
+	env := spec.AvgEnvVars + rng.Intn(5) - 2
+	if env < 1 {
+		env = 1
+	}
+	return Config{
+		Name:           fmt.Sprintf("%s-%03d", spec.Name, i),
+		Category:       spec.Name,
+		Seed:           int64(i+1) * 15485863,
+		TargetLOC:      loc,
+		EnvVars:        env,
+		QCPerMethod:    spec.QCPerMethod * (0.8 + rng.Float64()*0.4),
+		StmtsPerMethod: spec.StmtsPerMethod,
+	}
+}
+
+// GenerateCategory generates all apps of one category, invoking visit
+// for each so callers can aggregate statistics without holding the
+// whole corpus in memory. Generation stops at the first error.
+func GenerateCategory(spec CategorySpec, visit func(*App) error) error {
+	for i := 0; i < spec.Apps; i++ {
+		app, err := Generate(CategoryConfig(spec, i))
+		if err != nil {
+			return fmt.Errorf("appgen: category %s app %d: %w", spec.Name, i, err)
+		}
+		if err := visit(app); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SampleCategory generates only n evenly spaced apps of a category —
+// the subsampling hook benchmarks use to keep runtimes sane while
+// preserving the population mean.
+func SampleCategory(spec CategorySpec, n int, visit func(*App) error) error {
+	if n <= 0 || n > spec.Apps {
+		n = spec.Apps
+	}
+	step := spec.Apps / n
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < spec.Apps && n > 0; i += step {
+		app, err := Generate(CategoryConfig(spec, i))
+		if err != nil {
+			return fmt.Errorf("appgen: category %s app %d: %w", spec.Name, i, err)
+		}
+		if err := visit(app); err != nil {
+			return err
+		}
+		n--
+	}
+	return nil
+}

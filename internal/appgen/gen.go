@@ -1,0 +1,634 @@
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/dex"
+)
+
+// Config parameterizes app generation. Every knob maps to a statistic
+// the paper's evaluation depends on (Table 1 columns, QC type mix for
+// Figure 4, hot-method skew for candidate selection).
+type Config struct {
+	Name     string
+	Category string
+	Seed     int64
+
+	TargetLOC      int     // approximate lines of code
+	StmtsPerMethod int     // average method size (statements)
+	HandlerFrac    float64 // fraction of methods that are event handlers
+	QCPerMethod    float64 // expected equality conditions per method
+	// QCTypeMix weights {weak(bool), medium(int), strong(string)}
+	// equality conditions among generated QCs.
+	QCTypeMix   [3]float64
+	EnvVars     int // distinct environment variables the app reads
+	IntFields   int
+	StrFields   int
+	BoolFields  int
+	Screens     int     // UI screens gating handler activity (default 4)
+	HotMethods  int     // always-invoked helpers (render/tick)
+	LoopFrac    float64 // fraction of methods containing a bounded loop
+	ParamDomain int64   // handler int args are drawn from [0, ParamDomain)
+
+	// ExtraMethods lets named apps add hand-written behaviour (e.g.
+	// AndroFish's fish-movement variables from Figure 3).
+	ExtraMethods []MethodSpec
+	// ExtraFields adds named static fields.
+	ExtraFields []dex.Field
+}
+
+// MethodSpec is a hand-authored method for ExtraMethods.
+type MethodSpec struct {
+	Name    string
+	NumArgs int
+	Flags   dex.MethodFlags
+	Body    []Stmt
+}
+
+// App is a generated application.
+type App struct {
+	Name     string
+	Category string
+	Config   Config
+	File     *dex.File
+	LOC      int
+
+	IntFieldRefs  []string // "App.xxx" refs of integer program variables
+	StrFieldRefs  []string
+	BoolFieldRefs []string
+	EnvVarNames   []string // distinct env vars read by app code
+	Handlers      []string // full method names, stable order
+
+	// HandlerScreens maps each handler to the UI screen it is active
+	// on; -1 marks navigation handlers that are always active. The
+	// current screen lives in the ScreenField static.
+	HandlerScreens map[string]int64
+	ScreenField    string
+}
+
+// ClassName is the single app class every generated app uses.
+const ClassName = "App"
+
+// withDefaults fills zero fields with sane values.
+func (c Config) withDefaults() Config {
+	if c.TargetLOC == 0 {
+		c.TargetLOC = 4000
+	}
+	if c.StmtsPerMethod == 0 {
+		c.StmtsPerMethod = 18
+	}
+	if c.HandlerFrac == 0 {
+		c.HandlerFrac = 0.3
+	}
+	if c.QCPerMethod == 0 {
+		c.QCPerMethod = 0.5
+	}
+	if c.QCTypeMix == [3]float64{} {
+		c.QCTypeMix = [3]float64{0.5, 0.35, 0.15}
+	}
+	if c.EnvVars == 0 {
+		c.EnvVars = 8
+	}
+	if c.IntFields == 0 {
+		c.IntFields = 12
+	}
+	if c.StrFields == 0 {
+		c.StrFields = 4
+	}
+	if c.BoolFields == 0 {
+		c.BoolFields = 4
+	}
+	if c.HotMethods == 0 {
+		c.HotMethods = 3
+	}
+	if c.Screens == 0 {
+		c.Screens = 4
+	}
+	if c.LoopFrac == 0 {
+		c.LoopFrac = 0.25
+	}
+	if c.ParamDomain == 0 {
+		c.ParamDomain = 64
+	}
+	return c
+}
+
+type fieldInfo struct {
+	ref    string
+	domain int64    // int fields: values are [0, domain)
+	vals   []string // str fields: value set
+}
+
+// generator holds generation state.
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	ints    []fieldInfo
+	strs    []fieldInfo
+	bools   []fieldInfo
+	envVars []string
+	helpers []string // full names, callable DAG-ordered
+	hot     []string
+	loc     int
+}
+
+// Generate builds a deterministic app from the config.
+func Generate(cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.pickEnvVars()
+	g.makeFields()
+
+	f := dex.NewFile()
+	cls := &dex.Class{Name: ClassName}
+	for _, fi := range g.ints {
+		cls.Fields = append(cls.Fields, dex.Field{Name: fieldName(fi.ref), Init: dex.Int64(g.rng.Int63n(fi.domain))})
+	}
+	for _, fi := range g.strs {
+		cls.Fields = append(cls.Fields, dex.Field{Name: fieldName(fi.ref), Init: dex.Str(fi.vals[0])})
+	}
+	for _, fi := range g.bools {
+		cls.Fields = append(cls.Fields, dex.Field{Name: fieldName(fi.ref), Init: dex.Bool(g.rng.Intn(2) == 0)})
+	}
+	cls.Fields = append(cls.Fields, dex.Field{Name: "screen", Init: dex.Int64(0)})
+	cls.Fields = append(cls.Fields, cfg.ExtraFields...)
+
+	// Nested blocks (if/switch bodies) add roughly a 1.65x statement
+	// multiplier over top-level counts; fold it in so LOC lands near
+	// the target.
+	numMethods := cfg.TargetLOC * 3 / ((cfg.StmtsPerMethod + 2) * 5)
+	if numMethods < 8 {
+		numMethods = 8
+	}
+	numHandlers := int(float64(numMethods) * cfg.HandlerFrac)
+	if numHandlers < 4 {
+		numHandlers = 4
+	}
+	numHelpers := numMethods - numHandlers
+	if numHelpers < cfg.HotMethods+2 {
+		numHelpers = cfg.HotMethods + 2
+	}
+
+	// Helper names first: helper i may call helpers j > i (a DAG).
+	for i := 0; i < numHelpers; i++ {
+		g.helpers = append(g.helpers, fmt.Sprintf("%s.helper%d", ClassName, i))
+	}
+	g.hot = g.helpers[:cfg.HotMethods]
+
+	app := &App{
+		Name: cfg.Name, Category: cfg.Category, Config: cfg, File: f,
+		HandlerScreens: map[string]int64{},
+		ScreenField:    ClassName + ".screen",
+	}
+
+	// Hot methods: tiny, loop-heavy, invoked from every handler.
+	for i, full := range g.helpers {
+		var body []Stmt
+		if i < cfg.HotMethods {
+			body = g.hotBody()
+		} else {
+			body = g.helperBody(i)
+		}
+		body = append(body, RetVoid())
+		m, err := CompileMethod(f, fieldName(full), 1, 0, body)
+		if err != nil {
+			return nil, err
+		}
+		g.loc += CountStmts(body) + 2
+		cls.AddMethod(m)
+	}
+
+	// onCreate.
+	initBody := g.initBody()
+	initBody = append(initBody, RetVoid())
+	m, err := CompileMethod(f, "onCreate", 0, dex.FlagInit, initBody)
+	if err != nil {
+		return nil, err
+	}
+	g.loc += CountStmts(initBody) + 2
+	cls.AddMethod(m)
+
+	// Handlers: onEvent<i>(a, b). The first two are navigation
+	// handlers (always active, they switch the current screen); the
+	// rest are gated on their screen, modelling UI reachability: an
+	// input generator without a UI model wastes most events on
+	// inactive widgets.
+	for i := 0; i < numHandlers; i++ {
+		var body []Stmt
+		name := fmt.Sprintf("onEvent%d", i)
+		full := ClassName + "." + name
+		if i < 2 {
+			body = append(body,
+				Assign(FieldRef(app.ScreenField),
+					Bin(dex.OpRem, ArgRef(0), IntLit(int64(cfg.Screens)))))
+			body = append(body, g.handlerBody()...)
+			app.HandlerScreens[full] = -1
+		} else {
+			scr := int64(i % cfg.Screens)
+			body = append(body,
+				If(Cmp(CmpNe, FieldRef(app.ScreenField), IntLit(scr)),
+					[]Stmt{RetVoid()}, nil))
+			body = append(body, g.handlerBody()...)
+			app.HandlerScreens[full] = scr
+		}
+		body = append(body, RetVoid())
+		m, err := CompileMethod(f, name, 2, dex.FlagHandler, body)
+		if err != nil {
+			return nil, err
+		}
+		g.loc += CountStmts(body) + 2
+		cls.AddMethod(m)
+		app.Handlers = append(app.Handlers, full)
+	}
+
+	// Hand-authored extras.
+	for _, spec := range cfg.ExtraMethods {
+		m, err := CompileMethod(f, spec.Name, spec.NumArgs, spec.Flags, spec.Body)
+		if err != nil {
+			return nil, err
+		}
+		g.loc += CountStmts(spec.Body) + 2
+		cls.AddMethod(m)
+		if spec.Flags&dex.FlagHandler != 0 {
+			full := ClassName + "." + spec.Name
+			app.Handlers = append(app.Handlers, full)
+			app.HandlerScreens[full] = -1
+		}
+	}
+
+	if err := f.AddClass(cls); err != nil {
+		return nil, err
+	}
+	if err := dex.ValidateLinked(f); err != nil {
+		return nil, fmt.Errorf("appgen: generated app invalid: %w", err)
+	}
+
+	app.LOC = g.loc + 2
+	for _, fi := range g.ints {
+		app.IntFieldRefs = append(app.IntFieldRefs, fi.ref)
+	}
+	for _, fi := range g.strs {
+		app.StrFieldRefs = append(app.StrFieldRefs, fi.ref)
+	}
+	for _, fi := range g.bools {
+		app.BoolFieldRefs = append(app.BoolFieldRefs, fi.ref)
+	}
+	app.EnvVarNames = append(app.EnvVarNames, g.envVars...)
+	return app, nil
+}
+
+func fieldName(ref string) string {
+	for i := len(ref) - 1; i >= 0; i-- {
+		if ref[i] == '.' {
+			return ref[i+1:]
+		}
+	}
+	return ref
+}
+
+func (g *generator) pickEnvVars() {
+	names := android.Names()
+	g.rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	n := g.cfg.EnvVars
+	if n > len(names) {
+		n = len(names)
+	}
+	g.envVars = names[:n]
+}
+
+var strDomains = [][]string{
+	{"idle", "running", "paused", "stopped"},
+	{"easy", "normal", "hard"},
+	{"menu", "game", "settings", "scores", "about"},
+	{"red", "green", "blue", "gold"},
+	{"guest", "user", "admin"},
+}
+
+func (g *generator) makeFields() {
+	for i := 0; i < g.cfg.IntFields; i++ {
+		// Mostly small UI-ish domains, plus the occasional
+		// high-entropy value (session ids, magic constants — the
+		// paper's `mMode == 0xfff000` example): those make strong
+		// brute-force-resistant triggers that fuzzing rarely
+		// satisfies.
+		domains := []int64{4, 8, 16, 32, 64, 100, 256, 1000, 1 << 20, 1 << 28}
+		g.ints = append(g.ints, fieldInfo{
+			ref:    fmt.Sprintf("%s.ivar%d", ClassName, i),
+			domain: domains[g.rng.Intn(len(domains))],
+		})
+	}
+	for i := 0; i < g.cfg.StrFields; i++ {
+		g.strs = append(g.strs, fieldInfo{
+			ref:  fmt.Sprintf("%s.svar%d", ClassName, i),
+			vals: strDomains[g.rng.Intn(len(strDomains))],
+		})
+	}
+	for i := 0; i < g.cfg.BoolFields; i++ {
+		g.bools = append(g.bools, fieldInfo{
+			ref:    fmt.Sprintf("%s.bvar%d", ClassName, i),
+			domain: 2,
+		})
+	}
+}
+
+// randIntField returns a random int field.
+func (g *generator) randIntField() fieldInfo { return g.ints[g.rng.Intn(len(g.ints))] }
+
+func (g *generator) randStrField() fieldInfo { return g.strs[g.rng.Intn(len(g.strs))] }
+
+func (g *generator) randBoolField() fieldInfo { return g.bools[g.rng.Intn(len(g.bools))] }
+
+// fieldUpdate: a statement mutating a program variable within its
+// domain (keeps the field's value set enumerable — the entropy source
+// Figure 3 visualizes and artificial QCs profile).
+func (g *generator) fieldUpdate(argc int) Stmt {
+	switch g.rng.Intn(4) {
+	case 0: // counter step: f = (f + k) % domain
+		fi := g.randIntField()
+		k := 1 + g.rng.Int63n(5)
+		return Assign(FieldRef(fi.ref),
+			Bin(dex.OpRem, Bin(dex.OpAdd, FieldRef(fi.ref), IntLit(k)), IntLit(fi.domain)))
+	case 1: // absorb an event arg: f = arg % domain
+		fi := g.randIntField()
+		src := IntLit(g.rng.Int63n(fi.domain))
+		if argc > 0 {
+			src = Bin(dex.OpRem, ArgRef(g.rng.Intn(argc)), IntLit(fi.domain))
+		}
+		return Assign(FieldRef(fi.ref), src)
+	case 2: // mode string rotate
+		fi := g.randStrField()
+		return Assign(FieldRef(fi.ref), StrLit(fi.vals[g.rng.Intn(len(fi.vals))]))
+	default: // toggle a flag
+		fi := g.randBoolField()
+		return Assign(FieldRef(fi.ref), Bin(dex.OpXor, FieldRef(fi.ref), IntLit(1)))
+	}
+}
+
+// qcIf: an equality condition against a constant — an existing
+// qualified condition the protector can transform into a bomb.
+func (g *generator) qcIf(argc, minCallee int) Stmt {
+	mix := g.cfg.QCTypeMix
+	x := g.rng.Float64() * (mix[0] + mix[1] + mix[2])
+	var cond Cond
+	switch {
+	case x < mix[0]: // weak: boolean flag
+		cond = Truthy(FieldRef(g.randBoolField().ref))
+	case x < mix[0]+mix[1]: // medium: int equality
+		fi := g.randIntField()
+		lhs := FieldRef(fi.ref)
+		cval := g.rng.Int63n(fi.domain)
+		if argc > 0 && g.rng.Intn(3) == 0 {
+			lhs = Bin(dex.OpRem, ArgRef(g.rng.Intn(argc)), IntLit(fi.domain))
+		}
+		cond = Cmp(CmpEq, lhs, IntLit(cval))
+	default: // strong: string equality
+		fi := g.randStrField()
+		api := dex.APIStrEquals
+		switch g.rng.Intn(4) {
+		case 0:
+			api = dex.APIStrStartsWith
+		case 1:
+			api = dex.APIStrEndsWith
+		}
+		cond = StrCmp(api, FieldRef(fi.ref), StrLit(fi.vals[g.rng.Intn(len(fi.vals))]))
+	}
+	return If(cond, g.actionBlock(argc, minCallee), nil)
+}
+
+// actionBlock: statics-only side effects (weavable then-regions).
+func (g *generator) actionBlock(argc, minCallee int) []Stmt {
+	n := 1 + g.rng.Intn(3)
+	var out []Stmt
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(5) {
+		case 0:
+			out = append(out, g.fieldUpdate(argc))
+		case 1:
+			out = append(out, Do(APICall(dex.APIUIDraw, IntLit(g.rng.Int63n(8)))))
+		case 2:
+			out = append(out, Do(APICall(dex.APIVibrate, IntLit(10+g.rng.Int63n(90)))))
+		case 3:
+			out = append(out, Do(APICall(dex.APIPlaySound, IntLit(g.rng.Int63n(12)))))
+		default:
+			// Calls stay within the helper DAG (only later helpers) so
+			// generated apps never recurse.
+			if minCallee < len(g.helpers) {
+				callee := g.helpers[minCallee+g.rng.Intn(len(g.helpers)-minCallee)]
+				out = append(out, Do(Call(callee, IntLit(g.rng.Int63n(16)))))
+			} else {
+				out = append(out, g.fieldUpdate(argc))
+			}
+		}
+	}
+	return out
+}
+
+// envIf: reads an environment variable (inequality guard — counted in
+// Table 1's env-var column but not itself a QC).
+func (g *generator) envIf() Stmt {
+	name := g.envVars[g.rng.Intn(len(g.envVars))]
+	spec := android.Spec(name)
+	// Prefer integer environment variables: their threshold guards
+	// are plain inequalities, which is what most real env checks are.
+	if spec != nil && spec.Kind == android.VarStr && g.rng.Intn(4) != 0 {
+		for _, alt := range g.envVars {
+			if as := android.Spec(alt); as != nil && as.Kind == android.VarInt {
+				name, spec = alt, as
+				break
+			}
+		}
+	}
+	var read Expr
+	var cond Cond
+	if spec != nil && spec.Kind == android.VarStr {
+		read = APICall(dex.APIGetEnvStr, StrLit(name))
+		v := spec.StrVals[g.rng.Intn(len(spec.StrVals))].Val
+		// contains() is not an equality API, so this guard is not a
+		// qualified condition; most real env checks are fuzzy.
+		cond = StrCmp(dex.APIStrContains, read, StrLit(v))
+	} else {
+		read = APICall(dex.APIGetEnvInt, StrLit(name))
+		lo, hi := int64(0), int64(100)
+		if spec != nil {
+			lo, hi = spec.Lo, spec.Hi
+			if len(spec.IntWeights) > 0 {
+				lo, hi = spec.IntWeights[0].Val, spec.IntWeights[len(spec.IntWeights)-1].Val
+			}
+		}
+		thresh := lo + g.rng.Int63n(max64(hi-lo, 1)+1)
+		cond = Cmp(CmpGt, read, IntLit(thresh))
+	}
+	return If(cond, []Stmt{Do(APICall(dex.APIUIDraw, IntLit(2)))}, nil)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// cmpIf: an ordinary inequality guard — NOT a qualified condition
+// (real code is dominated by <, >, bounds checks).
+func (g *generator) cmpIf(argc int) Stmt {
+	fi := g.randIntField()
+	lhs := FieldRef(fi.ref)
+	if argc > 0 && g.rng.Intn(2) == 0 {
+		lhs = ArgRef(g.rng.Intn(argc))
+	}
+	op := CmpGt
+	if g.rng.Intn(2) == 0 {
+		op = CmpLt
+	}
+	return If(Cmp(op, lhs, IntLit(g.rng.Int63n(fi.domain))),
+		[]Stmt{Do(APICall(dex.APIUIDraw, IntLit(g.rng.Int63n(6))))}, nil)
+}
+
+// switchStmt: dispatch on an int field — each case is a QC.
+func (g *generator) switchStmt(argc, minCallee int) Stmt {
+	fi := g.randIntField()
+	n := 2 + g.rng.Intn(3)
+	var cases []Case
+	used := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		v := g.rng.Int63n(fi.domain)
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		cases = append(cases, Case{Val: v, Body: g.actionBlock(argc, minCallee)})
+	}
+	return Switch(FieldRef(fi.ref), cases, []Stmt{Do(APICall(dex.APIUIDraw, IntLit(1)))})
+}
+
+// computeStmt: local arithmetic feeding a UI call.
+func (g *generator) computeStmt(argc, idx int) []Stmt {
+	l := fmt.Sprintf("t%d", idx)
+	var src Expr
+	if argc > 0 {
+		src = Bin(dex.OpMul, ArgRef(g.rng.Intn(argc)), IntLit(1+g.rng.Int63n(7)))
+	} else {
+		src = Bin(dex.OpAdd, FieldRef(g.randIntField().ref), IntLit(g.rng.Int63n(9)))
+	}
+	return []Stmt{
+		Assign(LocalRef(l), src),
+		Do(APICall(dex.APIUIDraw, LocalRef(l))),
+	}
+}
+
+// hotBody: the small, frequently invoked render/tick work.
+func (g *generator) hotBody() []Stmt {
+	return []Stmt{
+		For(2+g.rng.Int63n(3), []Stmt{
+			Do(APICall(dex.APIUIDraw, IntLit(1))),
+		}),
+		g.fieldUpdate(1),
+	}
+}
+
+// qcBudget draws how many qualified-condition sites a method gets,
+// averaging cfg.QCPerMethod (paper Table 1: ~0.3–0.6 existing QCs per
+// candidate method).
+func (g *generator) qcBudget() int {
+	// Screen gates and boolean guards on API results also surface as
+	// QCs to the static scanner, so the explicit budget runs at half
+	// the configured density to keep the per-method total on target.
+	p := g.cfg.QCPerMethod * 0.5
+	n := 0
+	if g.rng.Float64() < p {
+		n = 1
+		if g.rng.Float64() < p/4 {
+			n = 2
+		}
+	}
+	return n
+}
+
+// emitQC spends one budget unit: an equality if (80%) or a switch.
+func (g *generator) emitQC(argc, minCallee int) Stmt {
+	if g.rng.Intn(5) == 0 {
+		return g.switchStmt(argc, minCallee)
+	}
+	return g.qcIf(argc, minCallee)
+}
+
+// helperBody: mid-sized logic; may call later helpers (DAG).
+func (g *generator) helperBody(idx int) []Stmt {
+	var out []Stmt
+	for i, n := 0, g.qcBudget(); i < n; i++ {
+		out = append(out, g.emitQC(1, idx+1))
+	}
+	stmts := g.cfg.StmtsPerMethod/2 + g.rng.Intn(g.cfg.StmtsPerMethod)
+	for len(out) < stmts {
+		switch {
+		case g.rng.Float64() < 0.12:
+			out = append(out, g.cmpIf(1))
+		case g.rng.Float64() < 0.1 && len(g.envVars) > 0:
+			out = append(out, g.envIf())
+		case g.rng.Float64() < g.cfg.LoopFrac/3:
+			out = append(out, For(2+g.rng.Int63n(4), []Stmt{g.fieldUpdate(1)}))
+		case g.rng.Float64() < 0.2 && idx+1 < len(g.helpers):
+			callee := g.helpers[idx+1+g.rng.Intn(len(g.helpers)-idx-1)]
+			out = append(out, Do(Call(callee, IntLit(g.rng.Int63n(16)))))
+		default:
+			if g.rng.Intn(2) == 0 {
+				out = append(out, g.fieldUpdate(1))
+			} else {
+				out = append(out, g.computeStmt(1, len(out))...)
+			}
+		}
+	}
+	// Shuffle so QC sites are not always at the top of the method.
+	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// initBody: onCreate.
+func (g *generator) initBody() []Stmt {
+	out := []Stmt{Do(APICall(dex.APILog, StrLit(g.cfg.Name+" starting")))}
+	for i := 0; i < 3 && i < len(g.ints); i++ {
+		out = append(out, Assign(FieldRef(g.ints[i].ref), IntLit(g.rng.Int63n(g.ints[i].domain))))
+	}
+	out = append(out, Do(APICall(dex.APIUIDraw, IntLit(4))))
+	return out
+}
+
+// handlerBody: event handlers absorb args, call hot methods, and mix
+// in QCs, env reads, switches, and loops per the config.
+func (g *generator) handlerBody() []Stmt {
+	var out []Stmt
+	// Hot path: every event renders.
+	for _, h := range g.hot {
+		out = append(out, Do(Call(h, ArgRef(0))))
+	}
+	out = append(out, g.fieldUpdate(2))
+	var tail []Stmt
+	for i, n := 0, g.qcBudget(); i < n; i++ {
+		tail = append(tail, g.emitQC(2, 0))
+	}
+	stmts := g.cfg.StmtsPerMethod/2 + g.rng.Intn(g.cfg.StmtsPerMethod)
+	for len(tail) < stmts-len(out) {
+		r := g.rng.Float64()
+		switch {
+		case r < 0.12:
+			tail = append(tail, g.cmpIf(2))
+		case r < 0.25 && len(g.envVars) > 0 && g.rng.Intn(3) == 0:
+			tail = append(tail, g.envIf())
+		case r < 0.32+g.cfg.LoopFrac/4:
+			tail = append(tail, For(2+g.rng.Int63n(3), []Stmt{g.fieldUpdate(2)}))
+		case r < 0.6 && len(g.helpers) > 0:
+			callee := g.helpers[g.rng.Intn(len(g.helpers))]
+			tail = append(tail, Do(Call(callee, Bin(dex.OpRem, ArgRef(1), IntLit(16)))))
+		default:
+			if g.rng.Intn(2) == 0 {
+				tail = append(tail, g.fieldUpdate(2))
+			} else {
+				tail = append(tail, g.computeStmt(2, len(tail))...)
+			}
+		}
+	}
+	g.rng.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+	return append(out, tail...)
+}

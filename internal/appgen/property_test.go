@@ -1,0 +1,110 @@
+package appgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bombdroid/internal/dex"
+)
+
+// Property: any config in a broad realistic range yields a valid app
+// whose handlers survive a burst of random events without faults.
+func TestGenerateAnyConfigRunsCleanly(t *testing.T) {
+	if err := quick.Check(func(seed int64, locK, qcQ, envN, scr uint8) bool {
+		cfg := Config{
+			Name:        "q",
+			Seed:        seed,
+			TargetLOC:   600 + int(locK)%40*100, // 600..4500
+			QCPerMethod: 0.2 + float64(qcQ%16)/10,
+			EnvVars:     1 + int(envN)%20,
+			Screens:     2 + int(scr)%5,
+		}
+		app, err := Generate(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := dex.ValidateLinked(app.File); err != nil {
+			t.Logf("seed %d: invalid: %v", seed, err)
+			return false
+		}
+		v := newVM(t, app.File)
+		rng := rand.New(rand.NewSource(seed))
+		for _, init := range v.InitMethods() {
+			if _, err := v.Invoke(init); err != nil {
+				t.Logf("seed %d init: %v", seed, err)
+				return false
+			}
+		}
+		hs := v.Handlers()
+		for i := 0; i < 120; i++ {
+			h := hs[rng.Intn(len(hs))]
+			if _, err := v.Invoke(h,
+				dex.Int64(rng.Int63n(app.Config.ParamDomain)),
+				dex.Int64(rng.Int63n(app.Config.ParamDomain))); err != nil {
+				t.Logf("seed %d event: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated handler is registered in the UI model with
+// a screen assignment, and navigation handlers exist.
+func TestUIModelComplete(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		app, err := Generate(Config{Name: "ui", Seed: seed, TargetLOC: 900})
+		if err != nil {
+			return false
+		}
+		nav := 0
+		for _, h := range app.Handlers {
+			scr, ok := app.HandlerScreens[h]
+			if !ok {
+				t.Logf("handler %s missing from UI model", h)
+				return false
+			}
+			if scr == -1 {
+				nav++
+			} else if scr < 0 || scr >= int64(app.Config.Screens) {
+				t.Logf("handler %s on impossible screen %d", h, scr)
+				return false
+			}
+		}
+		return nav >= 2
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the LOC metric is stable and additive-ish — regenerating
+// with the same seed yields the same LOC, and larger targets yield
+// more LOC.
+func TestLOCMonotone(t *testing.T) {
+	locFor := func(target int, seed int64) int {
+		app, err := Generate(Config{Name: "m", Seed: seed, TargetLOC: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return app.LOC
+	}
+	small := locFor(1200, 5)
+	big := locFor(6000, 5)
+	if big <= small {
+		t.Errorf("LOC not monotone: %d (1200) vs %d (6000)", small, big)
+	}
+	if locFor(1200, 5) != small {
+		t.Error("LOC not deterministic")
+	}
+	// The metric should land within ±45% of target across seeds.
+	for seed := int64(1); seed <= 6; seed++ {
+		got := locFor(3000, seed)
+		if got < 1650 || got > 4350 {
+			t.Errorf("seed %d: LOC %d too far from target 3000", seed, got)
+		}
+	}
+}

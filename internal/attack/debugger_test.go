@@ -1,0 +1,45 @@
+package attack
+
+import (
+	"testing"
+
+	"bombdroid/internal/apk"
+)
+
+// The debugger locates only bombs that fire — a small minority — and
+// attributes each to its true host method.
+func TestDebuggerLocatesOnlyFiredBombs(t *testing.T) {
+	fx := build(t, 149)
+	attacker, err := apk.NewKeyPair(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pirated, err := apk.Repackage(fx.prot, attacker, apk.RepackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Debugger(pirated, fx.app.Config.ParamDomain, 30*60_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(fx.protRes.RealBombs())
+	t.Logf("debugger: %d symptoms, located %d/%d bombs", res.Symptoms, len(res.LocatedBombs), total)
+	if len(res.LocatedBombs) >= total/2 {
+		t.Errorf("debugging located %d/%d bombs — dormancy broken", len(res.LocatedBombs), total)
+	}
+	// Every located bomb's attribution must match ground truth.
+	hostOf := map[string]string{}
+	for _, b := range fx.protRes.Bombs {
+		hostOf[b.ID] = b.Method
+	}
+	for bomb, host := range res.LocatedBombs {
+		want, ok := hostOf[bomb]
+		if !ok {
+			t.Errorf("located unknown bomb %q", bomb)
+			continue
+		}
+		if host != want {
+			t.Errorf("bomb %s attributed to %s, truth %s", bomb, host, want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"bombdroid/internal/dex"
+	"bombdroid/internal/lockbox"
+)
+
+// RainbowResult reports a precomputed-table attack (paper §5.1:
+// "attackers may attempt to apply rainbow attacks, which use a
+// precomputed table for reversing hash functions. However, … such
+// attacks can be defeated by mixing a unique plaintext salt (for each
+// bomb) into the hash computation").
+type RainbowResult struct {
+	Sites          int
+	Cracked        int
+	TablesBuilt    int   // one per distinct salt observed
+	HashesComputed int64 // total precomputation cost
+}
+
+// Rainbow precomputes hash tables over a candidate key space and looks
+// every bomb's Hc up in them. Tables are salt-specific: with one
+// global salt a single table serves every bomb; with per-bomb salts
+// the attacker pays the full precomputation cost once per bomb, which
+// is exactly the defence's point.
+func Rainbow(f *dex.File, candidates []dex.Value) RainbowResult {
+	sites := ScanBombSites(f)
+	res := RainbowResult{Sites: len(sites)}
+
+	tables := map[string]map[string]bool{}
+	for _, site := range sites {
+		table, ok := tables[site.Salt]
+		if !ok {
+			table = make(map[string]bool, len(candidates))
+			for _, c := range candidates {
+				table[lockbox.HashHex(c, site.Salt)] = true
+				res.HashesComputed++
+			}
+			tables[site.Salt] = table
+			res.TablesBuilt++
+		}
+		if table[site.Hc] {
+			res.Cracked++
+		}
+	}
+	return res
+}
+
+// SmallIntCandidates builds the candidate space a table would be
+// precomputed over: all integers in [0, n) plus booleans.
+func SmallIntCandidates(n int64) []dex.Value {
+	out := make([]dex.Value, 0, n+2)
+	for v := int64(-1); v <= n; v++ {
+		out = append(out, dex.Int64(v))
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+// Package attack is the adversary toolbox from the paper's threat
+// model (§2.1) and resilience evaluation (§8.3): text search, brute
+// force against bomb keys, code deletion, forced execution
+// (circumventing trigger conditions), HARVESTER-style backward
+// slicing, debugger/hook-based call interception, and the human
+// analyst with environment mutation. Each attack consumes a protected
+// app and reports what it managed to locate, reveal, crack, or break
+// — the numbers behind the resilience matrix.
+package attack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bombdroid/internal/cfg"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/lockbox"
+)
+
+// SuspiciousTokens are the text patterns an attacker greps a
+// disassembled app for (paper §2.1, "Text search").
+var SuspiciousTokens = []string{
+	"getPublicKey", "getManifestDigest", "codeDigest", "stegoExtract",
+	"decryptLoad", "invokePayload", "sha1Hex", "reflectCall", "deobfuscate",
+}
+
+// TextFinding is one matched token.
+type TextFinding struct {
+	Token string
+	Count int
+}
+
+// TextSearch greps the disassembly. Against naive bombs it pinpoints
+// detection calls directly; against BombDroid it sees only the
+// hash/decrypt plumbing — present at real AND bogus bombs alike, with
+// the interesting code encrypted.
+func TextSearch(f *dex.File) []TextFinding {
+	dis := dex.Disassemble(f)
+	var out []TextFinding
+	for _, tok := range SuspiciousTokens {
+		if n := strings.Count(dis, tok); n > 0 {
+			out = append(out, TextFinding{Token: tok, Count: n})
+		}
+	}
+	return out
+}
+
+// FindToken reports the count for one token.
+func FindToken(fs []TextFinding, token string) int {
+	for _, f := range fs {
+		if f.Token == token {
+			return f.Count
+		}
+	}
+	return 0
+}
+
+// BombSite is a bomb's outer trigger as recovered from the bytecode:
+// everything an attacker can read — salt, published hash, blob index —
+// and nothing they cannot (the constant).
+type BombSite struct {
+	Method  string
+	PC      int // pc of the sha1Hex call
+	Salt    string
+	Hc      string
+	BlobIdx int64
+}
+
+// ScanBombSites pattern-matches the outer-trigger plumbing in every
+// method: a sha1Hex call whose salt operand is a constant string,
+// followed by a string-equality against a constant 40-hex-digit value
+// and a decryptLoad. This is exactly the recon a determined attacker
+// performs before a brute-force attack (§5.1).
+func ScanBombSites(f *dex.File) []BombSite {
+	var out []BombSite
+	for _, m := range f.Methods() {
+		sites := scanMethod(f, m)
+		out = append(out, sites...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Method != out[j].Method {
+			return out[i].Method < out[j].Method
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+func scanMethod(f *dex.File, m *dex.Method) []BombSite {
+	var out []BombSite
+	strConsts := map[int32]string{}
+	intConsts := map[int32]int64{}
+	type hashInfo struct {
+		pc   int
+		salt string
+	}
+	hashes := map[int32]hashInfo{}
+	hcOf := map[int32]string{} // equality result reg -> Hc
+
+	for pc, in := range m.Code {
+		switch in.Op {
+		case dex.OpConstStr:
+			strConsts[in.A] = f.Str(in.Imm)
+		case dex.OpConstInt:
+			intConsts[in.A] = in.Imm
+		case dex.OpCallAPI:
+			switch dex.API(in.Imm) {
+			case dex.APISHA1Hex:
+				if in.C == 2 {
+					if salt, ok := strConsts[in.B+1]; ok {
+						hashes[in.A] = hashInfo{pc: pc, salt: salt}
+					}
+				}
+			case dex.APIStrEquals:
+				if in.C == 2 {
+					if h, ok := hashes[in.B]; ok {
+						if hc, ok2 := strConsts[in.B+1]; ok2 && len(hc) == 40 {
+							hcOf[in.A] = hc
+							// Remember which hash produced it.
+							hashes[in.A] = h
+						}
+					}
+				}
+			case dex.APIDecryptLoad:
+				if in.C == 3 {
+					if blob, ok := intConsts[in.B]; ok {
+						// Attribute to the most recent hash compare.
+						var best *BombSite
+						for reg, hc := range hcOf {
+							h := hashes[reg]
+							site := BombSite{
+								Method: m.FullName(), PC: h.pc,
+								Salt: h.salt, Hc: hc, BlobIdx: blob,
+							}
+							if best == nil || h.pc > best.PC {
+								b := site
+								best = &b
+							}
+						}
+						if best != nil {
+							out = append(out, *best)
+							hcOf = map[int32]string{}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BruteForceOptions bounds the key search.
+type BruteForceOptions struct {
+	// IntBudget is how many integer candidates to try per site
+	// (0 .. IntBudget-1 plus small negatives).
+	IntBudget int64
+	// Dictionary is the attacker's candidate string list — typically
+	// the app's own string pool plus common words (§10: "understanding
+	// the semantics of the branch conditions can help guess keys").
+	Dictionary []string
+}
+
+// CrackedKey is one recovered bomb key.
+type CrackedKey struct {
+	Site BombSite
+	Key  dex.Value
+}
+
+// BruteForceResult summarizes the attack.
+type BruteForceResult struct {
+	Sites    int
+	Cracked  []CrackedKey
+	Attempts int64
+	// DomainEstimates maps site index -> search-space size the
+	// attacker faces when the budget fails (|dom(X)| * t, §5.1).
+	DomainEstimates map[int]string
+}
+
+// BruteForce enumerates candidate trigger values against each site's
+// published (salt, Hc) pair. No runtime is needed: the hash test is
+// offline, exactly as a real attacker would run it.
+func BruteForce(f *dex.File, opts BruteForceOptions) BruteForceResult {
+	if opts.IntBudget == 0 {
+		opts.IntBudget = 1 << 16
+	}
+	if opts.Dictionary == nil {
+		opts.Dictionary = f.Strings
+	}
+	sites := ScanBombSites(f)
+	res := BruteForceResult{Sites: len(sites), DomainEstimates: map[int]string{}}
+	for i, site := range sites {
+		key, attempts, ok := crackSite(site, opts)
+		res.Attempts += attempts
+		if ok {
+			res.Cracked = append(res.Cracked, CrackedKey{Site: site, Key: key})
+		} else {
+			res.DomainEstimates[i] = "2^64 ints × t + full string space (budget exhausted)"
+		}
+	}
+	return res
+}
+
+func crackSite(site BombSite, opts BruteForceOptions) (dex.Value, int64, bool) {
+	attempts := int64(0)
+	try := func(v dex.Value) bool {
+		attempts++
+		return lockbox.HashHex(v, site.Salt) == site.Hc
+	}
+	// Booleans and small ints first (weak/medium strength ordering).
+	for v := int64(-4); v < opts.IntBudget; v++ {
+		if try(dex.Int64(v)) {
+			return dex.Int64(v), attempts, true
+		}
+	}
+	for _, s := range opts.Dictionary {
+		if try(dex.Str(s)) {
+			return dex.Str(s), attempts, true
+		}
+	}
+	return dex.Value{}, attempts, false
+}
+
+// DeletionResult reports a code-deletion attack.
+type DeletionResult struct {
+	SitesDeleted int
+	File         *dex.File
+}
+
+// DeleteSuspiciousCode excises every bomb site wholesale — the
+// "trivial attack" of §2.1, done competently: from each sha1Hex call
+// through the matching invokePayload, everything (guard branch
+// included) becomes a nop, so no dangling plumbing remains. Because
+// woven bombs carry original app code inside their payloads and bogus
+// bombs are indistinguishable from real ones, the excision silently
+// removes app behaviour; callers measure the damage by running the
+// result.
+func DeleteSuspiciousCode(f *dex.File) DeletionResult {
+	out := f.Clone()
+	res := DeletionResult{File: out}
+	nop := dex.Instr{Op: dex.OpNop, A: -1, B: -1, C: -1}
+	const window = 30
+	for _, m := range out.Methods() {
+		for pc := 0; pc < len(m.Code); pc++ {
+			in := m.Code[pc]
+			if in.Op != dex.OpCallAPI || dex.API(in.Imm) != dex.APISHA1Hex {
+				continue
+			}
+			end := -1
+			for look := pc; look < len(m.Code) && look <= pc+window; look++ {
+				li := m.Code[look]
+				if li.Op == dex.OpCallAPI && dex.API(li.Imm) == dex.APIInvokePayload {
+					end = look
+					break
+				}
+			}
+			if end < 0 {
+				// A hash with no payload launch nearby: drop the call
+				// alone.
+				m.Code[pc] = nop
+				res.SitesDeleted++
+				continue
+			}
+			for i := pc; i <= end; i++ {
+				m.Code[i] = nop
+			}
+			res.SitesDeleted++
+			pc = end
+		}
+	}
+	return res
+}
+
+// Slice is a backward program slice ending at a sensitive call
+// (HARVESTER, §2.1 "Circumventing trigger conditions").
+type Slice struct {
+	Method   string
+	TargetPC int
+	API      dex.API
+	PCs      []int // contributing instructions, ascending
+}
+
+// BackwardSlices computes intra-method backward slices from every
+// occurrence of the target APIs, following register def-use chains
+// (statics conservatively included via their loads).
+func BackwardSlices(f *dex.File, targets ...dex.API) []Slice {
+	tset := map[dex.API]bool{}
+	for _, t := range targets {
+		tset[t] = true
+	}
+	var out []Slice
+	for _, m := range f.Methods() {
+		for pc, in := range m.Code {
+			if in.Op != dex.OpCallAPI || !tset[dex.API(in.Imm)] {
+				continue
+			}
+			out = append(out, Slice{
+				Method:   m.FullName(),
+				TargetPC: pc,
+				API:      dex.API(in.Imm),
+				PCs:      sliceFrom(m, pc),
+			})
+		}
+	}
+	return out
+}
+
+// sliceFrom walks def-use chains backward from the call at target.
+func sliceFrom(m *dex.Method, target int) []int {
+	need := cfg.NewRegSet(m.NumRegs)
+	uses, _ := cfg.UsesDefs(m.Code[target])
+	for _, u := range uses {
+		need.Add(u)
+	}
+	include := map[int]bool{target: true}
+	for pc := target - 1; pc >= 0; pc-- {
+		in := m.Code[pc]
+		iuses, idefs := cfg.UsesDefs(in)
+		defsNeeded := false
+		for _, d := range idefs {
+			if need.Has(d) {
+				defsNeeded = true
+			}
+		}
+		if !defsNeeded {
+			continue
+		}
+		include[pc] = true
+		for _, d := range idefs {
+			need.Remove(d)
+		}
+		for _, u := range iuses {
+			need.Add(u)
+		}
+	}
+	pcs := make([]int, 0, len(include))
+	for pc := range include {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}
+
+// ExtractSliceMethod materializes a slice as a runnable method (the
+// HARVESTER move: execute the extracted slice to uncover payload
+// behaviour). Branches inside the slice are dropped — the slice is
+// the straight-line data flow into the target call, detached from the
+// conditions guarding it.
+func ExtractSliceMethod(f *dex.File, sl Slice) (*dex.File, error) {
+	src := f.Method(sl.Method)
+	if src == nil {
+		return nil, fmt.Errorf("attack: method %s not found", sl.Method)
+	}
+	out := f.Clone()
+	b := dex.NewBuilder(out, "slice", 0)
+	_ = b.Regs(src.NumRegs) // same register numbering as the original
+	for _, pc := range sl.PCs {
+		in := src.Code[pc]
+		if in.Op.IsBranch() || in.Op == dex.OpSwitch ||
+			in.Op == dex.OpReturn || in.Op == dex.OpReturnVoid {
+			continue
+		}
+		b.Emit(in)
+	}
+	b.ReturnVoid()
+	m, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	cl := &dex.Class{Name: "SliceHarness"}
+	cl.AddMethod(m)
+	if err := out.AddClass(cl); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

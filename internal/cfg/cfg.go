@@ -1,0 +1,252 @@
+// Package cfg provides the static analyses BombDroid's candidate
+// selection runs over app bytecode (the paper uses Soot; §7.2):
+// control-flow graph construction, loop detection, backward liveness,
+// intra-block constant tracking, and discovery of qualified conditions
+// — equality checks against statically determinable constants
+// (IFEQ/IFNE/IF_ICMPEQ/IF_ICMPNE/TABLESWITCH and string
+// equals/startsWith/endsWith).
+package cfg
+
+import (
+	"sort"
+
+	"bombdroid/internal/dex"
+)
+
+// Block is a basic block: a maximal straight-line instruction range.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction
+	Succs []int
+	Preds []int
+}
+
+// Graph is the control-flow graph of one method.
+type Graph struct {
+	Method  *dex.Method
+	File    *dex.File
+	Blocks  []Block
+	blockOf []int  // pc -> block id
+	inLoop  []bool // block id -> participates in a cycle
+}
+
+// Build constructs the CFG and runs loop detection.
+func Build(f *dex.File, m *dex.Method) *Graph {
+	g := &Graph{Method: m, File: f}
+	n := len(m.Code)
+	if n == 0 {
+		return g
+	}
+
+	// Leaders: entry, branch targets, instructions after terminators
+	// and conditional branches.
+	leader := make([]bool, n)
+	leader[0] = true
+	markTarget := func(t int32) {
+		if t >= 0 && int(t) < n {
+			leader[t] = true
+		}
+	}
+	for pc, in := range m.Code {
+		switch {
+		case in.Op.IsBranch():
+			markTarget(in.C)
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case in.Op == dex.OpSwitch:
+			if in.Imm >= 0 && in.Imm < int64(len(m.Tables)) {
+				t := m.Tables[in.Imm]
+				markTarget(t.Default)
+				for _, c := range t.Cases {
+					markTarget(c.Target)
+				}
+			}
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case in.Op == dex.OpReturn || in.Op == dex.OpReturnVoid:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+
+	g.blockOf = make([]int, n)
+	for pc := 0; pc < n; {
+		start := pc
+		id := len(g.Blocks)
+		pc++
+		for pc < n && !leader[pc] {
+			pc++
+		}
+		g.Blocks = append(g.Blocks, Block{ID: id, Start: start, End: pc})
+		for i := start; i < pc; i++ {
+			g.blockOf[i] = id
+		}
+	}
+
+	// Edges from each block's last instruction.
+	addEdge := func(from int, toPC int32) {
+		if toPC < 0 || int(toPC) >= n {
+			return
+		}
+		to := g.blockOf[toPC]
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	}
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := m.Code[b.End-1]
+		switch {
+		case last.Op == dex.OpGoto:
+			addEdge(i, last.C)
+		case last.Op.IsCondBranch():
+			addEdge(i, last.C)
+			if b.End < n {
+				addEdge(i, int32(b.End))
+			}
+		case last.Op == dex.OpSwitch:
+			if last.Imm >= 0 && last.Imm < int64(len(m.Tables)) {
+				t := m.Tables[last.Imm]
+				addEdge(i, t.Default)
+				for _, c := range t.Cases {
+					addEdge(i, c.Target)
+				}
+			}
+		case last.Op == dex.OpReturn || last.Op == dex.OpReturnVoid:
+			// No successors.
+		default:
+			if b.End < n {
+				addEdge(i, int32(b.End))
+			}
+		}
+		// Deduplicate successors (switch cases may share targets).
+		b.Succs = dedupe(b.Succs)
+	}
+	for i := range g.Blocks {
+		for _, s := range g.Blocks[i].Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, i)
+		}
+	}
+	g.detectLoops()
+	return g
+}
+
+func dedupe(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// detectLoops marks blocks participating in cycles using Tarjan SCCs:
+// a block is "in a loop" if its SCC has more than one node or it has a
+// self edge. BombDroid avoids inserting bombs into loops (§7.2), so
+// this is the predicate candidate selection needs.
+func (g *Graph) detectLoops() {
+	n := len(g.Blocks)
+	g.inLoop = make([]bool, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v, si int
+	}
+	var dfs func(root int)
+	dfs = func(root int) {
+		frames := []frame{{root, 0}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			v := fr.v
+			if fr.si < len(g.Blocks[v].Succs) {
+				w := g.Blocks[v].Succs[fr.si]
+				fr.si++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					for _, w := range scc {
+						g.inLoop[w] = true
+					}
+				} else {
+					w := scc[0]
+					for _, s := range g.Blocks[w].Succs {
+						if s == w {
+							g.inLoop[w] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if index[i] == -1 {
+			dfs(i)
+		}
+	}
+}
+
+// BlockOf returns the block id containing pc.
+func (g *Graph) BlockOf(pc int) int {
+	if pc < 0 || pc >= len(g.blockOf) {
+		return -1
+	}
+	return g.blockOf[pc]
+}
+
+// InLoop reports whether pc lies inside a cycle.
+func (g *Graph) InLoop(pc int) bool {
+	b := g.BlockOf(pc)
+	return b >= 0 && g.inLoop[b]
+}
+
+// NumBlocks returns the block count.
+func (g *Graph) NumBlocks() int { return len(g.Blocks) }

@@ -1,0 +1,283 @@
+package cfg
+
+import (
+	"testing"
+
+	"bombdroid/internal/dex"
+)
+
+// linearMethod: no branches.
+func linearMethod(f *dex.File) *dex.Method {
+	b := dex.NewBuilder(f, "linear", 1)
+	r := b.Reg()
+	b.ConstInt(r, 1)
+	b.Arith(dex.OpAdd, r, r, 0)
+	b.Return(r)
+	return b.MustFinish()
+}
+
+// loopMethod: count to 10.
+func loopMethod(f *dex.File) *dex.Method {
+	b := dex.NewBuilder(f, "loop", 0)
+	i := b.Reg()
+	lim := b.Reg()
+	b.ConstInt(i, 0)
+	b.ConstInt(lim, 10)
+	b.Label("head")
+	b.Branch(dex.OpIfGe, i, lim, "done")
+	b.AddK(i, i, 1)
+	b.Goto("head")
+	b.Label("done")
+	b.Return(i)
+	return b.MustFinish()
+}
+
+// diamondMethod: if (x == 5) { y = 1 } else { y = 2 }; return y.
+func diamondMethod(f *dex.File) *dex.Method {
+	b := dex.NewBuilder(f, "diamond", 1)
+	c := b.Reg()
+	y := b.Reg()
+	b.ConstInt(c, 5)
+	b.Branch(dex.OpIfNe, 0, c, "else")
+	b.ConstInt(y, 1)
+	b.Goto("join")
+	b.Label("else")
+	b.ConstInt(y, 2)
+	b.Label("join")
+	b.Return(y)
+	return b.MustFinish()
+}
+
+func TestBlocksLinear(t *testing.T) {
+	f := dex.NewFile()
+	m := linearMethod(f)
+	g := Build(f, m)
+	if g.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d, want 1", g.NumBlocks())
+	}
+	if g.InLoop(0) {
+		t.Error("linear code is not in a loop")
+	}
+	if g.BlockOf(0) != 0 || g.BlockOf(len(m.Code)-1) != 0 {
+		t.Error("blockOf mapping wrong")
+	}
+	if g.BlockOf(-1) != -1 || g.BlockOf(999) != -1 {
+		t.Error("out-of-range BlockOf should be -1")
+	}
+}
+
+func TestBlocksDiamond(t *testing.T) {
+	f := dex.NewFile()
+	m := diamondMethod(f)
+	g := Build(f, m)
+	if g.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d, want 4", g.NumBlocks())
+	}
+	// Entry block has two successors; both lead to the join.
+	entry := g.Blocks[g.BlockOf(0)]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %v", entry.Succs)
+	}
+	join := g.BlockOf(len(m.Code) - 1)
+	for _, s := range entry.Succs {
+		found := false
+		for _, ss := range g.Blocks[s].Succs {
+			if ss == join {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("branch arm %d does not reach join", s)
+		}
+	}
+	for i := range g.Blocks {
+		if g.inLoop[i] {
+			t.Error("diamond has no loops")
+		}
+	}
+	// Preds of join = both arms.
+	if len(g.Blocks[join].Preds) != 2 {
+		t.Errorf("join preds = %v", g.Blocks[join].Preds)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	f := dex.NewFile()
+	m := loopMethod(f)
+	g := Build(f, m)
+	// The branch and increment participate in the cycle.
+	var loopPCs, nonLoop int
+	for pc := range m.Code {
+		if g.InLoop(pc) {
+			loopPCs++
+		} else {
+			nonLoop++
+		}
+	}
+	if loopPCs == 0 {
+		t.Fatal("no loop detected")
+	}
+	if nonLoop == 0 {
+		t.Fatal("return should be outside the loop")
+	}
+	// The head compare is in the loop; the final return is not.
+	if !g.InLoop(2) {
+		t.Error("loop head should be in loop")
+	}
+	if g.InLoop(len(m.Code) - 1) {
+		t.Error("return should not be in loop")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	f := dex.NewFile()
+	b := dex.NewBuilder(f, "self", 0)
+	b.Label("top")
+	b.Goto("top")
+	m := b.MustFinish()
+	g := Build(f, m)
+	if !g.InLoop(0) {
+		t.Error("self loop not detected")
+	}
+}
+
+func TestSwitchEdges(t *testing.T) {
+	f := dex.NewFile()
+	b := dex.NewBuilder(f, "sw", 1)
+	out := b.Reg()
+	b.Switch(0, []int64{1, 2}, []string{"a", "b"}, "d")
+	b.Label("a")
+	b.ConstInt(out, 1)
+	b.Return(out)
+	b.Label("b")
+	b.ConstInt(out, 2)
+	b.Return(out)
+	b.Label("d")
+	b.ConstInt(out, 0)
+	b.Return(out)
+	m := b.MustFinish()
+	g := Build(f, m)
+	entry := g.Blocks[g.BlockOf(0)]
+	if len(entry.Succs) != 3 {
+		t.Errorf("switch successors = %v, want 3", entry.Succs)
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	f := dex.NewFile()
+	m := linearMethod(f)
+	g := Build(f, m)
+	lv := ComputeLiveness(g)
+	// Arg r0 is live-in at entry (used by the add).
+	if !lv.In[0].Has(0) {
+		t.Error("arg should be live at entry")
+	}
+	// After the return nothing is live-out.
+	if !lv.Out[len(m.Code)-1].Empty() {
+		t.Error("nothing is live after return")
+	}
+}
+
+func TestLivenessAcrossBranch(t *testing.T) {
+	f := dex.NewFile()
+	m := diamondMethod(f)
+	g := Build(f, m)
+	lv := ComputeLiveness(g)
+	// y (r2) is live at the join (it is returned).
+	joinPC := len(m.Code) - 1
+	if !lv.In[joinPC].Has(2) {
+		t.Error("y should be live at return")
+	}
+	// x (r0) is dead after the compare.
+	if lv.In[joinPC].Has(0) {
+		t.Error("x should be dead at the join")
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	s := NewRegSet(70)
+	s.Add(0)
+	s.Add(65)
+	if !s.Has(0) || !s.Has(65) || s.Has(1) {
+		t.Error("Add/Has broken")
+	}
+	s.Remove(0)
+	if s.Has(0) {
+		t.Error("Remove broken")
+	}
+	o := NewRegSet(70)
+	o.Add(3)
+	if !s.Clone().UnionInto(o) {
+		t.Error("union should report change")
+	}
+	if s.UnionInto(NewRegSet(70)) {
+		t.Error("union with empty should not change")
+	}
+	if s.Empty() {
+		t.Error("set with 65 not empty")
+	}
+	if !NewRegSet(10).Empty() {
+		t.Error("fresh set should be empty")
+	}
+	a, bset := NewRegSet(10), NewRegSet(10)
+	a.Add(4)
+	bset.Add(4)
+	if !a.Intersects(bset) {
+		t.Error("Intersects broken")
+	}
+	bset.Remove(4)
+	if a.Intersects(bset) {
+		t.Error("empty intersection misreported")
+	}
+	// Out-of-range accesses are safe no-ops.
+	s.Add(-1)
+	s.Add(1000)
+	if s.Has(-1) || s.Has(1000) {
+		t.Error("out-of-range should be absent")
+	}
+}
+
+func TestUsesDefsCoverAllOps(t *testing.T) {
+	// Every opcode must be classified (even if with empty sets); guard
+	// against new ops silently breaking liveness.
+	for op := dex.Op(0); int(op) < dex.NumOps; op++ {
+		in := dex.Instr{Op: op, A: 0, B: 1, C: 2}
+		uses, defs := UsesDefs(in)
+		for _, r := range append(uses, defs...) {
+			if r < 0 && op != dex.OpInvoke && op != dex.OpCallAPI {
+				t.Errorf("%s: negative register in uses/defs", op)
+			}
+		}
+	}
+	// Invoke with A=-1 defines nothing.
+	_, defs := UsesDefs(dex.Instr{Op: dex.OpInvoke, A: -1, B: 0, C: 2})
+	if len(defs) != 0 {
+		t.Error("void invoke should not define")
+	}
+	uses, _ := UsesDefs(dex.Instr{Op: dex.OpCallAPI, A: 3, B: 1, C: 2})
+	if len(uses) != 2 || uses[0] != 1 || uses[1] != 2 {
+		t.Errorf("call arg window uses = %v", uses)
+	}
+}
+
+func TestEmptyMethod(t *testing.T) {
+	f := dex.NewFile()
+	m := &dex.Method{Name: "empty", NumRegs: 0}
+	g := Build(f, m)
+	if g.NumBlocks() != 0 {
+		t.Error("empty method should have no blocks")
+	}
+	lv := ComputeLiveness(g)
+	if len(lv.In) != 0 {
+		t.Error("no liveness entries expected")
+	}
+}
+
+func TestStrengthString(t *testing.T) {
+	if Weak.String() != "weak" || Medium.String() != "medium" || Strong.String() != "strong" {
+		t.Error("strength names wrong")
+	}
+	if Strength(9).String() != "?" {
+		t.Error("unknown strength should render ?")
+	}
+}

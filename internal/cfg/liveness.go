@@ -1,0 +1,179 @@
+package cfg
+
+import "bombdroid/internal/dex"
+
+// RegSet is a bitset over registers.
+type RegSet []uint64
+
+// NewRegSet returns a set sized for n registers.
+func NewRegSet(n int) RegSet { return make(RegSet, (n+63)/64) }
+
+// Has reports membership.
+func (s RegSet) Has(r int32) bool {
+	if r < 0 || int(r)/64 >= len(s) {
+		return false
+	}
+	return s[r/64]&(1<<(uint(r)%64)) != 0
+}
+
+// Add inserts r.
+func (s RegSet) Add(r int32) {
+	if r >= 0 && int(r)/64 < len(s) {
+		s[r/64] |= 1 << (uint(r) % 64)
+	}
+}
+
+// Remove deletes r.
+func (s RegSet) Remove(r int32) {
+	if r >= 0 && int(r)/64 < len(s) {
+		s[r/64] &^= 1 << (uint(r) % 64)
+	}
+}
+
+// UnionInto ors o into s, reporting whether s changed.
+func (s RegSet) UnionInto(o RegSet) bool {
+	changed := false
+	for i := range s {
+		if i < len(o) {
+			n := s[i] | o[i]
+			if n != s[i] {
+				s[i] = n
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Clone copies the set.
+func (s RegSet) Clone() RegSet { return append(RegSet(nil), s...) }
+
+// Empty reports whether no register is present.
+func (s RegSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the sets share a register.
+func (s RegSet) Intersects(o RegSet) bool {
+	for i := range s {
+		if i < len(o) && s[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesDefs returns the registers an instruction reads and writes.
+func UsesDefs(in dex.Instr) (uses, defs []int32) {
+	switch in.Op {
+	case dex.OpNop, dex.OpGoto, dex.OpReturnVoid:
+	case dex.OpConstInt, dex.OpConstStr:
+		defs = append(defs, in.A)
+	case dex.OpMove, dex.OpNeg, dex.OpNot, dex.OpAddK:
+		uses = append(uses, in.B)
+		defs = append(defs, in.A)
+	case dex.OpAdd, dex.OpSub, dex.OpMul, dex.OpDiv, dex.OpRem,
+		dex.OpAnd, dex.OpOr, dex.OpXor, dex.OpShl, dex.OpShr:
+		uses = append(uses, in.B, in.C)
+		defs = append(defs, in.A)
+	case dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfLe, dex.OpIfGt, dex.OpIfGe:
+		uses = append(uses, in.A, in.B)
+	case dex.OpIfEqz, dex.OpIfNez, dex.OpSwitch, dex.OpReturn, dex.OpPutStatic:
+		uses = append(uses, in.A)
+	case dex.OpInvoke, dex.OpCallAPI:
+		for i := int32(0); i < in.C; i++ {
+			uses = append(uses, in.B+i)
+		}
+		if in.A != -1 {
+			defs = append(defs, in.A)
+		}
+	case dex.OpGetStatic:
+		defs = append(defs, in.A)
+	case dex.OpNewArr, dex.OpArrLen:
+		uses = append(uses, in.B)
+		defs = append(defs, in.A)
+	case dex.OpALoad:
+		uses = append(uses, in.B, in.C)
+		defs = append(defs, in.A)
+	case dex.OpAStore:
+		// Writes through the array reference; all three are reads.
+		uses = append(uses, in.A, in.B, in.C)
+	}
+	return uses, defs
+}
+
+// Liveness holds per-instruction live-in/live-out register sets.
+type Liveness struct {
+	In  []RegSet
+	Out []RegSet
+}
+
+// ComputeLiveness runs the standard backward dataflow to fixpoint.
+func ComputeLiveness(g *Graph) *Liveness {
+	m := g.Method
+	n := len(m.Code)
+	lv := &Liveness{In: make([]RegSet, n), Out: make([]RegSet, n)}
+	for i := 0; i < n; i++ {
+		lv.In[i] = NewRegSet(m.NumRegs)
+		lv.Out[i] = NewRegSet(m.NumRegs)
+	}
+	if n == 0 {
+		return lv
+	}
+
+	succs := func(pc int) []int {
+		in := m.Code[pc]
+		var out []int
+		switch {
+		case in.Op == dex.OpReturn || in.Op == dex.OpReturnVoid:
+		case in.Op == dex.OpGoto:
+			out = append(out, int(in.C))
+		case in.Op.IsCondBranch():
+			out = append(out, int(in.C))
+			if pc+1 < n {
+				out = append(out, pc+1)
+			}
+		case in.Op == dex.OpSwitch:
+			if in.Imm >= 0 && in.Imm < int64(len(m.Tables)) {
+				t := m.Tables[in.Imm]
+				out = append(out, int(t.Default))
+				for _, c := range t.Cases {
+					out = append(out, int(c.Target))
+				}
+			}
+		default:
+			if pc+1 < n {
+				out = append(out, pc+1)
+			}
+		}
+		return out
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for pc := n - 1; pc >= 0; pc-- {
+			for _, s := range succs(pc) {
+				if s >= 0 && s < n && lv.Out[pc].UnionInto(lv.In[s]) {
+					changed = true
+				}
+			}
+			newIn := lv.Out[pc].Clone()
+			uses, defs := UsesDefs(m.Code[pc])
+			for _, d := range defs {
+				newIn.Remove(d)
+			}
+			for _, u := range uses {
+				newIn.Add(u)
+			}
+			if lv.In[pc].UnionInto(newIn) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}

@@ -1,0 +1,405 @@
+package cfg
+
+import (
+	"bombdroid/internal/dex"
+)
+
+// Strength grades an outer trigger's brute-force resistance by the
+// constant's type (paper §8.3.1): boolean constants are weak, integers
+// medium, strings strong.
+type Strength uint8
+
+// Strength levels.
+const (
+	Weak   Strength = iota // boolean (zero-test) conditions
+	Medium                 // integer constants
+	Strong                 // string constants
+)
+
+// String returns the level name.
+func (s Strength) String() string {
+	switch s {
+	case Weak:
+		return "weak"
+	case Medium:
+		return "medium"
+	case Strong:
+		return "strong"
+	}
+	return "?"
+}
+
+// QC is a qualified condition: "ϕ == c" with c statically
+// determinable (paper §3.3). It records everything the bomb
+// constructor needs: where the comparison happens, which register
+// holds ϕ, the constant, and the shape of the guarded region.
+type QC struct {
+	Method   *dex.Method
+	BranchPC int       // pc of the conditional branch (or switch)
+	CondPC   int       // pc of the string-compare call, or BranchPC
+	Reg      int32     // register holding ϕ at CondPC
+	Const    dex.Value // c
+	Kind     Strength
+	StrOp    dex.API // equals/startsWith/endsWith for string QCs
+	CaseIdx  int     // switch case index, -1 otherwise
+	InLoop   bool
+
+	// ThenStart/ThenEnd delimit the contiguous guarded region
+	// [ThenStart, ThenEnd) for if-then shapes; ThenEnd == ThenStart
+	// when there is no contiguous then-region (switch cases, eq-jump
+	// shapes).
+	ThenStart, ThenEnd int
+}
+
+// HasThenRegion reports whether the QC guards a contiguous fallthrough
+// region (the shape code weaving needs).
+func (q *QC) HasThenRegion() bool { return q.ThenEnd > q.ThenStart }
+
+// Constant propagation lattice: top (unvisited), const(v), or NAC
+// (not-a-constant). A full forward dataflow — not just intra-block
+// tracking — so constants survive across branch targets and loop
+// headers, matching what Soot's constant propagation would determine.
+const (
+	latTop uint8 = iota
+	latConst
+	latNAC
+)
+
+type latticeVal struct {
+	state uint8
+	val   dex.Value
+}
+
+type lattice []latticeVal
+
+func newLattice(n int, state uint8) lattice {
+	l := make(lattice, n)
+	for i := range l {
+		l[i].state = state
+	}
+	return l
+}
+
+func (l lattice) clone() lattice { return append(lattice(nil), l...) }
+
+// meetInto merges o into l, reporting change.
+func (l lattice) meetInto(o lattice) bool {
+	changed := false
+	for i := range l {
+		a, b := l[i], o[i]
+		var n latticeVal
+		switch {
+		case a.state == latTop:
+			n = b
+		case b.state == latTop:
+			n = a
+		case a.state == latConst && b.state == latConst && a.val.Equal(b.val):
+			n = a
+		default:
+			n = latticeVal{state: latNAC}
+		}
+		if n.state != a.state || (n.state == latConst && !n.val.Equal(a.val)) {
+			l[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (l lattice) get(r int32) (dex.Value, bool) {
+	if r < 0 || int(r) >= len(l) || l[r].state != latConst {
+		return dex.Value{}, false
+	}
+	return l[r].val, true
+}
+
+func (l lattice) set(r int32, v dex.Value) {
+	if r >= 0 && int(r) < len(l) {
+		l[r] = latticeVal{state: latConst, val: v}
+	}
+}
+
+func (l lattice) kill(r int32) {
+	if r >= 0 && int(r) < len(l) {
+		l[r] = latticeVal{state: latNAC}
+	}
+}
+
+// step applies one instruction's transfer function.
+func (l lattice) step(f *dex.File, in dex.Instr) {
+	switch in.Op {
+	case dex.OpConstInt:
+		l.set(in.A, dex.Int64(in.Imm))
+	case dex.OpConstStr:
+		l.set(in.A, dex.Str(f.Str(in.Imm)))
+	case dex.OpMove:
+		if v, ok := l.get(in.B); ok {
+			l.set(in.A, v)
+		} else {
+			l.kill(in.A)
+		}
+	case dex.OpAddK:
+		if v, ok := l.get(in.B); ok && v.Kind == dex.KindInt {
+			l.set(in.A, dex.Int64(v.Int+in.Imm))
+		} else {
+			l.kill(in.A)
+		}
+	default:
+		_, defs := UsesDefs(in)
+		for _, d := range defs {
+			l.kill(d)
+		}
+	}
+}
+
+// constStates computes the lattice at entry of every block.
+func constStates(f *dex.File, m *dex.Method, g *Graph) []lattice {
+	n := len(g.Blocks)
+	in := make([]lattice, n)
+	for i := range in {
+		in[i] = newLattice(m.NumRegs, latTop)
+	}
+	if n == 0 {
+		return in
+	}
+	// Entry: everything is NAC (arguments vary, scratch is undefined).
+	for i := range in[0] {
+		in[0][i].state = latNAC
+	}
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		out := in[b].clone()
+		for pc := g.Blocks[b].Start; pc < g.Blocks[b].End; pc++ {
+			out.step(f, m.Code[pc])
+		}
+		for _, s := range g.Blocks[b].Succs {
+			if in[s].meetInto(out) && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return in
+}
+
+// FindQCs discovers qualified conditions in a method. Patterns:
+//
+//   - if-eq/if-ne with exactly one constant operand (IF_ICMPEQ/NE)
+//   - if-eqz/if-nez (IFEQ/IFNE — weak boolean conditions)
+//   - table switches: each case is an equality against its match value
+//   - r = equals/startsWith/endsWith(ϕ, "lit") ; if-eqz/nez r
+//
+// Constants are recognized by intra-block propagation, matching what
+// a bytecode-level tool can determine statically.
+func FindQCs(f *dex.File, m *dex.Method) []QC {
+	g := Build(f, m)
+	return FindQCsWithGraph(f, m, g)
+}
+
+// FindQCsWithGraph is FindQCs against a prebuilt graph.
+func FindQCsWithGraph(f *dex.File, m *dex.Method, g *Graph) []QC {
+	var out []QC
+	blockIn := constStates(f, m, g)
+	// strCmp remembers, per destination register, the most recent
+	// string-comparison call whose second operand was constant.
+	type strCmpInfo struct {
+		pc    int
+		reg   int32
+		op    dex.API
+		lit   dex.Value
+		valid bool
+	}
+	strCmps := map[int32]strCmpInfo{}
+
+	for bi := range g.Blocks {
+		b := g.Blocks[bi]
+		tracker := blockIn[bi].clone()
+		for k := range strCmps {
+			delete(strCmps, k)
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			in := m.Code[pc]
+			switch in.Op {
+			case dex.OpIfEq, dex.OpIfNe:
+				av, aok := tracker.get(in.A)
+				bv, bok := tracker.get(in.B)
+				var reg int32
+				var cv dex.Value
+				switch {
+				case aok && !bok:
+					reg, cv = in.B, av
+				case bok && !aok:
+					reg, cv = in.A, bv
+				default:
+					// Both or neither constant: not a usable QC.
+					tracker.step(f, in)
+					continue
+				}
+				q := QC{
+					Method: m, BranchPC: pc, CondPC: pc, Reg: reg,
+					Const: cv, Kind: kindOf(cv), CaseIdx: -1,
+					InLoop: g.InLoop(pc),
+				}
+				if in.Op == dex.OpIfNe {
+					// "if ϕ != c goto JOIN": the fallthrough is the
+					// guarded then-region ending at the join.
+					q.ThenStart, q.ThenEnd = pc+1, int(in.C)
+					if q.ThenEnd < q.ThenStart {
+						q.ThenStart, q.ThenEnd = 0, 0
+					}
+				}
+				out = append(out, q)
+
+			case dex.OpIfEqz, dex.OpIfNez:
+				// A zero test: ϕ == 0/false — possibly the tail of a
+				// string comparison.
+				if sc, ok := strCmps[in.A]; ok && sc.valid {
+					q := QC{
+						Method: m, BranchPC: pc, CondPC: sc.pc, Reg: sc.reg,
+						Const: sc.lit, Kind: Strong, StrOp: sc.op, CaseIdx: -1,
+						InLoop: g.InLoop(pc),
+					}
+					if in.Op == dex.OpIfEqz {
+						// "if !equals(ϕ,c) goto JOIN" guards fallthrough.
+						q.ThenStart, q.ThenEnd = pc+1, int(in.C)
+						if q.ThenEnd < q.ThenStart {
+							q.ThenStart, q.ThenEnd = 0, 0
+						}
+					}
+					out = append(out, q)
+				} else {
+					q := QC{
+						Method: m, BranchPC: pc, CondPC: pc, Reg: in.A,
+						Const: dex.Int64(0), Kind: Weak, CaseIdx: -1,
+						InLoop: g.InLoop(pc),
+					}
+					if in.Op == dex.OpIfNez {
+						// "if ϕ != 0 goto JOIN" guards the ϕ==0 region.
+						q.ThenStart, q.ThenEnd = pc+1, int(in.C)
+						if q.ThenEnd < q.ThenStart {
+							q.ThenStart, q.ThenEnd = 0, 0
+						}
+					}
+					out = append(out, q)
+				}
+
+			case dex.OpSwitch:
+				if in.Imm >= 0 && in.Imm < int64(len(m.Tables)) {
+					for ci, cs := range m.Tables[in.Imm].Cases {
+						out = append(out, QC{
+							Method: m, BranchPC: pc, CondPC: pc, Reg: in.A,
+							Const: dex.Int64(cs.Match), Kind: Medium,
+							CaseIdx: ci, InLoop: g.InLoop(pc),
+						})
+					}
+				}
+
+			case dex.OpCallAPI:
+				api := dex.API(in.Imm)
+				if in.A != -1 {
+					delete(strCmps, in.A)
+				}
+				if (api == dex.APIStrEquals || api == dex.APIStrStartsWith || api == dex.APIStrEndsWith) && in.C == 2 && in.A != -1 {
+					if lit, ok := tracker.get(in.B + 1); ok && lit.Kind == dex.KindStr {
+						strCmps[in.A] = strCmpInfo{pc: pc, reg: in.B, op: api, lit: lit, valid: true}
+					}
+				}
+			}
+			// Any write invalidates stale string-compare results.
+			_, defs := UsesDefs(in)
+			for _, d := range defs {
+				if sc, ok := strCmps[d]; ok && sc.pc != pc {
+					delete(strCmps, d)
+				}
+			}
+			tracker.step(f, in)
+		}
+	}
+	return out
+}
+
+func kindOf(v dex.Value) Strength {
+	switch v.Kind {
+	case dex.KindStr:
+		return Strong
+	default:
+		return Medium
+	}
+}
+
+// Liftable reports whether the QC's then-region can be moved into an
+// encrypted payload: single entry, exits only to the join, no
+// returns/switches inside, external live registers limited to the
+// trigger operand on entry, and no register written in the region is
+// live after the join (statics are the sanctioned side-channel).
+func Liftable(g *Graph, lv *Liveness, q *QC) bool {
+	if !q.HasThenRegion() {
+		return false
+	}
+	m := q.Method
+	s, e := q.ThenStart, q.ThenEnd
+	if s < 0 || e > len(m.Code) {
+		return false
+	}
+	// Control flow containment.
+	for pc := s; pc < e; pc++ {
+		in := m.Code[pc]
+		switch {
+		case in.Op == dex.OpReturn || in.Op == dex.OpReturnVoid:
+			return false
+		case in.Op == dex.OpSwitch:
+			return false
+		case in.Op.IsBranch():
+			t := int(in.C)
+			if (t < s || t > e) && t != e {
+				return false
+			}
+		}
+	}
+	// No external jumps into the interior.
+	for pc, in := range m.Code {
+		if pc >= s && pc < e {
+			continue
+		}
+		var targets []int
+		if in.Op.IsBranch() {
+			targets = append(targets, int(in.C))
+		}
+		if in.Op == dex.OpSwitch && in.Imm >= 0 && in.Imm < int64(len(m.Tables)) {
+			t := m.Tables[in.Imm]
+			targets = append(targets, int(t.Default))
+			for _, c := range t.Cases {
+				targets = append(targets, int(c.Target))
+			}
+		}
+		for _, t := range targets {
+			if t > s && t < e {
+				return false
+			}
+		}
+	}
+	// Incoming values: registers read before any write inside the
+	// region must be exactly {q.Reg} or nothing.
+	written := NewRegSet(m.NumRegs)
+	for pc := s; pc < e; pc++ {
+		uses, defs := UsesDefs(m.Code[pc])
+		for _, u := range uses {
+			if !written.Has(u) && u != q.Reg {
+				return false
+			}
+		}
+		for _, d := range defs {
+			written.Add(d)
+		}
+	}
+	// Nothing written inside may be live at the join.
+	if e < len(lv.In) && written.Intersects(lv.In[e]) {
+		return false
+	}
+	return true
+}

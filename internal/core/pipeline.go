@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"bombdroid/internal/apk"
+)
+
+// BuildProtected runs the full Figure-1 pipeline on a signed input
+// package: unpack, extract the public key from CERT.RSA, instrument,
+// and emit the protected *unsigned* package plus the protection
+// record. The unsigned output "will be sent to the legitimate
+// developer to sign the app; the private key is kept by the
+// legitimate developer and is not disclosed to BombDroid".
+func BuildProtected(in *apk.Package, opts Options) (*apk.Unsigned, *Result, error) {
+	file, err := in.DexFile()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: unpacking dex: %w", err)
+	}
+	ko := in.PublicKeyHex()
+	if ko == "" {
+		return nil, nil, fmt.Errorf("core: input package has no certificate to extract Ko from")
+	}
+	// Icon/author digests for DetectIcon bombs come from the input
+	// package's manifest (the values a repackager's edits will change).
+	opts.IconDigest = in.Manifest.DigestOf(apk.EntryIcon)
+	opts.AuthorDigest = in.Manifest.DigestOf(apk.EntryAuthor)
+	res, err := Protect(file, ko, len(in.Res.Strings), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	newRes := in.Res.Clone()
+	newRes.Strings = append(newRes.Strings, res.StegoStrings...)
+	return apk.Build(in.Name, res.File, newRes), res, nil
+}
+
+// ProtectPackage is BuildProtected followed by the developer signing
+// step — the convenience most tests and experiments want.
+func ProtectPackage(in *apk.Package, devKey *apk.KeyPair, opts Options) (*apk.Package, *Result, error) {
+	if devKey.PublicKeyHex() != in.PublicKeyHex() {
+		return nil, nil, fmt.Errorf("core: signing key does not match the package's certificate")
+	}
+	u, res, err := BuildProtected(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	signed, err := apk.Sign(u, devKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	return signed, res, nil
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/cfg"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/instrument"
+	"bombdroid/internal/vm"
+)
+
+// Protect instruments a dex file with logic bombs (paper Fig. 1,
+// steps 2–4). ko is the developer's public key extracted from
+// CERT.RSA; resourceCount is the app's current strings.xml size (the
+// stego strings Result.StegoStrings land at that offset). The input
+// file is not modified.
+func Protect(file *dex.File, ko string, resourceCount int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := file.Clone()
+
+	res := &Result{File: out, StegoBase: resourceCount}
+	res.Stats.InstrBefore = out.InstrCount()
+
+	hot := hotMethods(opts.Profile, opts.HotFrac)
+	var candidates []*dex.Method
+	for _, m := range out.Methods() {
+		res.Stats.Methods++
+		if m.IsSynthetic() {
+			continue
+		}
+		if hot[m.FullName()] {
+			res.Stats.HotExcluded++
+			continue
+		}
+		candidates = append(candidates, m)
+	}
+	res.Stats.Candidates = len(candidates)
+
+	p := &protector{
+		opts: opts, rng: rng, out: out, res: res, ko: ko,
+	}
+	for _, m := range candidates {
+		if err := p.protectMethod(m); err != nil {
+			return nil, fmt.Errorf("core: instrumenting %s: %w", m.FullName(), err)
+		}
+		p.finalized = append(p.finalized, m)
+	}
+	if err := dex.ValidateLinked(out); err != nil {
+		return nil, fmt.Errorf("core: protected file invalid: %w", err)
+	}
+
+	// Steganographic strings: hide each reserved fragment (the final
+	// classes.dex digest, or icon/author digests) inside innocuous
+	// covers.
+	if len(p.stegoPlan) > 0 {
+		dexFrag := apk.DigestHex(dex.Encode(out))[:stegoFragLen]
+		covers := []string{
+			"Loading, please wait…", "Thanks for playing!", "Settings saved",
+			"Check out what's new", "Rate us on the store",
+		}
+		for i, want := range p.stegoPlan {
+			frag := want
+			if want == "dex" {
+				frag = dexFrag
+			}
+			cover := covers[i%len(covers)]
+			res.StegoStrings = append(res.StegoStrings, apk.HideInString(cover, frag, rng))
+		}
+	}
+
+	res.Stats.InstrAfter = out.InstrCount()
+	res.Stats.BlobBytes = out.BlobBytes()
+	return res, nil
+}
+
+// hotMethods returns the top frac of methods by invocation count.
+func hotMethods(profile map[string]int64, frac float64) map[string]bool {
+	out := map[string]bool{}
+	if len(profile) == 0 || frac <= 0 {
+		return out
+	}
+	type mc struct {
+		name  string
+		count int64
+	}
+	all := make([]mc, 0, len(profile))
+	for name, c := range profile {
+		all = append(all, mc{name, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].name < all[j].name
+	})
+	n := int(float64(len(all)) * frac)
+	for i := 0; i < n; i++ {
+		out[all[i].name] = true
+	}
+	return out
+}
+
+// protector carries per-run instrumentation state.
+type protector struct {
+	opts Options
+	rng  *rand.Rand
+	out  *dex.File
+	res  *Result
+	ko   string
+
+	finalized []*dex.Method // fully instrumented methods (snippet targets)
+	bombN     int
+	// stegoPlan records, per reserved stego string, what its hidden
+	// fragment must be: "dex" (final classes.dex digest, computed after
+	// instrumentation), or a literal fragment (icon/author digests,
+	// known upfront).
+	stegoPlan []string
+}
+
+// sitePlan is one planned edit, in original pc coordinates.
+type sitePlan struct {
+	start, end int // end == start means pure insertion
+	qc         *cfg.QC
+	weave      bool
+	source     BombSource
+	fieldRef   string    // artificial QCs
+	constVal   dex.Value // trigger constant
+	strOp      dex.API
+	xReg       int32
+}
+
+func (sp sitePlan) conflictRange() (int, int) {
+	e := sp.end
+	if e <= sp.start {
+		e = sp.start + 1
+	}
+	return sp.start, e
+}
+
+func overlaps(a, b sitePlan) bool {
+	as, ae := a.conflictRange()
+	bs, be := b.conflictRange()
+	return as < be && bs < ae
+}
+
+// protectMethod plans and applies all bomb sites for one method.
+func (p *protector) protectMethod(m *dex.Method) error {
+	g := cfg.Build(p.out, m)
+	lv := cfg.ComputeLiveness(g)
+	qcs := cfg.FindQCsWithGraph(p.out, m, g)
+
+	var usable []cfg.QC
+	for _, q := range qcs {
+		if !q.InLoop {
+			usable = append(usable, q)
+		}
+	}
+	p.res.Stats.ExistingQCs += len(usable)
+	p.rng.Shuffle(len(usable), func(i, j int) { usable[i], usable[j] = usable[j], usable[i] })
+
+	var plans []sitePlan
+	conflict := func(cand sitePlan) bool {
+		for _, pl := range plans {
+			if overlaps(pl, cand) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Real bombs from existing QCs: ExistingFrac is the per-method
+	// probability of hosting one (and occasionally a second, up to
+	// MaxBombsPerMethod).
+	quota := 0
+	if p.rng.Float64() < p.opts.ExistingFrac {
+		quota = 1
+		if p.opts.MaxBombsPerMethod > 1 && p.rng.Float64() < p.opts.ExistingFrac/3 {
+			quota = p.opts.MaxBombsPerMethod
+		}
+	}
+	for i := range usable {
+		if quota == 0 || (p.opts.MaxBombs > 0 && p.bombN >= p.opts.MaxBombs) {
+			break
+		}
+		q := &usable[i]
+		plan, ok := p.planForQC(g, lv, m, q, SourceExisting)
+		if !ok || conflict(plan) {
+			continue
+		}
+		plans = append(plans, plan)
+		quota--
+		p.bombN++
+	}
+
+	// Bogus bombs from leftover weavable QCs.
+	if p.opts.BogusFrac > 0 {
+		for i := range usable {
+			q := &usable[i]
+			if q.Kind == cfg.Weak || !q.HasThenRegion() {
+				continue
+			}
+			if p.rng.Float64() >= p.opts.BogusFrac {
+				continue
+			}
+			plan, ok := p.planForQC(g, lv, m, q, SourceBogus)
+			if !ok || !plan.weave || conflict(plan) {
+				continue
+			}
+			plans = append(plans, plan)
+		}
+	}
+
+	// Artificial QC for α of candidate methods.
+	if p.rng.Float64() < p.opts.Alpha && (p.opts.MaxBombs == 0 || p.bombN < p.opts.MaxBombs) {
+		if plan, ok := p.planArtificial(g, m, conflict); ok {
+			plans = append(plans, plan)
+			p.bombN++
+		}
+	}
+
+	if len(plans) == 0 {
+		return nil
+	}
+
+	base := int32(m.NumRegs)
+	m.NumRegs += siteRegs
+
+	sort.Slice(plans, func(i, j int) bool { return plans[i].start > plans[j].start })
+	for _, plan := range plans {
+		if err := p.apply(m, plan, base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planForQC decides how to bomb one qualified condition.
+func (p *protector) planForQC(g *cfg.Graph, lv *cfg.Liveness, m *dex.Method, q *cfg.QC, source BombSource) (sitePlan, bool) {
+	plan := sitePlan{
+		qc: q, source: source, constVal: q.Const, strOp: q.StrOp, xReg: q.Reg,
+	}
+	weavable := p.opts.Weave && !p.opts.NoWeave &&
+		q.Kind != cfg.Weak && // zero-tests may guard non-integer falsy values
+		q.HasThenRegion() &&
+		cfg.Liftable(g, lv, q) &&
+		spliceable(m, q.CondPC, q.ThenEnd) &&
+		// Registers defined by the replaced comparison prologue
+		// (e.g. a string-equals result) must be dead at the join.
+		!prologueDefsLive(m, lv, q.CondPC, q.ThenStart, q.ThenEnd)
+	if weavable && (q.StrOp == dex.APIStrStartsWith || q.StrOp == dex.APIStrEndsWith) &&
+		regionReadsReg(m, q.ThenStart, q.ThenEnd, q.Reg) {
+		// The payload receives the extracted prefix/suffix, not the
+		// original string; regions reading ϕ cannot be moved.
+		weavable = false
+	}
+	if source == SourceBogus && !weavable {
+		return plan, false
+	}
+	if weavable {
+		plan.weave = true
+		plan.start, plan.end = q.CondPC, q.ThenEnd
+	} else {
+		plan.start, plan.end = q.CondPC, q.CondPC
+	}
+	return plan, true
+}
+
+// planArtificial inserts an artificial qualified condition (paper
+// §3.3, §7.2): pick a high-entropy field observed during profiling,
+// a constant from its observed values, and a non-loop location.
+func (p *protector) planArtificial(g *cfg.Graph, m *dex.Method, conflict func(sitePlan) bool) (sitePlan, bool) {
+	ref, val, ok := p.pickArtificialField()
+	if !ok {
+		return sitePlan{}, false
+	}
+	// Candidate locations: block starts outside loops.
+	var locs []int
+	for _, b := range g.Blocks {
+		if !g.InLoop(b.Start) {
+			locs = append(locs, b.Start)
+		}
+	}
+	if len(locs) == 0 {
+		return sitePlan{}, false
+	}
+	p.rng.Shuffle(len(locs), func(i, j int) { locs[i], locs[j] = locs[j], locs[i] })
+	for _, loc := range locs {
+		plan := sitePlan{
+			start: loc, end: loc, source: SourceArtificial,
+			fieldRef: ref, constVal: val,
+		}
+		if !conflict(plan) {
+			return plan, true
+		}
+	}
+	return sitePlan{}, false
+}
+
+// pickArtificialField chooses the field with the most observed unique
+// values ("fields that have the largest numbers of unique values are
+// considered to have higher entropies", §7.2).
+func (p *protector) pickArtificialField() (string, dex.Value, bool) {
+	type fv struct {
+		ref  string
+		vals []dex.Value
+	}
+	var best []fv
+	if len(p.opts.FieldValues) > 0 {
+		all := make([]fv, 0, len(p.opts.FieldValues))
+		for ref, vals := range p.opts.FieldValues {
+			if len(vals) == 0 {
+				continue
+			}
+			if k := vals[0].Kind; k != dex.KindInt && k != dex.KindStr {
+				continue
+			}
+			all = append(all, fv{ref, vals})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if len(all[i].vals) != len(all[j].vals) {
+				return len(all[i].vals) > len(all[j].vals)
+			}
+			return all[i].ref < all[j].ref
+		})
+		// A quarter of the time, restrict to string fields: string
+		// constants give strong (brute-force-resistant) artificial
+		// triggers even when the value set is small (Fig. 4b shows a
+		// medium/strong mix).
+		if p.rng.Intn(4) == 0 {
+			var strs []fv
+			for _, f := range all {
+				if f.vals[0].Kind == dex.KindStr {
+					strs = append(strs, f)
+				}
+			}
+			if len(strs) > 0 {
+				all = strs
+			}
+		}
+		// Keep the top quartile as the entropy pool.
+		n := len(all)/4 + 1
+		if n > len(all) {
+			n = len(all)
+		}
+		best = all[:n]
+	} else {
+		// No profiling data: fall back to declared fields and their
+		// initial values (weak entropy, still functional).
+		for _, c := range p.out.Classes {
+			for _, fd := range c.Fields {
+				if fd.Init.Kind == dex.KindInt || fd.Init.Kind == dex.KindStr {
+					best = append(best, fv{c.Name + "." + fd.Name, []dex.Value{fd.Init}})
+				}
+			}
+		}
+	}
+	if len(best) == 0 {
+		return "", dex.Value{}, false
+	}
+	chosen := best[p.rng.Intn(len(best))]
+	return chosen.ref, chosen.vals[p.rng.Intn(len(chosen.vals))], true
+}
+
+// apply builds, seals, and splices one planned site.
+func (p *protector) apply(m *dex.Method, plan sitePlan, base int32) error {
+	id := fmt.Sprintf("Bomb%d", len(p.res.Bombs))
+	salt := saltFor(p.rng, len(p.res.Bombs))
+	if p.opts.GlobalSalt != "" {
+		salt = p.opts.GlobalSalt
+	}
+
+	spec := payloadSpec{id: id, bogus: plan.source == SourceBogus}
+	bomb := Bomb{
+		ID: id, Method: m.FullName(), Source: plan.source,
+		Const: plan.constVal, Salt: salt, Woven: plan.weave,
+	}
+	switch {
+	case plan.source == SourceArtificial:
+		if plan.constVal.Kind == dex.KindStr {
+			bomb.Strength = cfg.Strong
+		} else {
+			bomb.Strength = cfg.Medium
+		}
+	case plan.qc != nil:
+		bomb.Strength = plan.qc.Kind
+	}
+
+	if plan.source != SourceBogus {
+		spec.mute = p.opts.MuteAfterFirst
+		if p.opts.DoubleTrigger && !p.opts.SingleTrigger {
+			spec.inner = android.BuildInnerCond(p.rng, p.opts.PLo, p.opts.PHi)
+		}
+		spec.detect = p.chooseDetection()
+		spec.response = pick(p.rng, p.opts.Responses)
+		spec.delayMs = p.opts.DelayResponseMs
+		spec.ko = p.ko
+		if spec.detect == DetectDigest {
+			spec.stegoResIdx = int64(p.res.StegoBase + len(p.stegoPlan))
+			p.stegoPlan = append(p.stegoPlan, "dex")
+		}
+		if spec.detect == DetectIcon {
+			spec.stegoResIdx = int64(p.res.StegoBase + len(p.stegoPlan))
+			if p.rng.Intn(2) == 0 && len(p.opts.AuthorDigest) >= stegoFragLen {
+				spec.digestEntry = apk.EntryAuthor
+				p.stegoPlan = append(p.stegoPlan, p.opts.AuthorDigest[:stegoFragLen])
+			} else {
+				spec.digestEntry = apk.EntryIcon
+				p.stegoPlan = append(p.stegoPlan, p.opts.IconDigest[:stegoFragLen])
+			}
+		}
+		if spec.detect == DetectSnippet {
+			t := p.finalized[p.rng.Intn(len(p.finalized))]
+			spec.snippetRef = t.FullName()
+			spec.snippetDigest = vm.CodeDigest(p.out, t)
+		}
+		bomb.Inner = spec.inner
+		bomb.Detect = spec.detect
+		bomb.Response = spec.response
+	}
+
+	if plan.weave {
+		spec.weaveFrom = p.out
+		spec.weaveMethod = m
+		spec.weaveStart = plan.qc.ThenStart
+		spec.weaveEnd = plan.qc.ThenEnd
+		spec.weaveArgReg = plan.qc.Reg
+	}
+
+	pf, err := buildPayload(spec)
+	if err != nil {
+		return err
+	}
+	sealed, err := sealPayload(pf, plan.constVal, salt)
+	if err != nil {
+		return err
+	}
+	bomb.BlobIdx = p.out.AddBlob(sealed)
+
+	seq := outerTriggerSeq(p.out, triggerSpec{
+		xReg: plan.xReg, c: plan.constVal, salt: salt,
+		blobIdx: bomb.BlobIdx, strOp: plan.strOp, fieldRef: plan.fieldRef,
+	}, base)
+	if err := instrument.Splice(m, plan.start, plan.end, seq); err != nil {
+		return err
+	}
+
+	p.res.Bombs = append(p.res.Bombs, bomb)
+	switch plan.source {
+	case SourceExisting:
+		p.res.Stats.BombsExisting++
+	case SourceArtificial:
+		p.res.Stats.BombsArtificial++
+	case SourceBogus:
+		p.res.Stats.BombsBogus++
+	}
+	if plan.weave {
+		p.res.Stats.Woven++
+	}
+	return nil
+}
+
+// chooseDetection rotates among configured methods, falling back to
+// public key when a method's prerequisites are unmet.
+func (p *protector) chooseDetection() DetectionMethod {
+	d := pick(p.rng, p.opts.Detections)
+	if d == DetectSnippet && len(p.finalized) == 0 {
+		return DetectPublicKey
+	}
+	if d == DetectIcon && len(p.opts.IconDigest) < stegoFragLen {
+		return DetectPublicKey
+	}
+	return d
+}
+
+// spliceable mirrors instrument.Splice's interior-target check so a
+// failing site degrades to insertion instead of aborting protection.
+func spliceable(m *dex.Method, s, e int) bool {
+	if e <= s {
+		return true
+	}
+	check := func(t int32) bool { return int(t) <= s || int(t) >= e }
+	for pc, in := range m.Code {
+		if pc >= s && pc < e {
+			continue
+		}
+		if in.Op.IsBranch() && !check(in.C) {
+			return false
+		}
+	}
+	for _, t := range m.Tables {
+		if !check(t.Default) {
+			return false
+		}
+		for _, c := range t.Cases {
+			if !check(c.Target) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// prologueDefsLive reports whether any register defined in the
+// comparison prologue [s, thenStart) is live at the join (end).
+func prologueDefsLive(m *dex.Method, lv *cfg.Liveness, s, thenStart, end int) bool {
+	if end >= len(lv.In) {
+		return false
+	}
+	for pc := s; pc < thenStart && pc < len(m.Code); pc++ {
+		_, defs := cfg.UsesDefs(m.Code[pc])
+		for _, d := range defs {
+			if lv.In[end].Has(d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// regionReadsReg reports whether [s,e) reads reg before writing it.
+func regionReadsReg(m *dex.Method, s, e int, reg int32) bool {
+	written := false
+	for pc := s; pc < e && !written; pc++ {
+		uses, defs := cfg.UsesDefs(m.Code[pc])
+		for _, u := range uses {
+			if u == reg {
+				return true
+			}
+		}
+		for _, d := range defs {
+			if d == reg {
+				written = true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,523 @@
+package dex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assembler syntax — a line-oriented textual form of a dex file,
+// complementing the disassembler for hand-written test programs and
+// tooling round-trips:
+//
+//	class App
+//	field count int 0
+//	field title str "start"
+//	method bump 0 handler
+//	  get-static r0, App.count
+//	  add-k r0, r0, 1
+//	  put-static App.count, r0
+//	  return r0
+//	end
+//	method spin 0
+//	top:
+//	  goto @top
+//	end
+//	endclass
+//	blob 0a0b0c
+//
+// Registers are rN; branch targets are @label; string literals are
+// Go-quoted; API calls use `call-api rDst, name, rBase, argc` with
+// `-` as the void destination; invokes use
+// `invoke rDst, Class.Method, rBase, argc`. Switches:
+//
+//	switch r0, [1=@one 2=@two], @default
+type asmParser struct {
+	file   *File
+	lineNo int
+}
+
+// Assemble parses the textual form into a File.
+func Assemble(src string) (*File, error) {
+	p := &asmParser{file: NewFile()}
+	lines := strings.Split(src, "\n")
+
+	var curClass *Class
+	type pendingMethod struct {
+		name    string
+		numArgs int
+		flags   MethodFlags
+		lines   []string
+		lineNos []int
+	}
+	var curMethod *pendingMethod
+
+	flush := func() error {
+		if curMethod == nil {
+			return nil
+		}
+		m, err := p.assembleMethod(curMethod.name, curMethod.numArgs, curMethod.flags, curMethod.lines, curMethod.lineNos)
+		if err != nil {
+			return err
+		}
+		curClass.AddMethod(m)
+		curMethod = nil
+		return nil
+	}
+
+	for i, raw := range lines {
+		p.lineNo = i + 1
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if curMethod != nil && line != "end" {
+			curMethod.lines = append(curMethod.lines, line)
+			curMethod.lineNos = append(curMethod.lineNos, i+1)
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "class":
+			if curClass != nil {
+				return nil, p.errf("nested class")
+			}
+			if len(fields) != 2 {
+				return nil, p.errf("class wants a name")
+			}
+			curClass = &Class{Name: fields[1]}
+		case "endclass":
+			if curClass == nil {
+				return nil, p.errf("endclass without class")
+			}
+			if err := p.file.AddClass(curClass); err != nil {
+				return nil, p.errf("%v", err)
+			}
+			curClass = nil
+		case "field":
+			if curClass == nil {
+				return nil, p.errf("field outside class")
+			}
+			fd, err := p.parseField(line)
+			if err != nil {
+				return nil, err
+			}
+			curClass.Fields = append(curClass.Fields, fd)
+		case "method":
+			if curClass == nil {
+				return nil, p.errf("method outside class")
+			}
+			if len(fields) < 3 {
+				return nil, p.errf("method wants: method <name> <numArgs> [flags]")
+			}
+			numArgs, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, p.errf("bad arg count %q", fields[2])
+			}
+			var flags MethodFlags
+			if len(fields) > 3 {
+				for _, fl := range strings.Split(fields[3], ",") {
+					switch fl {
+					case "handler":
+						flags |= FlagHandler
+					case "init":
+						flags |= FlagInit
+					case "synthetic":
+						flags |= FlagSynthetic
+					default:
+						return nil, p.errf("unknown flag %q", fl)
+					}
+				}
+			}
+			curMethod = &pendingMethod{name: fields[1], numArgs: numArgs, flags: flags}
+		case "end":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case "blob":
+			if len(fields) != 2 {
+				return nil, p.errf("blob wants hex bytes")
+			}
+			b, err := hexDecode(fields[1])
+			if err != nil {
+				return nil, p.errf("bad blob: %v", err)
+			}
+			p.file.AddBlob(b)
+		default:
+			return nil, p.errf("unexpected %q", fields[0])
+		}
+	}
+	if curMethod != nil {
+		return nil, fmt.Errorf("dex asm: method %q missing end", curMethod.name)
+	}
+	if curClass != nil {
+		return nil, fmt.Errorf("dex asm: class %q missing endclass", curClass.Name)
+	}
+	if err := Validate(p.file); err != nil {
+		return nil, fmt.Errorf("dex asm: assembled file invalid: %w", err)
+	}
+	return p.file, nil
+}
+
+func stripComment(line string) string {
+	// Comments start with ';' outside string literals.
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';':
+			if !inStr {
+				return strings.TrimSpace(line[:i])
+			}
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+func (p *asmParser) errf(format string, a ...any) error {
+	return fmt.Errorf("dex asm: line %d: %s", p.lineNo, fmt.Sprintf(format, a...))
+}
+
+// parseField parses `field <name> <kind> <value>`.
+func (p *asmParser) parseField(line string) (Field, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Field{}, p.errf("field wants: field <name> <kind> [value]")
+	}
+	fd := Field{Name: fields[1]}
+	switch fields[2] {
+	case "int":
+		if len(fields) != 4 {
+			return Field{}, p.errf("int field wants a value")
+		}
+		v, err := strconv.ParseInt(fields[3], 0, 64)
+		if err != nil {
+			return Field{}, p.errf("bad int %q", fields[3])
+		}
+		fd.Init = Int64(v)
+	case "str":
+		rest := strings.TrimSpace(line[strings.Index(line, "str")+3:])
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return Field{}, p.errf("bad string %q", rest)
+		}
+		fd.Init = Str(s)
+	case "nil":
+		fd.Init = Nil()
+	default:
+		return Field{}, p.errf("unknown field kind %q", fields[2])
+	}
+	return fd, nil
+}
+
+// assembleMethod parses method body lines using a Builder.
+func (p *asmParser) assembleMethod(name string, numArgs int, flags MethodFlags, lines []string, lineNos []int) (*Method, error) {
+	b := NewBuilder(p.file, name, numArgs)
+	b.SetFlags(flags)
+	maxReg := int32(numArgs) - 1
+
+	reg := func(tok string) (int32, error) {
+		tok = strings.TrimSuffix(tok, ",")
+		if tok == "-" {
+			return -1, nil
+		}
+		if !strings.HasPrefix(tok, "r") {
+			return 0, fmt.Errorf("expected register, got %q", tok)
+		}
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad register %q", tok)
+		}
+		if int32(n) > maxReg {
+			maxReg = int32(n)
+		}
+		return int32(n), nil
+	}
+	imm := func(tok string) (int64, error) {
+		return strconv.ParseInt(strings.TrimSuffix(tok, ","), 0, 64)
+	}
+	label := func(tok string) (string, error) {
+		tok = strings.TrimSuffix(tok, ",")
+		if !strings.HasPrefix(tok, "@") {
+			return "", fmt.Errorf("expected @label, got %q", tok)
+		}
+		return tok[1:], nil
+	}
+
+	for li, line := range lines {
+		p.lineNo = lineNos[li]
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+			b.Label(strings.TrimSuffix(line, ":"))
+			continue
+		}
+		toks := strings.Fields(line)
+		op, ok := opByName[toks[0]]
+		if !ok {
+			return nil, p.errf("unknown op %q", toks[0])
+		}
+		var err error
+		switch op {
+		case OpNop:
+			b.Emit(Instr{Op: OpNop, A: -1, B: -1, C: -1})
+		case OpReturnVoid:
+			b.ReturnVoid()
+		case OpConstInt:
+			err = p.arg2(toks, func(dst int32, v int64) { b.ConstInt(dst, v) }, reg, imm)
+		case OpAddK:
+			if len(toks) != 4 {
+				return nil, p.errf("add-k wants 3 operands")
+			}
+			var dst, src int32
+			var k int64
+			if dst, err = reg(toks[1]); err == nil {
+				if src, err = reg(toks[2]); err == nil {
+					if k, err = imm(toks[3]); err == nil {
+						b.AddK(dst, src, k)
+					}
+				}
+			}
+		case OpConstStr:
+			if len(toks) < 3 {
+				return nil, p.errf("const-str wants rDst, \"lit\"")
+			}
+			dst, rerr := reg(toks[1])
+			if rerr != nil {
+				return nil, p.errf("%v", rerr)
+			}
+			lit := strings.TrimSpace(line[strings.Index(line, toks[1])+len(toks[1]):])
+			lit = strings.TrimPrefix(strings.TrimSpace(lit), ",")
+			s, uerr := strconv.Unquote(strings.TrimSpace(lit))
+			if uerr != nil {
+				return nil, p.errf("bad string literal: %v", uerr)
+			}
+			b.ConstStr(dst, s)
+		case OpMove, OpNeg, OpNot, OpNewArr, OpArrLen:
+			err = p.regreg(toks, func(a, bb int32) {
+				b.Emit(Instr{Op: op, A: a, B: bb, C: -1})
+			}, reg)
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpALoad, OpAStore:
+			err = p.regregreg(toks, func(a, bb, c int32) {
+				b.Emit(Instr{Op: op, A: a, B: bb, C: c})
+			}, reg)
+		case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe:
+			if len(toks) != 4 {
+				return nil, p.errf("%s wants rA, rB, @label", op)
+			}
+			var x, y int32
+			var lbl string
+			if x, err = reg(toks[1]); err == nil {
+				if y, err = reg(toks[2]); err == nil {
+					if lbl, err = label(toks[3]); err == nil {
+						b.Branch(op, x, y, lbl)
+					}
+				}
+			}
+		case OpIfEqz, OpIfNez:
+			if len(toks) != 3 {
+				return nil, p.errf("%s wants rA, @label", op)
+			}
+			var x int32
+			var lbl string
+			if x, err = reg(toks[1]); err == nil {
+				if lbl, err = label(toks[2]); err == nil {
+					b.BranchZ(op, x, lbl)
+				}
+			}
+		case OpGoto:
+			if len(toks) != 2 {
+				return nil, p.errf("goto wants @label")
+			}
+			var lbl string
+			if lbl, err = label(toks[1]); err == nil {
+				b.Goto(lbl)
+			}
+		case OpSwitch:
+			err = p.parseSwitch(b, line, toks, reg)
+		case OpInvoke:
+			if len(toks) != 5 {
+				return nil, p.errf("invoke wants rDst, Class.Method, rBase, argc")
+			}
+			var dst, base int32
+			var argc int64
+			if dst, err = reg(toks[1]); err == nil {
+				if base, err = reg(toks[3]); err == nil {
+					if argc, err = imm(toks[4]); err == nil {
+						b.Emit(Instr{Op: OpInvoke, A: dst, B: base, C: int32(argc),
+							Imm: p.file.Intern(strings.TrimSuffix(toks[2], ","))})
+					}
+				}
+			}
+		case OpCallAPI:
+			if len(toks) != 5 {
+				return nil, p.errf("call-api wants rDst, name, rBase, argc")
+			}
+			api := APIByName(strings.TrimSuffix(toks[2], ","))
+			if !api.Valid() {
+				return nil, p.errf("unknown API %q", toks[2])
+			}
+			var dst, base int32
+			var argc int64
+			if dst, err = reg(toks[1]); err == nil {
+				if base, err = reg(toks[3]); err == nil {
+					if argc, err = imm(toks[4]); err == nil {
+						b.Emit(Instr{Op: OpCallAPI, A: dst, B: base, C: int32(argc), Imm: int64(api)})
+					}
+				}
+			}
+		case OpReturn:
+			if len(toks) != 2 {
+				return nil, p.errf("return wants a register")
+			}
+			var x int32
+			if x, err = reg(toks[1]); err == nil {
+				b.Return(x)
+			}
+		case OpGetStatic:
+			if len(toks) != 3 {
+				return nil, p.errf("get-static wants rDst, Class.Field")
+			}
+			var dst int32
+			if dst, err = reg(toks[1]); err == nil {
+				b.GetStatic(dst, strings.TrimSuffix(toks[2], ","))
+			}
+		case OpPutStatic:
+			if len(toks) != 3 {
+				return nil, p.errf("put-static wants Class.Field, rSrc")
+			}
+			var src int32
+			if src, err = reg(toks[2]); err == nil {
+				b.PutStatic(strings.TrimSuffix(toks[1], ","), src)
+			}
+		default:
+			return nil, p.errf("op %q not supported in assembly", op)
+		}
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+	}
+	m, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("dex asm: method %s: %w", name, err)
+	}
+	if int(maxReg)+1 > m.NumRegs {
+		m.NumRegs = int(maxReg) + 1
+	}
+	return m, nil
+}
+
+// parseSwitch handles: switch r0, [1=@one 2=@two], @default
+func (p *asmParser) parseSwitch(b *Builder, line string, toks []string, reg func(string) (int32, error)) error {
+	if len(toks) < 3 {
+		return fmt.Errorf("switch wants: switch rX, [v=@label …], @default")
+	}
+	r, err := reg(toks[1])
+	if err != nil {
+		return err
+	}
+	lb := strings.Index(line, "[")
+	rb := strings.Index(line, "]")
+	if lb < 0 || rb < lb {
+		return fmt.Errorf("switch wants a [v=@label …] table")
+	}
+	var matches []int64
+	var caseLabels []string
+	for _, pair := range strings.Fields(line[lb+1 : rb]) {
+		eq := strings.Index(pair, "=@")
+		if eq < 0 {
+			return fmt.Errorf("bad switch case %q", pair)
+		}
+		v, err := strconv.ParseInt(pair[:eq], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad switch value %q", pair[:eq])
+		}
+		matches = append(matches, v)
+		caseLabels = append(caseLabels, pair[eq+2:])
+	}
+	rest := strings.TrimSpace(line[rb+1:])
+	rest = strings.TrimPrefix(rest, ",")
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "@") {
+		return fmt.Errorf("switch wants @default after the table")
+	}
+	b.Switch(r, matches, caseLabels, rest[1:])
+	return nil
+}
+
+func (p *asmParser) arg2(toks []string, emit func(int32, int64), reg func(string) (int32, error), imm func(string) (int64, error)) error {
+	if len(toks) != 3 {
+		return fmt.Errorf("%s wants 2 operands", toks[0])
+	}
+	r, err := reg(toks[1])
+	if err != nil {
+		return err
+	}
+	v, err := imm(toks[2])
+	if err != nil {
+		return err
+	}
+	emit(r, v)
+	return nil
+}
+
+func (p *asmParser) regreg(toks []string, emit func(int32, int32), reg func(string) (int32, error)) error {
+	if len(toks) != 3 {
+		return fmt.Errorf("%s wants 2 registers", toks[0])
+	}
+	a, err := reg(toks[1])
+	if err != nil {
+		return err
+	}
+	b, err := reg(toks[2])
+	if err != nil {
+		return err
+	}
+	emit(a, b)
+	return nil
+}
+
+func (p *asmParser) regregreg(toks []string, emit func(int32, int32, int32), reg func(string) (int32, error)) error {
+	if len(toks) != 4 {
+		return fmt.Errorf("%s wants 3 registers", toks[0])
+	}
+	a, err := reg(toks[1])
+	if err != nil {
+		return err
+	}
+	b, err := reg(toks[2])
+	if err != nil {
+		return err
+	}
+	c, err := reg(toks[3])
+	if err != nil {
+		return err
+	}
+	emit(a, b, c)
+	return nil
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < opMax; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func hexDecode(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd hex length")
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		v, err := strconv.ParseUint(s[i*2:i*2+2], 16, 8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}

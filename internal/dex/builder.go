@@ -1,0 +1,270 @@
+package dex
+
+import (
+	"fmt"
+)
+
+// Builder assembles one method, managing register allocation and
+// label-based branch targets so callers never compute instruction
+// indices by hand. Every code generator in the repository (the app
+// generator's compiler, the bomb constructor, the SSN baseline) sits
+// on top of it.
+type Builder struct {
+	file   *File
+	method *Method
+
+	labels    map[string]int32 // label -> resolved pc
+	branchFix map[int]string   // pc of branch -> label
+	switchFix map[int][]string // table index -> case labels (last = default)
+	nextReg   int32
+	maxReg    int32
+	err       error
+}
+
+// NewBuilder starts a method with the given name and argument count.
+// Argument registers are r0..rNumArgs-1; Reg allocates above them.
+func NewBuilder(f *File, name string, numArgs int) *Builder {
+	return &Builder{
+		file:      f,
+		method:    &Method{Name: name, NumArgs: numArgs},
+		labels:    make(map[string]int32),
+		branchFix: make(map[int]string),
+		switchFix: make(map[int][]string),
+		nextReg:   int32(numArgs),
+		maxReg:    int32(numArgs),
+	}
+}
+
+// File returns the file the builder interns strings into.
+func (b *Builder) File() *File { return b.file }
+
+// SetFlags sets the method flags.
+func (b *Builder) SetFlags(fl MethodFlags) { b.method.Flags = fl }
+
+// Reg allocates a fresh scratch register.
+func (b *Builder) Reg() int32 {
+	r := b.nextReg
+	b.nextReg++
+	if b.nextReg > b.maxReg {
+		b.maxReg = b.nextReg
+	}
+	return r
+}
+
+// Regs allocates n contiguous scratch registers, returning the first.
+func (b *Builder) Regs(n int) int32 {
+	r := b.nextReg
+	b.nextReg += int32(n)
+	if b.nextReg > b.maxReg {
+		b.maxReg = b.nextReg
+	}
+	return r
+}
+
+// Release returns the register high-water mark to r, allowing reuse of
+// scratch registers between statements. Registers at or above r must
+// not be live.
+func (b *Builder) Release(r int32) { b.nextReg = r }
+
+// Mark returns the current register high-water mark for a later
+// Release.
+func (b *Builder) Mark() int32 { return b.nextReg }
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int32 { return int32(len(b.method.Code)) }
+
+// Emit appends a raw instruction and returns its pc.
+func (b *Builder) Emit(in Instr) int {
+	b.method.Code = append(b.method.Code, in)
+	return len(b.method.Code) - 1
+}
+
+// Label binds name to the next instruction's address. Rebinding a
+// label is an error.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail(fmt.Errorf("dex: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// ConstInt emits dst = v.
+func (b *Builder) ConstInt(dst int32, v int64) {
+	b.Emit(Instr{Op: OpConstInt, A: dst, B: -1, C: -1, Imm: v})
+}
+
+// ConstStr emits dst = s (interning s).
+func (b *Builder) ConstStr(dst int32, s string) {
+	b.Emit(Instr{Op: OpConstStr, A: dst, B: -1, C: -1, Imm: b.file.Intern(s)})
+}
+
+// Move emits dst = src.
+func (b *Builder) Move(dst, src int32) {
+	b.Emit(Instr{Op: OpMove, A: dst, B: src, C: -1})
+}
+
+// Arith emits dst = x op y for a three-register arithmetic op.
+func (b *Builder) Arith(op Op, dst, x, y int32) {
+	b.Emit(Instr{Op: op, A: dst, B: x, C: y})
+}
+
+// AddK emits dst = x + k.
+func (b *Builder) AddK(dst, x int32, k int64) {
+	b.Emit(Instr{Op: OpAddK, A: dst, B: x, C: -1, Imm: k})
+}
+
+// Branch emits a two-register conditional branch to label.
+func (b *Builder) Branch(op Op, x, y int32, label string) {
+	pc := b.Emit(Instr{Op: op, A: x, B: y, C: -1})
+	b.branchFix[pc] = label
+}
+
+// BranchZ emits a zero-test branch to label.
+func (b *Builder) BranchZ(op Op, x int32, label string) {
+	pc := b.Emit(Instr{Op: op, A: x, B: -1, C: -1})
+	b.branchFix[pc] = label
+}
+
+// Goto emits an unconditional jump to label.
+func (b *Builder) Goto(label string) {
+	pc := b.Emit(Instr{Op: OpGoto, A: -1, B: -1, C: -1})
+	b.branchFix[pc] = label
+}
+
+// Switch emits a table switch on reg. Case i jumps to caseLabels[i]
+// on matching matches[i]; defaultLabel handles everything else.
+func (b *Builder) Switch(reg int32, matches []int64, caseLabels []string, defaultLabel string) {
+	if len(matches) != len(caseLabels) {
+		b.fail(fmt.Errorf("dex: switch with %d matches but %d labels", len(matches), len(caseLabels)))
+		return
+	}
+	t := SwitchTable{Cases: make([]SwitchCase, len(matches))}
+	for i, mv := range matches {
+		t.Cases[i].Match = mv
+	}
+	idx := len(b.method.Tables)
+	b.method.Tables = append(b.method.Tables, t)
+	b.switchFix[idx] = append(append([]string(nil), caseLabels...), defaultLabel)
+	b.Emit(Instr{Op: OpSwitch, A: reg, B: -1, C: -1, Imm: int64(idx)})
+}
+
+// Invoke emits dst = full(args...), copying args into a contiguous
+// window. Pass dst = -1 for a void call.
+func (b *Builder) Invoke(dst int32, full string, args ...int32) {
+	base := b.argWindow(args)
+	b.Emit(Instr{Op: OpInvoke, A: dst, B: base, C: int32(len(args)), Imm: b.file.Intern(full)})
+}
+
+// CallAPI emits dst = api(args...), copying args into a contiguous
+// window. Pass dst = -1 for a void call.
+func (b *Builder) CallAPI(dst int32, api API, args ...int32) {
+	base := b.argWindow(args)
+	b.Emit(Instr{Op: OpCallAPI, A: dst, B: base, C: int32(len(args)), Imm: int64(api)})
+}
+
+func (b *Builder) argWindow(args []int32) int32 {
+	if len(args) == 0 {
+		return 0
+	}
+	// Already contiguous: reuse in place.
+	contiguous := true
+	for i := 1; i < len(args); i++ {
+		if args[i] != args[0]+int32(i) {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		return args[0]
+	}
+	base := b.Regs(len(args))
+	for i, a := range args {
+		b.Move(base+int32(i), a)
+	}
+	return base
+}
+
+// GetStatic emits dst = Class.Field.
+func (b *Builder) GetStatic(dst int32, ref string) {
+	b.Emit(Instr{Op: OpGetStatic, A: dst, B: -1, C: -1, Imm: b.file.Intern(ref)})
+}
+
+// PutStatic emits Class.Field = src.
+func (b *Builder) PutStatic(ref string, src int32) {
+	b.Emit(Instr{Op: OpPutStatic, A: src, B: -1, C: -1, Imm: b.file.Intern(ref)})
+}
+
+// Return emits return reg.
+func (b *Builder) Return(reg int32) {
+	b.Emit(Instr{Op: OpReturn, A: reg, B: -1, C: -1})
+}
+
+// ReturnVoid emits a void return.
+func (b *Builder) ReturnVoid() {
+	b.Emit(Instr{Op: OpReturnVoid, A: -1, B: -1, C: -1})
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Finish resolves all labels and returns the completed method. The
+// method always ends in a terminator (a void return is appended if
+// control can fall off the end).
+func (b *Builder) Finish() (*Method, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	endLabel := false
+	for _, t := range b.labels {
+		if int(t) == len(b.method.Code) {
+			endLabel = true
+			break
+		}
+	}
+	if n := len(b.method.Code); n == 0 || endLabel || !b.method.Code[n-1].Op.IsTerminator() {
+		// Either control can fall off the end or a label targets the
+		// end-of-code address; both need a real instruction there.
+		b.ReturnVoid()
+	}
+	for pc, label := range b.branchFix {
+		t, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("dex: undefined label %q", label)
+		}
+		b.method.Code[pc].C = t
+	}
+	for idx, labels := range b.switchFix {
+		t := &b.method.Tables[idx]
+		for i := range t.Cases {
+			target, ok := b.labels[labels[i]]
+			if !ok {
+				return nil, fmt.Errorf("dex: undefined switch label %q", labels[i])
+			}
+			t.Cases[i].Target = target
+		}
+		def, ok := b.labels[labels[len(labels)-1]]
+		if !ok {
+			return nil, fmt.Errorf("dex: undefined switch default %q", labels[len(labels)-1])
+		}
+		t.Default = def
+	}
+	b.method.NumRegs = int(b.maxReg)
+	if b.method.NumRegs < b.method.NumArgs {
+		b.method.NumRegs = b.method.NumArgs
+	}
+	return b.method, nil
+}
+
+// MustFinish is Finish for generators whose input is known-valid;
+// it panics on error.
+func (b *Builder) MustFinish() *Method {
+	m, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,214 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBranchResolution(t *testing.T) {
+	f := NewFile()
+	b := NewBuilder(f, "abs", 1)
+	r := b.Reg()
+	b.Move(r, 0)
+	b.BranchZ(OpIfNez, r, "done") // if r != 0 goto done... then negate
+	b.ConstInt(r, 0)
+	b.Label("done")
+	zero := b.Reg()
+	b.ConstInt(zero, 0)
+	b.Branch(OpIfGe, r, zero, "pos")
+	neg := b.Reg()
+	b.Emit(Instr{Op: OpNeg, A: r, B: r, C: -1})
+	_ = neg
+	b.Label("pos")
+	b.Return(r)
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRegs < 3 {
+		t.Errorf("NumRegs = %d, want >= 3", m.NumRegs)
+	}
+	for pc, in := range m.Code {
+		if in.Op.IsBranch() && (in.C < 0 || int(in.C) >= len(m.Code)) {
+			t.Errorf("pc %d: unresolved branch target %d", pc, in.C)
+		}
+	}
+	if err := Validate(fileWith(f, m)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fileWith(f *File, m *Method) *File {
+	c := &Class{Name: "T"}
+	c.AddMethod(m)
+	g := f.Clone()
+	g.Classes = append(g.Classes, c)
+	return g
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder(NewFile(), "m", 0)
+	b.Goto("nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("undefined label should fail")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder(NewFile(), "m", 0)
+	b.Label("x")
+	b.ConstInt(b.Reg(), 1)
+	b.Label("x")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("duplicate label should fail")
+	}
+}
+
+func TestBuilderTrailingLabel(t *testing.T) {
+	b := NewBuilder(NewFile(), "m", 0)
+	b.Goto("end")
+	b.Label("end")
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := m.Code[len(m.Code)-1]
+	if last.Op != OpReturnVoid {
+		t.Errorf("trailing label must be backed by a return, got %s", last.Op)
+	}
+	if got := m.Code[0].C; int(got) != len(m.Code)-1 {
+		t.Errorf("goto targets %d, want %d", got, len(m.Code)-1)
+	}
+}
+
+func TestBuilderTrailingLabelAfterTerminator(t *testing.T) {
+	b := NewBuilder(NewFile(), "m", 1)
+	b.BranchZ(OpIfEqz, 0, "skip")
+	b.Return(0)
+	b.Label("skip")
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(m.Code[0].C) >= len(m.Code) {
+		t.Error("label after terminator left dangling")
+	}
+}
+
+func TestBuilderSwitch(t *testing.T) {
+	f := NewFile()
+	b := NewBuilder(f, "pick", 1)
+	out := b.Reg()
+	b.Switch(0, []int64{1, 2}, []string{"one", "two"}, "other")
+	b.Label("one")
+	b.ConstInt(out, 100)
+	b.Return(out)
+	b.Label("two")
+	b.ConstInt(out, 200)
+	b.Return(out)
+	b.Label("other")
+	b.ConstInt(out, -1)
+	b.Return(out)
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tables) != 1 {
+		t.Fatalf("tables = %d", len(m.Tables))
+	}
+	tab := m.Tables[0]
+	if len(tab.Cases) != 2 || tab.Cases[0].Target == 0 || tab.Default == 0 {
+		t.Errorf("switch table unresolved: %+v", tab)
+	}
+	if err := Validate(fileWith(f, m)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderSwitchArityMismatch(t *testing.T) {
+	b := NewBuilder(NewFile(), "m", 1)
+	b.Switch(0, []int64{1}, []string{"a", "b"}, "d")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("mismatched switch arity should fail")
+	}
+}
+
+func TestBuilderArgWindowContiguous(t *testing.T) {
+	f := NewFile()
+	b := NewBuilder(f, "m", 0)
+	r0 := b.Regs(2)
+	b.ConstStr(r0, "a")
+	b.ConstStr(r0+1, "b")
+	before := b.PC()
+	b.CallAPI(r0, APIStrConcat, r0, r0+1)
+	m := b.MustFinish()
+	call := m.Code[before]
+	if call.Op != OpCallAPI || call.B != r0 || call.C != 2 {
+		t.Errorf("contiguous args should be used in place: %+v", call)
+	}
+}
+
+func TestBuilderArgWindowScattered(t *testing.T) {
+	f := NewFile()
+	b := NewBuilder(f, "m", 0)
+	x := b.Reg()
+	b.ConstStr(x, "a")
+	_ = b.Reg() // hole
+	y := b.Reg()
+	b.ConstStr(y, "b")
+	b.CallAPI(x, APIStrConcat, x, y)
+	m := b.MustFinish()
+	// Scattered args force copies into a fresh window before the call.
+	var call *Instr
+	for i := range m.Code {
+		if m.Code[i].Op == OpCallAPI {
+			call = &m.Code[i]
+		}
+	}
+	if call == nil {
+		t.Fatal("no call emitted")
+	}
+	if call.B == x {
+		t.Error("scattered args should have been copied to a new window")
+	}
+	if err := Validate(fileWith(f, m)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderReleaseReusesRegisters(t *testing.T) {
+	b := NewBuilder(NewFile(), "m", 0)
+	mark := b.Mark()
+	r1 := b.Reg()
+	b.ConstInt(r1, 1)
+	b.Release(mark)
+	r2 := b.Reg()
+	if r1 != r2 {
+		t.Errorf("released register not reused: %d vs %d", r1, r2)
+	}
+}
+
+func TestBuilderStatics(t *testing.T) {
+	f := NewFile()
+	b := NewBuilder(f, "bump", 0)
+	r := b.Reg()
+	b.GetStatic(r, "App.count")
+	b.AddK(r, r, 1)
+	b.PutStatic("App.count", r)
+	m := b.MustFinish()
+	dis := DisassembleMethod(f, m)
+	if !strings.Contains(dis, "App.count") {
+		t.Errorf("field ref missing from disassembly:\n%s", dis)
+	}
+}
+
+func TestMustFinishPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinish should panic on error")
+		}
+	}()
+	b := NewBuilder(NewFile(), "m", 0)
+	b.Goto("missing")
+	b.MustFinish()
+}

@@ -1,0 +1,97 @@
+package dex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the whole file as text. The output is what the
+// "text search" adversary analysis greps through, so it faithfully
+// shows every string literal, API name, and field reference an
+// attacker could pattern-match.
+func Disassemble(f *File) string {
+	var b strings.Builder
+	for _, c := range f.Classes {
+		fmt.Fprintf(&b, "class %s {\n", c.Name)
+		for _, fd := range c.Fields {
+			fmt.Fprintf(&b, "  static %s = %s\n", fd.Name, fd.Init)
+		}
+		for _, m := range c.Methods {
+			b.WriteString(DisassembleMethod(f, m))
+		}
+		b.WriteString("}\n")
+	}
+	if len(f.Blobs) > 0 {
+		for i, blob := range f.Blobs {
+			fmt.Fprintf(&b, "blob %d: %d bytes\n", i, len(blob))
+		}
+	}
+	return b.String()
+}
+
+// DisassembleMethod renders one method with per-instruction addresses.
+func DisassembleMethod(f *File, m *Method) string {
+	var b strings.Builder
+	flags := ""
+	if m.IsHandler() {
+		flags += " handler"
+	}
+	if m.Flags&FlagInit != 0 {
+		flags += " init"
+	}
+	if m.IsSynthetic() {
+		flags += " synthetic"
+	}
+	fmt.Fprintf(&b, "  method %s(args=%d regs=%d)%s {\n", m.Name, m.NumArgs, m.NumRegs, flags)
+	for pc, in := range m.Code {
+		fmt.Fprintf(&b, "    %4d: %s\n", pc, FormatInstr(f, m, in))
+	}
+	b.WriteString("  }\n")
+	return b.String()
+}
+
+// FormatInstr renders a single instruction.
+func FormatInstr(f *File, m *Method, in Instr) string {
+	switch in.Op {
+	case OpNop, OpReturnVoid:
+		return in.Op.String()
+	case OpConstInt:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.A, in.Imm)
+	case OpConstStr:
+		return fmt.Sprintf("%s r%d, %q", in.Op, in.A, f.Str(in.Imm))
+	case OpMove, OpNeg, OpNot, OpNewArr, OpArrLen:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.A, in.B)
+	case OpAddK:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.A, in.B, in.Imm)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpALoad, OpAStore:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.A, in.B, in.C)
+	case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe:
+		return fmt.Sprintf("%s r%d, r%d -> %d", in.Op, in.A, in.B, in.C)
+	case OpIfEqz, OpIfNez:
+		return fmt.Sprintf("%s r%d -> %d", in.Op, in.A, in.C)
+	case OpGoto:
+		return fmt.Sprintf("%s -> %d", in.Op, in.C)
+	case OpSwitch:
+		var parts []string
+		if int(in.Imm) < len(m.Tables) {
+			t := m.Tables[in.Imm]
+			for _, cs := range t.Cases {
+				parts = append(parts, fmt.Sprintf("%d->%d", cs.Match, cs.Target))
+			}
+			parts = append(parts, fmt.Sprintf("default->%d", t.Default))
+		}
+		return fmt.Sprintf("%s r%d {%s}", in.Op, in.A, strings.Join(parts, ", "))
+	case OpInvoke:
+		return fmt.Sprintf("%s r%d = %s(r%d..%d)", in.Op, in.A, f.Str(in.Imm), in.B, int(in.B)+int(in.C)-1)
+	case OpCallAPI:
+		return fmt.Sprintf("%s r%d = %s(r%d..%d)", in.Op, in.A, API(in.Imm).Name(), in.B, int(in.B)+int(in.C)-1)
+	case OpReturn:
+		return fmt.Sprintf("%s r%d", in.Op, in.A)
+	case OpGetStatic:
+		return fmt.Sprintf("%s r%d, %s", in.Op, in.A, f.Str(in.Imm))
+	case OpPutStatic:
+		return fmt.Sprintf("%s %s, r%d", in.Op, f.Str(in.Imm), in.A)
+	}
+	return fmt.Sprintf("%s A=%d B=%d C=%d Imm=%d", in.Op, in.A, in.B, in.C, in.Imm)
+}

@@ -1,0 +1,51 @@
+package dex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode: arbitrary byte streams must never panic the decoder —
+// the runtime feeds it attacker-controlled payload blobs after
+// decryption failures would have been caught, but defence in depth
+// demands totality.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("GDEX"))
+	f.Add([]byte("GDEXgarbage"))
+	f.Add(Encode(NewFile()))
+	rf := randomFile(rand.New(rand.NewSource(9)))
+	f.Add(Encode(rf))
+	enc := Encode(rf)
+	f.Add(enc[:len(enc)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode again stably.
+		second, err := Decode(Encode(file))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(second.Classes) != len(file.Classes) {
+			t.Fatal("unstable decode")
+		}
+	})
+}
+
+// FuzzAssemble: arbitrary source text must never panic the assembler.
+func FuzzAssemble(f *testing.F) {
+	f.Add(sampleAsm)
+	f.Add("class C\nmethod m 0\n  nop\nend\nendclass")
+	f.Add("class\nmethod\nend")
+	f.Add(";;;\nblob 00")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if err := Validate(file); err != nil {
+			t.Fatalf("assembler produced an invalid file: %v", err)
+		}
+	})
+}

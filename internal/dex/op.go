@@ -1,0 +1,212 @@
+// Package dex defines the register-based bytecode that stands in for
+// Dalvik bytecode in this reproduction. A dex.File is the unit the
+// BombDroid pipeline instruments, the VM executes, and the APK
+// container packages; it supports binary round-tripping, structural
+// validation, and disassembly.
+//
+// The instruction set deliberately mirrors the parts of Dalvik/Java
+// bytecode the paper's analyses care about: equality branches
+// (IFEQ/IFNE/IF_ICMPEQ/IF_ICMPNE), table switches, string comparison
+// calls (equals/startsWith/endsWith), static fields, and dynamic code
+// loading — everything needed for qualified-condition discovery, bomb
+// injection, and payload extraction.
+package dex
+
+import "fmt"
+
+// Op identifies a bytecode operation.
+type Op uint8
+
+// Instruction opcodes. The comments give the operand roles:
+// A, B, C are register indices unless noted; Imm is an immediate.
+const (
+	OpNop Op = iota
+
+	// Constants and moves.
+	OpConstInt // A = Imm
+	OpConstStr // A = strings[Imm]
+	OpMove     // A = B
+
+	// Integer arithmetic, A = B op C.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // traps on zero divisor
+	OpRem // traps on zero divisor
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg  // A = -B
+	OpNot  // A = ^B
+	OpAddK // A = B + Imm
+
+	// Branches. C is the branch target (instruction index).
+	OpIfEq  // if A == B goto C   (IF_ICMPEQ)
+	OpIfNe  // if A != B goto C   (IF_ICMPNE)
+	OpIfLt  // if A <  B goto C
+	OpIfLe  // if A <= B goto C
+	OpIfGt  // if A >  B goto C
+	OpIfGe  // if A >= B goto C
+	OpIfEqz // if A == 0 goto C   (IFEQ)
+	OpIfNez // if A != 0 goto C   (IFNE)
+	OpGoto  // goto C
+
+	// OpSwitch dispatches on register A using Tables[Imm] (TABLESWITCH).
+	OpSwitch
+
+	// Calls. Imm names the target; args live in registers [B, B+C).
+	OpInvoke  // A = invoke strings[Imm](regs B..B+C-1); A == -1 for void
+	OpCallAPI // A = api(Imm)(regs B..B+C-1); A == -1 for void
+
+	// Returns.
+	OpReturn     // return A
+	OpReturnVoid // return
+
+	// Static fields. Imm is a string-pool index of "Class.Field".
+	OpGetStatic // A = statics[strings[Imm]]
+	OpPutStatic // statics[strings[Imm]] = A
+
+	// Arrays of values.
+	OpNewArr // A = new array of length reg B
+	OpALoad  // A = B[C]
+	OpAStore // A[B] = C
+	OpArrLen // A = len(B)
+
+	opMax // sentinel; keep last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(opMax)
+
+var opNames = [...]string{
+	OpNop:        "nop",
+	OpConstInt:   "const-int",
+	OpConstStr:   "const-str",
+	OpMove:       "move",
+	OpAdd:        "add",
+	OpSub:        "sub",
+	OpMul:        "mul",
+	OpDiv:        "div",
+	OpRem:        "rem",
+	OpAnd:        "and",
+	OpOr:         "or",
+	OpXor:        "xor",
+	OpShl:        "shl",
+	OpShr:        "shr",
+	OpNeg:        "neg",
+	OpNot:        "not",
+	OpAddK:       "add-k",
+	OpIfEq:       "if-eq",
+	OpIfNe:       "if-ne",
+	OpIfLt:       "if-lt",
+	OpIfLe:       "if-le",
+	OpIfGt:       "if-gt",
+	OpIfGe:       "if-ge",
+	OpIfEqz:      "if-eqz",
+	OpIfNez:      "if-nez",
+	OpGoto:       "goto",
+	OpSwitch:     "switch",
+	OpInvoke:     "invoke",
+	OpCallAPI:    "call-api",
+	OpReturn:     "return",
+	OpReturnVoid: "return-void",
+	OpGetStatic:  "get-static",
+	OpPutStatic:  "put-static",
+	OpNewArr:     "new-arr",
+	OpALoad:      "aload",
+	OpAStore:     "astore",
+	OpArrLen:     "arr-len",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opMax }
+
+// IsBranch reports whether the instruction's C operand is a branch
+// target (conditional branches and goto; OpSwitch targets live in its
+// table instead).
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfEqz, OpIfNez, OpGoto:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether o is a conditional branch (falls through
+// when the condition is false).
+func (o Op) IsCondBranch() bool {
+	return o.IsBranch() && o != OpGoto
+}
+
+// IsTerminator reports whether control never falls through to the next
+// instruction.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpGoto, OpReturn, OpReturnVoid:
+		return true
+	}
+	return false
+}
+
+// Negate returns the conditional branch with the opposite condition.
+// It panics if o is not a conditional branch.
+func (o Op) Negate() Op {
+	switch o {
+	case OpIfEq:
+		return OpIfNe
+	case OpIfNe:
+		return OpIfEq
+	case OpIfLt:
+		return OpIfGe
+	case OpIfGe:
+		return OpIfLt
+	case OpIfGt:
+		return OpIfLe
+	case OpIfLe:
+		return OpIfGt
+	case OpIfEqz:
+		return OpIfNez
+	case OpIfNez:
+		return OpIfEqz
+	}
+	panic("dex: Negate on non-conditional op " + o.String())
+}
+
+// UsesStringImm reports whether Imm indexes the string pool.
+func (o Op) UsesStringImm() bool {
+	switch o {
+	case OpConstStr, OpInvoke, OpGetStatic, OpPutStatic:
+		return true
+	}
+	return false
+}
+
+// Instr is a single bytecode instruction. Operand meaning depends on
+// the opcode; unused register operands are conventionally -1.
+type Instr struct {
+	Op      Op
+	A, B, C int32
+	Imm     int64
+}
+
+// SwitchCase is one arm of a table switch.
+type SwitchCase struct {
+	Match  int64 // value compared against the switch register
+	Target int32 // instruction index jumped to on match
+}
+
+// SwitchTable is the jump table for an OpSwitch instruction.
+type SwitchTable struct {
+	Cases   []SwitchCase
+	Default int32 // target when no case matches
+}

@@ -1,0 +1,215 @@
+package dex
+
+import (
+	"fmt"
+)
+
+// Validate checks structural well-formedness of the whole file:
+// class/method name uniqueness, register bounds, branch/switch targets
+// inside the method, string-pool and blob references in range, and
+// invoke references that resolve (either to a method in this file or
+// left dangling deliberately — payload files reference host methods,
+// so unresolved invokes are reported via the allowUnresolved flag on
+// ValidateLinked instead).
+func Validate(f *File) error {
+	return validate(f, true)
+}
+
+// ValidateLinked is like Validate but also requires every OpInvoke
+// target to resolve within the file. Use it on app files that are
+// about to be installed stand-alone.
+func ValidateLinked(f *File) error {
+	return validate(f, false)
+}
+
+func validate(f *File, allowUnresolved bool) error {
+	seenClass := make(map[string]bool, len(f.Classes))
+	for _, c := range f.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("dex: class with empty name")
+		}
+		if seenClass[c.Name] {
+			return fmt.Errorf("dex: duplicate class %q", c.Name)
+		}
+		seenClass[c.Name] = true
+
+		seenField := make(map[string]bool, len(c.Fields))
+		for _, fd := range c.Fields {
+			if fd.Name == "" {
+				return fmt.Errorf("dex: class %s: field with empty name", c.Name)
+			}
+			if seenField[fd.Name] {
+				return fmt.Errorf("dex: class %s: duplicate field %q", c.Name, fd.Name)
+			}
+			seenField[fd.Name] = true
+		}
+
+		seenMethod := make(map[string]bool, len(c.Methods))
+		for _, m := range c.Methods {
+			if m.Name == "" {
+				return fmt.Errorf("dex: class %s: method with empty name", c.Name)
+			}
+			if seenMethod[m.Name] {
+				return fmt.Errorf("dex: class %s: duplicate method %q", c.Name, m.Name)
+			}
+			seenMethod[m.Name] = true
+			if m.Class != c.Name {
+				return fmt.Errorf("dex: method %s.%s has stale class %q", c.Name, m.Name, m.Class)
+			}
+			if err := validateMethod(f, m, allowUnresolved); err != nil {
+				return fmt.Errorf("dex: %s: %w", m.FullName(), err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateMethod(f *File, m *Method, allowUnresolved bool) error {
+	if m.NumArgs < 0 || m.NumRegs < m.NumArgs {
+		return fmt.Errorf("bad register layout: args=%d regs=%d", m.NumArgs, m.NumRegs)
+	}
+	n := int32(len(m.Code))
+	checkTarget := func(pc int, t int32) error {
+		if t < 0 || t >= n {
+			return fmt.Errorf("pc %d: branch target %d out of range [0,%d)", pc, t, n)
+		}
+		return nil
+	}
+	checkReg := func(pc int, r int32) error {
+		if r < 0 || int(r) >= m.NumRegs {
+			return fmt.Errorf("pc %d: register %d out of range [0,%d)", pc, r, m.NumRegs)
+		}
+		return nil
+	}
+	checkStr := func(pc int, idx int64) error {
+		if idx < 0 || idx >= int64(len(f.Strings)) {
+			return fmt.Errorf("pc %d: string index %d out of range", pc, idx)
+		}
+		return nil
+	}
+
+	for pc, in := range m.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("pc %d: invalid opcode %d", pc, in.Op)
+		}
+		var err error
+		switch in.Op {
+		case OpNop:
+		case OpConstInt:
+			err = checkReg(pc, in.A)
+		case OpConstStr:
+			if err = checkReg(pc, in.A); err == nil {
+				err = checkStr(pc, in.Imm)
+			}
+		case OpMove, OpNeg, OpNot:
+			if err = checkReg(pc, in.A); err == nil {
+				err = checkReg(pc, in.B)
+			}
+		case OpAddK:
+			if err = checkReg(pc, in.A); err == nil {
+				err = checkReg(pc, in.B)
+			}
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+			if err = checkReg(pc, in.A); err == nil {
+				if err = checkReg(pc, in.B); err == nil {
+					err = checkReg(pc, in.C)
+				}
+			}
+		case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe:
+			if err = checkReg(pc, in.A); err == nil {
+				if err = checkReg(pc, in.B); err == nil {
+					err = checkTarget(pc, in.C)
+				}
+			}
+		case OpIfEqz, OpIfNez:
+			if err = checkReg(pc, in.A); err == nil {
+				err = checkTarget(pc, in.C)
+			}
+		case OpGoto:
+			err = checkTarget(pc, in.C)
+		case OpSwitch:
+			if err = checkReg(pc, in.A); err != nil {
+				break
+			}
+			if in.Imm < 0 || in.Imm >= int64(len(m.Tables)) {
+				err = fmt.Errorf("pc %d: switch table %d out of range", pc, in.Imm)
+				break
+			}
+			t := m.Tables[in.Imm]
+			if err = checkTarget(pc, t.Default); err != nil {
+				break
+			}
+			for _, cs := range t.Cases {
+				if err = checkTarget(pc, cs.Target); err != nil {
+					break
+				}
+			}
+		case OpInvoke:
+			if in.A != -1 {
+				if err = checkReg(pc, in.A); err != nil {
+					break
+				}
+			}
+			if err = checkArgWindow(pc, m, in); err != nil {
+				break
+			}
+			if err = checkStr(pc, in.Imm); err != nil {
+				break
+			}
+			if !allowUnresolved && f.Method(f.Str(in.Imm)) == nil {
+				err = fmt.Errorf("pc %d: unresolved invoke target %q", pc, f.Str(in.Imm))
+			}
+		case OpCallAPI:
+			if in.A != -1 {
+				if err = checkReg(pc, in.A); err != nil {
+					break
+				}
+			}
+			if err = checkArgWindow(pc, m, in); err != nil {
+				break
+			}
+			if !API(in.Imm).Valid() {
+				err = fmt.Errorf("pc %d: invalid API id %d", pc, in.Imm)
+			}
+		case OpReturn:
+			err = checkReg(pc, in.A)
+		case OpReturnVoid:
+		case OpGetStatic:
+			if err = checkReg(pc, in.A); err == nil {
+				err = checkStr(pc, in.Imm)
+			}
+		case OpPutStatic:
+			if err = checkReg(pc, in.A); err == nil {
+				err = checkStr(pc, in.Imm)
+			}
+		case OpNewArr, OpArrLen:
+			if err = checkReg(pc, in.A); err == nil {
+				err = checkReg(pc, in.B)
+			}
+		case OpALoad, OpAStore:
+			if err = checkReg(pc, in.A); err == nil {
+				if err = checkReg(pc, in.B); err == nil {
+					err = checkReg(pc, in.C)
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkArgWindow(pc int, m *Method, in Instr) error {
+	if in.C < 0 {
+		return fmt.Errorf("pc %d: negative arg count %d", pc, in.C)
+	}
+	if in.C == 0 {
+		return nil
+	}
+	if in.B < 0 || int(in.B)+int(in.C) > m.NumRegs {
+		return fmt.Errorf("pc %d: arg window [%d,%d) outside %d registers",
+			pc, in.B, in.B+in.C, m.NumRegs)
+	}
+	return nil
+}

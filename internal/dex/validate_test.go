@@ -1,0 +1,219 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+)
+
+func validFile(t *testing.T) *File {
+	t.Helper()
+	f := NewFile()
+	b := NewBuilder(f, "main", 1)
+	r := b.Reg()
+	b.ConstInt(r, 5)
+	b.Branch(OpIfEq, 0, r, "hit")
+	b.ReturnVoid()
+	b.Label("hit")
+	b.CallAPI(-1, APILog, func() int32 { s := b.Reg(); b.ConstStr(s, "hit"); return s }())
+	b.ReturnVoid()
+	m := b.MustFinish()
+	c := &Class{Name: "App", Fields: []Field{{Name: "count", Init: Int64(0)}}}
+	c.AddMethod(m)
+	if err := f.AddClass(c); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidateAccepts(t *testing.T) {
+	f := validFile(t)
+	if err := Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateLinked(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutate := []struct {
+		name string
+		fn   func(f *File)
+		want string
+	}{
+		{"branch out of range", func(f *File) {
+			f.Classes[0].Methods[0].Code[1].C = 99
+		}, "target"},
+		{"register out of range", func(f *File) {
+			f.Classes[0].Methods[0].Code[0].A = 50
+		}, "register"},
+		{"bad opcode", func(f *File) {
+			f.Classes[0].Methods[0].Code[0].Op = Op(250)
+		}, "opcode"},
+		{"bad string index", func(f *File) {
+			for i, in := range f.Classes[0].Methods[0].Code {
+				if in.Op == OpConstStr {
+					f.Classes[0].Methods[0].Code[i].Imm = 999
+				}
+			}
+			// Ensure at least one const-str exists for the mutation.
+			f.Classes[0].Methods[0].Code = append([]Instr{{Op: OpConstStr, A: 0, Imm: 999}},
+				f.Classes[0].Methods[0].Code...)
+			fixBranchShift(f.Classes[0].Methods[0], 1)
+		}, "string index"},
+		{"bad API", func(f *File) {
+			for i, in := range f.Classes[0].Methods[0].Code {
+				if in.Op == OpCallAPI {
+					f.Classes[0].Methods[0].Code[i].Imm = 9999
+				}
+			}
+		}, "API"},
+		{"duplicate class", func(f *File) {
+			f.Classes = append(f.Classes, &Class{Name: "App"})
+		}, "duplicate class"},
+		{"duplicate method", func(f *File) {
+			m := f.Classes[0].Methods[0].Clone()
+			f.Classes[0].AddMethod(m)
+		}, "duplicate method"},
+		{"duplicate field", func(f *File) {
+			f.Classes[0].Fields = append(f.Classes[0].Fields, Field{Name: "count"})
+		}, "duplicate field"},
+		{"bad arg window", func(f *File) {
+			for i, in := range f.Classes[0].Methods[0].Code {
+				if in.Op == OpCallAPI {
+					f.Classes[0].Methods[0].Code[i].B = 40
+				}
+			}
+		}, "arg window"},
+		{"regs below args", func(f *File) {
+			f.Classes[0].Methods[0].NumRegs = 0
+		}, "register layout"},
+	}
+	for _, tc := range mutate {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFile(t)
+			tc.fn(f)
+			err := Validate(f)
+			if err == nil {
+				t.Fatalf("mutation %q accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func fixBranchShift(m *Method, by int32) {
+	for i := range m.Code {
+		if m.Code[i].Op.IsBranch() {
+			m.Code[i].C += by
+		}
+	}
+	for i := range m.Tables {
+		m.Tables[i].Default += by
+		for j := range m.Tables[i].Cases {
+			m.Tables[i].Cases[j].Target += by
+		}
+	}
+}
+
+func TestValidateLinkedUnresolvedInvoke(t *testing.T) {
+	f := validFile(t)
+	b := NewBuilder(f, "caller", 0)
+	b.Invoke(-1, "Ghost.method")
+	m := b.MustFinish()
+	f.Classes[0].AddMethod(m)
+	if err := Validate(f); err != nil {
+		t.Fatalf("Validate should allow unresolved invokes: %v", err)
+	}
+	if err := ValidateLinked(f); err == nil {
+		t.Fatal("ValidateLinked should reject unresolved invokes")
+	}
+}
+
+func TestValidateSwitchTargets(t *testing.T) {
+	f := validFile(t)
+	m := f.Classes[0].Methods[0]
+	m.Tables = append(m.Tables, SwitchTable{
+		Cases:   []SwitchCase{{Match: 1, Target: 0}},
+		Default: 50, // out of range
+	})
+	m.Code = append([]Instr{{Op: OpSwitch, A: 0, Imm: 0}}, m.Code...)
+	fixBranchShift(m, 1)
+	m.Tables[0].Default = 50
+	if err := Validate(f); err == nil {
+		t.Fatal("bad switch default accepted")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	f := validFile(t)
+	if f.Class("App") == nil || f.Class("Nope") != nil {
+		t.Error("Class lookup broken")
+	}
+	if f.Method("App.main") == nil || f.Method("App.nope") != nil || f.Method("Nope.main") != nil {
+		t.Error("Method lookup broken")
+	}
+	if f.Method("noDotName") != nil {
+		t.Error("undotted name should not resolve")
+	}
+	if len(f.Methods()) != 1 {
+		t.Error("Methods enumeration broken")
+	}
+	if f.InstrCount() == 0 {
+		t.Error("InstrCount broken")
+	}
+	idx := f.Intern("hello")
+	if f.Str(idx) != "hello" {
+		t.Error("Intern/Str broken")
+	}
+	if f.Str(-1) != "" || f.Str(1<<30) != "" {
+		t.Error("out-of-range Str should be empty")
+	}
+	if got, ok := f.Lookup("hello"); !ok || got != idx {
+		t.Error("Lookup broken")
+	}
+	if _, ok := f.Lookup("absent"); ok {
+		t.Error("Lookup of absent string should fail")
+	}
+	bi := f.AddBlob([]byte{1, 2, 3})
+	if bi != 0 || f.BlobBytes() != 3 {
+		t.Error("blob accounting broken")
+	}
+	if err := f.AddClass(&Class{Name: "App"}); err == nil {
+		t.Error("duplicate AddClass should fail")
+	}
+	f2 := NewFile()
+	f2.Classes = append(f2.Classes, &Class{Name: "Z"}, &Class{Name: "A"})
+	f2.SortClasses()
+	if f2.Classes[0].Name != "A" {
+		t.Error("SortClasses broken")
+	}
+}
+
+func TestDisassembleMentionsEverything(t *testing.T) {
+	f := validFile(t)
+	f.AddBlob([]byte{9, 9})
+	out := Disassemble(f)
+	for _, want := range []string{"class App", "method main", "if-eq", "log", "blob 0", "static count"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatInstrAllOps(t *testing.T) {
+	f := validFile(t)
+	m := &Method{Name: "x", NumRegs: 4, Tables: []SwitchTable{{Cases: []SwitchCase{{Match: 1, Target: 0}}, Default: 0}}}
+	for op := Op(0); op < opMax; op++ {
+		in := Instr{Op: op, A: 0, B: 1, C: 2}
+		if op == OpSwitch {
+			in.Imm = 0
+		}
+		s := FormatInstr(f, m, in)
+		if s == "" {
+			t.Errorf("empty rendering for %s", op)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package dex
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind ValueKind
+	}{
+		{Nil(), KindNil},
+		{Int64(42), KindInt},
+		{Bool(true), KindInt},
+		{Str("x"), KindStr},
+		{Bytes([]byte{1}), KindBytes},
+		{NewArr(3), KindArr},
+		{Handle(7), KindHandle},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("kind = %v, want %v", c.v.Kind, c.kind)
+		}
+	}
+	if Bool(true).Int != 1 || Bool(false).Int != 0 {
+		t.Error("Bool mapping wrong")
+	}
+	if a := NewArr(3); len(*a.Arr) != 3 {
+		t.Error("NewArr length wrong")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []Value{Int64(1), Int64(-5), Str("a"), Bytes([]byte{0}), NewArr(1), Handle(2)}
+	falsy := []Value{Nil(), Int64(0), Str(""), Bytes(nil), NewArr(0), Handle(0)}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%s should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%s should be falsy", v)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int64(3).Equal(Int64(3)) || Int64(3).Equal(Int64(4)) {
+		t.Error("int equality wrong")
+	}
+	if !Str("ab").Equal(Str("ab")) || Str("ab").Equal(Str("ba")) {
+		t.Error("string equality wrong")
+	}
+	if Int64(0).Equal(Nil()) || Int64(0).Equal(Str("")) {
+		t.Error("cross-kind equality must be false")
+	}
+	a, b := NewArr(2), NewArr(2)
+	if a.Equal(b) {
+		t.Error("distinct arrays must compare unequal (reference identity)")
+	}
+	if !a.Equal(a) {
+		t.Error("array must equal itself")
+	}
+	if !Bytes([]byte("xy")).Equal(Bytes([]byte("xy"))) {
+		t.Error("bytes equality wrong")
+	}
+}
+
+// Property: Repr is injective on ints and on strings, and equal values
+// share a Repr. This underpins the bomb key derivation Hash(Repr(X)|salt).
+func TestReprInjective(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		ra, rb := string(Int64(a).Repr()), string(Int64(b).Repr())
+		return (a == b) == (ra == rb)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(a, b string) bool {
+		ra, rb := string(Str(a).Repr()), string(Str(b).Repr())
+		return (a == b) == (ra == rb)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReprCrossKindDistinct(t *testing.T) {
+	// An int and a string that "look" the same must not collide:
+	// otherwise an attacker could substitute operand kinds to derive keys.
+	if string(Int64(7).Repr()) == string(Str("7").Repr()) {
+		t.Error("int 7 and string \"7\" must have distinct Repr")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for _, v := range []Value{Nil(), Int64(9), Str("s"), Bytes([]byte{1, 2}), NewArr(2), Handle(3)} {
+		if v.String() == "" || v.String() == "?" {
+			t.Errorf("bad String for kind %v", v.Kind)
+		}
+	}
+	if (Value{Kind: KindArr}).String() != "arr(nil)" {
+		t.Error("nil array rendering wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindStr.String() != "str" {
+		t.Error("kind names wrong")
+	}
+	if ValueKind(99).String() != "kind(99)" {
+		t.Error("unknown kind rendering wrong")
+	}
+}

@@ -1,0 +1,19 @@
+package exp
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	rows, err := Ablations(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%s: %s | %s", r.Name, r.With, r.Without)
+	}
+	if FormatAblations(rows) == "" {
+		t.Error("empty formatting")
+	}
+}

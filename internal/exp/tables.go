@@ -1,0 +1,279 @@
+package exp
+
+import (
+	"fmt"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/cfg"
+	"bombdroid/internal/fuzz"
+	"bombdroid/internal/sim"
+	"bombdroid/internal/vm"
+)
+
+// Table1Row mirrors one row of paper Table 1.
+type Table1Row struct {
+	Category     string
+	Apps         int
+	AvgLOC       int
+	AvgCandidate int
+	AvgQCs       int
+	AvgEnvVars   int
+}
+
+// Table1 computes the static characteristics of the corpus. With
+// AppsPerCategory == 0 it generates all 963 apps.
+func Table1(sc Scale) ([]Table1Row, error) {
+	sc = sc.withDefaults()
+	var rows []Table1Row
+	for _, spec := range appgen.Categories {
+		var nApps, loc, cand, qcs, env int
+		visit := func(app *appgen.App) error {
+			nApps++
+			loc += app.LOC
+			methods := len(app.File.Methods())
+			// Candidate methods = all but the top-10% hot (paper §7.1).
+			cand += methods - methods/10
+			for _, m := range app.File.Methods() {
+				// Count distinct condition sites (a switch is one
+				// site regardless of its case count), matching how a
+				// static tool reports "the number of existing QCs".
+				sites := map[int]bool{}
+				for _, q := range cfg.FindQCs(app.File, m) {
+					if !q.InLoop {
+						sites[q.CondPC] = true
+					}
+				}
+				qcs += len(sites)
+			}
+			env += len(app.EnvVarNames)
+			return nil
+		}
+		var err error
+		if sc.AppsPerCategory > 0 {
+			err = appgen.SampleCategory(spec, sc.AppsPerCategory, visit)
+		} else {
+			err = appgen.GenerateCategory(spec, visit)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Category:     spec.Name,
+			Apps:         spec.Apps,
+			AvgLOC:       loc / nApps,
+			AvgCandidate: cand / nApps,
+			AvgQCs:       qcs / nApps,
+			AvgEnvVars:   env / nApps,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row mirrors one row of paper Table 2.
+type Table2Row struct {
+	App        string
+	Bombs      int
+	Existing   int
+	Artificial int
+	Bogus      int // extra visibility; the paper folds these elsewhere
+}
+
+// Table2 reports injected logic bombs for the named apps.
+func Table2(sc Scale) ([]Table2Row, error) {
+	sc = sc.withDefaults()
+	var rows []Table2Row
+	for _, name := range sc.Apps {
+		p, err := Prepare(name, sc.ProfileEvents)
+		if err != nil {
+			return nil, err
+		}
+		st := p.Result.Stats
+		rows = append(rows, Table2Row{
+			App:        name,
+			Bombs:      st.Bombs(),
+			Existing:   st.BombsExisting,
+			Artificial: st.BombsArtificial,
+			Bogus:      st.BombsBogus,
+		})
+	}
+	return rows, nil
+}
+
+// Table3Row mirrors one row of paper Table 3.
+type Table3Row struct {
+	App      string
+	MinSec   float64
+	MaxSec   float64
+	AvgSec   float64
+	Success  int
+	Sessions int
+}
+
+// Table3 measures time to the first triggered bomb across user
+// sessions on population devices (testers vary configurations between
+// runs; sessions start at arbitrary wall-clock times).
+func Table3(sc Scale) ([]Table3Row, error) {
+	sc = sc.withDefaults()
+	var rows []Table3Row
+	for _, name := range sc.Apps {
+		p, err := Prepare(name, sc.ProfileEvents)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := sim.RunCampaign(p.Pirated, p.Surface, sc.SessionsPerApp,
+			int64(sc.SessionCapMin)*60_000, seedFor(name)+7)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			App:      name,
+			MinSec:   float64(cr.MinMs) / 1000,
+			MaxSec:   float64(cr.MaxMs) / 1000,
+			AvgSec:   float64(cr.AvgMs) / 1000,
+			Success:  cr.Successes,
+			Sessions: cr.Sessions,
+		})
+	}
+	return rows, nil
+}
+
+// Table4Row mirrors one row of paper Table 4: per-fuzzer percentage of
+// outer trigger conditions satisfied within the fuzzing budget.
+type Table4Row struct {
+	App       string
+	Monkey    float64
+	PUMA      float64
+	Hooker    float64
+	Dynodroid float64
+}
+
+// Table4 fuzzes the pirated app in the attacker's lab with all four
+// generators.
+func Table4(sc Scale) ([]Table4Row, error) {
+	sc = sc.withDefaults()
+	var rows []Table4Row
+	for _, name := range sc.Apps {
+		p, err := Prepare(name, sc.ProfileEvents)
+		if err != nil {
+			return nil, err
+		}
+		real := p.RealBlobs()
+		// Each cell averages three independent campaigns (fresh lab VM
+		// and fuzzer state per run) to damp seed noise.
+		pct := func(mk func() fuzz.Fuzzer, ui bool) (float64, error) {
+			const runs = 3
+			total := 0.0
+			for r := 0; r < runs; r++ {
+				v, err := vm.NewUnverified(p.Pirated, android.EmulatorLab(1)[0], vm.Options{Seed: seedFor(name) + int64(r)})
+				if err != nil {
+					return 0, err
+				}
+				opts := fuzz.Options{
+					DurationMs: int64(sc.FuzzMinutes) * 60_000,
+					Seed:       seedFor(name) + 11 + int64(r)*977,
+				}
+				if ui {
+					opts.HandlerScreens = p.App.HandlerScreens
+					opts.ScreenField = p.App.ScreenField
+					opts.WatchFields = p.App.IntFieldRefs
+				}
+				res := fuzz.Run(v, mk(), p.App.Config.ParamDomain, opts)
+				if len(real) > 0 {
+					total += 100 * float64(countReal(res.OuterSatisfied, real)) / float64(len(real))
+				}
+			}
+			return total / runs, nil
+		}
+		row := Table4Row{App: name}
+		if row.Monkey, err = pct(func() fuzz.Fuzzer { return fuzz.Monkey{} }, false); err != nil {
+			return nil, err
+		}
+		if row.PUMA, err = pct(func() fuzz.Fuzzer { return fuzz.PUMA{} }, true); err != nil {
+			return nil, err
+		}
+		if row.Hooker, err = pct(func() fuzz.Fuzzer { return &fuzz.AndroidHooker{} }, true); err != nil {
+			return nil, err
+		}
+		if row.Dynodroid, err = pct(func() fuzz.Fuzzer { return fuzz.NewDynodroid() }, true); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table5Row mirrors one row of paper Table 5.
+type Table5Row struct {
+	App         string
+	TaSec       float64 // original app compute time (virtual)
+	TbSec       float64 // protected app compute time (virtual)
+	OverheadPct float64
+	SizePct     float64 // §8.4 code size increase
+}
+
+// Table5 replays the same Dynodroid event stream against the original
+// and the protected build and compares app compute time (virtual
+// clock minus the identical idle gaps). Code-size increase rides
+// along since it uses the same pair of packages.
+func Table5(sc Scale) ([]Table5Row, error) {
+	sc = sc.withDefaults()
+	var rows []Table5Row
+	for _, name := range sc.Apps {
+		p, err := Prepare(name, sc.ProfileEvents)
+		if err != nil {
+			return nil, err
+		}
+		var ta, tb int64
+		for run := 0; run < sc.OverheadRuns; run++ {
+			seed := seedFor(name) + int64(run)*997
+			a, err := computeTicks(p.Original, p, sc.OverheadEvents, seed)
+			if err != nil {
+				return nil, err
+			}
+			b, err := computeTicks(p.Protected, p, sc.OverheadEvents, seed)
+			if err != nil {
+				return nil, err
+			}
+			ta += a
+			tb += b
+		}
+		overhead := 100 * float64(tb-ta) / float64(ta)
+		size := 100 * float64(p.Protected.TotalSize()-p.Original.TotalSize()) / float64(p.Original.TotalSize())
+		rows = append(rows, Table5Row{
+			App:         name,
+			TaSec:       float64(ta) / float64(vm.TicksPerMilli) / 1000,
+			TbSec:       float64(tb) / float64(vm.TicksPerMilli) / 1000,
+			OverheadPct: overhead,
+			SizePct:     size,
+		})
+	}
+	return rows, nil
+}
+
+// computeTicks runs an identical event stream and returns the app's
+// compute ticks — total virtual time minus the inter-event idle gaps,
+// which are the same for both builds.
+func computeTicks(pkg *apk.Package, p *PreparedApp, events int, seed int64) (int64, error) {
+	v, err := vm.New(pkg, android.EmulatorLab(1)[0], vm.Options{Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	const gapMs = 250
+	r := fuzz.Run(v, fuzz.NewDynodroid(), p.App.Config.ParamDomain, fuzz.Options{
+		DurationMs:     1 << 40,
+		EventGapMs:     gapMs,
+		MaxEvents:      events,
+		Seed:           seed,
+		HandlerScreens: p.App.HandlerScreens,
+		ScreenField:    p.App.ScreenField,
+		WatchFields:    p.App.IntFieldRefs,
+	})
+	idle := int64(r.Events) * gapMs * vm.TicksPerMilli
+	compute := v.NowTicks() - idle
+	if compute < 1 {
+		return 0, fmt.Errorf("exp: degenerate compute time for %s", pkg.Name)
+	}
+	return compute, nil
+}

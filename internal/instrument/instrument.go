@@ -1,0 +1,233 @@
+// Package instrument rewrites method bytecode in place — the
+// Javassist stand-in (paper §7.5). It supports inserting instruction
+// sequences at arbitrary points and replacing guarded regions with
+// bomb stubs, relocating every branch target and switch table, and
+// extracting a region into a separate payload file with registers and
+// string-pool references remapped (the "code weaving" mechanism of
+// §3.4).
+package instrument
+
+import (
+	"fmt"
+
+	"bombdroid/internal/dex"
+)
+
+// RelTarget marks a branch inside an inserted/replacement sequence
+// whose C operand is relative to the sequence start (so a sequence can
+// be built position-independently). A relative target equal to the
+// sequence length jumps to the first instruction after the sequence.
+// Callers tag such instructions by setting B or leaving absolute
+// targets — see Splice.
+//
+// Convention: in the `insert` slice passed to Splice, every branch
+// C-target is RELATIVE to the start of the slice. Switch instructions
+// are not allowed inside inserted sequences (no table plumbing is
+// needed by any caller).
+
+// Splice replaces m.Code[s:e) with insert (relative-target form),
+// shifting all surviving absolute targets. Branches outside [s,e) that
+// target the interior (s, e) are rejected; targets == s now reach the
+// inserted code's first instruction, and targets >= e are shifted by
+// the length delta.
+func Splice(m *dex.Method, s, e int, insert []dex.Instr) error {
+	n := len(m.Code)
+	if s < 0 || e < s || e > n {
+		return fmt.Errorf("instrument: bad range [%d,%d) in %d instructions", s, e, n)
+	}
+	for _, in := range insert {
+		if in.Op == dex.OpSwitch {
+			return fmt.Errorf("instrument: switch not allowed in inserted code")
+		}
+	}
+	delta := len(insert) - (e - s)
+
+	reloc := func(t int32, pc int) (int32, error) {
+		switch {
+		case int(t) <= s:
+			return t, nil
+		case int(t) >= e:
+			return t + int32(delta), nil
+		default:
+			return 0, fmt.Errorf("instrument: pc %d targets interior of replaced range [%d,%d)", pc, s, e)
+		}
+	}
+
+	// Relocate survivors.
+	out := make([]dex.Instr, 0, n+delta)
+	appendRelocated := func(lo, hi int) error {
+		for pc := lo; pc < hi; pc++ {
+			in := m.Code[pc]
+			if in.Op.IsBranch() {
+				t, err := reloc(in.C, pc)
+				if err != nil {
+					return err
+				}
+				in.C = t
+			}
+			out = append(out, in)
+		}
+		return nil
+	}
+	if err := appendRelocated(0, s); err != nil {
+		return err
+	}
+	for _, in := range insert {
+		if in.Op.IsBranch() {
+			rel := int(in.C)
+			if rel < 0 || rel > len(insert) {
+				return fmt.Errorf("instrument: inserted branch target %d outside sequence", rel)
+			}
+			in.C = int32(s + rel)
+			if rel == len(insert) {
+				in.C = int32(s + len(insert)) // first instruction after
+			}
+		}
+		out = append(out, in)
+	}
+	if err := appendRelocated(e, n); err != nil {
+		return err
+	}
+
+	// Switch tables.
+	for ti := range m.Tables {
+		t := &m.Tables[ti]
+		nd, err := reloc(t.Default, -1)
+		if err != nil {
+			return err
+		}
+		t.Default = nd
+		for ci := range t.Cases {
+			nt, err := reloc(t.Cases[ci].Target, -1)
+			if err != nil {
+				return err
+			}
+			t.Cases[ci].Target = nt
+		}
+	}
+	m.Code = out
+	return nil
+}
+
+// InsertAt inserts a relative-target sequence before pc.
+func InsertAt(m *dex.Method, pc int, insert []dex.Instr) error {
+	return Splice(m, pc, pc, insert)
+}
+
+// ExtractRegion compiles m.Code[s:e) into the payload builder dst,
+// remapping:
+//
+//   - register argReg (the trigger operand ϕ) to payload argument 0,
+//   - every other register to a fresh payload register,
+//   - string immediates re-interned into the payload's string pool,
+//   - internal branch targets to payload labels, and the join target e
+//     to the label endLabel (which the caller must define after).
+//
+// The caller is responsible for having checked cfg.Liftable; this
+// function re-validates the cheap structural parts.
+func ExtractRegion(src *dex.File, m *dex.Method, s, e int, argReg int32, dst *dex.Builder, endLabel string) error {
+	if s < 0 || e > len(m.Code) || s >= e {
+		return fmt.Errorf("instrument: bad region [%d,%d)", s, e)
+	}
+	regMap := map[int32]int32{argReg: 0}
+	mapReg := func(r int32) int32 {
+		if r < 0 {
+			return r
+		}
+		if nr, ok := regMap[r]; ok {
+			return nr
+		}
+		nr := dst.Reg()
+		regMap[r] = nr
+		return nr
+	}
+	labelFor := func(t int32) string {
+		return fmt.Sprintf("w%d", t)
+	}
+	// Which pcs need labels?
+	needLabel := map[int32]bool{}
+	for pc := s; pc < e; pc++ {
+		in := m.Code[pc]
+		if in.Op.IsBranch() {
+			if int(in.C) > s && int(in.C) < e {
+				needLabel[in.C] = true
+			}
+		}
+	}
+
+	for pc := s; pc < e; pc++ {
+		in := m.Code[pc]
+		if needLabel[int32(pc)] {
+			dst.Label(labelFor(int32(pc)))
+		}
+		switch in.Op {
+		case dex.OpSwitch, dex.OpReturn, dex.OpReturnVoid:
+			return fmt.Errorf("instrument: %s not liftable at pc %d", in.Op, pc)
+		}
+		// Remap arg-window calls before general registers: the window
+		// must stay contiguous, so allocate a fresh window.
+		if in.Op == dex.OpInvoke || in.Op == dex.OpCallAPI {
+			argc := int(in.C)
+			var newArgs []int32
+			for i := 0; i < argc; i++ {
+				newArgs = append(newArgs, mapReg(in.B+int32(i)))
+			}
+			dstReg := int32(-1)
+			if in.A != -1 {
+				dstReg = mapReg(in.A)
+			}
+			imm := in.Imm
+			if in.Op == dex.OpInvoke {
+				dst.Invoke(dstReg, src.Str(in.Imm), newArgs...)
+				continue
+			}
+			dst.CallAPI(dstReg, dex.API(imm), newArgs...)
+			continue
+		}
+		ni := in
+		if in.Op.UsesStringImm() {
+			ni.Imm = dst.File().Intern(src.Str(in.Imm))
+		}
+		switch in.Op {
+		case dex.OpConstInt, dex.OpConstStr, dex.OpGetStatic, dex.OpNewArr, dex.OpArrLen:
+			ni.A = mapReg(in.A)
+			if in.Op == dex.OpNewArr || in.Op == dex.OpArrLen {
+				ni.B = mapReg(in.B)
+			}
+			dst.Emit(ni)
+		case dex.OpPutStatic:
+			ni.A = mapReg(in.A)
+			dst.Emit(ni)
+		case dex.OpMove, dex.OpNeg, dex.OpNot, dex.OpAddK:
+			ni.B = mapReg(in.B)
+			ni.A = mapReg(in.A)
+			dst.Emit(ni)
+		case dex.OpAdd, dex.OpSub, dex.OpMul, dex.OpDiv, dex.OpRem,
+			dex.OpAnd, dex.OpOr, dex.OpXor, dex.OpShl, dex.OpShr,
+			dex.OpALoad, dex.OpAStore:
+			ni.B = mapReg(in.B)
+			ni.C = mapReg(in.C)
+			ni.A = mapReg(in.A)
+			dst.Emit(ni)
+		case dex.OpIfEq, dex.OpIfNe, dex.OpIfLt, dex.OpIfLe, dex.OpIfGt, dex.OpIfGe:
+			a, b := mapReg(in.A), mapReg(in.B)
+			dst.Branch(in.Op, a, b, branchLabel(in.C, e, endLabel, labelFor))
+		case dex.OpIfEqz, dex.OpIfNez:
+			dst.BranchZ(in.Op, mapReg(in.A), branchLabel(in.C, e, endLabel, labelFor))
+		case dex.OpGoto:
+			dst.Goto(branchLabel(in.C, e, endLabel, labelFor))
+		case dex.OpNop:
+			dst.Emit(ni)
+		default:
+			return fmt.Errorf("instrument: cannot lift op %s", in.Op)
+		}
+	}
+	return nil
+}
+
+func branchLabel(t int32, e int, endLabel string, labelFor func(int32) string) string {
+	if int(t) >= e {
+		return endLabel
+	}
+	return labelFor(t)
+}

@@ -1,0 +1,116 @@
+package instrument
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/dex"
+)
+
+// Property: inserting a transparent probe at any random position of
+// any method of a generated app keeps the whole file valid. This is
+// the invariant every bomb insertion relies on.
+func TestInsertAnywhereKeepsFileValid(t *testing.T) {
+	app, err := appgen.Generate(appgen.Config{Name: "prop", Seed: 91, TargetLOC: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := app.File.Methods()
+	if err := quick.Check(func(mIdx, pos uint16) bool {
+		f := app.File.Clone()
+		ms := f.Methods()
+		m := ms[int(mIdx)%len(ms)]
+		p := int(pos) % (len(m.Code) + 1)
+		r := int32(m.NumRegs)
+		m.NumRegs++
+		probe := []dex.Instr{
+			{Op: dex.OpConstInt, A: r, B: -1, C: -1, Imm: 7},
+			{Op: dex.OpCallAPI, A: -1, B: r, C: 1, Imm: int64(dex.APIUIDraw)},
+		}
+		if err := InsertAt(m, p, probe); err != nil {
+			// Insertion is total for in-range positions.
+			t.Logf("insert at %s:%d failed: %v", m.FullName(), p, err)
+			return false
+		}
+		return dex.ValidateLinked(f) == nil
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+	_ = methods
+}
+
+// Property: replacing any liftable then-region with a no-op stub and
+// re-adding the region as a payload method preserves validity.
+func TestSpliceRandomRegions(t *testing.T) {
+	app, err := appgen.Generate(appgen.Config{Name: "prop2", Seed: 92, TargetLOC: 1500, QCPerMethod: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	tried, ok := 0, 0
+	for _, m := range app.File.Methods() {
+		for pc, in := range m.Code {
+			if in.Op != dex.OpIfNe || rng.Intn(3) != 0 {
+				continue
+			}
+			end := int(in.C)
+			if end <= pc+1 || end > len(m.Code) {
+				continue
+			}
+			f := app.File.Clone()
+			mm := f.Method(m.FullName())
+			tried++
+			if err := Splice(mm, pc+1, end, nil); err != nil {
+				continue // interior-targeted regions are correctly rejected
+			}
+			if err := dex.ValidateLinked(f); err != nil {
+				t.Fatalf("splice of %s[%d,%d) broke the file: %v", m.FullName(), pc+1, end, err)
+			}
+			ok++
+		}
+	}
+	if tried == 0 || ok == 0 {
+		t.Skip("no spliceable regions sampled")
+	}
+	t.Logf("spliced %d/%d sampled regions cleanly", ok, tried)
+}
+
+// Property: semantic transparency — a probe inserted at the entry of
+// every method never changes observable app state.
+func TestProbeEverywherePreservesTrajectories(t *testing.T) {
+	app, err := appgen.Generate(appgen.Config{Name: "prop3", Seed: 93, TargetLOC: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := app.File.Clone()
+	for _, m := range probed.Methods() {
+		r := int32(m.NumRegs)
+		m.NumRegs++
+		if err := InsertAt(m, 0, []dex.Instr{
+			{Op: dex.OpConstInt, A: r, B: -1, C: -1, Imm: 1},
+			{Op: dex.OpCallAPI, A: -1, B: r, C: 1, Imm: int64(dex.APIVibrate)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vOrig := run(t, app.File.Clone(), "", 0) // helper from instrument_test.go
+	vProbe := run(t, probed, "", 0)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 400; i++ {
+		h := app.Handlers[rng.Intn(len(app.Handlers))]
+		a, b := dex.Int64(rng.Int63n(64)), dex.Int64(rng.Int63n(64))
+		if _, err := vOrig.Invoke(h, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vProbe.Invoke(h, a, b); err != nil {
+			t.Fatalf("probed app failed where original succeeded: %v", err)
+		}
+	}
+	for _, ref := range app.IntFieldRefs {
+		if !vOrig.Static(ref).Equal(vProbe.Static(ref)) {
+			t.Errorf("%s diverged under probing", ref)
+		}
+	}
+}

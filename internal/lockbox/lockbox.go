@@ -1,0 +1,141 @@
+// Package lockbox implements the cryptographic core of a
+// cryptographically obfuscated logic bomb (paper §3.2 and §7.4):
+//
+//	trigger:  Hash(X|salt) == Hc        (SHA-1, per-bomb salt)
+//	key:      KDF(X|salt) — "key = Hash(c|S)" transforming a constant
+//	          of any size into a uniform 128-bit AES key
+//	payload:  AES-128-CTR with an authentication tag, so decrypting
+//	          under any wrong key fails loudly instead of yielding
+//	          plausible garbage
+//
+// Both the protector (which seals payloads at instrumentation time)
+// and the runtime (which opens them when a trigger fires) use this
+// package; neither embeds the key — it exists only while X == c holds
+// in a register.
+package lockbox
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"bombdroid/internal/dex"
+)
+
+// HashHex returns the hex SHA-1 of Repr(x) | 0x1f | salt — the value
+// compared against the embedded Hc in an outer trigger condition.
+// (The paper calls the function "SHA-128"; its example hash
+// da4b9237... is a SHA-1 digest, so SHA-1 it is.)
+func HashHex(x dex.Value, salt string) string {
+	h := sha1.New()
+	h.Write(x.Repr())
+	h.Write([]byte{0x1f})
+	h.Write([]byte(salt))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DeriveKey derives the 128-bit payload key from the trigger operand
+// and salt. A distinct domain separator keeps the key underivable
+// from the published Hc.
+func DeriveKey(x dex.Value, salt string) []byte {
+	h := sha1.New()
+	h.Write([]byte("key|"))
+	h.Write(x.Repr())
+	h.Write([]byte{0x1f})
+	h.Write([]byte(salt))
+	return h.Sum(nil)[:16]
+}
+
+// tagLen is the length of the integrity tag prepended to the
+// plaintext before encryption.
+const tagLen = 8
+
+// ErrWrongKey reports that a sealed payload failed to authenticate —
+// the observable outcome of every attempt to force, brute, or guess a
+// bomb open without the true trigger value.
+var ErrWrongKey = errors.New("lockbox: payload failed to authenticate (wrong key)")
+
+// Seal encrypts plain under key (16 bytes). The plaintext is
+// DEFLATE-compressed first (payload bytecode is highly compressible;
+// the paper's §8.4 size budget depends on it), then sealed as
+// nonce[16] || CTR(tag[8] || deflate(plain)) with
+// tag = SHA-256(deflate(plain))[:8]. The nonce is derived from key
+// and plaintext, keeping sealing deterministic so protected builds
+// are reproducible.
+func Seal(plain, key []byte) ([]byte, error) {
+	var zbuf bytes.Buffer
+	zw, err := flate.NewWriter(&zbuf, flate.BestCompression)
+	if err != nil {
+		return nil, fmt.Errorf("lockbox: %w", err)
+	}
+	if _, err := zw.Write(plain); err != nil {
+		return nil, fmt.Errorf("lockbox: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("lockbox: %w", err)
+	}
+	plain = zbuf.Bytes()
+
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("lockbox: %w", err)
+	}
+	sum := sha256.Sum256(plain)
+	nonceSrc := sha256.New()
+	nonceSrc.Write([]byte("nonce|"))
+	nonceSrc.Write(key)
+	nonceSrc.Write(sum[:])
+	nonce := nonceSrc.Sum(nil)[:aes.BlockSize]
+
+	buf := make([]byte, tagLen+len(plain))
+	copy(buf, sum[:tagLen])
+	copy(buf[tagLen:], plain)
+	out := make([]byte, aes.BlockSize+len(buf))
+	copy(out, nonce)
+	cipher.NewCTR(block, nonce).XORKeyStream(out[aes.BlockSize:], buf)
+	return out, nil
+}
+
+// Open decrypts a sealed payload, returning ErrWrongKey when the tag
+// does not authenticate.
+func Open(sealed, key []byte) ([]byte, error) {
+	if len(sealed) < aes.BlockSize+tagLen {
+		return nil, ErrWrongKey
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("lockbox: %w", err)
+	}
+	nonce := sealed[:aes.BlockSize]
+	buf := make([]byte, len(sealed)-aes.BlockSize)
+	cipher.NewCTR(block, nonce).XORKeyStream(buf, sealed[aes.BlockSize:])
+	tag, plain := buf[:tagLen], buf[tagLen:]
+	sum := sha256.Sum256(plain)
+	for i := 0; i < tagLen; i++ {
+		if sum[i] != tag[i] {
+			return nil, ErrWrongKey
+		}
+	}
+	out, err := io.ReadAll(flate.NewReader(bytes.NewReader(plain)))
+	if err != nil {
+		return nil, ErrWrongKey
+	}
+	return out, nil
+}
+
+// SealValue seals plain under the key derived from (x, salt).
+func SealValue(plain []byte, x dex.Value, salt string) ([]byte, error) {
+	return Seal(plain, DeriveKey(x, salt))
+}
+
+// OpenValue opens sealed under the key derived from (x, salt).
+func OpenValue(sealed []byte, x dex.Value, salt string) ([]byte, error) {
+	return Open(sealed, DeriveKey(x, salt))
+}

@@ -1,0 +1,172 @@
+package lockbox
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bombdroid/internal/dex"
+)
+
+func TestHashHexShape(t *testing.T) {
+	h := HashHex(dex.Int64(0xfff000), "s1")
+	if len(h) != 40 {
+		t.Fatalf("SHA-1 hex length = %d, want 40", len(h))
+	}
+	if h != strings.ToLower(h) {
+		t.Error("hash should be lowercase hex")
+	}
+}
+
+// Property: Hash(X|salt) == Hc iff X == c (within a kind), i.e. the
+// obfuscated condition is semantically equivalent to the original —
+// the paper's correctness requirement for the transformation.
+func TestHashEquivalenceProperty(t *testing.T) {
+	if err := quick.Check(func(c, x int64, salt string) bool {
+		hc := HashHex(dex.Int64(c), salt)
+		hx := HashHex(dex.Int64(x), salt)
+		return (hx == hc) == (x == c)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(c, x string, salt string) bool {
+		hc := HashHex(dex.Str(c), salt)
+		hx := HashHex(dex.Str(x), salt)
+		return (hx == hc) == (x == c)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaltChangesEverything(t *testing.T) {
+	x := dex.Int64(42)
+	if HashHex(x, "a") == HashHex(x, "b") {
+		t.Error("different salts must produce different hashes (rainbow-table defence)")
+	}
+	if string(DeriveKey(x, "a")) == string(DeriveKey(x, "b")) {
+		t.Error("different salts must produce different keys")
+	}
+	if HashHex(x, "a") == "" {
+		t.Error("empty hash")
+	}
+}
+
+func TestHashAndKeyDomainsSeparate(t *testing.T) {
+	// Publishing Hc must not reveal key material: the hash and the
+	// derived key use separate domains.
+	x := dex.Int64(7)
+	h := HashHex(x, "s")
+	k := DeriveKey(x, "s")
+	if strings.Contains(h, string(k)) || strings.HasPrefix(h, string(k)) {
+		t.Error("key material leaks into published hash")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := DeriveKey(dex.Str("secret-constant"), "salt9")
+	plain := []byte("the repackaging detection payload bytecode")
+	sealed, err := Seal(plain, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(sealed, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(plain) {
+		t.Error("round trip mangled payload")
+	}
+	if strings.Contains(string(sealed), "repackaging") {
+		t.Error("plaintext visible in sealed blob")
+	}
+}
+
+// Property: opening under any key other than the sealing key fails
+// with ErrWrongKey — forced execution cannot reveal payload behaviour.
+func TestWrongKeyAlwaysFailsProperty(t *testing.T) {
+	plain := []byte("payload")
+	right := DeriveKey(dex.Int64(1234), "s")
+	sealed, err := Seal(plain, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(guess int64, salt string) bool {
+		key := DeriveKey(dex.Int64(guess), salt)
+		if string(key) == string(right) {
+			return true
+		}
+		_, err := Open(sealed, key)
+		return err == ErrWrongKey
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenRejectsTruncatedAndTampered(t *testing.T) {
+	key := DeriveKey(dex.Int64(5), "s")
+	sealed, _ := Seal([]byte("data"), key)
+	if _, err := Open(sealed[:10], key); err != ErrWrongKey {
+		t.Errorf("truncated blob: %v", err)
+	}
+	for i := range sealed {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x80
+		if _, err := Open(mut, key); err == nil {
+			// A flip in the nonce or body must break the tag; a flip in
+			// the ciphertext tag bytes likewise.
+			t.Errorf("bit flip at %d accepted", i)
+		}
+	}
+}
+
+func TestSealDeterministic(t *testing.T) {
+	key := DeriveKey(dex.Str("c"), "s")
+	a, _ := Seal([]byte("p"), key)
+	b, _ := Seal([]byte("p"), key)
+	if string(a) != string(b) {
+		t.Error("sealing must be deterministic for reproducible builds")
+	}
+}
+
+func TestSealValueOpenValue(t *testing.T) {
+	x := dex.Str("mMode=0xfff000")
+	sealed, err := SealValue([]byte("payload"), x, "salt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenValue(sealed, x, "salt")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("OpenValue: %v %q", err, got)
+	}
+	if _, err := OpenValue(sealed, dex.Str("other"), "salt"); err != ErrWrongKey {
+		t.Errorf("wrong value should fail: %v", err)
+	}
+	if _, err := OpenValue(sealed, x, "otherSalt"); err != ErrWrongKey {
+		t.Errorf("wrong salt should fail: %v", err)
+	}
+}
+
+func TestBadKeyLength(t *testing.T) {
+	if _, err := Seal([]byte("p"), []byte("short")); err == nil {
+		t.Error("short key should error")
+	}
+	sealed, _ := Seal([]byte("p"), DeriveKey(dex.Int64(1), "s"))
+	if _, err := Open(sealed, []byte("short")); err == nil {
+		t.Error("short key should error on open")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	key := DeriveKey(dex.Int64(0), "")
+	sealed, err := Seal(nil, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(sealed, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Error("empty payload round trip failed")
+	}
+}

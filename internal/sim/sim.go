@@ -1,0 +1,205 @@
+// Package sim simulates the user side of decentralized repackaging
+// detection: ordinary users on population-sampled devices playing an
+// app through its UI until a bomb detonates (the measurement behind
+// Table 3), plus population-scale campaigns aggregating detections
+// across many users — the "user devices are made use of to detect
+// repackaging" premise.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/vm"
+)
+
+// Surface is the app's event surface a user interacts with.
+type Surface struct {
+	Handlers       []string
+	ParamDomain    int64
+	HandlerScreens map[string]int64
+	ScreenField    string
+}
+
+// SurfaceOf extracts the surface from a generated app.
+func SurfaceOf(app *appgen.App) Surface {
+	return Surface{
+		Handlers:       app.Handlers,
+		ParamDomain:    app.Config.ParamDomain,
+		HandlerScreens: app.HandlerScreens,
+		ScreenField:    app.ScreenField,
+	}
+}
+
+// SessionOptions configures one user session.
+type SessionOptions struct {
+	CapMs      int64 // give up after this much virtual play (default 60 min)
+	EventGapMs int64 // user pacing (default 450 ms)
+	Seed       int64
+	// StartClockMs positions the session's wall clock; users play at
+	// all hours (negative = randomize from seed).
+	StartClockMs int64
+}
+
+// SessionResult is one user's session outcome.
+type SessionResult struct {
+	Triggered      bool  // a bomb ran its detection (paper: "bomb triggered")
+	TimeToFirstMs  int64 // virtual ms until the first triggered bomb
+	FirstBomb      string
+	Responses      []vm.ResponseEvent
+	AbnormalExit   bool // the user saw a crash/freeze
+	EventsPlayed   int
+	OuterSatisfied int
+}
+
+// RunUserSession plays the packaged app on the given device like a
+// human user: UI-valid events on active widgets, human pacing, until
+// the first bomb triggers or the cap expires.
+func RunUserSession(pkg *apk.Package, surf Surface, dev *android.Device, opts SessionOptions) (SessionResult, error) {
+	if opts.CapMs == 0 {
+		opts.CapMs = 60 * 60_000
+	}
+	if opts.EventGapMs == 0 {
+		opts.EventGapMs = 450
+	}
+	v, err := vm.New(pkg, dev, vm.Options{Seed: opts.Seed})
+	if err != nil {
+		return SessionResult{}, fmt.Errorf("sim: install: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	start := opts.StartClockMs
+	if start < 0 {
+		start = rng.Int63n(7 * 86_400_000)
+	}
+	v.SetClockMillis(start)
+
+	// App launch: process start, resource loading, first layout. On a
+	// real device this is seconds, and it bounds the fastest possible
+	// detection (the paper's fastest observed trigger is 8 s).
+	if err := v.AdvanceIdle(2_500 + rng.Int63n(4_000)); err != nil {
+		return SessionResult{}, err
+	}
+
+	var res SessionResult
+	first := int64(-1)
+	v.Observe(func(call vm.APICall) {
+		if call.InPayload == "" || first >= 0 {
+			return
+		}
+		switch call.API {
+		case dex.APIGetPublicKey, dex.APIGetManifestDigest, dex.APICodeDigest:
+			first = v.NowMillis() - start
+			res.FirstBomb = call.InPayload
+		}
+	})
+
+	for _, init := range v.InitMethods() {
+		if _, err := v.Invoke(init); err != nil && vm.AbnormalExit(err) {
+			res.AbnormalExit = true
+		}
+	}
+	for first < 0 && v.NowMillis()-start < opts.CapMs {
+		h := pickActive(rng, surf, v)
+		_, err := v.Invoke(h,
+			dex.Int64(rng.Int63n(surf.ParamDomain)),
+			dex.Int64(rng.Int63n(surf.ParamDomain)))
+		res.EventsPlayed++
+		if vm.AbnormalExit(err) {
+			res.AbnormalExit = true
+			break
+		}
+		if err := v.AdvanceIdle(opts.EventGapMs + rng.Int63n(opts.EventGapMs)); err != nil {
+			res.AbnormalExit = true
+			break
+		}
+	}
+	if first >= 0 {
+		res.Triggered = true
+		res.TimeToFirstMs = first
+	} else if res.AbnormalExit {
+		// The crash itself is a detonation the user experienced.
+		res.Triggered = true
+		res.TimeToFirstMs = v.NowMillis() - start
+	}
+	res.Responses = v.Responses()
+	res.OuterSatisfied = len(v.OuterTriggered())
+	return res, nil
+}
+
+func pickActive(rng *rand.Rand, surf Surface, v *vm.VM) string {
+	if len(surf.HandlerScreens) == 0 || surf.ScreenField == "" {
+		return surf.Handlers[rng.Intn(len(surf.Handlers))]
+	}
+	cur := v.Static(surf.ScreenField).Int
+	var active []string
+	for _, h := range surf.Handlers {
+		if scr, ok := surf.HandlerScreens[h]; ok && scr != -1 && scr != cur {
+			continue
+		}
+		active = append(active, h)
+	}
+	if len(active) == 0 {
+		return surf.Handlers[rng.Intn(len(surf.Handlers))]
+	}
+	return active[rng.Intn(len(active))]
+}
+
+// CampaignResult aggregates many user sessions (Table 3 rows and the
+// market-response scenario).
+type CampaignResult struct {
+	Sessions  int
+	Successes int
+	MinMs     int64
+	MaxMs     int64
+	AvgMs     int64
+	// Reports is the number of piracy reports that reached the
+	// developer across the population.
+	Reports int
+	// Complaints counts sessions with user-hostile outcomes (crash,
+	// freeze, warnings) — the bad-rating pressure of §1.
+	Complaints int
+}
+
+// RunCampaign plays n user sessions on population-sampled devices.
+func RunCampaign(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64) (CampaignResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := CampaignResult{Sessions: n, MinMs: 1 << 62}
+	var sum int64
+	for i := 0; i < n; i++ {
+		dev := android.SamplePopulation(fmt.Sprintf("user%d", i), rng)
+		sr, err := RunUserSession(pkg, surf, dev, SessionOptions{
+			CapMs: capMs, Seed: seed + int64(i)*101, StartClockMs: -1,
+		})
+		if err != nil {
+			return out, err
+		}
+		if sr.Triggered {
+			out.Successes++
+			sum += sr.TimeToFirstMs
+			if sr.TimeToFirstMs < out.MinMs {
+				out.MinMs = sr.TimeToFirstMs
+			}
+			if sr.TimeToFirstMs > out.MaxMs {
+				out.MaxMs = sr.TimeToFirstMs
+			}
+		}
+		for _, r := range sr.Responses {
+			if r.Kind == vm.RespReport {
+				out.Reports++
+			}
+		}
+		if sr.AbnormalExit || len(sr.Responses) > 0 {
+			out.Complaints++
+		}
+	}
+	if out.Successes > 0 {
+		out.AvgMs = sum / int64(out.Successes)
+	} else {
+		out.MinMs = 0
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/core"
+)
+
+func prepared(t *testing.T, seed int64) (*apk.Package, *apk.Package, Surface, *core.Result) {
+	t.Helper()
+	app, err := appgen.Generate(appgen.Config{Name: "sim", Seed: seed, TargetLOC: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := apk.NewKeyPair(61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := apk.Sign(apk.Build("sim", app.File, apk.Resources{Strings: []string{"a"}}), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, res, err := core.ProtectPackage(orig, key, core.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := apk.NewKeyPair(909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pirated, err := apk.Repackage(prot, attacker, apk.RepackOptions{NewAuthor: "pirate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prot, pirated, SurfaceOf(app), res
+}
+
+func TestUserSessionTriggersOnPirated(t *testing.T) {
+	_, pirated, surf, _ := prepared(t, 201)
+	rng := rand.New(rand.NewSource(7))
+	triggered := 0
+	var firstTimes []int64
+	for i := 0; i < 12; i++ {
+		dev := android.SamplePopulation("u", rng)
+		sr, err := RunUserSession(pirated, surf, dev, SessionOptions{
+			Seed: int64(i) * 13, StartClockMs: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Triggered {
+			triggered++
+			firstTimes = append(firstTimes, sr.TimeToFirstMs)
+			if sr.TimeToFirstMs <= 0 || sr.TimeToFirstMs > 60*60_000 {
+				t.Errorf("time to first bomb %dms out of range", sr.TimeToFirstMs)
+			}
+		}
+		if sr.EventsPlayed == 0 {
+			t.Error("session played no events")
+		}
+	}
+	if triggered == 0 {
+		t.Fatal("no user session triggered any bomb on the pirated app")
+	}
+	t.Logf("triggered %d/12 sessions; first-bomb times: %v", triggered, firstTimes)
+}
+
+func TestUserSessionSilentOnGenuine(t *testing.T) {
+	prot, _, surf, _ := prepared(t, 203)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5; i++ {
+		dev := android.SamplePopulation("u", rng)
+		sr, err := RunUserSession(prot, surf, dev, SessionOptions{
+			CapMs: 10 * 60_000, Seed: int64(i) * 17, StartClockMs: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Responses) != 0 {
+			t.Fatalf("false positive response on genuine app: %+v", sr.Responses)
+		}
+		if sr.AbnormalExit {
+			t.Fatal("genuine app crashed during normal use")
+		}
+		// Detection may well have run (that is Triggered); it must
+		// simply produce no response.
+	}
+}
+
+func TestCampaignAggregation(t *testing.T) {
+	_, pirated, surf, _ := prepared(t, 207)
+	cr, err := RunCampaign(pirated, surf, 15, 45*60_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Sessions != 15 {
+		t.Errorf("sessions = %d", cr.Sessions)
+	}
+	if cr.Successes == 0 {
+		t.Fatal("campaign found nothing")
+	}
+	if cr.MinMs > cr.MaxMs || cr.AvgMs < cr.MinMs || cr.AvgMs > cr.MaxMs {
+		t.Errorf("stats inconsistent: min=%d avg=%d max=%d", cr.MinMs, cr.AvgMs, cr.MaxMs)
+	}
+	t.Logf("campaign: %d/%d sessions, min=%.1fs avg=%.1fs max=%.1fs, %d reports, %d complaints",
+		cr.Successes, cr.Sessions,
+		float64(cr.MinMs)/1000, float64(cr.AvgMs)/1000, float64(cr.MaxMs)/1000,
+		cr.Reports, cr.Complaints)
+}
+
+func TestCampaignOnGenuineAppHasNoComplaints(t *testing.T) {
+	prot, _, surf, _ := prepared(t, 211)
+	cr, err := RunCampaign(prot, surf, 6, 8*60_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Complaints != 0 || cr.Reports != 0 {
+		t.Errorf("genuine app produced %d complaints, %d reports", cr.Complaints, cr.Reports)
+	}
+}

@@ -1,0 +1,218 @@
+package symexec
+
+import (
+	"testing"
+
+	"bombdroid/internal/dex"
+)
+
+func buildMethod(t *testing.T, build func(f *dex.File, b *dex.Builder)) (*dex.File, *dex.Method) {
+	t.Helper()
+	f := dex.NewFile()
+	b := dex.NewBuilder(f, "m", 2)
+	build(f, b)
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &dex.Class{Name: "App"}
+	cl.AddMethod(m)
+	if err := f.AddClass(cl); err != nil {
+		t.Fatal(err)
+	}
+	return f, m
+}
+
+func TestSwitchForking(t *testing.T) {
+	// switch(arg0) { case 5: warn; case 9: report }: both arms must be
+	// discovered and solved with the matching case constants.
+	f, m := buildMethod(t, func(f *dex.File, b *dex.Builder) {
+		out := b.Reg()
+		b.Switch(0, []int64{5, 9}, []string{"a", "b"}, "d")
+		b.Label("a")
+		s := b.Reg()
+		b.ConstStr(s, "w")
+		b.CallAPI(-1, dex.APIWarnUser, s)
+		b.ConstInt(out, 0)
+		b.Return(out)
+		b.Label("b")
+		s2 := b.Reg()
+		b.ConstStr(s2, "r")
+		b.CallAPI(-1, dex.APIReportPiracy, s2)
+		b.ConstInt(out, 1)
+		b.Return(out)
+		b.Label("d")
+		b.ConstInt(out, 2)
+		b.Return(out)
+	})
+	sum := AnalyzeMethod(f, m, Options{Targets: []dex.API{dex.APIWarnUser, dex.APIReportPiracy}})
+	byAPI := map[dex.API]Hit{}
+	for _, h := range sum.SolvedHits() {
+		byAPI[h.API] = h
+	}
+	warn, ok1 := byAPI[dex.APIWarnUser]
+	rep, ok2 := byAPI[dex.APIReportPiracy]
+	if !ok1 || !ok2 {
+		t.Fatalf("both arms should be solved; got %v", byAPI)
+	}
+	if warn.Assignment["arg0"].Int != 5 {
+		t.Errorf("warn arm arg0 = %v", warn.Assignment["arg0"])
+	}
+	if rep.Assignment["arg0"].Int != 9 {
+		t.Errorf("report arm arg0 = %v", rep.Assignment["arg0"])
+	}
+}
+
+func TestSwitchDefaultPath(t *testing.T) {
+	// The default arm carries disequalities against every case value.
+	f, m := buildMethod(t, func(f *dex.File, b *dex.Builder) {
+		b.Switch(0, []int64{1}, []string{"a"}, "d")
+		b.Label("a")
+		b.ReturnVoid()
+		b.Label("d")
+		s := b.Reg()
+		b.ConstStr(s, "w")
+		b.CallAPI(-1, dex.APIWarnUser, s)
+		b.ReturnVoid()
+	})
+	sum := AnalyzeMethod(f, m, Options{Targets: []dex.API{dex.APIWarnUser}})
+	solved := sum.SolvedHits()
+	if len(solved) != 1 {
+		t.Fatalf("solved = %d", len(solved))
+	}
+	if v := solved[0].Assignment["arg0"]; v.Kind == dex.KindInt && v.Int == 1 {
+		t.Errorf("default arm solved with excluded value %v", v)
+	}
+}
+
+func TestMaxPathsBound(t *testing.T) {
+	// A chain of N branches explodes to 2^N paths; the bound must hold.
+	f, m := buildMethod(t, func(f *dex.File, b *dex.Builder) {
+		for i := 0; i < 24; i++ {
+			k := b.Reg()
+			b.ConstInt(k, int64(i))
+			lbl := "skip" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			b.Branch(dex.OpIfEq, 0, k, lbl)
+			b.Label(lbl)
+		}
+		b.ReturnVoid()
+	})
+	sum := AnalyzeMethod(f, m, Options{MaxPaths: 64})
+	if sum.PathsExplored > 64 {
+		t.Errorf("paths = %d, bound 64", sum.PathsExplored)
+	}
+}
+
+func TestConcreteBranchesDoNotFork(t *testing.T) {
+	// Constant-folded comparisons take exactly one path.
+	f, m := buildMethod(t, func(f *dex.File, b *dex.Builder) {
+		x := b.Reg()
+		y := b.Reg()
+		b.ConstInt(x, 3)
+		b.ConstInt(y, 4)
+		b.Branch(dex.OpIfEq, x, y, "dead")
+		b.ReturnVoid()
+		b.Label("dead")
+		s := b.Reg()
+		b.ConstStr(s, "w")
+		b.CallAPI(-1, dex.APIWarnUser, s)
+		b.ReturnVoid()
+	})
+	sum := AnalyzeMethod(f, m, Options{Targets: []dex.API{dex.APIWarnUser}})
+	if sum.PathsExplored != 1 {
+		t.Errorf("paths = %d, want 1", sum.PathsExplored)
+	}
+	if len(sum.Hits) != 0 {
+		t.Errorf("dead code reached: %+v", sum.Hits)
+	}
+}
+
+func TestFieldSymbolsSharedPerPath(t *testing.T) {
+	// Two reads of the same static within a path must be the same
+	// symbol: "f == 3 && f != 3" is unsatisfiable.
+	f, m := buildMethod(t, func(f *dex.File, b *dex.Builder) {
+		r1 := b.Reg()
+		b.GetStatic(r1, "App.f")
+		k := b.Reg()
+		b.ConstInt(k, 3)
+		b.Branch(dex.OpIfNe, r1, k, "out")
+		r2 := b.Reg()
+		b.GetStatic(r2, "App.f")
+		b.Branch(dex.OpIfEq, r2, k, "out") // so the target needs f != 3 too
+		s := b.Reg()
+		b.ConstStr(s, "w")
+		b.CallAPI(-1, dex.APIWarnUser, s)
+		b.Label("out")
+		b.ReturnVoid()
+	})
+	sum := AnalyzeMethod(f, m, Options{Targets: []dex.API{dex.APIWarnUser}})
+	for _, h := range sum.Hits {
+		if h.Solved {
+			t.Errorf("contradictory field constraints solved: %v over %v", h.Assignment, h.Constraints)
+		}
+	}
+}
+
+func TestPutStaticUpdatesSymbolicState(t *testing.T) {
+	// f = 7; if (f == 7) warn — the write makes the read concrete.
+	f, m := buildMethod(t, func(f *dex.File, b *dex.Builder) {
+		k := b.Reg()
+		b.ConstInt(k, 7)
+		b.PutStatic("App.f", k)
+		r := b.Reg()
+		b.GetStatic(r, "App.f")
+		b.Branch(dex.OpIfNe, r, k, "out")
+		s := b.Reg()
+		b.ConstStr(s, "w")
+		b.CallAPI(-1, dex.APIWarnUser, s)
+		b.Label("out")
+		b.ReturnVoid()
+	})
+	sum := AnalyzeMethod(f, m, Options{Targets: []dex.API{dex.APIWarnUser}})
+	if sum.PathsExplored != 1 {
+		t.Errorf("paths = %d, want 1 (no fork on concrete compare)", sum.PathsExplored)
+	}
+	if len(sum.Hits) != 1 {
+		t.Fatalf("hits = %d", len(sum.Hits))
+	}
+	if !sum.Hits[0].Solved {
+		t.Error("unconditionally reachable target must be solved")
+	}
+}
+
+func TestEnvSymbolsKeyedByName(t *testing.T) {
+	// Reading the same env var twice yields one symbol; conditions on
+	// it are solvable as a pair.
+	f, m := buildMethod(t, func(f *dex.File, b *dex.Builder) {
+		n := b.Reg()
+		b.ConstStr(n, "api_level")
+		e1 := b.Reg()
+		b.CallAPI(e1, dex.APIGetEnvInt, n)
+		k := b.Reg()
+		b.ConstInt(k, 23)
+		b.Branch(dex.OpIfLe, e1, k, "out")
+		n2 := b.Reg()
+		b.ConstStr(n2, "api_level")
+		e2 := b.Reg()
+		b.CallAPI(e2, dex.APIGetEnvInt, n2)
+		k2 := b.Reg()
+		b.ConstInt(k2, 30)
+		b.Branch(dex.OpIfGe, e2, k2, "out")
+		s := b.Reg()
+		b.ConstStr(s, "w")
+		b.CallAPI(-1, dex.APIWarnUser, s)
+		b.Label("out")
+		b.ReturnVoid()
+	})
+	sum := AnalyzeMethod(f, m, Options{Targets: []dex.API{dex.APIWarnUser}})
+	found := false
+	for _, h := range sum.SolvedHits() {
+		v, ok := h.Assignment["envi:api_level"]
+		if ok && v.Int > 23 && v.Int < 30 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a solved 23 < api_level < 30 path; hits: %+v", sum.Hits)
+	}
+}

@@ -1,0 +1,254 @@
+// Package symexec is the path-exploration adversary (paper §2.1,
+// §5): a symbolic executor over dex bytecode with a constraint
+// solver, in the style of TriggerScope/MineSweeper. Handler arguments,
+// static fields, environment reads, and random values are symbolic;
+// conditional branches fork; reaching a sensitive API (decryptLoad,
+// getPublicKey, …) yields a path whose constraints the solver then
+// tries to satisfy.
+//
+// The engine demonstrates the paper's central security argument: a
+// plain trigger "X == c" is solved immediately (naive bombs and SSN
+// fall), while the transformed trigger "sha1Hex(X|salt) == Hc" leaves
+// an uninterpreted-function constraint no solver can invert, so
+// BombDroid payload keys are never recovered (goal G1).
+package symexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bombdroid/internal/dex"
+)
+
+// ExprKind discriminates symbolic expressions.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	EConst  ExprKind = iota // concrete value
+	ELin                    // linear integer expression over symbols
+	EMod                    // (linear expr) mod K
+	EStrSym                 // symbolic string
+	EStrCmp                 // boolean result of a string comparison API
+	EOpaque                 // uninterpreted function application
+)
+
+// Expr is a symbolic value.
+type Expr struct {
+	Kind ExprKind
+	Val  dex.Value        // EConst
+	Coef map[string]int64 // ELin: symbol -> coefficient
+	Off  int64            // ELin offset
+	X    *Expr            // EMod operand; EStrCmp left
+	K    int64            // EMod modulus
+	Sym  string           // EStrSym symbol name
+	API  dex.API          // EStrCmp comparison
+	Y    *Expr            // EStrCmp right
+	Fn   string           // EOpaque function name
+	Args []*Expr          // EOpaque arguments
+}
+
+// NewConst wraps a concrete value.
+func NewConst(v dex.Value) *Expr { return &Expr{Kind: EConst, Val: v} }
+
+// NewIntSym returns a fresh symbolic integer.
+func NewIntSym(name string) *Expr {
+	return &Expr{Kind: ELin, Coef: map[string]int64{name: 1}}
+}
+
+// NewStrSym returns a fresh symbolic string.
+func NewStrSym(name string) *Expr { return &Expr{Kind: EStrSym, Sym: name} }
+
+// NewOpaque returns an uninterpreted application.
+func NewOpaque(fn string, args ...*Expr) *Expr {
+	return &Expr{Kind: EOpaque, Fn: fn, Args: args}
+}
+
+// IsConst reports whether e is concrete.
+func (e *Expr) IsConst() bool { return e.Kind == EConst }
+
+// ConstInt returns the concrete integer, if e is one.
+func (e *Expr) ConstInt() (int64, bool) {
+	if e.Kind == EConst && e.Val.Kind == dex.KindInt {
+		return e.Val.Int, true
+	}
+	if e.Kind == ELin && len(e.Coef) == 0 {
+		return e.Off, true
+	}
+	return 0, false
+}
+
+// Symbols collects the symbol names appearing in e.
+func (e *Expr) Symbols(into map[string]bool) {
+	switch e.Kind {
+	case ELin:
+		for s := range e.Coef {
+			into[s] = true
+		}
+	case EMod:
+		e.X.Symbols(into)
+	case EStrSym:
+		into[e.Sym] = true
+	case EStrCmp:
+		e.X.Symbols(into)
+		e.Y.Symbols(into)
+	case EOpaque:
+		for _, a := range e.Args {
+			a.Symbols(into)
+		}
+	}
+}
+
+// String renders the expression.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case EConst:
+		return e.Val.String()
+	case ELin:
+		var parts []string
+		syms := make([]string, 0, len(e.Coef))
+		for s := range e.Coef {
+			syms = append(syms, s)
+		}
+		sort.Strings(syms)
+		for _, s := range syms {
+			c := e.Coef[s]
+			if c == 1 {
+				parts = append(parts, s)
+			} else {
+				parts = append(parts, fmt.Sprintf("%d*%s", c, s))
+			}
+		}
+		if e.Off != 0 || len(parts) == 0 {
+			parts = append(parts, fmt.Sprintf("%d", e.Off))
+		}
+		return strings.Join(parts, " + ")
+	case EMod:
+		return fmt.Sprintf("(%s mod %d)", e.X, e.K)
+	case EStrSym:
+		return e.Sym
+	case EStrCmp:
+		return fmt.Sprintf("%s(%s, %s)", e.API.Name(), e.X, e.Y)
+	case EOpaque:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, a.String())
+		}
+		return fmt.Sprintf("%s(%s)", e.Fn, strings.Join(args, ", "))
+	}
+	return "?"
+}
+
+// addLin adds two linear expressions.
+func addLin(a, b *Expr) *Expr {
+	out := &Expr{Kind: ELin, Coef: map[string]int64{}, Off: a.linOff() + b.linOff()}
+	for s, c := range a.linCoef() {
+		out.Coef[s] += c
+	}
+	for s, c := range b.linCoef() {
+		out.Coef[s] += c
+	}
+	for s, c := range out.Coef {
+		if c == 0 {
+			delete(out.Coef, s)
+		}
+	}
+	return out.normalize()
+}
+
+// scaleLin multiplies a linear expression by a constant.
+func scaleLin(a *Expr, k int64) *Expr {
+	out := &Expr{Kind: ELin, Coef: map[string]int64{}, Off: a.linOff() * k}
+	for s, c := range a.linCoef() {
+		if c*k != 0 {
+			out.Coef[s] = c * k
+		}
+	}
+	return out.normalize()
+}
+
+func (e *Expr) linCoef() map[string]int64 {
+	if e.Kind == ELin {
+		return e.Coef
+	}
+	return nil
+}
+
+func (e *Expr) linOff() int64 {
+	switch e.Kind {
+	case ELin:
+		return e.Off
+	case EConst:
+		return e.Val.Int
+	}
+	return 0
+}
+
+// normalize folds an empty linear expression to a constant.
+func (e *Expr) normalize() *Expr {
+	if e.Kind == ELin && len(e.Coef) == 0 {
+		return NewConst(dex.Int64(e.Off))
+	}
+	return e
+}
+
+// asLinear views e as linear if possible (constants become offsets).
+func asLinear(e *Expr) (*Expr, bool) {
+	switch e.Kind {
+	case ELin:
+		return e, true
+	case EConst:
+		if e.Val.Kind == dex.KindInt {
+			return &Expr{Kind: ELin, Coef: map[string]int64{}, Off: e.Val.Int}, true
+		}
+	}
+	return nil, false
+}
+
+// CmpKind is a constraint comparison.
+type CmpKind uint8
+
+// Comparisons.
+const (
+	CmpEq CmpKind = iota
+	CmpNe
+	CmpLt
+	CmpGe
+	CmpGt
+	CmpLe
+)
+
+// String returns the symbol.
+func (c CmpKind) String() string {
+	return [...]string{"==", "!=", "<", ">=", ">", "<="}[c]
+}
+
+// Negate returns the complementary comparison.
+func (c CmpKind) Negate() CmpKind {
+	switch c {
+	case CmpEq:
+		return CmpNe
+	case CmpNe:
+		return CmpEq
+	case CmpLt:
+		return CmpGe
+	case CmpGe:
+		return CmpLt
+	case CmpGt:
+		return CmpLe
+	default:
+		return CmpGt
+	}
+}
+
+// Constraint is one path condition: L cmp R.
+type Constraint struct {
+	Cmp  CmpKind
+	L, R *Expr
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Cmp, c.R)
+}

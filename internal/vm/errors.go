@@ -1,0 +1,84 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for abnormal termination.
+var (
+	// ErrBudget reports that the per-invocation step budget was
+	// exhausted (runaway loop or a freeze response).
+	ErrBudget = errors.New("vm: step budget exhausted")
+	// ErrDepth reports call-stack overflow.
+	ErrDepth = errors.New("vm: call depth exceeded")
+)
+
+// CrashError is an app abort: a deliberate crash response, or the
+// fallout of corrupted code (the fate of apps whose woven bombs were
+// deleted, and of forced execution into sealed payloads).
+type CrashError struct {
+	BombID string // payload that crashed the app ("" when not a bomb)
+	Reason string
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	if e.BombID != "" {
+		return fmt.Sprintf("vm: app crashed (bomb %s): %s", e.BombID, e.Reason)
+	}
+	return "vm: app crashed: " + e.Reason
+}
+
+// IsCrash reports whether err is (or wraps) a CrashError.
+func IsCrash(err error) bool {
+	var ce *CrashError
+	return errors.As(err, &ce)
+}
+
+// RuntimeError is a bytecode-level fault: type confusion, division by
+// zero, bad array index, unresolved invoke — how corruption from code
+// deletion manifests (paper §3.4: "instability, visualization errors,
+// incorrect computation, or crashes").
+type RuntimeError struct {
+	Method string
+	PC     int
+	Reason string
+}
+
+// Error implements error.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("vm: runtime fault in %s at pc %d: %s", e.Method, e.PC, e.Reason)
+}
+
+// IsRuntimeFault reports whether err is (or wraps) a RuntimeError.
+func IsRuntimeFault(err error) bool {
+	var re *RuntimeError
+	return errors.As(err, &re)
+}
+
+// DecryptError reports that a sealed bomb payload failed to
+// authenticate: either an attack forced execution into the bomb
+// without the true trigger value, or deleted/rewritten code corrupted
+// the key material. The app dies either way.
+type DecryptError struct {
+	Blob int64
+}
+
+// Error implements error.
+func (e *DecryptError) Error() string {
+	return fmt.Sprintf("vm: payload blob %d failed to decrypt (app corrupted)", e.Blob)
+}
+
+// IsDecryptFailure reports whether err is (or wraps) a DecryptError.
+func IsDecryptFailure(err error) bool {
+	var de *DecryptError
+	return errors.As(err, &de)
+}
+
+// AbnormalExit reports whether err represents any user-visible app
+// failure (crash, fault, hang) as opposed to clean termination.
+func AbnormalExit(err error) bool {
+	return err != nil && (IsCrash(err) || IsRuntimeFault(err) || IsDecryptFailure(err) ||
+		errors.Is(err, ErrBudget) || errors.Is(err, ErrDepth))
+}

@@ -1,0 +1,314 @@
+package vm
+
+import (
+	"fmt"
+
+	"bombdroid/internal/dex"
+)
+
+// Invoke runs a method of the installed app by full name, resetting
+// the step budget. It is the entry point drivers (fuzzers, user
+// sessions, attacks) use to dispatch events.
+func (v *VM) Invoke(full string, args ...dex.Value) (dex.Value, error) {
+	m, ok := v.app.methods[full]
+	if !ok {
+		return dex.Nil(), fmt.Errorf("vm: no such method %q", full)
+	}
+	v.steps = 0
+	return v.call(v.app, "", m, args, 0)
+}
+
+// call executes one frame. inPayload carries the payload class name
+// when executing decrypted bomb code.
+func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, depth int) (dex.Value, error) {
+	if depth > v.opts.MaxDepth {
+		return dex.Nil(), ErrDepth
+	}
+	if len(args) != m.NumArgs {
+		return dex.Nil(), &RuntimeError{Method: m.FullName(), PC: -1,
+			Reason: fmt.Sprintf("arity mismatch: got %d args, want %d", len(args), m.NumArgs)}
+	}
+	if v.opts.Profile {
+		v.profile[m.FullName()]++
+	}
+	regs := make([]dex.Value, m.NumRegs)
+	copy(regs, args)
+
+	fault := func(pc int, format string, a ...any) error {
+		return &RuntimeError{Method: m.FullName(), PC: pc, Reason: fmt.Sprintf(format, a...)}
+	}
+	intOf := func(pc int, val dex.Value) (int64, error) {
+		if val.Kind != dex.KindInt {
+			return 0, fault(pc, "expected int, got %s", val.Kind)
+		}
+		return val.Int, nil
+	}
+
+	pc := 0
+	code := m.Code
+	for {
+		if pc < 0 || pc >= len(code) {
+			return dex.Nil(), fault(pc, "control fell outside the method")
+		}
+		v.steps++
+		v.clock++
+		if v.steps > v.opts.MaxSteps {
+			return dex.Nil(), ErrBudget
+		}
+		in := code[pc]
+		if v.trace != nil {
+			v.recordTrace(m.FullName(), pc, in.Op, inPayload)
+		}
+		switch in.Op {
+		case dex.OpNop:
+
+		case dex.OpConstInt:
+			regs[in.A] = dex.Int64(in.Imm)
+
+		case dex.OpConstStr:
+			regs[in.A] = dex.Str(u.file.Str(in.Imm))
+
+		case dex.OpMove:
+			regs[in.A] = regs[in.B]
+
+		case dex.OpAdd, dex.OpSub, dex.OpMul, dex.OpDiv, dex.OpRem,
+			dex.OpAnd, dex.OpOr, dex.OpXor, dex.OpShl, dex.OpShr:
+			x, err := intOf(pc, regs[in.B])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			y, err := intOf(pc, regs[in.C])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			r, err := arith(in.Op, x, y)
+			if err != nil {
+				return dex.Nil(), fault(pc, "%v", err)
+			}
+			regs[in.A] = dex.Int64(r)
+
+		case dex.OpNeg:
+			x, err := intOf(pc, regs[in.B])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			regs[in.A] = dex.Int64(-x)
+
+		case dex.OpNot:
+			x, err := intOf(pc, regs[in.B])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			regs[in.A] = dex.Int64(^x)
+
+		case dex.OpAddK:
+			x, err := intOf(pc, regs[in.B])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			regs[in.A] = dex.Int64(x + in.Imm)
+
+		case dex.OpIfEq:
+			if regs[in.A].Equal(regs[in.B]) {
+				pc = int(in.C)
+				continue
+			}
+
+		case dex.OpIfNe:
+			if !regs[in.A].Equal(regs[in.B]) {
+				pc = int(in.C)
+				continue
+			}
+
+		case dex.OpIfLt, dex.OpIfLe, dex.OpIfGt, dex.OpIfGe:
+			x, err := intOf(pc, regs[in.A])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			y, err := intOf(pc, regs[in.B])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			var taken bool
+			switch in.Op {
+			case dex.OpIfLt:
+				taken = x < y
+			case dex.OpIfLe:
+				taken = x <= y
+			case dex.OpIfGt:
+				taken = x > y
+			default:
+				taken = x >= y
+			}
+			if taken {
+				pc = int(in.C)
+				continue
+			}
+
+		case dex.OpIfEqz:
+			if !regs[in.A].Truthy() {
+				pc = int(in.C)
+				continue
+			}
+
+		case dex.OpIfNez:
+			if regs[in.A].Truthy() {
+				pc = int(in.C)
+				continue
+			}
+
+		case dex.OpGoto:
+			pc = int(in.C)
+			continue
+
+		case dex.OpSwitch:
+			x, err := intOf(pc, regs[in.A])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			if in.Imm < 0 || in.Imm >= int64(len(m.Tables)) {
+				return dex.Nil(), fault(pc, "switch table %d missing", in.Imm)
+			}
+			t := m.Tables[in.Imm]
+			target := t.Default
+			for _, cs := range t.Cases {
+				if cs.Match == x {
+					target = cs.Target
+					break
+				}
+			}
+			pc = int(target)
+			continue
+
+		case dex.OpInvoke:
+			name := u.file.Str(in.Imm)
+			callee, cu := v.resolve(u, name)
+			if callee == nil {
+				return dex.Nil(), fault(pc, "unresolved invoke %q", name)
+			}
+			callArgs := regs[in.B : int(in.B)+int(in.C)]
+			res, err := v.call(cu, inPayload, callee, callArgs, depth+1)
+			if err != nil {
+				return dex.Nil(), err
+			}
+			if in.A != -1 {
+				regs[in.A] = res
+			}
+
+		case dex.OpCallAPI:
+			callArgs := regs[in.B : int(in.B)+int(in.C)]
+			res, err := v.callAPI(u, inPayload, m, dex.API(in.Imm), callArgs, depth)
+			if err != nil {
+				return dex.Nil(), err
+			}
+			if in.A != -1 {
+				regs[in.A] = res
+			}
+
+		case dex.OpReturn:
+			return regs[in.A], nil
+
+		case dex.OpReturnVoid:
+			return dex.Nil(), nil
+
+		case dex.OpGetStatic:
+			regs[in.A] = v.statics[u.file.Str(in.Imm)]
+
+		case dex.OpPutStatic:
+			v.statics[u.file.Str(in.Imm)] = regs[in.A]
+
+		case dex.OpNewArr:
+			n, err := intOf(pc, regs[in.B])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			if n < 0 || n > 1<<20 {
+				return dex.Nil(), fault(pc, "bad array length %d", n)
+			}
+			regs[in.A] = dex.NewArr(int(n))
+
+		case dex.OpALoad:
+			arr := regs[in.B]
+			if arr.Kind != dex.KindArr || arr.Arr == nil {
+				return dex.Nil(), fault(pc, "aload on %s", arr.Kind)
+			}
+			i, err := intOf(pc, regs[in.C])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			if i < 0 || int(i) >= len(*arr.Arr) {
+				return dex.Nil(), fault(pc, "index %d out of bounds %d", i, len(*arr.Arr))
+			}
+			regs[in.A] = (*arr.Arr)[i]
+
+		case dex.OpAStore:
+			arr := regs[in.A]
+			if arr.Kind != dex.KindArr || arr.Arr == nil {
+				return dex.Nil(), fault(pc, "astore on %s", arr.Kind)
+			}
+			i, err := intOf(pc, regs[in.B])
+			if err != nil {
+				return dex.Nil(), err
+			}
+			if i < 0 || int(i) >= len(*arr.Arr) {
+				return dex.Nil(), fault(pc, "index %d out of bounds %d", i, len(*arr.Arr))
+			}
+			(*arr.Arr)[i] = regs[in.C]
+
+		case dex.OpArrLen:
+			arr := regs[in.B]
+			if arr.Kind != dex.KindArr || arr.Arr == nil {
+				return dex.Nil(), fault(pc, "arr-len on %s", arr.Kind)
+			}
+			regs[in.A] = dex.Int64(int64(len(*arr.Arr)))
+
+		default:
+			return dex.Nil(), fault(pc, "invalid opcode %d", in.Op)
+		}
+		pc++
+	}
+}
+
+// resolve finds an invoke target: the calling unit's own methods
+// first (payload-local helpers), then the app.
+func (v *VM) resolve(u *unit, name string) (*dex.Method, *unit) {
+	if m, ok := u.methods[name]; ok {
+		return m, u
+	}
+	if m, ok := v.app.methods[name]; ok {
+		return m, v.app
+	}
+	return nil, nil
+}
+
+func arith(op dex.Op, x, y int64) (int64, error) {
+	switch op {
+	case dex.OpAdd:
+		return x + y, nil
+	case dex.OpSub:
+		return x - y, nil
+	case dex.OpMul:
+		return x * y, nil
+	case dex.OpDiv:
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return x / y, nil
+	case dex.OpRem:
+		if y == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		return x % y, nil
+	case dex.OpAnd:
+		return x & y, nil
+	case dex.OpOr:
+		return x | y, nil
+	case dex.OpXor:
+		return x ^ y, nil
+	case dex.OpShl:
+		return x << (uint64(y) & 63), nil
+	case dex.OpShr:
+		return x >> (uint64(y) & 63), nil
+	}
+	return 0, fmt.Errorf("not an arithmetic op: %s", op)
+}

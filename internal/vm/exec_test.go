@@ -1,0 +1,51 @@
+package vm
+
+import (
+	"testing"
+
+	"bombdroid/internal/dex"
+)
+
+func TestArithSemantics(t *testing.T) {
+	// Go defines MinInt64 / -1 == MinInt64 (two's complement wrap),
+	// so the interpreter inherits a total, defined semantics.
+	const minInt = -1 << 63
+	got, err := arith(dex.OpDiv, minInt, -1)
+	if err != nil {
+		t.Fatalf("defined overflow case errored: %v", err)
+	}
+	if got != minInt {
+		t.Errorf("MinInt64 / -1 = %d", got)
+	}
+	if _, err := arith(dex.OpDiv, 1, 0); err == nil {
+		t.Error("division by zero must fault")
+	}
+	if _, err := arith(dex.OpRem, 1, 0); err == nil {
+		t.Error("remainder by zero must fault")
+	}
+	// Shift counts are masked, never undefined.
+	if got, _ := arith(dex.OpShl, 1, 200); got != 1<<(200&63) {
+		t.Errorf("shl mask wrong: %d", got)
+	}
+	if got, _ := arith(dex.OpShr, -8, 1); got != -4 {
+		t.Errorf("arithmetic shr: %d", got)
+	}
+	if _, err := arith(dex.OpMove, 1, 2); err == nil {
+		t.Error("non-arithmetic op must be rejected")
+	}
+	cases := map[dex.Op][3]int64{
+		dex.OpAdd: {3, 4, 7},
+		dex.OpSub: {3, 4, -1},
+		dex.OpMul: {3, 4, 12},
+		dex.OpDiv: {12, 4, 3},
+		dex.OpRem: {13, 4, 1},
+		dex.OpAnd: {0b1100, 0b1010, 0b1000},
+		dex.OpOr:  {0b1100, 0b1010, 0b1110},
+		dex.OpXor: {0b1100, 0b1010, 0b0110},
+	}
+	for op, c := range cases {
+		if got, err := arith(op, c[0], c[1]); err != nil || got != c[2] {
+			t.Errorf("%s(%d,%d) = %d, %v; want %d", op, c[0], c[1], got, err, c[2])
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"testing"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/lockbox"
+)
+
+// TestPayloadCallsBackIntoApp pins the cross-unit linking rule: a
+// decrypted payload resolves its own methods first and falls back to
+// the app's — woven code keeps calling the host's helpers.
+func TestPayloadCallsBackIntoApp(t *testing.T) {
+	f := dex.NewFile()
+	app := &dex.Class{Name: "App", Fields: []dex.Field{{Name: "n", Init: dex.Int64(0)}}}
+
+	// App.bump(): n += 10.
+	b := dex.NewBuilder(f, "bump", 0)
+	r := b.Reg()
+	b.GetStatic(r, "App.n")
+	b.AddK(r, r, 10)
+	b.PutStatic("App.n", r)
+	b.ReturnVoid()
+	app.AddMethod(b.MustFinish())
+
+	// Payload: run(x) { App.bump(); Payload.local(); }
+	pf := dex.NewFile()
+	pcl := &dex.Class{Name: "P", Fields: []dex.Field{{Name: "seen", Init: dex.Int64(0)}}}
+	pb := dex.NewBuilder(pf, "run", 1)
+	pb.Invoke(-1, "App.bump")
+	pb.Invoke(-1, "P.local")
+	pb.ReturnVoid()
+	pcl.AddMethod(pb.MustFinish())
+	lb := dex.NewBuilder(pf, "local", 0)
+	lr := lb.Reg()
+	lb.GetStatic(lr, "P.seen")
+	lb.AddK(lr, lr, 1)
+	lb.PutStatic("P.seen", lr)
+	lb.ReturnVoid()
+	pcl.AddMethod(lb.MustFinish())
+	if err := pf.AddClass(pcl); err != nil {
+		t.Fatal(err)
+	}
+
+	const salt = "xsalt"
+	c := dex.Int64(5)
+	sealed, err := lockbox.SealValue(dex.Encode(pf), c, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := f.AddBlob(sealed)
+
+	// App.fire(x): h = decryptLoad(blob, x, salt); invokePayload(h, x)
+	b = dex.NewBuilder(f, "fire", 1)
+	args := b.Regs(3)
+	b.ConstInt(args, blob)
+	b.Move(args+1, 0)
+	b.ConstStr(args+2, salt)
+	h := b.Reg()
+	b.Emit(dex.Instr{Op: dex.OpCallAPI, A: h, B: args, C: 3, Imm: int64(dex.APIDecryptLoad)})
+	x2 := b.Reg()
+	b.Move(x2, 0)
+	b.CallAPI(-1, dex.APIInvokePayload, h, x2)
+	b.ReturnVoid()
+	app.AddMethod(b.MustFinish())
+
+	if err := f.AddClass(app); err != nil {
+		t.Fatal(err)
+	}
+	key, err := apk.NewKeyPair(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Sign(apk.Build("x", f, apk.Resources{}), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(pkg, android.EmulatorLab(1)[0], Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Invoke("App.fire", dex.Int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Static("App.n"); got.Int != 10 {
+		t.Errorf("payload -> app call: n = %v", got)
+	}
+	if got := v.Static("P.seen"); got.Int != 1 {
+		t.Errorf("payload-local call: seen = %v", got)
+	}
+	// Second detonation reuses the cached decrypt and runs again.
+	if _, err := v.Invoke("App.fire", dex.Int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Static("App.n"); got.Int != 20 {
+		t.Errorf("second run: n = %v", got)
+	}
+	// Payload statics installed once, not reset by the cache hit.
+	if got := v.Static("P.seen"); got.Int != 2 {
+		t.Errorf("second run: seen = %v", got)
+	}
+}
+
+// TestPayloadWithoutEntryRejected: a decrypted unit lacking run() is a
+// corrupt payload.
+func TestPayloadWithoutEntryRejected(t *testing.T) {
+	f := dex.NewFile()
+	app := &dex.Class{Name: "App"}
+
+	pf := dex.NewFile()
+	pcl := &dex.Class{Name: "P"}
+	pb := dex.NewBuilder(pf, "notRun", 0)
+	pb.ReturnVoid()
+	pcl.AddMethod(pb.MustFinish())
+	if err := pf.AddClass(pcl); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := lockbox.SealValue(dex.Encode(pf), dex.Int64(1), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := f.AddBlob(sealed)
+
+	b := dex.NewBuilder(f, "fire", 0)
+	args := b.Regs(3)
+	b.ConstInt(args, blob)
+	b.ConstInt(args+1, 1)
+	b.ConstStr(args+2, "s")
+	h := b.Reg()
+	b.Emit(dex.Instr{Op: dex.OpCallAPI, A: h, B: args, C: 3, Imm: int64(dex.APIDecryptLoad)})
+	b.ReturnVoid()
+	app.AddMethod(b.MustFinish())
+	if err := f.AddClass(app); err != nil {
+		t.Fatal(err)
+	}
+
+	key, err := apk.NewKeyPair(34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Sign(apk.Build("x", f, apk.Resources{}), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(pkg, android.EmulatorLab(1)[0], Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = v.Invoke("App.fire")
+	if !IsDecryptFailure(err) {
+		t.Errorf("entry-less payload should be a decrypt failure: %v", err)
+	}
+}

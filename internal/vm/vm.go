@@ -1,0 +1,410 @@
+// Package vm is the ART-stand-in runtime: a register-machine
+// interpreter over dex bytecode with the Android framework surface the
+// paper's apps, bombs, and attacks need — certificate and manifest
+// access, environment and sensor reads, dynamic loading of decrypted
+// payload dex blobs, API hooking (for instrumentation attacks), a
+// Traceview-style method profiler, and a virtual clock that prices
+// instructions and framework calls so the overhead evaluation has a
+// realistic cost model.
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/dex"
+)
+
+// TicksPerMilli converts virtual-clock ticks to milliseconds. One
+// instruction costs one tick (~0.5 µs, interpreter-grade dispatch).
+const TicksPerMilli = 2000
+
+// Defaults for execution limits.
+const (
+	DefaultMaxSteps = 4_000_000
+	DefaultMaxDepth = 128
+)
+
+// ResponseKind classifies a detection response (paper §4.2).
+type ResponseKind uint8
+
+// Response kinds.
+const (
+	RespCrash ResponseKind = iota
+	RespFreeze
+	RespLeak
+	RespWarn
+	RespReport
+)
+
+// String returns the kind name.
+func (k ResponseKind) String() string {
+	switch k {
+	case RespCrash:
+		return "crash"
+	case RespFreeze:
+		return "freeze"
+	case RespLeak:
+		return "leak"
+	case RespWarn:
+		return "warn"
+	case RespReport:
+		return "report"
+	}
+	return "?"
+}
+
+// ResponseEvent records one fired response.
+type ResponseEvent struct {
+	TimeMillis int64
+	BombID     string // payload class that fired ("" outside payloads)
+	Kind       ResponseKind
+	Info       string
+}
+
+// APICall describes one framework call, as seen by hooks and
+// observers.
+type APICall struct {
+	API  dex.API
+	Args []dex.Value
+	// InPayload names the executing payload class, or "" in app code.
+	InPayload string
+	Method    string // full name of the calling method
+}
+
+// Hook intercepts a framework call. Returning handled=true substitutes
+// result (and err) for the real implementation — the vehicle for the
+// paper's code-instrumentation attacks (forcing rand() to 0, faking
+// getPublicKey, vtable hijacking).
+type Hook func(call APICall) (result dex.Value, handled bool, err error)
+
+// Observer watches every framework call without altering it (the
+// debugger / call-tracing attacks).
+type Observer func(call APICall)
+
+// unit is one loaded dex file (the app, or a decrypted payload).
+type unit struct {
+	file    *dex.File
+	methods map[string]*dex.Method
+}
+
+func newUnit(f *dex.File) *unit {
+	u := &unit{file: f, methods: make(map[string]*dex.Method)}
+	for _, m := range f.Methods() {
+		u.methods[m.FullName()] = m
+	}
+	return u
+}
+
+type delayedResponse struct {
+	dueTicks int64
+	kind     ResponseKind
+	bombID   string
+	info     string
+}
+
+// Options configures a VM.
+type Options struct {
+	MaxSteps int64 // per top-level Invoke; DefaultMaxSteps if 0
+	MaxDepth int   // call depth; DefaultMaxDepth if 0
+	Seed     int64 // runtime RNG seed (rand(), UI jitter)
+	Profile  bool  // count method invocations (Traceview)
+	// TraceDepth enables a ring buffer of the last N executed
+	// instructions — the debugger's view when tracing back from a
+	// suspicious symptom (paper §2.1, "Debugging").
+	TraceDepth int
+}
+
+// TraceEntry is one executed instruction in the debugger's ring
+// buffer.
+type TraceEntry struct {
+	Method    string
+	PC        int
+	Op        dex.Op
+	InPayload string
+}
+
+// VM executes one installed app on one device.
+type VM struct {
+	app  *unit
+	pkg  *apk.Package
+	dev  *android.Device
+	opts Options
+
+	statics map[string]dex.Value
+	clock   int64 // ticks
+	rng     *rand.Rand
+
+	hooks     map[dex.API]Hook
+	observers []Observer
+
+	profile map[string]int64
+
+	payloads     map[int64]*payloadUnit // handle -> unit
+	decryptCache map[int64]int64        // blob index -> handle
+	nextHandle   int64
+	outerFired   map[int64]bool // blob index -> authenticated decrypt seen
+
+	bombChecks map[string]int64 // payload class -> detection checks run
+	responses  []ResponseEvent
+	reports    []string
+	warnings   []string
+	logs       []string
+	leakKB     int64
+	delayed    []delayedResponse
+
+	steps int64 // consumed within current top-level Invoke
+
+	trace     []TraceEntry // ring buffer when TraceDepth > 0
+	traceNext int
+	traceFull bool
+}
+
+type payloadUnit struct {
+	u          *unit
+	entryClass string
+}
+
+// New installs a verified package on a device. Installation fails if
+// the package does not verify (the system rejects it) or its dex does
+// not decode and link.
+func New(p *apk.Package, dev *android.Device, opts Options) (*VM, error) {
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("vm: install rejected: %w", err)
+	}
+	return NewUnverified(p, dev, opts)
+}
+
+// NewUnverified installs without signature verification — what a
+// developer-mode attacker does with a locally modified build that was
+// never re-signed. User-side installs go through New.
+func NewUnverified(p *apk.Package, dev *android.Device, opts Options) (*VM, error) {
+	file, err := p.DexFile()
+	if err != nil {
+		return nil, fmt.Errorf("vm: bad dex: %w", err)
+	}
+	if err := dex.Validate(file); err != nil {
+		return nil, fmt.Errorf("vm: dex validation: %w", err)
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	v := &VM{
+		app:          newUnit(file),
+		pkg:          p,
+		dev:          dev,
+		opts:         opts,
+		statics:      make(map[string]dex.Value),
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		hooks:        make(map[dex.API]Hook),
+		profile:      make(map[string]int64),
+		payloads:     make(map[int64]*payloadUnit),
+		decryptCache: make(map[int64]int64),
+		outerFired:   make(map[int64]bool),
+		bombChecks:   make(map[string]int64),
+	}
+	if opts.TraceDepth > 0 {
+		v.trace = make([]TraceEntry, opts.TraceDepth)
+	}
+	v.initStatics(file)
+	return v, nil
+}
+
+// Trace returns the ring buffer contents, oldest first. Empty unless
+// Options.TraceDepth was set.
+func (v *VM) Trace() []TraceEntry {
+	if v.trace == nil {
+		return nil
+	}
+	if !v.traceFull {
+		return append([]TraceEntry(nil), v.trace[:v.traceNext]...)
+	}
+	out := make([]TraceEntry, 0, len(v.trace))
+	out = append(out, v.trace[v.traceNext:]...)
+	out = append(out, v.trace[:v.traceNext]...)
+	return out
+}
+
+// recordTrace appends to the ring buffer.
+func (v *VM) recordTrace(method string, pc int, op dex.Op, inPayload string) {
+	v.trace[v.traceNext] = TraceEntry{Method: method, PC: pc, Op: op, InPayload: inPayload}
+	v.traceNext++
+	if v.traceNext == len(v.trace) {
+		v.traceNext = 0
+		v.traceFull = true
+	}
+}
+
+func (v *VM) initStatics(f *dex.File) {
+	for _, c := range f.Classes {
+		for _, fd := range c.Fields {
+			v.statics[c.Name+"."+fd.Name] = fd.Init
+		}
+	}
+}
+
+// Device returns the device the app runs on.
+func (v *VM) Device() *android.Device { return v.dev }
+
+// Package returns the installed package.
+func (v *VM) Package() *apk.Package { return v.pkg }
+
+// File returns the app's loaded dex file (the attacker reads it; user
+// code does not).
+func (v *VM) File() *dex.File { return v.app.file }
+
+// NowMillis returns the virtual wall clock.
+func (v *VM) NowMillis() int64 { return v.clock / TicksPerMilli }
+
+// NowTicks returns the raw virtual clock.
+func (v *VM) NowTicks() int64 { return v.clock }
+
+// SetClockMillis positions the virtual clock (sessions start at
+// arbitrary times of day).
+func (v *VM) SetClockMillis(ms int64) { v.clock = ms * TicksPerMilli }
+
+// Hook installs an API hook, replacing any previous hook for that API.
+func (v *VM) Hook(api dex.API, h Hook) { v.hooks[api] = h }
+
+// Unhook removes an API hook.
+func (v *VM) Unhook(api dex.API) { delete(v.hooks, api) }
+
+// Observe registers a call observer.
+func (v *VM) Observe(o Observer) { v.observers = append(v.observers, o) }
+
+// Handlers lists the app's event handler methods in deterministic
+// order — the surface fuzzers and users drive.
+func (v *VM) Handlers() []string {
+	var out []string
+	for name, m := range v.app.methods {
+		if m.IsHandler() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InitMethods lists FlagInit entry points in deterministic order.
+func (v *VM) InitMethods() []string {
+	var out []string
+	for name, m := range v.app.methods {
+		if m.Flags&dex.FlagInit != 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Static reads a static field value ("Class.Field").
+func (v *VM) Static(ref string) dex.Value { return v.statics[ref] }
+
+// SetStatic writes a static field (used by forced-execution attacks
+// that prepare program state).
+func (v *VM) SetStatic(ref string, val dex.Value) { v.statics[ref] = val }
+
+// Profile returns a copy of the method invocation counts.
+func (v *VM) Profile() map[string]int64 {
+	out := make(map[string]int64, len(v.profile))
+	for k, c := range v.profile {
+		out[k] = c
+	}
+	return out
+}
+
+// ResetProfile clears invocation counts.
+func (v *VM) ResetProfile() { v.profile = make(map[string]int64) }
+
+// OuterTriggered returns the blob indices whose sealed payloads were
+// successfully authenticated — exactly the bombs whose outer trigger
+// condition was satisfied with the true constant (Table 4's metric).
+func (v *VM) OuterTriggered() []int64 {
+	out := make([]int64, 0, len(v.outerFired))
+	for idx := range v.outerFired {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DetectionRuns returns, per payload class, how many times its
+// repackaging check executed (both triggers satisfied — Figure 5's
+// metric). On a non-repackaged app these checks run and stay silent.
+func (v *VM) DetectionRuns() map[string]int64 {
+	out := make(map[string]int64, len(v.bombChecks))
+	for k, c := range v.bombChecks {
+		out[k] = c
+	}
+	return out
+}
+
+// Responses returns fired responses in order.
+func (v *VM) Responses() []ResponseEvent {
+	return append([]ResponseEvent(nil), v.responses...)
+}
+
+// PiracyReports returns the reports sent to the developer.
+func (v *VM) PiracyReports() []string {
+	return append([]string(nil), v.reports...)
+}
+
+// Warnings returns user-facing warnings shown so far.
+func (v *VM) Warnings() []string {
+	return append([]string(nil), v.warnings...)
+}
+
+// Logs returns the app log.
+func (v *VM) Logs() []string { return append([]string(nil), v.logs...) }
+
+// LeakKB returns accumulated leaked memory.
+func (v *VM) LeakKB() int64 { return v.leakKB }
+
+// AdvanceIdle advances the clock by idle milliseconds (between UI
+// events) and fires any due delayed responses. A due crash response
+// returns a CrashError.
+func (v *VM) AdvanceIdle(ms int64) error {
+	v.clock += ms * TicksPerMilli
+	var remaining []delayedResponse
+	var crash error
+	for _, d := range v.delayed {
+		if d.dueTicks > v.clock {
+			remaining = append(remaining, d)
+			continue
+		}
+		if err := v.fireResponse(d.kind, d.bombID, d.info); err != nil && crash == nil {
+			crash = err
+		}
+	}
+	v.delayed = remaining
+	return crash
+}
+
+// PendingDelayed reports how many delayed responses are armed.
+func (v *VM) PendingDelayed() int { return len(v.delayed) }
+
+// fireResponse records a response and applies its effect.
+func (v *VM) fireResponse(kind ResponseKind, bombID, info string) error {
+	v.responses = append(v.responses, ResponseEvent{
+		TimeMillis: v.NowMillis(), BombID: bombID, Kind: kind, Info: info,
+	})
+	switch kind {
+	case RespCrash:
+		return &CrashError{BombID: bombID, Reason: "detection response"}
+	case RespFreeze:
+		v.clock += 30_000 * TicksPerMilli // half-minute UI freeze
+	case RespLeak:
+		v.leakKB += 4096
+	case RespWarn:
+		v.warnings = append(v.warnings, info)
+	case RespReport:
+		v.reports = append(v.reports, info)
+	}
+	return nil
+}
