@@ -11,6 +11,7 @@
 package bombdroid_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -18,10 +19,12 @@ import (
 	"bombdroid/internal/apk"
 	"bombdroid/internal/appgen"
 	"bombdroid/internal/attack"
+	"bombdroid/internal/chaos"
 	"bombdroid/internal/core"
 	"bombdroid/internal/dex"
 	"bombdroid/internal/exp"
 	"bombdroid/internal/fuzz"
+	"bombdroid/internal/report"
 	"bombdroid/internal/symexec"
 	"bombdroid/internal/vm"
 )
@@ -496,5 +499,54 @@ func BenchmarkAblationAlpha(b *testing.B) {
 				b.ReportMetric(float64(res.Stats.BombsArtificial), "artificial_a50")
 			}
 		}
+	}
+}
+
+// BenchmarkReportIngestion: events/sec through the detection-report
+// pipeline under a faulted channel (1% drops, 5% delays) — the
+// market-side ingestion cost of decentralized detection at scale.
+func BenchmarkReportIngestion(b *testing.B) {
+	profile := chaos.Profile{
+		Name:       "bench",
+		DropEvent:  0.01,
+		DelayEvent: 0.05, DelayEventMs: 250,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj := chaos.NewInjector(profile, 7)
+		sink := report.NewMemorySink()
+		pipe := report.New(&chaos.FlakySink{Inner: sink, Inj: inj}, report.Config{Seed: 7})
+		const events = 5_000
+		now := int64(0)
+		for j := 0; j < events; j++ {
+			ev := report.Event{
+				App:  "bench",
+				Bomb: fmt.Sprintf("bomb%d", j%40),
+				User: fmt.Sprintf("user%d", j/40),
+			}
+			if inj.Hit(profile.DelayEvent, "delay") {
+				ev.TimeMs = now + inj.DelayMs()
+			} else {
+				ev.TimeMs = now
+			}
+			pipe.Submit(ev, ev.TimeMs)
+			now += 2
+			if j%64 == 0 {
+				pipe.Tick(now)
+			}
+		}
+		pipe.Flush(now, now+60_000)
+		if got := sink.UniqueKeys(); got != events {
+			b.Fatalf("delivered %d unique of %d", got, events)
+		}
+		if sink.MaxPerKey() != 1 {
+			b.Fatal("duplicate delivery under faults")
+		}
+		b.ReportMetric(float64(events), "events")
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)*5_000/elapsed, "events/sec")
 	}
 }

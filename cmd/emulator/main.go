@@ -5,7 +5,11 @@
 // Usage:
 //
 //	emulator -apk app.apk [-device emulator|population] [-fuzzer dynodroid]
-//	         [-minutes 10] [-seed 1] [-as-user]
+//	         [-minutes 10] [-seed 1] [-as-user] [-chaos mild|harsh]
+//
+// With -chaos the app runs fail-closed under the named fault profile:
+// sealed payloads are corrupted at decrypt time and environment reads
+// misreported, with every contained fault tallied at exit.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
+	"bombdroid/internal/chaos"
 	"bombdroid/internal/fuzz"
 	"bombdroid/internal/vm"
 )
@@ -29,19 +34,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	domain := flag.Int64("domain", 64, "handler parameter domain")
 	unverified := flag.Bool("allow-unverified", false, "skip signature verification (attacker lab)")
+	chaosName := flag.String("chaos", "", "fault profile: mild or harsh (fail-closed chaos run)")
 	flag.Parse()
 
 	if *apkPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*apkPath, *deviceKind, *fuzzer, *minutes, *seed, *domain, *unverified); err != nil {
+	if err := run(*apkPath, *deviceKind, *fuzzer, *minutes, *seed, *domain, *unverified, *chaosName); err != nil {
 		fmt.Fprintln(os.Stderr, "emulator:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, unverified bool) error {
+func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, unverified bool, chaosName string) error {
 	data, err := os.ReadFile(apkPath)
 	if err != nil {
 		return err
@@ -61,14 +67,36 @@ func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, un
 		return fmt.Errorf("unknown device kind %q", deviceKind)
 	}
 
+	vmOpts := vm.Options{Seed: seed, Profile: true}
+	var inj *chaos.Injector
+	if chaosName != "" {
+		var profile chaos.Profile
+		switch strings.ToLower(chaosName) {
+		case "none":
+			profile = chaos.None
+		case "mild":
+			profile = chaos.Mild
+		case "harsh":
+			profile = chaos.Harsh
+		default:
+			return fmt.Errorf("unknown chaos profile %q (want mild or harsh)", chaosName)
+		}
+		inj = chaos.NewInjector(profile, seed)
+		vmOpts.FailClosed = true
+		vmOpts.BlobFault = inj.BlobFault()
+	}
+
 	var v *vm.VM
 	if unverified {
-		v, err = vm.NewUnverified(pkg, dev, vm.Options{Seed: seed, Profile: true})
+		v, err = vm.NewUnverified(pkg, dev, vmOpts)
 	} else {
-		v, err = vm.New(pkg, dev, vm.Options{Seed: seed, Profile: true})
+		v, err = vm.New(pkg, dev, vmOpts)
 	}
 	if err != nil {
 		return err
+	}
+	if inj != nil {
+		inj.ApplyEnvFaults(v)
 	}
 
 	var fz fuzz.Fuzzer
@@ -104,6 +132,15 @@ func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, un
 	}
 	if len(res.Responses) == 0 {
 		fmt.Println("no responses fired")
+	}
+	if inj != nil {
+		faults := v.Faults()
+		fmt.Printf("chaos: %d bomb-path faults contained (fail-closed); injector: %s\n",
+			len(faults), inj.CountsString())
+		for _, f := range faults {
+			fmt.Printf("  fault at %.1fs: %s blob=%d bomb=%s: %s\n",
+				float64(f.TimeMillis)/1000, f.Kind, f.Blob, f.Bomb, f.Err)
+		}
 	}
 	return nil
 }

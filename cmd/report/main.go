@@ -8,7 +8,7 @@
 // and extra experiment is produced in order. Extras: fp (false
 // positives), size (code size), human (analyst study), matrix
 // (attack × protection resilience matrix), ablate (design-choice
-// ablations).
+// ablations), chaos (fault-injection resilience campaigns).
 package main
 
 import (
@@ -142,5 +142,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(exp.FormatAblations(rows))
+	}
+	if *all || *extra == "chaos" {
+		rows, err := exp.ChaosResilience(sc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatChaos(rows))
 	}
 }

@@ -1,6 +1,7 @@
 package apk
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -299,5 +300,95 @@ func TestTotalSizeAndClone(t *testing.T) {
 	q.Manifest.Digests[EntryDex] = "x"
 	if p.Res.Icon[0] == 0 || p.Manifest.Digests[EntryDex] == "x" {
 		t.Error("Clone shares state")
+	}
+}
+
+// TestSignErrorPaths pins the input-validation contract: a nil or
+// empty signing key and an empty package return explicit errors
+// instead of panicking partway through manifest construction.
+func TestSignErrorPaths(t *testing.T) {
+	key, err := NewKeyPair(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Build("com.example.app", testDex(t), Resources{Author: "dev"})
+	if _, err := Sign(u, nil); err != ErrNilKey {
+		t.Errorf("nil key: %v, want ErrNilKey", err)
+	}
+	if _, err := Sign(u, &KeyPair{}); err != ErrNilKey {
+		t.Errorf("zero-value key: %v, want ErrNilKey", err)
+	}
+	if _, err := Sign(nil, key); err != ErrEmptyPackage {
+		t.Errorf("nil unsigned: %v, want ErrEmptyPackage", err)
+	}
+	if _, err := Sign(&Unsigned{Name: "", Dex: u.Dex}, key); err != ErrEmptyPackage {
+		t.Errorf("empty name: %v, want ErrEmptyPackage", err)
+	}
+	if _, err := Sign(&Unsigned{Name: "x", Dex: nil}, key); err != ErrEmptyPackage {
+		t.Errorf("empty dex: %v, want ErrEmptyPackage", err)
+	}
+}
+
+// TestRepackageErrorPaths covers the attacker-pipeline error paths:
+// nil inputs fail loudly, and a mutation hook's error propagates
+// instead of producing a half-repackaged app.
+func TestRepackageErrorPaths(t *testing.T) {
+	victim, _ := testPackage(t, 21)
+	attacker, err := NewKeyPair(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repackage(nil, attacker, RepackOptions{}); err != ErrEmptyPackage {
+		t.Errorf("nil victim: %v, want ErrEmptyPackage", err)
+	}
+	if _, err := Repackage(victim, nil, RepackOptions{}); err != ErrNilKey {
+		t.Errorf("nil attacker key: %v, want ErrNilKey", err)
+	}
+	wantErr := "mutation exploded"
+	if _, err := Repackage(victim, attacker, RepackOptions{
+		MutateDex: func(*dex.File) error { return fmt.Errorf("%s", wantErr) },
+	}); err == nil || !strings.Contains(err.Error(), wantErr) {
+		t.Errorf("mutate error not propagated: %v", err)
+	}
+}
+
+// TestDoubleRepackage: repackaging a repackaged app is the threat
+// model iterated — it must still produce a validly signed package,
+// and each hop's public key must differ from every earlier signer's.
+func TestDoubleRepackage(t *testing.T) {
+	victim, devKey := testPackage(t, 31)
+	a1, err := NewKeyPair(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewKeyPair(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Repackage(victim, a1, RepackOptions{NewAuthor: "pirate one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Repackage(first, a2, RepackOptions{NewAuthor: "pirate two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Verify(); err != nil {
+		t.Errorf("double-repackaged app must still verify: %v", err)
+	}
+	keys := map[string]string{
+		"developer":       devKey.PublicKeyHex(),
+		"first attacker":  first.PublicKeyHex(),
+		"second attacker": second.PublicKeyHex(),
+	}
+	seen := map[string]string{}
+	for who, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s and %s share a public key", who, prev)
+		}
+		seen[k] = who
+	}
+	if second.Res.Author != "pirate two" {
+		t.Errorf("author = %q, want the second attacker's", second.Res.Author)
 	}
 }

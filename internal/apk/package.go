@@ -84,8 +84,20 @@ func buildManifest(u *Unsigned) Manifest {
 	}}
 }
 
+// Errors returned by Sign and Repackage input validation.
+var (
+	ErrNilKey       = errors.New("apk: nil signing key")
+	ErrEmptyPackage = errors.New("apk: empty package")
+)
+
 // Sign produces the final package under the developer's key.
 func Sign(u *Unsigned, key *KeyPair) (*Package, error) {
+	if key == nil || key.priv == nil {
+		return nil, ErrNilKey
+	}
+	if u == nil || u.Name == "" || len(u.Dex) == 0 {
+		return nil, ErrEmptyPackage
+	}
 	man := buildManifest(u)
 	cert, err := key.certificate(man.canonical())
 	if err != nil {

@@ -24,6 +24,12 @@ type RepackOptions struct {
 // passes Verify (it is a validly signed app) but its public key
 // necessarily differs from the original developer's.
 func Repackage(victim *Package, attacker *KeyPair, opts RepackOptions) (*Package, error) {
+	if victim == nil {
+		return nil, ErrEmptyPackage
+	}
+	if attacker == nil {
+		return nil, ErrNilKey
+	}
 	res := victim.Res.Clone()
 	if opts.NewAuthor != "" {
 		res.Author = opts.NewAuthor

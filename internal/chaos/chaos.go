@@ -1,0 +1,284 @@
+// Package chaos is the fault-injection harness: a deterministic,
+// seedable source of the faults a deployed bomb lifecycle actually
+// meets — flash corruption garbling sealed payloads, bit rot in the
+// installed dex image, devices misreporting their own environment,
+// and a lossy network dropping, delaying, duplicating, or reordering
+// detection events on the way to the market.
+//
+// The harness never asserts anything itself; it only injects. The
+// invariants live with the components under test: the VM and lockbox
+// must fail closed (app keeps its normal semantics, no panic), and
+// the report pipeline must deliver each unique detection exactly once
+// regardless of what the channel does. Campaigns in internal/sim
+// drive both against profiles from this package.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"bombdroid/internal/dex"
+	"bombdroid/internal/report"
+	"bombdroid/internal/vm"
+)
+
+// Profile is one composable fault configuration. Every field is a
+// probability in [0,1] applied per opportunity (per decrypt attempt,
+// per submitted event, ...) except DelayEventMs, which scales the
+// delay fault. The zero value injects nothing.
+type Profile struct {
+	Name string
+
+	// Bomb-lifecycle faults (device + storage domain).
+	CorruptBlob  float64 // bit-flip a sealed lockbox ciphertext before decrypt
+	TruncateBlob float64 // truncate a sealed lockbox ciphertext before decrypt
+	BitFlipDex   float64 // bit-flip the installed dex image before a session
+	EnvMisreport float64 // perturb device environment reads (env/GPS/sensor)
+
+	// Detection-event channel faults (network domain).
+	DropEvent    float64 // sink rejects a delivery attempt
+	DupEvent     float64 // event submitted twice by the device
+	DelayEvent   float64 // event submission delayed
+	DelayEventMs int64   // maximum delay applied when DelayEvent hits
+	ReorderEvent float64 // event submitted out of arrival order
+}
+
+// Named profiles, from benign to hostile.
+var (
+	None = Profile{Name: "none"}
+	Mild = Profile{
+		Name:        "mild",
+		CorruptBlob: 0.05,
+		DropEvent:   0.01, DupEvent: 0.05,
+		DelayEvent: 0.05, DelayEventMs: 500,
+	}
+	Harsh = Profile{
+		Name:        "harsh",
+		CorruptBlob: 0.25, TruncateBlob: 0.10,
+		BitFlipDex: 0.10, EnvMisreport: 0.10,
+		DropEvent: 0.10, DupEvent: 0.20,
+		DelayEvent: 0.20, DelayEventMs: 2000,
+		ReorderEvent: 0.20,
+	}
+)
+
+// Overlay composes two profiles: every non-zero field of over
+// replaces the corresponding field of base. The result is named
+// "base+over" so campaign output identifies the composition.
+func Overlay(base, over Profile) Profile {
+	out := base
+	if over.CorruptBlob != 0 {
+		out.CorruptBlob = over.CorruptBlob
+	}
+	if over.TruncateBlob != 0 {
+		out.TruncateBlob = over.TruncateBlob
+	}
+	if over.BitFlipDex != 0 {
+		out.BitFlipDex = over.BitFlipDex
+	}
+	if over.EnvMisreport != 0 {
+		out.EnvMisreport = over.EnvMisreport
+	}
+	if over.DropEvent != 0 {
+		out.DropEvent = over.DropEvent
+	}
+	if over.DupEvent != 0 {
+		out.DupEvent = over.DupEvent
+	}
+	if over.DelayEvent != 0 {
+		out.DelayEvent = over.DelayEvent
+	}
+	if over.DelayEventMs != 0 {
+		out.DelayEventMs = over.DelayEventMs
+	}
+	if over.ReorderEvent != 0 {
+		out.ReorderEvent = over.ReorderEvent
+	}
+	if base.Name != "" && over.Name != "" {
+		out.Name = base.Name + "+" + over.Name
+	} else if over.Name != "" {
+		out.Name = over.Name
+	}
+	return out
+}
+
+// Injector draws faults from a profile deterministically: same seed,
+// same profile, same call sequence — same faults. Safe for use from
+// multiple goroutines.
+type Injector struct {
+	P Profile
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[string]int
+}
+
+// NewInjector builds an injector over p seeded with seed.
+func NewInjector(p Profile, seed int64) *Injector {
+	return &Injector{P: p, rng: rand.New(rand.NewSource(seed)), counts: make(map[string]int)}
+}
+
+// Hit draws one fault decision at the given rate, counting kind when
+// it fires. The rng advances on every call regardless of outcome, so
+// fault positions are reproducible across rate changes of other
+// kinds.
+func (in *Injector) Hit(rate float64, kind string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	hit := in.rng.Float64() < rate
+	if hit {
+		in.counts[kind]++
+	}
+	return hit
+}
+
+// CorruptBytes returns a copy of b with one to three bit flips at
+// rng-chosen positions. Empty input comes back empty.
+func (in *Injector) CorruptBytes(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, n := 0, 1+in.rng.Intn(3); i < n; i++ {
+		out[in.rng.Intn(len(out))] ^= 1 << uint(in.rng.Intn(8))
+	}
+	return out
+}
+
+// TruncateBytes returns a prefix of b of rng-chosen length (possibly
+// zero) — the torn-write storage fault.
+func (in *Injector) TruncateBytes(b []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b[:in.rng.Intn(len(b))]...)
+}
+
+// DelayMs draws a delay in [1, DelayEventMs] (0 when the profile has
+// no delay budget).
+func (in *Injector) DelayMs() int64 {
+	if in.P.DelayEventMs <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return 1 + in.rng.Int63n(in.P.DelayEventMs)
+}
+
+// Counts returns a copy of the per-kind fault tallies.
+func (in *Injector) Counts() map[string]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// CountsString renders the tallies deterministically for reports.
+func (in *Injector) CountsString() string {
+	c := in.Counts()
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, c[k])
+	}
+	return s
+}
+
+// BlobFault returns the vm.Options.BlobFault hook applying the
+// profile's ciphertext faults: truncation and bit flips on the sealed
+// payload as read back from storage at decrypt time (post-install, so
+// signature verification has already passed — exactly where flash
+// corruption bites on a real device).
+func (in *Injector) BlobFault() func(blob int64, sealed []byte) []byte {
+	return func(blob int64, sealed []byte) []byte {
+		if in.Hit(in.P.TruncateBlob, "blob-truncate") {
+			return in.TruncateBytes(sealed)
+		}
+		if in.Hit(in.P.CorruptBlob, "blob-corrupt") {
+			return in.CorruptBytes(sealed)
+		}
+		return sealed
+	}
+}
+
+// CorruptDex bit-flips an encoded dex image per the BitFlipDex rate.
+// The caller re-decodes it: a decode or validation failure there is a
+// clean install-time rejection, which counts as failing closed.
+func (in *Injector) CorruptDex(encoded []byte) ([]byte, bool) {
+	if !in.Hit(in.P.BitFlipDex, "dex-bitflip") {
+		return encoded, false
+	}
+	return in.CorruptBytes(encoded), true
+}
+
+// ApplyEnvFaults installs hooks on the environment-reading APIs so
+// that, at the profile's EnvMisreport rate, a read returns a garbage
+// value instead of the device's true state — a flaky sensor HAL. Reads
+// that don't hit fall through to the real implementation.
+func (in *Injector) ApplyEnvFaults(v *vm.VM) {
+	misreportInt := func(kind string) vm.Hook {
+		return func(vm.APICall) (dex.Value, bool, error) {
+			if in.Hit(in.P.EnvMisreport, kind) {
+				in.mu.Lock()
+				bad := in.rng.Int63n(1 << 20)
+				in.mu.Unlock()
+				return dex.Int64(bad), true, nil
+			}
+			return dex.Nil(), false, nil
+		}
+	}
+	v.Hook(dex.APIGetEnvStr, func(vm.APICall) (dex.Value, bool, error) {
+		if in.Hit(in.P.EnvMisreport, "env-str") {
+			return dex.Str("\x00corrupt\x00"), true, nil
+		}
+		return dex.Nil(), false, nil
+	})
+	v.Hook(dex.APIGetEnvInt, misreportInt("env-int"))
+	v.Hook(dex.APIGPSLatE6, misreportInt("env-gps"))
+	v.Hook(dex.APIGPSLonE6, misreportInt("env-gps"))
+	v.Hook(dex.APISensorLight, misreportInt("env-sensor"))
+	v.Hook(dex.APISensorTempC, misreportInt("env-sensor"))
+}
+
+// FlakySink wraps a report.Sink with channel faults: scheduled outage
+// windows (virtual ms, [start,end)) during which every delivery
+// fails, plus per-delivery drops at the profile's DropEvent rate. The
+// pipeline's retry/breaker machinery is what turns this lossy channel
+// back into exactly-once delivery.
+type FlakySink struct {
+	Inner   report.Sink
+	Inj     *Injector
+	Outages [][2]int64
+}
+
+// Deliver implements report.Sink.
+func (s *FlakySink) Deliver(ev report.Event, nowMs int64) error {
+	for _, w := range s.Outages {
+		if nowMs >= w[0] && nowMs < w[1] {
+			if s.Inj != nil {
+				s.Inj.Hit(1, "sink-outage")
+			}
+			return report.ErrSinkDown
+		}
+	}
+	if s.Inj != nil && s.Inj.Hit(s.Inj.P.DropEvent, "event-drop") {
+		return report.ErrSinkDown
+	}
+	return s.Inner.Deliver(ev, nowMs)
+}

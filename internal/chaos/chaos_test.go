@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"bombdroid/internal/dex"
+	"bombdroid/internal/lockbox"
+	"bombdroid/internal/report"
+)
+
+// Determinism is the harness's core promise: a campaign that found a
+// bug must be replayable from its seed alone.
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() (hits []bool, blobs [][]byte, counts map[string]int) {
+		in := NewInjector(Harsh, 42)
+		for i := 0; i < 200; i++ {
+			hits = append(hits, in.Hit(0.3, "x"))
+		}
+		src := []byte("sealed payload bytes for corruption")
+		for i := 0; i < 20; i++ {
+			blobs = append(blobs, in.CorruptBytes(src), in.TruncateBytes(src))
+		}
+		return hits, blobs, in.Counts()
+	}
+	h1, b1, c1 := run()
+	h2, b2, c2 := run()
+	if !reflect.DeepEqual(h1, h2) || !reflect.DeepEqual(b1, b2) || !reflect.DeepEqual(c1, c2) {
+		t.Error("same seed must reproduce the same fault sequence")
+	}
+	in3 := NewInjector(Harsh, 43)
+	h3 := make([]bool, 200)
+	for i := range h3 {
+		h3[i] = in3.Hit(0.3, "x")
+	}
+	if reflect.DeepEqual(h1, h3) {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestCorruptAndTruncateActuallyDamage(t *testing.T) {
+	in := NewInjector(Harsh, 7)
+	key := lockbox.DeriveKey(dex.Int64(9), "s")
+	sealed, err := lockbox.Seal([]byte("payload"), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		mut := in.CorruptBytes(sealed)
+		if len(mut) != len(sealed) {
+			t.Fatal("CorruptBytes must preserve length")
+		}
+		if string(mut) == string(sealed) {
+			t.Error("CorruptBytes left the blob intact")
+		}
+		if _, err := lockbox.Open(mut, key); err == nil {
+			t.Error("lockbox accepted a corrupted blob")
+		}
+		trunc := in.TruncateBytes(sealed)
+		if len(trunc) >= len(sealed) {
+			t.Error("TruncateBytes must shorten")
+		}
+		if _, err := lockbox.Open(trunc, key); err == nil {
+			t.Error("lockbox accepted a truncated blob")
+		}
+	}
+	if string(sealed) != string(mustSeal(t, key)) {
+		t.Error("injector mutated the caller's blob in place")
+	}
+}
+
+func mustSeal(t *testing.T, key []byte) []byte {
+	t.Helper()
+	sealed, err := lockbox.Seal([]byte("payload"), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sealed
+}
+
+func TestBlobFaultRespectsRates(t *testing.T) {
+	// Zero profile: the hook must be an identity function.
+	id := NewInjector(None, 1).BlobFault()
+	blob := []byte("sealed")
+	for i := 0; i < 100; i++ {
+		if string(id(0, blob)) != "sealed" {
+			t.Fatal("None profile corrupted a blob")
+		}
+	}
+	// Certain profile: every blob faulted.
+	all := NewInjector(Profile{TruncateBlob: 1}, 1)
+	hook := all.BlobFault()
+	for i := 0; i < 20; i++ {
+		if len(hook(0, blob)) >= len(blob) {
+			t.Fatal("TruncateBlob=1 must truncate every blob")
+		}
+	}
+	if all.Counts()["blob-truncate"] != 20 {
+		t.Errorf("counts = %v", all.Counts())
+	}
+}
+
+func TestOverlayComposition(t *testing.T) {
+	got := Overlay(Mild, Profile{Name: "outage", DropEvent: 0.5, ReorderEvent: 0.3})
+	if got.Name != "mild+outage" {
+		t.Errorf("Name = %q", got.Name)
+	}
+	if got.DropEvent != 0.5 || got.ReorderEvent != 0.3 {
+		t.Error("overlay fields not applied")
+	}
+	if got.CorruptBlob != Mild.CorruptBlob || got.DelayEventMs != Mild.DelayEventMs {
+		t.Error("base fields not preserved")
+	}
+}
+
+func TestFlakySinkOutagesAndDrops(t *testing.T) {
+	mem := &report.MemorySink{}
+	in := NewInjector(Profile{DropEvent: 1}, 5)
+	s := &FlakySink{Inner: mem, Inj: in, Outages: [][2]int64{{100, 200}}}
+	ev := report.Event{App: "a", Bomb: "b", User: "u"}
+	if err := s.Deliver(ev, 150); err != report.ErrSinkDown {
+		t.Errorf("delivery inside outage window: %v", err)
+	}
+	if err := s.Deliver(ev, 250); err != report.ErrSinkDown {
+		t.Errorf("DropEvent=1 outside window: %v", err)
+	}
+	if len(mem.Delivered()) != 0 {
+		t.Error("faulted deliveries leaked into the sink")
+	}
+	in.P.DropEvent = 0
+	if err := s.Deliver(ev, 250); err != nil {
+		t.Errorf("clean delivery: %v", err)
+	}
+	if len(mem.Delivered()) != 1 {
+		t.Error("clean delivery did not reach the sink")
+	}
+}
+
+func TestCorruptDexRate(t *testing.T) {
+	in := NewInjector(Profile{BitFlipDex: 1}, 3)
+	enc := []byte("encoded dex image bytes")
+	mut, hit := in.CorruptDex(enc)
+	if !hit || string(mut) == string(enc) {
+		t.Error("BitFlipDex=1 must corrupt")
+	}
+	none := NewInjector(None, 3)
+	mut, hit = none.CorruptDex(enc)
+	if hit || string(mut) != string(enc) {
+		t.Error("zero profile must pass dex through")
+	}
+}

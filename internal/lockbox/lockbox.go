@@ -21,6 +21,7 @@ import (
 	"crypto/cipher"
 	"crypto/sha1"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -61,6 +62,12 @@ const tagLen = 8
 // the observable outcome of every attempt to force, brute, or guess a
 // bomb open without the true trigger value.
 var ErrWrongKey = errors.New("lockbox: payload failed to authenticate (wrong key)")
+
+// ErrTruncated reports a sealed payload too short to even carry a
+// nonce and tag — storage corruption rather than a wrong key. Like
+// every other failure mode it yields no plaintext at all: the lockbox
+// fails closed.
+var ErrTruncated = errors.New("lockbox: sealed payload truncated")
 
 // Seal encrypts plain under key (16 bytes). The plaintext is
 // DEFLATE-compressed first (payload bytecode is highly compressible;
@@ -103,11 +110,14 @@ func Seal(plain, key []byte) ([]byte, error) {
 	return out, nil
 }
 
-// Open decrypts a sealed payload, returning ErrWrongKey when the tag
-// does not authenticate.
+// Open decrypts a sealed payload, returning ErrTruncated when the
+// blob cannot even carry a nonce and tag, and ErrWrongKey when the
+// tag does not authenticate. On any error no partial plaintext is
+// ever returned, and the tag comparison is constant-time so a
+// brute-force attacker learns nothing from timing.
 func Open(sealed, key []byte) ([]byte, error) {
 	if len(sealed) < aes.BlockSize+tagLen {
-		return nil, ErrWrongKey
+		return nil, ErrTruncated
 	}
 	block, err := aes.NewCipher(key)
 	if err != nil {
@@ -118,10 +128,8 @@ func Open(sealed, key []byte) ([]byte, error) {
 	cipher.NewCTR(block, nonce).XORKeyStream(buf, sealed[aes.BlockSize:])
 	tag, plain := buf[:tagLen], buf[tagLen:]
 	sum := sha256.Sum256(plain)
-	for i := 0; i < tagLen; i++ {
-		if sum[i] != tag[i] {
-			return nil, ErrWrongKey
-		}
+	if subtle.ConstantTimeCompare(sum[:tagLen], tag) != 1 {
+		return nil, ErrWrongKey
 	}
 	out, err := io.ReadAll(flate.NewReader(bytes.NewReader(plain)))
 	if err != nil {

@@ -105,8 +105,8 @@ func TestWrongKeyAlwaysFailsProperty(t *testing.T) {
 func TestOpenRejectsTruncatedAndTampered(t *testing.T) {
 	key := DeriveKey(dex.Int64(5), "s")
 	sealed, _ := Seal([]byte("data"), key)
-	if _, err := Open(sealed[:10], key); err != ErrWrongKey {
-		t.Errorf("truncated blob: %v", err)
+	if _, err := Open(sealed[:10], key); err != ErrTruncated {
+		t.Errorf("truncated blob: %v, want ErrTruncated", err)
 	}
 	for i := range sealed {
 		mut := append([]byte(nil), sealed...)
@@ -115,6 +115,54 @@ func TestOpenRejectsTruncatedAndTampered(t *testing.T) {
 			// A flip in the nonce or body must break the tag; a flip in
 			// the ciphertext tag bytes likewise.
 			t.Errorf("bit flip at %d accepted", i)
+		}
+	}
+}
+
+// TestOpenCorruptionTable pins the fail-closed contract for each
+// storage-fault class the chaos layer injects: no corruption mode may
+// yield plaintext (not even partial), and each maps to an explicit
+// error.
+func TestOpenCorruptionTable(t *testing.T) {
+	key := DeriveKey(dex.Str("constant"), "salty")
+	plain := []byte("inner trigger + detection + response bytecode")
+	sealed, err := Seal(plain, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		wantErr error // nil = any non-nil error accepted
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrTruncated},
+		{"below nonce+tag", func(b []byte) []byte { return b[:15] }, ErrTruncated},
+		{"exact nonce only", func(b []byte) []byte { return b[:16] }, ErrTruncated},
+		{"one byte short of minimum", func(b []byte) []byte { return b[:23] }, ErrTruncated},
+		{"body truncated past minimum", func(b []byte) []byte { return b[:len(b)-3] }, ErrWrongKey},
+		{"nonce bit flip", func(b []byte) []byte { b[3] ^= 1; return b }, ErrWrongKey},
+		{"tag region bit flip", func(b []byte) []byte { b[17] ^= 0x40; return b }, ErrWrongKey},
+		{"body bit flip", func(b []byte) []byte { b[len(b)-1] ^= 0x08; return b }, ErrWrongKey},
+		{"zeroed body", func(b []byte) []byte {
+			for i := 16; i < len(b); i++ {
+				b[i] = 0
+			}
+			return b
+		}, ErrWrongKey},
+		{"doubled blob", func(b []byte) []byte { return append(b, b...) }, ErrWrongKey},
+	}
+	for _, tc := range cases {
+		mut := tc.corrupt(append([]byte(nil), sealed...))
+		got, err := Open(mut, key)
+		if err == nil {
+			t.Errorf("%s: corruption accepted", tc.name)
+			continue
+		}
+		if tc.wantErr != nil && err != tc.wantErr {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+		}
+		if got != nil {
+			t.Errorf("%s: partial plaintext escaped a failed open", tc.name)
 		}
 	}
 }

@@ -1,0 +1,241 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ev(bomb, user string) Event {
+	return Event{App: "app", Bomb: bomb, User: user, TimeMs: 0, Info: "ko"}
+}
+
+// flaky fails deliveries according to a script: failUntilMs makes
+// every delivery fail before that virtual time; failFirst makes the
+// first n deliveries fail regardless of time.
+type flaky struct {
+	inner       *MemorySink
+	failUntilMs int64
+	failFirst   int
+	calls       int
+}
+
+func (s *flaky) Deliver(e Event, nowMs int64) error {
+	s.calls++
+	if s.calls <= s.failFirst {
+		return ErrSinkDown
+	}
+	if nowMs < s.failUntilMs {
+		return ErrSinkDown
+	}
+	return s.inner.Deliver(e, nowMs)
+}
+
+func TestDeliverAndDedup(t *testing.T) {
+	sink := NewMemorySink()
+	p := New(sink, Config{})
+	if !p.Submit(ev("b1", "u1"), 0) {
+		t.Fatal("first submit rejected")
+	}
+	// The device resubmits the same detection three more times.
+	for i := 0; i < 3; i++ {
+		if p.Submit(ev("b1", "u1"), int64(i)) {
+			t.Fatal("duplicate entered the queue")
+		}
+	}
+	p.Submit(ev("b1", "u2"), 0) // same bomb, different user: distinct evidence
+	p.Tick(0)
+	if got := sink.Count(ev("b1", "u1").Key()); got != 1 {
+		t.Errorf("delivered %d copies, want exactly 1", got)
+	}
+	if sink.UniqueKeys() != 2 {
+		t.Errorf("unique keys = %d, want 2", sink.UniqueKeys())
+	}
+	st := p.Stats()
+	if st.Duplicates != 3 || st.Delivered != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRetryWithBackoffRecovers(t *testing.T) {
+	sink := NewMemorySink()
+	fs := &flaky{inner: sink, failFirst: 3}
+	p := New(fs, Config{BaseBackoffMs: 100, MaxBackoffMs: 1000, Seed: 7})
+	p.Submit(ev("b", "u"), 0)
+	end := p.Flush(0, 60_000)
+	if sink.Count(ev("b", "u").Key()) != 1 {
+		t.Fatalf("event not delivered after transient failures (flushed to %dms)", end)
+	}
+	st := p.Stats()
+	if st.Retries != 3 {
+		t.Errorf("retries = %d, want 3", st.Retries)
+	}
+	if st.DeadLettered != 0 {
+		t.Errorf("dead letters = %d, want 0", st.DeadLettered)
+	}
+}
+
+func TestBackoffIsExponentialAndJittered(t *testing.T) {
+	p := New(NewMemorySink(), Config{BaseBackoffMs: 100, MaxBackoffMs: 10_000, JitterFrac: 0.25, Seed: 1})
+	prev := int64(0)
+	for attempts := 1; attempts <= 5; attempts++ {
+		d := p.backoffLocked(attempts)
+		lo := int64(float64(int64(100)<<(attempts-1)) * 0.74)
+		hi := int64(float64(int64(100)<<(attempts-1)) * 1.26)
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: backoff %dms outside [%d,%d]", attempts, d, lo, hi)
+		}
+		if d <= prev/2 {
+			t.Errorf("backoff not growing: %d after %d", d, prev)
+		}
+		prev = d
+	}
+	// Cap respected.
+	if d := p.backoffLocked(30); d > int64(10_000*1.26) {
+		t.Errorf("backoff %d exceeds cap", d)
+	}
+}
+
+func TestBackoffDeterministicAcrossRuns(t *testing.T) {
+	a := New(NewMemorySink(), Config{Seed: 42})
+	b := New(NewMemorySink(), Config{Seed: 42})
+	for i := 1; i < 6; i++ {
+		if x, y := a.backoffLocked(i), b.backoffLocked(i); x != y {
+			t.Fatalf("same seed diverged at attempt %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestCircuitBreakerTripsAndRecovers(t *testing.T) {
+	sink := NewMemorySink()
+	fs := &flaky{inner: sink, failUntilMs: 20_000}
+	p := New(fs, Config{
+		BaseBackoffMs: 500, MaxBackoffMs: 2_000,
+		BreakerThreshold: 3, BreakerCooldownMs: 4_000,
+		MaxAttempts: 50, Seed: 3,
+	})
+	for i := 0; i < 10; i++ {
+		p.Submit(ev(fmt.Sprintf("b%d", i), "u"), 0)
+	}
+	p.Tick(0)
+	if !p.BreakerOpen() {
+		t.Fatal("breaker did not trip after sustained failure")
+	}
+	st := p.Stats()
+	if st.BreakerTrips != 1 {
+		t.Errorf("trips = %d, want 1", st.BreakerTrips)
+	}
+	// While open, ticks must not hammer the sink.
+	calls := fs.calls
+	p.Tick(1_000)
+	if fs.calls != calls {
+		t.Errorf("breaker open but sink saw %d extra calls", fs.calls-calls)
+	}
+	// After the outage every event must land, exactly once each.
+	p.Flush(1_000, 300_000)
+	if sink.UniqueKeys() != 10 {
+		t.Fatalf("delivered %d unique, want 10 (dead: %v)", sink.UniqueKeys(), p.DeadLetters())
+	}
+	if sink.MaxPerKey() != 1 {
+		t.Errorf("max deliveries per key = %d, want 1", sink.MaxPerKey())
+	}
+	if p.BreakerOpen() {
+		t.Error("breaker still open after recovery")
+	}
+}
+
+func TestDeadLetterAfterMaxAttempts(t *testing.T) {
+	fs := &flaky{inner: NewMemorySink(), failUntilMs: 1 << 60} // never recovers
+	p := New(fs, Config{MaxAttempts: 4, BaseBackoffMs: 10, BreakerThreshold: 100, Seed: 2})
+	p.Submit(ev("b", "u"), 0)
+	p.Flush(0, 1_000_000)
+	st := p.Stats()
+	if st.DeadLettered != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	dl := p.DeadLetters()
+	if len(dl) != 1 || dl[0].Reason != "max attempts" || dl[0].Event.Bomb != "b" {
+		t.Fatalf("ledger = %+v", dl)
+	}
+	if st.Attempts != 4 {
+		t.Errorf("attempts = %d, want 4", st.Attempts)
+	}
+}
+
+func TestQueueBoundShedsToLedger(t *testing.T) {
+	// A sink that never succeeds, so the queue cannot drain.
+	fs := &flaky{inner: NewMemorySink(), failUntilMs: 1 << 60}
+	p := New(fs, Config{QueueCap: 4, BreakerThreshold: 1000})
+	for i := 0; i < 10; i++ {
+		p.Submit(ev(fmt.Sprintf("b%d", i), "u"), 0)
+	}
+	st := p.Stats()
+	if st.Accepted != 4 || st.Overflow != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(p.DeadLetters()) != 6 {
+		t.Errorf("overflowed events must be ledgered, got %d", len(p.DeadLetters()))
+	}
+}
+
+func TestFlushDeadlineLedgersRemainder(t *testing.T) {
+	fs := &flaky{inner: NewMemorySink(), failUntilMs: 1 << 60}
+	p := New(fs, Config{MaxAttempts: 1_000, BaseBackoffMs: 100, BreakerThreshold: 1_000})
+	p.Submit(ev("b", "u"), 0)
+	p.Flush(0, 5_000)
+	if p.Pending() != 0 {
+		t.Error("flush left entries pending")
+	}
+	dl := p.DeadLetters()
+	if len(dl) != 1 || dl[0].Reason != "flush deadline" {
+		t.Fatalf("ledger = %+v", dl)
+	}
+}
+
+// TestConcurrentSubmitAndTick exercises the pipeline under -race:
+// many device goroutines submitting (with duplicates) while a
+// collector goroutine ticks.
+func TestConcurrentSubmitAndTick(t *testing.T) {
+	sink := NewMemorySink()
+	p := New(sink, Config{QueueCap: 10_000})
+	const users, perUser = 16, 50
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for i := 0; i < perUser; i++ {
+				e := ev(fmt.Sprintf("b%d", i), fmt.Sprintf("u%d", u))
+				p.Submit(e, int64(i))
+				p.Submit(e, int64(i)) // duplicate from the same device
+			}
+		}(u)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 1000; i++ {
+			p.Tick(i * 10)
+		}
+	}()
+	wg.Wait()
+	<-done
+	p.Flush(100_000, 200_000)
+	if sink.UniqueKeys() != users*perUser {
+		t.Fatalf("unique = %d, want %d", sink.UniqueKeys(), users*perUser)
+	}
+	if sink.MaxPerKey() != 1 {
+		t.Errorf("max per key = %d, want 1", sink.MaxPerKey())
+	}
+	st := p.Stats()
+	if st.Duplicates != users*perUser {
+		t.Errorf("duplicates = %d, want %d", st.Duplicates, users*perUser)
+	}
+}
+
+func TestSinkDownErrorIsErrors(t *testing.T) {
+	if !errors.Is(ErrSinkDown, ErrSinkDown) {
+		t.Fatal("sentinel broken")
+	}
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/chaos"
+	"bombdroid/internal/report"
+	"bombdroid/internal/vm"
+)
+
+// ChaosOptions configures a fault-injected campaign.
+type ChaosOptions struct {
+	Sessions int
+	CapMs    int64
+	Seed     int64
+	Profile  chaos.Profile
+	// SinkOutages schedules market-side outage windows in campaign
+	// virtual ms ([start,end)); deliveries inside a window fail, which
+	// should trip and later recover the pipeline's circuit breaker.
+	SinkOutages [][2]int64
+	// Pipeline overrides the report pipeline configuration (zero value
+	// = defaults).
+	Pipeline report.Config
+}
+
+// ChaosCampaignResult aggregates a campaign run under fault
+// injection: the ordinary campaign metrics, plus everything needed to
+// check the two resilience invariants — the bomb lifecycle failed
+// closed (no panics, faults contained and ledgered) and the report
+// pipeline delivered each unique detection exactly once.
+type ChaosCampaignResult struct {
+	CampaignResult
+	Profile        string
+	Faults         map[string]int // injector tallies by fault kind
+	VMFaults       int            // bomb-path faults contained by fail-closed VMs
+	Panics         int            // sessions that panicked (must be 0)
+	InstallRejects int            // corrupted images cleanly rejected at load
+	BreakerTripped bool           // the circuit breaker opened at least once
+	Pipeline       report.Stats
+	UniqueDetects  int // distinct (app,bomb,user) detections submitted
+	SinkUnique     int // distinct detections the market actually received
+	SinkMaxPerKey  int // 1 on an exactly-once run
+	DeadLetters    int
+}
+
+// ExactlyOnce reports whether every unique submitted detection
+// reached the sink exactly one time.
+func (r ChaosCampaignResult) ExactlyOnce() bool {
+	return r.SinkUnique == r.UniqueDetects && (r.UniqueDetects == 0 || r.SinkMaxPerKey == 1)
+}
+
+// RunChaosCampaign plays a population of user sessions against the
+// packaged app with the profile's faults injected at every layer:
+// ciphertext corruption at decrypt time, dex bit rot at load time,
+// environment misreporting at read time, and channel faults
+// (drop/dup/delay/reorder plus scheduled outages) between the devices
+// and the market sink.
+//
+// Sessions run on a shared campaign clock: session i occupies the
+// window [i*CapMs, (i+1)*CapMs). The report pipeline is ticked as the
+// campaign advances and flushed at the end, so delayed and retried
+// events settle before the result is assembled.
+func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosCampaignResult, error) {
+	if opts.Sessions == 0 {
+		opts.Sessions = 20
+	}
+	if opts.CapMs == 0 {
+		opts.CapMs = 60 * 60_000
+	}
+	inj := chaos.NewInjector(opts.Profile, opts.Seed)
+	sink := report.NewMemorySink()
+	cfg := opts.Pipeline
+	if cfg.Seed == 0 {
+		cfg.Seed = opts.Seed
+	}
+	pipe := report.New(&chaos.FlakySink{Inner: sink, Inj: inj, Outages: opts.SinkOutages}, cfg)
+
+	out := ChaosCampaignResult{
+		CampaignResult: CampaignResult{Sessions: opts.Sessions, MinMs: 1 << 62},
+		Profile:        opts.Profile.Name,
+	}
+	submitted := make(map[string]bool)
+	var sum int64
+
+	for i := 0; i < opts.Sessions; i++ {
+		base := int64(i) * opts.CapMs
+		user := fmt.Sprintf("user%d", i)
+		seed := opts.Seed + int64(i)*101
+		dev := android.SamplePopulation(user, chaosRng(seed))
+
+		sr, vmFaults, outcome := runChaosSession(pkg, surf, dev, inj, SessionOptions{
+			CapMs: opts.CapMs, Seed: seed, StartClockMs: -1,
+		})
+		out.VMFaults += vmFaults
+		switch outcome {
+		case sessionPanicked:
+			out.Panics++
+			continue
+		case sessionRejected:
+			out.InstallRejects++
+			continue
+		}
+
+		if sr.Triggered {
+			out.Successes++
+			sum += sr.TimeToFirstMs
+			if sr.TimeToFirstMs < out.MinMs {
+				out.MinMs = sr.TimeToFirstMs
+			}
+			if sr.TimeToFirstMs > out.MaxMs {
+				out.MaxMs = sr.TimeToFirstMs
+			}
+		}
+		if sr.AbnormalExit || len(sr.Responses) > 0 {
+			out.Complaints++
+		}
+
+		// Detections leave the device over the faulted channel: each
+		// RespReport becomes a detection event, possibly duplicated,
+		// delayed, or swapped with its neighbour before submission.
+		var batch []report.Event
+		for _, r := range sr.Responses {
+			if r.Kind != vm.RespReport {
+				continue
+			}
+			out.Reports++
+			ev := report.Event{App: pkg.Name, Bomb: r.BombID, User: user, TimeMs: base, Info: r.Info}
+			if inj.Hit(opts.Profile.DelayEvent, "event-delay") {
+				ev.TimeMs += inj.DelayMs()
+			}
+			batch = append(batch, ev)
+			if inj.Hit(opts.Profile.DupEvent, "event-dup") {
+				batch = append(batch, ev)
+			}
+		}
+		for j := 1; j < len(batch); j++ {
+			if inj.Hit(opts.Profile.ReorderEvent, "event-reorder") {
+				batch[j-1], batch[j] = batch[j], batch[j-1]
+			}
+		}
+		for _, ev := range batch {
+			submitted[ev.Key()] = true
+			pipe.Submit(ev, ev.TimeMs)
+		}
+		pipe.Tick(base + opts.CapMs)
+		if pipe.BreakerOpen() {
+			out.BreakerTripped = true
+		}
+	}
+
+	endMs := int64(opts.Sessions) * opts.CapMs
+	pipe.Flush(endMs, endMs+10*60_000)
+
+	if out.Successes > 0 {
+		out.AvgMs = sum / int64(out.Successes)
+	} else {
+		out.MinMs = 0
+	}
+	out.Faults = inj.Counts()
+	out.Pipeline = pipe.Stats()
+	if out.Pipeline.BreakerTrips > 0 {
+		out.BreakerTripped = true
+	}
+	out.UniqueDetects = len(submitted)
+	out.SinkUnique = sink.UniqueKeys()
+	out.SinkMaxPerKey = sink.MaxPerKey()
+	out.DeadLetters = len(pipe.DeadLetters())
+	return out, nil
+}
+
+// chaosRng derives a device-sampling rng from a session seed.
+func chaosRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+type sessionOutcome int
+
+const (
+	sessionRan sessionOutcome = iota
+	sessionRejected
+	sessionPanicked
+)
+
+// runChaosSession builds a fail-closed VM over a possibly corrupted
+// image, injects env faults, and drives one session with a panic
+// barrier. A corrupted image that fails to load is a clean rejection;
+// a panic anywhere in the lifecycle is the invariant violation the
+// harness exists to catch.
+func runChaosSession(pkg *apk.Package, surf Surface, dev *android.Device, inj *chaos.Injector, opts SessionOptions) (sr SessionResult, vmFaults int, outcome sessionOutcome) {
+	defer func() {
+		if recover() != nil {
+			outcome = sessionPanicked
+		}
+	}()
+	opts = opts.withDefaults()
+
+	img := pkg
+	vmOpts := vm.Options{Seed: opts.Seed, FailClosed: true, BlobFault: inj.BlobFault()}
+	var v *vm.VM
+	var err error
+	if mut, hit := inj.CorruptDex(pkg.Dex); hit {
+		// Post-verification image corruption: the signature already
+		// passed at install, so the corrupted bytes load unverified.
+		img = pkg.Clone()
+		img.Dex = mut
+		v, err = vm.NewUnverified(img, dev, vmOpts)
+	} else {
+		v, err = vm.New(img, dev, vmOpts)
+	}
+	if err != nil {
+		return SessionResult{}, 0, sessionRejected
+	}
+	inj.ApplyEnvFaults(v)
+
+	sr, err = driveSession(v, surf, opts)
+	if err != nil {
+		// driveSession errors are fail-closed outcomes (budget, launch
+		// fault), not crashes; treat as an uneventful session.
+		return SessionResult{}, len(v.Faults()), sessionRan
+	}
+	return sr, len(v.Faults()), sessionRan
+}

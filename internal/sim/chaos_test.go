@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"testing"
+
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/chaos"
+	"bombdroid/internal/core"
+	"bombdroid/internal/report"
+	"bombdroid/internal/vm"
+)
+
+// chaosPrepared builds a pirated protected app whose bombs all
+// respond with RespReport, so every detonation feeds the report
+// pipeline — the configuration the exactly-once assertion needs.
+func chaosPrepared(t *testing.T, seed int64) (*apk.Package, Surface) {
+	t.Helper()
+	app, err := appgen.Generate(appgen.Config{Name: "chaos", Seed: seed, TargetLOC: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := apk.NewKeyPair(71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := apk.Sign(apk.Build("chaos", app.File, apk.Resources{Strings: []string{"a"}}), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, _, err := core.ProtectPackage(orig, key, core.Options{
+		Seed:      seed,
+		Responses: []vm.ResponseKind{vm.RespReport},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := apk.NewKeyPair(919)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pirated, err := apk.Repackage(prot, attacker, apk.RepackOptions{NewAuthor: "pirate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pirated, SurfaceOf(app)
+}
+
+// TestChaosCampaignFailsClosedAndDeliversExactlyOnce is the PR's
+// acceptance campaign: ciphertext corruption + dex bit rot + env
+// misreporting on the devices, drop/dup/delay/reorder on the event
+// channel, and a market outage spanning the first stretch of the
+// campaign to force a circuit-breaker trip. The invariants:
+//
+//  1. zero panics — every bomb-path fault fails closed;
+//  2. the report pipeline delivers each unique detection exactly
+//     once despite the channel faults and the mid-campaign outage.
+func TestChaosCampaignFailsClosedAndDeliversExactlyOnce(t *testing.T) {
+	pirated, surf := chaosPrepared(t, 301)
+	capMs := int64(20 * 60_000)
+	profile := chaos.Overlay(chaos.Harsh, chaos.Profile{
+		Name:        "campaign",
+		CorruptBlob: 0.5, TruncateBlob: 0.2, BitFlipDex: 0.3,
+		DropEvent: 0.05,
+	})
+	cr, err := RunChaosCampaign(pirated, surf, ChaosOptions{
+		Sessions: 12,
+		CapMs:    capMs,
+		Seed:     5,
+		Profile:  profile,
+		// Market down for sessions 0-4: submissions there must retry
+		// through a tripped breaker and settle after recovery.
+		SinkOutages: [][2]int64{{0, 5 * capMs}},
+		Pipeline: report.Config{
+			MaxAttempts:  200,
+			MaxBackoffMs: 5 * 60_000,
+			Seed:         5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos campaign: %d/%d sessions triggered, %d reports, %d unique, "+
+		"vmFaults=%d installRejects=%d panics=%d breaker=%v dead=%d faults=%v pipeline=%+v",
+		cr.Successes, cr.Sessions, cr.Reports, cr.UniqueDetects,
+		cr.VMFaults, cr.InstallRejects, cr.Panics, cr.BreakerTripped,
+		cr.DeadLetters, cr.Faults, cr.Pipeline)
+
+	if cr.Panics != 0 {
+		t.Fatalf("%d sessions panicked — a bomb-path fault escaped containment", cr.Panics)
+	}
+	if cr.VMFaults == 0 && cr.InstallRejects == 0 {
+		t.Error("campaign injected no bomb-path faults; profile rates too low to prove anything")
+	}
+	if cr.UniqueDetects == 0 {
+		t.Fatal("no detections submitted; campaign exercised nothing")
+	}
+	if !cr.ExactlyOnce() {
+		t.Errorf("exactly-once violated: %d unique submitted, %d unique delivered, max per key %d",
+			cr.UniqueDetects, cr.SinkUnique, cr.SinkMaxPerKey)
+	}
+	if !cr.BreakerTripped {
+		t.Error("market outage never tripped the circuit breaker")
+	}
+	if cr.DeadLetters != 0 {
+		t.Errorf("%d events dead-lettered; retry budget should outlast the outage", cr.DeadLetters)
+	}
+	if cr.Pipeline.Duplicates == 0 {
+		t.Error("no duplicate submissions were injected/deduped")
+	}
+	if cr.Pipeline.Retries == 0 {
+		t.Error("no retries happened; outage did not bite")
+	}
+}
+
+// TestChaosCampaignDeterministic: the same seed reproduces the same
+// campaign bit for bit — the property that makes a failing campaign
+// debuggable.
+func TestChaosCampaignDeterministic(t *testing.T) {
+	pirated, surf := chaosPrepared(t, 303)
+	run := func() ChaosCampaignResult {
+		cr, err := RunChaosCampaign(pirated, surf, ChaosOptions{
+			Sessions: 4, CapMs: 10 * 60_000, Seed: 9, Profile: chaos.Mild,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	a, b := run(), run()
+	if a.Successes != b.Successes || a.Reports != b.Reports ||
+		a.VMFaults != b.VMFaults || a.UniqueDetects != b.UniqueDetects ||
+		a.Pipeline != b.Pipeline {
+		t.Errorf("campaign not deterministic:\n a=%+v\n b=%+v", a, b)
+	}
+	if len(a.Faults) != len(b.Faults) {
+		t.Error("fault tallies diverged")
+	}
+	for k, v := range a.Faults {
+		if b.Faults[k] != v {
+			t.Errorf("fault %q: %d vs %d", k, v, b.Faults[k])
+		}
+	}
+}
+
+// TestChaosCampaignCleanProfileMatchesNormal: under the zero profile
+// the chaos path reduces to an ordinary campaign — no faults, no
+// rejects, and detections still flow.
+func TestChaosCampaignCleanProfileMatchesNormal(t *testing.T) {
+	pirated, surf := chaosPrepared(t, 305)
+	cr, err := RunChaosCampaign(pirated, surf, ChaosOptions{
+		Sessions: 6, CapMs: 30 * 60_000, Seed: 11, Profile: chaos.None,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Panics != 0 || cr.InstallRejects != 0 || cr.VMFaults != 0 {
+		t.Errorf("zero profile injected faults: %+v", cr)
+	}
+	if cr.UniqueDetects == 0 || !cr.ExactlyOnce() {
+		t.Errorf("clean campaign should deliver its detections exactly once: %+v", cr)
+	}
+	if cr.BreakerTripped {
+		t.Error("breaker tripped with a healthy sink")
+	}
+}

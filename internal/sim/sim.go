@@ -60,16 +60,29 @@ type SessionResult struct {
 // human user: UI-valid events on active widgets, human pacing, until
 // the first bomb triggers or the cap expires.
 func RunUserSession(pkg *apk.Package, surf Surface, dev *android.Device, opts SessionOptions) (SessionResult, error) {
+	opts = opts.withDefaults()
+	v, err := vm.New(pkg, dev, vm.Options{Seed: opts.Seed})
+	if err != nil {
+		return SessionResult{}, fmt.Errorf("sim: install: %w", err)
+	}
+	return driveSession(v, surf, opts)
+}
+
+func (opts SessionOptions) withDefaults() SessionOptions {
 	if opts.CapMs == 0 {
 		opts.CapMs = 60 * 60_000
 	}
 	if opts.EventGapMs == 0 {
 		opts.EventGapMs = 450
 	}
-	v, err := vm.New(pkg, dev, vm.Options{Seed: opts.Seed})
-	if err != nil {
-		return SessionResult{}, fmt.Errorf("sim: install: %w", err)
-	}
+	return opts
+}
+
+// driveSession runs the user-behaviour loop against an already
+// constructed VM. Chaos campaigns build their own VMs (fault hooks,
+// fail-closed mode, corrupted images) and share this driver, so
+// faulted and clean sessions differ only in the injected faults.
+func driveSession(v *vm.VM, surf Surface, opts SessionOptions) (SessionResult, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	start := opts.StartClockMs
 	if start < 0 {

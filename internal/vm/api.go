@@ -240,10 +240,10 @@ func (v *VM) dispatch(u *unit, inPayload string, api dex.API, args []dex.Value, 
 		return dex.Str(lockbox.HashHex(args[0], salt)), nil
 
 	case dex.APIDecryptLoad:
-		return v.decryptLoad(args)
+		return v.decryptLoad(inPayload, args)
 
 	case dex.APIInvokePayload:
-		return v.invokePayload(args, depth)
+		return v.invokePayload(inPayload, args, depth)
 
 	case dex.APIReportPiracy:
 		info, _ := str(0)
@@ -366,10 +366,13 @@ func CodeDigest(f *dex.File, m *dex.Method) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// decryptLoad implements APIDecryptLoad: authenticate and decode a
-// sealed payload, install its classes, return a handle. Failure is a
-// DecryptError — app corruption from the user's point of view.
-func (v *VM) decryptLoad(args []dex.Value) (dex.Value, error) {
+// decryptLoad implements APIDecryptLoad: authenticate, decode, and
+// validate a sealed payload, install its classes, return a handle.
+// Failure is a DecryptError — app corruption from the user's point of
+// view — unless the VM runs FailClosed, in which case the fault is
+// ledgered and a nil handle returned so the app keeps its normal
+// semantics (the bomb simply never opens).
+func (v *VM) decryptLoad(inPayload string, args []dex.Value) (dex.Value, error) {
 	if len(args) != 3 || args[0].Kind != dex.KindInt || args[2].Kind != dex.KindStr {
 		return dex.Nil(), &RuntimeError{Method: "decryptLoad", PC: -1, Reason: "wants (blobIdx, value, salt)"}
 	}
@@ -382,13 +385,30 @@ func (v *VM) decryptLoad(args []dex.Value) (dex.Value, error) {
 		// reason 3 for the low overhead).
 		return dex.Handle(h), nil
 	}
-	plain, err := lockbox.OpenValue(v.app.file.Blobs[blobIdx], args[1], args[2].Str)
-	if err != nil {
+	failClosed := func(err error) (dex.Value, error) {
+		if v.opts.FailClosed {
+			v.recordFault(blobIdx, inPayload, "decrypt", err)
+			return dex.Nil(), nil
+		}
 		return dex.Nil(), &DecryptError{Blob: blobIdx}
+	}
+	sealed := v.app.file.Blobs[blobIdx]
+	if v.opts.BlobFault != nil {
+		sealed = v.opts.BlobFault(blobIdx, sealed)
+	}
+	plain, err := lockbox.OpenValue(sealed, args[1], args[2].Str)
+	if err != nil {
+		return failClosed(err)
 	}
 	file, err := dex.Decode(plain)
 	if err != nil {
-		return dex.Nil(), &DecryptError{Blob: blobIdx}
+		return failClosed(err)
+	}
+	// An authenticated payload is still untrusted input to the
+	// interpreter until it passes the same structural validation the
+	// installer applies to app dex.
+	if err := dex.Validate(file); err != nil {
+		return failClosed(err)
 	}
 	pu := newUnit(file)
 	entry := ""
@@ -404,7 +424,7 @@ func (v *VM) decryptLoad(args []dex.Value) (dex.Value, error) {
 		}
 	}
 	if entry == "" {
-		return dex.Nil(), &DecryptError{Blob: blobIdx}
+		return failClosed(fmt.Errorf("payload has no entry class"))
 	}
 	v.nextHandle++
 	h := v.nextHandle
@@ -414,9 +434,16 @@ func (v *VM) decryptLoad(args []dex.Value) (dex.Value, error) {
 	return dex.Handle(h), nil
 }
 
-// invokePayload implements APIInvokePayload.
-func (v *VM) invokePayload(args []dex.Value, depth int) (dex.Value, error) {
+// invokePayload implements APIInvokePayload. Under FailClosed a nil
+// handle (a decrypt that degraded gracefully upstream) is a silent
+// no-op, and a fault inside the payload is ledgered rather than
+// aborting the app — but a deliberate crash response still crashes:
+// that is bomb behaviour, not a fault.
+func (v *VM) invokePayload(inPayload string, args []dex.Value, depth int) (dex.Value, error) {
 	if len(args) < 1 || args[0].Kind != dex.KindHandle {
+		if v.opts.FailClosed && len(args) >= 1 && args[0].Kind == dex.KindNil {
+			return dex.Nil(), nil // degraded decrypt upstream; skip the bomb
+		}
 		return dex.Nil(), &RuntimeError{Method: "invokePayload", PC: -1, Reason: "wants a payload handle"}
 	}
 	pu, ok := v.payloads[args[0].Int]
@@ -427,5 +454,10 @@ func (v *VM) invokePayload(args []dex.Value, depth int) (dex.Value, error) {
 	if entry == nil {
 		return dex.Nil(), &RuntimeError{Method: "invokePayload", PC: -1, Reason: "payload has no entry"}
 	}
-	return v.call(pu.u, pu.entryClass, entry, args[1:], depth+1)
+	res, err := v.call(pu.u, pu.entryClass, entry, args[1:], depth+1)
+	if err != nil && v.opts.FailClosed && !IsCrash(err) {
+		v.recordFault(-1, pu.entryClass, "payload-exec", err)
+		return dex.Nil(), nil
+	}
+	return res, err
 }

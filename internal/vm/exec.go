@@ -9,14 +9,30 @@ import (
 // Invoke runs a method of the installed app by full name, resetting
 // the step budget. It is the entry point drivers (fuzzers, user
 // sessions, attacks) use to dispatch events.
-func (v *VM) Invoke(full string, args ...dex.Value) (dex.Value, error) {
+//
+// Invoke never panics: malformed bytecode that slipped past
+// validation (or was corrupted in memory after it) surfaces as a
+// RuntimeError, the same fate as any other bytecode-level fault.
+func (v *VM) Invoke(full string, args ...dex.Value) (res dex.Value, err error) {
 	m, ok := v.app.methods[full]
 	if !ok {
 		return dex.Nil(), fmt.Errorf("vm: no such method %q", full)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = dex.Nil()
+			err = &RuntimeError{Method: full, PC: -1,
+				Reason: fmt.Sprintf("contained panic: %v", r)}
+		}
+	}()
 	v.steps = 0
 	return v.call(v.app, "", m, args, 0)
 }
+
+// maxFrameRegs bounds a single frame's register file — far above
+// anything generated code uses, low enough that a corrupt register
+// count cannot exhaust memory before validation would have caught it.
+const maxFrameRegs = 1 << 16
 
 // call executes one frame. inPayload carries the payload class name
 // when executing decrypted bomb code.
@@ -27,6 +43,10 @@ func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, de
 	if len(args) != m.NumArgs {
 		return dex.Nil(), &RuntimeError{Method: m.FullName(), PC: -1,
 			Reason: fmt.Sprintf("arity mismatch: got %d args, want %d", len(args), m.NumArgs)}
+	}
+	if m.NumRegs < 0 || m.NumRegs > maxFrameRegs {
+		return dex.Nil(), &RuntimeError{Method: m.FullName(), PC: -1,
+			Reason: fmt.Sprintf("register count %d outside [0,%d]", m.NumRegs, maxFrameRegs)}
 	}
 	if v.opts.Profile {
 		v.profile[m.FullName()]++
@@ -186,6 +206,9 @@ func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, de
 			if callee == nil {
 				return dex.Nil(), fault(pc, "unresolved invoke %q", name)
 			}
+			if in.B < 0 || in.C < 0 || int(in.B)+int(in.C) > len(regs) {
+				return dex.Nil(), fault(pc, "arg window [%d,%d) outside %d registers", in.B, int(in.B)+int(in.C), len(regs))
+			}
 			callArgs := regs[in.B : int(in.B)+int(in.C)]
 			res, err := v.call(cu, inPayload, callee, callArgs, depth+1)
 			if err != nil {
@@ -196,6 +219,9 @@ func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, de
 			}
 
 		case dex.OpCallAPI:
+			if in.B < 0 || in.C < 0 || int(in.B)+int(in.C) > len(regs) {
+				return dex.Nil(), fault(pc, "arg window [%d,%d) outside %d registers", in.B, int(in.B)+int(in.C), len(regs))
+			}
 			callArgs := regs[in.B : int(in.B)+int(in.C)]
 			res, err := v.callAPI(u, inPayload, m, dex.API(in.Imm), callArgs, depth)
 			if err != nil {

@@ -116,6 +116,31 @@ type Options struct {
 	// instructions — the debugger's view when tracing back from a
 	// suspicious symptom (paper §2.1, "Debugging").
 	TraceDepth int
+	// FailClosed enables graceful degradation of the bomb lifecycle:
+	// a fault while decrypting or executing a payload (corrupted
+	// ciphertext, undecodable blob, runtime fault inside the bomb) is
+	// recorded in the fault ledger and the app continues with its
+	// normal semantics instead of aborting. Deliberate detection
+	// responses (crash bombs) are NOT suppressed — they are behaviour,
+	// not faults. Chaos campaigns run with this set; the default
+	// preserves the paper's semantics where a mutilated bomb corrupts
+	// the app.
+	FailClosed bool
+	// BlobFault, when set, intercepts every sealed-payload read —
+	// the storage-fault seam chaos injection uses to corrupt or
+	// truncate ciphertexts after install (Android verifies signatures
+	// at install time only; later flash corruption is the app's
+	// problem).
+	BlobFault func(blob int64, sealed []byte) []byte
+}
+
+// FaultEvent is one fail-closed degradation the VM absorbed.
+type FaultEvent struct {
+	TimeMillis int64
+	Blob       int64  // blob index for decrypt faults, -1 otherwise
+	Bomb       string // payload class for execution faults ("" if unknown)
+	Kind       string // "decrypt" or "payload-exec"
+	Err        string
 }
 
 // TraceEntry is one executed instruction in the debugger's ring
@@ -149,6 +174,7 @@ type VM struct {
 	outerFired   map[int64]bool // blob index -> authenticated decrypt seen
 
 	bombChecks map[string]int64 // payload class -> detection checks run
+	faults     []FaultEvent     // fail-closed degradations absorbed
 	responses  []ResponseEvent
 	reports    []string
 	warnings   []string
@@ -343,6 +369,19 @@ func (v *VM) DetectionRuns() map[string]int64 {
 		out[k] = c
 	}
 	return out
+}
+
+// Faults returns the fail-closed degradations absorbed so far (empty
+// unless Options.FailClosed is set).
+func (v *VM) Faults() []FaultEvent {
+	return append([]FaultEvent(nil), v.faults...)
+}
+
+// recordFault appends to the fault ledger.
+func (v *VM) recordFault(blob int64, bomb, kind string, err error) {
+	v.faults = append(v.faults, FaultEvent{
+		TimeMillis: v.NowMillis(), Blob: blob, Bomb: bomb, Kind: kind, Err: err.Error(),
+	})
 }
 
 // Responses returns fired responses in order.

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full verification: build, vet, and race-enabled tests.
+# Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script
+# is the stricter gate the chaos-hardening work is held to.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
