@@ -60,20 +60,32 @@ func BenchmarkTable2Injection(b *testing.B) {
 }
 
 func BenchmarkTable3FirstTrigger(b *testing.B) {
-	sc := exp.Quick()
-	for i := 0; i < b.N; i++ {
-		rows, err := exp.Table3(sc)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var avg, success, sessions float64
-		for _, r := range rows {
-			avg += r.AvgSec
-			success += float64(r.Success)
-			sessions += float64(r.Sessions)
-		}
-		b.ReportMetric(avg/float64(len(rows)), "avg_sec")
-		b.ReportMetric(100*success/sessions, "success_pct")
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sc := exp.Quick()
+			sc.Workers = workers
+			// Warm the Prepare cache so the benchmark measures campaign
+			// execution, not the one-time app-preparation pipeline.
+			if _, err := exp.Table3(sc); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := exp.Table3(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var avg, success, sessions float64
+				for _, r := range rows {
+					avg += r.AvgSec
+					success += float64(r.Success)
+					sessions += float64(r.Sessions)
+				}
+				b.ReportMetric(avg/float64(len(rows)), "avg_sec")
+				b.ReportMetric(100*success/sessions, "success_pct")
+			}
+		})
 	}
 }
 
@@ -264,6 +276,31 @@ func BenchmarkInterpreter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := handlers[rng.Intn(len(handlers))]
 		if _, err := v.Invoke(h, dex.Int64(rng.Int63n(app.Config.ParamDomain)), dex.Int64(rng.Int63n(app.Config.ParamDomain))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvoke is the tight VM-dispatch loop: one handler invoked
+// over and over. allocs/op is the headline — the frame free-list and
+// the precomputed invoke-resolution table exist to drive it down.
+func BenchmarkInvoke(b *testing.B) {
+	app, pkg, _ := benchApp(b)
+	v, err := vm.New(pkg, android.EmulatorLab(1)[0], vm.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handlers := v.Handlers()
+	if len(handlers) == 0 {
+		b.Fatal("no handlers")
+	}
+	h := handlers[0]
+	x := dex.Int64(3)
+	y := dex.Int64(app.Config.ParamDomain / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Invoke(h, x, y); err != nil {
 			b.Fatal(err)
 		}
 	}

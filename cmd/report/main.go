@@ -2,107 +2,107 @@
 //
 // Usage:
 //
-//	report [-scale quick|full] [-table N] [-figure N] [-extra name] [-all]
+//	report [-scale quick|full] [-workers N] [-table N] [-figure N] [-extra name] [-all]
 //
 // With -all (the default when nothing is selected) every table, figure
 // and extra experiment is produced in order. Extras: fp (false
 // positives), size (code size), human (analyst study), matrix
 // (attack × protection resilience matrix), ablate (design-choice
 // ablations), chaos (fault-injection resilience campaigns).
+//
+// -workers bounds the evaluation worker pool: 0 (default) uses all
+// available cores, 1 forces the fully serial path. Either setting
+// produces byte-identical output; -workers only changes wall-clock.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bombdroid/internal/exp"
 )
 
-func main() {
-	scale := flag.String("scale", "quick", "workload scale: quick or full")
-	table := flag.Int("table", 0, "print one table (1-5)")
-	figure := flag.Int("figure", 0, "print one figure (3-5)")
-	extra := flag.String("extra", "", "print one extra: fp, size, human, matrix")
-	all := flag.Bool("all", false, "print everything")
-	flag.Parse()
+// run drives the whole report generation; main is just exit-code
+// plumbing around it so tests can call run directly.
+func run(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	scale := fs.String("scale", "quick", "workload scale: quick or full")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial)")
+	table := fs.Int("table", 0, "print one table (1-5)")
+	figure := fs.Int("figure", 0, "print one figure (3-5)")
+	extra := fs.String("extra", "", "print one extra: fp, size, human, matrix, ablate, chaos")
+	all := fs.Bool("all", false, "print everything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	var sc exp.Scale
-	switch *scale {
-	case "quick":
-		sc = exp.Quick()
-	case "full":
-		sc = exp.Full()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
-		os.Exit(2)
+	sc, err := scaleFor(*scale, *workers)
+	if err != nil {
+		return err
 	}
 
 	selected := *table != 0 || *figure != 0 || *extra != ""
-	if *all || !selected {
+	if !selected {
 		*all = true
-	}
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
 	}
 
 	if *all || *table == 1 {
 		rows, err := exp.Table1(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatTable1(rows))
+		fmt.Fprintln(out, exp.FormatTable1(rows))
 	}
 	if *all || *table == 2 {
 		rows, err := exp.Table2(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatTable2(rows))
+		fmt.Fprintln(out, exp.FormatTable2(rows))
 	}
 	if *all || *table == 3 {
 		rows, err := exp.Table3(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatTable3(rows))
+		fmt.Fprintln(out, exp.FormatTable3(rows))
 	}
 	if *all || *table == 4 {
 		rows, err := exp.Table4(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatTable4(rows))
+		fmt.Fprintln(out, exp.FormatTable4(rows))
 	}
 	if *all || *table == 5 {
 		rows, err := exp.Table5(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatTable5(rows))
+		fmt.Fprintln(out, exp.FormatTable5(rows))
 	}
 	if *all || *figure == 3 {
 		series, err := exp.Figure3(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatFigure3(series))
+		fmt.Fprintln(out, exp.FormatFigure3(series))
 	}
 	if *all || *figure == 4 {
 		rows, err := exp.Figure4(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatFigure4(rows))
+		fmt.Fprintln(out, exp.FormatFigure4(rows))
 	}
 	if *all || *figure == 5 {
 		series, err := exp.Figure5(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatFigure5(series))
+		fmt.Fprintln(out, exp.FormatFigure5(series))
 	}
 	if *all || *extra == "fp" {
 		hours := 10
@@ -111,43 +111,72 @@ func main() {
 		}
 		rows, err := exp.FalsePositives(sc, hours)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatFPResults(rows))
+		fmt.Fprintln(out, exp.FormatFPResults(rows))
 	}
 	if *all || *extra == "size" {
 		rows, avg, err := exp.CodeSize(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatSizeRows(rows, avg))
+		fmt.Fprintln(out, exp.FormatSizeRows(rows, avg))
 	}
 	if *all || *extra == "human" {
 		rows, err := exp.HumanAnalystStudy(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatAnalystRows(rows))
+		fmt.Fprintln(out, exp.FormatAnalystRows(rows))
 	}
 	if *all || *extra == "matrix" {
 		rows, err := exp.ResilienceMatrix(7)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatMatrix(rows))
+		fmt.Fprintln(out, exp.FormatMatrix(rows))
 	}
 	if *all || *extra == "ablate" {
 		rows, err := exp.Ablations(11)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatAblations(rows))
+		fmt.Fprintln(out, exp.FormatAblations(rows))
 	}
 	if *all || *extra == "chaos" {
 		rows, err := exp.ChaosResilience(sc)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(exp.FormatChaos(rows))
+		fmt.Fprintln(out, exp.FormatChaos(rows))
+	}
+	return nil
+}
+
+// scaleFor maps the -scale and -workers flags to an exp.Scale.
+func scaleFor(name string, workers int) (exp.Scale, error) {
+	var sc exp.Scale
+	switch name {
+	case "quick":
+		sc = exp.Quick()
+	case "full":
+		sc = exp.Full()
+	default:
+		return exp.Scale{}, fmt.Errorf("unknown scale %q (want quick or full)", name)
+	}
+	if workers < 0 {
+		return exp.Scale{}, fmt.Errorf("workers must be >= 0, got %d", workers)
+	}
+	sc.Workers = workers
+	return sc, nil
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
 	}
 }

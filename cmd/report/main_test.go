@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScaleFor(t *testing.T) {
+	sc, err := scaleFor("quick", 4)
+	if err != nil {
+		t.Fatalf("scaleFor(quick, 4): %v", err)
+	}
+	if sc.Workers != 4 {
+		t.Fatalf("Workers = %d, want 4", sc.Workers)
+	}
+	if len(sc.Apps) == 0 {
+		t.Fatal("quick scale has no apps")
+	}
+	if _, err := scaleFor("huge", 0); err == nil {
+		t.Fatal("scaleFor(huge) should fail")
+	}
+	if _, err := scaleFor("quick", -1); err == nil {
+		t.Fatal("scaleFor with negative workers should fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-scale", "huge"}); err == nil {
+		t.Fatal("run with unknown scale should fail")
+	}
+	if err := run(&out, []string{"-no-such-flag"}); err == nil {
+		t.Fatal("run with unknown flag should fail")
+	}
+}
+
+// TestRunTable2WorkersIdentical exercises the real pipeline end to end
+// and pins the -workers contract at the CLI boundary: serial and
+// parallel runs print byte-identical tables. The second run rides the
+// warm Prepare cache, so the cost is one prepared scale, not two.
+func TestRunTable2WorkersIdentical(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run(&serial, []string{"-table", "2", "-workers", "1"}); err != nil {
+		t.Fatalf("run -workers 1: %v", err)
+	}
+	if !strings.Contains(serial.String(), "Table 2") {
+		t.Fatalf("output missing Table 2 header:\n%s", serial.String())
+	}
+	if err := run(&parallel, []string{"-table", "2", "-workers", "8"}); err != nil {
+		t.Fatalf("run -workers 8: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("serial and parallel output differ:\n--- workers=1\n%s\n--- workers=8\n%s",
+			serial.String(), parallel.String())
+	}
+}

@@ -45,12 +45,11 @@ var chaosProfiles = []struct {
 func ChaosResilience(sc Scale) ([]ChaosRow, error) {
 	sc = sc.withDefaults()
 	capMs := int64(sc.SessionCapMin) * 60_000
-	var rows []ChaosRow
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, err
-		}
+	// Apps fan across the pool; each app's three fault profiles stay
+	// serial (they share nothing, but three cheap campaigns per app do
+	// not justify another nesting level).
+	perApp, err := mapApps(sc, func(name string, p *PreparedApp) ([]ChaosRow, error) {
+		var rows []ChaosRow
 		for _, pc := range chaosProfiles {
 			opts := sim.ChaosOptions{
 				Sessions: sc.SessionsPerApp,
@@ -84,6 +83,14 @@ func ChaosResilience(sc Scale) ([]ChaosRow, error) {
 				ExactlyOnce: cr.ExactlyOnce(), DeadLetters: cr.DeadLetters,
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ChaosRow
+	for _, r := range perApp {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }

@@ -28,15 +28,10 @@ type FPResult struct {
 // hours; any response is a false positive (the paper reports zero).
 func FalsePositives(sc Scale, hours int) ([]FPResult, error) {
 	sc = sc.withDefaults()
-	var out []FPResult
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, err
-		}
+	return mapApps(sc, func(name string, p *PreparedApp) (FPResult, error) {
 		v, err := vm.New(p.Protected, android.EmulatorLab(2)[1], vm.Options{Seed: seedFor(name) + 21})
 		if err != nil {
-			return nil, err
+			return FPResult{}, err
 		}
 		r := fuzz.Run(v, fuzz.NewDynodroid(), p.App.Config.ParamDomain, fuzz.Options{
 			DurationMs:     int64(hours) * 3_600_000,
@@ -49,12 +44,11 @@ func FalsePositives(sc Scale, hours int) ([]FPResult, error) {
 		for _, c := range r.DetectionRuns {
 			runs += int(c)
 		}
-		out = append(out, FPResult{
+		return FPResult{
 			App: name, VirtualHours: hours,
 			Responses: len(r.Responses), DetectionRuns: runs,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // SizeRow reports code-size growth for one app (§8.4: 8–13%, avg 9.7%).
@@ -68,18 +62,18 @@ type SizeRow struct {
 // CodeSize measures package growth across the named apps.
 func CodeSize(sc Scale) ([]SizeRow, float64, error) {
 	sc = sc.withDefaults()
-	var rows []SizeRow
-	sum := 0.0
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, 0, err
-		}
+	rows, err := mapApps(sc, func(name string, p *PreparedApp) (SizeRow, error) {
 		before := p.Original.TotalSize()
 		after := p.Protected.TotalSize()
 		pct := 100 * float64(after-before) / float64(before)
-		sum += pct
-		rows = append(rows, SizeRow{App: name, BeforeBytes: before, AfterBytes: after, IncreasePct: pct})
+		return SizeRow{App: name, BeforeBytes: before, AfterBytes: after, IncreasePct: pct}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.IncreasePct
 	}
 	return rows, sum / float64(len(rows)), nil
 }
@@ -97,28 +91,22 @@ type AnalystRow struct {
 // mutation for the configured hours (paper: 20h, ≤9.3% triggered).
 func HumanAnalystStudy(sc Scale) ([]AnalystRow, error) {
 	sc = sc.withDefaults()
-	var rows []AnalystRow
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, err
-		}
+	return mapApps(sc, func(name string, p *PreparedApp) (AnalystRow, error) {
 		total := len(p.Result.RealBombs())
 		ar, err := attack.HumanAnalyst(p.Pirated, p.App.Config.ParamDomain, total,
 			sc.AnalystHours, p.App.HandlerScreens, p.App.ScreenField, seedFor(name)+31)
 		if err != nil {
-			return nil, err
+			return AnalystRow{}, err
 		}
 		pct := 0.0
 		if total > 0 {
 			pct = 100 * float64(ar.BombsTriggered) / float64(total)
 		}
-		rows = append(rows, AnalystRow{
+		return AnalystRow{
 			App: name, Hours: sc.AnalystHours,
 			Triggered: ar.BombsTriggered, Total: total, Pct: pct,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // MatrixRow is one (attack, protection) cell of the resilience matrix.

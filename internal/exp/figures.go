@@ -73,12 +73,7 @@ type Figure4Row struct {
 // Figure4 tallies trigger strength per named app.
 func Figure4(sc Scale) ([]Figure4Row, error) {
 	sc = sc.withDefaults()
-	var rows []Figure4Row
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, err
-		}
+	return mapApps(sc, func(name string, p *PreparedApp) (Figure4Row, error) {
 		row := Figure4Row{App: name}
 		for _, b := range p.Result.Bombs {
 			switch b.Source {
@@ -99,9 +94,8 @@ func Figure4(sc Scale) ([]Figure4Row, error) {
 				}
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Figure5Series is one app's per-minute cumulative percentage of
@@ -115,19 +109,16 @@ type Figure5Series struct {
 }
 
 // Figure5 fuzzes each pirated app with Dynodroid in the attacker lab
-// and samples the triggered-bomb percentage each minute.
+// and samples the triggered-bomb percentage each minute. Apps fan
+// across the worker pool; each app's minute-by-minute loop stays
+// serial because trigger state accumulates in one VM and one fuzzer.
 func Figure5(sc Scale) ([]Figure5Series, error) {
 	sc = sc.withDefaults()
-	var out []Figure5Series
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, err
-		}
+	return mapApps(sc, func(name string, p *PreparedApp) (Figure5Series, error) {
 		total := len(p.Result.RealBombs())
 		v, err := vm.NewUnverified(p.Pirated, android.EmulatorLab(1)[0], vm.Options{Seed: seedFor(name) + 3})
 		if err != nil {
-			return nil, err
+			return Figure5Series{}, err
 		}
 		fz := fuzz.NewDynodroid()
 		s := Figure5Series{App: name, TotalBombs: total}
@@ -148,9 +139,8 @@ func Figure5(sc Scale) ([]Figure5Series, error) {
 		if n := len(s.PctByMin); n > 0 {
 			s.FinalPct = s.PctByMin[n-1]
 		}
-		out = append(out, s)
-	}
-	return out, nil
+		return s, nil
+	})
 }
 
 // realDetections counts distinct real bombs whose detection ran.

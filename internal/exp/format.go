@@ -82,16 +82,20 @@ func FormatTable3(rows []Table3Row) string {
 		[]string{"App", "min (s)", "max (s)", "avg (s)", "success"}, out)
 }
 
-// FormatTable4 renders Table 4.
+// FormatTable4 renders Table 4. Rows with no real bombs render as
+// n/a: a 0.0 cell means the fuzzer satisfied nothing, an n/a cell
+// means there was nothing to satisfy.
 func FormatTable4(rows []Table4Row) string {
 	var out [][]string
 	for _, r := range rows {
+		cell := func(v float64) string {
+			if r.RealBombs == 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
 		out = append(out, []string{
-			r.App,
-			fmt.Sprintf("%.1f", r.Monkey),
-			fmt.Sprintf("%.1f", r.PUMA),
-			fmt.Sprintf("%.1f", r.Hooker),
-			fmt.Sprintf("%.1f", r.Dynodroid),
+			r.App, cell(r.Monkey), cell(r.PUMA), cell(r.Hooker), cell(r.Dynodroid),
 		})
 	}
 	return RenderTable("Table 4: % outer trigger conditions satisfied",

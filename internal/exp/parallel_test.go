@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestTablesDeterministicAcrossWorkers pins the headline contract of
+// the parallel evaluation engine: Workers:1 and Workers:8 produce
+// identical rows for every table and figure, because seeds derive
+// from item identity (app name, session index, grid cell) rather
+// than from scheduling order.
+func TestTablesDeterministicAcrossWorkers(t *testing.T) {
+	serial := Quick()
+	serial.Workers = 1
+	par := Quick()
+	par.Workers = 8
+
+	gens := []struct {
+		name string
+		run  func(Scale) (any, error)
+	}{
+		{"Table1", func(sc Scale) (any, error) { return Table1(sc) }},
+		{"Table2", func(sc Scale) (any, error) { return Table2(sc) }},
+		{"Table3", func(sc Scale) (any, error) { return Table3(sc) }},
+		{"Table4", func(sc Scale) (any, error) { return Table4(sc) }},
+		{"Table5", func(sc Scale) (any, error) { return Table5(sc) }},
+		{"Figure4", func(sc Scale) (any, error) { return Figure4(sc) }},
+		{"Figure5", func(sc Scale) (any, error) { return Figure5(sc) }},
+	}
+	for _, g := range gens {
+		want, err := g.run(serial)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", g.name, err)
+		}
+		got, err := g.run(par)
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", g.name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s differs across worker counts:\nserial:   %+v\nparallel: %+v", g.name, want, got)
+		}
+	}
+}
+
+// TestPrepareOnceUnderContention hammers a cold Prepare key from
+// eight goroutines: the per-key once must run the pipeline exactly
+// one time and hand every caller the same PreparedApp.
+func TestPrepareOnceUnderContention(t *testing.T) {
+	// 1207 is an oddball event count no other test uses, so the key is
+	// cold regardless of test order; PrepareRuns deltas stay immune to
+	// whatever earlier tests already cached.
+	const events = 1207
+	before := PrepareRuns()
+	apps := make([]*PreparedApp, 8)
+	var wg sync.WaitGroup
+	for i := range apps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := Prepare("SWJournal", events)
+			if err != nil {
+				t.Errorf("Prepare: %v", err)
+				return
+			}
+			apps[i] = p
+		}(i)
+	}
+	wg.Wait()
+	if d := PrepareRuns() - before; d != 1 {
+		t.Errorf("pipeline ran %d times under contention, want 1", d)
+	}
+	for i, p := range apps {
+		if p != apps[0] {
+			t.Errorf("caller %d got a different PreparedApp instance", i)
+		}
+	}
+	// A later wave is a pure cache hit.
+	if _, err := Prepare("SWJournal", events); err != nil {
+		t.Fatal(err)
+	}
+	if d := PrepareRuns() - before; d != 1 {
+		t.Errorf("pipeline re-ran after warm cache: %d runs", d)
+	}
+}
+
+// TestPrepareSharedAcrossTables is the report-invocation contract:
+// after one table has prepared a scale's apps, every further table
+// and figure of the same scale rides the cache — zero extra pipeline
+// runs, the way a single `cmd/report -all` prepares each app once.
+func TestPrepareSharedAcrossTables(t *testing.T) {
+	sc := tiny()
+	if _, err := Table2(sc); err != nil { // warms (app, ProfileEvents) keys
+		t.Fatal(err)
+	}
+	before := PrepareRuns()
+	if _, err := Table3(sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Table5(sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure4(sc); err != nil {
+		t.Fatal(err)
+	}
+	if d := PrepareRuns() - before; d != 0 {
+		t.Errorf("later tables re-ran the prepare pipeline %d times, want 0", d)
+	}
+}

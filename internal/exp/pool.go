@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the evaluation engine's worker pool. Every table,
+// figure, and extra fans its independent work items (apps, user
+// sessions, fuzzer cells) across up to Scale.Workers goroutines.
+//
+// Determinism discipline: parallelism must never change a single
+// byte of any table. Three rules enforce that:
+//
+//  1. Every work item derives all of its randomness from a seed keyed
+//     to its own index (seed+i*101 for sessions, seedFor(name)+... for
+//     apps and cells) — never from a shared RNG consumed in run order.
+//  2. Results merge by item index, never by completion order.
+//  3. Errors are reported lowest-index-first, so a failing run fails
+//     identically at any worker count.
+
+// workerCount resolves a Scale.Workers setting: <= 0 means one worker
+// per available CPU, 1 is fully serial, anything else is the bound.
+func workerCount(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// forIndexed runs fn(i) for every i in [0,n) on up to workers
+// goroutines and returns the n results merged by index. The serial
+// path (workers == 1, or n < 2) does not spawn goroutines at all, so
+// Workers: 1 preserves the engine's original single-threaded
+// behavior exactly. Work is handed out through an atomic counter;
+// which worker executes an item is scheduler-dependent, but per the
+// seeding discipline above the item's result is not.
+func forIndexed[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers = workerCount(workers); workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// mapApps prepares every app in sc.Apps (cache-deduplicated, so
+// concurrent tables cost one pipeline run per app) and applies fn,
+// returning one result per app in Scale order.
+func mapApps[T any](sc Scale, fn func(name string, p *PreparedApp) (T, error)) ([]T, error) {
+	return forIndexed(sc.Workers, len(sc.Apps), func(i int) (T, error) {
+		name := sc.Apps[i]
+		p, err := Prepare(name, sc.ProfileEvents)
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		return fn(name, p)
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
@@ -46,6 +47,13 @@ type Scale struct {
 	AnalystHours int // paper: 20
 	// Apps to evaluate (defaults to the paper's eight).
 	Apps []string
+	// Workers bounds evaluation parallelism: apps across tables,
+	// sessions within campaigns, and fuzzer cells all fan out across
+	// up to Workers goroutines. 0 means one worker per CPU
+	// (runtime.GOMAXPROCS(0)); 1 preserves the original
+	// single-threaded behavior. Any setting produces byte-identical
+	// tables — see pool.go for the seeding discipline.
+	Workers int
 }
 
 // Full is the paper-sized workload.
@@ -120,26 +128,47 @@ type PreparedApp struct {
 	Surface   sim.Surface
 }
 
+// prepEntry is one memoized pipeline run. The per-key sync.Once lets
+// concurrent Prepare calls for *different* apps run in parallel while
+// duplicate calls for the same key block on the one in-flight run
+// instead of repeating it — a global mutex around prepare() would
+// serialize the whole evaluation behind its slowest app.
+type prepEntry struct {
+	once sync.Once
+	p    *PreparedApp
+	err  error
+}
+
 var (
 	prepMu    sync.Mutex
-	prepCache = map[string]*PreparedApp{}
+	prepCache = map[string]*prepEntry{}
+	prepRuns  atomic.Int64
 )
 
-// Prepare builds (and caches) the pipeline output for a named app.
+// Prepare builds (and caches) the pipeline output for a named app,
+// keyed by (name, profileEvents). One cmd/report invocation prepares
+// each app exactly once no matter how many tables and figures ask
+// for it, or from how many goroutines.
 func Prepare(name string, profileEvents int) (*PreparedApp, error) {
 	key := fmt.Sprintf("%s/%d", name, profileEvents)
 	prepMu.Lock()
-	defer prepMu.Unlock()
-	if p, ok := prepCache[key]; ok {
-		return p, nil
+	e, ok := prepCache[key]
+	if !ok {
+		e = &prepEntry{}
+		prepCache[key] = e
 	}
-	p, err := prepare(name, profileEvents)
-	if err != nil {
-		return nil, err
-	}
-	prepCache[key] = p
-	return p, nil
+	prepMu.Unlock()
+	e.once.Do(func() {
+		prepRuns.Add(1)
+		e.p, e.err = prepare(name, profileEvents)
+	})
+	return e.p, e.err
 }
+
+// PrepareRuns reports how many times the full generate+profile+inject
+// pipeline has actually executed in this process — the probe behind
+// the prepare-once guarantee. Cache hits do not advance it.
+func PrepareRuns() int64 { return prepRuns.Load() }
 
 // protectTuning calibrates per-app bomb densities so injection counts
 // land near paper Table 2 (AndroFish 36+31, … BRouter 144+119).

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"log"
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
@@ -23,11 +24,12 @@ type Table1Row struct {
 }
 
 // Table1 computes the static characteristics of the corpus. With
-// AppsPerCategory == 0 it generates all 963 apps.
+// AppsPerCategory == 0 it generates all 963 apps. Categories are
+// independent generation jobs, so they fan across the worker pool.
 func Table1(sc Scale) ([]Table1Row, error) {
 	sc = sc.withDefaults()
-	var rows []Table1Row
-	for _, spec := range appgen.Categories {
+	return forIndexed(sc.Workers, len(appgen.Categories), func(ci int) (Table1Row, error) {
+		spec := appgen.Categories[ci]
 		var nApps, loc, cand, qcs, env int
 		visit := func(app *appgen.App) error {
 			nApps++
@@ -57,18 +59,17 @@ func Table1(sc Scale) ([]Table1Row, error) {
 			err = appgen.GenerateCategory(spec, visit)
 		}
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Category:     spec.Name,
 			Apps:         spec.Apps,
 			AvgLOC:       loc / nApps,
 			AvgCandidate: cand / nApps,
 			AvgQCs:       qcs / nApps,
 			AvgEnvVars:   env / nApps,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table2Row mirrors one row of paper Table 2.
@@ -83,22 +84,16 @@ type Table2Row struct {
 // Table2 reports injected logic bombs for the named apps.
 func Table2(sc Scale) ([]Table2Row, error) {
 	sc = sc.withDefaults()
-	var rows []Table2Row
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, err
-		}
+	return mapApps(sc, func(name string, p *PreparedApp) (Table2Row, error) {
 		st := p.Result.Stats
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			App:        name,
 			Bombs:      st.Bombs(),
 			Existing:   st.BombsExisting,
 			Artificial: st.BombsArtificial,
 			Bogus:      st.BombsBogus,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table3Row mirrors one row of paper Table 3.
@@ -116,92 +111,110 @@ type Table3Row struct {
 // runs; sessions start at arbitrary wall-clock times).
 func Table3(sc Scale) ([]Table3Row, error) {
 	sc = sc.withDefaults()
-	var rows []Table3Row
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
+	return mapApps(sc, func(name string, p *PreparedApp) (Table3Row, error) {
+		cr, err := sim.RunCampaignWorkers(p.Pirated, p.Surface, sc.SessionsPerApp,
+			int64(sc.SessionCapMin)*60_000, seedFor(name)+7, sc.Workers)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
-		cr, err := sim.RunCampaign(p.Pirated, p.Surface, sc.SessionsPerApp,
-			int64(sc.SessionCapMin)*60_000, seedFor(name)+7)
-		if err != nil {
-			return nil, err
+		minMs := cr.MinMs
+		if cr.Successes == 0 || minMs >= sim.NoFirstTrigger {
+			// RunCampaign already normalizes MinMs on its zero-success
+			// path; this guard keeps the 1<<62 accumulator sentinel out
+			// of MinSec even if a future aggregation path skips the
+			// reset.
+			minMs = 0
 		}
-		rows = append(rows, Table3Row{
+		return Table3Row{
 			App:      name,
-			MinSec:   float64(cr.MinMs) / 1000,
+			MinSec:   float64(minMs) / 1000,
 			MaxSec:   float64(cr.MaxMs) / 1000,
 			AvgSec:   float64(cr.AvgMs) / 1000,
 			Success:  cr.Successes,
 			Sessions: cr.Sessions,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table4Row mirrors one row of paper Table 4: per-fuzzer percentage of
 // outer trigger conditions satisfied within the fuzzing budget.
+// RealBombs is the denominator behind the percentages; when it is 0
+// the row's cells are "nothing to trigger" markers rather than
+// genuine 0% coverage, and FormatTable4 renders them as n/a.
 type Table4Row struct {
 	App       string
 	Monkey    float64
 	PUMA      float64
 	Hooker    float64
 	Dynodroid float64
+	RealBombs int
+}
+
+// table4Fuzzers is the generator column order of paper Table 4. Each
+// cell builds a fresh fuzzer instance: fuzzer state (Dynodroid
+// scores, AndroidHooker history) is per-instance and unsynchronized,
+// so instances must never be shared across cells or goroutines.
+var table4Fuzzers = []struct {
+	mk func() fuzz.Fuzzer
+	ui bool
+}{
+	{func() fuzz.Fuzzer { return fuzz.Monkey{} }, false},
+	{func() fuzz.Fuzzer { return fuzz.PUMA{} }, true},
+	{func() fuzz.Fuzzer { return &fuzz.AndroidHooker{} }, true},
+	{func() fuzz.Fuzzer { return fuzz.NewDynodroid() }, true},
 }
 
 // Table4 fuzzes the pirated app in the attacker's lab with all four
-// generators.
+// generators. Each cell averages three independent campaigns (fresh
+// lab VM and fuzzer state per run) to damp seed noise; the whole
+// 4-fuzzer × 3-run grid fans across the worker pool per app, on top
+// of the per-app fan-out.
 func Table4(sc Scale) ([]Table4Row, error) {
 	sc = sc.withDefaults()
-	var rows []Table4Row
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, err
-		}
+	const runs = 3
+	return mapApps(sc, func(name string, p *PreparedApp) (Table4Row, error) {
 		real := p.RealBlobs()
-		// Each cell averages three independent campaigns (fresh lab VM
-		// and fuzzer state per run) to damp seed noise.
-		pct := func(mk func() fuzz.Fuzzer, ui bool) (float64, error) {
-			const runs = 3
+		row := Table4Row{App: name, RealBombs: len(real)}
+		if len(real) == 0 {
+			// Explicit marker instead of silently averaging zero cells:
+			// a 0% cell means the fuzzer failed, an n/a row means there
+			// was nothing to trigger.
+			log.Printf("exp: Table4: %s has no real bombs; reporting n/a row", name)
+			return row, nil
+		}
+		cells, err := forIndexed(sc.Workers, len(table4Fuzzers)*runs, func(c int) (float64, error) {
+			fz, r := table4Fuzzers[c/runs], c%runs
+			// Seeds are keyed to the run index exactly as the serial
+			// engine keyed them, so the grid is cell-order independent.
+			v, err := vm.NewUnverified(p.Pirated, android.EmulatorLab(1)[0], vm.Options{Seed: seedFor(name) + int64(r)})
+			if err != nil {
+				return 0, err
+			}
+			opts := fuzz.Options{
+				DurationMs: int64(sc.FuzzMinutes) * 60_000,
+				Seed:       seedFor(name) + 11 + int64(r)*977,
+			}
+			if fz.ui {
+				opts.HandlerScreens = p.App.HandlerScreens
+				opts.ScreenField = p.App.ScreenField
+				opts.WatchFields = p.App.IntFieldRefs
+			}
+			res := fuzz.Run(v, fz.mk(), p.App.Config.ParamDomain, opts)
+			return 100 * float64(countReal(res.OuterSatisfied, real)) / float64(len(real)), nil
+		})
+		if err != nil {
+			return row, err
+		}
+		avg := func(fi int) float64 {
 			total := 0.0
 			for r := 0; r < runs; r++ {
-				v, err := vm.NewUnverified(p.Pirated, android.EmulatorLab(1)[0], vm.Options{Seed: seedFor(name) + int64(r)})
-				if err != nil {
-					return 0, err
-				}
-				opts := fuzz.Options{
-					DurationMs: int64(sc.FuzzMinutes) * 60_000,
-					Seed:       seedFor(name) + 11 + int64(r)*977,
-				}
-				if ui {
-					opts.HandlerScreens = p.App.HandlerScreens
-					opts.ScreenField = p.App.ScreenField
-					opts.WatchFields = p.App.IntFieldRefs
-				}
-				res := fuzz.Run(v, mk(), p.App.Config.ParamDomain, opts)
-				if len(real) > 0 {
-					total += 100 * float64(countReal(res.OuterSatisfied, real)) / float64(len(real))
-				}
+				total += cells[fi*runs+r]
 			}
-			return total / runs, nil
+			return total / runs
 		}
-		row := Table4Row{App: name}
-		if row.Monkey, err = pct(func() fuzz.Fuzzer { return fuzz.Monkey{} }, false); err != nil {
-			return nil, err
-		}
-		if row.PUMA, err = pct(func() fuzz.Fuzzer { return fuzz.PUMA{} }, true); err != nil {
-			return nil, err
-		}
-		if row.Hooker, err = pct(func() fuzz.Fuzzer { return &fuzz.AndroidHooker{} }, true); err != nil {
-			return nil, err
-		}
-		if row.Dynodroid, err = pct(func() fuzz.Fuzzer { return fuzz.NewDynodroid() }, true); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		row.Monkey, row.PUMA, row.Hooker, row.Dynodroid = avg(0), avg(1), avg(2), avg(3)
+		return row, nil
+	})
 }
 
 // Table5Row mirrors one row of paper Table 5.
@@ -219,37 +232,40 @@ type Table5Row struct {
 // along since it uses the same pair of packages.
 func Table5(sc Scale) ([]Table5Row, error) {
 	sc = sc.withDefaults()
-	var rows []Table5Row
-	for _, name := range sc.Apps {
-		p, err := Prepare(name, sc.ProfileEvents)
-		if err != nil {
-			return nil, err
-		}
-		var ta, tb int64
-		for run := 0; run < sc.OverheadRuns; run++ {
+	return mapApps(sc, func(name string, p *PreparedApp) (Table5Row, error) {
+		// Each run replays one seed's event stream against both builds;
+		// runs are independent, so they fan across the pool and their
+		// tick counts sum by run index.
+		ticks, err := forIndexed(sc.Workers, sc.OverheadRuns, func(run int) ([2]int64, error) {
 			seed := seedFor(name) + int64(run)*997
 			a, err := computeTicks(p.Original, p, sc.OverheadEvents, seed)
 			if err != nil {
-				return nil, err
+				return [2]int64{}, err
 			}
 			b, err := computeTicks(p.Protected, p, sc.OverheadEvents, seed)
 			if err != nil {
-				return nil, err
+				return [2]int64{}, err
 			}
-			ta += a
-			tb += b
+			return [2]int64{a, b}, nil
+		})
+		if err != nil {
+			return Table5Row{}, err
+		}
+		var ta, tb int64
+		for _, t := range ticks {
+			ta += t[0]
+			tb += t[1]
 		}
 		overhead := 100 * float64(tb-ta) / float64(ta)
 		size := 100 * float64(p.Protected.TotalSize()-p.Original.TotalSize()) / float64(p.Original.TotalSize())
-		rows = append(rows, Table5Row{
+		return Table5Row{
 			App:         name,
 			TaSec:       float64(ta) / float64(vm.TicksPerMilli) / 1000,
 			TbSec:       float64(tb) / float64(vm.TicksPerMilli) / 1000,
 			OverheadPct: overhead,
 			SizePct:     size,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // computeTicks runs an identical event stream and returns the app's

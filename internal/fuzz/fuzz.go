@@ -7,6 +7,13 @@
 // that paces events on the virtual clock and the profiling run
 // BombDroid's candidate selection uses (10,000 Dynodroid events +
 // Traceview, paper §7.1).
+//
+// Concurrency: a Fuzzer is single-goroutine state, like the VM it
+// drives. Monkey and PUMA are stateless, but AndroidHooker (replay
+// history) and Dynodroid (novelty scores) mutate themselves on every
+// Next/Observe, so parallel campaigns must give each goroutine its
+// own instance — exp's Table 4 grid constructs a fresh fuzzer per
+// cell rather than sharing one across runs.
 package fuzz
 
 import (
@@ -42,7 +49,9 @@ func (c *Context) active() []string {
 	return c.Handlers
 }
 
-// Fuzzer generates an event stream.
+// Fuzzer generates an event stream. Implementations may carry
+// per-campaign mutable state and are not safe for concurrent use;
+// use one instance per goroutine.
 type Fuzzer interface {
 	Name() string
 	Next(ctx *Context) Event

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCampaignWorkersDeterministic pins the parallel-campaign
+// contract: any worker count produces the same CampaignResult as the
+// serial path, field for field, because sessions draw per-index seeds
+// and devices are sampled before the fan-out.
+func TestCampaignWorkersDeterministic(t *testing.T) {
+	_, pirated, surf, _ := prepared(t, 205)
+	serial, err := RunCampaignWorkers(pirated, surf, 12, 5*60_000, 4242, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par, err := RunCampaignWorkers(pirated, surf, 12, 5*60_000, 4242, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: result %+v differs from serial %+v", workers, par, serial)
+		}
+	}
+}
+
+// TestCampaignNoSuccessesZeroMin runs a campaign whose session cap is
+// too short for any bomb to fire: Successes must be 0 and the MinMs
+// accumulator sentinel must not leak into the result.
+func TestCampaignNoSuccessesZeroMin(t *testing.T) {
+	_, pirated, surf, _ := prepared(t, 206)
+	cr, err := RunCampaign(pirated, surf, 6, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Successes != 0 {
+		t.Fatalf("1ms cap still triggered %d times", cr.Successes)
+	}
+	if cr.MinMs != 0 {
+		t.Errorf("MinMs = %d, want 0 for a campaign with no successes", cr.MinMs)
+	}
+	if cr.MaxMs != 0 || cr.AvgMs != 0 {
+		t.Errorf("Max/Avg = %d/%d, want 0/0 with no successes", cr.MaxMs, cr.AvgMs)
+	}
+	if cr.Sessions != 6 {
+		t.Errorf("Sessions = %d, want 6", cr.Sessions)
+	}
+}

@@ -9,6 +9,9 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
@@ -177,19 +180,95 @@ type CampaignResult struct {
 	Complaints int
 }
 
-// RunCampaign plays n user sessions on population-sampled devices.
+// NoFirstTrigger is the MinMs accumulator sentinel used while a
+// campaign has zero successes. It never escapes: RunCampaign
+// normalizes MinMs to 0 on every return path (including errors) when
+// Successes == 0, so a CampaignResult in the wild satisfies the
+// invariant Successes == 0 => MinMs == MaxMs == AvgMs == 0. Consumers
+// defending against future aggregation paths can still compare
+// against it.
+const NoFirstTrigger int64 = 1 << 62
+
+// normalize enforces the zero-successes invariant on a result whose
+// MinMs may still hold the accumulator sentinel.
+func (c CampaignResult) normalize() CampaignResult {
+	if c.Successes == 0 || c.MinMs >= NoFirstTrigger {
+		c.MinMs = 0
+	}
+	return c
+}
+
+// RunCampaign plays n user sessions on population-sampled devices,
+// fanned across one worker per CPU. Serial and parallel runs produce
+// identical results (see RunCampaignWorkers).
 func RunCampaign(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64) (CampaignResult, error) {
+	return RunCampaignWorkers(pkg, surf, n, capMs, seed, 0)
+}
+
+// RunCampaignWorkers plays n user sessions on up to workers
+// goroutines (0 = one per CPU, 1 = serial). The campaign is
+// embarrassingly parallel by construction — the paper's detection
+// cost is amortized across an independent user population — and the
+// implementation keeps it deterministic:
+//
+//   - devices are pre-sampled serially from the campaign RNG in
+//     session order, so the population draw is identical at any
+//     worker count;
+//   - each session derives all remaining randomness from its own
+//     seed (seed + i*101) and builds its own VM from the immutable
+//     package, sharing nothing mutable with its siblings;
+//   - results aggregate by session index, never by completion order.
+func RunCampaignWorkers(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int) (CampaignResult, error) {
 	rng := rand.New(rand.NewSource(seed))
-	out := CampaignResult{Sessions: n, MinMs: 1 << 62}
-	var sum int64
-	for i := 0; i < n; i++ {
-		dev := android.SamplePopulation(fmt.Sprintf("user%d", i), rng)
-		sr, err := RunUserSession(pkg, surf, dev, SessionOptions{
+	devs := make([]*android.Device, n)
+	for i := range devs {
+		devs[i] = android.SamplePopulation(fmt.Sprintf("user%d", i), rng)
+	}
+	srs := make([]SessionResult, n)
+	errs := make([]error, n)
+	run := func(i int) {
+		srs[i], errs[i] = RunUserSession(pkg, surf, devs[i], SessionOptions{
 			CapMs: capMs, Seed: seed + int64(i)*101, StartClockMs: -1,
 		})
-		if err != nil {
-			return out, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
 		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	out := CampaignResult{Sessions: n, MinMs: NoFirstTrigger}
+	var sum int64
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			// Mirror the serial engine: report the lowest-index error
+			// with the sessions before it aggregated.
+			return out.normalize(), errs[i]
+		}
+		sr := srs[i]
 		if sr.Triggered {
 			out.Successes++
 			sum += sr.TimeToFirstMs
@@ -211,8 +290,6 @@ func RunCampaign(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64)
 	}
 	if out.Successes > 0 {
 		out.AvgMs = sum / int64(out.Successes)
-	} else {
-		out.MinMs = 0
 	}
-	return out, nil
+	return out.normalize(), nil
 }

@@ -411,6 +411,7 @@ func (v *VM) decryptLoad(inPayload string, args []dex.Value) (dex.Value, error) 
 		return failClosed(err)
 	}
 	pu := newUnit(file)
+	pu.buildResolved(v.app)
 	entry := ""
 	for _, c := range file.Classes {
 		if c.Method("run") != nil {

@@ -51,7 +51,12 @@ func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, de
 	if v.opts.Profile {
 		v.profile[m.FullName()]++
 	}
-	regs := make([]dex.Value, m.NumRegs)
+	// Frames recycle retired register files instead of allocating one
+	// per call — the dominant per-Invoke allocation (BenchmarkInvoke).
+	// Returned Values are struct copies and arrays have their own
+	// backing store, so nothing escapes the frame through the slice.
+	regs := v.getRegs(m.NumRegs)
+	defer v.putRegs(regs)
 	copy(regs, args)
 
 	fault := func(pc int, format string, a ...any) error {
@@ -296,13 +301,12 @@ func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, de
 }
 
 // resolve finds an invoke target: the calling unit's own methods
-// first (payload-local helpers), then the app.
+// first (payload-local helpers), then the app. Both namespaces are
+// flattened into the unit's resolved table at load time, so the hot
+// path is one lookup.
 func (v *VM) resolve(u *unit, name string) (*dex.Method, *unit) {
-	if m, ok := u.methods[name]; ok {
-		return m, u
-	}
-	if m, ok := v.app.methods[name]; ok {
-		return m, v.app
+	if r, ok := u.resolved[name]; ok {
+		return r.m, r.u
 	}
 	return nil, nil
 }

@@ -89,6 +89,17 @@ type Observer func(call APICall)
 type unit struct {
 	file    *dex.File
 	methods map[string]*dex.Method
+	// resolved is the precomputed invoke-target table: the unit's own
+	// methods shadowing the app's (payload-local helpers win). Built
+	// once at load time so the interpreter's OpInvoke path is a single
+	// map hit instead of two lookups per call.
+	resolved map[string]resolvedMethod
+}
+
+// resolvedMethod is one precomputed invoke target.
+type resolvedMethod struct {
+	m *dex.Method
+	u *unit
 }
 
 func newUnit(f *dex.File) *unit {
@@ -97,6 +108,19 @@ func newUnit(f *dex.File) *unit {
 		u.methods[m.FullName()] = m
 	}
 	return u
+}
+
+// buildResolved fills the unit's invoke-target table. app is the host
+// application unit (the fallback namespace); for the app unit itself
+// pass the unit as its own host.
+func (u *unit) buildResolved(app *unit) {
+	u.resolved = make(map[string]resolvedMethod, len(u.methods)+len(app.methods))
+	for name, m := range app.methods {
+		u.resolved[name] = resolvedMethod{m: m, u: app}
+	}
+	for name, m := range u.methods {
+		u.resolved[name] = resolvedMethod{m: m, u: u}
+	}
 }
 
 type delayedResponse struct {
@@ -184,6 +208,11 @@ type VM struct {
 
 	steps int64 // consumed within current top-level Invoke
 
+	// freeRegs is a free-list of frame register slices reused across
+	// call() frames. A VM is single-goroutine by contract (campaigns
+	// parallelize by building one VM per session), so no locking.
+	freeRegs [][]dex.Value
+
 	trace     []TraceEntry // ring buffer when TraceDepth > 0
 	traceNext int
 	traceFull bool
@@ -238,8 +267,37 @@ func NewUnverified(p *apk.Package, dev *android.Device, opts Options) (*VM, erro
 	if opts.TraceDepth > 0 {
 		v.trace = make([]TraceEntry, opts.TraceDepth)
 	}
+	v.app.buildResolved(v.app)
 	v.initStatics(file)
 	return v, nil
+}
+
+// maxFreeFrames bounds the register free-list; deeper recursion just
+// allocates as before.
+const maxFreeFrames = DefaultMaxDepth
+
+// getRegs returns a zeroed register file of length n, reusing a
+// retired frame when one fits.
+func (v *VM) getRegs(n int) []dex.Value {
+	if k := len(v.freeRegs); k > 0 {
+		s := v.freeRegs[k-1]
+		v.freeRegs = v.freeRegs[:k-1]
+		if cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = dex.Value{}
+			}
+			return s
+		}
+	}
+	return make([]dex.Value, n)
+}
+
+// putRegs retires a frame's register file for reuse.
+func (v *VM) putRegs(s []dex.Value) {
+	if len(v.freeRegs) < maxFreeFrames {
+		v.freeRegs = append(v.freeRegs, s)
+	}
 }
 
 // Trace returns the ring buffer contents, oldest first. Empty unless

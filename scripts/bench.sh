@@ -1,0 +1,48 @@
+#!/bin/sh
+# Runs the PR's perf benchmarks and writes BENCH_PR2.json.
+#
+#   scripts/bench.sh [benchtime]
+#
+# Covers the parallel campaign path (Table3 at workers=1 vs workers=8,
+# warm Prepare cache) and the VM dispatch hot path (BenchmarkInvoke).
+# Speedup is reported honestly for whatever machine this runs on —
+# on a single-core box workers=8 can only match workers=1, never beat
+# it, which is why the core count is part of the record.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+OUT=BENCH_PR2.json
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkTable3FirstTrigger|BenchmarkInvoke$' \
+	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+function metric(name,    i) {
+	for (i = 1; i <= NF; i++)
+		if ($i ~ name "$") return $(i-1)
+	return ""
+}
+/BenchmarkTable3FirstTrigger\/workers=1/  { w1 = metric("ns\\/op"); w1a = metric("allocs\\/op") }
+/BenchmarkTable3FirstTrigger\/workers=8/  { w8 = metric("ns\\/op"); w8a = metric("allocs\\/op") }
+/^BenchmarkInvoke/ { inv = metric("ns\\/op"); invb = metric("B\\/op"); inva = metric("allocs\\/op") }
+END {
+	printf "{\n"
+	printf "  \"bench\": \"PR2 parallel evaluation engine\",\n"
+	printf "  \"cores\": %d,\n", cores
+	printf "  \"table3_workers1_ns_op\": %s,\n", (w1 == "" ? "null" : w1)
+	printf "  \"table3_workers8_ns_op\": %s,\n", (w8 == "" ? "null" : w8)
+	printf "  \"table3_speedup_8v1\": %s,\n", (w1 == "" || w8 == "" || w8 == 0 ? "null" : sprintf("%.2f", w1 / w8))
+	printf "  \"table3_workers1_allocs_op\": %s,\n", (w1a == "" ? "null" : w1a)
+	printf "  \"table3_workers8_allocs_op\": %s,\n", (w8a == "" ? "null" : w8a)
+	printf "  \"invoke_ns_op\": %s,\n", (inv == "" ? "null" : inv)
+	printf "  \"invoke_bytes_op\": %s,\n", (invb == "" ? "null" : invb)
+	printf "  \"invoke_allocs_op\": %s\n", (inva == "" ? "null" : inva)
+	printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"
