@@ -24,6 +24,7 @@ import (
 	"bombdroid/internal/dex"
 	"bombdroid/internal/exp"
 	"bombdroid/internal/fuzz"
+	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 	"bombdroid/internal/symexec"
 	"bombdroid/internal/vm"
@@ -303,6 +304,39 @@ func BenchmarkInvoke(b *testing.B) {
 		if _, err := v.Invoke(h, x, y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkInvokeObs is the same loop with the obs layer attached:
+// per-opcode counting on every instruction plus the per-invoke
+// histogram. The acceptance bar is ≤5% over BenchmarkInvoke;
+// BenchmarkInvoke itself (obs off) must stay within noise, because
+// the off path is a single nil check per instruction.
+func BenchmarkInvokeObs(b *testing.B) {
+	app, pkg, _ := benchApp(b)
+	reg := obs.NewRegistry()
+	v, err := vm.New(pkg, android.EmulatorLab(1)[0], vm.Options{Seed: 1, Obs: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handlers := v.Handlers()
+	if len(handlers) == 0 {
+		b.Fatal("no handlers")
+	}
+	h := handlers[0]
+	x := dex.Int64(3)
+	y := dex.Int64(app.Config.ParamDomain / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Invoke(h, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	v.FlushObs()
+	if reg.Counter("vm_invokes_total").Value() == 0 {
+		b.Fatal("obs bench recorded nothing")
 	}
 }
 

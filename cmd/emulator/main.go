@@ -5,11 +5,16 @@
 // Usage:
 //
 //	emulator -apk app.apk [-device emulator|population] [-fuzzer dynodroid]
-//	         [-minutes 10] [-seed 1] [-as-user] [-chaos mild|harsh]
+//	         [-minutes 10] [-seed 1] [-as-user] [-chaos mild|harsh] [-obs]
 //
 // With -chaos the app runs fail-closed under the named fault profile:
 // sealed payloads are corrupted at decrypt time and environment reads
 // misreported, with every contained fault tallied at exit.
+//
+// With -obs the VM and the fuzz driver are instrumented and the run's
+// metrics (per-opcode execution counts, dispatch-step histogram,
+// response/fault counters, fuzz span) are dumped in Prometheus text
+// format at exit.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"bombdroid/internal/apk"
 	"bombdroid/internal/chaos"
 	"bombdroid/internal/fuzz"
+	"bombdroid/internal/obs"
 	"bombdroid/internal/vm"
 )
 
@@ -35,19 +41,20 @@ func main() {
 	domain := flag.Int64("domain", 64, "handler parameter domain")
 	unverified := flag.Bool("allow-unverified", false, "skip signature verification (attacker lab)")
 	chaosName := flag.String("chaos", "", "fault profile: mild or harsh (fail-closed chaos run)")
+	obsDump := flag.Bool("obs", false, "instrument the run and dump metrics at exit")
 	flag.Parse()
 
 	if *apkPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*apkPath, *deviceKind, *fuzzer, *minutes, *seed, *domain, *unverified, *chaosName); err != nil {
+	if err := run(*apkPath, *deviceKind, *fuzzer, *minutes, *seed, *domain, *unverified, *chaosName, *obsDump); err != nil {
 		fmt.Fprintln(os.Stderr, "emulator:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, unverified bool, chaosName string) error {
+func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, unverified bool, chaosName string, obsDump bool) error {
 	data, err := os.ReadFile(apkPath)
 	if err != nil {
 		return err
@@ -68,6 +75,11 @@ func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, un
 	}
 
 	vmOpts := vm.Options{Seed: seed, Profile: true}
+	var reg *obs.Registry
+	if obsDump {
+		reg = obs.NewRegistry()
+		vmOpts.Obs = reg
+	}
 	var inj *chaos.Injector
 	if chaosName != "" {
 		var profile chaos.Profile
@@ -118,6 +130,7 @@ func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, un
 	res := fuzz.Run(v, fz, domain, fuzz.Options{
 		DurationMs: int64(minutes) * 60_000,
 		Seed:       seed,
+		Obs:        reg,
 	})
 
 	fmt.Printf("events: %d  (abnormal exits: %d)\n", res.Events, res.AbnormalExits)
@@ -140,6 +153,12 @@ func run(apkPath, deviceKind, fuzzer string, minutes int, seed, domain int64, un
 		for _, f := range faults {
 			fmt.Printf("  fault at %.1fs: %s blob=%d bomb=%s: %s\n",
 				float64(f.TimeMillis)/1000, f.Kind, f.Blob, f.Bomb, f.Err)
+		}
+	}
+	if reg != nil {
+		fmt.Println("\n--- metrics (prometheus text) ---")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -38,33 +38,36 @@ func TestRunAllFuzzersAndDevices(t *testing.T) {
 	dir := t.TempDir()
 	path := writeAPK(t, dir)
 	for _, fz := range []string{"monkey", "puma", "hooker", "dynodroid"} {
-		if err := run(path, "emulator", fz, 1, 1, 64, false, ""); err != nil {
+		if err := run(path, "emulator", fz, 1, 1, 64, false, "", false); err != nil {
 			t.Errorf("fuzzer %s: %v", fz, err)
 		}
 	}
-	if err := run(path, "population", "dynodroid", 1, 2, 64, true, ""); err != nil {
+	if err := run(path, "population", "dynodroid", 1, 2, 64, true, "", false); err != nil {
 		t.Errorf("population device: %v", err)
 	}
 	for _, profile := range []string{"none", "mild", "harsh"} {
-		if err := run(path, "emulator", "dynodroid", 1, 3, 64, false, profile); err != nil {
+		if err := run(path, "emulator", "dynodroid", 1, 3, 64, false, profile, false); err != nil {
 			t.Errorf("chaos profile %s: %v", profile, err)
 		}
+	}
+	if err := run(path, "emulator", "dynodroid", 1, 5, 64, false, "", true); err != nil {
+		t.Errorf("obs dump run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	path := writeAPK(t, dir)
-	if err := run(path, "emulator", "nosuch", 1, 1, 64, false, ""); err == nil {
+	if err := run(path, "emulator", "nosuch", 1, 1, 64, false, "", false); err == nil {
 		t.Error("unknown fuzzer must fail")
 	}
-	if err := run(path, "toaster", "monkey", 1, 1, 64, false, ""); err == nil {
+	if err := run(path, "toaster", "monkey", 1, 1, 64, false, "", false); err == nil {
 		t.Error("unknown device must fail")
 	}
-	if err := run(filepath.Join(dir, "nope.apk"), "emulator", "monkey", 1, 1, 64, false, ""); err == nil {
+	if err := run(filepath.Join(dir, "nope.apk"), "emulator", "monkey", 1, 1, 64, false, "", false); err == nil {
 		t.Error("missing file must fail")
 	}
-	if err := run(path, "emulator", "monkey", 1, 1, 64, false, "apocalyptic"); err == nil {
+	if err := run(path, "emulator", "monkey", 1, 1, 64, false, "apocalyptic", false); err == nil {
 		t.Error("unknown chaos profile must fail")
 	}
 }

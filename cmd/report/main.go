@@ -3,6 +3,7 @@
 // Usage:
 //
 //	report [-scale quick|full] [-workers N] [-table N] [-figure N] [-extra name] [-all]
+//	       [-metrics out.json] [-debug-addr :6060]
 //
 // With -all (the default when nothing is selected) every table, figure
 // and extra experiment is produced in order. Extras: fp (false
@@ -13,6 +14,13 @@
 // -workers bounds the evaluation worker pool: 0 (default) uses all
 // available cores, 1 forces the fully serial path. Either setting
 // produces byte-identical output; -workers only changes wall-clock.
+//
+// -metrics turns on the obs layer for the whole run (VM opcode
+// profiles, pool utilization, campaign counters, report-pipeline
+// counters, prepare spans) and writes the JSON snapshot to the given
+// path at exit. -debug-addr serves live observability over HTTP while
+// the run executes: /metrics (Prometheus text), /metrics.json,
+// /debug/pprof/* and /debug/vars.
 package main
 
 import (
@@ -22,11 +30,12 @@ import (
 	"os"
 
 	"bombdroid/internal/exp"
+	"bombdroid/internal/obs"
 )
 
 // run drives the whole report generation; main is just exit-code
 // plumbing around it so tests can call run directly.
-func run(out io.Writer, args []string) error {
+func run(out io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	scale := fs.String("scale", "quick", "workload scale: quick or full")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial)")
@@ -34,6 +43,8 @@ func run(out io.Writer, args []string) error {
 	figure := fs.Int("figure", 0, "print one figure (3-5)")
 	extra := fs.String("extra", "", "print one extra: fp, size, human, matrix, ablate, chaos")
 	all := fs.Bool("all", false, "print everything")
+	metricsPath := fs.String("metrics", "", "collect run metrics and write the JSON snapshot to this path")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +52,26 @@ func run(out io.Writer, args []string) error {
 	sc, err := scaleFor(*scale, *workers)
 	if err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		sc.Obs = reg
+	}
+	if *debugAddr != "" {
+		stop, bound, err := serveDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(out, "debug endpoint listening on %s\n\n", bound)
+	}
+	if *metricsPath != "" {
+		defer func() {
+			if werr := writeMetrics(*metricsPath, reg); werr != nil && err == nil {
+				err = werr
+			}
+		}()
 	}
 
 	selected := *table != 0 || *figure != 0 || *extra != ""

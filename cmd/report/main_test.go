@@ -2,8 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"bombdroid/internal/obs"
 )
 
 func TestScaleFor(t *testing.T) {
@@ -53,5 +61,105 @@ func TestRunTable2WorkersIdentical(t *testing.T) {
 	if serial.String() != parallel.String() {
 		t.Fatalf("serial and parallel output differ:\n--- workers=1\n%s\n--- workers=8\n%s",
 			serial.String(), parallel.String())
+	}
+}
+
+// TestRunMetricsSnapshot runs one table with -metrics and checks the
+// snapshot file parses and carries the layers the run exercised:
+// campaign counters, the Table 3 trigger-latency histogram, VM opcode
+// counts, and pool metrics.
+func TestRunMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	if err := run(&out, []string{"-table", "3", "-metrics", path}); err != nil {
+		t.Fatalf("run -metrics: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if snap.Counters["sim_sessions_total"] == 0 {
+		t.Error("snapshot missing sim_sessions_total")
+	}
+	if snap.Counters["exp_pool_tasks_total"] == 0 {
+		t.Error("snapshot missing exp_pool_tasks_total")
+	}
+	if h, ok := snap.Histograms["sim_trigger_latency_ms"]; !ok || h.Count == 0 {
+		t.Error("snapshot missing sim_trigger_latency_ms observations")
+	}
+	found := false
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "vm_op_total{") && v > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("snapshot has no per-opcode VM counts")
+	}
+}
+
+// TestServeDebugEndpoints scrapes every endpoint of the debug server
+// directly (no race against a finishing run).
+func TestServeDebugEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("probe_total").Add(3)
+	reg.Histogram("probe_ms", []int64{10}).Observe(7)
+	stop, addr, err := serveDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{"# TYPE probe_total counter", "probe_total 3", "probe_ms_count 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+	if snap.Counters["probe_total"] != 3 {
+		t.Errorf("probe_total = %d, want 3", snap.Counters["probe_total"])
+	}
+	if code, _ := get("/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars status = %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+// TestRunDebugAddr pins the CLI wiring: a run with -debug-addr binds,
+// reports the bound address, and completes.
+func TestRunDebugAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-table", "2", "-debug-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatalf("run -debug-addr: %v", err)
+	}
+	if !strings.Contains(out.String(), "debug endpoint listening on 127.0.0.1:") {
+		t.Fatalf("missing bound-address line:\n%s", out.String())
 	}
 }

@@ -56,6 +56,7 @@ func ChaosResilience(sc Scale) ([]ChaosRow, error) {
 				CapMs:    capMs,
 				Seed:     seedFor(name) ^ 0x0C0C,
 				Profile:  pc.profile,
+				Obs:      sc.Obs,
 			}
 			if pc.outage {
 				// Market down for the first quarter of the campaign —

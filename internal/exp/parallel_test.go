@@ -1,9 +1,13 @@
 package exp
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"sync"
 	"testing"
+
+	"bombdroid/internal/obs"
 )
 
 // TestTablesDeterministicAcrossWorkers pins the headline contract of
@@ -41,6 +45,48 @@ func TestTablesDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("%s differs across worker counts:\nserial:   %+v\nparallel: %+v", g.name, want, got)
 		}
+	}
+}
+
+// TestMetricsDeterministicAcrossWorkers extends the same contract to
+// the obs layer: with metrics enabled, the deterministic snapshot
+// (virtual-time counters and histograms; volatile scheduler-dependent
+// series excluded) is byte-identical between Workers:1 and Workers:8.
+func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
+	snapshot := func(workers int) []byte {
+		sc := Quick()
+		sc.Workers = workers
+		sc.Obs = obs.NewRegistry()
+		for name, gen := range map[string]func(Scale) error{
+			"Table3": func(sc Scale) error { _, err := Table3(sc); return err },
+			"Table4": func(sc Scale) error { _, err := Table4(sc); return err },
+		} {
+			if err := gen(sc); err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+		}
+		b, err := sc.Obs.SnapshotDeterministic().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := snapshot(1)
+	par := snapshot(8)
+	if !bytes.Equal(serial, par) {
+		t.Errorf("deterministic metrics snapshot differs across worker counts:\n--- workers=1\n%s\n--- workers=8\n%s",
+			serial, par)
+	}
+	// Sanity: the snapshot is not trivially empty.
+	var snap obs.Snapshot
+	if err := json.Unmarshal(serial, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sim_sessions_total"] == 0 {
+		t.Error("snapshot carries no campaign counters; the test proved nothing")
+	}
+	if h, ok := snap.Histograms["sim_trigger_latency_ms"]; !ok || h.Count == 0 {
+		t.Error("snapshot carries no trigger-latency observations")
 	}
 }
 

@@ -17,12 +17,14 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
 	"bombdroid/internal/appgen"
 	"bombdroid/internal/core"
 	"bombdroid/internal/fuzz"
+	"bombdroid/internal/obs"
 	"bombdroid/internal/sim"
 	"bombdroid/internal/vm"
 )
@@ -54,6 +56,13 @@ type Scale struct {
 	// single-threaded behavior. Any setting produces byte-identical
 	// tables — see pool.go for the seeding discipline.
 	Workers int
+	// Obs, when set, collects evaluation metrics: pool utilization,
+	// campaign/session counters, the Table 3 trigger-latency
+	// histogram, VM opcode profiles, and merged report-pipeline
+	// counters. Deterministic metrics in it are byte-identical at any
+	// Workers setting (see obs.SnapshotDeterministic). Nil disables
+	// all instrumentation.
+	Obs *obs.Registry
 }
 
 // Full is the paper-sized workload.
@@ -193,7 +202,16 @@ func seedFor(name string) int64 {
 	return int64(h.Sum64() & 0x7FFF_FFFF)
 }
 
+// wallMs is the wall clock in ms for the prepare spans — operator
+// timing only, never compared across runs (the spans are Volatile).
+func wallMs() int64 { return time.Now().UnixMilli() }
+
 func prepare(name string, profileEvents int) (*PreparedApp, error) {
+	// The prepare pipeline is wall-clock work (it happens once per app
+	// per process, outside any virtual campaign), so its spans go to
+	// the process-default registry as Volatile.
+	sp := obs.Default().StartVolatileSpan("prepare", wallMs())
+	spGen := sp.Child("generate", wallMs())
 	app, err := appgen.NamedApp(name)
 	if err != nil {
 		return nil, err
@@ -221,8 +239,10 @@ func prepare(name string, profileEvents int) (*PreparedApp, error) {
 	if err != nil {
 		return nil, err
 	}
+	spGen.End(wallMs())
 
 	// Step 2 of Fig. 1: profiling run on a stock device.
+	spProf := sp.Child("profile", wallMs())
 	watch := append(append([]string{}, app.IntFieldRefs...), app.StrFieldRefs...)
 	watch = append(watch, app.BoolFieldRefs...)
 	profVM, err := vm.New(original, android.EmulatorLab(1)[0], vm.Options{Seed: seed, Profile: true})
@@ -230,6 +250,7 @@ func prepare(name string, profileEvents int) (*PreparedApp, error) {
 		return nil, err
 	}
 	profile, fieldVals := fuzz.Profile(profVM, app.Config.ParamDomain, profileEvents, watch, seed)
+	spProf.End(wallMs())
 
 	opts := core.Options{
 		Seed:        seed,
@@ -241,11 +262,23 @@ func prepare(name string, profileEvents int) (*PreparedApp, error) {
 		opts.Alpha = t.alpha
 		opts.BogusFrac = t.bogusFrac
 	}
-	protected, result, err := core.ProtectPackage(original, devKey, opts)
+	// Injection (bomb construction + payload encryption) and the
+	// developer signing step are timed separately — the sign half is
+	// the part the paper's workflow ships back to the developer.
+	spInj := sp.Child("inject", wallMs())
+	unsigned, result, err := core.BuildProtected(original, opts)
 	if err != nil {
 		return nil, err
 	}
+	spInj.End(wallMs())
+	spSign := sp.Child("sign", wallMs())
+	protected, err := apk.Sign(unsigned, devKey)
+	if err != nil {
+		return nil, err
+	}
+	spSign.End(wallMs())
 
+	spRep := sp.Child("repackage", wallMs())
 	attacker, err := apk.NewKeyPair(seed ^ 0x5151)
 	if err != nil {
 		return nil, err
@@ -256,6 +289,8 @@ func prepare(name string, profileEvents int) (*PreparedApp, error) {
 	if err != nil {
 		return nil, err
 	}
+	spRep.End(wallMs())
+	sp.End(wallMs())
 	return &PreparedApp{
 		App: app, DevKey: devKey, Original: original, Protected: protected,
 		Pirated: pirated, Result: result, Profile: profile,

@@ -28,7 +28,7 @@ type Table1Row struct {
 // independent generation jobs, so they fan across the worker pool.
 func Table1(sc Scale) ([]Table1Row, error) {
 	sc = sc.withDefaults()
-	return forIndexed(sc.Workers, len(appgen.Categories), func(ci int) (Table1Row, error) {
+	return forIndexed(sc, len(appgen.Categories), func(ci int) (Table1Row, error) {
 		spec := appgen.Categories[ci]
 		var nApps, loc, cand, qcs, env int
 		visit := func(app *appgen.App) error {
@@ -112,8 +112,8 @@ type Table3Row struct {
 func Table3(sc Scale) ([]Table3Row, error) {
 	sc = sc.withDefaults()
 	return mapApps(sc, func(name string, p *PreparedApp) (Table3Row, error) {
-		cr, err := sim.RunCampaignWorkers(p.Pirated, p.Surface, sc.SessionsPerApp,
-			int64(sc.SessionCapMin)*60_000, seedFor(name)+7, sc.Workers)
+		cr, err := sim.RunCampaignObs(p.Pirated, p.Surface, sc.SessionsPerApp,
+			int64(sc.SessionCapMin)*60_000, seedFor(name)+7, sc.Workers, sc.Obs)
 		if err != nil {
 			return Table3Row{}, err
 		}
@@ -182,7 +182,7 @@ func Table4(sc Scale) ([]Table4Row, error) {
 			log.Printf("exp: Table4: %s has no real bombs; reporting n/a row", name)
 			return row, nil
 		}
-		cells, err := forIndexed(sc.Workers, len(table4Fuzzers)*runs, func(c int) (float64, error) {
+		cells, err := forIndexed(sc, len(table4Fuzzers)*runs, func(c int) (float64, error) {
 			fz, r := table4Fuzzers[c/runs], c%runs
 			// Seeds are keyed to the run index exactly as the serial
 			// engine keyed them, so the grid is cell-order independent.
@@ -193,6 +193,7 @@ func Table4(sc Scale) ([]Table4Row, error) {
 			opts := fuzz.Options{
 				DurationMs: int64(sc.FuzzMinutes) * 60_000,
 				Seed:       seedFor(name) + 11 + int64(r)*977,
+				Obs:        sc.Obs,
 			}
 			if fz.ui {
 				opts.HandlerScreens = p.App.HandlerScreens
@@ -236,7 +237,7 @@ func Table5(sc Scale) ([]Table5Row, error) {
 		// Each run replays one seed's event stream against both builds;
 		// runs are independent, so they fan across the pool and their
 		// tick counts sum by run index.
-		ticks, err := forIndexed(sc.Workers, sc.OverheadRuns, func(run int) ([2]int64, error) {
+		ticks, err := forIndexed(sc, sc.OverheadRuns, func(run int) ([2]int64, error) {
 			seed := seedFor(name) + int64(run)*997
 			a, err := computeTicks(p.Original, p, sc.OverheadEvents, seed)
 			if err != nil {

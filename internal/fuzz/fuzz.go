@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"bombdroid/internal/dex"
+	"bombdroid/internal/obs"
 	"bombdroid/internal/vm"
 )
 
@@ -229,6 +230,13 @@ type Options struct {
 	// driver recomputes the active handler set before every event.
 	HandlerScreens map[string]int64
 	ScreenField    string
+
+	// Obs, when set, receives per-run counters (events, abnormal
+	// exits, labeled by fuzzer), a virtual-time "fuzz" span, and the
+	// VM's buffered opcode counts at the end of the run. All writes
+	// are commutative, so a registry shared across a parallel fuzzer
+	// grid aggregates deterministically.
+	Obs *obs.Registry
 }
 
 // Run drives the app under the fuzzer for the configured virtual
@@ -307,6 +315,12 @@ func Run(v *vm.VM, fz Fuzzer, domain int64, opts Options) Result {
 	res.OuterSatisfied = v.OuterTriggered()
 	res.DetectionRuns = v.DetectionRuns()
 	res.Responses = v.Responses()
+	if reg := opts.Obs; reg != nil {
+		reg.Counter(obs.L("fuzz_events_total", "fuzzer", res.Fuzzer)).Add(int64(res.Events))
+		reg.Counter(obs.L("fuzz_abnormal_exits_total", "fuzzer", res.Fuzzer)).Add(int64(res.AbnormalExits))
+		reg.StartSpan("fuzz", start).End(v.NowMillis())
+		v.FlushObs()
+	}
 	return res
 }
 

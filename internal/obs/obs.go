@@ -1,0 +1,369 @@
+// Package obs is the repository's zero-dependency observability
+// substrate: atomic counters, gauges, fixed-bucket histograms, and
+// hierarchical spans, gathered in a Registry that snapshots to both
+// JSON and Prometheus text exposition format.
+//
+// The evaluation engine is deterministic by contract — every table is
+// byte-identical at any worker count — and the metrics layer is built
+// to preserve that property rather than erode it. Two rules make it
+// work:
+//
+//  1. Deterministic metrics are measured in *virtual* time (campaign
+//     ms, VM ticks) and merged only through commutative operations
+//     (counter adds, bucket adds), so final values are independent of
+//     goroutine scheduling.
+//  2. Anything inherently scheduler-dependent — wall-clock task
+//     latency, per-worker utilization, the span log — is registered
+//     Volatile and excluded from SnapshotDeterministic, the snapshot
+//     the determinism tests compare.
+//
+// All metric types are safe for concurrent use. Registry constructors
+// are nil-receiver safe: a nil *Registry hands back detached metrics
+// that record into themselves but appear in no snapshot, so
+// instrumented code never needs an "is observability on?" branch.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug; they are not checked
+// on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v is larger (high-water marks).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency/size histogram. Bounds are
+// inclusive upper edges; one implicit +Inf bucket catches the rest.
+// Observations are three atomic adds, no allocation.
+type Histogram struct {
+	bounds []int64 // sorted, immutable after construction
+	counts []atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// NewHistogram builds a detached histogram (registered ones come from
+// Registry.Histogram). Bounds must be sorted ascending.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket is one histogram bucket in a snapshot: the count of
+// observations at or below Le. The +Inf bucket has Le == "+Inf".
+type Bucket struct {
+	Le string `json:"le"`
+	N  int64  `json:"n"`
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Buckets []Bucket `json:"buckets"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.counts {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprint(h.bounds[i])
+		}
+		out.Buckets = append(out.Buckets, Bucket{Le: le, N: h.counts[i].Load()})
+	}
+	return out
+}
+
+// ExpBuckets returns n bucket bounds growing geometrically from start
+// by factor — the usual latency-histogram shape.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// Shared bucket layouts, so the same quantity is bucketed identically
+// across layers and merges stay well-defined.
+var (
+	// LatencyBucketsMs suits virtual-millisecond latencies from an
+	// event gap up to a full session hour.
+	LatencyBucketsMs = []int64{10, 50, 100, 500, 1_000, 5_000, 10_000,
+		30_000, 60_000, 300_000, 600_000, 1_800_000, 3_600_000}
+	// TickBuckets suits per-Invoke VM step counts.
+	TickBuckets = ExpBuckets(8, 4, 10)
+)
+
+// metric kinds inside the registry.
+const (
+	kindCounter = iota
+	kindGauge
+	kindHistogram
+)
+
+type entry struct {
+	kind     int
+	volatile bool
+	c        *Counter
+	g        *Gauge
+	h        *Histogram
+}
+
+// Option tags a metric at registration time.
+type Option func(*entry)
+
+// Volatile marks a metric as scheduler-dependent: it appears in
+// Snapshot and the Prometheus exposition but not in
+// SnapshotDeterministic.
+func Volatile() Option { return func(e *entry) { e.volatile = true } }
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; call NewRegistry. A nil *Registry is usable everywhere and
+// records nothing.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*entry
+
+	spanMu sync.Mutex
+	spans  []SpanRecord
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*entry)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the CLIs expose.
+func Default() *Registry { return defaultRegistry }
+
+// L formats a metric name with label pairs in Prometheus form:
+// L("vm_op_total", "op", "add") == `vm_op_total{op="add"}`.
+// Pairs must come in (key, value) order.
+func L(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) get(name string, kind int, opts []Option, mk func(e *entry)) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	e := &entry{kind: kind}
+	mk(e)
+	for _, o := range opts {
+		o(e)
+	}
+	r.metrics[name] = e
+	return e
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a detached counter.
+func (r *Registry) Counter(name string, opts ...Option) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.get(name, kindCounter, opts, func(e *entry) { e.c = &Counter{} }).c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a detached gauge.
+func (r *Registry) Gauge(name string, opts ...Option) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.get(name, kindGauge, opts, func(e *entry) { e.g = &Gauge{} }).g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls keep the original bounds). A nil
+// registry returns a detached histogram.
+func (r *Registry) Histogram(name string, bounds []int64, opts ...Option) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	return r.get(name, kindHistogram, opts, func(e *entry) { e.h = NewHistogram(bounds) }).h
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON.
+// encoding/json emits map keys sorted, so marshaling a snapshot of
+// deterministic metrics is byte-stable.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      []SpanRecord                 `json:"spans,omitempty"`
+}
+
+func (r *Registry) snapshot(includeVolatile bool) Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	entries := make(map[string]*entry, len(r.metrics))
+	for n, e := range r.metrics {
+		entries[n] = e
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		e := entries[n]
+		if e.volatile && !includeVolatile {
+			continue
+		}
+		switch e.kind {
+		case kindCounter:
+			s.Counters[n] = e.c.Value()
+		case kindGauge:
+			s.Gauges[n] = e.g.Value()
+		case kindHistogram:
+			s.Histograms[n] = e.h.snapshot()
+		}
+	}
+	if includeVolatile {
+		s.Spans = r.SpanLog()
+	}
+	return s
+}
+
+// Snapshot copies every metric, volatile ones and the span log
+// included — the operator's view.
+func (r *Registry) Snapshot() Snapshot { return r.snapshot(true) }
+
+// SnapshotDeterministic copies only metrics whose final values are
+// independent of goroutine scheduling — the view the determinism
+// tests compare byte for byte across worker counts.
+func (r *Registry) SnapshotDeterministic() Snapshot { return r.snapshot(false) }
+
+// JSON renders the snapshot as indented, key-sorted JSON.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// MergeInto adds this registry's metrics into dst: counters and
+// histogram buckets add, gauges add (callers wanting last-write or
+// max semantics should publish those directly into the shared
+// registry). Metrics keep their volatility marking. Merging is
+// commutative, so parallel campaigns merging per-campaign registries
+// produce scheduling-independent totals.
+func (r *Registry) MergeInto(dst *Registry) {
+	if r == nil || dst == nil || r == dst {
+		return
+	}
+	r.mu.Lock()
+	entries := make(map[string]*entry, len(r.metrics))
+	for n, e := range r.metrics {
+		entries[n] = e
+	}
+	r.mu.Unlock()
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := entries[n]
+		var opts []Option
+		if e.volatile {
+			opts = append(opts, Volatile())
+		}
+		switch e.kind {
+		case kindCounter:
+			dst.Counter(n, opts...).Add(e.c.Value())
+		case kindGauge:
+			dst.Gauge(n, opts...).Add(e.g.Value())
+		case kindHistogram:
+			dh := dst.Histogram(n, e.h.bounds, opts...)
+			if len(dh.counts) != len(e.h.counts) {
+				panic(fmt.Sprintf("obs: histogram %q merged with mismatched buckets", n))
+			}
+			for i := range e.h.counts {
+				dh.counts[i].Add(e.h.counts[i].Load())
+			}
+			dh.sum.Add(e.h.sum.Load())
+			dh.count.Add(e.h.count.Load())
+		}
+	}
+	for _, rec := range r.SpanLog() {
+		dst.recordSpan(rec)
+	}
+}

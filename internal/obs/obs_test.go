@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("second fetch returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(3)
+	r.Histogram("z", []int64{1, 2}).Observe(1)
+	sp := r.StartSpan("root", 0)
+	sp.Child("leaf", 1).End(2)
+	sp.End(5)
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", got)
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	r.MergeInto(NewRegistry())
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []Bucket{{"10", 2}, {"100", 2}, {"+Inf", 1}}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	if s.Count != 5 || s.Sum != 1122 {
+		t.Fatalf("count/sum = %d/%d, want 5/1122", s.Count, s.Sum)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m")
+	r.Gauge("m")
+}
+
+func TestVolatileExcludedFromDeterministicSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stable_total").Add(1)
+	r.Counter("wall_total", Volatile()).Add(9)
+	r.Histogram("wall_ns", []int64{1}, Volatile()).Observe(2)
+	r.StartSpan("phase", 0).End(3) // span log is volatile by construction
+
+	full := r.Snapshot()
+	if _, ok := full.Counters["wall_total"]; !ok {
+		t.Fatal("full snapshot dropped the volatile counter")
+	}
+	if len(full.Spans) != 1 {
+		t.Fatalf("full snapshot has %d spans, want 1", len(full.Spans))
+	}
+	det := r.SnapshotDeterministic()
+	if _, ok := det.Counters["wall_total"]; ok {
+		t.Fatal("deterministic snapshot kept a volatile counter")
+	}
+	if _, ok := det.Histograms["wall_ns"]; ok {
+		t.Fatal("deterministic snapshot kept a volatile histogram")
+	}
+	if len(det.Spans) != 0 {
+		t.Fatal("deterministic snapshot kept the span log")
+	}
+	if det.Counters["stable_total"] != 1 {
+		t.Fatal("deterministic snapshot lost the stable counter")
+	}
+}
+
+// TestSnapshotJSONByteStable pins the byte-identity property the
+// cross-worker determinism tests rely on: the same metric values
+// marshal to the same bytes regardless of registration or update
+// order.
+func TestSnapshotJSONByteStable(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n).Add(int64(len(n)))
+		}
+		r.Histogram("lat_ms", []int64{1, 10}).Observe(5)
+		b, err := r.SnapshotDeterministic().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := build([]string{"alpha_total", "beta_total", "gamma_total"})
+	b := build([]string{"gamma_total", "alpha_total", "beta_total"})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ by registration order:\n%s\n---\n%s", a, b)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(a, &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+}
+
+func TestSpanHierarchyAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("session", 100)
+	det := root.Child("detonate", 150)
+	det.End(175)
+	root.End(400)
+
+	log := r.SpanLog()
+	if len(log) != 2 {
+		t.Fatalf("span log has %d records, want 2", len(log))
+	}
+	if log[0].Path != "session/detonate" || log[0].DurMs != 25 {
+		t.Fatalf("child span = %+v", log[0])
+	}
+	if log[1].Path != "session" || log[1].DurMs != 300 {
+		t.Fatalf("root span = %+v", log[1])
+	}
+	h := r.Histogram("span_session_ms", LatencyBucketsMs)
+	if h.Count() != 1 || h.Sum() != 300 {
+		t.Fatalf("span histogram count/sum = %d/%d, want 1/300", h.Count(), h.Sum())
+	}
+}
+
+func TestSpanLogBounded(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < spanLogCap+50; i++ {
+		r.StartSpan("s", int64(i)).End(int64(i) + 1)
+	}
+	log := r.SpanLog()
+	if len(log) != spanLogCap {
+		t.Fatalf("span log grew to %d, cap is %d", len(log), spanLogCap)
+	}
+	if log[len(log)-1].StartMs != int64(spanLogCap+49) {
+		t.Fatal("span log did not keep the newest records")
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	a, b, dst := NewRegistry(), NewRegistry(), NewRegistry()
+	a.Counter("n_total").Add(2)
+	b.Counter("n_total").Add(3)
+	a.Gauge("depth").Add(4)
+	b.Gauge("depth").Add(1)
+	a.Histogram("lat", []int64{10}).Observe(5)
+	b.Histogram("lat", []int64{10}).Observe(50)
+	a.Counter("wall", Volatile()).Add(1)
+
+	a.MergeInto(dst)
+	b.MergeInto(dst)
+	if got := dst.Counter("n_total").Value(); got != 5 {
+		t.Fatalf("merged counter = %d, want 5", got)
+	}
+	if got := dst.Gauge("depth").Value(); got != 5 {
+		t.Fatalf("merged gauge = %d, want 5", got)
+	}
+	h := dst.Histogram("lat", []int64{10})
+	if h.Count() != 2 || h.Sum() != 55 {
+		t.Fatalf("merged histogram count/sum = %d/%d, want 2/55", h.Count(), h.Sum())
+	}
+	det := dst.SnapshotDeterministic()
+	if _, ok := det.Counters["wall"]; ok {
+		t.Fatal("volatility lost in merge")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(L("vm_op_total", "op", "add")).Add(3)
+	r.Counter(L("vm_op_total", "op", "move")).Add(1)
+	r.Gauge("queue_depth").Set(2)
+	r.Histogram("lat_ms", []int64{10, 100}).Observe(7)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE vm_op_total counter",
+		`vm_op_total{op="add"} 3`,
+		`vm_op_total{op="move"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		"# TYPE lat_ms histogram",
+		`lat_ms_bucket{le="10"} 1`,
+		`lat_ms_bucket{le="100"} 1`,
+		`lat_ms_bucket{le="+Inf"} 1`,
+		"lat_ms_sum 7",
+		"lat_ms_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE vm_op_total"); n != 1 {
+		t.Errorf("labeled family declared %d times, want 1", n)
+	}
+}
+
+// TestConcurrentUse exercises every metric type from many goroutines;
+// meaningful under -race.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []int64{10, 100}).Observe(int64(i % 200))
+				sp := r.StartSpan("w", int64(i))
+				sp.End(int64(i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the full registry (volatile metrics
+// included) in the Prometheus text exposition format. Labeled metrics
+// registered via L() group under their base name with a single TYPE
+// line; histograms expand to cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+
+	type sample struct {
+		name string
+		kind string
+		emit func(io.Writer) error
+	}
+	families := map[string][]sample{}
+	add := func(name, kind string, emit func(io.Writer) error) {
+		base, _ := splitName(name)
+		families[base] = append(families[base], sample{name: name, kind: kind, emit: emit})
+	}
+	for name, v := range s.Counters {
+		name, v := name, v
+		add(name, "counter", func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+			return err
+		})
+	}
+	for name, v := range s.Gauges {
+		name, v := name, v
+		add(name, "gauge", func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+			return err
+		})
+	}
+	for name, h := range s.Histograms {
+		name, h := name, h
+		add(name, "histogram", func(w io.Writer) error {
+			base, labels := splitName(name)
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				cum += b.N
+				if _, err := fmt.Fprintf(w, "%s %d\n",
+					seriesName(base+"_bucket", labels, fmt.Sprintf("le=%q", b.Le)), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(base+"_sum", labels, ""), h.Sum); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s %d\n", seriesName(base+"_count", labels, ""), h.Count)
+			return err
+		})
+	}
+
+	bases := make([]string, 0, len(families))
+	for b := range families {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		samples := families[base]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, samples[0].kind); err != nil {
+			return err
+		}
+		for _, smp := range samples {
+			if err := smp.emit(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitName separates `vm_op_total{op="add"}` into base "vm_op_total"
+// and label body `op="add"` (empty when unlabeled).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// seriesName assembles base + combined label block from the metric's
+// own labels and an extra (possibly empty) label like le="5".
+func seriesName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"bombdroid/internal/obs"
+)
+
+// scriptedSink fails or succeeds on command, letting tests drive the
+// breaker through an exact state schedule.
+type scriptedSink struct {
+	ok        bool
+	delivered int
+}
+
+func (s *scriptedSink) Deliver(Event, int64) error {
+	if !s.ok {
+		return ErrSinkDown
+	}
+	s.delivered++
+	return nil
+}
+
+// TestBreakerTransitionSequence drives the breaker through a full
+// trip → failed probe → successful probe cycle and asserts the exact
+// transition log: the state machine, not just the final state.
+func TestBreakerTransitionSequence(t *testing.T) {
+	sink := &scriptedSink{}
+	p := New(sink, Config{
+		BaseBackoffMs: 100, MaxBackoffMs: 100,
+		BreakerThreshold: 2, BreakerCooldownMs: 1000, Seed: 1,
+	})
+	p.Submit(Event{App: "a", Bomb: "b1", User: "u"}, 0)
+	p.Submit(Event{App: "a", Bomb: "b2", User: "u"}, 0)
+
+	// t=0: two consecutive failures trip the breaker.
+	p.Tick(0)
+	// t=1000: cooldown over; the half-open probe fails and re-opens.
+	p.Tick(1000)
+	// t=2000: the sink recovers; the probe succeeds and closes, then
+	// the remaining entry drains.
+	sink.ok = true
+	p.Tick(2000)
+
+	want := []BreakerTransition{
+		{From: "closed", To: "open", AtMs: 0},
+		{From: "open", To: "half-open", AtMs: 1000},
+		{From: "half-open", To: "open", AtMs: 1000},
+		{From: "open", To: "half-open", AtMs: 2000},
+		{From: "half-open", To: "closed", AtMs: 2000},
+	}
+	if got := p.BreakerTransitions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("transition log = %+v\nwant %+v", got, want)
+	}
+	if sink.delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", sink.delivered)
+	}
+	if p.BreakerState() != "closed" {
+		t.Fatalf("final state = %s, want closed", p.BreakerState())
+	}
+	st := p.Stats()
+	if st.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1 (only closed→open counts)", st.BreakerTrips)
+	}
+	// The labeled transition counters mirror the log.
+	reg := p.Obs()
+	if got := reg.Counter(obs.L("report_breaker_transitions_total", "from", "half-open", "to", "open")).Value(); got != 1 {
+		t.Fatalf("half-open→open counter = %d, want 1", got)
+	}
+	if got := reg.Gauge("report_breaker_state").Value(); got != breakerClosed {
+		t.Fatalf("breaker state gauge = %d, want closed", got)
+	}
+}
+
+// TestStatsIsThinWrapperOverObs pins the satellite contract: the
+// Stats struct reads the same counters the registry exposes.
+func TestStatsIsThinWrapperOverObs(t *testing.T) {
+	sink := NewMemorySink()
+	p := New(sink, Config{Seed: 2})
+	for i := 0; i < 5; i++ {
+		p.Submit(Event{App: "a", Bomb: "b", User: string(rune('u' + i))}, 0)
+	}
+	p.Submit(Event{App: "a", Bomb: "b", User: "u"}, 0) // duplicate
+	p.Tick(0)
+
+	st := p.Stats()
+	reg := p.Obs()
+	pairs := map[string]int64{
+		"report_submitted_total":  st.Submitted,
+		"report_accepted_total":   st.Accepted,
+		"report_duplicates_total": st.Duplicates,
+		"report_delivered_total":  st.Delivered,
+		"report_attempts_total":   st.Attempts,
+	}
+	for name, want := range pairs {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, Stats says %d", name, got, want)
+		}
+	}
+	if st.Submitted != 6 || st.Accepted != 5 || st.Duplicates != 1 || st.Delivered != 5 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+// TestDeadLetterDepthGauge tracks the ledger through max-attempts
+// exhaustion and queue overflow.
+func TestDeadLetterDepthGauge(t *testing.T) {
+	sink := &scriptedSink{} // always failing
+	p := New(sink, Config{
+		QueueCap: 2, MaxAttempts: 1, BreakerThreshold: 100, Seed: 3,
+	})
+	p.Submit(Event{App: "a", Bomb: "b1", User: "u"}, 0)
+	p.Submit(Event{App: "a", Bomb: "b2", User: "u"}, 0)
+	p.Submit(Event{App: "a", Bomb: "b3", User: "u"}, 0) // overflow → dead letter
+	p.Tick(0)                                           // both queued entries exhaust their single attempt
+
+	depth := p.Obs().Gauge("report_dead_letter_depth").Value()
+	if want := int64(len(p.DeadLetters())); depth != want {
+		t.Fatalf("dead-letter depth gauge = %d, ledger has %d", depth, want)
+	}
+	if depth != 3 {
+		t.Fatalf("dead-letter depth = %d, want 3", depth)
+	}
+	if got := p.Obs().Gauge("report_queue_depth").Value(); got != 0 {
+		t.Fatalf("queue depth gauge = %d, want 0 after exhaustion", got)
+	}
+}

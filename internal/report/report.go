@@ -20,6 +20,8 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+
+	"bombdroid/internal/obs"
 )
 
 // Event is one detection report emitted by a device when a bomb's
@@ -155,7 +157,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a snapshot of pipeline counters.
+// Stats is a snapshot of pipeline counters. Since the obs rework the
+// struct is a thin read of the pipeline's private metrics registry —
+// the counters themselves live in obs and are what campaigns merge.
 type Stats struct {
 	Submitted    int64 // Submit calls
 	Accepted     int64 // events that entered the queue
@@ -168,6 +172,34 @@ type Stats struct {
 	BreakerTrips int64 // closed→open transitions
 }
 
+// Circuit-breaker states. The gauge report_breaker_state carries the
+// numeric value; the transition log and labels carry the names.
+const (
+	breakerClosed int64 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+var breakerNames = map[int64]string{
+	breakerClosed:   "closed",
+	breakerOpen:     "open",
+	breakerHalfOpen: "half-open",
+}
+
+// BreakerTransition is one state change of the circuit breaker, in
+// virtual time. The pipeline keeps a bounded in-order log of these so
+// tests (and operators) can assert the exact closed→open→half-open
+// sequence a fault schedule produced.
+type BreakerTransition struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	AtMs int64  `json:"at_ms"`
+}
+
+// breakerLogCap bounds the transition log; a chaos campaign with a
+// flapping sink should not grow memory without bound.
+const breakerLogCap = 4096
+
 // entry is one queued event with its retry state.
 type entry struct {
 	ev       Event
@@ -177,6 +209,12 @@ type entry struct {
 }
 
 // Pipeline is the resilient ingestion queue in front of a Sink.
+//
+// Every pipeline owns a private obs registry so its counters stay
+// per-instance (Stats() would otherwise read sums across pipelines);
+// callers that want campaign- or process-wide totals merge with
+// p.Obs().MergeInto(shared) — counter/histogram merges are
+// commutative, so totals are independent of pipeline finish order.
 type Pipeline struct {
 	mu   sync.Mutex
 	cfg  Config
@@ -186,24 +224,81 @@ type Pipeline struct {
 	seen  map[string]bool
 	queue []*entry
 	dead  []DeadLetter
-	stats Stats
 	seq   int64
 
 	// circuit breaker state
 	consecFails int
-	open        bool
+	brState     int64
 	reopenMs    int64 // when open: earliest half-open probe time
+	transitions []BreakerTransition
+
+	// metrics, pre-resolved once in New so the per-event path does no
+	// registry lookups
+	reg        *obs.Registry
+	cSubmitted *obs.Counter
+	cAccepted  *obs.Counter
+	cDupes     *obs.Counter
+	cDelivered *obs.Counter
+	cAttempts  *obs.Counter
+	cRetries   *obs.Counter
+	cDead      *obs.Counter
+	cOverflow  *obs.Counter
+	cTrips     *obs.Counter
+	cBackoffMs *obs.Counter
+	gQueue     *obs.Gauge
+	gDeadDepth *obs.Gauge
+	gBreaker   *obs.Gauge
 }
 
 // New builds a pipeline in front of sink.
 func New(sink Sink, cfg Config) *Pipeline {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	return &Pipeline{
 		cfg:  cfg,
 		sink: sink,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		seen: make(map[string]bool),
+
+		reg:        reg,
+		cSubmitted: reg.Counter("report_submitted_total"),
+		cAccepted:  reg.Counter("report_accepted_total"),
+		cDupes:     reg.Counter("report_duplicates_total"),
+		cDelivered: reg.Counter("report_delivered_total"),
+		cAttempts:  reg.Counter("report_attempts_total"),
+		cRetries:   reg.Counter("report_retries_total"),
+		cDead:      reg.Counter("report_dead_letter_total"),
+		cOverflow:  reg.Counter("report_overflow_total"),
+		cTrips:     reg.Counter("report_breaker_trips_total"),
+		cBackoffMs: reg.Counter("report_backoff_ms_total"),
+		gQueue:     reg.Gauge("report_queue_depth"),
+		gDeadDepth: reg.Gauge("report_dead_letter_depth"),
+		gBreaker:   reg.Gauge("report_breaker_state"),
 	}
+}
+
+// Obs returns the pipeline's private metrics registry. Merge it into
+// a shared registry for cross-pipeline totals; reading it directly is
+// always per-instance.
+func (p *Pipeline) Obs() *obs.Registry { return p.reg }
+
+// setBreakerLocked moves the breaker state machine, recording the
+// transition in the log, the state gauge, and a labeled counter that
+// survives registry merges.
+func (p *Pipeline) setBreakerLocked(to int64, nowMs int64) {
+	if p.brState == to {
+		return
+	}
+	from := p.brState
+	p.brState = to
+	p.gBreaker.Set(to)
+	if len(p.transitions) < breakerLogCap {
+		p.transitions = append(p.transitions, BreakerTransition{
+			From: breakerNames[from], To: breakerNames[to], AtMs: nowMs,
+		})
+	}
+	p.reg.Counter(obs.L("report_breaker_transitions_total",
+		"from", breakerNames[from], "to", breakerNames[to])).Inc()
 }
 
 // Submit offers one detection event to the pipeline at virtual time
@@ -214,20 +309,21 @@ func New(sink Sink, cfg Config) *Pipeline {
 func (p *Pipeline) Submit(ev Event, nowMs int64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.Submitted++
+	p.cSubmitted.Inc()
 	if p.seen[ev.Key()] {
-		p.stats.Duplicates++
+		p.cDupes.Inc()
 		return false
 	}
 	if len(p.queue) >= p.cfg.QueueCap {
-		p.stats.Overflow++
+		p.cOverflow.Inc()
 		p.deadLetterLocked(ev, "queue overflow", nowMs)
 		return false
 	}
 	p.seen[ev.Key()] = true
-	p.stats.Accepted++
+	p.cAccepted.Inc()
 	p.seq++
 	p.queue = append(p.queue, &entry{ev: ev, dueMs: nowMs, seq: p.seq})
+	p.gQueue.Set(int64(len(p.queue)))
 	return true
 }
 
@@ -243,7 +339,7 @@ func (p *Pipeline) Tick(nowMs int64) int {
 		if e == nil {
 			break
 		}
-		if p.open {
+		if p.brState == breakerOpen {
 			if nowMs < p.reopenMs {
 				// Fast-fail window: hold the entry without burning an
 				// attempt; it becomes due again at the probe time.
@@ -251,40 +347,44 @@ func (p *Pipeline) Tick(nowMs int64) int {
 				p.pushLocked(e)
 				continue
 			}
-			// Half-open: this entry is the probe; fall through.
+			// This entry is the half-open probe.
+			p.setBreakerLocked(breakerHalfOpen, nowMs)
 		}
-		p.stats.Attempts++
+		p.cAttempts.Inc()
 		err := p.deliverLocked(e.ev, nowMs)
 		if err == nil {
 			delivered++
-			p.stats.Delivered++
+			p.cDelivered.Inc()
 			p.consecFails = 0
-			p.open = false
+			p.setBreakerLocked(breakerClosed, nowMs)
 			continue
 		}
 		p.consecFails++
 		e.attempts++
-		if p.open || p.consecFails >= p.cfg.BreakerThreshold {
-			// Trip (or re-trip after a failed half-open probe).
-			if !p.open {
-				p.stats.BreakerTrips++
+		if p.brState == breakerHalfOpen || p.consecFails >= p.cfg.BreakerThreshold {
+			// Trip (or re-trip after a failed half-open probe). Only
+			// closed→open counts as a trip, matching the pre-obs stats.
+			if p.brState == breakerClosed {
+				p.cTrips.Inc()
 			}
-			p.open = true
+			p.setBreakerLocked(breakerOpen, nowMs)
 			p.reopenMs = nowMs + p.cfg.BreakerCooldownMs
 		}
 		if e.attempts >= p.cfg.MaxAttempts {
-			p.stats.DeadLettered++
-			p.dead = append(p.dead, DeadLetter{Event: e.ev, Reason: "max attempts", AtMs: nowMs})
+			p.deadLetterLocked(e.ev, "max attempts", nowMs)
 			continue
 		}
-		p.stats.Retries++
-		e.dueMs = nowMs + p.backoffLocked(e.attempts)
+		p.cRetries.Inc()
+		d := p.backoffLocked(e.attempts)
+		p.cBackoffMs.Add(d)
+		e.dueMs = nowMs + d
 		p.pushLocked(e)
-		if p.open {
+		if p.brState == breakerOpen {
 			// Nothing else will get through until the probe window.
 			break
 		}
 	}
+	p.gQueue.Set(int64(len(p.queue)))
 	return delivered
 }
 
@@ -319,8 +419,9 @@ func (p *Pipeline) popDueLocked(nowMs int64) *entry {
 func (p *Pipeline) pushLocked(e *entry) { p.queue = append(p.queue, e) }
 
 func (p *Pipeline) deadLetterLocked(ev Event, reason string, nowMs int64) {
-	p.stats.DeadLettered++
+	p.cDead.Inc()
 	p.dead = append(p.dead, DeadLetter{Event: ev, Reason: reason, AtMs: nowMs})
+	p.gDeadDepth.Set(int64(len(p.dead)))
 }
 
 // backoffLocked computes the delay before attempt n+1: exponential in
@@ -369,6 +470,8 @@ func (p *Pipeline) Pending() int {
 // time reached. Entries still pending at the deadline are
 // dead-lettered so the ledger accounts for every accepted event.
 func (p *Pipeline) Flush(nowMs, deadlineMs int64) int64 {
+	sp := p.reg.StartSpan("report", nowMs)
+	defer func() { sp.End(nowMs) }()
 	for {
 		p.Tick(nowMs)
 		due := p.NextDueMs()
@@ -389,14 +492,25 @@ func (p *Pipeline) Flush(nowMs, deadlineMs int64) int64 {
 		p.deadLetterLocked(e.ev, "flush deadline", deadlineMs)
 	}
 	p.queue = nil
+	p.gQueue.Set(0)
+	nowMs = deadlineMs
 	return deadlineMs
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters — a thin read of the
+// pipeline's obs registry, kept for existing callers.
 func (p *Pipeline) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Submitted:    p.cSubmitted.Value(),
+		Accepted:     p.cAccepted.Value(),
+		Duplicates:   p.cDupes.Value(),
+		Delivered:    p.cDelivered.Value(),
+		Attempts:     p.cAttempts.Value(),
+		Retries:      p.cRetries.Value(),
+		DeadLettered: p.cDead.Value(),
+		Overflow:     p.cOverflow.Value(),
+		BreakerTrips: p.cTrips.Value(),
+	}
 }
 
 // DeadLetters returns a copy of the ledger.
@@ -406,9 +520,27 @@ func (p *Pipeline) DeadLetters() []DeadLetter {
 	return append([]DeadLetter(nil), p.dead...)
 }
 
-// BreakerOpen reports whether the circuit breaker is currently open.
+// BreakerOpen reports whether the circuit breaker is currently open
+// (fast-fail window; a pending half-open probe still counts as open
+// to callers, as before the explicit state machine).
 func (p *Pipeline) BreakerOpen() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.open
+	return p.brState != breakerClosed
+}
+
+// BreakerState returns the breaker state name: "closed", "open" or
+// "half-open".
+func (p *Pipeline) BreakerState() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return breakerNames[p.brState]
+}
+
+// BreakerTransitions returns a copy of the breaker's state-transition
+// log in virtual-time order (bounded at breakerLogCap entries).
+func (p *Pipeline) BreakerTransitions() []BreakerTransition {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]BreakerTransition(nil), p.transitions...)
 }

@@ -7,6 +7,7 @@ import (
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
 	"bombdroid/internal/chaos"
+	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 	"bombdroid/internal/vm"
 )
@@ -24,6 +25,10 @@ type ChaosOptions struct {
 	// Pipeline overrides the report pipeline configuration (zero value
 	// = defaults).
 	Pipeline report.Config
+	// Obs, when set, receives the campaign's metrics: the campaign runs
+	// against a private registry (so per-campaign numbers stay exact)
+	// which is merged into Obs at the end.
+	Obs *obs.Registry
 }
 
 // ChaosCampaignResult aggregates a campaign run under fault
@@ -44,6 +49,14 @@ type ChaosCampaignResult struct {
 	SinkUnique     int // distinct detections the market actually received
 	SinkMaxPerKey  int // 1 on an exactly-once run
 	DeadLetters    int
+	// Obs is the campaign's metrics registry (session counters, VM
+	// opcode profile, fault-injection tallies, merged pipeline
+	// counters). The int fields above are thin reads of it, kept for
+	// existing callers.
+	Obs *obs.Registry
+	// Breaker is the pipeline's breaker state-transition log in
+	// virtual-time order.
+	Breaker []report.BreakerTransition
 }
 
 // ExactlyOnce reports whether every unique submitted detection
@@ -78,9 +91,18 @@ func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosC
 	}
 	pipe := report.New(&chaos.FlakySink{Inner: sink, Inj: inj, Outages: opts.SinkOutages}, cfg)
 
+	// The campaign tallies live in a private registry (the ad-hoc
+	// counter fields this struct used to carry are now thin reads of
+	// it); opts.Obs receives a merge at the end.
+	reg := obs.NewRegistry()
+	cVMFaults := reg.Counter("chaos_vm_faults_total")
+	cPanics := reg.Counter("chaos_panics_total")
+	cRejects := reg.Counter("chaos_install_rejects_total")
+
 	out := ChaosCampaignResult{
 		CampaignResult: CampaignResult{Sessions: opts.Sessions, MinMs: 1 << 62},
 		Profile:        opts.Profile.Name,
+		Obs:            reg,
 	}
 	submitted := make(map[string]bool)
 	var sum int64
@@ -92,15 +114,15 @@ func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosC
 		dev := android.SamplePopulation(user, chaosRng(seed))
 
 		sr, vmFaults, outcome := runChaosSession(pkg, surf, dev, inj, SessionOptions{
-			CapMs: opts.CapMs, Seed: seed, StartClockMs: -1,
+			CapMs: opts.CapMs, Seed: seed, StartClockMs: -1, Obs: reg,
 		})
-		out.VMFaults += vmFaults
+		cVMFaults.Add(int64(vmFaults))
 		switch outcome {
 		case sessionPanicked:
-			out.Panics++
+			cPanics.Inc()
 			continue
 		case sessionRejected:
-			out.InstallRejects++
+			cRejects.Inc()
 			continue
 		}
 
@@ -160,6 +182,12 @@ func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosC
 		out.MinMs = 0
 	}
 	out.Faults = inj.Counts()
+	for kind, n := range out.Faults {
+		reg.Counter(obs.L("chaos_fault_injections_total", "kind", kind)).Add(int64(n))
+	}
+	out.VMFaults = int(cVMFaults.Value())
+	out.Panics = int(cPanics.Value())
+	out.InstallRejects = int(cRejects.Value())
 	out.Pipeline = pipe.Stats()
 	if out.Pipeline.BreakerTrips > 0 {
 		out.BreakerTripped = true
@@ -168,6 +196,11 @@ func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosC
 	out.SinkUnique = sink.UniqueKeys()
 	out.SinkMaxPerKey = sink.MaxPerKey()
 	out.DeadLetters = len(pipe.DeadLetters())
+	out.Breaker = pipe.BreakerTransitions()
+	pipe.Obs().MergeInto(reg)
+	if opts.Obs != nil {
+		reg.MergeInto(opts.Obs)
+	}
 	return out, nil
 }
 
@@ -196,7 +229,7 @@ func runChaosSession(pkg *apk.Package, surf Surface, dev *android.Device, inj *c
 	opts = opts.withDefaults()
 
 	img := pkg
-	vmOpts := vm.Options{Seed: opts.Seed, FailClosed: true, BlobFault: inj.BlobFault()}
+	vmOpts := vm.Options{Seed: opts.Seed, FailClosed: true, BlobFault: inj.BlobFault(), Obs: opts.Obs}
 	var v *vm.VM
 	var err error
 	if mut, hit := inj.CorruptDex(pkg.Dex); hit {

@@ -143,6 +143,96 @@ func TestChaosCampaignDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosBreakerTransitionsAndGauges runs the Harsh-with-outage
+// grid cell and checks the obs view of the pipeline: the breaker's
+// state-transition log replays exactly under virtual time, every
+// transition is a legal edge of the state machine, and the
+// dead-letter depth gauge tracks the ledger.
+func TestChaosBreakerTransitionsAndGauges(t *testing.T) {
+	pirated, surf := chaosPrepared(t, 307)
+	capMs := int64(20 * 60_000)
+	opts := ChaosOptions{
+		Sessions: 10,
+		CapMs:    capMs,
+		Seed:     13,
+		Profile:  chaos.Overlay(chaos.Harsh, chaos.Profile{Name: "outage"}),
+		// Outage long enough to trip and re-trip; breaker threshold
+		// lowered so sparse detection events still reach it (the same
+		// shaping exp.ChaosResilience uses).
+		SinkOutages: [][2]int64{{0, int64(10) * capMs / 4}},
+		Pipeline: report.Config{
+			MaxAttempts: 200, MaxBackoffMs: 5 * 60_000,
+			BreakerThreshold: 3,
+		},
+	}
+	run := func() ChaosCampaignResult {
+		cr, err := RunChaosCampaign(pirated, surf, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	a, b := run(), run()
+
+	if len(a.Breaker) == 0 {
+		t.Fatal("outage campaign produced no breaker transitions")
+	}
+	// Virtual time makes the transition sequence replayable exactly.
+	if len(a.Breaker) != len(b.Breaker) {
+		t.Fatalf("transition logs differ in length: %d vs %d", len(a.Breaker), len(b.Breaker))
+	}
+	for i := range a.Breaker {
+		if a.Breaker[i] != b.Breaker[i] {
+			t.Fatalf("transition %d differs: %+v vs %+v", i, a.Breaker[i], b.Breaker[i])
+		}
+	}
+	// Every transition is a legal edge, chained from "closed".
+	legal := map[string]map[string]bool{
+		"closed":    {"open": true},
+		"open":      {"half-open": true},
+		"half-open": {"open": true, "closed": true},
+	}
+	state := "closed"
+	lastMs := int64(-1)
+	for i, tr := range a.Breaker {
+		if tr.From != state {
+			t.Fatalf("transition %d: from %q, machine was in %q", i, tr.From, state)
+		}
+		if !legal[tr.From][tr.To] {
+			t.Fatalf("transition %d: illegal edge %s→%s", i, tr.From, tr.To)
+		}
+		if tr.AtMs < lastMs {
+			t.Fatalf("transition %d: time went backwards (%d after %d)", i, tr.AtMs, lastMs)
+		}
+		state, lastMs = tr.To, tr.AtMs
+	}
+	if state != "closed" {
+		t.Errorf("breaker ended %q; the flushed pipeline should have recovered", state)
+	}
+	trips := 0
+	for _, tr := range a.Breaker {
+		if tr.From == "closed" && tr.To == "open" {
+			trips++
+		}
+	}
+	if int64(trips) != a.Pipeline.BreakerTrips {
+		t.Errorf("log has %d closed→open edges, BreakerTrips counter says %d",
+			trips, a.Pipeline.BreakerTrips)
+	}
+
+	// The merged campaign registry carries the pipeline gauges: dead
+	// letter depth equals the ledger, queue fully drained.
+	if got, want := a.Obs.Gauge("report_dead_letter_depth").Value(), int64(a.DeadLetters); got != want {
+		t.Errorf("dead-letter depth gauge = %d, ledger has %d", got, want)
+	}
+	if got := a.Obs.Gauge("report_queue_depth").Value(); got != 0 {
+		t.Errorf("queue depth gauge = %d after flush, want 0", got)
+	}
+	if a.Obs.Counter("report_backoff_ms_total").Value() == 0 {
+		t.Error("outage produced no accumulated backoff")
+	}
+}
+
 // TestChaosCampaignCleanProfileMatchesNormal: under the zero profile
 // the chaos path reduces to an ordinary campaign — no faults, no
 // rejects, and detections still flow.

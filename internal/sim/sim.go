@@ -12,11 +12,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
 	"bombdroid/internal/appgen"
 	"bombdroid/internal/dex"
+	"bombdroid/internal/obs"
 	"bombdroid/internal/vm"
 )
 
@@ -46,6 +48,13 @@ type SessionOptions struct {
 	// StartClockMs positions the session's wall clock; users play at
 	// all hours (negative = randomize from seed).
 	StartClockMs int64
+	// Obs, when set, receives session metrics (trigger-latency
+	// histogram, session/report counters, session→detonate spans) and
+	// is threaded into the VM for opcode/dispatch profiles. Sessions
+	// only add to counters and observe histograms — commutative ops —
+	// so a registry shared across parallel sessions stays
+	// deterministic. Nil = no instrumentation, no overhead.
+	Obs *obs.Registry
 }
 
 // SessionResult is one user's session outcome.
@@ -64,7 +73,7 @@ type SessionResult struct {
 // the first bomb triggers or the cap expires.
 func RunUserSession(pkg *apk.Package, surf Surface, dev *android.Device, opts SessionOptions) (SessionResult, error) {
 	opts = opts.withDefaults()
-	v, err := vm.New(pkg, dev, vm.Options{Seed: opts.Seed})
+	v, err := vm.New(pkg, dev, vm.Options{Seed: opts.Seed, Obs: opts.Obs})
 	if err != nil {
 		return SessionResult{}, fmt.Errorf("sim: install: %w", err)
 	}
@@ -143,7 +152,37 @@ func driveSession(v *vm.VM, surf Surface, opts SessionOptions) (SessionResult, e
 	}
 	res.Responses = v.Responses()
 	res.OuterSatisfied = len(v.OuterTriggered())
+	recordSession(opts.Obs, v, res, start)
 	return res, nil
+}
+
+// recordSession publishes one completed session into reg: campaign
+// counters, the trigger-latency histogram behind Table 3, a
+// session→detonate span pair on the virtual clock, and the VM's
+// buffered opcode counts. All writes are commutative, so a registry
+// shared by parallel workers aggregates deterministically.
+func recordSession(reg *obs.Registry, v *vm.VM, res SessionResult, startMs int64) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("sim_sessions_total").Inc()
+	reg.Counter("sim_events_total").Add(int64(res.EventsPlayed))
+	sp := reg.StartSpan("session", startMs)
+	if res.Triggered {
+		reg.Counter("sim_sessions_triggered_total").Inc()
+		reg.Histogram("sim_trigger_latency_ms", obs.LatencyBucketsMs).Observe(res.TimeToFirstMs)
+		sp.Child("detonate", startMs).End(startMs + res.TimeToFirstMs)
+	}
+	for _, r := range res.Responses {
+		if r.Kind == vm.RespReport {
+			reg.Counter("sim_reports_total").Inc()
+		}
+	}
+	if res.AbnormalExit || len(res.Responses) > 0 {
+		reg.Counter("sim_complaints_total").Inc()
+	}
+	sp.End(v.NowMillis())
+	v.FlushObs()
 }
 
 func pickActive(rng *rand.Rand, surf Surface, v *vm.VM) string {
@@ -219,6 +258,17 @@ func RunCampaign(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64)
 //     package, sharing nothing mutable with its siblings;
 //   - results aggregate by session index, never by completion order.
 func RunCampaignWorkers(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int) (CampaignResult, error) {
+	return RunCampaignObs(pkg, surf, n, capMs, seed, workers, nil)
+}
+
+// RunCampaignObs is RunCampaignWorkers with a metrics registry
+// attached. Deterministic metrics (session counters, trigger-latency
+// histogram, VM opcode profile) land in reg via commutative updates,
+// so SnapshotDeterministic is byte-identical at any worker count;
+// wall-clock throughput lands in Volatile metrics excluded from that
+// snapshot. A nil reg turns all instrumentation off.
+func RunCampaignObs(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int, reg *obs.Registry) (CampaignResult, error) {
+	wallStart := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	devs := make([]*android.Device, n)
 	for i := range devs {
@@ -228,7 +278,7 @@ func RunCampaignWorkers(pkg *apk.Package, surf Surface, n int, capMs int64, seed
 	errs := make([]error, n)
 	run := func(i int) {
 		srs[i], errs[i] = RunUserSession(pkg, surf, devs[i], SessionOptions{
-			CapMs: capMs, Seed: seed + int64(i)*101, StartClockMs: -1,
+			CapMs: capMs, Seed: seed + int64(i)*101, StartClockMs: -1, Obs: reg,
 		})
 	}
 	if workers <= 0 {
@@ -290,6 +340,16 @@ func RunCampaignWorkers(pkg *apk.Package, surf Surface, n int, capMs int64, seed
 	}
 	if out.Successes > 0 {
 		out.AvgMs = sum / int64(out.Successes)
+	}
+	if reg != nil {
+		// Wall-clock throughput is scheduler-dependent by nature, so it
+		// is Volatile: visible in operator snapshots, excluded from the
+		// deterministic one.
+		wallMs := time.Since(wallStart).Milliseconds()
+		reg.Counter("sim_campaign_wall_ms_total", obs.Volatile()).Add(wallMs)
+		if wallMs > 0 {
+			reg.Gauge("sim_sessions_per_sec", obs.Volatile()).Set(int64(n) * 1000 / wallMs)
+		}
 	}
 	return out.normalize(), nil
 }

@@ -26,7 +26,15 @@ func (v *VM) Invoke(full string, args ...dex.Value) (res dex.Value, err error) {
 		}
 	}()
 	v.steps = 0
-	return v.call(v.app, "", m, args, 0)
+	res, err = v.call(v.app, "", m, args, 0)
+	if v.obsInvokes != nil {
+		// Dispatch-time profile in virtual ticks: one observation per
+		// top-level Invoke, so the per-instruction path stays free of
+		// atomics.
+		v.obsInvokes.Inc()
+		v.obsInvokeSteps.Observe(v.steps)
+	}
+	return res, err
 }
 
 // maxFrameRegs bounds a single frame's register file — far above
@@ -81,6 +89,9 @@ func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, de
 			return dex.Nil(), ErrBudget
 		}
 		in := code[pc]
+		if v.obsOps != nil {
+			v.obsOps[in.Op]++
+		}
 		if v.trace != nil {
 			v.recordTrace(m.FullName(), pc, in.Op, inPayload)
 		}

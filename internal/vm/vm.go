@@ -16,6 +16,7 @@ import (
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
 	"bombdroid/internal/dex"
+	"bombdroid/internal/obs"
 )
 
 // TicksPerMilli converts virtual-clock ticks to milliseconds. One
@@ -156,6 +157,16 @@ type Options struct {
 	// at install time only; later flash corruption is the app's
 	// problem).
 	BlobFault func(blob int64, sealed []byte) []byte
+	// Obs, when set, collects VM execution metrics into the registry:
+	// per-opcode execution counts (vm_op_total{op=...}), a per-Invoke
+	// dispatch-step histogram (vm_invoke_steps, virtual ticks), and
+	// response/fault counters. Opcode counts accumulate in a plain
+	// per-VM array on the hot path and publish only on FlushObs, so
+	// the instrumented interpreter loop stays allocation- and
+	// atomic-free; with Obs nil the loop pays a single predictable
+	// branch. All quantities are virtual-time, so campaign metrics are
+	// deterministic at any worker count.
+	Obs *obs.Registry
 }
 
 // FaultEvent is one fail-closed degradation the VM absorbed.
@@ -216,6 +227,16 @@ type VM struct {
 	trace     []TraceEntry // ring buffer when TraceDepth > 0
 	traceNext int
 	traceFull bool
+
+	// Metrics plumbing (nil unless Options.Obs was set). obsOps is the
+	// hot-path accumulator — a plain array indexed by opcode, flushed
+	// to the pre-resolved registry counters in obsOpCtrs by FlushObs.
+	obsOps         []int64
+	obsOpCtrs      []*obs.Counter
+	obsInvokes     *obs.Counter
+	obsInvokeSteps *obs.Histogram
+	obsResponses   []*obs.Counter // indexed by ResponseKind
+	obsFaults      *obs.Counter
 }
 
 type payloadUnit struct {
@@ -267,9 +288,39 @@ func NewUnverified(p *apk.Package, dev *android.Device, opts Options) (*VM, erro
 	if opts.TraceDepth > 0 {
 		v.trace = make([]TraceEntry, opts.TraceDepth)
 	}
+	if opts.Obs != nil {
+		v.obsOps = make([]int64, dex.NumOps)
+		v.obsOpCtrs = make([]*obs.Counter, dex.NumOps)
+		for op := 0; op < dex.NumOps; op++ {
+			v.obsOpCtrs[op] = opts.Obs.Counter(obs.L("vm_op_total", "op", dex.Op(op).String()))
+		}
+		v.obsInvokes = opts.Obs.Counter("vm_invokes_total")
+		v.obsInvokeSteps = opts.Obs.Histogram("vm_invoke_steps", obs.TickBuckets)
+		v.obsResponses = make([]*obs.Counter, RespReport+1)
+		for k := RespCrash; k <= RespReport; k++ {
+			v.obsResponses[k] = opts.Obs.Counter(obs.L("vm_responses_total", "kind", k.String()))
+		}
+		v.obsFaults = opts.Obs.Counter("vm_faults_total")
+	}
 	v.app.buildResolved(v.app)
 	v.initStatics(file)
 	return v, nil
+}
+
+// FlushObs publishes the VM's locally accumulated opcode counts to
+// the Options.Obs registry and clears the accumulator. Drivers call
+// it at session end; it is a no-op without Obs. Counter adds commute,
+// so flush order across parallel sessions cannot change final totals.
+func (v *VM) FlushObs() {
+	if v.obsOps == nil {
+		return
+	}
+	for op, n := range v.obsOps {
+		if n != 0 {
+			v.obsOpCtrs[op].Add(n)
+			v.obsOps[op] = 0
+		}
+	}
 }
 
 // maxFreeFrames bounds the register free-list; deeper recursion just
@@ -437,6 +488,9 @@ func (v *VM) Faults() []FaultEvent {
 
 // recordFault appends to the fault ledger.
 func (v *VM) recordFault(blob int64, bomb, kind string, err error) {
+	if v.obsFaults != nil {
+		v.obsFaults.Inc()
+	}
 	v.faults = append(v.faults, FaultEvent{
 		TimeMillis: v.NowMillis(), Blob: blob, Bomb: bomb, Kind: kind, Err: err.Error(),
 	})
@@ -488,6 +542,9 @@ func (v *VM) PendingDelayed() int { return len(v.delayed) }
 
 // fireResponse records a response and applies its effect.
 func (v *VM) fireResponse(kind ResponseKind, bombID, info string) error {
+	if v.obsResponses != nil && int(kind) < len(v.obsResponses) {
+		v.obsResponses[kind].Inc()
+	}
 	v.responses = append(v.responses, ResponseEvent{
 		TimeMillis: v.NowMillis(), BombID: bombID, Kind: kind, Info: info,
 	})

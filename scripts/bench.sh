@@ -1,10 +1,15 @@
 #!/bin/sh
-# Runs the PR's perf benchmarks and writes BENCH_PR2.json.
+# Runs the PR's perf benchmarks and writes BENCH_PR3.json.
 #
 #   scripts/bench.sh [benchtime]
 #
-# Covers the parallel campaign path (Table3 at workers=1 vs workers=8,
-# warm Prepare cache) and the VM dispatch hot path (BenchmarkInvoke).
+# Stable schema: BENCH_PR3.json repeats every BENCH_PR2.json key
+# (parallel campaign path at workers=1 vs 8, VM dispatch hot path)
+# and adds the obs layer's overhead record: invoke_obs_ns_op plus
+# obs_overhead_pct, the relative cost of running BenchmarkInvoke with
+# per-opcode counting and the per-invoke histogram attached. The
+# acceptance bar is ≤5%; the obs-off path must stay within noise of
+# the PR2 baseline because it is a single nil check per instruction.
 # Speedup is reported honestly for whatever machine this runs on —
 # on a single-core box workers=8 can only match workers=1, never beat
 # it, which is why the core count is part of the record.
@@ -12,12 +17,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_PR2.json
+OUT=BENCH_PR3.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkTable3FirstTrigger|BenchmarkInvoke$' \
+	-bench 'BenchmarkTable3FirstTrigger|BenchmarkInvoke$|BenchmarkInvokeObs$' \
 	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 awk -v cores="$(nproc 2>/dev/null || echo 1)" '
@@ -28,10 +33,11 @@ function metric(name,    i) {
 }
 /BenchmarkTable3FirstTrigger\/workers=1/  { w1 = metric("ns\\/op"); w1a = metric("allocs\\/op") }
 /BenchmarkTable3FirstTrigger\/workers=8/  { w8 = metric("ns\\/op"); w8a = metric("allocs\\/op") }
+/^BenchmarkInvokeObs/ { obs = metric("ns\\/op"); obsa = metric("allocs\\/op"); next }
 /^BenchmarkInvoke/ { inv = metric("ns\\/op"); invb = metric("B\\/op"); inva = metric("allocs\\/op") }
 END {
 	printf "{\n"
-	printf "  \"bench\": \"PR2 parallel evaluation engine\",\n"
+	printf "  \"bench\": \"PR3 unified metrics/tracing layer\",\n"
 	printf "  \"cores\": %d,\n", cores
 	printf "  \"table3_workers1_ns_op\": %s,\n", (w1 == "" ? "null" : w1)
 	printf "  \"table3_workers8_ns_op\": %s,\n", (w8 == "" ? "null" : w8)
@@ -40,7 +46,10 @@ END {
 	printf "  \"table3_workers8_allocs_op\": %s,\n", (w8a == "" ? "null" : w8a)
 	printf "  \"invoke_ns_op\": %s,\n", (inv == "" ? "null" : inv)
 	printf "  \"invoke_bytes_op\": %s,\n", (invb == "" ? "null" : invb)
-	printf "  \"invoke_allocs_op\": %s\n", (inva == "" ? "null" : inva)
+	printf "  \"invoke_allocs_op\": %s,\n", (inva == "" ? "null" : inva)
+	printf "  \"invoke_obs_ns_op\": %s,\n", (obs == "" ? "null" : obs)
+	printf "  \"invoke_obs_allocs_op\": %s,\n", (obsa == "" ? "null" : obsa)
+	printf "  \"obs_overhead_pct\": %s\n", (inv == "" || obs == "" || inv == 0 ? "null" : sprintf("%.1f", (obs - inv) * 100.0 / inv))
 	printf "}\n"
 }' "$RAW" > "$OUT"
 

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Full verification: build, vet, and race-enabled tests.
+# Full verification: build, vet, race-enabled tests (the metrics-path
+# packages run with the obs layer exercised by their own tests), and a
+# smoke run of cmd/report -metrics proving the JSON snapshot parses.
 # Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script
-# is the stricter gate the chaos-hardening work is held to.
+# is the stricter gate the chaos-hardening and obs work is held to.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,5 +15,19 @@ go vet ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> smoke: cmd/report -metrics"
+# writeMetrics round-trips the file through json.Unmarshal before the
+# command exits 0, so a successful run already proves the snapshot
+# parses; the grep pins that the layers actually reported in.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+go run ./cmd/report -table 3 -metrics "$SMOKE_DIR/metrics.json" > /dev/null
+for key in sim_sessions_total exp_pool_tasks_total sim_trigger_latency_ms vm_op_total; do
+	grep -q "$key" "$SMOKE_DIR/metrics.json" || {
+		echo "verify: metrics snapshot missing $key" >&2
+		exit 1
+	}
+done
 
 echo "verify: OK"
