@@ -11,12 +11,14 @@
 package bombdroid_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
+	"bombdroid/internal/artifact"
 	"bombdroid/internal/appgen"
 	"bombdroid/internal/attack"
 	"bombdroid/internal/chaos"
@@ -619,5 +621,67 @@ func BenchmarkReportIngestion(b *testing.B) {
 	elapsed := b.Elapsed().Seconds()
 	if elapsed > 0 {
 		b.ReportMetric(float64(b.N)*5_000/elapsed, "events/sec")
+	}
+}
+
+// --- Staged protection engine (cold vs warm cache) ---
+
+// BenchmarkEngineCold runs the full staged pipeline with no cache —
+// every stage executes — and reports per-stage wall time so the
+// pipeline's cost profile is part of the benchmark record.
+func BenchmarkEngineCold(b *testing.B) {
+	_, pkg, _ := benchApp(b)
+	prof := core.ProfileConfig{Events: 2500, Domain: 64, Seed: 7}
+	stageNs := map[core.StageName]int64{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := &core.Engine{Opts: core.Options{Seed: 5}, Prof: prof}
+		p, err := eng.Run(context.Background(), pkg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range p.Info.Stages {
+			stageNs[st.Stage] += st.WallNs
+		}
+	}
+	b.StopTimer()
+	for stage, total := range stageNs {
+		b.ReportMetric(float64(total)/float64(b.N), string(stage)+"_ns_op")
+	}
+}
+
+// BenchmarkEngineWarm re-protects the same input against a warmed
+// artifact store: profile and analysis are skipped and the run is one
+// result-cache hit plus a deep clone. The acceptance bar is a ≥5×
+// speedup over BenchmarkEngineCold.
+func BenchmarkEngineWarm(b *testing.B) {
+	_, pkg, _ := benchApp(b)
+	store := artifact.NewStore(256 << 20)
+	eng := &core.Engine{
+		Opts:  core.Options{Seed: 5},
+		Prof:  core.ProfileConfig{Events: 2500, Domain: 64, Seed: 7},
+		Cache: store,
+	}
+	if _, err := eng.Run(context.Background(), pkg); err != nil {
+		b.Fatal(err)
+	}
+	warmup := store.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := eng.Run(context.Background(), pkg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Info.CacheHits == 0 {
+			b.Fatal("warm run missed the cache")
+		}
+	}
+	b.StopTimer()
+	st := store.Stats()
+	hits, misses := st.Hits-warmup.Hits, st.Misses-warmup.Misses
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(100*float64(hits)/float64(total), "cache_hit_pct")
 	}
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,9 +15,9 @@ import (
 )
 
 // writeTestAPK builds a signed package on disk (what cmd/apkgen does).
-func writeTestAPK(t *testing.T, dir string, keySeed int64) string {
+func writeTestAPK(t *testing.T, path string, name string, appSeed, keySeed int64) string {
 	t.Helper()
-	app, err := appgen.Generate(appgen.Config{Name: "cli", Seed: 3, TargetLOC: 1200})
+	app, err := appgen.Generate(appgen.Config{Name: name, Seed: appSeed, TargetLOC: 1200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +25,7 @@ func writeTestAPK(t *testing.T, dir string, keySeed int64) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := apk.Sign(apk.Build("cli", app.File, apk.Resources{
+	pkg, err := apk.Sign(apk.Build(name, app.File, apk.Resources{
 		Strings: []string{"x"}, Author: "dev", Icon: []byte{1},
 	}), key)
 	if err != nil {
@@ -31,20 +35,28 @@ func writeTestAPK(t *testing.T, dir string, keySeed int64) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "app.apk")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	return path
 }
 
+func runCLI(t *testing.T, args ...string) error {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(context.Background(), &out, args)
+	t.Log(out.String())
+	return err
+}
+
 func TestRunProtectsOnDisk(t *testing.T) {
 	dir := t.TempDir()
-	in := writeTestAPK(t, dir, 1)
+	in := writeTestAPK(t, filepath.Join(dir, "app.apk"), "cli", 3, 1)
 	out := filepath.Join(dir, "prot.apk")
 	report := filepath.Join(dir, "bombs.txt")
 
-	if err := run(in, out, 1, 0.25, false, false, 1500, 64, report, 7); err != nil {
+	if err := runCLI(t, "-in", in, "-out", out, "-keyseed", "1",
+		"-profile-events", "1500", "-report", report, "-seed", "7"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -71,22 +83,191 @@ func TestRunProtectsOnDisk(t *testing.T) {
 	}
 }
 
-func TestRunRejectsWrongKey(t *testing.T) {
+func TestRunErrorPaths(t *testing.T) {
 	dir := t.TempDir()
-	in := writeTestAPK(t, dir, 1)
-	out := filepath.Join(dir, "prot.apk")
-	if err := run(in, out, 999, 0.25, false, false, 500, 64, "", 7); err == nil {
-		t.Fatal("mismatched key seed must fail")
+	in := writeTestAPK(t, filepath.Join(dir, "app.apk"), "cli", 3, 1)
+	out := filepath.Join(dir, "o.apk")
+
+	t.Run("missing in and out", func(t *testing.T) {
+		if err := runCLI(t); err == nil {
+			t.Fatal("no -in/-out/-batch must fail")
+		}
+	})
+	t.Run("missing input file", func(t *testing.T) {
+		if err := runCLI(t, "-in", filepath.Join(dir, "nope.apk"), "-out", out); err == nil {
+			t.Fatal("nonexistent input must fail")
+		}
+	})
+	t.Run("wrong key seed", func(t *testing.T) {
+		err := runCLI(t, "-in", in, "-out", out, "-keyseed", "999", "-profile-events", "500")
+		if err == nil || !strings.Contains(err.Error(), "does not match") {
+			t.Fatalf("mismatched key seed: err = %v", err)
+		}
+	})
+	t.Run("garbage input", func(t *testing.T) {
+		junk := filepath.Join(dir, "junk.apk")
+		if err := os.WriteFile(junk, []byte("not an apk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := runCLI(t, "-in", junk, "-out", out); err == nil {
+			t.Fatal("garbage input must fail")
+		}
+	})
+	t.Run("unwritable report path", func(t *testing.T) {
+		bad := filepath.Join(dir, "no-such-dir", "bombs.txt")
+		err := runCLI(t, "-in", in, "-out", out, "-keyseed", "1",
+			"-profile-events", "500", "-report", bad)
+		if err == nil {
+			t.Fatal("unwritable -report must fail")
+		}
+	})
+	t.Run("unknown flag", func(t *testing.T) {
+		if err := runCLI(t, "-no-such-flag"); err == nil {
+			t.Fatal("unknown flag must fail")
+		}
+	})
+	t.Run("empty batch dir", func(t *testing.T) {
+		if err := runCLI(t, "-batch", t.TempDir()); err == nil {
+			t.Fatal("batch over an empty directory must fail")
+		}
+	})
+}
+
+// TestBatchProtectsCorpus: the happy path over a small corpus with a
+// duplicate member (cache hit) and one corrupt member (isolated error
+// entry). The command exits with an error because of the corrupt app,
+// but every healthy app is protected and the manifest records all of
+// it.
+func TestBatchProtectsCorpus(t *testing.T) {
+	dir := t.TempDir()
+	writeTestAPK(t, filepath.Join(dir, "a.apk"), "appA", 3, 1)
+	writeTestAPK(t, filepath.Join(dir, "b.apk"), "appB", 4, 1)
+	// Byte-identical duplicate of a.apk: must content-address to the
+	// same artifacts and come back as a result-cache hit.
+	src, err := os.ReadFile(filepath.Join(dir, "a.apk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dup.apk"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.apk"), []byte("zzz"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+	manifest := filepath.Join(dir, "m.json")
+
+	err = runCLI(t, "-batch", dir, "-outdir", outDir, "-manifest", manifest,
+		"-keyseed", "1", "-profile-events", "800", "-workers", "2")
+	if err == nil || !strings.Contains(err.Error(), "1 of 4 apps failed") {
+		t.Fatalf("batch with a corrupt member: err = %v", err)
+	}
+
+	var m batchManifest
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if len(m.Apps) != 4 || m.Cancelled {
+		t.Fatalf("manifest: %+v", m)
+	}
+	byApp := map[string]batchEntry{}
+	for _, e := range m.Apps {
+		byApp[e.App] = e
+	}
+	for _, name := range []string{"a.apk", "b.apk", "dup.apk"} {
+		e := byApp[name]
+		if e.Status != "ok" {
+			t.Fatalf("%s: status %q (%s)", name, e.Status, e.Error)
+		}
+		data, err := os.ReadFile(e.Out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := apk.Unpack(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pkg.Verify(); err != nil {
+			t.Fatalf("%s: protected output must verify: %v", name, err)
+		}
+		if len(e.Stages) == 0 {
+			t.Errorf("%s: no stage timings in manifest", name)
+		}
+	}
+	if e := byApp["corrupt.apk"]; e.Status != "error" || e.Error == "" {
+		t.Fatalf("corrupt.apk entry: %+v", e)
+	}
+	// a.apk and dup.apk are byte-identical: whichever ran second is a
+	// pure result-cache hit, and both protected outputs match.
+	if m.Cache.Hits == 0 {
+		t.Errorf("duplicate input produced no cache hit: %+v", m.Cache)
+	}
+	aOut, err := os.ReadFile(byApp["a.apk"].Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupOut, err := os.ReadFile(byApp["dup.apk"].Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aOut, dupOut) {
+		t.Error("duplicate inputs produced different protected bytes")
 	}
 }
 
-func TestRunRejectsGarbageInput(t *testing.T) {
+// TestBatchCancellation: a cancelled context still writes a valid
+// partial manifest with every app marked cancelled.
+func TestBatchCancellation(t *testing.T) {
 	dir := t.TempDir()
-	in := filepath.Join(dir, "junk.apk")
-	if err := os.WriteFile(in, []byte("not an apk"), 0o644); err != nil {
+	writeTestAPK(t, filepath.Join(dir, "a.apk"), "appA", 3, 1)
+	writeTestAPK(t, filepath.Join(dir, "b.apk"), "appB", 4, 1)
+	manifest := filepath.Join(dir, "m.json")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := run(ctx, &out, []string{"-batch", dir, "-manifest", manifest, "-workers", "2"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var m batchManifest
+	data, err := os.ReadFile(manifest)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, filepath.Join(dir, "o.apk"), 1, 0.25, false, false, 500, 64, "", 7); err == nil {
-		t.Fatal("garbage input must fail")
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("partial manifest is not valid JSON: %v", err)
+	}
+	if !m.Cancelled || len(m.Apps) != 2 {
+		t.Fatalf("manifest: %+v", m)
+	}
+	for _, e := range m.Apps {
+		if e.Status != "cancelled" {
+			t.Errorf("%s: status %q, want cancelled", e.App, e.Status)
+		}
+	}
+}
+
+// TestSingleModeMatchesLegacyFlags: the engine-backed single mode
+// keeps the original CLI contract — same flags, verifiable output,
+// stage timings printed.
+func TestSingleModePrintsStageTimings(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestAPK(t, filepath.Join(dir, "app.apk"), "cli", 3, 1)
+	out := filepath.Join(dir, "prot.apk")
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, []string{
+		"-in", in, "-out", out, "-keyseed", "1", "-profile-events", "800",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"unpack", "profile", "analyze", "construct", "stego", "validate", "repack"} {
+		if !strings.Contains(buf.String(), stage) {
+			t.Errorf("single-mode output missing stage %q:\n%s", stage, buf.String())
+		}
 	}
 }

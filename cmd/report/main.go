@@ -24,18 +24,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"bombdroid/internal/exp"
 	"bombdroid/internal/obs"
 )
 
-// run drives the whole report generation; main is just exit-code
-// plumbing around it so tests can call run directly.
-func run(out io.Writer, args []string) (err error) {
+// run drives the whole report generation; main is just signal and
+// exit-code plumbing around it so tests can call run directly.
+// Cancelling ctx (main wires it to SIGINT/SIGTERM) stops the worker
+// pools from claiming further items and returns the context's error;
+// a -metrics snapshot of everything finished so far is still written.
+func run(ctx context.Context, out io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	scale := fs.String("scale", "quick", "workload scale: quick or full")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = serial)")
@@ -80,56 +86,56 @@ func run(out io.Writer, args []string) (err error) {
 	}
 
 	if *all || *table == 1 {
-		rows, err := exp.Table1(sc)
+		rows, err := exp.Table1Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatTable1(rows))
 	}
 	if *all || *table == 2 {
-		rows, err := exp.Table2(sc)
+		rows, err := exp.Table2Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatTable2(rows))
 	}
 	if *all || *table == 3 {
-		rows, err := exp.Table3(sc)
+		rows, err := exp.Table3Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatTable3(rows))
 	}
 	if *all || *table == 4 {
-		rows, err := exp.Table4(sc)
+		rows, err := exp.Table4Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatTable4(rows))
 	}
 	if *all || *table == 5 {
-		rows, err := exp.Table5(sc)
+		rows, err := exp.Table5Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatTable5(rows))
 	}
 	if *all || *figure == 3 {
-		series, err := exp.Figure3(sc)
+		series, err := exp.Figure3Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatFigure3(series))
 	}
 	if *all || *figure == 4 {
-		rows, err := exp.Figure4(sc)
+		rows, err := exp.Figure4Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatFigure4(rows))
 	}
 	if *all || *figure == 5 {
-		series, err := exp.Figure5(sc)
+		series, err := exp.Figure5Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -140,21 +146,21 @@ func run(out io.Writer, args []string) (err error) {
 		if *scale == "quick" {
 			hours = 2
 		}
-		rows, err := exp.FalsePositives(sc, hours)
+		rows, err := exp.FalsePositivesCtx(ctx, sc, hours)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatFPResults(rows))
 	}
 	if *all || *extra == "size" {
-		rows, avg, err := exp.CodeSize(sc)
+		rows, avg, err := exp.CodeSizeCtx(ctx, sc)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatSizeRows(rows, avg))
 	}
 	if *all || *extra == "human" {
-		rows, err := exp.HumanAnalystStudy(sc)
+		rows, err := exp.HumanAnalystStudyCtx(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -175,7 +181,7 @@ func run(out io.Writer, args []string) (err error) {
 		fmt.Fprintln(out, exp.FormatAblations(rows))
 	}
 	if *all || *extra == "chaos" {
-		rows, err := exp.ChaosResilience(sc)
+		rows, err := exp.ChaosResilienceCtx(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -203,7 +209,9 @@ func scaleFor(name string, workers int) (exp.Scale, error) {
 }
 
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
 		if err == flag.ErrHelp {
 			os.Exit(2)
 		}

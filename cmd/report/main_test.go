@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,10 +37,10 @@ func TestScaleFor(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, []string{"-scale", "huge"}); err == nil {
+	if err := run(context.Background(), &out, []string{"-scale", "huge"}); err == nil {
 		t.Fatal("run with unknown scale should fail")
 	}
-	if err := run(&out, []string{"-no-such-flag"}); err == nil {
+	if err := run(context.Background(), &out, []string{"-no-such-flag"}); err == nil {
 		t.Fatal("run with unknown flag should fail")
 	}
 }
@@ -49,13 +51,13 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // warm Prepare cache, so the cost is one prepared scale, not two.
 func TestRunTable2WorkersIdentical(t *testing.T) {
 	var serial, parallel bytes.Buffer
-	if err := run(&serial, []string{"-table", "2", "-workers", "1"}); err != nil {
+	if err := run(context.Background(), &serial, []string{"-table", "2", "-workers", "1"}); err != nil {
 		t.Fatalf("run -workers 1: %v", err)
 	}
 	if !strings.Contains(serial.String(), "Table 2") {
 		t.Fatalf("output missing Table 2 header:\n%s", serial.String())
 	}
-	if err := run(&parallel, []string{"-table", "2", "-workers", "8"}); err != nil {
+	if err := run(context.Background(), &parallel, []string{"-table", "2", "-workers", "8"}); err != nil {
 		t.Fatalf("run -workers 8: %v", err)
 	}
 	if serial.String() != parallel.String() {
@@ -71,7 +73,7 @@ func TestRunTable2WorkersIdentical(t *testing.T) {
 func TestRunMetricsSnapshot(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "metrics.json")
 	var out bytes.Buffer
-	if err := run(&out, []string{"-table", "3", "-metrics", path}); err != nil {
+	if err := run(context.Background(), &out, []string{"-table", "3", "-metrics", path}); err != nil {
 		t.Fatalf("run -metrics: %v", err)
 	}
 	b, err := os.ReadFile(path)
@@ -156,10 +158,21 @@ func TestServeDebugEndpoints(t *testing.T) {
 // reports the bound address, and completes.
 func TestRunDebugAddr(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, []string{"-table", "2", "-debug-addr", "127.0.0.1:0"}); err != nil {
+	if err := run(context.Background(), &out, []string{"-table", "2", "-debug-addr", "127.0.0.1:0"}); err != nil {
 		t.Fatalf("run -debug-addr: %v", err)
 	}
 	if !strings.Contains(out.String(), "debug endpoint listening on 127.0.0.1:") {
 		t.Fatalf("missing bound-address line:\n%s", out.String())
+	}
+}
+
+// TestRunCancelled: a cancelled context aborts report generation with
+// the context's error instead of producing output.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if err := run(ctx, &out, []string{"-table", "3"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("run under cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }

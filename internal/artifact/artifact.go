@@ -1,0 +1,314 @@
+// Package artifact is a content-addressed artifact store for the
+// staged protection engine. Stage outputs (profiling runs, analysis
+// results, whole protected builds) are cached under a SHA-256 key of
+// their inputs' canonical encodings plus an options fingerprint, so
+// re-protecting an unchanged app — or re-running with only a
+// late-stage option changed — skips the expensive early stages
+// entirely.
+//
+// The store is an in-memory LRU with a total size bound, safe for
+// concurrent use, with per-key singleflight semantics: concurrent
+// builders of the same cold key run the build function once and share
+// its result, the way exp.Prepare deduplicates pipeline runs across
+// parallel tables. Errors are never cached — a failed build leaves
+// the key cold so a later caller can retry.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is the hex SHA-256 content address of an artifact.
+type Key string
+
+// Fingerprint accumulates canonical field encodings into a Key. Every
+// field is length-prefixed, so adjacent fields can never alias
+// ("ab"+"c" vs "a"+"bc") and key derivations stay injective over
+// their inputs.
+type Fingerprint struct {
+	h [32]byte // running state: chained SHA-256 of the fields so far
+}
+
+// NewFingerprint starts a fingerprint in the given domain. Distinct
+// domains ("profile/v1", "protect/v1") can never collide even over
+// identical field sequences.
+func NewFingerprint(domain string) *Fingerprint {
+	f := &Fingerprint{}
+	f.Str(domain)
+	return f
+}
+
+func (f *Fingerprint) mix(tag byte, b []byte) *Fingerprint {
+	h := sha256.New()
+	h.Write(f.h[:])
+	var hdr [9]byte
+	hdr[0] = tag
+	binary.BigEndian.PutUint64(hdr[1:], uint64(len(b)))
+	h.Write(hdr[:])
+	h.Write(b)
+	h.Sum(f.h[:0])
+	return f
+}
+
+// Bytes mixes a raw byte field.
+func (f *Fingerprint) Bytes(b []byte) *Fingerprint { return f.mix('b', b) }
+
+// Str mixes a string field.
+func (f *Fingerprint) Str(s string) *Fingerprint { return f.mix('s', []byte(s)) }
+
+// Strs mixes a string-slice field, preserving order and length.
+func (f *Fingerprint) Strs(ss []string) *Fingerprint {
+	f.Int(int64(len(ss)))
+	for _, s := range ss {
+		f.Str(s)
+	}
+	return f
+}
+
+// Int mixes an integer field.
+func (f *Fingerprint) Int(v int64) *Fingerprint {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return f.mix('i', b[:])
+}
+
+// F64 mixes a float field by its IEEE-754 bits.
+func (f *Fingerprint) F64(v float64) *Fingerprint {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	return f.mix('f', b[:])
+}
+
+// Bool mixes a boolean field.
+func (f *Fingerprint) Bool(v bool) *Fingerprint {
+	if v {
+		return f.mix('t', []byte{1})
+	}
+	return f.mix('t', []byte{0})
+}
+
+// Key mixes a previously derived key, chaining stage caches
+// (the analyze key covers the profile key that fed it).
+func (f *Fingerprint) Key(k Key) *Fingerprint { return f.mix('k', []byte(k)) }
+
+// Done returns the accumulated key. The fingerprint may keep
+// accumulating afterwards; Done is a snapshot.
+func (f *Fingerprint) Done() Key { return Key(hex.EncodeToString(f.h[:])) }
+
+// KeyOf is the one-shot form: a key over raw byte parts.
+func KeyOf(domain string, parts ...[]byte) Key {
+	f := NewFingerprint(domain)
+	for _, p := range parts {
+		f.Bytes(p)
+	}
+	return f.Done()
+}
+
+// entry is one cached artifact, a node of the LRU list.
+type entry struct {
+	key        Key
+	val        any
+	size       int64
+	prev, next *entry // LRU list: head = most recently used
+}
+
+// call is one in-flight build being awaited by Do callers.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Stats is a point-in-time view of store effectiveness.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	SizeBytes int64 `json:"size_bytes"`
+	CapBytes  int64 `json:"cap_bytes"`
+}
+
+// Store is the bounded content-addressed cache. A nil *Store is
+// usable everywhere: Get always misses, Put is a no-op, and Do builds
+// without caching — engine code never branches on "is caching on?".
+type Store struct {
+	mu       sync.Mutex
+	cap      int64
+	size     int64
+	entries  map[Key]*entry
+	head     *entry
+	tail     *entry
+	inflight map[Key]*call
+
+	hits, misses, evictions atomic.Int64
+}
+
+// NewStore returns a store bounded to capBytes of artifact payload
+// (as reported by callers; keys and bookkeeping are not charged).
+func NewStore(capBytes int64) *Store {
+	return &Store{
+		cap:      capBytes,
+		entries:  make(map[Key]*entry),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// unlink removes e from the LRU list.
+func (s *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (s *Store) pushFront(e *entry) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// Get returns the artifact under k, marking it recently used.
+func (s *Store) Get(k Key) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.unlink(e)
+	s.pushFront(e)
+	return e.val, true
+}
+
+// Put stores v under k, charging size bytes against the bound and
+// evicting least-recently-used artifacts until it fits. An artifact
+// larger than the whole bound is not stored at all.
+func (s *Store) Put(k Key, v any, size int64) {
+	if s == nil || size > s.cap {
+		return
+	}
+	if size < 0 {
+		size = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[k]; ok {
+		s.size += size - e.size
+		e.val, e.size = v, size
+		s.unlink(e)
+		s.pushFront(e)
+	} else {
+		e := &entry{key: k, val: v, size: size}
+		s.entries[k] = e
+		s.pushFront(e)
+		s.size += size
+	}
+	for s.size > s.cap && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		s.size -= victim.size
+		s.evictions.Add(1)
+	}
+}
+
+// Do returns the artifact under k, building it with build on a cold
+// key. Concurrent Do calls for the same cold key run build exactly
+// once and share its result — the waiters block, they do not rebuild.
+// hit reports whether the value came from cache (waiting on another
+// caller's in-flight build counts as a hit: the work was not
+// repeated). Build errors propagate to every waiter and are not
+// cached. On a nil store, build runs unconditionally and nothing is
+// retained.
+func (s *Store) Do(k Key, build func() (any, int64, error)) (v any, hit bool, err error) {
+	if s == nil {
+		v, _, err = build()
+		return v, false, err
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.hits.Add(1)
+		s.unlink(e)
+		s.pushFront(e)
+		s.mu.Unlock()
+		return e.val, true, nil
+	}
+	if c, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		// The leader's Put may already have been evicted under memory
+		// pressure; hand back the leader's value directly.
+		return c.val, true, nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[k] = c
+	s.misses.Add(1)
+	s.mu.Unlock()
+
+	var size int64
+	c.val, size, c.err = build()
+	if c.err == nil {
+		s.Put(k, c.val, size)
+	}
+	s.mu.Lock()
+	delete(s.inflight, k)
+	s.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Len returns the number of cached artifacts.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns cumulative hit/miss/eviction counts and current
+// occupancy.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	entries, size, capBytes := len(s.entries), s.size, s.cap
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Entries:   entries,
+		SizeBytes: size,
+		CapBytes:  capBytes,
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/artifact"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/fuzz"
+	"bombdroid/internal/obs"
+)
+
+// signedApp builds and signs a generated app for engine tests.
+func signedApp(t *testing.T, cfg appgen.Config) (*apk.Package, *apk.KeyPair, *appgen.App) {
+	t.Helper()
+	app, err := appgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devKey, err := apk.NewKeyPair(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Sign(apk.Build(app.Name, app.File, apk.Resources{
+		Strings: []string{"Tap to start", "Score"}, Author: "honest dev", Icon: []byte{1, 2},
+	}), devKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, devKey, app
+}
+
+// TestEngineColdMatchesBuildProtected pins the refactor's core
+// promise: a cold engine run produces byte-identical output to the
+// pre-engine pipeline (manual profile + BuildProtected) over the same
+// inputs.
+func TestEngineColdMatchesBuildProtected(t *testing.T) {
+	pkg, _, _ := signedApp(t, appgen.Config{Name: "eng", Seed: 5, TargetLOC: 1800})
+	prof := ProfileConfig{Events: 800, Domain: 32, Seed: 7}
+	opts := Options{Seed: 3}
+
+	e := &Engine{Opts: opts, Prof: prof}
+	got, err := e.Run(context.Background(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The legacy path, by hand: profile with the same configuration,
+	// then BuildProtected.
+	file, err := pkg.DexFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var watch []string
+	for _, c := range file.Classes {
+		for _, f := range c.Fields {
+			watch = append(watch, c.Name+"."+f.Name)
+		}
+	}
+	profVM, err := newProfileVM(pkg, prof.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyOpts := opts
+	legacyOpts.Profile, legacyOpts.FieldValues = fuzz.Profile(profVM, prof.Domain, prof.Events, watch, prof.Seed)
+	want, wantRes, err := BuildProtected(pkg, legacyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Unsigned.Dex, want.Dex) {
+		t.Error("engine dex differs from the legacy pipeline's")
+	}
+	if len(got.Unsigned.Res.Strings) != len(want.Res.Strings) {
+		t.Fatalf("resource strings: %d vs %d", len(got.Unsigned.Res.Strings), len(want.Res.Strings))
+	}
+	for i := range want.Res.Strings {
+		if got.Unsigned.Res.Strings[i] != want.Res.Strings[i] {
+			t.Fatalf("resource string %d differs", i)
+		}
+	}
+	if got.Result.Stats != wantRes.Stats {
+		t.Errorf("stats differ:\n got %+v\nwant %+v", got.Result.Stats, wantRes.Stats)
+	}
+	// An uncached engine reports every stage as run, none cached.
+	if got.Info.CacheHits != 0 {
+		t.Errorf("cache hits on a cacheless engine: %d", got.Info.CacheHits)
+	}
+	wantStages := []StageName{StageUnpack, StageProfile, StageAnalyze,
+		StageConstruct, StageStego, StageValidate, StageRepack}
+	if len(got.Info.Stages) != len(wantStages) {
+		t.Fatalf("stage timings: %+v", got.Info.Stages)
+	}
+	for i, st := range wantStages {
+		if got.Info.Stages[i].Stage != st {
+			t.Errorf("stage %d = %s, want %s", i, got.Info.Stages[i].Stage, st)
+		}
+	}
+}
+
+// TestEngineWarmCacheByteIdentical is the cache-correctness
+// acceptance test: the same app with the same options must report a
+// cache hit and return byte-identical protected output.
+func TestEngineWarmCacheByteIdentical(t *testing.T) {
+	pkg, _, _ := signedApp(t, appgen.Config{Name: "eng", Seed: 5, TargetLOC: 1800})
+	reg := obs.NewRegistry()
+	e := &Engine{
+		Prof:  ProfileConfig{Events: 600, Domain: 32, Seed: 7},
+		Opts:  Options{Seed: 3},
+		Cache: artifact.NewStore(64 << 20),
+		Obs:   reg,
+	}
+	cold, err := e.Run(context.Background(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.Run(context.Background(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Unsigned.Dex, warm.Unsigned.Dex) {
+		t.Error("warm-cache dex differs from cold")
+	}
+	p1, _ := apk.Pack(mustSign(t, cold.Unsigned))
+	p2, _ := apk.Pack(mustSign(t, warm.Unsigned))
+	if !bytes.Equal(p1, p2) {
+		t.Error("warm-cache packed output differs from cold")
+	}
+	if warm.Info.CacheHits == 0 {
+		t.Error("warm run reported no cache hit")
+	}
+	if len(warm.Info.Stages) != 1 || warm.Info.Stages[0].Cache != "hit" {
+		t.Errorf("warm run should be one result-cache hit, got %+v", warm.Info.Stages)
+	}
+	// The warm result is a clone: mutating it must not poison the
+	// cache for a third caller.
+	warm.Unsigned.Dex[0] ^= 0xFF
+	warm.Result.File.Classes = nil
+	again, err := e.Run(context.Background(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Unsigned.Dex, again.Unsigned.Dex) {
+		t.Error("caller mutation reached the cache")
+	}
+	if st := e.Cache.Stats(); st.Hits == 0 {
+		t.Errorf("store stats recorded no hits: %+v", st)
+	}
+}
+
+func mustSign(t *testing.T, u *apk.Unsigned) *apk.Package {
+	t.Helper()
+	key, err := apk.NewKeyPair(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := apk.Sign(u, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signed
+}
+
+// TestEngineLateOptionChangeSkipsEarlyStages: changing only a
+// late-stage option (the response set) invalidates the result
+// artifact but reuses the profile and analyze artifacts.
+func TestEngineLateOptionChangeSkipsEarlyStages(t *testing.T) {
+	pkg, _, _ := signedApp(t, appgen.Config{Name: "eng", Seed: 5, TargetLOC: 1800})
+	store := artifact.NewStore(64 << 20)
+	prof := ProfileConfig{Events: 600, Domain: 32, Seed: 7}
+	e1 := &Engine{Prof: prof, Opts: Options{Seed: 3}, Cache: store}
+	if _, err := e1.Run(context.Background(), pkg); err != nil {
+		t.Fatal(err)
+	}
+	e2 := &Engine{Prof: prof, Opts: Options{Seed: 3, DelayResponseMs: 9_000}, Cache: store}
+	p, err := e2.Run(context.Background(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Info.ResultKey == resultKeyOf(t, e1, pkg) {
+		t.Fatal("changed option did not change the result key")
+	}
+	byStage := map[StageName]string{}
+	for _, st := range p.Info.Stages {
+		byStage[st.Stage] = st.Cache
+	}
+	if byStage[StageProfile] != "hit" {
+		t.Errorf("profile stage = %q, want cache hit", byStage[StageProfile])
+	}
+	if byStage[StageAnalyze] != "hit" {
+		t.Errorf("analyze stage = %q, want cache hit", byStage[StageAnalyze])
+	}
+	if byStage["result"] == "hit" {
+		t.Error("result artifact hit despite changed options")
+	}
+}
+
+func resultKeyOf(t *testing.T, e *Engine, pkg *apk.Package) artifact.Key {
+	t.Helper()
+	in := InputKey(pkg)
+	return resultKey(in, profileKey(in, e.Prof.withDefaults()), e.Opts.withDefaults())
+}
+
+// TestInputKeyDiffersByOneMethod: two apps identical except for one
+// method body must content-address differently; identical packages
+// must key identically.
+func TestInputKeyDiffersByOneMethod(t *testing.T) {
+	pkg, devKey, app := signedApp(t, appgen.Config{Name: "eng", Seed: 5, TargetLOC: 1800})
+	if InputKey(pkg) != InputKey(pkg) {
+		t.Fatal("InputKey not deterministic")
+	}
+
+	twin := app.File.Clone()
+	var tweaked bool
+	for _, c := range twin.Classes {
+		for _, m := range c.Methods {
+			if len(m.Code) > 0 {
+				m.Code[0].Imm++
+				tweaked = true
+				break
+			}
+		}
+		if tweaked {
+			break
+		}
+	}
+	if !tweaked {
+		t.Fatal("no method with code to tweak")
+	}
+	pkg2, err := apk.Sign(apk.Build(app.Name, twin, pkg.Res), devKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if InputKey(pkg) == InputKey(pkg2) {
+		t.Error("packages differing in one method share an artifact key")
+	}
+}
+
+// TestEngineCancellation: a cancelled context aborts the run with the
+// context's error instead of completing it.
+func TestEngineCancellation(t *testing.T) {
+	pkg, _, _ := signedApp(t, appgen.Config{Name: "eng", Seed: 5, TargetLOC: 1800})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := &Engine{Prof: ProfileConfig{Events: 600, Domain: 32, Seed: 7}}
+	if _, err := e.Run(ctx, pkg); err == nil {
+		t.Fatal("cancelled engine run succeeded")
+	}
+	// ProtectCtx honors cancellation too.
+	file, err := pkg.DexFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProtectCtx(ctx, file, pkg.PublicKeyHex(), 0, Options{Seed: 1}); err == nil {
+		t.Fatal("cancelled ProtectCtx succeeded")
+	}
+}
+
+// TestStegoCoverWrapRoundTrips: with more reserved fragments than
+// cover strings the cover list wraps (i % len(covers)); every stego
+// string must still round-trip to the final classes.dex digest
+// fragment.
+func TestStegoCoverWrapRoundTrips(t *testing.T) {
+	app, err := appgen.Generate(appgen.Config{Name: "st", Seed: 23, TargetLOC: 2600, QCPerMethod: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Protect(app.File, "ko", 0, Options{
+		Seed:       4,
+		Detections: []DetectionMethod{DetectDigest},
+		Alpha:      0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StegoStrings) <= 5 {
+		t.Fatalf("need more stego strings than covers to exercise wrapping, got %d", len(res.StegoStrings))
+	}
+	want := apk.DigestHex(dex.Encode(res.File))[:stegoFragLen]
+	for i, s := range res.StegoStrings {
+		if !apk.CarriesHidden(s) {
+			t.Fatalf("stego string %d carries no payload", i)
+		}
+		if got := apk.ExtractFromString(s); got != want {
+			t.Errorf("stego string %d extracts %q, want %q", i, got, want)
+		}
+	}
+}

@@ -1,10 +1,42 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bombdroid/internal/apk"
 )
+
+// stageUnpack extracts the working artifacts from the signed input
+// package: the decoded dex, the developer's public key Ko from
+// CERT.RSA, the resource-string count (where stego strings will
+// land), and the icon/author manifest digests for DetectIcon bombs
+// (the values a repackager's edits will change).
+func stageUnpack(ctx context.Context, a *Artifacts) error {
+	file, err := a.In.DexFile()
+	if err != nil {
+		return fmt.Errorf("core: unpacking dex: %w", err)
+	}
+	ko := a.In.PublicKeyHex()
+	if ko == "" {
+		return fmt.Errorf("core: input package has no certificate to extract Ko from")
+	}
+	a.File = file
+	a.Ko = ko
+	a.ResourceCount = len(a.In.Res.Strings)
+	a.Opts.IconDigest = a.In.Manifest.DigestOf(apk.EntryIcon)
+	a.Opts.AuthorDigest = a.In.Manifest.DigestOf(apk.EntryAuthor)
+	return nil
+}
+
+// stageRepack assembles the protected unsigned package: the original
+// resources plus the stego strings, around the instrumented dex.
+func stageRepack(ctx context.Context, a *Artifacts) error {
+	newRes := a.In.Res.Clone()
+	newRes.Strings = append(newRes.Strings, a.Result.StegoStrings...)
+	a.Unsigned = apk.Build(a.In.Name, a.Result.File, newRes)
+	return nil
+}
 
 // BuildProtected runs the full Figure-1 pipeline on a signed input
 // package: unpack, extract the public key from CERT.RSA, instrument,
@@ -12,26 +44,29 @@ import (
 // record. The unsigned output "will be sent to the legitimate
 // developer to sign the app; the private key is kept by the
 // legitimate developer and is not disclosed to BombDroid".
+//
+// This is the uncached path: it assumes Options.Profile is already
+// populated (or absent). The Engine runs the same stages with
+// profiling and artifact caching on top.
 func BuildProtected(in *apk.Package, opts Options) (*apk.Unsigned, *Result, error) {
-	file, err := in.DexFile()
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: unpacking dex: %w", err)
+	return BuildProtectedCtx(context.Background(), in, opts)
+}
+
+// BuildProtectedCtx is BuildProtected with cancellation.
+func BuildProtectedCtx(ctx context.Context, in *apk.Package, opts Options) (*apk.Unsigned, *Result, error) {
+	a := &Artifacts{In: in, Opts: opts.withDefaults()}
+	if err := stageUnpack(ctx, a); err != nil {
+		return nil, nil, err
 	}
-	ko := in.PublicKeyHex()
-	if ko == "" {
-		return nil, nil, fmt.Errorf("core: input package has no certificate to extract Ko from")
-	}
-	// Icon/author digests for DetectIcon bombs come from the input
-	// package's manifest (the values a repackager's edits will change).
-	opts.IconDigest = in.Manifest.DigestOf(apk.EntryIcon)
-	opts.AuthorDigest = in.Manifest.DigestOf(apk.EntryAuthor)
-	res, err := Protect(file, ko, len(in.Res.Strings), opts)
+	res, err := ProtectCtx(ctx, a.File, a.Ko, a.ResourceCount, a.Opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	newRes := in.Res.Clone()
-	newRes.Strings = append(newRes.Strings, res.StegoStrings...)
-	return apk.Build(in.Name, res.File, newRes), res, nil
+	a.Result = res
+	if err := stageRepack(ctx, a); err != nil {
+		return nil, nil, err
+	}
+	return a.Unsigned, res, nil
 }
 
 // ProtectPackage is BuildProtected followed by the developer signing

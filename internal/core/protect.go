@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -18,22 +19,62 @@ import (
 // CERT.RSA; resourceCount is the app's current strings.xml size (the
 // stego strings Result.StegoStrings land at that offset). The input
 // file is not modified.
+//
+// Protect is the Analyze→Construct→Stego→Validate slice of the staged
+// pipeline (see engine.go); ProtectCtx is the cancellable form.
 func Protect(file *dex.File, ko string, resourceCount int, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	out := file.Clone()
+	return ProtectCtx(context.Background(), file, ko, resourceCount, opts)
+}
 
-	res := &Result{File: out, StegoBase: resourceCount}
+// ProtectCtx is Protect with cancellation: the construct stage checks
+// ctx between methods, so protection of a large app returns promptly
+// once ctx is done.
+func ProtectCtx(ctx context.Context, file *dex.File, ko string, resourceCount int, opts Options) (*Result, error) {
+	a := &Artifacts{
+		File: file, Ko: ko, ResourceCount: resourceCount,
+		Opts: opts.withDefaults(),
+	}
+	for _, st := range protectStages {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s stage: %w", st.Name, err)
+		}
+		if err := st.Run(ctx, a); err != nil {
+			return nil, err
+		}
+	}
+	return a.Result, nil
+}
+
+// stageAnalyze computes the static-analysis artifact: the hot-method
+// exclusion set from the profiling data (paper §7.1, top-10%
+// excluded). It writes only Artifacts.Hot, so the engine can satisfy
+// it from the artifact cache without running it.
+func stageAnalyze(ctx context.Context, a *Artifacts) error {
+	a.Hot = hotMethods(a.Opts.Profile, a.Opts.HotFrac)
+	return nil
+}
+
+// stageConstruct clones the input dex and plans and applies every
+// bomb site (existing, artificial, bogus). All of the run's
+// randomness beyond profiling derives from Opts.Seed here, in
+// candidate-method order, so construction is deterministic for a
+// given (input, options) pair. Cancellation is checked between
+// methods.
+func stageConstruct(ctx context.Context, a *Artifacts) error {
+	opts := a.Opts
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := a.File.Clone()
+
+	res := &Result{File: out, StegoBase: a.ResourceCount}
 	res.Stats.InstrBefore = out.InstrCount()
 
-	hot := hotMethods(opts.Profile, opts.HotFrac)
 	var candidates []*dex.Method
 	for _, m := range out.Methods() {
 		res.Stats.Methods++
 		if m.IsSynthetic() {
 			continue
 		}
-		if hot[m.FullName()] {
+		if a.Hot[m.FullName()] {
 			res.Stats.HotExcluded++
 			continue
 		}
@@ -42,40 +83,58 @@ func Protect(file *dex.File, ko string, resourceCount int, opts Options) (*Resul
 	res.Stats.Candidates = len(candidates)
 
 	p := &protector{
-		opts: opts, rng: rng, out: out, res: res, ko: ko,
+		opts: opts, rng: rng, out: out, res: res, ko: a.Ko,
 	}
 	for _, m := range candidates {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: construct stage: %w", err)
+		}
 		if err := p.protectMethod(m); err != nil {
-			return nil, fmt.Errorf("core: instrumenting %s: %w", m.FullName(), err)
+			return fmt.Errorf("core: instrumenting %s: %w", m.FullName(), err)
 		}
 		p.finalized = append(p.finalized, m)
 	}
-	if err := dex.ValidateLinked(out); err != nil {
-		return nil, fmt.Errorf("core: protected file invalid: %w", err)
-	}
+	a.Out = out
+	a.Result = res
+	a.prot = p
+	return nil
+}
 
-	// Steganographic strings: hide each reserved fragment (the final
-	// classes.dex digest, or icon/author digests) inside innocuous
-	// covers.
-	if len(p.stegoPlan) > 0 {
-		dexFrag := apk.DigestHex(dex.Encode(out))[:stegoFragLen]
-		covers := []string{
-			"Loading, please wait…", "Thanks for playing!", "Settings saved",
-			"Check out what's new", "Rate us on the store",
-		}
-		for i, want := range p.stegoPlan {
-			frag := want
-			if want == "dex" {
-				frag = dexFrag
-			}
-			cover := covers[i%len(covers)]
-			res.StegoStrings = append(res.StegoStrings, apk.HideInString(cover, frag, rng))
-		}
+// stageStego hides each reserved fragment (the final classes.dex
+// digest, or icon/author digests) inside innocuous cover strings. It
+// continues the construct stage's RNG stream, so the staged pipeline
+// emits byte-for-byte the strings the monolithic one did.
+func stageStego(ctx context.Context, a *Artifacts) error {
+	p := a.prot
+	res := a.Result
+	if len(p.stegoPlan) == 0 {
+		return nil
 	}
+	dexFrag := apk.DigestHex(dex.Encode(a.Out))[:stegoFragLen]
+	covers := []string{
+		"Loading, please wait…", "Thanks for playing!", "Settings saved",
+		"Check out what's new", "Rate us on the store",
+	}
+	for i, want := range p.stegoPlan {
+		frag := want
+		if want == "dex" {
+			frag = dexFrag
+		}
+		cover := covers[i%len(covers)]
+		res.StegoStrings = append(res.StegoStrings, apk.HideInString(cover, frag, p.rng))
+	}
+	return nil
+}
 
-	res.Stats.InstrAfter = out.InstrCount()
-	res.Stats.BlobBytes = out.BlobBytes()
-	return res, nil
+// stageValidate re-links and checks the instrumented file, then seals
+// the run's stats.
+func stageValidate(ctx context.Context, a *Artifacts) error {
+	if err := dex.ValidateLinked(a.Out); err != nil {
+		return fmt.Errorf("core: protected file invalid: %w", err)
+	}
+	a.Result.Stats.InstrAfter = a.Out.InstrCount()
+	a.Result.Stats.BlobBytes = a.Out.BlobBytes()
+	return nil
 }
 
 // hotMethods returns the top frac of methods by invocation count.

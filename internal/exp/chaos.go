@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"bombdroid/internal/chaos"
@@ -43,12 +44,17 @@ var chaosProfiles = []struct {
 // operational half of that claim — detection keeps working, and never
 // hurts an honest user's app, when devices and networks misbehave.
 func ChaosResilience(sc Scale) ([]ChaosRow, error) {
+	return ChaosResilienceCtx(context.Background(), sc)
+}
+
+// ChaosResilienceCtx is ChaosResilience with cancellation via ctx.
+func ChaosResilienceCtx(ctx context.Context, sc Scale) ([]ChaosRow, error) {
 	sc = sc.withDefaults()
 	capMs := int64(sc.SessionCapMin) * 60_000
 	// Apps fan across the pool; each app's three fault profiles stay
 	// serial (they share nothing, but three cheap campaigns per app do
 	// not justify another nesting level).
-	perApp, err := mapApps(sc, func(name string, p *PreparedApp) ([]ChaosRow, error) {
+	perApp, err := mapApps(ctx, sc, func(name string, p *PreparedApp) ([]ChaosRow, error) {
 		var rows []ChaosRow
 		for _, pc := range chaosProfiles {
 			opts := sim.ChaosOptions{
@@ -71,7 +77,7 @@ func ChaosResilience(sc Scale) ([]ChaosRow, error) {
 					BreakerThreshold: 3,
 				}
 			}
-			cr, err := sim.RunChaosCampaign(p.Pirated, p.Surface, opts)
+			cr, err := sim.RunChaosCampaignCtx(ctx, p.Pirated, p.Surface, opts)
 			if err != nil {
 				return nil, err
 			}

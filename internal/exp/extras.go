@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"bombdroid/internal/android"
@@ -27,8 +28,13 @@ type FPResult struct {
 // FalsePositives runs Dynodroid on the *genuine* protected app for
 // hours; any response is a false positive (the paper reports zero).
 func FalsePositives(sc Scale, hours int) ([]FPResult, error) {
+	return FalsePositivesCtx(context.Background(), sc, hours)
+}
+
+// FalsePositivesCtx is FalsePositives with cancellation via ctx.
+func FalsePositivesCtx(ctx context.Context, sc Scale, hours int) ([]FPResult, error) {
 	sc = sc.withDefaults()
-	return mapApps(sc, func(name string, p *PreparedApp) (FPResult, error) {
+	return mapApps(ctx, sc, func(name string, p *PreparedApp) (FPResult, error) {
 		v, err := vm.New(p.Protected, android.EmulatorLab(2)[1], vm.Options{Seed: seedFor(name) + 21})
 		if err != nil {
 			return FPResult{}, err
@@ -61,8 +67,13 @@ type SizeRow struct {
 
 // CodeSize measures package growth across the named apps.
 func CodeSize(sc Scale) ([]SizeRow, float64, error) {
+	return CodeSizeCtx(context.Background(), sc)
+}
+
+// CodeSizeCtx is CodeSize with cancellation via ctx.
+func CodeSizeCtx(ctx context.Context, sc Scale) ([]SizeRow, float64, error) {
 	sc = sc.withDefaults()
-	rows, err := mapApps(sc, func(name string, p *PreparedApp) (SizeRow, error) {
+	rows, err := mapApps(ctx, sc, func(name string, p *PreparedApp) (SizeRow, error) {
 		before := p.Original.TotalSize()
 		after := p.Protected.TotalSize()
 		pct := 100 * float64(after-before) / float64(before)
@@ -90,8 +101,13 @@ type AnalystRow struct {
 // HumanAnalystStudy gives each app to a skilled analyst with env
 // mutation for the configured hours (paper: 20h, ≤9.3% triggered).
 func HumanAnalystStudy(sc Scale) ([]AnalystRow, error) {
+	return HumanAnalystStudyCtx(context.Background(), sc)
+}
+
+// HumanAnalystStudyCtx is HumanAnalystStudy with cancellation via ctx.
+func HumanAnalystStudyCtx(ctx context.Context, sc Scale) ([]AnalystRow, error) {
 	sc = sc.withDefaults()
-	return mapApps(sc, func(name string, p *PreparedApp) (AnalystRow, error) {
+	return mapApps(ctx, sc, func(name string, p *PreparedApp) (AnalystRow, error) {
 		total := len(p.Result.RealBombs())
 		ar, err := attack.HumanAnalyst(p.Pirated, p.App.Config.ParamDomain, total,
 			sc.AnalystHours, p.App.HandlerScreens, p.App.ScreenField, seedFor(name)+31)

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"bombdroid/internal/android"
 	"bombdroid/internal/appgen"
 	"bombdroid/internal/cfg"
@@ -19,9 +21,13 @@ type Figure3Series struct {
 }
 
 // Figure3 replays the paper's entropy visualization on AndroFish.
-func Figure3(sc Scale) ([]Figure3Series, error) {
+func Figure3(sc Scale) ([]Figure3Series, error) { return Figure3Ctx(context.Background(), sc) }
+
+// Figure3Ctx is Figure3 with cancellation via ctx: the minute-by-
+// minute sampling loop stops at the first cancelled minute.
+func Figure3Ctx(ctx context.Context, sc Scale) ([]Figure3Series, error) {
 	sc = sc.withDefaults()
-	p, err := Prepare("AndroFish", sc.ProfileEvents)
+	p, err := PrepareCtx(ctx, "AndroFish", sc.ProfileEvents)
 	if err != nil {
 		return nil, err
 	}
@@ -39,6 +45,9 @@ func Figure3(sc Scale) ([]Figure3Series, error) {
 		minutes = 10
 	}
 	for min := 0; min < minutes; min++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fuzz.Run(v, fz, p.App.Config.ParamDomain, fuzz.Options{
 			DurationMs:     60_000,
 			Seed:           int64(min) * 3,
@@ -71,9 +80,12 @@ type Figure4Row struct {
 }
 
 // Figure4 tallies trigger strength per named app.
-func Figure4(sc Scale) ([]Figure4Row, error) {
+func Figure4(sc Scale) ([]Figure4Row, error) { return Figure4Ctx(context.Background(), sc) }
+
+// Figure4Ctx is Figure4 with cancellation via ctx.
+func Figure4Ctx(ctx context.Context, sc Scale) ([]Figure4Row, error) {
 	sc = sc.withDefaults()
-	return mapApps(sc, func(name string, p *PreparedApp) (Figure4Row, error) {
+	return mapApps(ctx, sc, func(name string, p *PreparedApp) (Figure4Row, error) {
 		row := Figure4Row{App: name}
 		for _, b := range p.Result.Bombs {
 			switch b.Source {
@@ -112,9 +124,13 @@ type Figure5Series struct {
 // and samples the triggered-bomb percentage each minute. Apps fan
 // across the worker pool; each app's minute-by-minute loop stays
 // serial because trigger state accumulates in one VM and one fuzzer.
-func Figure5(sc Scale) ([]Figure5Series, error) {
+func Figure5(sc Scale) ([]Figure5Series, error) { return Figure5Ctx(context.Background(), sc) }
+
+// Figure5Ctx is Figure5 with cancellation via ctx: each app's
+// minute-by-minute fuzzing loop stops at the first cancelled minute.
+func Figure5Ctx(ctx context.Context, sc Scale) ([]Figure5Series, error) {
 	sc = sc.withDefaults()
-	return mapApps(sc, func(name string, p *PreparedApp) (Figure5Series, error) {
+	return mapApps(ctx, sc, func(name string, p *PreparedApp) (Figure5Series, error) {
 		total := len(p.Result.RealBombs())
 		v, err := vm.NewUnverified(p.Pirated, android.EmulatorLab(1)[0], vm.Options{Seed: seedFor(name) + 3})
 		if err != nil {
@@ -123,6 +139,9 @@ func Figure5(sc Scale) ([]Figure5Series, error) {
 		fz := fuzz.NewDynodroid()
 		s := Figure5Series{App: name, TotalBombs: total}
 		for min := 0; min < sc.FuzzMinutes; min++ {
+			if err := ctx.Err(); err != nil {
+				return Figure5Series{}, err
+			}
 			fuzz.Run(v, fz, p.App.Config.ParamDomain, fuzz.Options{
 				DurationMs:     60_000,
 				Seed:           seedFor(name) + int64(min),

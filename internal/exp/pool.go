@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,17 +42,28 @@ func workerCount(w int) int {
 // poolTaskBucketsNs buckets task wall time from ~1µs to ~4min.
 var poolTaskBucketsNs = obs.ExpBuckets(1_000, 8, 9)
 
-// forIndexed runs fn(i) for every i in [0,n) on up to sc.Workers
-// goroutines and returns the n results merged by index. The serial
-// path (workers == 1, or n < 2) does not spawn goroutines at all, so
-// Workers: 1 preserves the engine's original single-threaded
+// ForIndexed runs fn(i) for every i in [0,n) on up to sc.Workers
+// goroutines and returns the n results merged by index (the
+// evaluation pool, exported for command-line batch drivers). The
+// serial path (workers == 1, or n < 2) does not spawn goroutines at
+// all, so Workers: 1 preserves the engine's original single-threaded
 // behavior exactly. Work is handed out through an atomic counter;
 // which worker executes an item is scheduler-dependent, but per the
 // seeding discipline above the item's result is not.
 //
+// Cancelling ctx stops workers from claiming further items; the call
+// then returns the partially filled slice (unclaimed indices hold
+// zero values) together with ctx.Err(), so batch drivers can report
+// what completed. An item error still returns (nil, err),
+// lowest-index-first, exactly as before.
+//
 // When sc.Obs is set, every batch reports queue depth, task latency,
 // and per-worker utilization to it.
-func forIndexed[T any](sc Scale, n int, fn func(i int) (T, error)) ([]T, error) {
+func ForIndexed[T any](ctx context.Context, sc Scale, n int, fn func(i int) (T, error)) ([]T, error) {
+	return forIndexed(ctx, sc, n, fn)
+}
+
+func forIndexed[T any](ctx context.Context, sc Scale, n int, fn func(i int) (T, error)) ([]T, error) {
 	reg := sc.Obs
 	workers := workerCount(sc.Workers)
 	if workers > n {
@@ -82,6 +94,9 @@ func forIndexed[T any](sc Scale, n int, fn func(i int) (T, error)) ([]T, error) 
 	out := make([]T, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			v, err := runTask(0, i)
 			if err != nil {
 				return nil, err
@@ -97,7 +112,7 @@ func forIndexed[T any](sc Scale, n int, fn func(i int) (T, error)) ([]T, error) 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -107,6 +122,9 @@ func forIndexed[T any](sc Scale, n int, fn func(i int) (T, error)) ([]T, error) 
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -127,10 +145,10 @@ func workerLabel(w int) string {
 // mapApps prepares every app in sc.Apps (cache-deduplicated, so
 // concurrent tables cost one pipeline run per app) and applies fn,
 // returning one result per app in Scale order.
-func mapApps[T any](sc Scale, fn func(name string, p *PreparedApp) (T, error)) ([]T, error) {
-	return forIndexed(sc, len(sc.Apps), func(i int) (T, error) {
+func mapApps[T any](ctx context.Context, sc Scale, fn func(name string, p *PreparedApp) (T, error)) ([]T, error) {
+	return forIndexed(ctx, sc, len(sc.Apps), func(i int) (T, error) {
 		name := sc.Apps[i]
-		p, err := Prepare(name, sc.ProfileEvents)
+		p, err := PrepareCtx(ctx, name, sc.ProfileEvents)
 		if err != nil {
 			var zero T
 			return zero, err

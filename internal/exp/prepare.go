@@ -12,18 +12,17 @@
 package exp
 
 import (
-	"fmt"
+	"context"
 	"hash/fnv"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
 	"bombdroid/internal/appgen"
+	"bombdroid/internal/artifact"
 	"bombdroid/internal/core"
-	"bombdroid/internal/fuzz"
 	"bombdroid/internal/obs"
 	"bombdroid/internal/sim"
 	"bombdroid/internal/vm"
@@ -135,43 +134,126 @@ type PreparedApp struct {
 	Result    *core.Result
 	Profile   map[string]int64
 	Surface   sim.Surface
+	// Run records how the protection engine satisfied this prepare:
+	// artifact keys, per-stage wall timings, and cache hits.
+	Run core.RunInfo
 }
 
-// prepEntry is one memoized pipeline run. The per-key sync.Once lets
-// concurrent Prepare calls for *different* apps run in parallel while
-// duplicate calls for the same key block on the one in-flight run
-// instead of repeating it — a global mutex around prepare() would
-// serialize the whole evaluation behind its slowest app.
-type prepEntry struct {
-	once sync.Once
-	p    *PreparedApp
-	err  error
-}
-
+// prepStore is the process-wide content-addressed artifact store. It
+// replaces the old (name, profileEvents)-keyed sync.Once map: the
+// generated original, the engine's profile/analyze/result artifacts,
+// and the fully prepared app are all cached here, addressed by
+// content digests + option fingerprints. The per-key singleflight in
+// artifact.Store gives the same guarantee the Once map did — one
+// pipeline run per key no matter how many goroutines ask — while
+// letting a re-run with different late-stage options reuse the
+// expensive profiling artifacts. The bound is sized far above the
+// eight-app corpus, so prepared apps keep their pointer identity for
+// the life of the process.
 var (
-	prepMu    sync.Mutex
-	prepCache = map[string]*prepEntry{}
+	prepStore = artifact.NewStore(1 << 30)
 	prepRuns  atomic.Int64
 )
 
-// Prepare builds (and caches) the pipeline output for a named app,
-// keyed by (name, profileEvents). One cmd/report invocation prepares
-// each app exactly once no matter how many tables and figures ask
-// for it, or from how many goroutines.
-func Prepare(name string, profileEvents int) (*PreparedApp, error) {
-	key := fmt.Sprintf("%s/%d", name, profileEvents)
-	prepMu.Lock()
-	e, ok := prepCache[key]
-	if !ok {
-		e = &prepEntry{}
-		prepCache[key] = e
-	}
-	prepMu.Unlock()
-	e.once.Do(func() {
-		prepRuns.Add(1)
-		e.p, e.err = prepare(name, profileEvents)
+// PrepareStore exposes the shared artifact store (read-only use:
+// stats for benchmarks and batch manifests).
+func PrepareStore() *artifact.Store { return prepStore }
+
+// genArtifact is the tier-1 cached artifact: the generated, signed,
+// unprotected app. Its key covers only the app name — generation is
+// fully determined by it.
+type genArtifact struct {
+	name     string
+	app      *appgen.App
+	devKey   *apk.KeyPair
+	original *apk.Package
+}
+
+func genApp(name string) (*genArtifact, error) {
+	key := artifact.NewFingerprint("exp/gen/v1").Str(name).Done()
+	v, _, err := prepStore.Do(key, func() (any, int64, error) {
+		g, err := buildOriginal(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, int64(g.original.TotalSize()), nil
 	})
-	return e.p, e.err
+	if err != nil {
+		return nil, err
+	}
+	return v.(*genArtifact), nil
+}
+
+// buildOriginal generates a named app and packages it the way a
+// developer would: assets, resource strings, and a signature.
+func buildOriginal(name string) (*genArtifact, error) {
+	app, err := appgen.NamedApp(name)
+	if err != nil {
+		return nil, err
+	}
+	seed := seedFor(name)
+	devKey, err := apk.NewKeyPair(seed)
+	if err != nil {
+		return nil, err
+	}
+	// Real F-Droid packages bundle assets and library code far beyond
+	// the app's own logic; model that footprint so relative size
+	// metrics (§8.4) have a realistic denominator. ~70 B of assets
+	// per LOC approximates small open-source APKs (hundreds of KB for
+	// a 3k-LOC app).
+	assets := make([]byte, app.LOC*70)
+	arnd := rand.New(rand.NewSource(seed))
+	arnd.Read(assets)
+	res := apk.Resources{
+		Strings: []string{"Welcome to " + name, "Settings", "About",
+			"Rate this app", "Share", "Help", "Licenses"},
+		Author: name + " devs",
+		Icon:   assets,
+	}
+	original, err := apk.Sign(apk.Build(name, app.File, res), devKey)
+	if err != nil {
+		return nil, err
+	}
+	return &genArtifact{name: name, app: app, devKey: devKey, original: original}, nil
+}
+
+// Prepare builds (and caches) the pipeline output for a named app.
+// One cmd/report invocation prepares each app exactly once no matter
+// how many tables and figures ask for it, or from how many
+// goroutines. The cache key is content-addressed: the original
+// package's digests plus the profiling and tuning options — not the
+// app's name.
+func Prepare(name string, profileEvents int) (*PreparedApp, error) {
+	return PrepareCtx(context.Background(), name, profileEvents)
+}
+
+// PrepareCtx is Prepare with cancellation. Concurrent callers of the
+// same key share one pipeline run; that run observes the first
+// caller's context.
+func PrepareCtx(ctx context.Context, name string, profileEvents int) (*PreparedApp, error) {
+	g, err := genApp(name)
+	if err != nil {
+		return nil, err
+	}
+	t := protectTuning[name] // zero tuning for unknown apps
+	key := artifact.NewFingerprint("exp/prepared/v1").
+		Key(core.InputKey(g.original)).
+		Int(int64(profileEvents)).
+		F64(t.existingFrac).F64(t.alpha).F64(t.bogusFrac).
+		Done()
+	v, _, err := prepStore.Do(key, func() (any, int64, error) {
+		prepRuns.Add(1)
+		p, err := prepare(ctx, g, profileEvents)
+		if err != nil {
+			return nil, 0, err
+		}
+		size := int64(p.Protected.TotalSize() + p.Pirated.TotalSize())
+		return p, size, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*PreparedApp), nil
 }
 
 // PrepareRuns reports how many times the full generate+profile+inject
@@ -202,83 +284,50 @@ func seedFor(name string) int64 {
 	return int64(h.Sum64() & 0x7FFF_FFFF)
 }
 
-// wallMs is the wall clock in ms for the prepare spans — operator
-// timing only, never compared across runs (the spans are Volatile).
-func wallMs() int64 { return time.Now().UnixMilli() }
-
-func prepare(name string, profileEvents int) (*PreparedApp, error) {
-	// The prepare pipeline is wall-clock work (it happens once per app
-	// per process, outside any virtual campaign), so its spans go to
-	// the process-default registry as Volatile.
-	sp := obs.Default().StartVolatileSpan("prepare", wallMs())
-	spGen := sp.Child("generate", wallMs())
-	app, err := appgen.NamedApp(name)
-	if err != nil {
-		return nil, err
-	}
+// prepare runs the protect-sign-repackage half of the pipeline on an
+// already generated app, through the staged engine. Wall-clock
+// timings follow the obs volatile-series convention: every series
+// below is Volatile, so SnapshotDeterministic never sees them and
+// stays byte-stable at any cache state or worker count.
+func prepare(ctx context.Context, g *genArtifact, profileEvents int) (*PreparedApp, error) {
+	reg := obs.Default()
+	t0 := time.Now()
+	app, name := g.app, g.name
 	seed := seedFor(name)
-	devKey, err := apk.NewKeyPair(seed)
-	if err != nil {
-		return nil, err
-	}
-	// Real F-Droid packages bundle assets and library code far beyond
-	// the app's own logic; model that footprint so relative size
-	// metrics (§8.4) have a realistic denominator. ~70 B of assets
-	// per LOC approximates small open-source APKs (hundreds of KB for
-	// a 3k-LOC app).
-	assets := make([]byte, app.LOC*70)
-	arnd := rand.New(rand.NewSource(seed))
-	arnd.Read(assets)
-	res := apk.Resources{
-		Strings: []string{"Welcome to " + name, "Settings", "About",
-			"Rate this app", "Share", "Help", "Licenses"},
-		Author: name + " devs",
-		Icon:   assets,
-	}
-	original, err := apk.Sign(apk.Build(name, app.File, res), devKey)
-	if err != nil {
-		return nil, err
-	}
-	spGen.End(wallMs())
 
-	// Step 2 of Fig. 1: profiling run on a stock device.
-	spProf := sp.Child("profile", wallMs())
-	watch := append(append([]string{}, app.IntFieldRefs...), app.StrFieldRefs...)
-	watch = append(watch, app.BoolFieldRefs...)
-	profVM, err := vm.New(original, android.EmulatorLab(1)[0], vm.Options{Seed: seed, Profile: true})
-	if err != nil {
-		return nil, err
-	}
-	profile, fieldVals := fuzz.Profile(profVM, app.Config.ParamDomain, profileEvents, watch, seed)
-	spProf.End(wallMs())
-
-	opts := core.Options{
-		Seed:        seed,
-		Profile:     profile,
-		FieldValues: fieldVals,
-	}
+	opts := core.Options{Seed: seed}
 	if t, ok := protectTuning[name]; ok {
 		opts.ExistingFrac = t.existingFrac
 		opts.Alpha = t.alpha
 		opts.BogusFrac = t.bogusFrac
 	}
-	// Injection (bomb construction + payload encryption) and the
-	// developer signing step are timed separately — the sign half is
-	// the part the paper's workflow ships back to the developer.
-	spInj := sp.Child("inject", wallMs())
-	unsigned, result, err := core.BuildProtected(original, opts)
+	// Step 2 of Fig. 1 (profiling on a stock device) plus injection
+	// run inside the engine; its per-stage wall histograms and cache
+	// counters land on the default registry as Volatile series.
+	watch := append(append([]string{}, app.IntFieldRefs...), app.StrFieldRefs...)
+	watch = append(watch, app.BoolFieldRefs...)
+	eng := &core.Engine{
+		Opts: opts,
+		Prof: core.ProfileConfig{
+			Events: profileEvents,
+			Domain: app.Config.ParamDomain,
+			Seed:   seed,
+			Watch:  watch,
+		},
+		Cache: prepStore,
+		Obs:   reg,
+	}
+	prot, err := eng.Run(ctx, g.original)
 	if err != nil {
 		return nil, err
 	}
-	spInj.End(wallMs())
-	spSign := sp.Child("sign", wallMs())
-	protected, err := apk.Sign(unsigned, devKey)
-	if err != nil {
-		return nil, err
-	}
-	spSign.End(wallMs())
 
-	spRep := sp.Child("repackage", wallMs())
+	// The developer signing step — the half the paper's workflow ships
+	// back to the developer.
+	protected, err := apk.Sign(prot.Unsigned, g.devKey)
+	if err != nil {
+		return nil, err
+	}
 	attacker, err := apk.NewKeyPair(seed ^ 0x5151)
 	if err != nil {
 		return nil, err
@@ -289,12 +338,13 @@ func prepare(name string, profileEvents int) (*PreparedApp, error) {
 	if err != nil {
 		return nil, err
 	}
-	spRep.End(wallMs())
-	sp.End(wallMs())
+	reg.Counter("exp_prepare_runs_total", obs.Volatile()).Inc()
+	reg.Counter("exp_prepare_wall_ms_total", obs.Volatile()).Add(time.Since(t0).Milliseconds())
 	return &PreparedApp{
-		App: app, DevKey: devKey, Original: original, Protected: protected,
-		Pirated: pirated, Result: result, Profile: profile,
+		App: app, DevKey: g.devKey, Original: g.original, Protected: protected,
+		Pirated: pirated, Result: prot.Result, Profile: prot.Profile,
 		Surface: sim.SurfaceOf(app),
+		Run:     prot.Info,
 	}, nil
 }
 

@@ -18,6 +18,7 @@ package fuzz
 
 import (
 	"math/rand"
+	"sort"
 
 	"bombdroid/internal/dex"
 	"bombdroid/internal/obs"
@@ -354,11 +355,22 @@ func Profile(v *vm.VM, domain int64, events int, watch []string, seed int64) (ma
 		fz.Observe(ev, novelty, false)
 		v.AdvanceIdle(40)
 	}
+	// Flatten each field's value set in sorted-key order: map
+	// iteration order would otherwise leak into the slice, and the
+	// protector's artificial-QC constant selection reads these slices —
+	// protected output must not vary from process to process.
 	fieldVals := make(map[string][]dex.Value, len(vals))
 	for f, m := range vals {
-		for _, val := range m {
-			fieldVals[f] = append(fieldVals[f], val)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
 		}
+		sort.Strings(keys)
+		vs := make([]dex.Value, 0, len(keys))
+		for _, k := range keys {
+			vs = append(vs, m[k])
+		}
+		fieldVals[f] = vs
 	}
 	return v.Profile(), fieldVals
 }

@@ -1,4 +1,4 @@
-package fuzz
+package fuzz_test
 
 import (
 	"math/rand"
@@ -8,6 +8,7 @@ import (
 	"bombdroid/internal/apk"
 	"bombdroid/internal/appgen"
 	"bombdroid/internal/core"
+	"bombdroid/internal/fuzz"
 	"bombdroid/internal/vm"
 )
 
@@ -53,9 +54,9 @@ func emulatorVM(t *testing.T, pkg *apk.Package) *vm.VM {
 
 func TestAllFuzzersProduceValidEvents(t *testing.T) {
 	prot, _, _, app := buildProtected(t, 41)
-	for _, fz := range []Fuzzer{Monkey{}, PUMA{}, &AndroidHooker{}, NewDynodroid()} {
+	for _, fz := range []fuzz.Fuzzer{fuzz.Monkey{}, fuzz.PUMA{}, &fuzz.AndroidHooker{}, fuzz.NewDynodroid()} {
 		v := emulatorVM(t, prot)
-		res := Run(v, fz, app.Config.ParamDomain, Options{DurationMs: 120_000, Seed: 1})
+		res := fuzz.Run(v, fz, app.Config.ParamDomain, fuzz.Options{DurationMs: 120_000, Seed: 1})
 		if res.Events == 0 {
 			t.Errorf("%s produced no events", fz.Name())
 		}
@@ -69,10 +70,10 @@ func TestAllFuzzersProduceValidEvents(t *testing.T) {
 }
 
 func TestMonkeySendsOutOfDomainEvents(t *testing.T) {
-	ctx := &Context{Handlers: []string{"App.onEvent0"}, Domain: 64, Rng: rand.New(rand.NewSource(1))}
+	ctx := &fuzz.Context{Handlers: []string{"App.onEvent0"}, Domain: 64, Rng: rand.New(rand.NewSource(1))}
 	outside, misses, hits := 0, 0, 0
 	for i := 0; i < 2000; i++ {
-		ev := Monkey{}.Next(ctx)
+		ev := fuzz.Monkey{}.Next(ctx)
 		if ev.Handler == "" {
 			misses++
 			continue
@@ -90,7 +91,7 @@ func TestMonkeySendsOutOfDomainEvents(t *testing.T) {
 	}
 	// PUMA never leaves it.
 	for i := 0; i < 1000; i++ {
-		ev := PUMA{}.Next(ctx)
+		ev := fuzz.PUMA{}.Next(ctx)
 		if ev.A >= 64 || ev.B >= 64 {
 			t.Fatal("PUMA sent out-of-domain event")
 		}
@@ -98,9 +99,9 @@ func TestMonkeySendsOutOfDomainEvents(t *testing.T) {
 }
 
 func TestHookerReplays(t *testing.T) {
-	ctx := &Context{Handlers: []string{"h1", "h2", "h3"}, Domain: 16, Rng: rand.New(rand.NewSource(3))}
-	h := &AndroidHooker{}
-	seen := map[Event]int{}
+	ctx := &fuzz.Context{Handlers: []string{"h1", "h2", "h3"}, Domain: 16, Rng: rand.New(rand.NewSource(3))}
+	h := &fuzz.AndroidHooker{}
+	seen := map[fuzz.Event]int{}
 	for i := 0; i < 2000; i++ {
 		seen[h.Next(ctx)]++
 	}
@@ -116,8 +117,8 @@ func TestHookerReplays(t *testing.T) {
 }
 
 func TestDynodroidSweepsDomain(t *testing.T) {
-	ctx := &Context{Handlers: []string{"h"}, Domain: 32, Rng: rand.New(rand.NewSource(4))}
-	d := NewDynodroid()
+	ctx := &fuzz.Context{Handlers: []string{"h"}, Domain: 32, Rng: rand.New(rand.NewSource(4))}
+	d := fuzz.NewDynodroid()
 	vals := map[int64]bool{}
 	for i := 0; i < 200; i++ {
 		vals[d.Next(ctx).A] = true
@@ -128,8 +129,8 @@ func TestDynodroidSweepsDomain(t *testing.T) {
 }
 
 func TestDynodroidPrefersNovelHandlers(t *testing.T) {
-	ctx := &Context{Handlers: []string{"boring", "novel"}, Domain: 8, Rng: rand.New(rand.NewSource(5))}
-	d := NewDynodroid()
+	ctx := &fuzz.Context{Handlers: []string{"boring", "novel"}, Domain: 8, Rng: rand.New(rand.NewSource(5))}
+	d := fuzz.NewDynodroid()
 	// Feed feedback: "novel" always yields novelty, "boring" never.
 	counts := map[string]int{}
 	for i := 0; i < 3000; i++ {
@@ -154,11 +155,11 @@ func TestFuzzerOrderingOnProtectedApp(t *testing.T) {
 	for _, b := range res.RealBombs() {
 		real[b.BlobIdx] = true
 	}
-	count := func(mk func() Fuzzer) int {
+	count := func(mk func() fuzz.Fuzzer) int {
 		total := 0
 		for seed := int64(1); seed <= 3; seed++ {
 			v := emulatorVM(t, pirated)
-			r := Run(v, mk(), app.Config.ParamDomain, Options{
+			r := fuzz.Run(v, mk(), app.Config.ParamDomain, fuzz.Options{
 				DurationMs: 3_600_000, Seed: seed,
 				WatchFields:    app.IntFieldRefs,
 				HandlerScreens: app.HandlerScreens,
@@ -172,9 +173,9 @@ func TestFuzzerOrderingOnProtectedApp(t *testing.T) {
 		}
 		return total
 	}
-	monkey := count(func() Fuzzer { return Monkey{} })
-	puma := count(func() Fuzzer { return PUMA{} })
-	dyno := count(func() Fuzzer { return NewDynodroid() })
+	monkey := count(func() fuzz.Fuzzer { return fuzz.Monkey{} })
+	puma := count(func() fuzz.Fuzzer { return fuzz.PUMA{} })
+	dyno := count(func() fuzz.Fuzzer { return fuzz.NewDynodroid() })
 	t.Logf("outer triggers over 3 seeds: monkey=%d puma=%d dynodroid=%d (of %d real bombs)",
 		monkey, puma, dyno, len(real))
 	// Small fixtures saturate, so allow one-bomb noise per seed; the
@@ -194,7 +195,7 @@ func TestFuzzerOrderingOnProtectedApp(t *testing.T) {
 func TestRunMaxEvents(t *testing.T) {
 	prot, _, _, app := buildProtected(t, 47)
 	v := emulatorVM(t, prot)
-	res := Run(v, PUMA{}, app.Config.ParamDomain, Options{DurationMs: 3_600_000, MaxEvents: 50, Seed: 2})
+	res := fuzz.Run(v, fuzz.PUMA{}, app.Config.ParamDomain, fuzz.Options{DurationMs: 3_600_000, MaxEvents: 50, Seed: 2})
 	if res.Events != 50 {
 		t.Errorf("events = %d, want 50", res.Events)
 	}
@@ -203,7 +204,7 @@ func TestRunMaxEvents(t *testing.T) {
 func TestProfileProducesCountsAndValues(t *testing.T) {
 	prot, _, _, app := buildProtected(t, 53)
 	v := emulatorVM(t, prot)
-	profile, fieldVals := Profile(v, app.Config.ParamDomain, 2000, app.IntFieldRefs, 7)
+	profile, fieldVals := fuzz.Profile(v, app.Config.ParamDomain, 2000, app.IntFieldRefs, 7)
 	if len(profile) == 0 {
 		t.Fatal("empty profile")
 	}
@@ -239,7 +240,7 @@ func TestFalsePositiveFreeRunOnGenuineApp(t *testing.T) {
 	// *legitimately signed* app must fire zero responses.
 	prot, _, _, app := buildProtected(t, 59)
 	v := emulatorVM(t, prot)
-	res := Run(v, NewDynodroid(), app.Config.ParamDomain, Options{
+	res := fuzz.Run(v, fuzz.NewDynodroid(), app.Config.ParamDomain, fuzz.Options{
 		DurationMs: 2 * 3_600_000, // two virtual hours keep the test fast
 		Seed:       3, WatchFields: app.IntFieldRefs,
 	})

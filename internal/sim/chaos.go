@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -77,6 +78,14 @@ func (r ChaosCampaignResult) ExactlyOnce() bool {
 // campaign advances and flushed at the end, so delayed and retried
 // events settle before the result is assembled.
 func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosCampaignResult, error) {
+	return RunChaosCampaignCtx(context.Background(), pkg, surf, opts)
+}
+
+// RunChaosCampaignCtx is RunChaosCampaign with cancellation: the
+// campaign checks ctx between sessions and inside each session's
+// event loop, returning ctx.Err() with whatever was aggregated so far
+// discarded.
+func RunChaosCampaignCtx(ctx context.Context, pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosCampaignResult, error) {
 	if opts.Sessions == 0 {
 		opts.Sessions = 20
 	}
@@ -108,12 +117,15 @@ func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosC
 	var sum int64
 
 	for i := 0; i < opts.Sessions; i++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		base := int64(i) * opts.CapMs
 		user := fmt.Sprintf("user%d", i)
 		seed := opts.Seed + int64(i)*101
 		dev := android.SamplePopulation(user, chaosRng(seed))
 
-		sr, vmFaults, outcome := runChaosSession(pkg, surf, dev, inj, SessionOptions{
+		sr, vmFaults, outcome := runChaosSession(ctx, pkg, surf, dev, inj, SessionOptions{
 			CapMs: opts.CapMs, Seed: seed, StartClockMs: -1, Obs: reg,
 		})
 		cVMFaults.Add(int64(vmFaults))
@@ -220,7 +232,7 @@ const (
 // barrier. A corrupted image that fails to load is a clean rejection;
 // a panic anywhere in the lifecycle is the invariant violation the
 // harness exists to catch.
-func runChaosSession(pkg *apk.Package, surf Surface, dev *android.Device, inj *chaos.Injector, opts SessionOptions) (sr SessionResult, vmFaults int, outcome sessionOutcome) {
+func runChaosSession(ctx context.Context, pkg *apk.Package, surf Surface, dev *android.Device, inj *chaos.Injector, opts SessionOptions) (sr SessionResult, vmFaults int, outcome sessionOutcome) {
 	defer func() {
 		if recover() != nil {
 			outcome = sessionPanicked
@@ -246,7 +258,7 @@ func runChaosSession(pkg *apk.Package, surf Surface, dev *android.Device, inj *c
 	}
 	inj.ApplyEnvFaults(v)
 
-	sr, err = driveSession(v, surf, opts)
+	sr, err = driveSession(ctx, v, surf, opts)
 	if err != nil {
 		// driveSession errors are fail-closed outcomes (budget, launch
 		// fault), not crashes; treat as an uneventful session.

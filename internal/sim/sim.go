@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -72,12 +73,19 @@ type SessionResult struct {
 // human user: UI-valid events on active widgets, human pacing, until
 // the first bomb triggers or the cap expires.
 func RunUserSession(pkg *apk.Package, surf Surface, dev *android.Device, opts SessionOptions) (SessionResult, error) {
+	return RunUserSessionCtx(context.Background(), pkg, surf, dev, opts)
+}
+
+// RunUserSessionCtx is RunUserSession with cancellation: the session
+// driver checks ctx between user events and returns ctx.Err() when it
+// fires, so a long session unwinds within one event's work.
+func RunUserSessionCtx(ctx context.Context, pkg *apk.Package, surf Surface, dev *android.Device, opts SessionOptions) (SessionResult, error) {
 	opts = opts.withDefaults()
 	v, err := vm.New(pkg, dev, vm.Options{Seed: opts.Seed, Obs: opts.Obs})
 	if err != nil {
 		return SessionResult{}, fmt.Errorf("sim: install: %w", err)
 	}
-	return driveSession(v, surf, opts)
+	return driveSession(ctx, v, surf, opts)
 }
 
 func (opts SessionOptions) withDefaults() SessionOptions {
@@ -94,7 +102,7 @@ func (opts SessionOptions) withDefaults() SessionOptions {
 // constructed VM. Chaos campaigns build their own VMs (fault hooks,
 // fail-closed mode, corrupted images) and share this driver, so
 // faulted and clean sessions differ only in the injected faults.
-func driveSession(v *vm.VM, surf Surface, opts SessionOptions) (SessionResult, error) {
+func driveSession(ctx context.Context, v *vm.VM, surf Surface, opts SessionOptions) (SessionResult, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	start := opts.StartClockMs
 	if start < 0 {
@@ -128,6 +136,9 @@ func driveSession(v *vm.VM, surf Surface, opts SessionOptions) (SessionResult, e
 		}
 	}
 	for first < 0 && v.NowMillis()-start < opts.CapMs {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		h := pickActive(rng, surf, v)
 		_, err := v.Invoke(h,
 			dex.Int64(rng.Int63n(surf.ParamDomain)),
@@ -258,16 +269,22 @@ func RunCampaign(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64)
 //     package, sharing nothing mutable with its siblings;
 //   - results aggregate by session index, never by completion order.
 func RunCampaignWorkers(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int) (CampaignResult, error) {
-	return RunCampaignObs(pkg, surf, n, capMs, seed, workers, nil)
+	return RunCampaignObs(context.Background(), pkg, surf, n, capMs, seed, workers, nil)
 }
 
-// RunCampaignObs is RunCampaignWorkers with a metrics registry
-// attached. Deterministic metrics (session counters, trigger-latency
-// histogram, VM opcode profile) land in reg via commutative updates,
-// so SnapshotDeterministic is byte-identical at any worker count;
-// wall-clock throughput lands in Volatile metrics excluded from that
-// snapshot. A nil reg turns all instrumentation off.
-func RunCampaignObs(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int, reg *obs.Registry) (CampaignResult, error) {
+// RunCampaignObs is RunCampaignWorkers with a context and a metrics
+// registry attached. Deterministic metrics (session counters,
+// trigger-latency histogram, VM opcode profile) land in reg via
+// commutative updates, so SnapshotDeterministic is byte-identical at
+// any worker count; wall-clock throughput lands in Volatile metrics
+// excluded from that snapshot. A nil reg turns all instrumentation
+// off.
+//
+// Cancelling ctx stops workers from claiming further sessions and
+// unwinds in-flight sessions at their next event; the campaign then
+// returns the context's error with the lowest cancelled index's
+// partial aggregation discarded, exactly like a session error.
+func RunCampaignObs(ctx context.Context, pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int, reg *obs.Registry) (CampaignResult, error) {
 	wallStart := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	devs := make([]*android.Device, n)
@@ -277,7 +294,11 @@ func RunCampaignObs(pkg *apk.Package, surf Surface, n int, capMs int64, seed int
 	srs := make([]SessionResult, n)
 	errs := make([]error, n)
 	run := func(i int) {
-		srs[i], errs[i] = RunUserSession(pkg, surf, devs[i], SessionOptions{
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		srs[i], errs[i] = RunUserSessionCtx(ctx, pkg, surf, devs[i], SessionOptions{
 			CapMs: capMs, Seed: seed + int64(i)*101, StartClockMs: -1, Obs: reg,
 		})
 	}
@@ -298,7 +319,7 @@ func RunCampaignObs(pkg *apk.Package, surf Surface, n int, capMs int64, seed int
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -308,6 +329,11 @@ func RunCampaignObs(pkg *apk.Package, surf Surface, n int, capMs int64, seed int
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		// Workers stopped claiming; unclaimed sessions never ran, so the
+		// aggregate would undercount silently. Report the cancellation.
+		return CampaignResult{Sessions: n}.normalize(), err
 	}
 
 	out := CampaignResult{Sessions: n, MinMs: NoFirstTrigger}

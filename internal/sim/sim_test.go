@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"bombdroid/internal/android"
 	"bombdroid/internal/apk"
@@ -120,5 +123,52 @@ func TestCampaignOnGenuineAppHasNoComplaints(t *testing.T) {
 	}
 	if cr.Complaints != 0 || cr.Reports != 0 {
 		t.Errorf("genuine app produced %d complaints, %d reports", cr.Complaints, cr.Reports)
+	}
+}
+
+// TestCampaignCancellation: a cancelled context aborts the campaign
+// promptly at any worker count — no goroutine leaks, and the error is
+// the context's, whether the cancel lands before the pool starts or
+// mid-flight.
+func TestCampaignCancellation(t *testing.T) {
+	_, pirated, surf, _ := prepared(t, 213)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := RunCampaignObs(ctx, pirated, surf, 8, 45*60_000, 3, workers, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	// Mid-flight cancellation: fire after the campaign is under way.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunCampaignObs(ctx, pirated, surf, 64, 45*60_000, 3, 4, nil)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// Either the campaign finished before the cancel (nil) or it
+		// reports the cancellation; both are prompt returns.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-flight cancel: err = %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign did not return after cancellation")
+	}
+}
+
+// TestChaosCampaignCancellation pins the same contract for the
+// fault-injected campaign runner.
+func TestChaosCampaignCancellation(t *testing.T) {
+	_, pirated, surf, _ := prepared(t, 217)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunChaosCampaignCtx(ctx, pirated, surf, ChaosOptions{Sessions: 6, Seed: 9})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

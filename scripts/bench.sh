@@ -1,15 +1,15 @@
 #!/bin/sh
-# Runs the PR's perf benchmarks and writes BENCH_PR3.json.
+# Runs the PR's perf benchmarks and writes BENCH_PR4.json.
 #
 #   scripts/bench.sh [benchtime]
 #
-# Stable schema: BENCH_PR3.json repeats every BENCH_PR2.json key
-# (parallel campaign path at workers=1 vs 8, VM dispatch hot path)
-# and adds the obs layer's overhead record: invoke_obs_ns_op plus
-# obs_overhead_pct, the relative cost of running BenchmarkInvoke with
-# per-opcode counting and the per-invoke histogram attached. The
-# acceptance bar is ≤5%; the obs-off path must stay within noise of
-# the PR2 baseline because it is a single nil check per instruction.
+# Stable schema: BENCH_PR4.json repeats every BENCH_PR3.json key
+# (parallel campaign path at workers=1 vs 8, VM dispatch hot path, obs
+# overhead) and adds the staged protection engine's record: cold-path
+# ns/op with its per-stage breakdown, warm-path ns/op against a hot
+# artifact cache, the warm cache hit rate, and protect_warm_speedup —
+# the acceptance bar is a ≥5× cold-over-warm ratio, since a warm
+# re-protection skips the profile and analysis stages entirely.
 # Speedup is reported honestly for whatever machine this runs on —
 # on a single-core box workers=8 can only match workers=1, never beat
 # it, which is why the core count is part of the record.
@@ -17,12 +17,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_PR3.json
+OUT=BENCH_PR4.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkTable3FirstTrigger|BenchmarkInvoke$|BenchmarkInvokeObs$' \
+	-bench 'BenchmarkTable3FirstTrigger|BenchmarkInvoke$|BenchmarkInvokeObs$|BenchmarkEngineCold$|BenchmarkEngineWarm$' \
 	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 awk -v cores="$(nproc 2>/dev/null || echo 1)" '
@@ -35,9 +35,17 @@ function metric(name,    i) {
 /BenchmarkTable3FirstTrigger\/workers=8/  { w8 = metric("ns\\/op"); w8a = metric("allocs\\/op") }
 /^BenchmarkInvokeObs/ { obs = metric("ns\\/op"); obsa = metric("allocs\\/op"); next }
 /^BenchmarkInvoke/ { inv = metric("ns\\/op"); invb = metric("B\\/op"); inva = metric("allocs\\/op") }
+/^BenchmarkEngineCold/ {
+	cold = metric("ns\\/op")
+	s_unpack = metric("unpack_ns_op"); s_profile = metric("profile_ns_op")
+	s_analyze = metric("analyze_ns_op"); s_construct = metric("construct_ns_op")
+	s_stego = metric("stego_ns_op"); s_validate = metric("validate_ns_op")
+	s_repack = metric("repack_ns_op")
+}
+/^BenchmarkEngineWarm/ { warm = metric("ns\\/op"); hitpct = metric("cache_hit_pct") }
 END {
 	printf "{\n"
-	printf "  \"bench\": \"PR3 unified metrics/tracing layer\",\n"
+	printf "  \"bench\": \"PR4 staged protection engine + artifact cache\",\n"
 	printf "  \"cores\": %d,\n", cores
 	printf "  \"table3_workers1_ns_op\": %s,\n", (w1 == "" ? "null" : w1)
 	printf "  \"table3_workers8_ns_op\": %s,\n", (w8 == "" ? "null" : w8)
@@ -49,7 +57,18 @@ END {
 	printf "  \"invoke_allocs_op\": %s,\n", (inva == "" ? "null" : inva)
 	printf "  \"invoke_obs_ns_op\": %s,\n", (obs == "" ? "null" : obs)
 	printf "  \"invoke_obs_allocs_op\": %s,\n", (obsa == "" ? "null" : obsa)
-	printf "  \"obs_overhead_pct\": %s\n", (inv == "" || obs == "" || inv == 0 ? "null" : sprintf("%.1f", (obs - inv) * 100.0 / inv))
+	printf "  \"obs_overhead_pct\": %s,\n", (inv == "" || obs == "" || inv == 0 ? "null" : sprintf("%.1f", (obs - inv) * 100.0 / inv))
+	printf "  \"protect_cold_ns_op\": %s,\n", (cold == "" ? "null" : cold)
+	printf "  \"protect_warm_ns_op\": %s,\n", (warm == "" ? "null" : warm)
+	printf "  \"protect_warm_speedup\": %s,\n", (cold == "" || warm == "" || warm == 0 ? "null" : sprintf("%.2f", cold / warm))
+	printf "  \"protect_warm_cache_hit_pct\": %s,\n", (hitpct == "" ? "null" : hitpct)
+	printf "  \"stage_unpack_ns\": %s,\n", (s_unpack == "" ? "null" : s_unpack)
+	printf "  \"stage_profile_ns\": %s,\n", (s_profile == "" ? "null" : s_profile)
+	printf "  \"stage_analyze_ns\": %s,\n", (s_analyze == "" ? "null" : s_analyze)
+	printf "  \"stage_construct_ns\": %s,\n", (s_construct == "" ? "null" : s_construct)
+	printf "  \"stage_stego_ns\": %s,\n", (s_stego == "" ? "null" : s_stego)
+	printf "  \"stage_validate_ns\": %s,\n", (s_validate == "" ? "null" : s_validate)
+	printf "  \"stage_repack_ns\": %s\n", (s_repack == "" ? "null" : s_repack)
 	printf "}\n"
 }' "$RAW" > "$OUT"
 

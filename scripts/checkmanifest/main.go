@@ -1,0 +1,58 @@
+// Command checkmanifest validates a cmd/bombdroid batch manifest:
+// the file must parse as JSON, name the expected number of apps, and
+// give every app a known status. verify.sh uses it to prove that an
+// interrupted batch still writes a well-formed partial manifest.
+//
+// Usage: checkmanifest manifest.json [expected-app-count]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "checkmanifest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: checkmanifest manifest.json [expected-app-count]")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var m struct {
+		Apps []struct {
+			App    string `json:"app"`
+			Status string `json:"status"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("%s is not valid JSON: %w", args[0], err)
+	}
+	if len(args) > 1 {
+		want, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		if len(m.Apps) != want {
+			return fmt.Errorf("manifest has %d apps, want %d", len(m.Apps), want)
+		}
+	}
+	for _, a := range m.Apps {
+		switch a.Status {
+		case "ok", "error", "cancelled":
+		default:
+			return fmt.Errorf("app %q has unknown status %q", a.App, a.Status)
+		}
+	}
+	fmt.Printf("manifest ok: %d apps\n", len(m.Apps))
+	return nil
+}

@@ -30,4 +30,42 @@ for key in sim_sessions_total exp_pool_tasks_total sim_trigger_latency_ms vm_op_
 	}
 done
 
+echo "==> smoke: cmd/bombdroid -batch over a 5-app corpus"
+CORPUS="$SMOKE_DIR/corpus"
+mkdir -p "$CORPUS"
+for name in AndroFish Angulo SWJournal Calendar CatLog; do
+	go run ./cmd/apkgen -name "$name" -keyseed 1 -out "$CORPUS/$name.apk"
+done
+go run ./cmd/bombdroid -batch "$CORPUS" -outdir "$SMOKE_DIR/protected" \
+	-manifest "$SMOKE_DIR/manifest.json" -keyseed 1 -profile-events 800 > /dev/null
+ok_count="$(grep -c '"status": "ok"' "$SMOKE_DIR/manifest.json")"
+[ "$ok_count" -eq 5 ] || {
+	echo "verify: batch manifest reports $ok_count ok apps, want 5" >&2
+	exit 1
+}
+ls "$SMOKE_DIR"/protected/*.prot.apk > /dev/null
+
+echo "==> smoke: cmd/bombdroid -batch mid-run SIGINT"
+# Build once so the signal hits the tool, not `go run`'s wrapper, and
+# profile at a scale slow enough (8 apps x 10k events, serial) that
+# the interrupt lands mid-corpus. The tool must exit promptly on its
+# own and still leave a valid manifest of whatever finished.
+go build -o "$SMOKE_DIR/bombdroid" ./cmd/bombdroid
+for name in BRouter "Hash Droid" "Binaural Beat"; do
+	go run ./cmd/apkgen -name "$name" -keyseed 1 -out "$CORPUS/$name.apk"
+done
+rm -f "$SMOKE_DIR/manifest.json"
+"$SMOKE_DIR/bombdroid" -batch "$CORPUS" -outdir "$SMOKE_DIR/protected" \
+	-manifest "$SMOKE_DIR/manifest.json" -keyseed 1 -workers 1 > /dev/null 2>&1 &
+BATCH_PID=$!
+sleep 2
+kill -INT "$BATCH_PID" 2>/dev/null || true
+wait "$BATCH_PID" && : || true
+[ -f "$SMOKE_DIR/manifest.json" ] || {
+	echo "verify: interrupted batch left no manifest" >&2
+	exit 1
+}
+# The partial manifest must be valid JSON naming every corpus member.
+go run ./scripts/checkmanifest "$SMOKE_DIR/manifest.json" 8
+
 echo "verify: OK"
