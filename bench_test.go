@@ -589,7 +589,7 @@ func BenchmarkReportIngestion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		inj := chaos.NewInjector(profile, 7)
 		sink := report.NewMemorySink()
-		pipe := report.New(&chaos.FlakySink{Inner: sink, Inj: inj}, report.Config{Seed: 7})
+		pipe := report.NewPipeline(&chaos.FlakySink{Inner: sink, Inj: inj}, report.WithSeed(7))
 		const events = 5_000
 		now := int64(0)
 		for j := 0; j < events; j++ {

@@ -1,0 +1,246 @@
+// Command loadgen drives a running marketd.
+//
+// Three modes:
+//
+//	loadgen -url http://127.0.0.1:8844 -events 100000 [-batch 512]
+//	        [-workers 4] [-gzip] [-apps 64] [-run label]
+//
+// fire-hose: synthesize -events detonation reports (mostly-unique
+// keys across -apps apps), POST them through market.Client in
+// -batch-sized batches from -workers goroutines, retrying 429s, and
+// print a JSON summary with events_per_sec and p99_ms.
+//
+//	loadgen -url ... -campaign AndroFish [-sessions 8] [-profile mild]
+//
+// campaign: prepare the named evaluation app, run a fault-injection
+// detonation campaign (sim.RunChaos), and deliver its event stream
+// through the device-side report.Pipeline with an HTTP sink pointed
+// at marketd — the end-to-end paper loop: device detonations, flaky
+// channel, retries and breaker, market WAL.
+//
+//	loadgen -url ... -verdict app-7
+//
+// verdict: fetch and print one app's verdict.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"bombdroid/internal/chaos"
+	"bombdroid/internal/exp"
+	"bombdroid/internal/market"
+	"bombdroid/internal/report"
+	"bombdroid/internal/sim"
+)
+
+// summary is the fire-hose mode's JSON report.
+type summary struct {
+	Events       int     `json:"events"`
+	Accepted     int     `json:"accepted"`
+	Duplicates   int     `json:"duplicates"`
+	Rejected429  int     `json:"rejected_429"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+func run(ctx context.Context, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "marketd base URL, e.g. http://127.0.0.1:8844 (required)")
+	events := fs.Int("events", 100_000, "fire-hose: total events to send")
+	batch := fs.Int("batch", 512, "fire-hose: events per POST")
+	workers := fs.Int("workers", 4, "fire-hose: concurrent posting goroutines")
+	gzipOn := fs.Bool("gzip", false, "fire-hose: gzip request bodies")
+	apps := fs.Int("apps", 64, "fire-hose: distinct app ids to spread events over")
+	runID := fs.String("run", "", "fire-hose: label mixed into user ids so reruns are novel (default: wall clock)")
+	campaign := fs.String("campaign", "", "campaign: run a chaos detonation campaign for this evaluation app")
+	sessions := fs.Int("sessions", 8, "campaign: detonation sessions")
+	profile := fs.String("profile", "mild", "campaign: fault profile none|mild|harsh")
+	seed := fs.Int64("seed", 42, "campaign: campaign seed")
+	verdict := fs.String("verdict", "", "verdict: fetch this app's verdict and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	cl := &market.Client{BaseURL: *url, Gzip: *gzipOn}
+
+	switch {
+	case *verdict != "":
+		v, err := cl.Verdict(*verdict)
+		if err != nil {
+			return err
+		}
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(out, "%s\n", b)
+		return nil
+	case *campaign != "":
+		return runCampaign(ctx, out, *url, *campaign, *sessions, *profile, *seed)
+	default:
+		return fireHose(ctx, out, cl, *events, *batch, *workers, *apps, *runID)
+	}
+}
+
+// fireHose hammers POST /v1/reports from workers goroutines and
+// reports throughput. 429s are retried after the daemon's Retry-After
+// beat — backpressure slows the hose, it never drops from it.
+func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, batch, workers, apps int, runID string) error {
+	if runID == "" {
+		runID = fmt.Sprintf("%d", time.Now().UnixNano())
+	}
+	type res struct {
+		accepted, dups, rejects int
+		lat                     []time.Duration
+		err                     error
+	}
+	batches := make(chan int)
+	results := make([]res, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			evs := make([]report.Event, batch)
+			for off := range batches {
+				for j := range evs {
+					i := off + j
+					evs[j] = report.Event{
+						App:    fmt.Sprintf("app-%d", i%apps),
+						Bomb:   fmt.Sprintf("bomb-%d", i%997),
+						User:   fmt.Sprintf("u-%s-%d", runID, i),
+						TimeMs: int64(i),
+						Info:   "loadgen",
+					}
+				}
+				for {
+					t0 := time.Now()
+					pr, err := cl.Post(evs)
+					r.lat = append(r.lat, time.Since(t0))
+					if errors.Is(err, market.ErrBackpressure) {
+						r.rejects++
+						select {
+						case <-time.After(50 * time.Millisecond):
+							continue
+						case <-ctx.Done():
+							r.err = ctx.Err()
+							return
+						}
+					}
+					if err != nil {
+						r.err = err
+						return
+					}
+					r.accepted += pr.Accepted
+					r.dups += pr.Duplicates
+					break
+				}
+			}
+		}(w)
+	}
+feed:
+	for off := 0; off < events; off += batch {
+		select {
+		case batches <- off:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(batches)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var s summary
+	var lat []time.Duration
+	for _, r := range results {
+		if r.err != nil && !errors.Is(r.err, context.Canceled) {
+			return r.err
+		}
+		s.Accepted += r.accepted
+		s.Duplicates += r.dups
+		s.Rejected429 += r.rejects
+		lat = append(lat, r.lat...)
+	}
+	s.Events = s.Accepted + s.Duplicates
+	s.ElapsedSec = elapsed.Seconds()
+	s.EventsPerSec = float64(s.Events) / elapsed.Seconds()
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		s.P99Ms = float64(lat[len(lat)*99/100].Microseconds()) / 1000.0
+	}
+	b, _ := json.MarshalIndent(s, "", "  ")
+	fmt.Fprintf(out, "%s\n", b)
+	return ctx.Err()
+}
+
+// runCampaign replays a real detonation campaign into marketd: the
+// prepared (protected, repackaged) app detonates under fault
+// injection, and every detection flows through the device-side
+// pipeline — retries, backoff, breaker — into the daemon's WAL.
+func runCampaign(ctx context.Context, out io.Writer, url, app string, sessions int, profile string, seed int64) error {
+	var prof chaos.Profile
+	switch profile {
+	case "none":
+		prof = chaos.None
+	case "mild":
+		prof = chaos.Mild
+	case "harsh":
+		prof = chaos.Harsh
+	default:
+		return fmt.Errorf("unknown profile %q (want none, mild or harsh)", profile)
+	}
+	p, err := exp.PrepareCtx(ctx, app, 2_500)
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunChaos(ctx, p.Pirated, p.Surface, sim.ChaosOptions{
+		Sessions: sessions,
+		CapMs:    20 * 60_000,
+		Seed:     seed,
+		Profile:  prof,
+		Sink:     &report.HTTPSink{URL: url + "/v1/reports"},
+		Pipeline: []report.Option{
+			report.WithMaxAttempts(200),
+			report.WithMaxBackoffMs(5 * 60_000),
+			report.WithBreakerThreshold(3),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "campaign %s: sessions=%d triggered=%d unique=%d delivered=%d dead_lettered=%d breaker_tripped=%v\n",
+		app, sessions, res.Successes, res.UniqueDetects, res.Pipeline.Delivered, res.Pipeline.DeadLettered, res.BreakerTripped)
+	cl := &market.Client{BaseURL: url}
+	v, err := cl.Verdict(p.Pirated.Name)
+	if err != nil {
+		return err
+	}
+	b, _ := json.Marshal(v)
+	fmt.Fprintf(out, "%s\n", b)
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

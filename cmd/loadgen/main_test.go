@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bombdroid/internal/market"
+)
+
+// newMarket spins an in-process marketd-equivalent for the hose to
+// shoot at.
+func newMarket(t *testing.T, cfg market.Config) *httptest.Server {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	st, _, err := market.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(market.NewHandler(st))
+	t.Cleanup(func() { srv.Close(); st.Close() })
+	return srv
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+	if err := run(context.Background(), &out, nil); err == nil {
+		t.Fatal("missing -url should fail")
+	}
+	srv := newMarket(t, market.Config{})
+	if err := run(context.Background(), &out, []string{"-url", srv.URL, "-campaign", "x", "-profile", "bogus"}); err == nil {
+		t.Fatal("unknown profile should fail")
+	}
+}
+
+// TestFireHose: a small hose run lands every event exactly once and
+// prints a parseable summary.
+func TestFireHose(t *testing.T) {
+	srv := newMarket(t, market.Config{Shards: 2})
+	var out bytes.Buffer
+	args := []string{"-url", srv.URL, "-events", "2000", "-batch", "100", "-workers", "3", "-run", "t1"}
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary does not parse: %v\n%s", err, out.String())
+	}
+	if s.Events != 2000 || s.Accepted != 2000 || s.Duplicates != 0 {
+		t.Errorf("summary = %+v, want 2000 accepted, 0 duplicates", s)
+	}
+	if s.EventsPerSec <= 0 || s.P99Ms <= 0 {
+		t.Errorf("summary missing rates: %+v", s)
+	}
+
+	// Same -run label again: all duplicates, still all accounted for.
+	out.Reset()
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Accepted != 0 || s.Duplicates != 2000 {
+		t.Errorf("rerun summary = %+v, want all duplicates", s)
+	}
+}
+
+// TestFireHoseBackpressure: a saturable store turns 429s into retries,
+// not losses — the summary still accounts for every event.
+func TestFireHoseBackpressure(t *testing.T) {
+	srv := newMarket(t, market.Config{Shards: 1, QueueCap: 64})
+	var out bytes.Buffer
+	args := []string{"-url", srv.URL, "-events", "1000", "-batch", "50", "-workers", "4", "-run", "bp"}
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 1000 {
+		t.Errorf("events = %d, want 1000 despite backpressure (rejected_429 = %d)", s.Events, s.Rejected429)
+	}
+}
+
+func TestVerdictMode(t *testing.T) {
+	srv := newMarket(t, market.Config{Threshold: 1})
+	cl := &market.Client{BaseURL: srv.URL}
+	if _, err := cl.Post(nil); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-url", srv.URL, "-verdict", "app.v"}); err != nil {
+		t.Fatalf("verdict mode: %v", err)
+	}
+	var v market.Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatalf("verdict does not parse: %v\n%s", err, out.String())
+	}
+	if v.App != "app.v" || v.Repackaged {
+		t.Errorf("verdict = %+v, want app.v, not repackaged", v)
+	}
+}
+
+// TestCampaignMode runs the full paper loop end to end: prepare a
+// protected+repackaged app, detonate it under the clean profile, and
+// deliver the detections through the device pipeline into the store.
+func TestCampaignMode(t *testing.T) {
+	srv := newMarket(t, market.Config{Threshold: 1})
+	var out bytes.Buffer
+	args := []string{"-url", srv.URL, "-campaign", "AndroFish", "-sessions", "4", "-profile", "none", "-seed", "3"}
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatalf("campaign mode: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "campaign AndroFish:") {
+		t.Fatalf("missing campaign summary:\n%s", got)
+	}
+	// The second line is the market's verdict for the pirated package;
+	// a detonating campaign over threshold 1 must flag it.
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	var v market.Verdict
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &v); err != nil {
+		t.Fatalf("verdict line does not parse: %v\n%s", err, got)
+	}
+	if !v.Repackaged || v.Detections == 0 {
+		t.Errorf("verdict = %+v, want repackaged with detections after campaign", v)
+	}
+}

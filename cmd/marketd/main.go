@@ -1,0 +1,135 @@
+// Command marketd is the market operator's detonation-ingestion
+// daemon: the always-on endpoint a fleet of protected apps reports
+// logic-bomb detonations to. It fronts a market.Store — sharded
+// dedup, append-only WAL, crash recovery — with the HTTP API in
+// internal/market/server.go.
+//
+// Usage:
+//
+//	marketd -addr :8844 -data ./marketd-data
+//	        [-shards 4] [-queue-cap 4096] [-dedup-window 65536]
+//	        [-segment-mb 64] [-threshold 3] [-fsync]
+//	        [-debug-addr :6060]
+//
+// On startup the daemon replays any existing WAL under -data and
+// prints a recovery summary; on SIGINT/SIGTERM it drains the shard
+// queues, seals the logs, and prints "clean shutdown". Every report
+// acked with a 200 before the signal is on disk and will be replayed
+// by the next start.
+//
+// /metrics and /metrics.json are served on the main listener;
+// -debug-addr additionally serves them plus pprof on a side port via
+// the same obs.ServeDebug used by cmd/report.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bombdroid/internal/market"
+	"bombdroid/internal/obs"
+)
+
+// run starts the daemon and blocks until ctx is cancelled, then shuts
+// down cleanly. main is signal/exit plumbing around it; tests call it
+// directly with a cancellable ctx and an ephemeral port. ready, when
+// non-nil, receives the bound address once the listener is up.
+func run(ctx context.Context, out io.Writer, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("marketd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8844", "listen address for the ingestion API")
+	data := fs.String("data", "", "data directory for WAL and metadata (required)")
+	shards := fs.Int("shards", 0, "ingestion shards (0 = default; pinned at first start)")
+	queueCap := fs.Int("queue-cap", 0, "per-shard queue bound before 429 backpressure (0 = default)")
+	dedupWindow := fs.Int("dedup-window", 0, "per-shard dedup window size in keys (0 = default)")
+	segmentMB := fs.Int("segment-mb", 0, "WAL segment rotation size in MiB (0 = default)")
+	threshold := fs.Int("threshold", 0, "detections before an app is marked repackaged (0 = default)")
+	fsync := fs.Bool("fsync", false, "fsync the WAL on every commit (survives machine crash, not just process kill)")
+	debugAddr := fs.String("debug-addr", "", "serve metrics + pprof on this extra address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+
+	cfg := market.Config{
+		Dir:          *data,
+		Shards:       *shards,
+		QueueCap:     *queueCap,
+		DedupWindow:  *dedupWindow,
+		SegmentBytes: int64(*segmentMB) << 20,
+		Threshold:    *threshold,
+		Fsync:        *fsync,
+		Obs:          obs.NewRegistry(),
+	}
+	st, stats, err := market.Open(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "marketd: recovered %d records from %d segments (%d torn tails, %d bytes truncated)\n",
+		stats.Records, stats.Segments, stats.TornTails, stats.TruncatedBytes)
+
+	if *debugAddr != "" {
+		stop, bound, err := obs.ServeDebug(*debugAddr, st.Obs())
+		if err != nil {
+			st.Close()
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(out, "marketd: debug endpoint listening on %s\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		st.Close()
+		return err
+	}
+	fmt.Fprintf(out, "marketd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	srv := &http.Server{Handler: market.NewHandler(st), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		st.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Stop taking requests (finish in-flight ones), then seal the WAL.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "marketd: clean shutdown")
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:], nil); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "marketd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bombdroid/internal/market"
+	"bombdroid/internal/report"
+)
+
+// startDaemon runs the daemon against dir on an ephemeral port and
+// returns its base URL plus a stop function that cancels it and
+// returns the full output after a clean exit.
+func startDaemon(t *testing.T, dir string, extra ...string) (string, func() string) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	var mu sync.Mutex
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-data", dir}, extra...)
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		errc <- run(ctx, &out, args, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "http://" + addr, func() string {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("daemon exited with error: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return out.String()
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-no-such-flag"}, nil); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+	if err := run(context.Background(), &out, nil, nil); err == nil {
+		t.Fatal("missing -data should fail")
+	}
+	if err := run(context.Background(), &out, []string{"-data", t.TempDir(), "-queue-cap", "-1"}, nil); err == nil {
+		t.Fatal("negative queue-cap should fail Validate")
+	}
+}
+
+// TestDaemonLifecycle: start, ingest, verdict, SIGTERM-equivalent
+// cancel, restart — the restarted daemon replays the WAL and serves
+// the identical verdict.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	base, stop := startDaemon(t, dir, "-shards", "2", "-threshold", "2")
+	cl := &market.Client{BaseURL: base}
+
+	evs := []report.Event{
+		{App: "app.x", Bomb: "b1", User: "u1", TimeMs: 1},
+		{App: "app.x", Bomb: "b1", User: "u2", TimeMs: 2},
+		{App: "app.x", Bomb: "b1", User: "u1", TimeMs: 3}, // dup
+	}
+	res, err := cl.Post(evs)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if res.Accepted != 2 || res.Duplicates != 1 {
+		t.Fatalf("Post = %+v, want accepted 2, duplicates 1", res)
+	}
+	v1, err := cl.Verdict("app.x")
+	if err != nil {
+		t.Fatalf("Verdict: %v", err)
+	}
+	if !v1.Repackaged || v1.Detections != 2 {
+		t.Fatalf("verdict = %+v, want repackaged with 2 detections", v1)
+	}
+
+	output := stop()
+	if !strings.Contains(output, "marketd: listening on 127.0.0.1:") {
+		t.Errorf("missing listening line:\n%s", output)
+	}
+	if !strings.Contains(output, "marketd: clean shutdown") {
+		t.Errorf("missing clean-shutdown line:\n%s", output)
+	}
+
+	// Restart over the same data dir: replay must reproduce the state.
+	base2, stop2 := startDaemon(t, dir, "-shards", "2", "-threshold", "2")
+	cl2 := &market.Client{BaseURL: base2}
+	v2, err := cl2.Verdict("app.x")
+	if err != nil {
+		t.Fatalf("Verdict after restart: %v", err)
+	}
+	if v2 != v1 {
+		t.Errorf("verdict changed across restart: %+v vs %+v", v1, v2)
+	}
+	// Dedup state replayed too: the old batch is all duplicates.
+	res2, err := cl2.Post(evs)
+	if err != nil || res2.Accepted != 0 || res2.Duplicates != 3 {
+		t.Errorf("re-Post after restart = %+v (%v), want all duplicates", res2, err)
+	}
+	output2 := stop2()
+	if !strings.Contains(output2, "recovered 2 records") {
+		t.Errorf("missing replay summary:\n%s", output2)
+	}
+}
+
+func TestDaemonDebugAddr(t *testing.T) {
+	base, stop := startDaemon(t, t.TempDir(), "-debug-addr", "127.0.0.1:0")
+	cl := &market.Client{BaseURL: base}
+	if _, err := cl.Post([]report.Event{{App: "a", Bomb: "b", User: "u"}}); err != nil {
+		t.Fatal(err)
+	}
+	output := stop()
+	if !strings.Contains(output, "marketd: debug endpoint listening on 127.0.0.1:") {
+		t.Errorf("missing debug endpoint line:\n%s", output)
+	}
+}

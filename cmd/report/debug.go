@@ -2,13 +2,8 @@ package main
 
 import (
 	"encoding/json"
-	"expvar"
 	"fmt"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
-	"time"
 
 	"bombdroid/internal/obs"
 )
@@ -34,40 +29,4 @@ func writeMetrics(path string, reg *obs.Registry) error {
 		return fmt.Errorf("snapshot at %s does not round-trip: %w", path, err)
 	}
 	return nil
-}
-
-// serveDebug exposes the run's live metrics plus the standard Go
-// debug handlers on addr. It binds synchronously (so a bad address
-// fails the command) and serves in the background; it returns a stop
-// function that closes the server and the bound address (useful when
-// addr asked for port 0). A private mux (rather than
-// http.DefaultServeMux) keeps repeated runs in one process — the CLI
-// tests — from panicking on duplicate registration.
-func serveDebug(addr string, reg *obs.Registry) (func(), string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, "", err
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if b, err := reg.Snapshot().JSON(); err == nil {
-			w.Write(append(b, '\n'))
-		} else {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln)
-	return func() { srv.Close() }, ln.Addr().String(), nil
 }

@@ -65,7 +65,7 @@ func run(ctx context.Context, out io.Writer, args []string) (err error) {
 		sc.Obs = reg
 	}
 	if *debugAddr != "" {
-		stop, bound, err := serveDebug(*debugAddr, reg)
+		stop, bound, err := obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
 			return err
 		}
@@ -167,14 +167,14 @@ func run(ctx context.Context, out io.Writer, args []string) (err error) {
 		fmt.Fprintln(out, exp.FormatAnalystRows(rows))
 	}
 	if *all || *extra == "matrix" {
-		rows, err := exp.ResilienceMatrix(7)
+		rows, err := exp.ResilienceMatrixCtx(ctx, 7)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, exp.FormatMatrix(rows))
 	}
 	if *all || *extra == "ablate" {
-		rows, err := exp.Ablations(11)
+		rows, err := exp.AblationsCtx(ctx, 11)
 		if err != nil {
 			return err
 		}

@@ -111,7 +111,7 @@ func TestServeDebugEndpoints(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("probe_total").Add(3)
 	reg.Histogram("probe_ms", []int64{10}).Observe(7)
-	stop, addr, err := serveDebug("127.0.0.1:0", reg)
+	stop, addr, err := obs.ServeDebug("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}

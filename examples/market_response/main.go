@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 	surf := sim.SurfaceOf(app)
 	const downloads = 60
 	fmt.Printf("'FreeAppz' uploads a repackaged beatbox; %d users download it\n\n", downloads)
-	cr, err := sim.RunCampaign(pirated, surf, downloads, 30*60_000, 12)
+	cr, err := sim.Run(context.Background(), pirated, surf, sim.CampaignOptions{N: downloads, CapMs: 30 * 60_000, Seed: 12})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 
 	// Control: the same fleet on the genuine app.
 	fmt.Println()
-	gc, err := sim.RunCampaign(prot, surf, 20, 10*60_000, 13)
+	gc, err := sim.Run(context.Background(), prot, surf, sim.CampaignOptions{N: 20, CapMs: 10 * 60_000, Seed: 13})
 	if err != nil {
 		log.Fatal(err)
 	}

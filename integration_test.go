@@ -4,6 +4,7 @@
 package bombdroid_test
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -95,7 +96,7 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cr, err := sim.RunCampaign(pirated, sim.SurfaceOf(app), 10, 30*60_000, 7)
+	cr, err := sim.Run(context.Background(), pirated, sim.SurfaceOf(app), sim.CampaignOptions{N: 10, CapMs: 30 * 60_000, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -43,6 +44,13 @@ func ablationFixture(seed int64) (*appgen.App, *apk.Package, *apk.KeyPair, error
 
 // Ablations runs every DESIGN.md §6 ablation and returns the rows.
 func Ablations(seed int64) ([]AblationRow, error) {
+	return AblationsCtx(context.Background(), seed)
+}
+
+// AblationsCtx is the canonical ablation runner: the five
+// design-choice measurements run in order, and ctx is checked between
+// them, so a cancelled run stops at the next stage boundary.
+func AblationsCtx(ctx context.Context, seed int64) ([]AblationRow, error) {
 	app, pkg, key, err := ablationFixture(seed)
 	if err != nil {
 		return nil, err
@@ -82,6 +90,9 @@ func Ablations(seed int64) ([]AblationRow, error) {
 		Verdict: "unique salts prevent rainbow-table sharing (§5.1)",
 	})
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Rainbow-table cost (same axis, measured as precomputation).
 	rb := func(globalSalt string) (attack.RainbowResult, error) {
 		prot, _, err := core.ProtectPackage(pkg, key, core.Options{Seed: seed, GlobalSalt: globalSalt})
@@ -109,6 +120,9 @@ func Ablations(seed int64) ([]AblationRow, error) {
 		Verdict: "per-bomb salts multiply precomputation by the bomb count",
 	})
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// 2. Double vs single trigger: lab fuzzing exposure.
 	trig := func(single bool) (float64, error) {
 		prot, res, err := core.ProtectPackage(pkg, key, core.Options{Seed: seed, SingleTrigger: single})
@@ -153,6 +167,9 @@ func Ablations(seed int64) ([]AblationRow, error) {
 		Verdict: "inner env conditions keep bombs dormant in the lab (§6)",
 	})
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// 3. Weaving + bogus bombs vs clean deletion.
 	corrupt := func(noWeave bool) (float64, error) {
 		opts := core.Options{Seed: seed, NoWeave: noWeave}
@@ -221,6 +238,9 @@ func Ablations(seed int64) ([]AblationRow, error) {
 		Verdict: "deletion is deterred by woven app code (§3.4, G4)",
 	})
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// 4. α sweep.
 	var counts []string
 	for _, alpha := range []float64{0.10, 0.25, 0.50} {
@@ -237,6 +257,9 @@ func Ablations(seed int64) ([]AblationRow, error) {
 		Verdict: "bomb count scales linearly with α (§7.2)",
 	})
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// 5. §10 muting.
 	mute := func(on bool) (int, error) {
 		prot, _, err := core.ProtectPackage(pkg, key, core.Options{

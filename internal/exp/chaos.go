@@ -49,12 +49,11 @@ func ChaosResilience(sc Scale) ([]ChaosRow, error) {
 
 // ChaosResilienceCtx is ChaosResilience with cancellation via ctx.
 func ChaosResilienceCtx(ctx context.Context, sc Scale) ([]ChaosRow, error) {
-	sc = sc.withDefaults()
-	capMs := int64(sc.SessionCapMin) * 60_000
 	// Apps fan across the pool; each app's three fault profiles stay
 	// serial (they share nothing, but three cheap campaigns per app do
 	// not justify another nesting level).
-	perApp, err := mapApps(ctx, sc, func(name string, p *PreparedApp) ([]ChaosRow, error) {
+	perApp, err := mapApps(ctx, sc, func(sc Scale, name string, p *PreparedApp) ([]ChaosRow, error) {
+		capMs := int64(sc.SessionCapMin) * 60_000
 		var rows []ChaosRow
 		for _, pc := range chaosProfiles {
 			opts := sim.ChaosOptions{
@@ -72,12 +71,12 @@ func ChaosResilienceCtx(ctx context.Context, sc Scale) ([]ChaosRow, error) {
 				// breaker threshold is lowered to keep the trip observable
 				// at quick scales.
 				opts.SinkOutages = [][2]int64{{0, int64(sc.SessionsPerApp) * capMs / 4}}
-				opts.Pipeline = report.Config{
-					MaxAttempts: 200, MaxBackoffMs: 5 * 60_000,
-					BreakerThreshold: 3,
+				opts.Pipeline = []report.Option{
+					report.WithMaxAttempts(200), report.WithMaxBackoffMs(5 * 60_000),
+					report.WithBreakerThreshold(3),
 				}
 			}
-			cr, err := sim.RunChaosCampaignCtx(ctx, p.Pirated, p.Surface, opts)
+			cr, err := sim.RunChaos(ctx, p.Pirated, p.Surface, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -33,8 +33,7 @@ func FalsePositives(sc Scale, hours int) ([]FPResult, error) {
 
 // FalsePositivesCtx is FalsePositives with cancellation via ctx.
 func FalsePositivesCtx(ctx context.Context, sc Scale, hours int) ([]FPResult, error) {
-	sc = sc.withDefaults()
-	return mapApps(ctx, sc, func(name string, p *PreparedApp) (FPResult, error) {
+	return mapApps(ctx, sc, func(_ Scale, name string, p *PreparedApp) (FPResult, error) {
 		v, err := vm.New(p.Protected, android.EmulatorLab(2)[1], vm.Options{Seed: seedFor(name) + 21})
 		if err != nil {
 			return FPResult{}, err
@@ -72,8 +71,7 @@ func CodeSize(sc Scale) ([]SizeRow, float64, error) {
 
 // CodeSizeCtx is CodeSize with cancellation via ctx.
 func CodeSizeCtx(ctx context.Context, sc Scale) ([]SizeRow, float64, error) {
-	sc = sc.withDefaults()
-	rows, err := mapApps(ctx, sc, func(name string, p *PreparedApp) (SizeRow, error) {
+	rows, err := mapApps(ctx, sc, func(_ Scale, name string, p *PreparedApp) (SizeRow, error) {
 		before := p.Original.TotalSize()
 		after := p.Protected.TotalSize()
 		pct := 100 * float64(after-before) / float64(before)
@@ -106,8 +104,7 @@ func HumanAnalystStudy(sc Scale) ([]AnalystRow, error) {
 
 // HumanAnalystStudyCtx is HumanAnalystStudy with cancellation via ctx.
 func HumanAnalystStudyCtx(ctx context.Context, sc Scale) ([]AnalystRow, error) {
-	sc = sc.withDefaults()
-	return mapApps(ctx, sc, func(name string, p *PreparedApp) (AnalystRow, error) {
+	return mapApps(ctx, sc, func(sc Scale, name string, p *PreparedApp) (AnalystRow, error) {
 		total := len(p.Result.RealBombs())
 		ar, err := attack.HumanAnalyst(p.Pirated, p.App.Config.ParamDomain, total,
 			sc.AnalystHours, p.App.HandlerScreens, p.App.ScreenField, seedFor(name)+31)
@@ -138,6 +135,13 @@ type MatrixRow struct {
 // qualitative table: every attack defeats at least one baseline and
 // none defeats BombDroid.
 func ResilienceMatrix(seed int64) ([]MatrixRow, error) {
+	return ResilienceMatrixCtx(context.Background(), seed)
+}
+
+// ResilienceMatrixCtx is the canonical resilience-matrix runner: the
+// attack stages run in order and ctx is checked between them, so a
+// cancelled run stops at the next attack boundary.
+func ResilienceMatrixCtx(ctx context.Context, seed int64) ([]MatrixRow, error) {
 	app, err := appgen.Generate(appgen.Config{Name: "matrix", Seed: seed, TargetLOC: 1200})
 	if err != nil {
 		return nil, err
@@ -186,6 +190,9 @@ func ResilienceMatrix(seed int64) ([]MatrixRow, error) {
 	add("text search", "ssn", "token hidden by reflection (but reflectCall visible)", ssnHits > 0)
 	add("text search", "bombdroid", "detection code encrypted; token absent", bdHits > 0)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Symbolic execution / path exploration (G1).
 	nsum := symexec.Analyze(naive.File, symexec.Options{Targets: []dex.API{dex.APIGetPublicKey}})
 	ssum := symexec.Analyze(ssn.File, symexec.Options{Targets: []dex.API{dex.APIReflectCall}})
@@ -199,6 +206,9 @@ func ResilienceMatrix(seed int64) ([]MatrixRow, error) {
 		fmt.Sprintf("%d/%d decrypt paths unsolvable (uninterpreted hash)",
 			len(bsum.UnsolvableHits()), len(bsum.Hits)), len(bsum.SolvedHits()) > 0)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Forced execution (§2.1 circumventing trigger conditions).
 	appRes := apk.Resources{Strings: []string{"hello"}, Author: "dev"}
 	nvForce, err := attack.ForcedExecution(naive.File, appRes, seed)
@@ -232,6 +242,9 @@ func ResilienceMatrix(seed int64) ([]MatrixRow, error) {
 			legitFires, weakFires, bdForce.Corrupted),
 		false)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Code instrumentation: rand-hook against SSN.
 	ssnPkg, err := apk.Sign(apk.Build("matrix", ssn.File, res), key)
 	if err != nil {
@@ -264,6 +277,9 @@ func ResilienceMatrix(seed int64) ([]MatrixRow, error) {
 	add("instrumentation (rand→0)", "bombdroid",
 		"no probabilistic gate to force; triggers are data-dependent", false)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Program slicing + slice execution (HARVESTER).
 	bdSlices, err := attack.ExecuteSlices(protFile, appRes, seed)
 	if err != nil {
@@ -273,6 +289,9 @@ func ResilienceMatrix(seed int64) ([]MatrixRow, error) {
 		fmt.Sprintf("%d slices executed, %d payloads revealed, %d corrupted",
 			bdSlices.Executed, bdSlices.Revealed, bdSlices.Corrupted), bdSlices.Revealed > 0)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Brute force against keys (§5.1).
 	bf := attack.BruteForce(protFile, attack.BruteForceOptions{IntBudget: 1 << 10})
 	add("brute force (2^10 budget)", "bombdroid",

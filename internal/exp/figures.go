@@ -84,8 +84,7 @@ func Figure4(sc Scale) ([]Figure4Row, error) { return Figure4Ctx(context.Backgro
 
 // Figure4Ctx is Figure4 with cancellation via ctx.
 func Figure4Ctx(ctx context.Context, sc Scale) ([]Figure4Row, error) {
-	sc = sc.withDefaults()
-	return mapApps(ctx, sc, func(name string, p *PreparedApp) (Figure4Row, error) {
+	return mapApps(ctx, sc, func(_ Scale, name string, p *PreparedApp) (Figure4Row, error) {
 		row := Figure4Row{App: name}
 		for _, b := range p.Result.Bombs {
 			switch b.Source {
@@ -129,8 +128,7 @@ func Figure5(sc Scale) ([]Figure5Series, error) { return Figure5Ctx(context.Back
 // Figure5Ctx is Figure5 with cancellation via ctx: each app's
 // minute-by-minute fuzzing loop stops at the first cancelled minute.
 func Figure5Ctx(ctx context.Context, sc Scale) ([]Figure5Series, error) {
-	sc = sc.withDefaults()
-	return mapApps(ctx, sc, func(name string, p *PreparedApp) (Figure5Series, error) {
+	return mapApps(ctx, sc, func(sc Scale, name string, p *PreparedApp) (Figure5Series, error) {
 		total := len(p.Result.RealBombs())
 		v, err := vm.NewUnverified(p.Pirated, android.EmulatorLab(1)[0], vm.Options{Seed: seedFor(name) + 3})
 		if err != nil {

@@ -64,6 +64,7 @@ func ForIndexed[T any](ctx context.Context, sc Scale, n int, fn func(i int) (T, 
 }
 
 func forIndexed[T any](ctx context.Context, sc Scale, n int, fn func(i int) (T, error)) ([]T, error) {
+	sc = sc.withDefaults()
 	reg := sc.Obs
 	workers := workerCount(sc.Workers)
 	if workers > n {
@@ -142,10 +143,15 @@ func workerLabel(w int) string {
 	return string([]byte{'0' + byte(w/10%10), '0' + byte(w%10)})
 }
 
-// mapApps prepares every app in sc.Apps (cache-deduplicated, so
-// concurrent tables cost one pipeline run per app) and applies fn,
-// returning one result per app in Scale order.
-func mapApps[T any](ctx context.Context, sc Scale, fn func(name string, p *PreparedApp) (T, error)) ([]T, error) {
+// mapApps is the shared scale/pool plumbing every per-app experiment
+// goes through: it resolves Scale defaults once, prepares every app in
+// sc.Apps (cache-deduplicated, so concurrent tables cost one pipeline
+// run per app), and applies fn, returning one result per app in Scale
+// order. fn receives the defaulted Scale, so experiment bodies read
+// resolved knobs (SessionsPerApp, FuzzMinutes, …) without calling
+// withDefaults themselves.
+func mapApps[T any](ctx context.Context, sc Scale, fn func(sc Scale, name string, p *PreparedApp) (T, error)) ([]T, error) {
+	sc = sc.withDefaults()
 	return forIndexed(ctx, sc, len(sc.Apps), func(i int) (T, error) {
 		name := sc.Apps[i]
 		p, err := PrepareCtx(ctx, name, sc.ProfileEvents)
@@ -153,6 +159,6 @@ func mapApps[T any](ctx context.Context, sc Scale, fn func(name string, p *Prepa
 			var zero T
 			return zero, err
 		}
-		return fn(name, p)
+		return fn(sc, name, p)
 	})
 }

@@ -1,14 +1,3 @@
-// Package exp regenerates every table and figure in the paper's
-// evaluation (§8): Table 1 (corpus statics), Table 2 (injected
-// bombs), Table 3 (time to first trigger), Table 4 (fuzzer outer-
-// trigger coverage), Table 5 (execution overhead), Figure 3 (program-
-// variable entropy), Figure 4 (trigger strength), Figure 5 (bombs
-// triggered by Dynodroid over an hour) — plus the §8.3.2 human-
-// analyst study, the §8.4 false-positive and code-size measurements,
-// and a resilience matrix pitting every §2.1 attack against naive
-// bombs, SSN, and BombDroid. Both cmd/report and the repository's
-// benchmarks drive these entry points; Scale shrinks workloads for
-// quick runs.
 package exp
 
 import (

@@ -31,7 +31,6 @@ func Table1(sc Scale) ([]Table1Row, error) { return Table1Ctx(context.Background
 
 // Table1Ctx is Table1 with cancellation via ctx.
 func Table1Ctx(ctx context.Context, sc Scale) ([]Table1Row, error) {
-	sc = sc.withDefaults()
 	return forIndexed(ctx, sc, len(appgen.Categories), func(ci int) (Table1Row, error) {
 		spec := appgen.Categories[ci]
 		var nApps, loc, cand, qcs, env int
@@ -90,8 +89,7 @@ func Table2(sc Scale) ([]Table2Row, error) { return Table2Ctx(context.Background
 
 // Table2Ctx is Table2 with cancellation via ctx.
 func Table2Ctx(ctx context.Context, sc Scale) ([]Table2Row, error) {
-	sc = sc.withDefaults()
-	return mapApps(ctx, sc, func(name string, p *PreparedApp) (Table2Row, error) {
+	return mapApps(ctx, sc, func(_ Scale, name string, p *PreparedApp) (Table2Row, error) {
 		st := p.Result.Stats
 		return Table2Row{
 			App:        name,
@@ -121,10 +119,11 @@ func Table3(sc Scale) ([]Table3Row, error) { return Table3Ctx(context.Background
 // Table3Ctx is Table3 with cancellation via ctx: the per-app campaign
 // workers stop claiming sessions when ctx fires.
 func Table3Ctx(ctx context.Context, sc Scale) ([]Table3Row, error) {
-	sc = sc.withDefaults()
-	return mapApps(ctx, sc, func(name string, p *PreparedApp) (Table3Row, error) {
-		cr, err := sim.RunCampaignObs(ctx, p.Pirated, p.Surface, sc.SessionsPerApp,
-			int64(sc.SessionCapMin)*60_000, seedFor(name)+7, sc.Workers, sc.Obs)
+	return mapApps(ctx, sc, func(sc Scale, name string, p *PreparedApp) (Table3Row, error) {
+		cr, err := sim.Run(ctx, p.Pirated, p.Surface, sim.CampaignOptions{
+			N: sc.SessionsPerApp, CapMs: int64(sc.SessionCapMin) * 60_000,
+			Seed: seedFor(name) + 7, Workers: sc.Workers, Reg: sc.Obs,
+		})
 		if err != nil {
 			return Table3Row{}, err
 		}
@@ -184,9 +183,8 @@ func Table4(sc Scale) ([]Table4Row, error) { return Table4Ctx(context.Background
 
 // Table4Ctx is Table4 with cancellation via ctx.
 func Table4Ctx(ctx context.Context, sc Scale) ([]Table4Row, error) {
-	sc = sc.withDefaults()
 	const runs = 3
-	return mapApps(ctx, sc, func(name string, p *PreparedApp) (Table4Row, error) {
+	return mapApps(ctx, sc, func(sc Scale, name string, p *PreparedApp) (Table4Row, error) {
 		real := p.RealBlobs()
 		row := Table4Row{App: name, RealBombs: len(real)}
 		if len(real) == 0 {
@@ -249,8 +247,7 @@ func Table5(sc Scale) ([]Table5Row, error) { return Table5Ctx(context.Background
 
 // Table5Ctx is Table5 with cancellation via ctx.
 func Table5Ctx(ctx context.Context, sc Scale) ([]Table5Row, error) {
-	sc = sc.withDefaults()
-	return mapApps(ctx, sc, func(name string, p *PreparedApp) (Table5Row, error) {
+	return mapApps(ctx, sc, func(sc Scale, name string, p *PreparedApp) (Table5Row, error) {
 		// Each run replays one seed's event stream against both builds;
 		// runs are independent, so they fan across the pool and their
 		// tick counts sum by run index.

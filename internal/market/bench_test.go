@@ -1,0 +1,143 @@
+package market
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"bombdroid/internal/report"
+)
+
+// benchEvents builds n events spread over apps/users with mostly
+// distinct keys — the realistic market mix where dedup checks run but
+// rarely hit.
+func benchEvents(n int) []report.Event {
+	evs := make([]report.Event, n)
+	for i := range evs {
+		evs[i] = report.Event{
+			App:    fmt.Sprintf("app-%d", i%64),
+			Bomb:   fmt.Sprintf("bomb-%d", i%997),
+			User:   fmt.Sprintf("user-%d", i),
+			TimeMs: int64(i),
+			Info:   "bench",
+		}
+	}
+	return evs
+}
+
+// BenchmarkMarketIngestHTTP drives the whole marketd stack — Client →
+// HTTP → handler → shards → WAL — with 512-event batches and reports
+// sustained events/sec plus the p99 per-batch latency. This is the
+// number the ISSUE acceptance bar (≥100k events/sec) reads.
+func BenchmarkMarketIngestHTTP(b *testing.B) {
+	st, _, err := Open(Config{Dir: b.TempDir(), Shards: 4, QueueCap: 1 << 16, DedupWindow: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+	cl := &Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+
+	const batch = 512
+	evs := benchEvents(batch * 256)
+	lat := make([]time.Duration, 0, b.N)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		// Rotate through the pre-built pool, shifting User per lap so
+		// keys stay novel and the dedup path is exercised, not hit.
+		off := (i * batch) % len(evs)
+		part := evs[off : off+batch]
+		if i >= len(evs)/batch {
+			lap := i / (len(evs) / batch)
+			for j := range part {
+				part[j].User = fmt.Sprintf("user-%d-%d", off+j, lap)
+			}
+		}
+		t0 := time.Now()
+		if _, err := cl.Post(part); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "events_sec")
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	b.ReportMetric(float64(p99.Microseconds())/1000.0, "p99_ms")
+}
+
+// BenchmarkWALReplay measures crash-recovery speed: how fast Open can
+// re-admit a shard's worth of committed records.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	const n = 20_000
+	st, _, err := Open(Config{Dir: dir, Shards: 1, QueueCap: 1 << 16, DedupWindow: 1 << 20, MaxBatch: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs := benchEvents(n)
+	for off := 0; off < n; off += 4096 {
+		end := off + 4096
+		if end > n {
+			end = n
+		}
+		if _, _, err := st.Ingest(evs[off:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		st, stats, err := Open(Config{Dir: dir, Shards: 1, QueueCap: 1 << 16, DedupWindow: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Records != n {
+			b.Fatalf("replayed %d records, want %d", stats.Records, n)
+		}
+		b.StopTimer()
+		st.Close()
+		b.StartTimer()
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)*n/elapsed.Seconds(), "events_sec")
+}
+
+// BenchmarkStoreIngest isolates the store (no HTTP): partition,
+// dedup, group commit, WAL flush.
+func BenchmarkStoreIngest(b *testing.B) {
+	st, _, err := Open(Config{Dir: b.TempDir(), Shards: 4, QueueCap: 1 << 16, DedupWindow: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	const batch = 512
+	evs := benchEvents(batch)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		for j := range evs {
+			evs[j].User = fmt.Sprintf("u-%d-%d", i, j)
+		}
+		if _, _, err := st.Ingest(evs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "events_sec")
+}

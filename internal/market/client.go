@@ -1,0 +1,104 @@
+package market
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"bombdroid/internal/report"
+)
+
+// Client speaks marketd's ingestion API. cmd/loadgen uses it for the
+// fire-hose path; it is also the reference for anyone pointing a real
+// device fleet at the daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8844".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Gzip compresses request bodies (Content-Encoding: gzip).
+	Gzip bool
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// PostResult is the daemon's ack for one batch.
+type PostResult struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+}
+
+// Post sends one batch of events to POST /v1/reports. A 429 surfaces
+// as ErrBackpressure so callers can share the store's retry logic.
+func (c *Client) Post(evs []report.Event) (PostResult, error) {
+	var buf bytes.Buffer
+	var w io.Writer = &buf
+	var zw *gzip.Writer
+	if c.Gzip {
+		zw = gzip.NewWriter(&buf)
+		w = zw
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return PostResult{}, err
+		}
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return PostResult{}, err
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/reports", &buf)
+	if err != nil {
+		return PostResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if c.Gzip {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return PostResult{}, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return PostResult{}, ErrBackpressure
+	case resp.StatusCode != http.StatusOK:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return PostResult{}, fmt.Errorf("market: POST /v1/reports: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var res PostResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return PostResult{}, err
+	}
+	return res, nil
+}
+
+// Verdict fetches GET /v1/apps/{app}/verdict.
+func (c *Client) Verdict(app string) (Verdict, error) {
+	resp, err := c.client().Get(c.BaseURL + "/v1/apps/" + app + "/verdict")
+	if err != nil {
+		return Verdict{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return Verdict{}, fmt.Errorf("market: GET verdict: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var v Verdict
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return Verdict{}, err
+	}
+	return v, nil
+}

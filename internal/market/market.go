@@ -1,0 +1,317 @@
+// Package market is the market-operator half of the paper's
+// decentralized repackaging-detection loop: the app store that the
+// devices' detonation reports flow back to. The device side
+// (internal/report, internal/sim) retries through outages and
+// dedups per device; this side must hold up at market scale — many
+// apps, many devices, bursty traffic — without ever losing a report
+// it acknowledged.
+//
+// The design is a sharded, WAL-backed ingestion store:
+//
+//   - incoming events are partitioned across Shards by Event.Key(),
+//     so one hot app cannot stall the others;
+//   - each shard admits events through a dedup window, appends the
+//     novel ones to an append-only checksummed WAL (group commit, one
+//     flush per batch), and only then acks — a 200 from the daemon
+//     means the report is on disk;
+//   - admission is gated by a per-shard queue bound: when a shard is
+//     saturated the store refuses with ErrBackpressure (HTTP 429)
+//     instead of dropping, pushing the retry into the device-side
+//     pipeline where it already has backoff and a breaker;
+//   - Open replays every shard's WAL to rebuild the dedup windows and
+//     per-app tallies exactly, tolerating a torn record at the tail of
+//     the last segment (the crash case) and refusing corruption
+//     anywhere else.
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bombdroid/internal/obs"
+	"bombdroid/internal/report"
+)
+
+var (
+	// ErrBackpressure rejects an ingest when a target shard's queue is
+	// full. The request is safe to retry after a beat.
+	ErrBackpressure = errors.New("market: shard queue full")
+	// ErrClosed rejects operations on a closed store.
+	ErrClosed = errors.New("market: store closed")
+)
+
+// Config tunes a Store. The zero value of every field except Dir
+// resolves to a default; Dir is required.
+type Config struct {
+	// Dir is the data directory. Each shard keeps its WAL in
+	// Dir/shard-NNN; Dir/meta.json pins the shard count.
+	Dir string
+	// Shards is the partition count (default 4). It is fixed at first
+	// Open: reopening a directory with a different count is an error,
+	// because the key→shard mapping would silently change.
+	Shards int
+	// QueueCap bounds each shard's enqueued-but-uncommitted events;
+	// past it Ingest returns ErrBackpressure (default 4096).
+	QueueCap int
+	// DedupWindow is the per-generation key capacity of each shard's
+	// dedup window; a key is remembered for between one and two
+	// windows' worth of admissions (default 65536).
+	DedupWindow int
+	// SegmentBytes rotates a shard's WAL segment past this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// Threshold is how many admitted detections mark an app
+	// repackaged in Verdict (default 3) — the market-response knob:
+	// one report could be a fluke, Threshold distinct detonations are
+	// a takedown case.
+	Threshold int
+	// Fsync syncs the WAL on every batch commit. Off by default: the
+	// ack guarantee is then "in the OS" (survives a process kill, not
+	// a machine crash), which is the deployment's usual trade.
+	Fsync bool
+	// MaxBatch bounds events per group commit (default 4096).
+	MaxBatch int
+	// Obs receives the store's metrics (default: a private registry).
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4096
+	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = 1 << 16
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 64 << 20
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 4096
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	return c
+}
+
+// Validate rejects configurations the store cannot run with. Open
+// calls it after defaulting; exported so flag-driven callers
+// (cmd/marketd) can fail fast with a message.
+func (c Config) Validate() error {
+	switch {
+	case c.Dir == "":
+		return fmt.Errorf("market: Dir is required")
+	case c.Shards < 0 || c.Shards > 1024:
+		return fmt.Errorf("market: Shards %d outside [1,1024]", c.Shards)
+	case c.QueueCap < 0:
+		return fmt.Errorf("market: QueueCap %d < 0", c.QueueCap)
+	case c.DedupWindow < 0:
+		return fmt.Errorf("market: DedupWindow %d < 0", c.DedupWindow)
+	case c.SegmentBytes < 0:
+		return fmt.Errorf("market: SegmentBytes %d < 0", c.SegmentBytes)
+	case c.Threshold < 0:
+		return fmt.Errorf("market: Threshold %d < 0", c.Threshold)
+	case c.MaxBatch < 0:
+		return fmt.Errorf("market: MaxBatch %d < 0", c.MaxBatch)
+	}
+	return nil
+}
+
+// Store is the ingestion engine: Ingest partitions, dedups, logs, and
+// acks; Verdict reads the per-app tallies the log implies.
+type Store struct {
+	cfg    Config
+	shards []*shard
+
+	mu      sync.RWMutex // guards closed vs in-flight Ingest
+	closed  bool
+	rejects *obs.Counter
+}
+
+type storeMeta struct {
+	Shards int `json:"shards"`
+}
+
+// Open validates cfg, replays any existing WALs under cfg.Dir, and
+// starts the shard workers. The returned ReplayStats summarize the
+// recovery (segments scanned, records replayed, torn tails truncated).
+func Open(cfg Config) (*Store, ReplayStats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, ReplayStats{}, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, ReplayStats{}, err
+	}
+	if err := checkMeta(cfg); err != nil {
+		return nil, ReplayStats{}, err
+	}
+	st := &Store{
+		cfg:     cfg,
+		rejects: cfg.Obs.Counter("market_backpressure_rejects_total"),
+	}
+	var stats ReplayStats
+	for i := 0; i < cfg.Shards; i++ {
+		s, ss, err := newShard(i, cfg)
+		if err != nil {
+			for _, prev := range st.shards {
+				prev.close()
+			}
+			return nil, ReplayStats{}, err
+		}
+		st.shards = append(st.shards, s)
+		stats.add(ss)
+	}
+	return st, stats, nil
+}
+
+// checkMeta pins the shard count across restarts: the key→shard
+// mapping is part of the on-disk format.
+func checkMeta(cfg Config) error {
+	path := filepath.Join(cfg.Dir, "meta.json")
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m storeMeta
+		if err := json.Unmarshal(b, &m); err != nil {
+			return fmt.Errorf("market: corrupt %s: %w", path, err)
+		}
+		if m.Shards != cfg.Shards {
+			return fmt.Errorf("market: %s was written with %d shards, reopened with %d",
+				cfg.Dir, m.Shards, cfg.Shards)
+		}
+		return nil
+	case os.IsNotExist(err):
+		b, _ := json.Marshal(storeMeta{Shards: cfg.Shards})
+		return os.WriteFile(path, append(b, '\n'), 0o644)
+	default:
+		return err
+	}
+}
+
+func (st *Store) shardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(st.shards)))
+}
+
+// Ingest admits a batch of events: partition by key, reserve queue
+// room on every target shard, enqueue, and wait for the shard workers
+// to commit. It returns how many events were newly admitted and how
+// many were dedup hits.
+//
+// Admission is all-or-nothing at the reservation stage: if any target
+// shard is saturated, nothing is enqueued and the whole batch fails
+// with ErrBackpressure, so a client retry cannot half-apply (the
+// dedup window would absorb it anyway, but the 429 path stays cheap).
+// A WAL failure on any shard is returned as the batch's error; events
+// on other shards that did commit stay committed and a retry of the
+// full batch dedups them.
+func (st *Store) Ingest(evs []report.Event) (accepted, dups int, err error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return 0, 0, ErrClosed
+	}
+	if len(evs) == 0 {
+		return 0, 0, nil
+	}
+	parts := make([][]report.Event, len(st.shards))
+	for _, ev := range evs {
+		i := st.shardFor(ev.Key())
+		parts[i] = append(parts[i], ev)
+	}
+	var reserved []int
+	for i, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		s := st.shards[i]
+		if s.depth.Add(int64(len(p))) > int64(st.cfg.QueueCap) {
+			s.depth.Add(-int64(len(p)))
+			for _, j := range reserved {
+				st.shards[j].depth.Add(-int64(len(parts[j])))
+			}
+			st.rejects.Inc()
+			return 0, 0, ErrBackpressure
+		}
+		reserved = append(reserved, i)
+	}
+	dones := make([]chan ingestRes, 0, len(reserved))
+	for _, i := range reserved {
+		req := ingestReq{evs: parts[i], done: make(chan ingestRes, 1)}
+		st.shards[i].ch <- req
+		dones = append(dones, req.done)
+	}
+	for _, done := range dones {
+		res := <-done
+		accepted += res.accepted
+		dups += res.dups
+		if res.err != nil && err == nil {
+			err = res.err
+		}
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return accepted, dups, nil
+}
+
+// Verdict is one app's standing with the market.
+type Verdict struct {
+	App        string `json:"app"`
+	Detections int64  `json:"detections"`
+	Threshold  int    `json:"threshold"`
+	Repackaged bool   `json:"repackaged"`
+}
+
+// Verdict sums the app's admitted detections across shards and
+// compares against the configured threshold.
+func (st *Store) Verdict(app string) Verdict {
+	var n int64
+	for _, s := range st.shards {
+		n += s.appCount(app)
+	}
+	return Verdict{
+		App:        app,
+		Detections: n,
+		Threshold:  st.cfg.Threshold,
+		Repackaged: n >= int64(st.cfg.Threshold),
+	}
+}
+
+// Obs exposes the store's metrics registry (the configured one, or
+// the private default).
+func (st *Store) Obs() *obs.Registry { return st.cfg.Obs }
+
+// Threshold reports the configured detection threshold.
+func (st *Store) Threshold() int { return st.cfg.Threshold }
+
+// Close drains the shard queues, seals every WAL, and rejects further
+// ingests. Safe to call once; concurrent Ingests finish first.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var err error
+	for _, s := range st.shards {
+		if cerr := s.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,211 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bombdroid/internal/obs"
+	"bombdroid/internal/report"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("empty Dir should fail Validate")
+	}
+	if err := (Config{Dir: "x", QueueCap: -1}).Validate(); err == nil {
+		t.Error("negative QueueCap should fail Validate")
+	}
+	if err := (Config{Dir: "x", Shards: 2000}).Validate(); err == nil {
+		t.Error("absurd Shards should fail Validate")
+	}
+	if err := (Config{Dir: "x"}).Validate(); err != nil {
+		t.Errorf("minimal config should validate: %v", err)
+	}
+}
+
+func TestIngestVerdictDuplicates(t *testing.T) {
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 2, Threshold: 3})
+	defer st.Close()
+
+	evs := []report.Event{
+		ev("app.a", "b1", "u1"),
+		ev("app.a", "b1", "u1"), // same key, same batch
+		ev("app.a", "b1", "u2"),
+		ev("app.a", "b2", "u1"),
+		ev("app.b", "b1", "u1"),
+	}
+	accepted, dups, err := st.Ingest(evs)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if accepted != 4 || dups != 1 {
+		t.Fatalf("Ingest = (%d, %d), want (4, 1)", accepted, dups)
+	}
+
+	// Resubmitting the whole batch is all duplicates.
+	accepted, dups, err = st.Ingest(evs)
+	if err != nil || accepted != 0 || dups != 5 {
+		t.Fatalf("resubmit = (%d, %d, %v), want (0, 5, nil)", accepted, dups, err)
+	}
+
+	v := st.Verdict("app.a")
+	if v.Detections != 3 || !v.Repackaged || v.Threshold != 3 {
+		t.Errorf("Verdict(app.a) = %+v, want 3 detections, repackaged", v)
+	}
+	if v := st.Verdict("app.b"); v.Detections != 1 || v.Repackaged {
+		t.Errorf("Verdict(app.b) = %+v, want 1 detection, not repackaged", v)
+	}
+	if v := st.Verdict("app.unknown"); v.Detections != 0 || v.Repackaged {
+		t.Errorf("Verdict(app.unknown) = %+v, want zero", v)
+	}
+}
+
+// TestBackpressure: a single shard with a tiny queue rejects a batch
+// larger than QueueCap with ErrBackpressure — deterministically, since
+// the reservation happens before any enqueue.
+func TestBackpressure(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 1, QueueCap: 8, Obs: reg})
+	defer st.Close()
+
+	var evs []report.Event
+	for i := 0; i < 9; i++ {
+		evs = append(evs, ev("app.bp", fmt.Sprintf("b%d", i), "u1"))
+	}
+	if _, _, err := st.Ingest(evs); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("Ingest over QueueCap: err = %v, want ErrBackpressure", err)
+	}
+	if got := reg.Snapshot().Counters["market_backpressure_rejects_total"]; got != 1 {
+		t.Errorf("rejects counter = %d, want 1", got)
+	}
+
+	// The rejection rolled back its reservation: a fitting batch works.
+	accepted, _, err := st.Ingest(evs[:8])
+	if err != nil || accepted != 8 {
+		t.Fatalf("Ingest after reject = (%d, %v), want (8, nil)", accepted, err)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 1})
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, _, err := st.Ingest([]report.Event{ev("a", "b", "u")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestMetaShardMismatch: reopening a data dir with a different shard
+// count must fail — the key→shard mapping is part of the format.
+func TestMetaShardMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, Config{Dir: dir, Shards: 2})
+	st.Close()
+	if _, _, err := Open(Config{Dir: dir, Shards: 8}); err == nil {
+		t.Fatal("Open with mismatched shard count should fail")
+	}
+	// The original count still works.
+	st2, _ := mustOpen(t, Config{Dir: dir, Shards: 2})
+	st2.Close()
+}
+
+// TestConcurrentIngest hammers the store from many goroutines (run
+// under -race in verify.sh) and checks totals: every distinct key
+// accepted exactly once, everything else counted a duplicate.
+func TestConcurrentIngest(t *testing.T) {
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 4, QueueCap: 1 << 16})
+	defer st.Close()
+
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var accepted, dups int
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Half the keys collide across goroutines.
+				a, d, err := st.Ingest([]report.Event{
+					ev("app.c", fmt.Sprintf("b%d", i), fmt.Sprintf("u%d", g)),
+					ev("app.c", fmt.Sprintf("shared-%d", i), "u0"),
+				})
+				if err != nil {
+					t.Errorf("Ingest: %v", err)
+					return
+				}
+				mu.Lock()
+				accepted += a
+				dups += d
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	wantAccepted := goroutines*perG + perG // unique per-g keys + shared set once
+	if accepted != wantAccepted {
+		t.Errorf("accepted = %d, want %d", accepted, wantAccepted)
+	}
+	if accepted+dups != 2*goroutines*perG {
+		t.Errorf("accepted+dups = %d, want %d", accepted+dups, 2*goroutines*perG)
+	}
+	if v := st.Verdict("app.c"); v.Detections != int64(wantAccepted) {
+		t.Errorf("Detections = %d, want %d", v.Detections, wantAccepted)
+	}
+}
+
+// TestDedupWindowRotation: with a tiny window, old keys age out and
+// can be re-admitted; the tally counts the re-admission (the paper's
+// evidence counter tolerates this — the window bounds memory, and a
+// re-report after ~2 windows of traffic is fresh evidence).
+func TestDedupWindowRotation(t *testing.T) {
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 1, DedupWindow: 4})
+	defer st.Close()
+
+	// Admit the probe key, then flood 8+ other keys to rotate it out of
+	// both generations.
+	if a, _, _ := st.Ingest([]report.Event{ev("app.w", "probe", "u")}); a != 1 {
+		t.Fatal("probe not admitted")
+	}
+	for i := 0; i < 12; i++ {
+		st.Ingest([]report.Event{ev("app.w", fmt.Sprintf("fill-%d", i), "u")})
+	}
+	a, d, err := st.Ingest([]report.Event{ev("app.w", "probe", "u")})
+	if err != nil || a != 1 || d != 0 {
+		t.Fatalf("aged-out key = (%d, %d, %v), want re-admitted (1, 0, nil)", a, d, err)
+	}
+}
+
+// TestShardMetrics: the per-shard obs families are populated.
+func TestShardMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 2, Obs: reg})
+	defer st.Close()
+	writeEvents(t, st, "app.m", 16)
+
+	snap := reg.Snapshot()
+	var events, records int64
+	for name, v := range snap.Counters {
+		switch {
+		case hasPrefix(name, "market_ingest_events_total{"):
+			events += v
+		case hasPrefix(name, "market_wal_records_total{"):
+			records += v
+		}
+	}
+	if events != 16 {
+		t.Errorf("sum of market_ingest_events_total = %d, want 16", events)
+	}
+	if records != 16 {
+		t.Errorf("sum of market_wal_records_total = %d, want 16", records)
+	}
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

@@ -1,0 +1,97 @@
+package market
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"bombdroid/internal/obs"
+	"bombdroid/internal/report"
+)
+
+// maxRequestEvents bounds one POST /v1/reports body. Clients batching
+// harder than this get a 413 and should split; it keeps a single
+// request from monopolizing every shard queue.
+const maxRequestEvents = 65536
+
+// NewHandler wires a Store into marketd's HTTP surface:
+//
+//	POST /v1/reports             — newline-delimited JSON Events
+//	                               (Content-Encoding: gzip honored);
+//	                               200 {"accepted":n,"duplicates":d},
+//	                               429 + Retry-After on backpressure
+//	GET  /v1/apps/{app}/verdict  — the app's Verdict as JSON
+//	GET  /healthz                — liveness
+//	GET  /metrics, /metrics.json — the store's registry
+//
+// The ingestion wire format is the same Event JSON the device-side
+// report.HTTPSink emits, so a pipeline pointed at marketd needs no
+// adapter.
+func NewHandler(st *Store) http.Handler {
+	mux := http.NewServeMux()
+	reqs := st.Obs().Counter("market_http_requests_total")
+
+	mux.HandleFunc("POST /v1/reports", func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		body := io.Reader(r.Body)
+		if r.Header.Get("Content-Encoding") == "gzip" {
+			zr, err := gzip.NewReader(r.Body)
+			if err != nil {
+				http.Error(w, "bad gzip body", http.StatusBadRequest)
+				return
+			}
+			defer zr.Close()
+			body = zr
+		}
+		dec := json.NewDecoder(body)
+		var evs []report.Event
+		for {
+			var ev report.Event
+			if err := dec.Decode(&ev); err == io.EOF {
+				break
+			} else if err != nil {
+				http.Error(w, fmt.Sprintf("bad event at index %d: %v", len(evs), err), http.StatusBadRequest)
+				return
+			}
+			if ev.App == "" || ev.Bomb == "" || ev.User == "" {
+				http.Error(w, fmt.Sprintf("event at index %d missing app/bomb/user", len(evs)), http.StatusBadRequest)
+				return
+			}
+			evs = append(evs, ev)
+			if len(evs) > maxRequestEvents {
+				http.Error(w, fmt.Sprintf("batch exceeds %d events", maxRequestEvents), http.StatusRequestEntityTooLarge)
+				return
+			}
+		}
+		accepted, dups, err := st.Ingest(evs)
+		switch {
+		case errors.Is(err, ErrBackpressure):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"accepted\":%d,\"duplicates\":%d}\n", accepted, dups)
+	})
+
+	mux.HandleFunc("GET /v1/apps/{app}/verdict", func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		v := st.Verdict(r.PathValue("app"))
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(v)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+
+	obs.RegisterMetricsHandlers(mux, st.Obs())
+	return mux
+}

@@ -1,0 +1,187 @@
+package market
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bombdroid/internal/report"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Store) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	st, _, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := httptest.NewServer(NewHandler(st))
+	t.Cleanup(func() { srv.Close(); st.Close() })
+	return srv, st
+}
+
+func ndjson(evs ...report.Event) *bytes.Buffer {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range evs {
+		enc.Encode(ev)
+	}
+	return &buf
+}
+
+func TestHTTPIngestAndVerdict(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Threshold: 2})
+	cl := &Client{BaseURL: srv.URL}
+
+	res, err := cl.Post([]report.Event{
+		ev("app.h", "b1", "u1"),
+		ev("app.h", "b1", "u2"),
+		ev("app.h", "b1", "u1"), // dup
+	})
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if res.Accepted != 2 || res.Duplicates != 1 {
+		t.Fatalf("Post = %+v, want accepted 2, duplicates 1", res)
+	}
+
+	v, err := cl.Verdict("app.h")
+	if err != nil {
+		t.Fatalf("Verdict: %v", err)
+	}
+	if v.App != "app.h" || v.Detections != 2 || !v.Repackaged {
+		t.Errorf("Verdict = %+v, want 2 detections, repackaged", v)
+	}
+}
+
+func TestHTTPGzip(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	cl := &Client{BaseURL: srv.URL, Gzip: true}
+	res, err := cl.Post([]report.Event{ev("app.gz", "b1", "u1"), ev("app.gz", "b2", "u1")})
+	if err != nil {
+		t.Fatalf("gzip Post: %v", err)
+	}
+	if res.Accepted != 2 {
+		t.Fatalf("gzip Post accepted = %d, want 2", res.Accepted)
+	}
+
+	// A body claiming gzip but carrying garbage is a 400.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/reports", strings.NewReader("not gzip"))
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage gzip status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+
+	post := func(body io.Reader) int {
+		resp, err := http.Post(srv.URL+"/v1/reports", "application/x-ndjson", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(strings.NewReader("{not json")); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON status = %d, want 400", code)
+	}
+	if code := post(ndjson(report.Event{App: "a", Bomb: "b"})); code != http.StatusBadRequest {
+		t.Errorf("missing user status = %d, want 400", code)
+	}
+	if code := post(strings.NewReader("")); code != http.StatusOK {
+		t.Errorf("empty batch status = %d, want 200", code)
+	}
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz failed: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestHTTPBackpressure: a one-shard store with a tiny queue turns an
+// oversized batch into a 429 + Retry-After, which the Client maps back
+// to ErrBackpressure.
+func TestHTTPBackpressure(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Shards: 1, QueueCap: 4})
+
+	var evs []report.Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, ev("app.429", fmt.Sprintf("b%d", i), "u1"))
+	}
+	resp, err := http.Post(srv.URL+"/v1/reports", "application/x-ndjson", ndjson(evs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+
+	cl := &Client{BaseURL: srv.URL}
+	if _, err := cl.Post(evs); !errors.Is(err, ErrBackpressure) {
+		t.Errorf("Client.Post on saturated store: err = %v, want ErrBackpressure", err)
+	}
+}
+
+func TestHTTPOversizedBatch(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	// One valid event line, repeated past maxRequestEvents.
+	line, _ := json.Marshal(ev("app.big", "b", "u"))
+	line = append(line, '\n')
+	body := bytes.Repeat(line, maxRequestEvents+1)
+	resp, err := http.Post(srv.URL+"/v1/reports", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestHTTPMetricsEndpoint: the handler serves the store's registry on
+// /metrics with the market families present.
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	cl := &Client{BaseURL: srv.URL}
+	if _, err := cl.Post([]report.Event{ev("app.met", "b1", "u1")}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{
+		"market_ingest_events_total",
+		"market_wal_records_total",
+		"market_http_requests_total",
+	} {
+		if !strings.Contains(string(body), fam) {
+			t.Errorf("/metrics missing %s", fam)
+		}
+	}
+}

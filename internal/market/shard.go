@@ -1,0 +1,213 @@
+package market
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"bombdroid/internal/obs"
+	"bombdroid/internal/report"
+)
+
+// ingestReq is one Ingest call's slice of events for a single shard.
+// done is buffered (cap 1), so the worker never blocks acking.
+type ingestReq struct {
+	evs  []report.Event
+	done chan ingestRes
+}
+
+type ingestRes struct {
+	accepted int
+	dups     int
+	err      error
+}
+
+// shard owns one partition of the key space: a WAL, a dedup window,
+// and per-app tallies. A single worker goroutine consumes its queue,
+// so everything past the channel is single-writer; only depth (the
+// admission gate) and the aggregates (read by Verdict) need atomics
+// or locks.
+type shard struct {
+	id  int
+	cfg Config
+	w   *wal
+
+	ch     chan ingestReq
+	depth  atomic.Int64 // events enqueued but not yet committed
+	exited chan struct{}
+
+	// Two-generation dedup window: lookups check both maps, inserts go
+	// to cur, and when cur reaches DedupWindow keys the generations
+	// rotate (prev is dropped, cur becomes prev). A key is therefore
+	// remembered for at least DedupWindow and at most 2×DedupWindow
+	// admissions. Replay re-inserts every WAL record in order, which
+	// reproduces the rotation sequence — and so the window's exact
+	// state — from the log alone.
+	cur, prev map[string]struct{}
+
+	mu   sync.Mutex
+	apps map[string]int64 // app → admitted (unique, in-window) detections
+
+	cEvents  *obs.Counter
+	cDups    *obs.Counter
+	cRecords *obs.Counter
+	cBatches *obs.Counter
+	gDepth   *obs.Gauge
+}
+
+func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
+	label := fmt.Sprintf("%d", id)
+	s := &shard{
+		id:     id,
+		cfg:    cfg,
+		ch:     make(chan ingestReq, cfg.QueueCap),
+		exited: make(chan struct{}),
+		cur:    make(map[string]struct{}),
+		apps:   make(map[string]int64),
+
+		cEvents:  cfg.Obs.Counter(obs.L("market_ingest_events_total", "shard", label)),
+		cDups:    cfg.Obs.Counter(obs.L("market_ingest_duplicates_total", "shard", label)),
+		cRecords: cfg.Obs.Counter(obs.L("market_wal_records_total", "shard", label)),
+		cBatches: cfg.Obs.Counter(obs.L("market_commit_batches_total", "shard", label), obs.Volatile()),
+		gDepth:   cfg.Obs.Gauge(obs.L("market_shard_queue_depth", "shard", label), obs.Volatile()),
+	}
+	dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", id))
+	w, stats, err := openWAL(dir, cfg.SegmentBytes, cfg.Fsync, s.admit)
+	if err != nil {
+		return nil, ReplayStats{}, err
+	}
+	s.w = w
+	s.cRecords.Add(stats.Records)
+	go s.run()
+	return s, stats, nil
+}
+
+// admit records one event as accepted: it enters the dedup window and
+// its app's tally. Called for every event the worker commits and, in
+// identical order, for every record the WAL replays — the two paths
+// must stay byte-for-byte the same or a restart would change verdicts.
+func (s *shard) admit(ev report.Event) {
+	if len(s.cur) >= s.cfg.DedupWindow {
+		s.prev = s.cur
+		s.cur = make(map[string]struct{}, s.cfg.DedupWindow)
+	}
+	s.cur[ev.Key()] = struct{}{}
+	s.mu.Lock()
+	s.apps[ev.App]++
+	s.mu.Unlock()
+}
+
+func (s *shard) isDup(key string) bool {
+	if _, ok := s.cur[key]; ok {
+		return true
+	}
+	_, ok := s.prev[key]
+	return ok
+}
+
+// appCount reads one app's tally (Verdict path).
+func (s *shard) appCount(app string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apps[app]
+}
+
+// run is the shard worker: it takes one queued request, greedily
+// drains whatever else is already queued (group commit, bounded by
+// MaxBatch events), and commits the lot with a single WAL flush.
+func (s *shard) run() {
+	defer close(s.exited)
+	for {
+		req, ok := <-s.ch
+		if !ok {
+			return
+		}
+		batch := []ingestReq{req}
+		n := len(req.evs)
+	drain:
+		for n < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.ch:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+				n += len(r.evs)
+			default:
+				break drain
+			}
+		}
+		s.commit(batch, n)
+	}
+}
+
+// commit deduplicates the batch, appends every novel event to the WAL
+// as one flush, and only then — after the bytes are handed to the OS —
+// admits the events and acks the requests. On a WAL error nothing is
+// admitted, so the dedup window and tallies never get ahead of the
+// log: an acked event is always replayable, and a failed one is
+// retryable without tripping the dedup window.
+func (s *shard) commit(batch []ingestReq, total int) {
+	results := make([]ingestRes, len(batch))
+	var payloads [][]byte
+	var admitted []report.Event
+	inBatch := make(map[string]struct{})
+	var encErr error
+	for bi, req := range batch {
+		for _, ev := range req.evs {
+			key := ev.Key()
+			if _, ok := inBatch[key]; ok || s.isDup(key) {
+				results[bi].dups++
+				continue
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				encErr = err
+				break
+			}
+			inBatch[key] = struct{}{}
+			payloads = append(payloads, b)
+			admitted = append(admitted, ev)
+			results[bi].accepted++
+		}
+	}
+	err := encErr
+	if err == nil && len(payloads) > 0 {
+		err = s.w.Append(payloads)
+	}
+	if err != nil {
+		for bi := range results {
+			results[bi] = ingestRes{err: err}
+		}
+	} else {
+		for _, ev := range admitted {
+			s.admit(ev)
+		}
+		s.cEvents.Add(int64(len(admitted)))
+		s.cDups.Add(int64(total - len(admitted)))
+		s.cRecords.Add(int64(len(payloads)))
+		s.cBatches.Inc()
+	}
+	s.depth.Add(-int64(total))
+	s.gDepth.Set(s.depth.Load())
+	for bi, req := range batch {
+		req.done <- results[bi]
+	}
+}
+
+// close stops the worker (after the queue drains) and seals the WAL.
+func (s *shard) close() error {
+	close(s.ch)
+	<-s.exited
+	return s.w.Close()
+}
+
+func decodeEvent(b []byte) (report.Event, error) {
+	var ev report.Event
+	if err := json.Unmarshal(b, &ev); err != nil {
+		return report.Event{}, err
+	}
+	return ev, nil
+}

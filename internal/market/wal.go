@@ -1,0 +1,252 @@
+package market
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"bombdroid/internal/report"
+)
+
+// The WAL is the daemon's durability contract: an ingestion request
+// is acked only after every novel event in it is in a shard's log and
+// flushed to the OS. Each shard owns a directory of append-only
+// segment files:
+//
+//	shard-003/wal-00000000.log
+//	shard-003/wal-00000001.log
+//	...
+//
+// and each record is length-prefixed and checksummed:
+//
+//	| length uint32 LE | crc32c uint32 LE | payload (JSON Event) |
+//
+// The CRC is Castagnoli over the payload. Segments rotate once they
+// pass SegmentBytes; only the highest-numbered segment is ever
+// written, so a crash can tear at most the tail of the last segment.
+// Replay treats a bad record there as the torn tail — it truncates
+// the file back to the last good record and carries on — while a bad
+// record in any earlier segment is real corruption and fails Open.
+
+const (
+	walHeaderLen = 8
+	// maxWALRecord bounds a single record; a length prefix beyond it
+	// is garbage (torn tail or corruption), not a huge event.
+	maxWALRecord = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is one shard's segmented append-only log. All methods are
+// called from the owning shard's worker goroutine only.
+type wal struct {
+	dir      string
+	segBytes int64
+	fsync    bool
+
+	seg  int // index of the open segment
+	size int64
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// ReplayStats summarizes what Open recovered from disk.
+type ReplayStats struct {
+	Segments       int   `json:"segments"`
+	Records        int64 `json:"records"`
+	TornTails      int   `json:"torn_tails"`
+	TruncatedBytes int64 `json:"truncated_bytes"`
+}
+
+func (a *ReplayStats) add(b ReplayStats) {
+	a.Segments += b.Segments
+	a.Records += b.Records
+	a.TornTails += b.TornTails
+	a.TruncatedBytes += b.TruncatedBytes
+}
+
+func segName(i int) string { return fmt.Sprintf("wal-%08d.log", i) }
+
+// openWAL replays every segment in dir (creating the directory and
+// first segment if absent), feeding each decoded event to replay in
+// record order, then opens the last segment for appending.
+func openWAL(dir string, segBytes int64, fsync bool, replay func(report.Event)) (*wal, ReplayStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ReplayStats{}, err
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, ReplayStats{}, err
+	}
+	sort.Strings(names)
+
+	var stats ReplayStats
+	last := 0
+	for i, name := range names {
+		isLast := i == len(names)-1
+		segStats, err := replaySegment(name, isLast, replay)
+		if err != nil {
+			return nil, ReplayStats{}, err
+		}
+		stats.add(segStats)
+		if _, err := fmt.Sscanf(filepath.Base(name), "wal-%08d.log", &last); err != nil {
+			return nil, ReplayStats{}, fmt.Errorf("market: unrecognized segment %s", name)
+		}
+	}
+	stats.Segments = len(names)
+	if len(names) == 0 {
+		stats.Segments = 1 // the fresh segment created below
+	}
+
+	w := &wal{dir: dir, segBytes: segBytes, fsync: fsync, seg: last}
+	if err := w.openSegment(); err != nil {
+		return nil, ReplayStats{}, err
+	}
+	return w, stats, nil
+}
+
+// replaySegment streams one segment's records into replay. A bad
+// record (short header, absurd length, short payload, CRC mismatch)
+// in the last segment is the torn tail: the file is truncated back to
+// the last good record. Anywhere else it is corruption and an error.
+func replaySegment(name string, isLast bool, replay func(report.Event)) (ReplayStats, error) {
+	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	fileSize := info.Size()
+
+	var stats ReplayStats
+	r := bufio.NewReaderSize(f, 1<<20)
+	var off int64 // offset of the record being read
+	var hdr [walHeaderLen]byte
+	buf := make([]byte, 4096)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return stats, nil // clean end
+			}
+			return tornTail(f, name, isLast, off, fileSize, stats)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxWALRecord {
+			return tornTail(f, name, isLast, off, fileSize, stats)
+		}
+		if int(length) > cap(buf) {
+			buf = make([]byte, length)
+		}
+		payload := buf[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return tornTail(f, name, isLast, off, fileSize, stats)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return tornTail(f, name, isLast, off, fileSize, stats)
+		}
+		ev, err := decodeEvent(payload)
+		if err != nil {
+			// The CRC matched, so these bytes were written exactly as
+			// committed: an undecodable record is a format bug, not a
+			// torn tail, at any position.
+			return stats, fmt.Errorf("market: %s: record at %d: %w", name, off, err)
+		}
+		replay(ev)
+		stats.Records++
+		off += walHeaderLen + int64(length)
+	}
+}
+
+// tornTail resolves a bad record at offset off: truncate if this is
+// the writable tail of the log, error otherwise.
+func tornTail(f *os.File, name string, isLast bool, off, fileSize int64, stats ReplayStats) (ReplayStats, error) {
+	if !isLast {
+		return stats, fmt.Errorf("market: %s: corrupt record at offset %d in a sealed segment", name, off)
+	}
+	if err := f.Truncate(off); err != nil {
+		return stats, fmt.Errorf("market: truncating torn tail of %s: %w", name, err)
+	}
+	stats.TornTails++
+	stats.TruncatedBytes += fileSize - off
+	return stats, nil
+}
+
+func (w *wal) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.w, w.size = f, bufio.NewWriterSize(f, 1<<20), info.Size()
+	return nil
+}
+
+// Append writes the payloads as one committed batch: every record is
+// buffered, then the buffer is flushed (and fsynced when configured)
+// so the bytes are in the OS before the caller acks. Rotation happens
+// after the commit, so a batch never straddles segments.
+func (w *wal) Append(payloads [][]byte) error {
+	var hdr [walHeaderLen]byte
+	for _, p := range payloads {
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(p, castagnoli))
+		if _, err := w.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.w.Write(p); err != nil {
+			return err
+		}
+		w.size += walHeaderLen + int64(len(p))
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if w.size >= w.segBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+func (w *wal) rotate() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.seg++
+	return w.openSegment()
+}
+
+// Segments reports how many segment files exist on disk right now.
+func (w *wal) Segments() int { return w.seg + 1 }
+
+func (w *wal) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

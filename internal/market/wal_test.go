@@ -1,0 +1,219 @@
+package market
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bombdroid/internal/report"
+)
+
+func ev(app, bomb, user string) report.Event {
+	return report.Event{App: app, Bomb: bomb, User: user, TimeMs: 1000, Info: "k"}
+}
+
+func mustOpen(t *testing.T, cfg Config) (*Store, ReplayStats) {
+	t.Helper()
+	st, stats, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st, stats
+}
+
+// writeEvents pushes n events with distinct keys for app through st.
+func writeEvents(t *testing.T, st *Store, app string, n int) {
+	t.Helper()
+	evs := make([]report.Event, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, ev(app, fmt.Sprintf("bomb-%d", i), "user-1"))
+	}
+	accepted, dups, err := st.Ingest(evs)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if accepted != n || dups != 0 {
+		t.Fatalf("Ingest = (%d, %d), want (%d, 0)", accepted, dups, n)
+	}
+}
+
+// TestWALTornTailRecovery: write N records, chop the last one mid-way,
+// and reopen. Recovery must truncate the torn record, replay the other
+// N-1, and leave the verdict tally matching a store that never saw the
+// torn event.
+func TestWALTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1}
+	st, _ := mustOpen(t, cfg)
+	writeEvents(t, st, "app.x", 10)
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tear the tail: drop 3 bytes off the only segment, slicing the
+	// last record's payload.
+	seg := filepath.Join(dir, "shard-000", "wal-00000000.log")
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := mustOpen(t, cfg)
+	defer st2.Close()
+	if stats.Records != 9 {
+		t.Errorf("replayed %d records, want 9", stats.Records)
+	}
+	if stats.TornTails != 1 {
+		t.Errorf("TornTails = %d, want 1", stats.TornTails)
+	}
+	if stats.TruncatedBytes == 0 {
+		t.Error("TruncatedBytes = 0, want > 0")
+	}
+	if v := st2.Verdict("app.x"); v.Detections != 9 {
+		t.Errorf("Detections after recovery = %d, want 9", v.Detections)
+	}
+
+	// The torn event was never acked as durable by this store instance;
+	// resubmitting it must land as a fresh accept, not a duplicate.
+	accepted, dups, err := st2.Ingest([]report.Event{ev("app.x", "bomb-9", "user-1")})
+	if err != nil || accepted != 1 || dups != 0 {
+		t.Fatalf("resubmit after torn tail = (%d, %d, %v), want (1, 0, nil)", accepted, dups, err)
+	}
+	if v := st2.Verdict("app.x"); v.Detections != 10 {
+		t.Errorf("Detections after resubmit = %d, want 10", v.Detections)
+	}
+}
+
+// TestWALTornHeader: truncating into the 8-byte header (not just the
+// payload) is also a recoverable torn tail.
+func TestWALTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1}
+	st, _ := mustOpen(t, cfg)
+	writeEvents(t, st, "app.h", 3)
+	st.Close()
+
+	seg := filepath.Join(dir, "shard-000", "wal-00000000.log")
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the last record's start: replay forward counting offsets.
+	// Simpler: append 4 stray bytes (a torn header) instead.
+	if err := os.WriteFile(seg, append(b, 0xde, 0xad, 0xbe, 0xef), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := mustOpen(t, cfg)
+	defer st2.Close()
+	if stats.Records != 3 || stats.TornTails != 1 {
+		t.Errorf("stats = %+v, want 3 records, 1 torn tail", stats)
+	}
+}
+
+// TestWALRotation: a small SegmentBytes forces rotation; replay must
+// walk all segments in order and rebuild the full tally.
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 256}
+	st, _ := mustOpen(t, cfg)
+	writeEvents(t, st, "app.rot", 50)
+	st.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "shard-000", "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", len(segs))
+	}
+
+	st2, stats := mustOpen(t, cfg)
+	defer st2.Close()
+	if stats.Records != 50 {
+		t.Errorf("replayed %d records across %d segments, want 50", stats.Records, stats.Segments)
+	}
+	if stats.Segments != len(segs) {
+		t.Errorf("stats.Segments = %d, want %d", stats.Segments, len(segs))
+	}
+	if v := st2.Verdict("app.rot"); v.Detections != 50 {
+		t.Errorf("Detections = %d, want 50", v.Detections)
+	}
+}
+
+// TestWALMidSegmentCorruption: flipping bytes inside a sealed (non-
+// last) segment is corruption, not a torn tail — Open must refuse.
+func TestWALMidSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 256}
+	st, _ := mustOpen(t, cfg)
+	writeEvents(t, st, "app.bad", 50)
+	st.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "shard-000", "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(segs))
+	}
+	first := segs[0]
+	b, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(first, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(cfg); err == nil {
+		t.Fatal("Open should refuse a corrupt sealed segment")
+	}
+}
+
+// TestWALRestartReplayIdentical: everything a store acked before a
+// clean close is visible, with identical tallies, after reopen — and
+// the dedup window state survives too (resubmits are dups).
+func TestWALRestartReplayIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 4}
+	st, _ := mustOpen(t, cfg)
+
+	var evs []report.Event
+	for a := 0; a < 5; a++ {
+		for i := 0; i < 20; i++ {
+			evs = append(evs, ev(fmt.Sprintf("app-%d", a), fmt.Sprintf("b%d", i%7), fmt.Sprintf("u%d", i)))
+		}
+	}
+	accepted, _, err := st.Ingest(evs)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	want := make(map[string]int64)
+	for a := 0; a < 5; a++ {
+		app := fmt.Sprintf("app-%d", a)
+		want[app] = st.Verdict(app).Detections
+	}
+	st.Close()
+
+	st2, stats := mustOpen(t, cfg)
+	defer st2.Close()
+	if stats.Records != int64(accepted) {
+		t.Errorf("replayed %d records, want accepted count %d", stats.Records, accepted)
+	}
+	if stats.TornTails != 0 {
+		t.Errorf("TornTails = %d on a clean close, want 0", stats.TornTails)
+	}
+	for app, n := range want {
+		if got := st2.Verdict(app).Detections; got != n {
+			t.Errorf("Verdict(%s) = %d after restart, want %d", app, got, n)
+		}
+	}
+	// Dedup state was rebuilt: the whole original batch is duplicates.
+	accepted2, dups2, err := st2.Ingest(evs)
+	if err != nil {
+		t.Fatalf("re-Ingest: %v", err)
+	}
+	if accepted2 != 0 || dups2 != len(evs) {
+		t.Errorf("re-Ingest = (%d, %d), want (0, %d)", accepted2, dups2, len(evs))
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug exposes a registry's live metrics plus the standard Go
+// debug handlers on addr: /metrics (Prometheus text), /metrics.json
+// (the JSON snapshot), /debug/pprof/* and /debug/vars. It binds
+// synchronously (so a bad address fails the caller) and serves in the
+// background; it returns a stop function that closes the server and
+// the bound address (useful when addr asked for port 0). A private
+// mux — rather than http.DefaultServeMux — keeps repeated runs in one
+// process, as in CLI tests, from panicking on duplicate registration.
+//
+// Both cmd/report and cmd/marketd hang their operator endpoints off
+// this one helper, so every daemon in the repo exposes the same
+// debugging surface.
+func ServeDebug(addr string, reg *Registry) (func(), string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	RegisterMetricsHandlers(mux, reg)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, ln.Addr().String(), nil
+}
+
+// RegisterMetricsHandlers mounts /metrics and /metrics.json for reg on
+// an existing mux — for daemons (cmd/marketd) that fold the metrics
+// surface into their main listener instead of a separate debug port.
+func RegisterMetricsHandlers(mux *http.ServeMux, reg *Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if b, err := reg.Snapshot().JSON(); err == nil {
+			w.Write(append(b, '\n'))
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

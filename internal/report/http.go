@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ErrBackpressure is returned by HTTPSink.Deliver when the market
+// daemon sheds load (HTTP 429). It wraps ErrSinkDown, so existing
+// retry/breaker logic treats it as any other delivery failure while
+// callers that care can errors.Is for it specifically.
+var ErrBackpressure = fmt.Errorf("market backpressure: %w", ErrSinkDown)
+
+// HTTPSink delivers events to a market ingestion endpoint (see
+// internal/market and cmd/marketd): one POST per Deliver carrying a
+// single JSON-lines record. It closes the paper's decentralized loop
+// over a real network hop — device pipeline → HTTP → market WAL —
+// with the pipeline's retry, backoff, and breaker machinery handling
+// the hop's failures.
+//
+// Deliver is synchronous and does not batch: the pipeline's contract
+// is that a nil return means the sink accepted the event, and the
+// market side only acks after its WAL commit. Bulk traffic that wants
+// batched POSTs should use market.Client directly.
+type HTTPSink struct {
+	// URL is the full ingestion endpoint, e.g.
+	// "http://127.0.0.1:8444/v1/reports".
+	URL string
+	// Client overrides http.DefaultClient (tests inject timeouts).
+	Client *http.Client
+}
+
+// Deliver POSTs the event and maps the response onto the pipeline's
+// failure model: 2xx is success, 429 is ErrBackpressure, anything
+// else (including transport errors) wraps ErrSinkDown.
+func (s *HTTPSink) Deliver(ev Event, _ int64) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(s.URL, "application/x-ndjson", bytes.NewReader(append(body, '\n')))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSinkDown, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return ErrBackpressure
+	default:
+		return fmt.Errorf("%w: market returned %s", ErrSinkDown, resp.Status)
+	}
+}
+
+var _ Sink = (*HTTPSink)(nil)
+
+// IsBackpressure reports whether a delivery failure was the market
+// shedding load, letting callers distinguish "slow down" from "down".
+func IsBackpressure(err error) bool { return errors.Is(err, ErrBackpressure) }

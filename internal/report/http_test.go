@@ -1,0 +1,104 @@
+// Integration tests for the HTTP sink: the device-side pipeline
+// retrying through a flaky market endpoint. External test package so
+// the test can stand up net/http servers without entangling the
+// report package itself with httptest.
+package report_test
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"bombdroid/internal/report"
+)
+
+// TestHTTPSinkRetryVsBreaker drives the pipeline against a market
+// endpoint that is down for its first several requests: the breaker
+// must trip during the outage, stop hammering the server, and every
+// event must still land exactly once after recovery.
+func TestHTTPSinkRetryVsBreaker(t *testing.T) {
+	var calls atomic.Int64
+	const failFirst = 7
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failFirst {
+			http.Error(w, "market down", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, `{"accepted":1,"duplicates":0}`)
+	}))
+	defer srv.Close()
+
+	sink := &report.HTTPSink{URL: srv.URL, Client: srv.Client()}
+	p := report.NewPipeline(sink,
+		report.WithBaseBackoffMs(100), report.WithMaxBackoffMs(1_000),
+		report.WithBreakerThreshold(3), report.WithBreakerCooldownMs(2_000),
+		report.WithMaxAttempts(100), report.WithSeed(1))
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		p.Submit(report.Event{App: "a", Bomb: fmt.Sprintf("b%d", i), User: "u"}, 0)
+	}
+	p.Flush(0, 10*60_000)
+
+	st := p.Stats()
+	if st.Delivered != n {
+		t.Fatalf("delivered = %d, want %d (dead: %+v)", st.Delivered, n, p.DeadLetters())
+	}
+	if st.Retries == 0 {
+		t.Error("outage produced no retries")
+	}
+	if st.BreakerTrips == 0 {
+		t.Error("sustained 500s never tripped the breaker")
+	}
+	if got := p.BreakerState(); got != "closed" {
+		t.Errorf("breaker ended %q, want closed", got)
+	}
+	if st.DeadLettered != 0 {
+		t.Errorf("%d events dead-lettered; retry budget should outlast the outage", st.DeadLettered)
+	}
+	// The breaker's fast-fail window means the server saw far fewer
+	// requests than a naive retry loop would have sent.
+	if got := calls.Load(); got != st.Attempts {
+		t.Errorf("server saw %d requests, pipeline counted %d attempts", got, st.Attempts)
+	}
+}
+
+// TestHTTPSinkStatusMapping pins the response→error contract: 2xx nil,
+// 429 ErrBackpressure (still an ErrSinkDown for the retry machinery),
+// anything else ErrSinkDown, transport failure ErrSinkDown.
+func TestHTTPSinkStatusMapping(t *testing.T) {
+	var status atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		code := int(status.Load())
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.WriteHeader(code)
+	}))
+	sink := &report.HTTPSink{URL: srv.URL, Client: srv.Client()}
+	ev := report.Event{App: "a", Bomb: "b", User: "u"}
+
+	status.Store(http.StatusOK)
+	if err := sink.Deliver(ev, 0); err != nil {
+		t.Fatalf("200: %v", err)
+	}
+	status.Store(http.StatusTooManyRequests)
+	err := sink.Deliver(ev, 0)
+	if !report.IsBackpressure(err) {
+		t.Fatalf("429: got %v, want backpressure", err)
+	}
+	if !errors.Is(err, report.ErrSinkDown) {
+		t.Error("backpressure must still satisfy errors.Is(_, ErrSinkDown)")
+	}
+	status.Store(http.StatusInternalServerError)
+	if err := sink.Deliver(ev, 0); !errors.Is(err, report.ErrSinkDown) {
+		t.Fatalf("500: got %v, want ErrSinkDown", err)
+	}
+	srv.Close()
+	if err := sink.Deliver(ev, 0); !errors.Is(err, report.ErrSinkDown) {
+		t.Fatalf("transport error: got %v, want ErrSinkDown", err)
+	}
+}

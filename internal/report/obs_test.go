@@ -27,10 +27,9 @@ func (s *scriptedSink) Deliver(Event, int64) error {
 // transition log: the state machine, not just the final state.
 func TestBreakerTransitionSequence(t *testing.T) {
 	sink := &scriptedSink{}
-	p := New(sink, Config{
-		BaseBackoffMs: 100, MaxBackoffMs: 100,
-		BreakerThreshold: 2, BreakerCooldownMs: 1000, Seed: 1,
-	})
+	p := NewPipeline(sink,
+		WithBaseBackoffMs(100), WithMaxBackoffMs(100),
+		WithBreakerThreshold(2), WithBreakerCooldownMs(1000), WithSeed(1))
 	p.Submit(Event{App: "a", Bomb: "b1", User: "u"}, 0)
 	p.Submit(Event{App: "a", Bomb: "b2", User: "u"}, 0)
 
@@ -77,7 +76,7 @@ func TestBreakerTransitionSequence(t *testing.T) {
 // Stats struct reads the same counters the registry exposes.
 func TestStatsIsThinWrapperOverObs(t *testing.T) {
 	sink := NewMemorySink()
-	p := New(sink, Config{Seed: 2})
+	p := NewPipeline(sink, WithSeed(2))
 	for i := 0; i < 5; i++ {
 		p.Submit(Event{App: "a", Bomb: "b", User: string(rune('u' + i))}, 0)
 	}
@@ -107,9 +106,8 @@ func TestStatsIsThinWrapperOverObs(t *testing.T) {
 // exhaustion and queue overflow.
 func TestDeadLetterDepthGauge(t *testing.T) {
 	sink := &scriptedSink{} // always failing
-	p := New(sink, Config{
-		QueueCap: 2, MaxAttempts: 1, BreakerThreshold: 100, Seed: 3,
-	})
+	p := NewPipeline(sink,
+		WithQueueCap(2), WithMaxAttempts(1), WithBreakerThreshold(100), WithSeed(3))
 	p.Submit(Event{App: "a", Bomb: "b1", User: "u"}, 0)
 	p.Submit(Event{App: "a", Bomb: "b2", User: "u"}, 0)
 	p.Submit(Event{App: "a", Bomb: "b3", User: "u"}, 0) // overflow → dead letter

@@ -25,13 +25,14 @@ import (
 )
 
 // Event is one detection report emitted by a device when a bomb's
-// repackaging check fired.
+// repackaging check fired. The JSON form is the wire format of the
+// market ingestion protocol (one object per line, see internal/market).
 type Event struct {
-	App    string // package name
-	Bomb   string // bomb site: the payload class that detected
-	User   string // reporting device/user identity
-	TimeMs int64  // virtual time of the detection on-device
-	Info   string // response payload (public key seen, digest, …)
+	App    string `json:"app"`     // package name
+	Bomb   string `json:"bomb"`    // bomb site: the payload class that detected
+	User   string `json:"user"`    // reporting device/user identity
+	TimeMs int64  `json:"time_ms"` // virtual time of the detection on-device
+	Info   string `json:"info"`    // response payload (public key seen, digest, …)
 }
 
 // Key identifies a unique detection: the same bomb site reported by
@@ -250,7 +251,9 @@ type Pipeline struct {
 	gBreaker   *obs.Gauge
 }
 
-// New builds a pipeline in front of sink.
+// New builds a pipeline in front of sink from a full Config. Zero
+// fields resolve to DefaultConfig values. Most callers should prefer
+// NewPipeline, which states deviations from the defaults explicitly.
 func New(sink Sink, cfg Config) *Pipeline {
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()

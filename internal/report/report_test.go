@@ -34,7 +34,7 @@ func (s *flaky) Deliver(e Event, nowMs int64) error {
 
 func TestDeliverAndDedup(t *testing.T) {
 	sink := NewMemorySink()
-	p := New(sink, Config{})
+	p := NewPipeline(sink)
 	if !p.Submit(ev("b1", "u1"), 0) {
 		t.Fatal("first submit rejected")
 	}
@@ -61,7 +61,7 @@ func TestDeliverAndDedup(t *testing.T) {
 func TestRetryWithBackoffRecovers(t *testing.T) {
 	sink := NewMemorySink()
 	fs := &flaky{inner: sink, failFirst: 3}
-	p := New(fs, Config{BaseBackoffMs: 100, MaxBackoffMs: 1000, Seed: 7})
+	p := NewPipeline(fs, WithBaseBackoffMs(100), WithMaxBackoffMs(1000), WithSeed(7))
 	p.Submit(ev("b", "u"), 0)
 	end := p.Flush(0, 60_000)
 	if sink.Count(ev("b", "u").Key()) != 1 {
@@ -77,7 +77,7 @@ func TestRetryWithBackoffRecovers(t *testing.T) {
 }
 
 func TestBackoffIsExponentialAndJittered(t *testing.T) {
-	p := New(NewMemorySink(), Config{BaseBackoffMs: 100, MaxBackoffMs: 10_000, JitterFrac: 0.25, Seed: 1})
+	p := NewPipeline(NewMemorySink(), WithBaseBackoffMs(100), WithMaxBackoffMs(10_000), WithJitterFrac(0.25), WithSeed(1))
 	prev := int64(0)
 	for attempts := 1; attempts <= 5; attempts++ {
 		d := p.backoffLocked(attempts)
@@ -98,8 +98,8 @@ func TestBackoffIsExponentialAndJittered(t *testing.T) {
 }
 
 func TestBackoffDeterministicAcrossRuns(t *testing.T) {
-	a := New(NewMemorySink(), Config{Seed: 42})
-	b := New(NewMemorySink(), Config{Seed: 42})
+	a := NewPipeline(NewMemorySink(), WithSeed(42))
+	b := NewPipeline(NewMemorySink(), WithSeed(42))
 	for i := 1; i < 6; i++ {
 		if x, y := a.backoffLocked(i), b.backoffLocked(i); x != y {
 			t.Fatalf("same seed diverged at attempt %d: %d vs %d", i, x, y)
@@ -110,11 +110,10 @@ func TestBackoffDeterministicAcrossRuns(t *testing.T) {
 func TestCircuitBreakerTripsAndRecovers(t *testing.T) {
 	sink := NewMemorySink()
 	fs := &flaky{inner: sink, failUntilMs: 20_000}
-	p := New(fs, Config{
-		BaseBackoffMs: 500, MaxBackoffMs: 2_000,
-		BreakerThreshold: 3, BreakerCooldownMs: 4_000,
-		MaxAttempts: 50, Seed: 3,
-	})
+	p := NewPipeline(fs,
+		WithBaseBackoffMs(500), WithMaxBackoffMs(2_000),
+		WithBreakerThreshold(3), WithBreakerCooldownMs(4_000),
+		WithMaxAttempts(50), WithSeed(3))
 	for i := 0; i < 10; i++ {
 		p.Submit(ev(fmt.Sprintf("b%d", i), "u"), 0)
 	}
@@ -147,7 +146,7 @@ func TestCircuitBreakerTripsAndRecovers(t *testing.T) {
 
 func TestDeadLetterAfterMaxAttempts(t *testing.T) {
 	fs := &flaky{inner: NewMemorySink(), failUntilMs: 1 << 60} // never recovers
-	p := New(fs, Config{MaxAttempts: 4, BaseBackoffMs: 10, BreakerThreshold: 100, Seed: 2})
+	p := NewPipeline(fs, WithMaxAttempts(4), WithBaseBackoffMs(10), WithBreakerThreshold(100), WithSeed(2))
 	p.Submit(ev("b", "u"), 0)
 	p.Flush(0, 1_000_000)
 	st := p.Stats()
@@ -166,7 +165,7 @@ func TestDeadLetterAfterMaxAttempts(t *testing.T) {
 func TestQueueBoundShedsToLedger(t *testing.T) {
 	// A sink that never succeeds, so the queue cannot drain.
 	fs := &flaky{inner: NewMemorySink(), failUntilMs: 1 << 60}
-	p := New(fs, Config{QueueCap: 4, BreakerThreshold: 1000})
+	p := NewPipeline(fs, WithQueueCap(4), WithBreakerThreshold(1000))
 	for i := 0; i < 10; i++ {
 		p.Submit(ev(fmt.Sprintf("b%d", i), "u"), 0)
 	}
@@ -181,7 +180,7 @@ func TestQueueBoundShedsToLedger(t *testing.T) {
 
 func TestFlushDeadlineLedgersRemainder(t *testing.T) {
 	fs := &flaky{inner: NewMemorySink(), failUntilMs: 1 << 60}
-	p := New(fs, Config{MaxAttempts: 1_000, BaseBackoffMs: 100, BreakerThreshold: 1_000})
+	p := NewPipeline(fs, WithMaxAttempts(1_000), WithBaseBackoffMs(100), WithBreakerThreshold(1_000))
 	p.Submit(ev("b", "u"), 0)
 	p.Flush(0, 5_000)
 	if p.Pending() != 0 {
@@ -198,7 +197,7 @@ func TestFlushDeadlineLedgersRemainder(t *testing.T) {
 // collector goroutine ticks.
 func TestConcurrentSubmitAndTick(t *testing.T) {
 	sink := NewMemorySink()
-	p := New(sink, Config{QueueCap: 10_000})
+	p := NewPipeline(sink, WithQueueCap(10_000))
 	const users, perUser = 16, 50
 	var wg sync.WaitGroup
 	for u := 0; u < users; u++ {
@@ -238,4 +237,56 @@ func TestSinkDownErrorIsErrors(t *testing.T) {
 	if !errors.Is(ErrSinkDown, ErrSinkDown) {
 		t.Fatal("sentinel broken")
 	}
+}
+
+// TestDefaultConfigPinned pins the public defaults contract: the
+// values a zero Config resolves to. Changing any of these changes
+// every deployed retry schedule, so the change must be deliberate.
+func TestDefaultConfigPinned(t *testing.T) {
+	want := Config{
+		QueueCap:          1024,
+		MaxAttempts:       8,
+		BaseBackoffMs:     200,
+		MaxBackoffMs:      60_000,
+		JitterFrac:        0.25,
+		BreakerThreshold:  5,
+		BreakerCooldownMs: 5_000,
+		Seed:              0,
+	}
+	if got := DefaultConfig(); got != want {
+		t.Fatalf("DefaultConfig() = %+v, want %+v", got, want)
+	}
+	// Options land on the right fields and leave the rest at defaults.
+	cfg := DefaultConfig()
+	for _, o := range []Option{WithQueueCap(7), WithMaxAttempts(3), WithSeed(99)} {
+		o(&cfg)
+	}
+	if cfg.QueueCap != 7 || cfg.MaxAttempts != 3 || cfg.Seed != 99 || cfg.BaseBackoffMs != 200 {
+		t.Fatalf("options misapplied: %+v", cfg)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []Config{
+		{QueueCap: -1},
+		{MaxAttempts: -2},
+		{BaseBackoffMs: -1},
+		{BaseBackoffMs: 500, MaxBackoffMs: 100},
+		{JitterFrac: 1.5},
+		{BreakerThreshold: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPipeline accepted an invalid option set")
+		}
+	}()
+	NewPipeline(NewMemorySink(), WithQueueCap(-5))
 }

@@ -23,9 +23,17 @@ type ChaosOptions struct {
 	// virtual ms ([start,end)); deliveries inside a window fail, which
 	// should trip and later recover the pipeline's circuit breaker.
 	SinkOutages [][2]int64
-	// Pipeline overrides the report pipeline configuration (zero value
-	// = defaults).
-	Pipeline report.Config
+	// Pipeline adjusts the report pipeline configuration on top of
+	// report.DefaultConfig. The campaign seeds the pipeline's jitter
+	// RNG from Seed unless a report.WithSeed option here overrides it.
+	Pipeline []report.Option
+	// Sink is the terminal sink behind the faulted channel (nil = a
+	// fresh report.MemorySink). cmd/loadgen points this at a
+	// report.HTTPSink to replay a chaos campaign's event stream into a
+	// live marketd. The SinkUnique/SinkMaxPerKey result fields are
+	// only populated for a *report.MemorySink, where the campaign can
+	// see per-key counts.
+	Sink report.Sink
 	// Obs, when set, receives the campaign's metrics: the campaign runs
 	// against a private registry (so per-campaign numbers stay exact)
 	// which is merged into Obs at the end.
@@ -66,26 +74,37 @@ func (r ChaosCampaignResult) ExactlyOnce() bool {
 	return r.SinkUnique == r.UniqueDetects && (r.UniqueDetects == 0 || r.SinkMaxPerKey == 1)
 }
 
-// RunChaosCampaign plays a population of user sessions against the
-// packaged app with the profile's faults injected at every layer:
-// ciphertext corruption at decrypt time, dex bit rot at load time,
-// environment misreporting at read time, and channel faults
-// (drop/dup/delay/reorder plus scheduled outages) between the devices
-// and the market sink.
+// RunChaosCampaign plays a fault-injected campaign with background
+// context.
+//
+// Deprecated: use RunChaos.
+func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosCampaignResult, error) {
+	return RunChaos(context.Background(), pkg, surf, opts)
+}
+
+// RunChaosCampaignCtx is RunChaosCampaign with cancellation.
+//
+// Deprecated: use RunChaos.
+func RunChaosCampaignCtx(ctx context.Context, pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosCampaignResult, error) {
+	return RunChaos(ctx, pkg, surf, opts)
+}
+
+// RunChaos plays a population of user sessions against the packaged
+// app with the profile's faults injected at every layer: ciphertext
+// corruption at decrypt time, dex bit rot at load time, environment
+// misreporting at read time, and channel faults (drop/dup/delay/
+// reorder plus scheduled outages) between the devices and the market
+// sink. It is the canonical chaos-campaign entry point.
 //
 // Sessions run on a shared campaign clock: session i occupies the
 // window [i*CapMs, (i+1)*CapMs). The report pipeline is ticked as the
 // campaign advances and flushed at the end, so delayed and retried
 // events settle before the result is assembled.
-func RunChaosCampaign(pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosCampaignResult, error) {
-	return RunChaosCampaignCtx(context.Background(), pkg, surf, opts)
-}
-
-// RunChaosCampaignCtx is RunChaosCampaign with cancellation: the
-// campaign checks ctx between sessions and inside each session's
-// event loop, returning ctx.Err() with whatever was aggregated so far
-// discarded.
-func RunChaosCampaignCtx(ctx context.Context, pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosCampaignResult, error) {
+//
+// Cancelling ctx stops the campaign between sessions and inside each
+// session's event loop, returning ctx.Err() with whatever was
+// aggregated so far discarded.
+func RunChaos(ctx context.Context, pkg *apk.Package, surf Surface, opts ChaosOptions) (ChaosCampaignResult, error) {
 	if opts.Sessions == 0 {
 		opts.Sessions = 20
 	}
@@ -93,12 +112,15 @@ func RunChaosCampaignCtx(ctx context.Context, pkg *apk.Package, surf Surface, op
 		opts.CapMs = 60 * 60_000
 	}
 	inj := chaos.NewInjector(opts.Profile, opts.Seed)
-	sink := report.NewMemorySink()
-	cfg := opts.Pipeline
-	if cfg.Seed == 0 {
-		cfg.Seed = opts.Seed
+	sink := opts.Sink
+	if sink == nil {
+		sink = report.NewMemorySink()
 	}
-	pipe := report.New(&chaos.FlakySink{Inner: sink, Inj: inj, Outages: opts.SinkOutages}, cfg)
+	// Caller options are applied after the campaign's seed default, so
+	// report.WithSeed in opts.Pipeline wins — same precedence the old
+	// Config-based field had.
+	pipeOpts := append([]report.Option{report.WithSeed(opts.Seed)}, opts.Pipeline...)
+	pipe := report.NewPipeline(&chaos.FlakySink{Inner: sink, Inj: inj, Outages: opts.SinkOutages}, pipeOpts...)
 
 	// The campaign tallies live in a private registry (the ad-hoc
 	// counter fields this struct used to carry are now thin reads of
@@ -205,8 +227,10 @@ func RunChaosCampaignCtx(ctx context.Context, pkg *apk.Package, surf Surface, op
 		out.BreakerTripped = true
 	}
 	out.UniqueDetects = len(submitted)
-	out.SinkUnique = sink.UniqueKeys()
-	out.SinkMaxPerKey = sink.MaxPerKey()
+	if ms, ok := sink.(*report.MemorySink); ok {
+		out.SinkUnique = ms.UniqueKeys()
+		out.SinkMaxPerKey = ms.MaxPerKey()
+	}
 	out.DeadLetters = len(pipe.DeadLetters())
 	out.Breaker = pipe.BreakerTransitions()
 	pipe.Obs().MergeInto(reg)

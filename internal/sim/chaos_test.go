@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"bombdroid/internal/apk"
@@ -63,7 +64,7 @@ func TestChaosCampaignFailsClosedAndDeliversExactlyOnce(t *testing.T) {
 		CorruptBlob: 0.5, TruncateBlob: 0.2, BitFlipDex: 0.3,
 		DropEvent: 0.05,
 	})
-	cr, err := RunChaosCampaign(pirated, surf, ChaosOptions{
+	cr, err := RunChaos(context.Background(), pirated, surf, ChaosOptions{
 		Sessions: 12,
 		CapMs:    capMs,
 		Seed:     5,
@@ -71,10 +72,10 @@ func TestChaosCampaignFailsClosedAndDeliversExactlyOnce(t *testing.T) {
 		// Market down for sessions 0-4: submissions there must retry
 		// through a tripped breaker and settle after recovery.
 		SinkOutages: [][2]int64{{0, 5 * capMs}},
-		Pipeline: report.Config{
-			MaxAttempts:  200,
-			MaxBackoffMs: 5 * 60_000,
-			Seed:         5,
+		Pipeline: []report.Option{
+			report.WithMaxAttempts(200),
+			report.WithMaxBackoffMs(5 * 60_000),
+			report.WithSeed(5),
 		},
 	})
 	if err != nil {
@@ -119,7 +120,7 @@ func TestChaosCampaignFailsClosedAndDeliversExactlyOnce(t *testing.T) {
 func TestChaosCampaignDeterministic(t *testing.T) {
 	pirated, surf := chaosPrepared(t, 303)
 	run := func() ChaosCampaignResult {
-		cr, err := RunChaosCampaign(pirated, surf, ChaosOptions{
+		cr, err := RunChaos(context.Background(), pirated, surf, ChaosOptions{
 			Sessions: 4, CapMs: 10 * 60_000, Seed: 9, Profile: chaos.Mild,
 		})
 		if err != nil {
@@ -160,13 +161,13 @@ func TestChaosBreakerTransitionsAndGauges(t *testing.T) {
 		// lowered so sparse detection events still reach it (the same
 		// shaping exp.ChaosResilience uses).
 		SinkOutages: [][2]int64{{0, int64(10) * capMs / 4}},
-		Pipeline: report.Config{
-			MaxAttempts: 200, MaxBackoffMs: 5 * 60_000,
-			BreakerThreshold: 3,
+		Pipeline: []report.Option{
+			report.WithMaxAttempts(200), report.WithMaxBackoffMs(5 * 60_000),
+			report.WithBreakerThreshold(3),
 		},
 	}
 	run := func() ChaosCampaignResult {
-		cr, err := RunChaosCampaign(pirated, surf, opts)
+		cr, err := RunChaos(context.Background(), pirated, surf, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +239,7 @@ func TestChaosBreakerTransitionsAndGauges(t *testing.T) {
 // rejects, and detections still flow.
 func TestChaosCampaignCleanProfileMatchesNormal(t *testing.T) {
 	pirated, surf := chaosPrepared(t, 305)
-	cr, err := RunChaosCampaign(pirated, surf, ChaosOptions{
+	cr, err := RunChaos(context.Background(), pirated, surf, ChaosOptions{
 		Sessions: 6, CapMs: 30 * 60_000, Seed: 11, Profile: chaos.None,
 	})
 	if err != nil {

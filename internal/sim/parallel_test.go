@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -11,12 +12,12 @@ import (
 // and devices are sampled before the fan-out.
 func TestCampaignWorkersDeterministic(t *testing.T) {
 	_, pirated, surf, _ := prepared(t, 205)
-	serial, err := RunCampaignWorkers(pirated, surf, 12, 5*60_000, 4242, 1)
+	serial, err := Run(context.Background(), pirated, surf, CampaignOptions{N: 12, CapMs: 5 * 60_000, Seed: 4242, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 8} {
-		par, err := RunCampaignWorkers(pirated, surf, 12, 5*60_000, 4242, workers)
+		par, err := Run(context.Background(), pirated, surf, CampaignOptions{N: 12, CapMs: 5 * 60_000, Seed: 4242, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -31,7 +32,7 @@ func TestCampaignWorkersDeterministic(t *testing.T) {
 // accumulator sentinel must not leak into the result.
 func TestCampaignNoSuccessesZeroMin(t *testing.T) {
 	_, pirated, surf, _ := prepared(t, 206)
-	cr, err := RunCampaign(pirated, surf, 6, 1, 99)
+	cr, err := Run(context.Background(), pirated, surf, CampaignOptions{N: 6, CapMs: 1, Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -231,7 +231,7 @@ type CampaignResult struct {
 }
 
 // NoFirstTrigger is the MinMs accumulator sentinel used while a
-// campaign has zero successes. It never escapes: RunCampaign
+// campaign has zero successes. It never escapes: Run
 // normalizes MinMs to 0 on every return path (including errors) when
 // Successes == 0, so a CampaignResult in the wild satisfies the
 // invariant Successes == 0 => MinMs == MaxMs == AvgMs == 0. Consumers
@@ -248,16 +248,54 @@ func (c CampaignResult) normalize() CampaignResult {
 	return c
 }
 
-// RunCampaign plays n user sessions on population-sampled devices,
-// fanned across one worker per CPU. Serial and parallel runs produce
-// identical results (see RunCampaignWorkers).
-func RunCampaign(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64) (CampaignResult, error) {
-	return RunCampaignWorkers(pkg, surf, n, capMs, seed, 0)
+// CampaignOptions configures a population campaign for Run.
+type CampaignOptions struct {
+	// N is the number of user sessions to play.
+	N int
+	// CapMs bounds each session's virtual play time (0 = 60 min, via
+	// SessionOptions defaults).
+	CapMs int64
+	// Seed derives the population draw and every per-session seed
+	// (seed + i*101).
+	Seed int64
+	// Workers fans sessions across goroutines: 0 = one per CPU,
+	// 1 = serial. Results are identical at any worker count.
+	Workers int
+	// Reg, when set, receives campaign metrics. Deterministic metrics
+	// (session counters, trigger-latency histogram, VM opcode profile)
+	// land via commutative updates, so SnapshotDeterministic is
+	// byte-identical at any worker count; wall-clock throughput lands
+	// in Volatile metrics excluded from that snapshot. Nil turns all
+	// instrumentation off.
+	Reg *obs.Registry
 }
 
-// RunCampaignWorkers plays n user sessions on up to workers
-// goroutines (0 = one per CPU, 1 = serial). The campaign is
-// embarrassingly parallel by construction — the paper's detection
+// RunCampaign plays n user sessions on population-sampled devices,
+// fanned across one worker per CPU.
+//
+// Deprecated: use Run.
+func RunCampaign(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64) (CampaignResult, error) {
+	return Run(context.Background(), pkg, surf, CampaignOptions{N: n, CapMs: capMs, Seed: seed})
+}
+
+// RunCampaignWorkers plays n user sessions on up to workers goroutines.
+//
+// Deprecated: use Run.
+func RunCampaignWorkers(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int) (CampaignResult, error) {
+	return Run(context.Background(), pkg, surf, CampaignOptions{N: n, CapMs: capMs, Seed: seed, Workers: workers})
+}
+
+// RunCampaignObs is RunCampaignWorkers with a context and registry.
+//
+// Deprecated: use Run.
+func RunCampaignObs(ctx context.Context, pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int, reg *obs.Registry) (CampaignResult, error) {
+	return Run(ctx, pkg, surf, CampaignOptions{N: n, CapMs: capMs, Seed: seed, Workers: workers, Reg: reg})
+}
+
+// Run plays opts.N user sessions on population-sampled devices — the
+// canonical campaign entry point (the measurement behind Table 3 and
+// the population half of the market-response scenario). The campaign
+// is embarrassingly parallel by construction — the paper's detection
 // cost is amortized across an independent user population — and the
 // implementation keeps it deterministic:
 //
@@ -268,23 +306,13 @@ func RunCampaign(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64)
 //     seed (seed + i*101) and builds its own VM from the immutable
 //     package, sharing nothing mutable with its siblings;
 //   - results aggregate by session index, never by completion order.
-func RunCampaignWorkers(pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int) (CampaignResult, error) {
-	return RunCampaignObs(context.Background(), pkg, surf, n, capMs, seed, workers, nil)
-}
-
-// RunCampaignObs is RunCampaignWorkers with a context and a metrics
-// registry attached. Deterministic metrics (session counters,
-// trigger-latency histogram, VM opcode profile) land in reg via
-// commutative updates, so SnapshotDeterministic is byte-identical at
-// any worker count; wall-clock throughput lands in Volatile metrics
-// excluded from that snapshot. A nil reg turns all instrumentation
-// off.
 //
 // Cancelling ctx stops workers from claiming further sessions and
 // unwinds in-flight sessions at their next event; the campaign then
 // returns the context's error with the lowest cancelled index's
 // partial aggregation discarded, exactly like a session error.
-func RunCampaignObs(ctx context.Context, pkg *apk.Package, surf Surface, n int, capMs int64, seed int64, workers int, reg *obs.Registry) (CampaignResult, error) {
+func Run(ctx context.Context, pkg *apk.Package, surf Surface, opts CampaignOptions) (CampaignResult, error) {
+	n, capMs, seed, workers, reg := opts.N, opts.CapMs, opts.Seed, opts.Workers, opts.Reg
 	wallStart := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	devs := make([]*android.Device, n)

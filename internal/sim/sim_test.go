@@ -96,7 +96,7 @@ func TestUserSessionSilentOnGenuine(t *testing.T) {
 
 func TestCampaignAggregation(t *testing.T) {
 	_, pirated, surf, _ := prepared(t, 207)
-	cr, err := RunCampaign(pirated, surf, 15, 45*60_000, 3)
+	cr, err := Run(context.Background(), pirated, surf, CampaignOptions{N: 15, CapMs: 45 * 60_000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestCampaignAggregation(t *testing.T) {
 
 func TestCampaignOnGenuineAppHasNoComplaints(t *testing.T) {
 	prot, _, surf, _ := prepared(t, 211)
-	cr, err := RunCampaign(prot, surf, 6, 8*60_000, 4)
+	cr, err := Run(context.Background(), prot, surf, CampaignOptions{N: 6, CapMs: 8 * 60_000, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestCampaignCancellation(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		_, err := RunCampaignObs(ctx, pirated, surf, 8, 45*60_000, 3, workers, nil)
+		_, err := Run(ctx, pirated, surf, CampaignOptions{N: 8, CapMs: 45 * 60_000, Seed: 3, Workers: workers})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
 		}
@@ -144,7 +144,7 @@ func TestCampaignCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := RunCampaignObs(ctx, pirated, surf, 64, 45*60_000, 3, 4, nil)
+		_, err := Run(ctx, pirated, surf, CampaignOptions{N: 64, CapMs: 45 * 60_000, Seed: 3, Workers: 4})
 		done <- err
 	}()
 	time.Sleep(5 * time.Millisecond)
@@ -167,7 +167,7 @@ func TestChaosCampaignCancellation(t *testing.T) {
 	_, pirated, surf, _ := prepared(t, 217)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := RunChaosCampaignCtx(ctx, pirated, surf, ChaosOptions{Sessions: 6, Seed: 9})
+	_, err := RunChaos(ctx, pirated, surf, ChaosOptions{Sessions: 6, Seed: 9})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

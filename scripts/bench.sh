@@ -1,9 +1,9 @@
 #!/bin/sh
-# Runs the PR's perf benchmarks and writes BENCH_PR4.json.
+# Runs the PR's perf benchmarks and writes BENCH_PR5.json.
 #
 #   scripts/bench.sh [benchtime]
 #
-# Stable schema: BENCH_PR4.json repeats every BENCH_PR3.json key
+# Stable schema: BENCH_PR5.json repeats every BENCH_PR4.json key
 # (parallel campaign path at workers=1 vs 8, VM dispatch hot path, obs
 # overhead) and adds the staged protection engine's record: cold-path
 # ns/op with its per-stage breakdown, warm-path ns/op against a hot
@@ -13,17 +13,26 @@
 # Speedup is reported honestly for whatever machine this runs on —
 # on a single-core box workers=8 can only match workers=1, never beat
 # it, which is why the core count is part of the record.
+#
+# New in PR5: the marketd ingestion record — sustained events/sec and
+# p99 batch latency through the full HTTP → shard → WAL stack, and the
+# WAL replay (crash recovery) rate. The acceptance bar is ≥100k
+# events/sec through BenchmarkMarketIngestHTTP.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_PR4.json
+OUT=BENCH_PR5.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
 	-bench 'BenchmarkTable3FirstTrigger|BenchmarkInvoke$|BenchmarkInvokeObs$|BenchmarkEngineCold$|BenchmarkEngineWarm$' \
 	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+go test -run '^$' \
+	-bench 'BenchmarkMarketIngestHTTP$|BenchmarkWALReplay$' \
+	-benchmem -benchtime "$BENCHTIME" ./internal/market | tee -a "$RAW"
 
 awk -v cores="$(nproc 2>/dev/null || echo 1)" '
 function metric(name,    i) {
@@ -43,9 +52,11 @@ function metric(name,    i) {
 	s_repack = metric("repack_ns_op")
 }
 /^BenchmarkEngineWarm/ { warm = metric("ns\\/op"); hitpct = metric("cache_hit_pct") }
+/^BenchmarkMarketIngestHTTP/ { ing = metric("events_sec"); ingp99 = metric("p99_ms") }
+/^BenchmarkWALReplay/ { walrep = metric("events_sec") }
 END {
 	printf "{\n"
-	printf "  \"bench\": \"PR4 staged protection engine + artifact cache\",\n"
+	printf "  \"bench\": \"PR5 marketd detonation-ingestion daemon\",\n"
 	printf "  \"cores\": %d,\n", cores
 	printf "  \"table3_workers1_ns_op\": %s,\n", (w1 == "" ? "null" : w1)
 	printf "  \"table3_workers8_ns_op\": %s,\n", (w8 == "" ? "null" : w8)
@@ -68,7 +79,10 @@ END {
 	printf "  \"stage_construct_ns\": %s,\n", (s_construct == "" ? "null" : s_construct)
 	printf "  \"stage_stego_ns\": %s,\n", (s_stego == "" ? "null" : s_stego)
 	printf "  \"stage_validate_ns\": %s,\n", (s_validate == "" ? "null" : s_validate)
-	printf "  \"stage_repack_ns\": %s\n", (s_repack == "" ? "null" : s_repack)
+	printf "  \"stage_repack_ns\": %s,\n", (s_repack == "" ? "null" : s_repack)
+	printf "  \"market_ingest_events_per_sec\": %s,\n", (ing == "" ? "null" : ing)
+	printf "  \"market_ingest_p99_ms\": %s,\n", (ingp99 == "" ? "null" : ingp99)
+	printf "  \"market_wal_replay_events_per_sec\": %s\n", (walrep == "" ? "null" : walrep)
 	printf "}\n"
 }' "$RAW" > "$OUT"
 

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Full verification: build, vet, race-enabled tests (the metrics-path
-# packages run with the obs layer exercised by their own tests), and a
-# smoke run of cmd/report -metrics proving the JSON snapshot parses.
-# Tier-1 (ROADMAP.md) is `go build ./... && go test ./...`; this script
-# is the stricter gate the chaos-hardening and obs work is held to.
+# packages run with the obs layer exercised by their own tests), a
+# smoke run of cmd/report -metrics proving the JSON snapshot parses,
+# batch-protection smokes, and a marketd lifecycle smoke (ingest,
+# SIGTERM, restart-replay). Tier-1 (ROADMAP.md) is `go build ./... &&
+# go test ./...`; this script is the stricter gate the chaos-hardening,
+# obs, and market-ingestion work is held to.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -67,5 +69,73 @@ wait "$BATCH_PID" && : || true
 }
 # The partial manifest must be valid JSON naming every corpus member.
 go run ./scripts/checkmanifest "$SMOKE_DIR/manifest.json" 8
+
+echo "==> smoke: marketd ingest, SIGTERM, restart replay"
+# Start the daemon on an ephemeral port, fire a loadgen batch at it,
+# check the verdict and metrics surfaces, SIGTERM it (must seal the
+# WAL and report a clean shutdown), then restart over the same data
+# dir: the replayed daemon must report every accepted record recovered
+# and serve a byte-identical verdict.
+MARKET_DATA="$SMOKE_DIR/marketd-data"
+go build -o "$SMOKE_DIR/marketd" ./cmd/marketd
+go build -o "$SMOKE_DIR/loadgen" ./cmd/loadgen
+
+start_marketd() {
+	"$SMOKE_DIR/marketd" -addr 127.0.0.1:0 -data "$MARKET_DATA" \
+		-shards 2 -threshold 3 > "$1" 2>&1 &
+	MARKETD_PID=$!
+	for _ in $(seq 1 100); do
+		grep -q 'listening on' "$1" 2>/dev/null && break
+		sleep 0.1
+	done
+	MARKET_ADDR="$(sed -n 's/^marketd: listening on //p' "$1")"
+	[ -n "$MARKET_ADDR" ] || {
+		echo "verify: marketd never bound:" >&2
+		cat "$1" >&2
+		exit 1
+	}
+}
+
+start_marketd "$SMOKE_DIR/marketd1.log"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -events 5000 -batch 250 \
+	-workers 2 -run verify > "$SMOKE_DIR/loadgen.json"
+grep -q '"accepted": 5000' "$SMOKE_DIR/loadgen.json" || {
+	echo "verify: loadgen did not land 5000 accepted events:" >&2
+	cat "$SMOKE_DIR/loadgen.json" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict app-0 > "$SMOKE_DIR/verdict1.json"
+grep -q '"repackaged":true' "$SMOKE_DIR/verdict1.json" || {
+	echo "verify: app-0 not flagged repackaged after the hose" >&2
+	exit 1
+}
+for fam in market_ingest_events_total market_wal_records_total \
+	market_http_requests_total market_commit_batches_total; do
+	curl -sf "http://$MARKET_ADDR/metrics" | grep -q "$fam" || {
+		echo "verify: marketd /metrics missing $fam" >&2
+		exit 1
+	}
+done
+kill -TERM "$MARKETD_PID"
+wait "$MARKETD_PID"
+grep -q 'clean shutdown' "$SMOKE_DIR/marketd1.log" || {
+	echo "verify: marketd did not shut down cleanly:" >&2
+	cat "$SMOKE_DIR/marketd1.log" >&2
+	exit 1
+}
+
+start_marketd "$SMOKE_DIR/marketd2.log"
+grep -q 'recovered 5000 records' "$SMOKE_DIR/marketd2.log" || {
+	echo "verify: restart did not replay all accepted records:" >&2
+	cat "$SMOKE_DIR/marketd2.log" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict app-0 > "$SMOKE_DIR/verdict2.json"
+diff "$SMOKE_DIR/verdict1.json" "$SMOKE_DIR/verdict2.json" || {
+	echo "verify: verdict changed across restart" >&2
+	exit 1
+}
+kill -TERM "$MARKETD_PID"
+wait "$MARKETD_PID"
 
 echo "verify: OK"
