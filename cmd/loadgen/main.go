@@ -106,6 +106,8 @@ func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, bat
 		err                     error
 	}
 	batches := make(chan int)
+	failed := make(chan struct{}) // closed on the first hard worker error
+	var failOnce sync.Once
 	results := make([]res, workers)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -141,7 +143,11 @@ func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, bat
 						}
 					}
 					if err != nil {
+						// Hard error (daemon gone, 413, …): stop the feed
+						// too, or the producer would block forever on a
+						// channel no worker drains.
 						r.err = err
+						failOnce.Do(func() { close(failed) })
 						return
 					}
 					r.accepted += pr.Accepted
@@ -155,6 +161,8 @@ feed:
 	for off := 0; off < events; off += batch {
 		select {
 		case batches <- off:
+		case <-failed:
+			break feed
 		case <-ctx.Done():
 			break feed
 		}

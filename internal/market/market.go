@@ -17,7 +17,11 @@
 //   - admission is gated by a per-shard queue bound: when a shard is
 //     saturated the store refuses with ErrBackpressure (HTTP 429)
 //     instead of dropping, pushing the retry into the device-side
-//     pipeline where it already has backoff and a breaker;
+//     pipeline where it already has backoff and a breaker; requests
+//     that could never be admitted — a batch bigger than a shard's
+//     queue, an event bigger than a WAL record — are refused
+//     permanently instead (ErrBatchTooLarge / ErrEventTooLarge,
+//     HTTP 413), so clients split rather than retry forever;
 //   - Open replays every shard's WAL to rebuild the dedup windows and
 //     per-app tallies exactly, tolerating a torn record at the tail of
 //     the last segment (the crash case) and refusing corruption
@@ -41,9 +45,26 @@ var (
 	// ErrBackpressure rejects an ingest when a target shard's queue is
 	// full. The request is safe to retry after a beat.
 	ErrBackpressure = errors.New("market: shard queue full")
+	// ErrBatchTooLarge rejects a batch that maps more events to one
+	// shard than its QueueCap — it could never be admitted, so unlike
+	// ErrBackpressure a retry of the same batch is pointless: the
+	// caller must split it (HTTP 413, not 429).
+	ErrBatchTooLarge = errors.New("market: batch exceeds shard queue capacity")
+	// ErrEventTooLarge rejects an event whose JSON encoding exceeds
+	// MaxEventBytes. Permanent for that event: retrying unchanged can
+	// never succeed (HTTP 413).
+	ErrEventTooLarge = errors.New("market: event too large")
 	// ErrClosed rejects operations on a closed store.
 	ErrClosed = errors.New("market: store closed")
 )
+
+// MaxEventBytes bounds one event's JSON encoding. WAL replay treats a
+// record length beyond this as a torn tail or corruption, so an
+// oversized event must be refused at ingestion — were it written and
+// acked, the next restart would truncate it (losing acked records) or
+// refuse to open. Client-supplied fields (Info above all) are
+// unbounded on the wire, hence the explicit gate.
+const MaxEventBytes = maxWALRecord
 
 // Config tunes a Store. The zero value of every field except Dir
 // resolves to a default; Dir is required.
@@ -105,25 +126,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate rejects configurations the store cannot run with. Open
-// calls it after defaulting; exported so flag-driven callers
-// (cmd/marketd) can fail fast with a message.
+// Validate applies the same defaulting Open does, then rejects
+// configurations the store cannot run with. Exported so flag-driven
+// callers (cmd/marketd) can fail fast with a message; because zero
+// fields validate as their defaults, only explicitly out-of-range
+// values (negative, Shards past 1024) fail.
 func (c Config) Validate() error {
+	c = c.withDefaults()
 	switch {
 	case c.Dir == "":
 		return fmt.Errorf("market: Dir is required")
-	case c.Shards < 0 || c.Shards > 1024:
+	case c.Shards < 1 || c.Shards > 1024:
 		return fmt.Errorf("market: Shards %d outside [1,1024]", c.Shards)
-	case c.QueueCap < 0:
-		return fmt.Errorf("market: QueueCap %d < 0", c.QueueCap)
-	case c.DedupWindow < 0:
-		return fmt.Errorf("market: DedupWindow %d < 0", c.DedupWindow)
-	case c.SegmentBytes < 0:
-		return fmt.Errorf("market: SegmentBytes %d < 0", c.SegmentBytes)
-	case c.Threshold < 0:
-		return fmt.Errorf("market: Threshold %d < 0", c.Threshold)
-	case c.MaxBatch < 0:
-		return fmt.Errorf("market: MaxBatch %d < 0", c.MaxBatch)
+	case c.QueueCap < 1:
+		return fmt.Errorf("market: QueueCap %d < 1", c.QueueCap)
+	case c.DedupWindow < 1:
+		return fmt.Errorf("market: DedupWindow %d < 1", c.DedupWindow)
+	case c.SegmentBytes < 1:
+		return fmt.Errorf("market: SegmentBytes %d < 1", c.SegmentBytes)
+	case c.Threshold < 1:
+		return fmt.Errorf("market: Threshold %d < 1", c.Threshold)
+	case c.MaxBatch < 1:
+		return fmt.Errorf("market: MaxBatch %d < 1", c.MaxBatch)
 	}
 	return nil
 }
@@ -215,9 +239,12 @@ func (st *Store) shardFor(key string) int {
 // shard is saturated, nothing is enqueued and the whole batch fails
 // with ErrBackpressure, so a client retry cannot half-apply (the
 // dedup window would absorb it anyway, but the 429 path stays cheap).
-// A WAL failure on any shard is returned as the batch's error; events
-// on other shards that did commit stay committed and a retry of the
-// full batch dedups them.
+// A batch that maps more than QueueCap events to a single shard could
+// never reserve even against an idle queue; that is ErrBatchTooLarge
+// — a permanent rejection the caller must resolve by splitting, not
+// retrying. A WAL failure on any shard is returned as the batch's
+// error; events on other shards that did commit stay committed and a
+// retry of the full batch dedups them.
 func (st *Store) Ingest(evs []report.Event) (accepted, dups int, err error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -231,6 +258,12 @@ func (st *Store) Ingest(evs []report.Event) (accepted, dups int, err error) {
 	for _, ev := range evs {
 		i := st.shardFor(ev.Key())
 		parts[i] = append(parts[i], ev)
+	}
+	for i, p := range parts {
+		if len(p) > st.cfg.QueueCap {
+			return 0, 0, fmt.Errorf("%w: %d events map to shard %d (QueueCap %d)",
+				ErrBatchTooLarge, len(p), i, st.cfg.QueueCap)
+		}
 	}
 	var reserved []int
 	for i, p := range parts {

@@ -3,6 +3,7 @@ package market
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -20,6 +21,10 @@ func TestConfigValidate(t *testing.T) {
 	if err := (Config{Dir: "x", Shards: 2000}).Validate(); err == nil {
 		t.Error("absurd Shards should fail Validate")
 	}
+	if err := (Config{Dir: "x", Shards: -1}).Validate(); err == nil {
+		t.Error("negative Shards should fail Validate")
+	}
+	// Zero fields validate as their defaults, matching what Open runs.
 	if err := (Config{Dir: "x"}).Validate(); err != nil {
 		t.Errorf("minimal config should validate: %v", err)
 	}
@@ -62,29 +67,83 @@ func TestIngestVerdictDuplicates(t *testing.T) {
 	}
 }
 
-// TestBackpressure: a single shard with a tiny queue rejects a batch
-// larger than QueueCap with ErrBackpressure — deterministically, since
-// the reservation happens before any enqueue.
+// TestBackpressure: with simulated in-flight load holding most of a
+// shard's queue, a batch that would fit an idle queue is rejected with
+// ErrBackpressure — deterministically, since the reservation happens
+// before any enqueue — and the rollback leaves the queue usable.
 func TestBackpressure(t *testing.T) {
 	reg := obs.NewRegistry()
 	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 1, QueueCap: 8, Obs: reg})
 	defer st.Close()
 
 	var evs []report.Event
-	for i := 0; i < 9; i++ {
+	for i := 0; i < 5; i++ {
 		evs = append(evs, ev("app.bp", fmt.Sprintf("b%d", i), "u1"))
 	}
+	st.shards[0].depth.Add(6) // pretend 6 events are queued, uncommitted
 	if _, _, err := st.Ingest(evs); !errors.Is(err, ErrBackpressure) {
-		t.Fatalf("Ingest over QueueCap: err = %v, want ErrBackpressure", err)
+		t.Fatalf("Ingest into a near-full queue: err = %v, want ErrBackpressure", err)
 	}
 	if got := reg.Snapshot().Counters["market_backpressure_rejects_total"]; got != 1 {
 		t.Errorf("rejects counter = %d, want 1", got)
 	}
 
-	// The rejection rolled back its reservation: a fitting batch works.
-	accepted, _, err := st.Ingest(evs[:8])
-	if err != nil || accepted != 8 {
-		t.Fatalf("Ingest after reject = (%d, %v), want (8, nil)", accepted, err)
+	// The rejection rolled back its reservation: once the simulated
+	// load drains, the very same batch is admitted.
+	st.shards[0].depth.Add(-6)
+	accepted, _, err := st.Ingest(evs)
+	if err != nil || accepted != 5 {
+		t.Fatalf("Ingest after drain = (%d, %v), want (5, nil)", accepted, err)
+	}
+}
+
+// TestBatchTooLarge: a batch mapping more events to one shard than
+// QueueCap could never reserve, even against an idle queue — that is
+// the permanent ErrBatchTooLarge, not a retryable ErrBackpressure
+// (which would 429-loop forever).
+func TestBatchTooLarge(t *testing.T) {
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 1, QueueCap: 8})
+	defer st.Close()
+
+	var evs []report.Event
+	for i := 0; i < 9; i++ {
+		evs = append(evs, ev("app.big", fmt.Sprintf("b%d", i), "u1"))
+	}
+	_, _, err := st.Ingest(evs)
+	if !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("Ingest over QueueCap: err = %v, want ErrBatchTooLarge", err)
+	}
+	if errors.Is(err, ErrBackpressure) {
+		t.Fatal("ErrBatchTooLarge must not read as retryable ErrBackpressure")
+	}
+	// Splitting is the fix: either half fits.
+	if accepted, _, err := st.Ingest(evs[:8]); err != nil || accepted != 8 {
+		t.Fatalf("split batch = (%d, %v), want (8, nil)", accepted, err)
+	}
+}
+
+// TestEventTooLarge: an event whose JSON encoding exceeds a WAL record
+// must be refused, never acked — if it reached the log, the next
+// restart would read its length prefix as corruption and either
+// truncate acked records after it or refuse to open.
+func TestEventTooLarge(t *testing.T) {
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 1})
+	defer st.Close()
+
+	big := ev("app.huge", "b1", "u1")
+	big.Info = strings.Repeat("x", MaxEventBytes)
+	if _, _, err := st.Ingest([]report.Event{big}); !errors.Is(err, ErrEventTooLarge) {
+		t.Fatalf("oversized event: err = %v, want ErrEventTooLarge", err)
+	}
+	if v := st.Verdict("app.huge"); v.Detections != 0 {
+		t.Errorf("oversized event counted: %d detections, want 0", v.Detections)
+	}
+	// The shard stays healthy and retrying it unchanged stays refused.
+	if accepted, _, err := st.Ingest([]report.Event{ev("app.huge", "b2", "u1")}); err != nil || accepted != 1 {
+		t.Fatalf("ingest after oversized = (%d, %v), want (1, nil)", accepted, err)
+	}
+	if _, _, err := st.Ingest([]report.Event{big}); !errors.Is(err, ErrEventTooLarge) {
+		t.Fatal("retrying the oversized event unchanged should still fail")
 	}
 }
 

@@ -14,8 +14,16 @@ import (
 
 // maxRequestEvents bounds one POST /v1/reports body. Clients batching
 // harder than this get a 413 and should split; it keeps a single
-// request from monopolizing every shard queue.
+// request from monopolizing every shard queue. The effective per-
+// request bound is the smaller of this and the store's total queue
+// capacity (QueueCap × Shards) — a batch past the latter cannot fit
+// even into idle queues, so a 429 there would never clear.
 const maxRequestEvents = 65536
+
+// maxRequestBytes caps a request body (pre-decompression) so a
+// runaway stream cannot balloon the JSON decoder; at typical event
+// sizes it is far above what maxRequestEvents events occupy.
+const maxRequestBytes = 64 << 20
 
 // NewHandler wires a Store into marketd's HTTP surface:
 //
@@ -23,6 +31,9 @@ const maxRequestEvents = 65536
 //	                               (Content-Encoding: gzip honored);
 //	                               200 {"accepted":n,"duplicates":d},
 //	                               429 + Retry-After on backpressure
+//	                               (transient — retry), 413 on a batch
+//	                               or event that could never be
+//	                               admitted (permanent — split it)
 //	GET  /v1/apps/{app}/verdict  — the app's Verdict as JSON
 //	GET  /healthz                — liveness
 //	GET  /metrics, /metrics.json — the store's registry
@@ -33,12 +44,16 @@ const maxRequestEvents = 65536
 func NewHandler(st *Store) http.Handler {
 	mux := http.NewServeMux()
 	reqs := st.Obs().Counter("market_http_requests_total")
+	maxEvents := maxRequestEvents
+	if c := st.cfg.QueueCap * st.cfg.Shards; c < maxEvents {
+		maxEvents = c
+	}
 
 	mux.HandleFunc("POST /v1/reports", func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
-		body := io.Reader(r.Body)
+		body := io.Reader(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 		if r.Header.Get("Content-Encoding") == "gzip" {
-			zr, err := gzip.NewReader(r.Body)
+			zr, err := gzip.NewReader(body)
 			if err != nil {
 				http.Error(w, "bad gzip body", http.StatusBadRequest)
 				return
@@ -48,21 +63,37 @@ func NewHandler(st *Store) http.Handler {
 		}
 		dec := json.NewDecoder(body)
 		var evs []report.Event
+		var prevOff int64
 		for {
 			var ev report.Event
 			if err := dec.Decode(&ev); err == io.EOF {
 				break
 			} else if err != nil {
-				http.Error(w, fmt.Sprintf("bad event at index %d: %v", len(evs), err), http.StatusBadRequest)
+				code := http.StatusBadRequest
+				var mbe *http.MaxBytesError
+				if errors.As(err, &mbe) {
+					code = http.StatusRequestEntityTooLarge
+				}
+				http.Error(w, fmt.Sprintf("bad event at index %d: %v", len(evs), err), code)
 				return
 			}
+			// Per-event wire bound: an event whose raw JSON alone is
+			// past MaxEventBytes can never be stored (the commit path
+			// re-checks the marshaled size, which escaping can inflate).
+			off := dec.InputOffset()
+			if off-prevOff > MaxEventBytes {
+				http.Error(w, fmt.Sprintf("event at index %d exceeds %d bytes", len(evs), MaxEventBytes),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
+			prevOff = off
 			if ev.App == "" || ev.Bomb == "" || ev.User == "" {
 				http.Error(w, fmt.Sprintf("event at index %d missing app/bomb/user", len(evs)), http.StatusBadRequest)
 				return
 			}
 			evs = append(evs, ev)
-			if len(evs) > maxRequestEvents {
-				http.Error(w, fmt.Sprintf("batch exceeds %d events", maxRequestEvents), http.StatusRequestEntityTooLarge)
+			if len(evs) > maxEvents {
+				http.Error(w, fmt.Sprintf("batch exceeds %d events, split it", maxEvents), http.StatusRequestEntityTooLarge)
 				return
 			}
 		}
@@ -71,6 +102,9 @@ func NewHandler(st *Store) http.Handler {
 		case errors.Is(err, ErrBackpressure):
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, ErrBatchTooLarge), errors.Is(err, ErrEventTooLarge):
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 			return
 		case err != nil:
 			http.Error(w, err.Error(), http.StatusInternalServerError)

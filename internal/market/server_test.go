@@ -115,16 +115,20 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 }
 
-// TestHTTPBackpressure: a one-shard store with a tiny queue turns an
-// oversized batch into a 429 + Retry-After, which the Client maps back
-// to ErrBackpressure.
+// TestHTTPBackpressure: with simulated in-flight load holding the
+// queue, a legal batch turns into a 429 + Retry-After — transient, so
+// the Client maps it back to ErrBackpressure and the device pipeline's
+// backoff takes over.
 func TestHTTPBackpressure(t *testing.T) {
-	srv, _ := newTestServer(t, Config{Shards: 1, QueueCap: 4})
+	srv, st := newTestServer(t, Config{Shards: 1, QueueCap: 8})
 
 	var evs []report.Event
 	for i := 0; i < 5; i++ {
 		evs = append(evs, ev("app.429", fmt.Sprintf("b%d", i), "u1"))
 	}
+	st.shards[0].depth.Add(6) // pretend 6 events are queued, uncommitted
+	defer st.shards[0].depth.Add(-6)
+
 	resp, err := http.Post(srv.URL+"/v1/reports", "application/x-ndjson", ndjson(evs...))
 	if err != nil {
 		t.Fatal(err)
@@ -144,20 +148,90 @@ func TestHTTPBackpressure(t *testing.T) {
 	}
 }
 
-func TestHTTPOversizedBatch(t *testing.T) {
-	srv, _ := newTestServer(t, Config{})
-	// One valid event line, repeated past maxRequestEvents.
-	line, _ := json.Marshal(ev("app.big", "b", "u"))
-	line = append(line, '\n')
-	body := bytes.Repeat(line, maxRequestEvents+1)
-	resp, err := http.Post(srv.URL+"/v1/reports", "application/x-ndjson", bytes.NewReader(body))
+// TestHTTPBatchTooLarge: batches that could never be admitted are a
+// permanent 413 (split and resend), never a 429 that a well-behaved
+// client would retry verbatim forever.
+func TestHTTPBatchTooLarge(t *testing.T) {
+	// A batch bigger than the store's whole queue capacity
+	// (QueueCap × Shards) is cut off while decoding.
+	srv, _ := newTestServer(t, Config{Shards: 1, QueueCap: 4})
+	var evs []report.Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, ev("app.413", fmt.Sprintf("b%d", i), "u1"))
+	}
+	if code := postStatus(t, srv.URL, ndjson(evs...)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-capacity batch status = %d, want 413", code)
+	}
+
+	// A batch within total capacity whose keys all skew onto one shard
+	// trips the per-partition check inside Ingest instead.
+	srv2, st2 := newTestServer(t, Config{Shards: 2, QueueCap: 4})
+	var skewed []report.Event
+	for i := 0; len(skewed) < 5; i++ {
+		e := ev("app.skew", fmt.Sprintf("b%d", i), "u1")
+		if st2.shardFor(e.Key()) == 0 {
+			skewed = append(skewed, e)
+		}
+	}
+	if code := postStatus(t, srv2.URL, ndjson(skewed...)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("skewed batch status = %d, want 413", code)
+	}
+}
+
+// TestHTTPOversizedEvent: an event too big for a WAL record must be
+// refused with 413 before it can be acked — once written, the next
+// replay would read it as corruption (the remote-poisoning vector).
+func TestHTTPOversizedEvent(t *testing.T) {
+	srv, st := newTestServer(t, Config{})
+
+	// Raw wire size past MaxEventBytes: refused while decoding.
+	big := fmt.Sprintf("{\"app\":\"app.big\",\"bomb\":\"b1\",\"user\":\"u1\",\"info\":%q}\n",
+		strings.Repeat("x", MaxEventBytes))
+	if code := postStatus(t, srv.URL, strings.NewReader(big)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized wire event status = %d, want 413", code)
+	}
+
+	// Wire-small but escape-inflated: encoding/json HTML-escapes '<'
+	// to six bytes, so the stored form would exceed a WAL record even
+	// though the wire form passes; the commit path refuses.
+	inflated := fmt.Sprintf("{\"app\":\"app.inf\",\"bomb\":\"b1\",\"user\":\"u1\",\"info\":%q}\n",
+		strings.Repeat("<", MaxEventBytes/5))
+	if code := postStatus(t, srv.URL, strings.NewReader(inflated)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("escape-inflated event status = %d, want 413", code)
+	}
+
+	// Neither event was acked or tallied, and the store still works.
+	for _, app := range []string{"app.big", "app.inf"} {
+		if v := st.Verdict(app); v.Detections != 0 {
+			t.Errorf("Verdict(%s) = %d detections, want 0", app, v.Detections)
+		}
+	}
+	cl := &Client{BaseURL: srv.URL}
+	if res, err := cl.Post([]report.Event{ev("app.ok", "b1", "u1")}); err != nil || res.Accepted != 1 {
+		t.Errorf("Post after oversized events = (%+v, %v), want accepted 1", res, err)
+	}
+}
+
+func postStatus(t *testing.T, base string, body io.Reader) int {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/reports", "application/x-ndjson", body)
 	if err != nil {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Errorf("oversized batch status = %d, want 413", resp.StatusCode)
+	return resp.StatusCode
+}
+
+func TestHTTPOversizedBatch(t *testing.T) {
+	// The effective per-request cap is min(maxRequestEvents,
+	// QueueCap × Shards); one event past it is refused while decoding.
+	srv, _ := newTestServer(t, Config{Shards: 2, QueueCap: 8})
+	line, _ := json.Marshal(ev("app.big", "b", "u"))
+	line = append(line, '\n')
+	body := bytes.Repeat(line, 2*8+1)
+	if code := postStatus(t, srv.URL, bytes.NewReader(body)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch status = %d, want 413", code)
 	}
 }
 

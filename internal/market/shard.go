@@ -74,7 +74,17 @@ func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
 		gDepth:   cfg.Obs.Gauge(obs.L("market_shard_queue_depth", "shard", label), obs.Volatile()),
 	}
 	dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", id))
-	w, stats, err := openWAL(dir, cfg.SegmentBytes, cfg.Fsync, s.admit)
+	// Replay routes records through the same dedup gate the live commit
+	// path uses. For a healthy log the gate never fires (commit only
+	// appends in-window-novel keys, and replay reproduces the window
+	// state record by record), but a crash between a successful WAL
+	// flush and the ack can leave a retried event in the log twice —
+	// admitting both would double-count it after every restart.
+	w, stats, err := openWAL(dir, cfg.SegmentBytes, cfg.Fsync, func(ev report.Event) {
+		if !s.isDup(ev.Key()) {
+			s.admit(ev)
+		}
+	})
 	if err != nil {
 		return nil, ReplayStats{}, err
 	}
@@ -85,9 +95,10 @@ func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
 }
 
 // admit records one event as accepted: it enters the dedup window and
-// its app's tally. Called for every event the worker commits and, in
-// identical order, for every record the WAL replays — the two paths
-// must stay byte-for-byte the same or a restart would change verdicts.
+// its app's tally. Called — behind the same isDup gate, in identical
+// order — for every event the worker commits and for every record the
+// WAL replays; the two paths must stay byte-for-byte the same or a
+// restart would change verdicts.
 func (s *shard) admit(ev report.Event) {
 	if len(s.cur) >= s.cfg.DedupWindow {
 		s.prev = s.cur
@@ -148,13 +159,17 @@ func (s *shard) run() {
 // admits the events and acks the requests. On a WAL error nothing is
 // admitted, so the dedup window and tallies never get ahead of the
 // log: an acked event is always replayable, and a failed one is
-// retryable without tripping the dedup window.
+// retryable without tripping the dedup window. An event too large for
+// a WAL record fails only its own request (ErrEventTooLarge) and is
+// skipped; the request's other events still commit, and a split-up
+// retry dedups them.
 func (s *shard) commit(batch []ingestReq, total int) {
 	results := make([]ingestRes, len(batch))
 	var payloads [][]byte
 	var admitted []report.Event
 	inBatch := make(map[string]struct{})
 	var encErr error
+	oversized := 0
 	for bi, req := range batch {
 		for _, ev := range req.evs {
 			key := ev.Key()
@@ -166,6 +181,16 @@ func (s *shard) commit(batch []ingestReq, total int) {
 			if err != nil {
 				encErr = err
 				break
+			}
+			if len(b) > MaxEventBytes {
+				// The WAL cannot hold this record (replay would read it
+				// as corruption), so it must never be acked. Permanent
+				// rejection for this request only; sibling requests in
+				// the group commit are unaffected.
+				results[bi].err = fmt.Errorf("%w: event %q encodes to %d bytes (max %d)",
+					ErrEventTooLarge, ev.Key(), len(b), MaxEventBytes)
+				oversized++
+				continue
 			}
 			inBatch[key] = struct{}{}
 			payloads = append(payloads, b)
@@ -186,7 +211,7 @@ func (s *shard) commit(batch []ingestReq, total int) {
 			s.admit(ev)
 		}
 		s.cEvents.Add(int64(len(admitted)))
-		s.cDups.Add(int64(total - len(admitted)))
+		s.cDups.Add(int64(total - len(admitted) - oversized))
 		s.cRecords.Add(int64(len(payloads)))
 		s.cBatches.Inc()
 	}

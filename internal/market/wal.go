@@ -3,6 +3,7 @@ package market
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -136,7 +137,12 @@ func replaySegment(name string, isLast bool, replay func(report.Event)) (ReplayS
 			if err == io.EOF {
 				return stats, nil // clean end
 			}
-			return tornTail(f, name, isLast, off, fileSize, stats)
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return tornTail(f, name, isLast, off, fileSize, stats)
+			}
+			// A real read error (bad disk, not a short file) must not
+			// truncate: the bytes past off may be good, acked records.
+			return stats, fmt.Errorf("market: reading %s at offset %d: %w", name, off, err)
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
@@ -148,7 +154,10 @@ func replaySegment(name string, isLast bool, replay func(report.Event)) (ReplayS
 		}
 		payload := buf[:length]
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return tornTail(f, name, isLast, off, fileSize, stats)
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return tornTail(f, name, isLast, off, fileSize, stats)
+			}
+			return stats, fmt.Errorf("market: reading %s at offset %d: %w", name, off, err)
 		}
 		if crc32.Checksum(payload, castagnoli) != sum {
 			return tornTail(f, name, isLast, off, fileSize, stats)
@@ -198,7 +207,17 @@ func (w *wal) openSegment() error {
 // buffered, then the buffer is flushed (and fsynced when configured)
 // so the bytes are in the OS before the caller acks. Rotation happens
 // after the commit, so a batch never straddles segments.
+//
+// Payloads outside [1,maxWALRecord] bytes are rejected before any
+// byte is written: replay treats such a length prefix as a torn tail
+// or corruption, so appending one would poison the log — the record
+// (and everything after it) would be lost or refuse to replay.
 func (w *wal) Append(payloads [][]byte) error {
+	for _, p := range payloads {
+		if len(p) == 0 || len(p) > maxWALRecord {
+			return fmt.Errorf("market: wal record of %d bytes outside [1,%d]", len(p), maxWALRecord)
+		}
+	}
 	var hdr [walHeaderLen]byte
 	for _, p := range payloads {
 		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))

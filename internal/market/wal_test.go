@@ -1,6 +1,7 @@
 package market
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -112,6 +113,82 @@ func TestWALTornHeader(t *testing.T) {
 	defer st2.Close()
 	if stats.Records != 3 || stats.TornTails != 1 {
 		t.Errorf("stats = %+v, want 3 records, 1 torn tail", stats)
+	}
+}
+
+// TestWALAppendRejectsOversized: Append must refuse a record the
+// replay path could not read back — replay treats a length prefix
+// past maxWALRecord as torn tail/corruption, so writing one would
+// lose the record (and every acked record after it) or brick Open.
+// The refusal happens before any byte reaches the file.
+func TestWALAppendRejectsOversized(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir, 64<<20, false, func(report.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _ := json.Marshal(ev("app.w", "b", "u"))
+	if err := w.Append([][]byte{good, make([]byte, maxWALRecord+1)}); err == nil {
+		t.Fatal("Append with an oversized record should fail")
+	}
+	if err := w.Append([][]byte{good, nil}); err == nil {
+		t.Fatal("Append with an empty record should fail")
+	}
+	// The rejections wrote nothing: a good append still works and a
+	// reopen replays exactly it.
+	if err := w.Append([][]byte{good}); err != nil {
+		t.Fatalf("Append after rejection: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	w2, stats, err := openWAL(dir, 64<<20, false, func(report.Event) { replayed++ })
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if stats.Records != 1 || replayed != 1 || stats.TornTails != 0 {
+		t.Errorf("reopen stats = %+v (replayed %d), want exactly 1 clean record", stats, replayed)
+	}
+}
+
+// TestWALReplayDedupsDuplicateRecords: a crash (or flush error) after
+// bytes reached the log but before the ack leaves a retried event in
+// the WAL twice. Replay must run records through the same dedup gate
+// as live commits, or every restart would inflate the tallies and
+// flip verdicts.
+func TestWALReplayDedupsDuplicateRecords(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1}
+	st, _ := mustOpen(t, cfg)
+	writeEvents(t, st, "app.dup", 1)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The segment holds exactly one record; append a byte-identical
+	// copy, as a client retry after a post-flush commit error would.
+	seg := filepath.Join(dir, "shard-000", "wal-00000000.log")
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, append(b, b...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, stats := mustOpen(t, cfg)
+	defer st2.Close()
+	if stats.Records != 2 {
+		t.Errorf("replayed %d records, want 2 (the duplicate is still read)", stats.Records)
+	}
+	if v := st2.Verdict("app.dup"); v.Detections != 1 {
+		t.Errorf("Detections = %d, want 1 — duplicate WAL record double-counted", v.Detections)
+	}
+	// The dedup window knows the key: resubmitting is a duplicate.
+	if a, d, err := st2.Ingest([]report.Event{ev("app.dup", "bomb-0", "user-1")}); err != nil || a != 0 || d != 1 {
+		t.Fatalf("resubmit = (%d, %d, %v), want (0, 1, nil)", a, d, err)
 	}
 }
 
