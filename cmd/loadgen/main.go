@@ -7,8 +7,9 @@
 //
 // fire-hose: synthesize -events detonation reports (mostly-unique
 // keys across -apps apps), POST them through market.Client in
-// -batch-sized batches from -workers goroutines, retrying 429s, and
-// print a JSON summary with events_per_sec and p99_ms.
+// -batch-sized batches from -workers goroutines, retrying 429
+// backpressure and 503 degraded answers, and print a JSON summary
+// with events_per_sec, p99_ms, and degraded_retries.
 //
 //	loadgen -url ... -campaign AndroFish [-sessions 8] [-profile mild]
 //
@@ -46,14 +47,20 @@ import (
 
 // summary is the fire-hose mode's JSON report.
 type summary struct {
-	Events       int     `json:"events"`
-	Accepted     int     `json:"accepted"`
-	Duplicates   int     `json:"duplicates"`
-	Rejected429  int     `json:"rejected_429"`
-	ElapsedSec   float64 `json:"elapsed_sec"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	P99Ms        float64 `json:"p99_ms"`
+	Events          int     `json:"events"`
+	Accepted        int     `json:"accepted"`
+	Duplicates      int     `json:"duplicates"`
+	Rejected429     int     `json:"rejected_429"`
+	DegradedRetries int     `json:"degraded_retries"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	P99Ms           float64 `json:"p99_ms"`
 }
+
+// degradedRetryDelay matches the Retry-After the daemon sends with a
+// 503 (a degraded shard is disk trouble, slower to clear than queue
+// pressure). Variable so tests can shorten it.
+var degradedRetryDelay = 2 * time.Second
 
 func run(ctx context.Context, out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
@@ -101,9 +108,9 @@ func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, bat
 		runID = fmt.Sprintf("%d", time.Now().UnixNano())
 	}
 	type res struct {
-		accepted, dups, rejects int
-		lat                     []time.Duration
-		err                     error
+		accepted, dups, rejects, degraded int
+		lat                               []time.Duration
+		err                               error
 	}
 	batches := make(chan int)
 	failed := make(chan struct{}) // closed on the first hard worker error
@@ -136,6 +143,19 @@ func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, bat
 						r.rejects++
 						select {
 						case <-time.After(50 * time.Millisecond):
+							continue
+						case <-ctx.Done():
+							r.err = ctx.Err()
+							return
+						}
+					}
+					if errors.Is(err, market.ErrDegraded) {
+						// A degraded shard is a disk problem the operator
+						// may fix with a restart: keep retrying on the
+						// daemon's Retry-After beat, like a 429 but slower.
+						r.degraded++
+						select {
+						case <-time.After(degradedRetryDelay):
 							continue
 						case <-ctx.Done():
 							r.err = ctx.Err()
@@ -180,6 +200,7 @@ feed:
 		s.Accepted += r.accepted
 		s.Duplicates += r.dups
 		s.Rejected429 += r.rejects
+		s.DegradedRetries += r.degraded
 		lat = append(lat, r.lat...)
 	}
 	s.Events = s.Accepted + s.Duplicates

@@ -4,9 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"bombdroid/internal/market"
 )
@@ -135,4 +140,60 @@ func TestCampaignMode(t *testing.T) {
 	if !v.Repackaged || v.Detections == 0 {
 		t.Errorf("verdict = %+v, want repackaged with detections after campaign", v)
 	}
+}
+
+// TestFireHoseDegradedRetry: 503s from a degraded shard slow the hose
+// down (retry after the daemon's beat) instead of failing it, and the
+// summary counts them.
+func TestFireHoseDegradedRetry(t *testing.T) {
+	srv := newMarket(t, market.Config{Shards: 1})
+	// Front the market with a flake that answers 503 + Retry-After to
+	// the first few POSTs, then hands off — the shape of a shard that
+	// degraded and was restarted by an operator.
+	var mu sync.Mutex
+	remaining := 3
+	flake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		deny := r.URL.Path == "/v1/reports" && remaining > 0
+		if deny {
+			remaining--
+		}
+		mu.Unlock()
+		if deny {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"shard degraded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		httputil.NewSingleHostReverseProxy(mustParse(t, srv.URL)).ServeHTTP(w, r)
+	}))
+	defer flake.Close()
+
+	oldDelay := degradedRetryDelay
+	degradedRetryDelay = 10 * time.Millisecond
+	defer func() { degradedRetryDelay = oldDelay }()
+
+	var out bytes.Buffer
+	args := []string{"-url", flake.URL, "-events", "500", "-batch", "100", "-workers", "2", "-run", "deg"}
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary does not parse: %v\n%s", err, out.String())
+	}
+	if s.DegradedRetries != 3 {
+		t.Errorf("degraded_retries = %d, want 3", s.DegradedRetries)
+	}
+	if s.Accepted != 500 || s.Duplicates != 0 {
+		t.Errorf("summary = %+v, want all 500 accepted after retries", s)
+	}
+}
+
+func mustParse(t *testing.T, raw string) *url.URL {
+	t.Helper()
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
 }

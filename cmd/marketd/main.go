@@ -9,12 +9,18 @@
 //	marketd -addr :8844 -data ./marketd-data
 //	        [-shards 4] [-queue-cap 4096] [-dedup-window 65536]
 //	        [-segment-mb 64] [-threshold 3] [-fsync]
+//	        [-checkpoint-every 65536] [-drain-timeout 10s]
 //	        [-debug-addr :6060]
 //
-// On startup the daemon replays any existing WAL under -data and
-// prints a recovery summary; on SIGINT/SIGTERM it drains the shard
-// queues, seals the logs, and prints "clean shutdown". Every report
-// acked with a 200 before the signal is on disk and will be replayed
+// On startup the daemon restores each shard from its newest valid
+// checkpoint and replays only the WAL tail past it (full replay when
+// no checkpoint survives), prints a recovery summary, and compacts
+// segments behind the checkpoint. On SIGINT/SIGTERM it drains the
+// shard queues — bounded by -drain-timeout so a wedged disk cannot
+// hang shutdown forever — takes a farewell checkpoint per shard,
+// seals the logs, and prints "clean shutdown"; shards that miss the
+// deadline are named and the exit status is nonzero. Every report
+// acked with a 200 before the signal is on disk and will be restored
 // by the next start.
 //
 // /metrics and /metrics.json are served on the main listener;
@@ -52,6 +58,8 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 	segmentMB := fs.Int("segment-mb", 0, "WAL segment rotation size in MiB (0 = default)")
 	threshold := fs.Int("threshold", 0, "detections before an app is marked repackaged (0 = default)")
 	fsync := fs.Bool("fsync", false, "fsync the WAL on every commit (survives machine crash, not just process kill)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "records between checkpoint snapshots per shard (0 = default, negative disables)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max time to drain and seal shards on shutdown (0 = wait forever)")
 	debugAddr := fs.String("debug-addr", "", "serve metrics + pprof on this extra address")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,21 +69,23 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 	}
 
 	cfg := market.Config{
-		Dir:          *data,
-		Shards:       *shards,
-		QueueCap:     *queueCap,
-		DedupWindow:  *dedupWindow,
-		SegmentBytes: int64(*segmentMB) << 20,
-		Threshold:    *threshold,
-		Fsync:        *fsync,
-		Obs:          obs.NewRegistry(),
+		Dir:             *data,
+		Shards:          *shards,
+		QueueCap:        *queueCap,
+		DedupWindow:     *dedupWindow,
+		SegmentBytes:    int64(*segmentMB) << 20,
+		Threshold:       *threshold,
+		Fsync:           *fsync,
+		CheckpointEvery: *checkpointEvery,
+		Obs:             obs.NewRegistry(),
 	}
 	st, stats, err := market.Open(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "marketd: recovered %d records from %d segments (%d torn tails, %d bytes truncated)\n",
-		stats.Records, stats.Segments, stats.TornTails, stats.TruncatedBytes)
+	fmt.Fprintf(out, "marketd: recovered %d records from %d segments (%d torn tails, %d bytes truncated); %d/%d shards from checkpoint, %d tail records, %d segments compacted\n",
+		stats.Records, stats.Segments, stats.TornTails, stats.TruncatedBytes,
+		stats.Checkpoints, st.Shards(), stats.TailRecords, stats.CompactedSegments)
 
 	if *debugAddr != "" {
 		stop, bound, err := obs.ServeDebug(*debugAddr, st.Obs())
@@ -108,14 +118,21 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 	case <-ctx.Done():
 	}
 
-	// Stop taking requests (finish in-flight ones), then seal the WAL.
+	// Stop taking requests (finish in-flight ones), then drain the
+	// shards, checkpoint, and seal the WALs — all bounded by the drain
+	// deadline so a wedged shard cannot hang shutdown forever.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		st.Close()
 		return err
 	}
-	if err := st.Close(); err != nil {
+	missed, err := st.CloseTimeout(*drainTimeout)
+	if len(missed) > 0 {
+		fmt.Fprintf(out, "marketd: shutdown drain missed deadline; shards %v not sealed\n", missed)
+		return err
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "marketd: clean shutdown")

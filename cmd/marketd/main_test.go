@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -131,5 +134,52 @@ func TestDaemonDebugAddr(t *testing.T) {
 	output := stop()
 	if !strings.Contains(output, "marketd: debug endpoint listening on 127.0.0.1:") {
 		t.Errorf("missing debug endpoint line:\n%s", output)
+	}
+}
+
+// TestDaemonCheckpointRestart: a restart after a clean shutdown comes
+// back from the checkpoint (zero tail records) and says so in the
+// recovery line; /healthz reports every shard ok.
+func TestDaemonCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	base, stop := startDaemon(t, dir, "-shards", "2", "-checkpoint-every", "100")
+	cl := &market.Client{BaseURL: base}
+	var evs []report.Event
+	for i := 0; i < 50; i++ {
+		evs = append(evs, report.Event{App: "app.ck", Bomb: fmt.Sprintf("b%d", i), User: "u", TimeMs: int64(i)})
+	}
+	if _, err := cl.Post(evs); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	stop()
+
+	base2, stop2 := startDaemon(t, dir, "-shards", "2", "-checkpoint-every", "100")
+	resp, err := http.Get(base2 + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz after restart: %v %v", resp, err)
+	}
+	var health struct {
+		Status         string `json:"status"`
+		ShardsOK       int    `json:"shards_ok"`
+		ShardsDegraded int    `json:"shards_degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.ShardsOK != 2 || health.ShardsDegraded != 0 {
+		t.Errorf("healthz = %+v, want 2 ok shards", health)
+	}
+	cl2 := &market.Client{BaseURL: base2}
+	res, err := cl2.Post(evs)
+	if err != nil || res.Accepted != 0 || res.Duplicates != 50 {
+		t.Errorf("re-Post after checkpoint restart = %+v (%v), want all duplicates", res, err)
+	}
+	output := stop2()
+	if !strings.Contains(output, "recovered 50 records") {
+		t.Errorf("missing recovery summary:\n%s", output)
+	}
+	if !strings.Contains(output, "2/2 shards from checkpoint, 0 tail records") {
+		t.Errorf("restart did not come from checkpoints:\n%s", output)
 	}
 }

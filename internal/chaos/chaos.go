@@ -43,6 +43,12 @@ type Profile struct {
 	DelayEvent   float64 // event submission delayed
 	DelayEventMs int64   // maximum delay applied when DelayEvent hits
 	ReorderEvent float64 // event submitted out of arrival order
+
+	// Storage-layer faults (market WAL + checkpoint domain), drawn by
+	// marketfs.Fault per filesystem operation.
+	FsWriteFail  float64 // a write fails outright, no bytes applied (ENOSPC)
+	FsShortWrite float64 // a write persists only a prefix and errors
+	FsSyncFail   float64 // fsync reports failure and durability does not advance
 }
 
 // Named profiles, from benign to hostile.
@@ -95,6 +101,15 @@ func Overlay(base, over Profile) Profile {
 	}
 	if over.ReorderEvent != 0 {
 		out.ReorderEvent = over.ReorderEvent
+	}
+	if over.FsWriteFail != 0 {
+		out.FsWriteFail = over.FsWriteFail
+	}
+	if over.FsShortWrite != 0 {
+		out.FsShortWrite = over.FsShortWrite
+	}
+	if over.FsSyncFail != 0 {
+		out.FsSyncFail = over.FsSyncFail
 	}
 	if base.Name != "" && over.Name != "" {
 		out.Name = base.Name + "+" + over.Name

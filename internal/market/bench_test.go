@@ -75,11 +75,39 @@ func BenchmarkMarketIngestHTTP(b *testing.B) {
 }
 
 // BenchmarkWALReplay measures crash-recovery speed: how fast Open can
-// re-admit a shard's worth of committed records.
+// re-admit a shard's worth of committed records. Checkpoints are
+// disabled throughout so every iteration pays the full replay; the
+// checkpointed restart path is measured by BenchmarkRestartReplay*.
 func BenchmarkWALReplay(b *testing.B) {
 	dir := b.TempDir()
 	const n = 20_000
-	st, _, err := Open(Config{Dir: dir, Shards: 1, QueueCap: 1 << 16, DedupWindow: 1 << 20, MaxBatch: 1 << 14})
+	seedStore(b, dir, n, -1)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		st, stats, err := Open(Config{Dir: dir, Shards: 1, QueueCap: 1 << 16, DedupWindow: 1 << 20, CheckpointEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Records != n {
+			b.Fatalf("replayed %d records, want %d", stats.Records, n)
+		}
+		b.StopTimer()
+		st.Close()
+		b.StartTimer()
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)*n/elapsed.Seconds(), "events_sec")
+}
+
+// seedStore fills a fresh single-shard store under dir with n
+// distinct-key events and closes it cleanly.
+func seedStore(b *testing.B, dir string, n, ckptEvery int) {
+	b.Helper()
+	st, _, err := Open(Config{Dir: dir, Shards: 1, QueueCap: 1 << 16, DedupWindow: 1 << 20,
+		MaxBatch: 1 << 14, CheckpointEvery: ckptEvery})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -96,25 +124,49 @@ func BenchmarkWALReplay(b *testing.B) {
 	if err := st.Close(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// benchRestart times Open against a pre-seeded store of restartEvents
+// records and reports milliseconds per restart — the number
+// scripts/bench.sh compares across the full-replay and checkpointed
+// variants (BENCH_PR6.json: restart_replay_full_ms vs
+// restart_replay_checkpoint_ms).
+const restartEvents = 120_000
+
+func benchRestart(b *testing.B, ckptEvery int) {
+	dir := b.TempDir()
+	seedStore(b, dir, restartEvents, ckptEvery)
 
 	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		st, stats, err := Open(Config{Dir: dir, Shards: 1, QueueCap: 1 << 16, DedupWindow: 1 << 20})
+		st, stats, err := Open(Config{Dir: dir, Shards: 1, QueueCap: 1 << 16, DedupWindow: 1 << 20,
+			CheckpointEvery: ckptEvery})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if stats.Records != n {
-			b.Fatalf("replayed %d records, want %d", stats.Records, n)
+		if stats.Records != restartEvents {
+			b.Fatalf("restored %d records, want %d", stats.Records, restartEvents)
+		}
+		if ckptEvery > 0 && stats.Checkpoints != 1 {
+			b.Fatalf("Checkpoints = %d, want 1", stats.Checkpoints)
 		}
 		b.StopTimer()
 		st.Close()
 		b.StartTimer()
 	}
 	elapsed := time.Since(start)
-	b.ReportMetric(float64(b.N)*n/elapsed.Seconds(), "events_sec")
+	b.ReportMetric(float64(elapsed.Milliseconds())/float64(b.N), "ms_restart")
 }
+
+// BenchmarkRestartReplayFull: restart cost with checkpointing off —
+// O(total history), the PR-5 baseline.
+func BenchmarkRestartReplayFull(b *testing.B) { benchRestart(b, -1) }
+
+// BenchmarkRestartReplayCheckpoint: restart cost restoring the
+// shutdown checkpoint and replaying an empty tail — O(checkpoint).
+func BenchmarkRestartReplayCheckpoint(b *testing.B) { benchRestart(b, 1<<16) }
 
 // BenchmarkStoreIngest isolates the store (no HTTP): partition,
 // dedup, group commit, WAL flush.

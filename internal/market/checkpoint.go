@@ -1,0 +1,196 @@
+package market
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// A checkpoint is one shard's complete replay-derived state — dedup
+// generations, per-app tallies, cumulative record count — snapshotted
+// together with the WAL position it covers. Restart then becomes
+// O(checkpoint + tail): install the snapshot, replay only records past
+// its position, and delete segments wholly behind it (compaction).
+//
+// Commit protocol (all through marketfs.FS, so the torture tests crash
+// it at every step):
+//
+//  1. sync the WAL through the snapshot position — a checkpoint must
+//     never point past durable bytes, even when routine commits skip
+//     fsync;
+//  2. write the encoding to ckpt-%08d.tmp, fsync, close;
+//  3. rename onto ckpt-%08d (atomic: readers see the old file or the
+//     new one, never a hybrid);
+//  4. fsync the shard directory so the rename survives power loss.
+//
+// Files are self-validating (magic, length, CRC32-C over the body), so
+// Open can take the newest file that decodes, fall back to older ones,
+// and fall back to a full replay when none survive. The two newest
+// checkpoints are retained; a torn or garbage newest file therefore
+// costs one snapshot interval of tail replay, not a full-history scan.
+//
+// Encoding (little-endian):
+//
+//	| magic "BDCKPT1\n" | body len u32 | crc32c u32 | body |
+//
+//	body = seq u64, seg u32, off u64, records u64,
+//	       apps   (count u32, then per entry: len u32, bytes, tally i64),
+//	       cur    (count u32, then per key:   len u32, bytes),
+//	       prev   (count u32, then per key:   len u32, bytes)
+//
+// Binary rather than JSON deliberately: at production dedup windows a
+// snapshot holds ~100k keys, and decode speed is the restart path the
+// whole feature exists to shorten.
+
+const ckptMagic = "BDCKPT1\n"
+
+// maxCheckpointBody caps a decoded body allocation. Generous: a shard
+// would need ~30M dedup keys to reach it.
+const maxCheckpointBody = 1 << 31
+
+// errBadCheckpoint marks a checkpoint file that fails validation
+// (magic, length, CRC, or structure). The loader skips to the next
+// candidate; it never aborts Open.
+var errBadCheckpoint = errors.New("market: invalid checkpoint")
+
+type checkpoint struct {
+	seq       uint64
+	pos       walPos
+	records   int64 // cumulative records covered (admits + replayed dups)
+	apps      map[string]int64
+	cur, prev map[string]struct{}
+}
+
+func ckptName(seq uint64) string { return fmt.Sprintf("ckpt-%08d", seq) }
+
+func (c *checkpoint) encode() []byte {
+	size := 8 + 4 + 8 + 8 + 4 + 4 + 4
+	for app := range c.apps {
+		size += 4 + len(app) + 8
+	}
+	for key := range c.cur {
+		size += 4 + len(key)
+	}
+	for key := range c.prev {
+		size += 4 + len(key)
+	}
+	body := make([]byte, 0, size)
+	body = binary.LittleEndian.AppendUint64(body, c.seq)
+	body = binary.LittleEndian.AppendUint32(body, uint32(c.pos.Seg))
+	body = binary.LittleEndian.AppendUint64(body, uint64(c.pos.Off))
+	body = binary.LittleEndian.AppendUint64(body, uint64(c.records))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(c.apps)))
+	for app, n := range c.apps {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(app)))
+		body = append(body, app...)
+		body = binary.LittleEndian.AppendUint64(body, uint64(n))
+	}
+	for _, set := range []map[string]struct{}{c.cur, c.prev} {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(set)))
+		for key := range set {
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(key)))
+			body = append(body, key...)
+		}
+	}
+
+	out := make([]byte, 0, len(ckptMagic)+8+len(body))
+	out = append(out, ckptMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+	return append(out, body...)
+}
+
+// decodeCheckpoint validates and decodes one checkpoint file's bytes.
+// Every failure wraps errBadCheckpoint so the loader can distinguish
+// "this file is bad, try the next" from I/O errors.
+func decodeCheckpoint(raw []byte) (*checkpoint, error) {
+	if len(raw) < len(ckptMagic)+8 || string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic", errBadCheckpoint)
+	}
+	raw = raw[len(ckptMagic):]
+	bodyLen := binary.LittleEndian.Uint32(raw[0:4])
+	sum := binary.LittleEndian.Uint32(raw[4:8])
+	if bodyLen > maxCheckpointBody || int64(bodyLen) != int64(len(raw)-8) {
+		return nil, fmt.Errorf("%w: body length %d does not match file", errBadCheckpoint, bodyLen)
+	}
+	body := raw[8:]
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", errBadCheckpoint)
+	}
+
+	// One conversion of the whole body; every key below is a substring
+	// of it. That pins the body for the life of the maps but turns
+	// ~100k per-key allocations into one, and the maps would hold
+	// copies of nearly every byte anyway — decode speed is the point.
+	d := ckptDecoder{s: string(body)}
+	c := &checkpoint{
+		seq: d.u64(),
+		pos: walPos{},
+	}
+	c.pos.Seg = int(d.u32())
+	c.pos.Off = int64(d.u64())
+	c.records = int64(d.u64())
+	nApps := d.u32()
+	c.apps = make(map[string]int64, nApps)
+	for i := uint32(0); i < nApps && d.err == nil; i++ {
+		app := d.str()
+		c.apps[app] = int64(d.u64())
+	}
+	for _, set := range []*map[string]struct{}{&c.cur, &c.prev} {
+		n := d.u32()
+		m := make(map[string]struct{}, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m[d.str()] = struct{}{}
+		}
+		*set = m
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if rest := len(d.s) - d.off; rest != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errBadCheckpoint, rest)
+	}
+	return c, nil
+}
+
+// ckptDecoder cursors through a checkpoint body; the first short read
+// poisons it and every later read returns zero values. It reads from a
+// string so str() can hand out allocation-free substrings.
+type ckptDecoder struct {
+	s   string
+	off int
+	err error
+}
+
+func (d *ckptDecoder) u32() uint32 {
+	if d.err != nil || len(d.s)-d.off < 4 {
+		d.fail()
+		return 0
+	}
+	s := d.s[d.off : d.off+4]
+	d.off += 4
+	return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24
+}
+
+func (d *ckptDecoder) u64() uint64 {
+	lo := uint64(d.u32())
+	return lo | uint64(d.u32())<<32
+}
+
+func (d *ckptDecoder) str() string {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(len(d.s)-d.off) {
+		d.fail()
+		return ""
+	}
+	s := d.s[d.off : d.off+int(n)]
+	d.off += int(n)
+	return s
+}
+
+func (d *ckptDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated body", errBadCheckpoint)
+	}
+}

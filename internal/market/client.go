@@ -37,7 +37,8 @@ type PostResult struct {
 }
 
 // Post sends one batch of events to POST /v1/reports. A 429 surfaces
-// as ErrBackpressure so callers can share the store's retry logic.
+// as ErrBackpressure and a 503 as ErrDegraded, so callers can share
+// the store's retry logic.
 func (c *Client) Post(evs []report.Event) (PostResult, error) {
 	var buf bytes.Buffer
 	var w io.Writer = &buf
@@ -74,6 +75,9 @@ func (c *Client) Post(evs []report.Event) (PostResult, error) {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
 		return PostResult{}, ErrBackpressure
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return PostResult{}, ErrDegraded
 	case resp.StatusCode != http.StatusOK:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return PostResult{}, fmt.Errorf("market: POST /v1/reports: %s: %s", resp.Status, bytes.TrimSpace(body))

@@ -14,6 +14,11 @@
 //     novel ones to an append-only checksummed WAL (group commit, one
 //     flush per batch), and only then acks — a 200 from the daemon
 //     means the report is on disk;
+//   - each shard periodically commits a checkpoint snapshot (dedup
+//     window + tallies + WAL position) with an atomic temp/fsync/
+//     rename protocol, so Open restores the snapshot, replays only the
+//     WAL tail, and compacts segments behind it — restart is
+//     O(checkpoint + tail), not O(total history);
 //   - admission is gated by a per-shard queue bound: when a shard is
 //     saturated the store refuses with ErrBackpressure (HTTP 429)
 //     instead of dropping, pushing the retry into the device-side
@@ -22,10 +27,14 @@
 //     queue, an event bigger than a WAL record — are refused
 //     permanently instead (ErrBatchTooLarge / ErrEventTooLarge,
 //     HTTP 413), so clients split rather than retry forever;
-//   - Open replays every shard's WAL to rebuild the dedup windows and
-//     per-app tallies exactly, tolerating a torn record at the tail of
-//     the last segment (the crash case) and refusing corruption
-//     anywhere else.
+//   - a shard whose disk stops cooperating (failed WAL append,
+//     repeated checkpoint failures) degrades to read-only instead of
+//     crashing the daemon: its ingests fail fast with ErrDegraded
+//     (HTTP 503 + Retry-After), verdicts still serve, the other
+//     shards carry on, and Health/healthz report the split;
+//   - all disk access goes through marketfs.FS, so the crash-recovery
+//     torture tests run these exact code paths against a fault-
+//     injecting in-memory filesystem.
 package market
 
 import (
@@ -33,10 +42,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"os"
-	"path/filepath"
+	"io/fs"
 	"sync"
+	"time"
 
+	"bombdroid/internal/market/marketfs"
 	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 )
@@ -54,6 +64,11 @@ var (
 	// MaxEventBytes. Permanent for that event: retrying unchanged can
 	// never succeed (HTTP 413).
 	ErrEventTooLarge = errors.New("market: event too large")
+	// ErrDegraded rejects ingests that target a shard in read-only
+	// degraded mode (persistent disk failure). Retryable in principle
+	// (HTTP 503 + Retry-After) — the operator may replace the disk and
+	// restart — but not clearing on its own.
+	ErrDegraded = errors.New("market: shard degraded, ingestion suspended")
 	// ErrClosed rejects operations on a closed store.
 	ErrClosed = errors.New("market: store closed")
 )
@@ -69,8 +84,8 @@ const MaxEventBytes = maxWALRecord
 // Config tunes a Store. The zero value of every field except Dir
 // resolves to a default; Dir is required.
 type Config struct {
-	// Dir is the data directory. Each shard keeps its WAL in
-	// Dir/shard-NNN; Dir/meta.json pins the shard count.
+	// Dir is the data directory. Each shard keeps its WAL and
+	// checkpoints in Dir/shard-NNN; Dir/meta.json pins the shard count.
 	Dir string
 	// Shards is the partition count (default 4). It is fixed at first
 	// Open: reopening a directory with a different count is an error,
@@ -93,10 +108,22 @@ type Config struct {
 	Threshold int
 	// Fsync syncs the WAL on every batch commit. Off by default: the
 	// ack guarantee is then "in the OS" (survives a process kill, not
-	// a machine crash), which is the deployment's usual trade.
+	// a machine crash), which is the deployment's usual trade. The
+	// checkpoint commit protocol always syncs, regardless.
 	Fsync bool
 	// MaxBatch bounds events per group commit (default 4096).
 	MaxBatch int
+	// CheckpointEvery snapshots a shard after this many WAL records
+	// since the last snapshot (default 65536). Negative disables
+	// checkpointing entirely, including the shutdown snapshot.
+	CheckpointEvery int
+	// CheckpointBytes snapshots a shard after this many WAL bytes
+	// since the last snapshot, whichever of the two triggers first
+	// (default SegmentBytes).
+	CheckpointBytes int64
+	// FS is the filesystem the store runs on (default the real OS).
+	// Tests substitute marketfs.Fault to crash it mid-operation.
+	FS marketfs.FS
 	// Obs receives the store's metrics (default: a private registry).
 	Obs *obs.Registry
 }
@@ -119,6 +146,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 4096
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1 << 16
+	}
+	if c.CheckpointBytes == 0 {
+		c.CheckpointBytes = c.SegmentBytes
+	}
+	if c.FS == nil {
+		c.FS = marketfs.OS{}
 	}
 	if c.Obs == nil {
 		c.Obs = obs.NewRegistry()
@@ -148,6 +184,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("market: Threshold %d < 1", c.Threshold)
 	case c.MaxBatch < 1:
 		return fmt.Errorf("market: MaxBatch %d < 1", c.MaxBatch)
+	case c.CheckpointBytes < 1 && c.CheckpointEvery >= 0:
+		return fmt.Errorf("market: CheckpointBytes %d < 1", c.CheckpointBytes)
 	}
 	return nil
 }
@@ -167,15 +205,17 @@ type storeMeta struct {
 	Shards int `json:"shards"`
 }
 
-// Open validates cfg, replays any existing WALs under cfg.Dir, and
-// starts the shard workers. The returned ReplayStats summarize the
-// recovery (segments scanned, records replayed, torn tails truncated).
+// Open validates cfg, restores every shard under cfg.Dir (newest
+// valid checkpoint + WAL tail, full replay as fallback), and starts
+// the shard workers. The returned ReplayStats summarize the recovery
+// (segments scanned, records restored, checkpoints used, torn tails
+// truncated, segments compacted).
 func Open(cfg Config) (*Store, ReplayStats, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, ReplayStats{}, err
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
 		return nil, ReplayStats{}, err
 	}
 	if err := checkMeta(cfg); err != nil {
@@ -203,8 +243,8 @@ func Open(cfg Config) (*Store, ReplayStats, error) {
 // checkMeta pins the shard count across restarts: the key→shard
 // mapping is part of the on-disk format.
 func checkMeta(cfg Config) error {
-	path := filepath.Join(cfg.Dir, "meta.json")
-	b, err := os.ReadFile(path)
+	path := cfg.Dir + "/meta.json"
+	b, err := cfg.FS.ReadFile(path)
 	switch {
 	case err == nil:
 		var m storeMeta
@@ -216,12 +256,39 @@ func checkMeta(cfg Config) error {
 				cfg.Dir, m.Shards, cfg.Shards)
 		}
 		return nil
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
 		b, _ := json.Marshal(storeMeta{Shards: cfg.Shards})
-		return os.WriteFile(path, append(b, '\n'), 0o644)
+		return writeFileAtomic(cfg.FS, cfg.Dir, "meta.json", append(b, '\n'))
 	default:
 		return err
 	}
+}
+
+// writeFileAtomic commits dir/name through the same temp, fsync,
+// rename, fsync-dir protocol the checkpoints use: after a crash the
+// file either does not exist or holds the complete payload — never a
+// torn prefix (which for meta.json would brick every later Open).
+func writeFileAtomic(fsys marketfs.FS, dir, name string, data []byte) error {
+	tmp := dir + "/" + name + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, dir+"/"+name); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 func (st *Store) shardFor(key string) int {
@@ -242,16 +309,22 @@ func (st *Store) shardFor(key string) int {
 // A batch that maps more than QueueCap events to a single shard could
 // never reserve even against an idle queue; that is ErrBatchTooLarge
 // — a permanent rejection the caller must resolve by splitting, not
-// retrying. A WAL failure on any shard is returned as the batch's
-// error; events on other shards that did commit stay committed and a
-// retry of the full batch dedups them.
+// retrying. A batch touching a degraded shard is refused up front
+// with ErrDegraded. A WAL failure on any shard is returned as the
+// batch's error; events on other shards that did commit stay
+// committed and a retry of the full batch dedups them.
+//
+// The store lock is held only through enqueue — a shard worker stuck
+// on a wedged disk delays this call's ack, but never blocks Close or
+// CloseTimeout from proceeding.
 func (st *Store) Ingest(evs []report.Event) (accepted, dups int, err error) {
 	st.mu.RLock()
-	defer st.mu.RUnlock()
 	if st.closed {
+		st.mu.RUnlock()
 		return 0, 0, ErrClosed
 	}
 	if len(evs) == 0 {
+		st.mu.RUnlock()
 		return 0, 0, nil
 	}
 	parts := make([][]report.Event, len(st.shards))
@@ -260,9 +333,17 @@ func (st *Store) Ingest(evs []report.Event) (accepted, dups int, err error) {
 		parts[i] = append(parts[i], ev)
 	}
 	for i, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
 		if len(p) > st.cfg.QueueCap {
+			st.mu.RUnlock()
 			return 0, 0, fmt.Errorf("%w: %d events map to shard %d (QueueCap %d)",
 				ErrBatchTooLarge, len(p), i, st.cfg.QueueCap)
+		}
+		if st.shards[i].degraded.Load() {
+			st.mu.RUnlock()
+			return 0, 0, fmt.Errorf("%w: shard %d", ErrDegraded, i)
 		}
 	}
 	var reserved []int
@@ -277,16 +358,21 @@ func (st *Store) Ingest(evs []report.Event) (accepted, dups int, err error) {
 				st.shards[j].depth.Add(-int64(len(parts[j])))
 			}
 			st.rejects.Inc()
+			st.mu.RUnlock()
 			return 0, 0, ErrBackpressure
 		}
 		reserved = append(reserved, i)
 	}
+	// The reservation guarantees queue room (channel capacity is
+	// QueueCap requests and each request carries ≥1 reserved event), so
+	// these sends cannot block; the lock can drop before the waits.
 	dones := make([]chan ingestRes, 0, len(reserved))
 	for _, i := range reserved {
 		req := ingestReq{evs: parts[i], done: make(chan ingestRes, 1)}
 		st.shards[i].ch <- req
 		dones = append(dones, req.done)
 	}
+	st.mu.RUnlock()
 	for _, done := range dones {
 		res := <-done
 		accepted += res.accepted
@@ -310,7 +396,8 @@ type Verdict struct {
 }
 
 // Verdict sums the app's admitted detections across shards and
-// compares against the configured threshold.
+// compares against the configured threshold. Degraded shards still
+// serve their (frozen) tallies.
 func (st *Store) Verdict(app string) Verdict {
 	var n int64
 	for _, s := range st.shards {
@@ -324,6 +411,22 @@ func (st *Store) Verdict(app string) Verdict {
 	}
 }
 
+// Health reports how many shards are ingesting normally and how many
+// are in read-only degraded mode.
+func (st *Store) Health() (ok, degraded int) {
+	for _, s := range st.shards {
+		if s.degraded.Load() {
+			degraded++
+		} else {
+			ok++
+		}
+	}
+	return ok, degraded
+}
+
+// Shards reports the store's partition count.
+func (st *Store) Shards() int { return len(st.shards) }
+
 // Obs exposes the store's metrics registry (the configured one, or
 // the private default).
 func (st *Store) Obs() *obs.Registry { return st.cfg.Obs }
@@ -331,20 +434,60 @@ func (st *Store) Obs() *obs.Registry { return st.cfg.Obs }
 // Threshold reports the configured detection threshold.
 func (st *Store) Threshold() int { return st.cfg.Threshold }
 
-// Close drains the shard queues, seals every WAL, and rejects further
-// ingests. Safe to call once; concurrent Ingests finish first.
+// Close drains the shard queues, takes shutdown checkpoints, seals
+// every WAL, and rejects further ingests. Safe to call once;
+// concurrent Ingests finish first. It waits indefinitely — a bounded
+// drain is CloseTimeout.
 func (st *Store) Close() error {
+	_, err := st.CloseTimeout(0)
+	return err
+}
+
+// CloseTimeout is Close with a drain deadline (0 = wait forever).
+// Shards are drained and sealed concurrently; shards that miss the
+// deadline are returned by index, along with an error. The store is
+// marked closed either way — a wedged shard's worker may still be
+// blocked on its disk afterward, but no new work can reach it.
+func (st *Store) CloseTimeout(d time.Duration) (missed []int, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return nil
+		return nil, nil
 	}
 	st.closed = true
-	var err error
-	for _, s := range st.shards {
-		if cerr := s.close(); cerr != nil && err == nil {
-			err = cerr
-		}
+
+	errs := make([]error, len(st.shards))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, s := range st.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			errs[i] = s.close()
+		}(i, s)
 	}
-	return err
+	go func() { wg.Wait(); close(done) }()
+
+	var deadline <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case <-done:
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		return nil, nil
+	case <-deadline:
+		for i, s := range st.shards {
+			if !s.sealed.Load() {
+				missed = append(missed, i)
+			}
+		}
+		return missed, fmt.Errorf("market: %d shard(s) missed the %v close deadline", len(missed), d)
+	}
 }

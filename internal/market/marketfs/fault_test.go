@@ -1,0 +1,300 @@
+package marketfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"strings"
+	"testing"
+
+	"bombdroid/internal/chaos"
+)
+
+func mustWrite(t *testing.T, f File, data []byte) {
+	t.Helper()
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+func readAll(t *testing.T, fa *Fault, name string) []byte {
+	t.Helper()
+	b, err := fa.ReadFile(name)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", name, err)
+	}
+	return b
+}
+
+// TestFaultSyncedSurvivesCrash: content synced before the crash (file
+// fsync + parent dir fsync) is exactly what a reopen sees; unsynced
+// appends survive only as a prefix, possibly torn mid-append.
+func TestFaultSyncedSurvivesCrash(t *testing.T) {
+	fa := NewFault(nil, 7)
+	if err := fa.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fa.OpenAppend("d/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	synced := []byte("durable-part")
+	mustWrite(t, f, synced)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("volatile-part"))
+
+	fa.Crash()
+	if _, err := fa.Open("d/log"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Open on crashed fs: err = %v, want ErrCrashed", err)
+	}
+	fa.Recover()
+
+	got := readAll(t, fa, "d/log")
+	if !bytes.HasPrefix(got, synced) {
+		t.Fatalf("synced bytes lost: got %q", got)
+	}
+	if len(got) > len(synced)+len("volatile-part") {
+		t.Fatalf("recovered more than was ever written: %q", got)
+	}
+	// The pre-crash handle is dead even after recovery.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("stale handle write: err = %v, want ErrCrashed", err)
+	}
+}
+
+// TestFaultUnsyncedTears: with many separate unsynced appends, a crash
+// keeps an in-order prefix of them (the last possibly torn) — never a
+// suffix, never a reorder.
+func TestFaultUnsyncedTears(t *testing.T) {
+	sawPartial := false
+	for seed := int64(0); seed < 30; seed++ {
+		fa := NewFault(nil, seed)
+		fa.MkdirAll("d")
+		f, _ := fa.OpenAppend("d/log")
+		f.Sync()
+		fa.SyncDir("d") // the entry itself must survive
+		full := "aaaabbbbccccdddd"
+		for i := 0; i < len(full); i += 4 {
+			mustWrite(t, f, []byte(full[i:i+4]))
+		}
+		fa.Crash()
+		fa.Recover()
+		got := string(readAll(t, fa, "d/log"))
+		if !strings.HasPrefix(full, got) {
+			t.Fatalf("seed %d: recovered %q is not a prefix of %q", seed, got, full)
+		}
+		if len(got) > 0 && len(got) < len(full) {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Error("no seed produced a partial tail — the torn-write path never ran")
+	}
+}
+
+// TestFaultRenameAtomic: crash at the rename instant leaves either the
+// temp name or the final name (never both, never a blend), and when
+// the final name exists its content is the complete synced payload —
+// the property the checkpoint commit protocol stands on.
+func TestFaultRenameAtomic(t *testing.T) {
+	sawOld, sawNew := false, false
+	payload := []byte("checkpoint-payload")
+	for seed := int64(0); seed < 40; seed++ {
+		fa := NewFault(nil, seed)
+		fa.MkdirAll("d")
+		f, _ := fa.Create("d/ckpt.tmp")
+		mustWrite(t, f, payload)
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := fa.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+
+		fa.CrashAfter(1) // die on the rename itself
+		if err := fa.Rename("d/ckpt.tmp", "d/ckpt"); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("seed %d: rename should crash, got %v", seed, err)
+		}
+		fa.Recover()
+
+		_, errOld := fa.ReadFile("d/ckpt.tmp")
+		newB, errNew := fa.ReadFile("d/ckpt")
+		switch {
+		case errOld == nil && errNew == nil:
+			t.Fatalf("seed %d: both temp and final exist after crash-at-rename", seed)
+		case errNew == nil:
+			sawNew = true
+			if !bytes.Equal(newB, payload) {
+				t.Fatalf("seed %d: final file holds %q, want full payload", seed, newB)
+			}
+		case errOld == nil:
+			sawOld = true
+		default:
+			t.Fatalf("seed %d: both names gone (old: %v, new: %v)", seed, errOld, errNew)
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Errorf("rename crash never exercised both outcomes (old %v, new %v)", sawOld, sawNew)
+	}
+}
+
+// TestFaultInjectedWriteFaults: the probabilistic faults drawn from a
+// chaos profile — hard write failure applies nothing, short write
+// applies a strict prefix, sync failure leaves durability where it
+// was.
+func TestFaultInjectedWriteFaults(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Profile{FsWriteFail: 1}, 1)
+	fa := NewFault(inj, 1)
+	fa.MkdirAll("d")
+	f, _ := fa.OpenAppend("d/log")
+	if _, err := f.Write([]byte("data")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write-fail: err = %v, want ErrNoSpace", err)
+	}
+	if n, _ := f.Size(); n != 0 {
+		t.Errorf("hard write failure applied %d bytes, want 0", n)
+	}
+
+	inj = chaos.NewInjector(chaos.Profile{FsShortWrite: 1}, 2)
+	fa = NewFault(inj, 2)
+	fa.MkdirAll("d")
+	f, _ = fa.OpenAppend("d/log")
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("short write: err = %v, want ErrShortWrite", err)
+	}
+	if n, _ := f.Size(); n >= 10 {
+		t.Errorf("short write applied %d bytes, want a strict prefix", n)
+	}
+
+	inj = chaos.NewInjector(chaos.Profile{FsSyncFail: 1}, 3)
+	fa = NewFault(inj, 3)
+	fa.MkdirAll("d")
+	f, _ = fa.OpenAppend("d/log")
+	mustWrite(t, f, []byte("data"))
+	if err := f.Sync(); !errors.Is(err, ErrFsync) {
+		t.Fatalf("sync fail: err = %v, want ErrFsync", err)
+	}
+	if err := fa.SyncDir("d"); !errors.Is(err, ErrFsync) {
+		t.Fatalf("dir sync fail: err = %v, want ErrFsync", err)
+	}
+}
+
+// TestFaultFilterScopesFaults: SetFilter limits injected faults to
+// matching paths; other files on the same fs stay healthy.
+func TestFaultFilterScopesFaults(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Profile{FsWriteFail: 1}, 1)
+	fa := NewFault(inj, 1)
+	fa.SetFilter(func(p string) bool { return strings.Contains(p, "shard-000") })
+	fa.MkdirAll("shard-000")
+	fa.MkdirAll("shard-001")
+
+	bad, _ := fa.OpenAppend("shard-000/wal")
+	if _, err := bad.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("filtered path: err = %v, want ErrNoSpace", err)
+	}
+	good, _ := fa.OpenAppend("shard-001/wal")
+	if _, err := good.Write([]byte("x")); err != nil {
+		t.Fatalf("unfiltered path should write cleanly: %v", err)
+	}
+}
+
+// TestFaultBasicFS: the mundane FS contract the store leans on —
+// globbing, read-back, truncate, seek, not-exist errors.
+func TestFaultBasicFS(t *testing.T) {
+	fa := NewFault(nil, 1)
+	fa.MkdirAll("d")
+	for _, name := range []string{"d/wal-00000000.log", "d/wal-00000001.log", "d/ckpt-00000001"} {
+		f, err := fa.OpenAppend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustWrite(t, f, []byte(name))
+		f.Close()
+	}
+	segs, err := fa.Glob("d", "wal-*.log")
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("Glob = %v, %v; want the 2 segments", segs, err)
+	}
+	if segs[0] != "d/wal-00000000.log" {
+		t.Errorf("Glob not sorted: %v", segs)
+	}
+
+	f, err := fa.Open("d/wal-00000000.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(f)
+	if err != nil || string(b) != "d/wal-00000000.log" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	if _, err := f.Seek(2, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.Size(); n != 5 {
+		t.Errorf("Size after Truncate = %d, want 5", n)
+	}
+
+	if _, err := fa.Open("d/missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Open missing: err = %v, want fs.ErrNotExist", err)
+	}
+	if _, err := fa.ReadFile("d/missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("ReadFile missing: err = %v, want fs.ErrNotExist", err)
+	}
+	if err := fa.Remove("d/ckpt-00000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.ReadFile("d/ckpt-00000001"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("removed file still readable")
+	}
+}
+
+// TestFaultRemoveDurability: an un-SyncDir'd remove can resurrect the
+// file at crash; after SyncDir it is gone for good.
+func TestFaultRemoveDurability(t *testing.T) {
+	resurrected := false
+	for seed := int64(0); seed < 30; seed++ {
+		fa := NewFault(nil, seed)
+		fa.MkdirAll("d")
+		f, _ := fa.OpenAppend("d/seg")
+		mustWrite(t, f, []byte("x"))
+		f.Sync()
+		fa.SyncDir("d")
+		if err := fa.Remove("d/seg"); err != nil {
+			t.Fatal(err)
+		}
+		fa.Crash()
+		fa.Recover()
+		if _, err := fa.ReadFile("d/seg"); err == nil {
+			resurrected = true
+		}
+	}
+	if !resurrected {
+		t.Error("an unsynced remove never resurrected — dir-op durability model inert")
+	}
+
+	// With SyncDir the remove is final on every seed.
+	for seed := int64(0); seed < 10; seed++ {
+		fa := NewFault(nil, seed)
+		fa.MkdirAll("d")
+		f, _ := fa.OpenAppend("d/seg")
+		mustWrite(t, f, []byte("x"))
+		f.Sync()
+		fa.SyncDir("d")
+		fa.Remove("d/seg")
+		fa.SyncDir("d")
+		fa.Crash()
+		fa.Recover()
+		if _, err := fa.ReadFile("d/seg"); err == nil {
+			t.Fatalf("seed %d: synced remove came back", seed)
+		}
+	}
+}

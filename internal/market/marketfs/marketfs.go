@@ -1,0 +1,152 @@
+// Package marketfs is the filesystem seam under the market store's
+// durability machinery. Everything internal/market does to disk —
+// appending WAL segments, fsyncing them, committing checkpoint files
+// with the temp-write/fsync/rename/dir-fsync dance, compacting old
+// segments — goes through the FS interface, so the exact same code
+// runs against the real OS in production and against the Fault
+// implementation (an in-memory disk with crash-points, torn writes,
+// fsync failures, and ENOSPC drawn from internal/chaos profiles) in
+// the crash-recovery torture tests.
+//
+// The interface is deliberately semantic rather than flag-driven:
+// Open (read + truncate, the recovery mode), OpenAppend (the WAL
+// mode), and Create (the checkpoint-temp mode) name the three access
+// patterns the store actually has, which keeps the fault model honest
+// — the Fault FS knows what an append is and can tear it the way a
+// real disk tears one.
+package marketfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is what the market store requires of a filesystem.
+type FS interface {
+	// MkdirAll creates dir and parents. Directory creation is treated
+	// as immediately durable by the Fault model (the store creates its
+	// directories once, at first open).
+	MkdirAll(dir string) error
+	// Open opens an existing file for reading and recovery truncation
+	// (WAL replay).
+	Open(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent (WAL
+	// segments). Writes land at the end regardless of any read state.
+	OpenAppend(name string) (File, error)
+	// Create opens name truncated to empty, creating it if absent
+	// (checkpoint temp files).
+	Create(name string) (File, error)
+	// ReadFile reads a whole file (checkpoint load, meta.json).
+	ReadFile(name string) ([]byte, error)
+	// WriteFile replaces a whole file without durability guarantees
+	// (meta.json; the checkpoint path never uses it).
+	WriteFile(name string, data []byte) error
+	// Rename atomically replaces newname with oldname's file. The
+	// rename itself is atomic; its durability needs SyncDir.
+	Rename(oldname, newname string) error
+	// Remove deletes a file (compaction). Durability needs SyncDir.
+	Remove(name string) error
+	// Glob lists files in dir matching pattern (a filepath.Match
+	// pattern against the base name), sorted, as full paths.
+	Glob(dir, pattern string) ([]string, error)
+	// SyncDir makes dir's entries (creates, renames, removes) durable.
+	SyncDir(dir string) error
+}
+
+// File is one open handle. Not every method is meaningful for every
+// open mode (Write on a read-only handle, Read on an append handle);
+// the store only calls the ones its mode supports.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's content to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes (torn-tail recovery).
+	Truncate(size int64) error
+	// Size reports the file's current length in bytes.
+	Size() (int64, error)
+}
+
+// OS is the real-filesystem implementation.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFile implements FS.
+func (OS) WriteFile(name string, data []byte) error {
+	return os.WriteFile(name, data, 0o644)
+}
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Glob implements FS.
+func (OS) Glob(dir, pattern string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS. On Linux an fsync of the directory fd is
+// what makes renames and creates within it crash-durable.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+var _ FS = OS{}

@@ -31,11 +31,15 @@ const maxRequestBytes = 64 << 20
 //	                               (Content-Encoding: gzip honored);
 //	                               200 {"accepted":n,"duplicates":d},
 //	                               429 + Retry-After on backpressure
-//	                               (transient — retry), 413 on a batch
-//	                               or event that could never be
-//	                               admitted (permanent — split it)
+//	                               (transient — retry), 503 +
+//	                               Retry-After when a target shard is
+//	                               degraded (disk trouble — retry,
+//	                               alert), 413 on a batch or event that
+//	                               could never be admitted (permanent —
+//	                               split it)
 //	GET  /v1/apps/{app}/verdict  — the app's Verdict as JSON
-//	GET  /healthz                — liveness
+//	GET  /healthz                — per-shard health as JSON; 503 once
+//	                               any shard is degraded
 //	GET  /metrics, /metrics.json — the store's registry
 //
 // The ingestion wire format is the same Event JSON the device-side
@@ -103,6 +107,14 @@ func NewHandler(st *Store) http.Handler {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 			return
+		case errors.Is(err, ErrDegraded):
+			// Degraded is a disk problem, not a load problem: retryable
+			// in principle (an operator can swap the disk and restart),
+			// so 503 + Retry-After rather than a permanent rejection,
+			// with a longer pause than the backpressure 429.
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
 		case errors.Is(err, ErrBatchTooLarge), errors.Is(err, ErrEventTooLarge):
 			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 			return
@@ -123,7 +135,19 @@ func NewHandler(st *Store) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "ok\n")
+		// Per-shard state, not a blanket 200: an orchestrator must see
+		// partial failure (some shards degraded → 503 + the counts)
+		// while the daemon keeps serving the healthy shards.
+		ok, degraded := st.Health()
+		status := "ok"
+		code := http.StatusOK
+		if degraded > 0 {
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, "{\"status\":%q,\"shards_ok\":%d,\"shards_degraded\":%d}\n", status, ok, degraded)
 	})
 
 	obs.RegisterMetricsHandlers(mux, st.Obs())

@@ -259,3 +259,69 @@ func TestHTTPMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestHealthzJSON: /healthz reports per-shard state as JSON — 200
+// with every shard ok, 503 once any shard is degraded, with the
+// ok/degraded split in the body either way.
+func TestHealthzJSON(t *testing.T) {
+	srv, st := newTestServer(t, Config{Shards: 2})
+
+	get := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("/healthz body not JSON: %v", err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get()
+	if code != http.StatusOK {
+		t.Errorf("healthy /healthz status = %d, want 200", code)
+	}
+	if body["status"] != "ok" || body["shards_ok"] != float64(2) || body["shards_degraded"] != float64(0) {
+		t.Errorf("healthy /healthz body = %v", body)
+	}
+
+	st.shards[0].degrade()
+	code, body = get()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("degraded /healthz status = %d, want 503", code)
+	}
+	if body["status"] != "degraded" || body["shards_ok"] != float64(1) || body["shards_degraded"] != float64(1) {
+		t.Errorf("degraded /healthz body = %v", body)
+	}
+}
+
+// TestHTTPDegraded503: ingesting into a degraded shard is a 503 with
+// a Retry-After (distinct from the 429 backpressure path), and the
+// Client maps it to ErrDegraded so loadgen and the device pipeline
+// can choose the slower retry beat.
+func TestHTTPDegraded503(t *testing.T) {
+	srv, st := newTestServer(t, Config{Shards: 1})
+	st.shards[0].degrade()
+
+	resp, err := http.Post(srv.URL+"/v1/reports", "application/x-ndjson",
+		ndjson(ev("app.503", "b1", "u1")))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 missing Retry-After header")
+	}
+
+	cl := &Client{BaseURL: srv.URL}
+	if _, err := cl.Post([]report.Event{ev("app.503", "b2", "u1")}); !errors.Is(err, ErrDegraded) {
+		t.Errorf("Client.Post err = %v, want ErrDegraded", err)
+	}
+}

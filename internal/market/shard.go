@@ -2,8 +2,9 @@ package market
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -25,18 +26,32 @@ type ingestRes struct {
 }
 
 // shard owns one partition of the key space: a WAL, a dedup window,
-// and per-app tallies. A single worker goroutine consumes its queue,
-// so everything past the channel is single-writer; only depth (the
-// admission gate) and the aggregates (read by Verdict) need atomics
-// or locks.
+// per-app tallies, and the checkpoints that snapshot all three. A
+// single worker goroutine consumes its queue, so everything past the
+// channel is single-writer; only depth (the admission gate), degraded
+// and sealed (read by Ingest/Health/CloseTimeout), and the aggregates
+// (read by Verdict) need atomics or locks.
 type shard struct {
-	id  int
-	cfg Config
-	w   *wal
+	id   int
+	cfg  Config
+	dir  string
+	w    *wal
+	ckpt shardCkptState
 
 	ch     chan ingestReq
 	depth  atomic.Int64 // events enqueued but not yet committed
 	exited chan struct{}
+
+	// degraded flips when the shard's disk stops cooperating — a WAL
+	// append fails (the bufio stack's state is then unknown, so no
+	// further append can be trusted) or checkpointing fails repeatedly.
+	// A degraded shard keeps serving reads and keeps draining its queue,
+	// but fails every ingest with ErrDegraded instead of crashing the
+	// daemon; the other shards carry on.
+	degraded atomic.Bool
+	// sealed flips once close() has sealed the WAL — CloseTimeout uses
+	// it to name the shards that missed the drain deadline.
+	sealed atomic.Bool
 
 	// Two-generation dedup window: lookups check both maps, inserts go
 	// to cur, and when cur reaches DedupWindow keys the generations
@@ -44,18 +59,39 @@ type shard struct {
 	// remembered for at least DedupWindow and at most 2×DedupWindow
 	// admissions. Replay re-inserts every WAL record in order, which
 	// reproduces the rotation sequence — and so the window's exact
-	// state — from the log alone.
+	// state — from the log alone; a checkpoint snapshots both maps, so
+	// restoring one and replaying the tail lands in the identical state.
 	cur, prev map[string]struct{}
 
 	mu   sync.Mutex
 	apps map[string]int64 // app → admitted (unique, in-window) detections
 
-	cEvents  *obs.Counter
-	cDups    *obs.Counter
-	cRecords *obs.Counter
-	cBatches *obs.Counter
-	gDepth   *obs.Gauge
+	cEvents    *obs.Counter
+	cDups      *obs.Counter
+	cRecords   *obs.Counter
+	cBatches   *obs.Counter
+	gDepth     *obs.Gauge
+	gDegraded  *obs.Gauge
+	cCkpts     *obs.Counter
+	cCkptFails *obs.Counter
+	cCompacted *obs.Counter
 }
+
+// shardCkptState is the worker-owned checkpoint bookkeeping.
+type shardCkptState struct {
+	seq          uint64 // last committed checkpoint's sequence
+	lastPos      walPos // position that checkpoint covers
+	records      int64  // cumulative WAL records behind the window+tallies
+	sinceRecords int    // records appended since the last checkpoint
+	sinceBytes   int64  // bytes appended since the last checkpoint
+	failures     int    // consecutive checkpoint failures
+}
+
+// ckptFailureLimit is how many consecutive checkpoint failures degrade
+// the shard. One failure is a blip the next snapshot absorbs (restart
+// just replays a longer tail); a disk that cannot commit any snapshot
+// is the same broken disk that will fail appends soon enough.
+const ckptFailureLimit = 3
 
 func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
 	label := fmt.Sprintf("%d", id)
@@ -67,31 +103,128 @@ func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
 		cur:    make(map[string]struct{}),
 		apps:   make(map[string]int64),
 
-		cEvents:  cfg.Obs.Counter(obs.L("market_ingest_events_total", "shard", label)),
-		cDups:    cfg.Obs.Counter(obs.L("market_ingest_duplicates_total", "shard", label)),
-		cRecords: cfg.Obs.Counter(obs.L("market_wal_records_total", "shard", label)),
-		cBatches: cfg.Obs.Counter(obs.L("market_commit_batches_total", "shard", label), obs.Volatile()),
-		gDepth:   cfg.Obs.Gauge(obs.L("market_shard_queue_depth", "shard", label), obs.Volatile()),
+		cEvents:    cfg.Obs.Counter(obs.L("market_ingest_events_total", "shard", label)),
+		cDups:      cfg.Obs.Counter(obs.L("market_ingest_duplicates_total", "shard", label)),
+		cRecords:   cfg.Obs.Counter(obs.L("market_wal_records_total", "shard", label)),
+		cBatches:   cfg.Obs.Counter(obs.L("market_commit_batches_total", "shard", label), obs.Volatile()),
+		gDepth:     cfg.Obs.Gauge(obs.L("market_shard_queue_depth", "shard", label), obs.Volatile()),
+		gDegraded:  cfg.Obs.Gauge(obs.L("market_shard_degraded", "shard", label)),
+		cCkpts:     cfg.Obs.Counter(obs.L("market_checkpoints_total", "shard", label)),
+		cCkptFails: cfg.Obs.Counter(obs.L("market_checkpoint_failures_total", "shard", label)),
+		cCompacted: cfg.Obs.Counter(obs.L("market_compacted_segments_total", "shard", label)),
 	}
-	dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", id))
-	// Replay routes records through the same dedup gate the live commit
-	// path uses. For a healthy log the gate never fires (commit only
-	// appends in-window-novel keys, and replay reproduces the window
-	// state record by record), but a crash between a successful WAL
-	// flush and the ack can leave a retried event in the log twice —
-	// admitting both would double-count it after every restart.
-	w, stats, err := openWAL(dir, cfg.SegmentBytes, cfg.Fsync, func(ev report.Event) {
-		if !s.isDup(ev.Key()) {
-			s.admit(ev)
-		}
-	})
+	s.dir = cfg.Dir + "/" + fmt.Sprintf("shard-%03d", id)
+
+	stats, err := s.open()
 	if err != nil {
 		return nil, ReplayStats{}, err
 	}
-	s.w = w
 	s.cRecords.Add(stats.Records)
 	go s.run()
 	return s, stats, nil
+}
+
+// replayFn routes records through the same dedup gate the live commit
+// path uses. For a healthy log the gate never fires (commit only
+// appends in-window-novel keys, and replay reproduces the window
+// state record by record), but a crash between a successful WAL
+// flush and the ack can leave a retried event in the log twice —
+// admitting both would double-count it after every restart.
+func (s *shard) replayFn(ev report.Event) {
+	if !s.isDup(ev.Key()) {
+		s.admit(ev)
+	}
+	s.ckpt.records++
+}
+
+// open restores the shard's state: newest valid checkpoint plus WAL
+// tail when possible, older checkpoints on corruption, full replay as
+// the last resort. After a successful checkpointed open it compacts
+// segments wholly behind the restored position.
+func (s *shard) open() (ReplayStats, error) {
+	if err := s.cfg.FS.MkdirAll(s.dir); err != nil {
+		return ReplayStats{}, err
+	}
+	// A crash can abandon a ckpt-*.tmp mid-commit; it was never
+	// renamed, so it holds nothing durable. Clear them out.
+	if tmps, err := s.cfg.FS.Glob(s.dir, "ckpt-*.tmp"); err == nil {
+		for _, tmp := range tmps {
+			s.cfg.FS.Remove(tmp)
+		}
+	}
+
+	for _, cand := range s.listCheckpoints() {
+		raw, err := s.cfg.FS.ReadFile(cand.path)
+		if err != nil {
+			continue
+		}
+		c, err := decodeCheckpoint(raw)
+		if err != nil {
+			continue // torn or garbage snapshot: try the next-older one
+		}
+		s.cur, s.prev, s.apps = c.cur, c.prev, c.apps
+		if s.prev == nil {
+			s.prev = map[string]struct{}{}
+		}
+		s.ckpt.records = c.records
+		w, stats, err := openWAL(s.cfg.FS, s.dir, s.cfg.SegmentBytes, s.cfg.Fsync, c.pos, s.replayFn)
+		if errors.Is(err, errBadStart) {
+			// The snapshot decodes but the WAL cannot honor its position
+			// (stale checkpoint over truncated segments). errBadStart is
+			// guaranteed pre-replay, so resetting here is complete.
+			s.cur, s.prev, s.apps = make(map[string]struct{}), nil, make(map[string]int64)
+			s.ckpt.records = 0
+			continue
+		}
+		if err != nil {
+			return ReplayStats{}, err
+		}
+		s.w = w
+		s.ckpt.seq = c.seq
+		s.ckpt.lastPos = c.pos
+		s.ckpt.sinceRecords = int(stats.TailRecords) // a long tail re-snapshots promptly
+		stats.Records += c.records                   // cumulative = covered + tail
+		stats.Checkpoints = 1
+		if n, err := w.RemoveBehind(c.pos.Seg); err == nil && n > 0 {
+			stats.CompactedSegments = n
+			s.cCompacted.Add(int64(n))
+		}
+		return stats, nil
+	}
+
+	// No usable checkpoint: full replay from the first segment. lastPos
+	// stays zero, so the close-time snapshot covers the replayed history
+	// even when nothing new is ingested — the next open is fast anyway.
+	w, stats, err := openWAL(s.cfg.FS, s.dir, s.cfg.SegmentBytes, s.cfg.Fsync, walPos{}, s.replayFn)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	s.w = w
+	return stats, nil
+}
+
+type ckptFile struct {
+	seq  uint64
+	path string
+}
+
+// listCheckpoints returns the shard's committed checkpoint files,
+// newest first.
+func (s *shard) listCheckpoints() []ckptFile {
+	names, err := s.cfg.FS.Glob(s.dir, "ckpt-????????")
+	if err != nil {
+		return nil
+	}
+	out := make([]ckptFile, 0, len(names))
+	for _, name := range names {
+		var seq uint64
+		if _, err := fmt.Sscanf(baseName(name), "ckpt-%08d", &seq); err != nil {
+			continue
+		}
+		out = append(out, ckptFile{seq: seq, path: name})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out
 }
 
 // admit records one event as accepted: it enters the dedup window and
@@ -125,6 +258,13 @@ func (s *shard) appCount(app string) int64 {
 	return s.apps[app]
 }
 
+// degrade flips the shard into read-only degraded mode.
+func (s *shard) degrade() {
+	if !s.degraded.Swap(true) {
+		s.gDegraded.Set(1)
+	}
+}
+
 // run is the shard worker: it takes one queued request, greedily
 // drains whatever else is already queued (group commit, bounded by
 // MaxBatch events), and commits the lot with a single WAL flush.
@@ -151,6 +291,7 @@ func (s *shard) run() {
 			}
 		}
 		s.commit(batch, n)
+		s.maybeCheckpoint()
 	}
 }
 
@@ -163,7 +304,15 @@ func (s *shard) run() {
 // a WAL record fails only its own request (ErrEventTooLarge) and is
 // skipped; the request's other events still commit, and a split-up
 // retry dedups them.
+//
+// A WAL append failure degrades the shard: a bufio flush that errored
+// partway leaves an unknown number of bytes in the kernel, so the only
+// honest append position is "none — reopen and replay".
 func (s *shard) commit(batch []ingestReq, total int) {
+	if s.degraded.Load() {
+		s.failAll(batch, total, fmt.Errorf("%w: shard %d", ErrDegraded, s.id))
+		return
+	}
 	results := make([]ingestRes, len(batch))
 	var payloads [][]byte
 	var admitted []report.Event
@@ -200,7 +349,10 @@ func (s *shard) commit(batch []ingestReq, total int) {
 	}
 	err := encErr
 	if err == nil && len(payloads) > 0 {
-		err = s.w.Append(payloads)
+		if werr := s.w.Append(payloads); werr != nil {
+			s.degrade()
+			err = fmt.Errorf("%w: shard %d wal append: %v", ErrDegraded, s.id, werr)
+		}
 	}
 	if err != nil {
 		for bi := range results {
@@ -209,6 +361,11 @@ func (s *shard) commit(batch []ingestReq, total int) {
 	} else {
 		for _, ev := range admitted {
 			s.admit(ev)
+		}
+		s.ckpt.records += int64(len(payloads))
+		s.ckpt.sinceRecords += len(payloads)
+		for _, p := range payloads {
+			s.ckpt.sinceBytes += walHeaderLen + int64(len(p))
 		}
 		s.cEvents.Add(int64(len(admitted)))
 		s.cDups.Add(int64(total - len(admitted) - oversized))
@@ -222,11 +379,126 @@ func (s *shard) commit(batch []ingestReq, total int) {
 	}
 }
 
-// close stops the worker (after the queue drains) and seals the WAL.
+// failAll rejects every request in the batch with err, keeping the
+// depth/ack bookkeeping identical to a committed batch.
+func (s *shard) failAll(batch []ingestReq, total int, err error) {
+	s.depth.Add(-int64(total))
+	s.gDepth.Set(s.depth.Load())
+	for _, req := range batch {
+		req.done <- ingestRes{err: err}
+	}
+}
+
+// maybeCheckpoint snapshots when enough records or bytes accumulated
+// since the last snapshot. Worker goroutine only.
+func (s *shard) maybeCheckpoint() {
+	if s.cfg.CheckpointEvery < 0 || s.degraded.Load() {
+		return
+	}
+	if s.ckpt.sinceRecords < s.cfg.CheckpointEvery && s.ckpt.sinceBytes < s.cfg.CheckpointBytes {
+		return
+	}
+	s.takeCheckpoint()
+}
+
+// takeCheckpoint commits one snapshot: sync the WAL through the
+// current position, write temp, fsync, rename, fsync dir. On success
+// it retires checkpoints beyond the retention pair and compacts
+// segments the new snapshot strands; ckptFailureLimit consecutive
+// failures degrade the shard. Worker goroutine only (or post-drain
+// close).
+func (s *shard) takeCheckpoint() {
+	pos := s.w.Position()
+	if pos == s.ckpt.lastPos {
+		return // nothing new to cover
+	}
+	err := s.writeCheckpoint(pos)
+	if err != nil {
+		s.cCkptFails.Inc()
+		s.ckpt.failures++
+		if s.ckpt.failures >= ckptFailureLimit {
+			s.degrade()
+		}
+		return
+	}
+	s.ckpt.seq++
+	s.ckpt.lastPos = pos
+	s.ckpt.sinceRecords = 0
+	s.ckpt.sinceBytes = 0
+	s.ckpt.failures = 0
+	s.cCkpts.Inc()
+
+	// Retention + compaction, both best-effort: a failure here costs
+	// disk space, not correctness, and the next snapshot retries.
+	for _, old := range s.listCheckpoints() {
+		if old.seq+1 < s.ckpt.seq {
+			s.cfg.FS.Remove(old.path)
+		}
+	}
+	if n, err := s.w.RemoveBehind(pos.Seg); err == nil && n > 0 {
+		s.cCompacted.Add(int64(n))
+	}
+}
+
+func (s *shard) writeCheckpoint(pos walPos) error {
+	// The snapshot must never claim bytes the disk does not hold: sync
+	// the WAL first, even when routine commits run without Fsync.
+	if err := s.w.Sync(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	apps := make(map[string]int64, len(s.apps))
+	for app, n := range s.apps {
+		apps[app] = n
+	}
+	s.mu.Unlock()
+	c := &checkpoint{
+		seq:     s.ckpt.seq + 1,
+		pos:     pos,
+		records: s.ckpt.records,
+		apps:    apps,
+		cur:     s.cur,
+		prev:    s.prev,
+	}
+	enc := c.encode()
+
+	final := s.dir + "/" + ckptName(c.seq)
+	tmp := final + ".tmp"
+	f, err := s.cfg.FS.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(enc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.cfg.FS.Rename(tmp, final); err != nil {
+		return err
+	}
+	return s.cfg.FS.SyncDir(s.dir)
+}
+
+// close stops the worker (after the queue drains), takes a farewell
+// checkpoint so the next open replays nothing, and seals the WAL. A
+// failed farewell snapshot is not an error — the WAL is already
+// durable and the next open falls back to an older snapshot or a full
+// replay.
 func (s *shard) close() error {
 	close(s.ch)
 	<-s.exited
-	return s.w.Close()
+	if s.cfg.CheckpointEvery >= 0 && !s.degraded.Load() {
+		s.takeCheckpoint()
+	}
+	err := s.w.Close()
+	s.sealed.Store(true)
+	return err
 }
 
 func decodeEvent(b []byte) (report.Event, error) {

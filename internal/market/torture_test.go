@@ -1,0 +1,260 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"bombdroid/internal/chaos"
+	"bombdroid/internal/market/marketfs"
+	"bombdroid/internal/report"
+)
+
+// TestCrashRecoveryTorture is the acceptance test for the whole
+// checkpoint/WAL stack: ingest through a fault-injecting filesystem,
+// kill the process at a randomized operation count (mid-append,
+// mid-rotation, mid-checkpoint-commit, mid-compaction — wherever the
+// counter lands), reopen, and hold two invariants on every iteration:
+//
+//  1. no acked event is lost — resubmitting any acked batch dedups
+//     completely, and
+//  2. no event is double-counted — after re-feeding the full stream,
+//     the recovered store's verdicts are identical to those of a
+//     reference store that never crashed.
+//
+// 250 seeds keeps the randomized crash points well above the 200 the
+// ISSUE demands while staying fast on the in-memory fs.
+func TestCrashRecoveryTorture(t *testing.T) {
+	iters := 250
+	if testing.Short() {
+		iters = 40
+	}
+	for seed := int64(0); seed < int64(iters); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			tortureIteration(t, seed)
+		})
+	}
+}
+
+func tortureIteration(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fa := marketfs.NewFault(nil, seed)
+	cfg := Config{
+		Dir:    "data",
+		Shards: 2,
+		// Fsync on: an ack means durable, which is what invariant 1
+		// checks. Tiny segments and an aggressive checkpoint cadence
+		// put segment rotations, checkpoint commits, and compactions
+		// in the crash window on most seeds.
+		Fsync:           true,
+		DedupWindow:     1 << 20,
+		SegmentBytes:    int64(256 + rng.Intn(2048)),
+		CheckpointEvery: 1 + rng.Intn(40),
+		FS:              fa,
+	}
+	st, _, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+
+	// The crash fires after a random number of filesystem ops past
+	// this point — the WAL appends, fsyncs, rotations, checkpoint
+	// temp/rename/dir-sync steps, and compaction removes all count.
+	fa.CrashAfter(1 + rng.Int63n(600))
+
+	var batches [][]report.Event // every batch ever submitted
+	var acked []int              // indices of batches that were acked
+	next := 0
+	for b := 0; b < 80 && !fa.Crashed(); b++ {
+		n := 1 + rng.Intn(8)
+		evs := make([]report.Event, n)
+		for j := range evs {
+			evs[j] = ev(fmt.Sprintf("app-%d", next%3), fmt.Sprintf("bomb-%d", next), "u")
+			next++
+		}
+		batches = append(batches, evs)
+		if _, _, err := st.Ingest(evs); err == nil {
+			acked = append(acked, len(batches)-1)
+		}
+	}
+	if !fa.Crashed() {
+		// The op budget outlasted the stream: crash at rest instead —
+		// recovery still has checkpoints and tails to chew on.
+		fa.Crash()
+	}
+	st.Close() // errors ignored: the machine just died
+	fa.Recover()
+
+	st2, _, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer st2.Close()
+
+	// Invariant 1: every acked batch is fully present — resubmitting
+	// it is pure duplicates.
+	for _, i := range acked {
+		a, d, err := st2.Ingest(batches[i])
+		if err != nil {
+			t.Fatalf("resubmit acked batch %d: %v", i, err)
+		}
+		if a != 0 || d != len(batches[i]) {
+			t.Fatalf("acked batch %d lost events: resubmit = (%d accepted, %d dups), want (0, %d)",
+				i, a, d, len(batches[i]))
+		}
+	}
+
+	// Invariant 2: re-feed the complete stream into the recovered
+	// store and into a never-crashed reference; verdicts must agree
+	// exactly. Unacked-but-persisted events are fine — re-feeding
+	// converges both stores on one count per distinct key — but a
+	// double-applied event (replayed from both checkpoint and tail)
+	// would leave the recovered store permanently ahead.
+	refCfg := cfg
+	refCfg.FS = marketfs.NewFault(nil, seed)
+	ref, _, err := Open(refCfg)
+	if err != nil {
+		t.Fatalf("reference open: %v", err)
+	}
+	defer ref.Close()
+	for i, evs := range batches {
+		if _, _, err := st2.Ingest(evs); err != nil {
+			t.Fatalf("re-feed batch %d into recovered store: %v", i, err)
+		}
+		if _, _, err := ref.Ingest(evs); err != nil {
+			t.Fatalf("re-feed batch %d into reference: %v", i, err)
+		}
+	}
+	for a := 0; a < 3; a++ {
+		app := fmt.Sprintf("app-%d", a)
+		got, want := st2.Verdict(app), ref.Verdict(app)
+		if got != want {
+			t.Fatalf("verdict diverged for %s: recovered %+v, reference %+v", app, got, want)
+		}
+	}
+}
+
+// TestDegradedModeWALError: a shard whose WAL appends fail enters
+// degraded mode — the failing ingest and all later ones on that shard
+// return ErrDegraded, the healthy shard keeps accepting, and Health
+// reports the split.
+func TestDegradedModeWALError(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Profile{FsWriteFail: 1}, 1)
+	fa := marketfs.NewFault(inj, 1)
+	fa.SetFilter(func(p string) bool { return strings.Contains(p, "shard-000") })
+	st, _, err := Open(Config{Dir: "data", Shards: 2, FS: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	sawDegraded, sawOK := false, false
+	for i := 0; i < 16; i++ {
+		_, _, err := st.Ingest([]report.Event{ev(fmt.Sprintf("deg-app-%d", i), "b", "u")})
+		switch {
+		case err == nil:
+			sawOK = true
+		case errors.Is(err, ErrDegraded):
+			sawDegraded = true
+		default:
+			t.Fatalf("ingest %d: unexpected error %v", i, err)
+		}
+	}
+	if !sawDegraded || !sawOK {
+		t.Fatalf("expected both outcomes across shards (degraded %v, ok %v)", sawDegraded, sawOK)
+	}
+	if ok, deg := st.Health(); ok != 1 || deg != 1 {
+		t.Errorf("Health = (%d ok, %d degraded), want (1, 1)", ok, deg)
+	}
+	// Degradation is sticky: the broken shard fails fast, reads still work.
+	if _, _, err := st.Ingest([]report.Event{ev("deg-app-0", "b2", "u")}); err == nil {
+		if ok, deg := st.Health(); deg != 1 {
+			t.Errorf("Health after retry = (%d, %d), want degraded to stay 1", ok, deg)
+		}
+	}
+	_ = st.Verdict("deg-app-0") // must not panic or block
+}
+
+// TestDegradedModeCheckpointFailures: checkpoint commits that keep
+// failing (here: every fsync errors) degrade the shard after the
+// failure limit, even though the WAL appends themselves succeed.
+func TestDegradedModeCheckpointFailures(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Profile{FsSyncFail: 1}, 1)
+	fa := marketfs.NewFault(inj, 1)
+	fa.SetFilter(func(p string) bool { return strings.Contains(p, "shard-000") })
+	// Fsync off so commits themselves never fsync; CheckpointEvery 1
+	// makes every commit attempt a checkpoint, whose w.Sync() fails.
+	st, _, err := Open(Config{Dir: "data", Shards: 1, Fsync: false, CheckpointEvery: 1, FS: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	degradedAt := -1
+	for i := 0; i < ckptFailureLimit+2; i++ {
+		_, _, err := st.Ingest([]report.Event{ev("ckfail-app", fmt.Sprintf("b%d", i), "u")})
+		if errors.Is(err, ErrDegraded) {
+			degradedAt = i
+			break
+		}
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	if degradedAt != ckptFailureLimit {
+		t.Fatalf("degraded after %d ingests, want exactly %d checkpoint failures first", degradedAt, ckptFailureLimit)
+	}
+	if ok, deg := st.Health(); ok != 0 || deg != 1 {
+		t.Errorf("Health = (%d, %d), want (0, 1)", ok, deg)
+	}
+}
+
+// TestCloseTimeoutWedgedShard: a shard stuck on a hung disk cannot
+// stall shutdown past the drain deadline; CloseTimeout names it and
+// returns an error (marketd turns that into a nonzero exit).
+func TestCloseTimeoutWedgedShard(t *testing.T) {
+	fa := marketfs.NewFault(nil, 1)
+	st, _, err := Open(Config{Dir: "data", Shards: 1, CheckpointEvery: -1, FS: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.SetHang(true)
+	ingestDone := make(chan error, 1)
+	go func() {
+		_, _, err := st.Ingest([]report.Event{ev("wedge-app", "b", "u")})
+		ingestDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the commit reach the hung Write
+
+	start := time.Now()
+	missed, err := st.CloseTimeout(100 * time.Millisecond)
+	if err == nil {
+		t.Fatal("CloseTimeout on a wedged shard returned nil error")
+	}
+	if len(missed) != 1 || missed[0] != 0 {
+		t.Fatalf("missed = %v, want [0]", missed)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("CloseTimeout blocked %v despite the deadline", waited)
+	}
+
+	// Unwedge so the shard goroutine and the ingest can finish; the
+	// shard then drains the closed channel and seals on its own.
+	fa.SetHang(false)
+	select {
+	case <-ingestDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingest never returned after unwedging")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !st.shards[0].sealed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("shard never sealed after unwedging")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

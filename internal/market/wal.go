@@ -7,10 +7,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
-	"path/filepath"
 	"sort"
 
+	"bombdroid/internal/market/marketfs"
 	"bombdroid/internal/report"
 )
 
@@ -33,6 +32,13 @@ import (
 // Replay treats a bad record there as the torn tail — it truncates
 // the file back to the last good record and carries on — while a bad
 // record in any earlier segment is real corruption and fails Open.
+//
+// All filesystem access goes through marketfs.FS, so the identical
+// code paths run against the real OS and against the crash-injecting
+// harness in the torture tests. With a checkpoint present, Open
+// replays only the tail: segments before the checkpoint position are
+// skipped entirely (and eventually compacted away by the checkpoint
+// machinery in checkpoint.go).
 
 const (
 	walHeaderLen = 8
@@ -43,16 +49,30 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// errBadStart rejects a replay start position that the on-disk
+// segments cannot satisfy — the checkpoint claiming it is stale or
+// corrupt, and the caller should fall back to an older one (or a full
+// replay). Guaranteed to be returned before any replay callback runs.
+var errBadStart = errors.New("market: replay start position not on disk")
+
+// walPos is a durable position in a shard's log: byte offset Off
+// within segment Seg. It is the cursor a checkpoint stores.
+type walPos struct {
+	Seg int   `json:"seg"`
+	Off int64 `json:"off"`
+}
+
 // wal is one shard's segmented append-only log. All methods are
 // called from the owning shard's worker goroutine only.
 type wal struct {
+	fs       marketfs.FS
 	dir      string
 	segBytes int64
 	fsync    bool
 
 	seg  int // index of the open segment
 	size int64
-	f    *os.File
+	f    marketfs.File
 	w    *bufio.Writer
 }
 
@@ -60,76 +80,163 @@ type wal struct {
 type ReplayStats struct {
 	Segments       int   `json:"segments"`
 	Records        int64 `json:"records"`
+	TailRecords    int64 `json:"tail_records"`
 	TornTails      int   `json:"torn_tails"`
 	TruncatedBytes int64 `json:"truncated_bytes"`
+	// Checkpoints counts shards whose state was restored from a
+	// checkpoint snapshot instead of a full WAL replay; Records then
+	// includes the checkpoint's covered records and TailRecords only
+	// what was replayed past it.
+	Checkpoints int `json:"checkpoints"`
+	// CompactedSegments counts WAL segments deleted at open because
+	// they lay wholly behind the restored checkpoint.
+	CompactedSegments int `json:"compacted_segments"`
 }
 
 func (a *ReplayStats) add(b ReplayStats) {
 	a.Segments += b.Segments
 	a.Records += b.Records
+	a.TailRecords += b.TailRecords
 	a.TornTails += b.TornTails
 	a.TruncatedBytes += b.TruncatedBytes
+	a.Checkpoints += b.Checkpoints
+	a.CompactedSegments += b.CompactedSegments
 }
 
 func segName(i int) string { return fmt.Sprintf("wal-%08d.log", i) }
 
-// openWAL replays every segment in dir (creating the directory and
-// first segment if absent), feeding each decoded event to replay in
-// record order, then opens the last segment for appending.
-func openWAL(dir string, segBytes int64, fsync bool, replay func(report.Event)) (*wal, ReplayStats, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func segJoin(dir string, i int) string { return dir + "/" + segName(i) }
+
+// listSegments returns the sorted segment indices present in dir.
+func listSegments(fsys marketfs.FS, dir string) ([]int, error) {
+	names, err := fsys.Glob(dir, "wal-*.log")
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]int, 0, len(names))
+	for _, name := range names {
+		var idx int
+		if _, err := fmt.Sscanf(baseName(name), "wal-%08d.log", &idx); err != nil {
+			return nil, fmt.Errorf("market: unrecognized segment %s", name)
+		}
+		segs = append(segs, idx)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+func baseName(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// openWAL replays dir's segments from start onward (creating the
+// directory and first segment if absent), feeding each decoded event
+// to replay in record order, then opens the last segment for
+// appending. Segments before start.Seg are skipped — the caller's
+// checkpoint already covers them. A start position that no on-disk
+// segment can satisfy returns errBadStart before replay touches
+// anything, so the caller can fall back to an older checkpoint or a
+// full replay.
+func openWAL(fsys marketfs.FS, dir string, segBytes int64, fsync bool, start walPos, replay func(report.Event)) (*wal, ReplayStats, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, ReplayStats{}, err
 	}
-	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, ReplayStats{}, err
 	}
-	sort.Strings(names)
+
+	if start.Seg > 0 || start.Off > 0 {
+		// A checkpoint's position must land inside an existing segment
+		// that is at least Off bytes long: the checkpoint protocol
+		// syncs the WAL through the position before committing, so a
+		// shorter (or missing) segment means the checkpoint is not
+		// trustworthy here.
+		ok := false
+		for _, idx := range segs {
+			if idx == start.Seg {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, ReplayStats{}, fmt.Errorf("%w: segment %d missing", errBadStart, start.Seg)
+		}
+		f, err := fsys.Open(segJoin(dir, start.Seg))
+		if err != nil {
+			return nil, ReplayStats{}, err
+		}
+		size, err := f.Size()
+		f.Close()
+		if err != nil {
+			return nil, ReplayStats{}, err
+		}
+		if size < start.Off {
+			return nil, ReplayStats{}, fmt.Errorf("%w: segment %d is %d bytes, checkpoint points at %d",
+				errBadStart, start.Seg, size, start.Off)
+		}
+	}
 
 	var stats ReplayStats
 	last := 0
-	for i, name := range names {
-		isLast := i == len(names)-1
-		segStats, err := replaySegment(name, isLast, replay)
+	for _, idx := range segs {
+		last = idx
+	}
+	for i, idx := range segs {
+		if idx < start.Seg {
+			continue // wholly behind the checkpoint
+		}
+		off := int64(0)
+		if idx == start.Seg {
+			off = start.Off
+		}
+		isLast := i == len(segs)-1
+		segStats, err := replaySegment(fsys, segJoin(dir, idx), isLast, off, replay)
 		if err != nil {
 			return nil, ReplayStats{}, err
 		}
 		stats.add(segStats)
-		if _, err := fmt.Sscanf(filepath.Base(name), "wal-%08d.log", &last); err != nil {
-			return nil, ReplayStats{}, fmt.Errorf("market: unrecognized segment %s", name)
-		}
+		stats.Segments++
 	}
-	stats.Segments = len(names)
-	if len(names) == 0 {
+	if len(segs) == 0 {
 		stats.Segments = 1 // the fresh segment created below
 	}
 
-	w := &wal{dir: dir, segBytes: segBytes, fsync: fsync, seg: last}
+	w := &wal{fs: fsys, dir: dir, segBytes: segBytes, fsync: fsync, seg: last}
 	if err := w.openSegment(); err != nil {
 		return nil, ReplayStats{}, err
 	}
 	return w, stats, nil
 }
 
-// replaySegment streams one segment's records into replay. A bad
-// record (short header, absurd length, short payload, CRC mismatch)
-// in the last segment is the torn tail: the file is truncated back to
-// the last good record. Anywhere else it is corruption and an error.
-func replaySegment(name string, isLast bool, replay func(report.Event)) (ReplayStats, error) {
-	f, err := os.OpenFile(name, os.O_RDWR, 0)
+// replaySegment streams one segment's records into replay, starting
+// at byte offset startOff. A bad record (short header, absurd length,
+// short payload, CRC mismatch) in the last segment is the torn tail:
+// the file is truncated back to the last good record. Anywhere else
+// it is corruption and an error.
+func replaySegment(fsys marketfs.FS, name string, isLast bool, startOff int64, replay func(report.Event)) (ReplayStats, error) {
+	f, err := fsys.Open(name)
 	if err != nil {
 		return ReplayStats{}, err
 	}
 	defer f.Close()
-	info, err := f.Stat()
+	fileSize, err := f.Size()
 	if err != nil {
 		return ReplayStats{}, err
 	}
-	fileSize := info.Size()
+	if startOff > 0 {
+		if _, err := f.Seek(startOff, io.SeekStart); err != nil {
+			return ReplayStats{}, err
+		}
+	}
 
 	var stats ReplayStats
 	r := bufio.NewReaderSize(f, 1<<20)
-	var off int64 // offset of the record being read
+	off := startOff // offset of the record being read
 	var hdr [walHeaderLen]byte
 	buf := make([]byte, 4096)
 	for {
@@ -171,13 +278,14 @@ func replaySegment(name string, isLast bool, replay func(report.Event)) (ReplayS
 		}
 		replay(ev)
 		stats.Records++
+		stats.TailRecords++
 		off += walHeaderLen + int64(length)
 	}
 }
 
 // tornTail resolves a bad record at offset off: truncate if this is
 // the writable tail of the log, error otherwise.
-func tornTail(f *os.File, name string, isLast bool, off, fileSize int64, stats ReplayStats) (ReplayStats, error) {
+func tornTail(f marketfs.File, name string, isLast bool, off, fileSize int64, stats ReplayStats) (ReplayStats, error) {
 	if !isLast {
 		return stats, fmt.Errorf("market: %s: corrupt record at offset %d in a sealed segment", name, off)
 	}
@@ -190,16 +298,24 @@ func tornTail(f *os.File, name string, isLast bool, off, fileSize int64, stats R
 }
 
 func (w *wal) openSegment() error {
-	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fs.OpenAppend(segJoin(w.dir, w.seg))
 	if err != nil {
 		return err
 	}
-	info, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return err
 	}
-	w.f, w.w, w.size = f, bufio.NewWriterSize(f, 1<<20), info.Size()
+	if w.fsync {
+		// A freshly created segment file must itself survive a crash
+		// before any record in it can: sync the directory entry.
+		if err := w.fs.SyncDir(w.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.f, w.w, w.size = f, bufio.NewWriterSize(f, 1<<20), size
 	return nil
 }
 
@@ -253,6 +369,48 @@ func (w *wal) rotate() error {
 	}
 	w.seg++
 	return w.openSegment()
+}
+
+// Position reports the durable cursor after the last committed batch:
+// everything before it is flushed (and, after Sync, fsynced). Only
+// valid between Appends, from the owning worker.
+func (w *wal) Position() walPos { return walPos{Seg: w.seg, Off: w.size} }
+
+// Sync flushes and fsyncs the open segment — the checkpoint protocol
+// calls it before committing a snapshot, so a checkpoint can never
+// point past durable bytes even when routine commits skip fsync.
+func (w *wal) Sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// RemoveBehind deletes segments wholly behind seg (index < seg) —
+// compaction once a durable checkpoint covers them. The segment
+// containing the checkpoint position is never touched. Returns how
+// many segments were reclaimed.
+func (w *wal) RemoveBehind(seg int) (int, error) {
+	segs, err := listSegments(w.fs, w.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, idx := range segs {
+		if idx >= seg {
+			break
+		}
+		if err := w.fs.Remove(segJoin(w.dir, idx)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := w.fs.SyncDir(w.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
 }
 
 // Segments reports how many segment files exist on disk right now.

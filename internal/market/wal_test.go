@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"bombdroid/internal/market/marketfs"
 	"bombdroid/internal/report"
 )
 
@@ -123,7 +124,7 @@ func TestWALTornHeader(t *testing.T) {
 // The refusal happens before any byte reaches the file.
 func TestWALAppendRejectsOversized(t *testing.T) {
 	dir := t.TempDir()
-	w, _, err := openWAL(dir, 64<<20, false, func(report.Event) {})
+	w, _, err := openWAL(marketfs.OS{}, dir, 64<<20, false, walPos{}, func(report.Event) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestWALAppendRejectsOversized(t *testing.T) {
 		t.Fatal(err)
 	}
 	replayed := 0
-	w2, stats, err := openWAL(dir, 64<<20, false, func(report.Event) { replayed++ })
+	w2, stats, err := openWAL(marketfs.OS{}, dir, 64<<20, false, walPos{}, func(report.Event) { replayed++ })
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -193,10 +194,12 @@ func TestWALReplayDedupsDuplicateRecords(t *testing.T) {
 }
 
 // TestWALRotation: a small SegmentBytes forces rotation; replay must
-// walk all segments in order and rebuild the full tally.
+// walk all segments in order and rebuild the full tally. Checkpoints
+// are disabled so every segment actually replays (a shutdown snapshot
+// would skip and compact them — covered in checkpoint_test.go).
 func TestWALRotation(t *testing.T) {
 	dir := t.TempDir()
-	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 256}
+	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 256, CheckpointEvery: -1}
 	st, _ := mustOpen(t, cfg)
 	writeEvents(t, st, "app.rot", 50)
 	st.Close()
@@ -223,7 +226,7 @@ func TestWALRotation(t *testing.T) {
 // last) segment is corruption, not a torn tail — Open must refuse.
 func TestWALMidSegmentCorruption(t *testing.T) {
 	dir := t.TempDir()
-	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 256}
+	cfg := Config{Dir: dir, Shards: 1, SegmentBytes: 256, CheckpointEvery: -1}
 	st, _ := mustOpen(t, cfg)
 	writeEvents(t, st, "app.bad", 50)
 	st.Close()

@@ -1,9 +1,9 @@
 #!/bin/sh
-# Runs the PR's perf benchmarks and writes BENCH_PR5.json.
+# Runs the PR's perf benchmarks and writes BENCH_PR6.json.
 #
 #   scripts/bench.sh [benchtime]
 #
-# Stable schema: BENCH_PR5.json repeats every BENCH_PR4.json key
+# Stable schema: BENCH_PR6.json repeats every BENCH_PR5.json key
 # (parallel campaign path at workers=1 vs 8, VM dispatch hot path, obs
 # overhead) and adds the staged protection engine's record: cold-path
 # ns/op with its per-stage breakdown, warm-path ns/op against a hot
@@ -14,15 +14,21 @@
 # on a single-core box workers=8 can only match workers=1, never beat
 # it, which is why the core count is part of the record.
 #
-# New in PR5: the marketd ingestion record — sustained events/sec and
+# PR5 added the marketd ingestion record — sustained events/sec and
 # p99 batch latency through the full HTTP → shard → WAL stack, and the
 # WAL replay (crash recovery) rate. The acceptance bar is ≥100k
 # events/sec through BenchmarkMarketIngestHTTP.
+#
+# New in PR6: the checkpointed restart record — milliseconds to reopen
+# a 120k-event store by full WAL replay (restart_replay_full_ms, the
+# PR-5 behaviour) vs restoring the shutdown checkpoint and replaying
+# an empty tail (restart_replay_checkpoint_ms). The acceptance bar is
+# restart_speedup ≥ 10.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_PR5.json
+OUT=BENCH_PR6.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -33,6 +39,13 @@ go test -run '^$' \
 go test -run '^$' \
 	-bench 'BenchmarkMarketIngestHTTP$|BenchmarkWALReplay$' \
 	-benchmem -benchtime "$BENCHTIME" ./internal/market | tee -a "$RAW"
+
+# The restart pair seeds a 120k-event store per benchmark, so a fixed
+# iteration count keeps the seeding cost bounded while still averaging
+# a handful of reopens.
+go test -run '^$' \
+	-bench 'BenchmarkRestartReplayFull$|BenchmarkRestartReplayCheckpoint$' \
+	-benchtime 5x ./internal/market | tee -a "$RAW"
 
 awk -v cores="$(nproc 2>/dev/null || echo 1)" '
 function metric(name,    i) {
@@ -54,9 +67,11 @@ function metric(name,    i) {
 /^BenchmarkEngineWarm/ { warm = metric("ns\\/op"); hitpct = metric("cache_hit_pct") }
 /^BenchmarkMarketIngestHTTP/ { ing = metric("events_sec"); ingp99 = metric("p99_ms") }
 /^BenchmarkWALReplay/ { walrep = metric("events_sec") }
+/^BenchmarkRestartReplayFull/ { rfull = metric("ms_restart") }
+/^BenchmarkRestartReplayCheckpoint/ { rckpt = metric("ms_restart") }
 END {
 	printf "{\n"
-	printf "  \"bench\": \"PR5 marketd detonation-ingestion daemon\",\n"
+	printf "  \"bench\": \"PR6 crash-consistent checkpointing for marketd\",\n"
 	printf "  \"cores\": %d,\n", cores
 	printf "  \"table3_workers1_ns_op\": %s,\n", (w1 == "" ? "null" : w1)
 	printf "  \"table3_workers8_ns_op\": %s,\n", (w8 == "" ? "null" : w8)
@@ -82,7 +97,10 @@ END {
 	printf "  \"stage_repack_ns\": %s,\n", (s_repack == "" ? "null" : s_repack)
 	printf "  \"market_ingest_events_per_sec\": %s,\n", (ing == "" ? "null" : ing)
 	printf "  \"market_ingest_p99_ms\": %s,\n", (ingp99 == "" ? "null" : ingp99)
-	printf "  \"market_wal_replay_events_per_sec\": %s\n", (walrep == "" ? "null" : walrep)
+	printf "  \"market_wal_replay_events_per_sec\": %s,\n", (walrep == "" ? "null" : walrep)
+	printf "  \"restart_replay_full_ms\": %s,\n", (rfull == "" ? "null" : rfull)
+	printf "  \"restart_replay_checkpoint_ms\": %s,\n", (rckpt == "" ? "null" : rckpt)
+	printf "  \"restart_speedup\": %s\n", (rfull == "" || rckpt == "" || rckpt == 0 ? "null" : sprintf("%.2f", rfull / rckpt))
 	printf "}\n"
 }' "$RAW" > "$OUT"
 

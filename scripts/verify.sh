@@ -2,8 +2,9 @@
 # Full verification: build, vet, race-enabled tests (the metrics-path
 # packages run with the obs layer exercised by their own tests), a
 # smoke run of cmd/report -metrics proving the JSON snapshot parses,
-# batch-protection smokes, and a marketd lifecycle smoke (ingest,
-# SIGTERM, restart-replay). Tier-1 (ROADMAP.md) is `go build ./... &&
+# batch-protection smokes, a marketd lifecycle smoke (ingest, SIGTERM,
+# restart-replay), and a marketd crash smoke (kill -9 mid-hose,
+# checkpointed recovery, no acked event lost). Tier-1 (ROADMAP.md) is `go build ./... &&
 # go test ./...`; this script is the stricter gate the chaos-hardening,
 # obs, and market-ingestion work is held to.
 set -eu
@@ -133,6 +134,69 @@ grep -q 'recovered 5000 records' "$SMOKE_DIR/marketd2.log" || {
 "$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict app-0 > "$SMOKE_DIR/verdict2.json"
 diff "$SMOKE_DIR/verdict1.json" "$SMOKE_DIR/verdict2.json" || {
 	echo "verify: verdict changed across restart" >&2
+	exit 1
+}
+kill -TERM "$MARKETD_PID"
+wait "$MARKETD_PID"
+
+echo "==> smoke: marketd kill -9 mid-hose, checkpointed crash recovery"
+# Fresh data dir with an aggressive checkpoint cadence. Land hose A
+# and let the daemon ack it, kill -9 the daemon while hose B is still
+# firing, then restart: every acked hose-A event must still be there
+# (re-posting the identical run is pure duplicates) and the verdict
+# must survive one more clean restart byte-identical.
+MARKET_DATA="$SMOKE_DIR/marketd-crash-data"
+start_marketd() {
+	"$SMOKE_DIR/marketd" -addr 127.0.0.1:0 -data "$MARKET_DATA" \
+		-shards 2 -threshold 3 -checkpoint-every 1000 > "$1" 2>&1 &
+	MARKETD_PID=$!
+	for _ in $(seq 1 100); do
+		grep -q 'listening on' "$1" 2>/dev/null && break
+		sleep 0.1
+	done
+	MARKET_ADDR="$(sed -n 's/^marketd: listening on //p' "$1")"
+	[ -n "$MARKET_ADDR" ] || {
+		echo "verify: marketd never bound:" >&2
+		cat "$1" >&2
+		exit 1
+	}
+}
+start_marketd "$SMOKE_DIR/marketd3.log"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -events 5000 -batch 250 \
+	-workers 2 -run crashA > "$SMOKE_DIR/loadgenA.json"
+grep -q '"accepted": 5000' "$SMOKE_DIR/loadgenA.json" || {
+	echo "verify: crash smoke hose A did not land 5000 events" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -events 50000 -batch 100 \
+	-workers 2 -run crashB > "$SMOKE_DIR/loadgenB.json" 2>&1 &
+HOSE_PID=$!
+sleep 1
+kill -9 "$MARKETD_PID"
+wait "$MARKETD_PID" 2>/dev/null && : || true
+wait "$HOSE_PID" && : || true # hose B dies with the daemon; that's the point
+
+start_marketd "$SMOKE_DIR/marketd4.log"
+grep -q 'shards from checkpoint' "$SMOKE_DIR/marketd4.log" || {
+	echo "verify: crash restart printed no recovery summary:" >&2
+	cat "$SMOKE_DIR/marketd4.log" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -events 5000 -batch 250 \
+	-workers 2 -run crashA > "$SMOKE_DIR/loadgenA2.json"
+grep -q '"accepted": 0' "$SMOKE_DIR/loadgenA2.json" || {
+	echo "verify: acked events lost across kill -9 (re-post was not all duplicates):" >&2
+	cat "$SMOKE_DIR/loadgenA2.json" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict app-0 > "$SMOKE_DIR/verdict3.json"
+kill -TERM "$MARKETD_PID"
+wait "$MARKETD_PID"
+
+start_marketd "$SMOKE_DIR/marketd5.log"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict app-0 > "$SMOKE_DIR/verdict4.json"
+diff "$SMOKE_DIR/verdict3.json" "$SMOKE_DIR/verdict4.json" || {
+	echo "verify: verdict changed across post-crash restart" >&2
 	exit 1
 }
 kill -TERM "$MARKETD_PID"
