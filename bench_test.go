@@ -309,6 +309,32 @@ func BenchmarkInvoke(b *testing.B) {
 	}
 }
 
+// BenchmarkInvokeRef is the same loop on the retained reference
+// interpreter (Options.Reference) — the before/after pair for the
+// quickening pass, and the denominator bench.sh uses for the
+// quickened-vs-reference speedup.
+func BenchmarkInvokeRef(b *testing.B) {
+	app, pkg, _ := benchApp(b)
+	v, err := vm.New(pkg, android.EmulatorLab(1)[0], vm.Options{Seed: 1, Reference: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handlers := v.Handlers()
+	if len(handlers) == 0 {
+		b.Fatal("no handlers")
+	}
+	h := handlers[0]
+	x := dex.Int64(3)
+	y := dex.Int64(app.Config.ParamDomain / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Invoke(h, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInvokeObs is the same loop with the obs layer attached:
 // per-opcode counting on every instruction plus the per-invoke
 // histogram. The acceptance bar is ≤5% over BenchmarkInvoke;

@@ -79,6 +79,20 @@ func GenerateCategory(spec CategorySpec, visit func(*App) error) error {
 	return nil
 }
 
+// SampleCorpus generates perCategory evenly spaced apps from every
+// category — the cross-section harnesses use when they need corpus
+// diversity (one app per Table 1 row) without corpus scale; the VM's
+// differential tests execute exactly this sample on both interpreter
+// paths.
+func SampleCorpus(perCategory int, visit func(*App) error) error {
+	for _, spec := range Categories {
+		if err := SampleCategory(spec, perCategory, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SampleCategory generates only n evenly spaced apps of a category —
 // the subsampling hook benchmarks use to keep runtimes sane while
 // preserving the population mean.

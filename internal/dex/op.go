@@ -182,6 +182,18 @@ func (o Op) Negate() Op {
 	panic("dex: Negate on non-conditional op " + o.String())
 }
 
+// IsArith reports whether o is a two-register integer arithmetic
+// instruction (A = B op C).
+func (o Op) IsArith() bool {
+	return o >= OpAdd && o <= OpShr
+}
+
+// IsIfCmp reports whether o is a two-register compare-and-branch
+// (IF_ICMPxx); the zero-test forms IfEqz/IfNez are not included.
+func (o Op) IsIfCmp() bool {
+	return o >= OpIfEq && o <= OpIfGe
+}
+
 // UsesStringImm reports whether Imm indexes the string pool.
 func (o Op) UsesStringImm() bool {
 	switch o {

@@ -135,14 +135,20 @@ func driveSession(ctx context.Context, v *vm.VM, surf Surface, opts SessionOptio
 			res.AbnormalExit = true
 		}
 	}
+	// Steady-state buffers reused across the event loop: the candidate
+	// scratch for pickActive and the Invoke argument pair (a variadic
+	// call with a spread slice passes the slice itself), so a session's
+	// per-event work allocates nothing.
+	scratch := make([]string, 0, len(surf.Handlers))
+	argbuf := make([]dex.Value, 2)
 	for first < 0 && v.NowMillis()-start < opts.CapMs {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		h := pickActive(rng, surf, v)
-		_, err := v.Invoke(h,
-			dex.Int64(rng.Int63n(surf.ParamDomain)),
-			dex.Int64(rng.Int63n(surf.ParamDomain)))
+		h := pickActive(rng, surf, v, scratch)
+		argbuf[0] = dex.Int64(rng.Int63n(surf.ParamDomain))
+		argbuf[1] = dex.Int64(rng.Int63n(surf.ParamDomain))
+		_, err := v.Invoke(h, argbuf...)
 		res.EventsPlayed++
 		if vm.AbnormalExit(err) {
 			res.AbnormalExit = true
@@ -196,12 +202,15 @@ func recordSession(reg *obs.Registry, v *vm.VM, res SessionResult, startMs int64
 	v.FlushObs()
 }
 
-func pickActive(rng *rand.Rand, surf Surface, v *vm.VM) string {
+// pickActive selects a UI-valid handler. scratch is a caller-owned
+// reusable buffer for the candidate list (the session loop calls this
+// once per event).
+func pickActive(rng *rand.Rand, surf Surface, v *vm.VM, scratch []string) string {
 	if len(surf.HandlerScreens) == 0 || surf.ScreenField == "" {
 		return surf.Handlers[rng.Intn(len(surf.Handlers))]
 	}
 	cur := v.Static(surf.ScreenField).Int
-	var active []string
+	active := scratch[:0]
 	for _, h := range surf.Handlers {
 		if scr, ok := surf.HandlerScreens[h]; ok && scr != -1 && scr != cur {
 			continue

@@ -17,10 +17,12 @@ const maxLogLines = 16_384
 
 // callAPI dispatches one framework/intrinsic call. Hooks run first
 // (instrumentation attacks substitute results); observers always see
-// the call.
-func (v *VM) callAPI(u *unit, inPayload string, m *dex.Method, api dex.API, args []dex.Value, depth int) (dex.Value, error) {
+// the call. caller is the full name of the calling method — a
+// precomputed string rather than a *dex.Method so the quickened path
+// never formats a name per call.
+func (v *VM) callAPI(u *unit, inPayload string, caller string, api dex.API, args []dex.Value, depth int) (dex.Value, error) {
 	v.clock += api.Cost()
-	call := APICall{API: api, Args: args, InPayload: inPayload, Method: m.FullName()}
+	call := APICall{API: api, Args: args, InPayload: inPayload, Method: caller}
 	for _, o := range v.observers {
 		o(call)
 	}
@@ -319,7 +321,7 @@ func (v *VM) dispatch(u *unit, inPayload string, api dex.API, args []dex.Value, 
 		// Dispatch through callAPI so hooks on the *target* API apply:
 		// reflection hides the name from text search, not from runtime
 		// interception (paper §2.1).
-		return v.callAPI(u, inPayload, &dex.Method{Name: "reflect", Class: "java.lang"}, target, args[1:], depth)
+		return v.callAPI(u, inPayload, "java.lang.reflect", target, args[1:], depth)
 
 	case dex.APIDeobfuscate:
 		s, ok := str(0)
@@ -418,15 +420,22 @@ func (v *VM) decryptLoad(inPayload string, args []dex.Value) (dex.Value, error) 
 			entry = c.Name
 		}
 		for _, fd := range c.Fields {
-			ref := c.Name + "." + fd.Name
-			if _, exists := v.statics[ref]; !exists {
-				v.statics[ref] = fd.Init
+			// A payload field initializer applies only if the name was
+			// never declared or written before — the staticSet bit is
+			// the slot table's stand-in for map-key existence.
+			idx := v.ensureStatic(c.Name + "." + fd.Name)
+			if !v.staticSet[idx] {
+				v.staticVals[idx] = fd.Init
+				v.staticSet[idx] = true
 			}
 		}
 	}
 	if entry == "" {
 		return failClosed(fmt.Errorf("payload has no entry class"))
 	}
+	// Quicken the payload against this VM's static table; slots the
+	// payload references beyond the shared image extend staticExtra.
+	quickenUnit(pu, v.ensureStatic)
 	v.nextHandle++
 	h := v.nextHandle
 	v.payloads[h] = &payloadUnit{u: pu, entryClass: entry}
@@ -451,11 +460,22 @@ func (v *VM) invokePayload(inPayload string, args []dex.Value, depth int) (dex.V
 	if !ok {
 		return dex.Nil(), &RuntimeError{Method: "invokePayload", PC: -1, Reason: fmt.Sprintf("stale handle %d", args[0].Int)}
 	}
-	entry := pu.u.methods[pu.entryClass+".run"]
-	if entry == nil {
-		return dex.Nil(), &RuntimeError{Method: "invokePayload", PC: -1, Reason: "payload has no entry"}
+	entryName := pu.entryClass + ".run"
+	var res dex.Value
+	var err error
+	if v.opts.Reference {
+		entry := pu.u.methods[entryName]
+		if entry == nil {
+			return dex.Nil(), &RuntimeError{Method: "invokePayload", PC: -1, Reason: "payload has no entry"}
+		}
+		res, err = v.call(pu.u, pu.entryClass, entry, args[1:], depth+1)
+	} else {
+		entry := pu.u.q.byName[entryName]
+		if entry == nil {
+			return dex.Nil(), &RuntimeError{Method: "invokePayload", PC: -1, Reason: "payload has no entry"}
+		}
+		res, err = v.qcall(pu.u, pu.entryClass, entry, args[1:], depth+1)
 	}
-	res, err := v.call(pu.u, pu.entryClass, entry, args[1:], depth+1)
 	if err != nil && v.opts.FailClosed && !IsCrash(err) {
 		v.recordFault(-1, pu.entryClass, "payload-exec", err)
 		return dex.Nil(), nil

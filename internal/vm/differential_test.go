@@ -1,0 +1,498 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bombdroid/internal/android"
+	"bombdroid/internal/apk"
+	"bombdroid/internal/appgen"
+	"bombdroid/internal/dex"
+	"bombdroid/internal/obs"
+)
+
+// The differential harness: every behaviour the quickened interpreter
+// exhibits must be byte-identical to the retained reference
+// interpreter — results, error strings, step counts, virtual clock,
+// traces, fault ledgers, responses, logs, profiles, obs opcode
+// tallies, and static state. These tests drive paired VMs (one per
+// path) through the appgen corpus, the payload lifecycle, the
+// malformed-input classes, and random instruction streams, comparing
+// after every Invoke. scripts/verify.sh runs them as the differential
+// smoke (-run 'TestDifferential').
+
+// diffPair is a quickened/reference VM pair over the same package.
+type diffPair struct {
+	q, r *VM
+}
+
+// newDiffPair installs pkg twice with identical options (bar the
+// interpreter selection). Each VM gets its own device instance and obs
+// registry so nothing is shared but the immutable image.
+func newDiffPair(t *testing.T, pkg *apk.Package, opts Options) *diffPair {
+	t.Helper()
+	build := func(ref bool) *VM {
+		o := opts
+		o.Reference = ref
+		o.Obs = obs.NewRegistry()
+		v, err := New(pkg, android.EmulatorLab(1)[0], o)
+		if err != nil {
+			t.Fatalf("install (reference=%v): %v", ref, err)
+		}
+		return v
+	}
+	return &diffPair{q: build(false), r: build(true)}
+}
+
+// valueEq compares two dex.Values structurally. Arrays compare by
+// contents (the pointers necessarily differ across VMs), with a depth
+// cap against self-referential arrays built by hostile code.
+func valueEq(a, b dex.Value, depth int) bool {
+	if a.Kind != b.Kind || a.Int != b.Int || a.Str != b.Str {
+		return false
+	}
+	if string(a.Bytes) != string(b.Bytes) {
+		return false
+	}
+	if a.Kind == dex.KindArr {
+		if (a.Arr == nil) != (b.Arr == nil) {
+			return false
+		}
+		if a.Arr == nil {
+			return true
+		}
+		if len(*a.Arr) != len(*b.Arr) {
+			return false
+		}
+		if depth == 0 {
+			return true
+		}
+		for i := range *a.Arr {
+			if !valueEq((*a.Arr)[i], (*b.Arr)[i], depth-1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// invoke drives one method on both VMs and asserts the per-call
+// contract: same result, same error, same step count, same clock.
+func (p *diffPair) invoke(t *testing.T, full string, args ...dex.Value) {
+	t.Helper()
+	qres, qerr := p.q.Invoke(full, args...)
+	rres, rerr := p.r.Invoke(full, args...)
+	if es, er := errStr(qerr), errStr(rerr); es != er {
+		t.Fatalf("%s: errors diverge:\n  quickened: %s\n  reference: %s", full, es, er)
+	}
+	if !valueEq(qres, rres, 8) {
+		t.Fatalf("%s: results diverge: quickened %v, reference %v", full, qres, rres)
+	}
+	if p.q.steps != p.r.steps {
+		t.Fatalf("%s: step counts diverge: quickened %d, reference %d", full, p.q.steps, p.r.steps)
+	}
+	if p.q.NowTicks() != p.r.NowTicks() {
+		t.Fatalf("%s: clocks diverge: quickened %d, reference %d", full, p.q.NowTicks(), p.r.NowTicks())
+	}
+}
+
+// finish asserts the whole-session contract once a scenario is done.
+func (p *diffPair) finish(t *testing.T) {
+	t.Helper()
+	// Obs opcode tallies, before any flush.
+	if p.q.obsOps != nil || p.r.obsOps != nil {
+		for op := range p.q.obsOps {
+			if p.q.obsOps[op] != p.r.obsOps[op] {
+				t.Errorf("obs op count for %s diverges: quickened %d, reference %d",
+					dex.Op(op), p.q.obsOps[op], p.r.obsOps[op])
+			}
+		}
+	}
+	// Trace ring buffers.
+	qt, rt := p.q.Trace(), p.r.Trace()
+	if len(qt) != len(rt) {
+		t.Fatalf("trace lengths diverge: quickened %d, reference %d", len(qt), len(rt))
+	}
+	for i := range qt {
+		if qt[i] != rt[i] {
+			t.Fatalf("trace[%d] diverges:\n  quickened: %+v\n  reference: %+v", i, qt[i], rt[i])
+		}
+	}
+	// Fault ledger.
+	qf, rf := p.q.Faults(), p.r.Faults()
+	if len(qf) != len(rf) {
+		t.Fatalf("fault ledgers diverge: quickened %d, reference %d", len(qf), len(rf))
+	}
+	for i := range qf {
+		if qf[i] != rf[i] {
+			t.Errorf("fault[%d] diverges:\n  quickened: %+v\n  reference: %+v", i, qf[i], rf[i])
+		}
+	}
+	// Responses, logs, warnings, reports, leaks.
+	qresp, rresp := p.q.Responses(), p.r.Responses()
+	if len(qresp) != len(rresp) {
+		t.Fatalf("response counts diverge: quickened %d, reference %d", len(qresp), len(rresp))
+	}
+	for i := range qresp {
+		if qresp[i] != rresp[i] {
+			t.Errorf("response[%d] diverges: %+v vs %+v", i, qresp[i], rresp[i])
+		}
+	}
+	ql, rl := p.q.Logs(), p.r.Logs()
+	if len(ql) != len(rl) {
+		t.Fatalf("log lengths diverge: quickened %d, reference %d", len(ql), len(rl))
+	}
+	for i := range ql {
+		if ql[i] != rl[i] {
+			t.Errorf("log[%d] diverges: %q vs %q", i, ql[i], rl[i])
+		}
+	}
+	if p.q.LeakKB() != p.r.LeakKB() {
+		t.Errorf("leakKB diverges: %d vs %d", p.q.LeakKB(), p.r.LeakKB())
+	}
+	// Profile (method invocation counts).
+	qp, rp := p.q.Profile(), p.r.Profile()
+	if len(qp) != len(rp) {
+		t.Errorf("profile sizes diverge: quickened %d, reference %d", len(qp), len(rp))
+	}
+	for k, n := range qp {
+		if rp[k] != n {
+			t.Errorf("profile[%s] diverges: quickened %d, reference %d", k, n, rp[k])
+		}
+	}
+	// Static state: compare through the name-indexed view so slot
+	// numbering differences (there should be none, but the contract is
+	// about values) cannot mask a real divergence.
+	for name := range p.q.staticIdx {
+		if !valueEq(p.q.Static(name), p.r.Static(name), 8) {
+			t.Errorf("static %q diverges: %v vs %v", name, p.q.Static(name), p.r.Static(name))
+		}
+	}
+	for name := range p.q.staticExtra {
+		if !valueEq(p.q.Static(name), p.r.Static(name), 8) {
+			t.Errorf("static %q diverges: %v vs %v", name, p.q.Static(name), p.r.Static(name))
+		}
+	}
+	// Bomb bookkeeping.
+	qo, ro := p.q.OuterTriggered(), p.r.OuterTriggered()
+	if fmt.Sprint(qo) != fmt.Sprint(ro) {
+		t.Errorf("outer-trigger sets diverge: %v vs %v", qo, ro)
+	}
+	qd, rd := p.q.DetectionRuns(), p.r.DetectionRuns()
+	if len(qd) != len(rd) {
+		t.Errorf("detection-run maps diverge: %v vs %v", qd, rd)
+	}
+	for k, n := range qd {
+		if rd[k] != n {
+			t.Errorf("detectionRuns[%s] diverges: %d vs %d", k, n, rd[k])
+		}
+	}
+}
+
+// signApp wraps a dex file into a signed package.
+func signApp(t *testing.T, name string, f *dex.File) *apk.Package {
+	t.Helper()
+	key, err := apk.NewKeyPair(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := apk.Sign(apk.Build(name, f, apk.Resources{Strings: []string{"s"}}), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestDifferentialCorpus executes a cross-section of the appgen corpus
+// (one app per Table 1 category) on both interpreter paths: every init
+// method, then a deterministic pseudo-random event storm over the
+// app's handler surface with idle gaps — the same shape sim sessions
+// drive.
+func TestDifferentialCorpus(t *testing.T) {
+	var apps []*appgen.App
+	if err := appgen.SampleCorpus(1, func(a *appgen.App) error {
+		apps = append(apps, a)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != len(appgen.Categories) {
+		t.Fatalf("sampled %d apps, want one per category (%d)", len(apps), len(appgen.Categories))
+	}
+	for _, app := range apps {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			pkg := signApp(t, app.Name, app.File)
+			p := newDiffPair(t, pkg, Options{Seed: 11, Profile: true, TraceDepth: 128})
+			for _, init := range p.q.InitMethods() {
+				p.invoke(t, init)
+			}
+			handlers := p.q.Handlers()
+			if len(handlers) == 0 {
+				t.Fatal("corpus app has no handlers")
+			}
+			rng := rand.New(rand.NewSource(app.Config.Seed))
+			dom := app.Config.ParamDomain
+			if dom <= 0 {
+				dom = 16
+			}
+			for ev := 0; ev < 120; ev++ {
+				h := handlers[rng.Intn(len(handlers))]
+				p.invoke(t, h, dex.Int64(rng.Int63n(dom)), dex.Int64(rng.Int63n(dom)))
+				gap := 200 + rng.Int63n(500)
+				if err1, err2 := p.q.AdvanceIdle(gap), p.r.AdvanceIdle(gap); errStr(err1) != errStr(err2) {
+					t.Fatalf("AdvanceIdle errors diverge: %v vs %v", err1, err2)
+				}
+			}
+			p.finish(t)
+		})
+	}
+}
+
+// TestDifferentialPayload executes the full bomb lifecycle — sealed
+// decrypt, payload quickening at runtime, detection check, crash
+// response — on both paths, over both the clean and the repackaged
+// package.
+func TestDifferentialPayload(t *testing.T) {
+	f, _ := buildTestApp(t)
+	for _, repackaged := range []bool{false, true} {
+		name := "clean"
+		if repackaged {
+			name = "repackaged"
+		}
+		t.Run(name, func(t *testing.T) {
+			devKey, err := apk.NewKeyPair(101)
+			if err != nil {
+				t.Fatal(err)
+			}
+			patched := patchPayloadKey(t, f, devKey.PublicKeyHex())
+			pkg, err := apk.Sign(apk.Build("test.app", patched, apk.Resources{
+				Strings: []string{"Tap to start"}, Author: "dev", Icon: []byte{1},
+			}), devKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repackaged {
+				attacker, err := apk.NewKeyPair(999)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pkg, err = apk.Repackage(pkg, attacker, apk.RepackOptions{NewAuthor: "pirate"})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			p := newDiffPair(t, pkg, Options{Seed: 7, Profile: true, TraceDepth: 256})
+			p.invoke(t, "App.add", dex.Int64(20), dex.Int64(22))
+			p.invoke(t, "App.classify", dex.Int64(2))
+			p.invoke(t, "App.classify", dex.Int64(99))
+			p.invoke(t, "App.bump")
+			p.invoke(t, "App.bump")
+			p.invoke(t, "App.sum3")
+			p.invoke(t, "App.greet", dex.Str("user"))
+			p.invoke(t, "App.callAdd")
+			p.invoke(t, "App.readEnv")
+			p.invoke(t, "App.armBomb", dex.Int64(5))    // wrong constant: bomb stays sealed
+			p.invoke(t, "App.armBomb", dex.Int64(1234)) // true constant: decrypt + detonate path
+			p.invoke(t, "App.add", dex.Int64(1))        // arity mismatch fault
+			p.invoke(t, "App.spin")                     // budget exhaustion
+			p.invoke(t, "App.recurse")                  // depth exhaustion
+			p.invoke(t, "App.nope")                     // no such method
+			p.finish(t)
+		})
+	}
+}
+
+// TestDifferentialPayloadFailClosed pins the fault-ledger parity when
+// a corrupted sealed blob degrades gracefully under FailClosed.
+func TestDifferentialPayloadFailClosed(t *testing.T) {
+	f, _ := buildTestApp(t)
+	devKey, err := apk.NewKeyPair(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := patchPayloadKey(t, f, devKey.PublicKeyHex())
+	pkg, err := apk.Sign(apk.Build("test.app", patched, apk.Resources{
+		Strings: []string{"x"}, Author: "dev", Icon: []byte{1},
+	}), devKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(blob int64, sealed []byte) []byte {
+		bad := append([]byte(nil), sealed...)
+		if len(bad) > 0 {
+			bad[len(bad)/2] ^= 0xFF
+		}
+		return bad
+	}
+	p := newDiffPair(t, pkg, Options{Seed: 7, FailClosed: true, BlobFault: corrupt})
+	p.invoke(t, "App.armBomb", dex.Int64(1234))
+	p.invoke(t, "App.forceDecrypt", dex.Int64(0))
+	if len(p.q.Faults()) == 0 {
+		t.Fatal("corrupted blob produced no ledgered fault")
+	}
+	p.finish(t)
+}
+
+// TestDifferentialMalformed runs the malformed-input classes from the
+// fuzz suite on both paths: faults must match byte-for-byte, including
+// the contained-panic cases.
+func TestDifferentialMalformed(t *testing.T) {
+	cases := map[string]*dex.File{
+		"register out of range": badFile(1, []dex.Instr{
+			{Op: dex.OpConstInt, A: 100, B: -1, C: -1, Imm: 7},
+			{Op: dex.OpReturnVoid},
+		}),
+		"negative register": badFile(2, []dex.Instr{
+			{Op: dex.OpMove, A: -5, B: 0, C: -1},
+			{Op: dex.OpReturnVoid},
+		}),
+		"branch target out of range": badFile(1, []dex.Instr{
+			{Op: dex.OpGoto, A: -1, B: -1, C: 999},
+		}),
+		"negative branch target": badFile(1, []dex.Instr{
+			{Op: dex.OpGoto, A: -1, B: -1, C: -7},
+		}),
+		"arg window outside frame": badFile(2, []dex.Instr{
+			{Op: dex.OpCallAPI, A: -1, B: 1, C: 40, Imm: int64(dex.APILog)},
+			{Op: dex.OpReturnVoid},
+		}),
+		"huge register count": badFile(1<<30, []dex.Instr{
+			{Op: dex.OpReturnVoid},
+		}),
+		"missing switch table": badFile(1, []dex.Instr{
+			{Op: dex.OpConstInt, A: 0, B: -1, C: -1, Imm: 3},
+			{Op: dex.OpSwitch, A: 0, B: -1, C: -1, Imm: 9},
+			{Op: dex.OpReturnVoid},
+		}),
+		"switch target out of range": badFile(1, []dex.Instr{
+			{Op: dex.OpConstInt, A: 0, B: -1, C: -1, Imm: 3},
+			{Op: dex.OpSwitch, A: 0, B: -1, C: -1, Imm: 0},
+			{Op: dex.OpReturnVoid},
+		}, dex.SwitchTable{Cases: []dex.SwitchCase{{Match: 3, Target: 500}}, Default: -2}),
+		"truncated method body": badFile(1, []dex.Instr{
+			{Op: dex.OpConstInt, A: 0, B: -1, C: -1, Imm: 1},
+		}),
+		"unresolved invoke": badFile(2, []dex.Instr{
+			{Op: dex.OpInvoke, A: -1, B: 0, C: 0, Imm: 12345},
+			{Op: dex.OpReturnVoid},
+		}),
+		"invalid opcode": badFile(1, []dex.Instr{
+			{Op: dex.Op(200), A: 0, B: 0, C: 0},
+			{Op: dex.OpReturnVoid},
+		}),
+		"type confusion arith": badFile(2, []dex.Instr{
+			{Op: dex.OpConstStr, A: 0, B: -1, C: -1, Imm: 0},
+			{Op: dex.OpAdd, A: 1, B: 0, C: 0},
+			{Op: dex.OpReturnVoid},
+		}),
+		"division by zero": badFile(2, []dex.Instr{
+			{Op: dex.OpConstInt, A: 0, B: -1, C: -1, Imm: 0},
+			{Op: dex.OpDiv, A: 1, B: 0, C: 0},
+			{Op: dex.OpReturnVoid},
+		}),
+	}
+	for name, file := range cases {
+		file := file
+		t.Run(name, func(t *testing.T) {
+			// Via fuzzVM: no validation, quickening over raw garbage.
+			vq := fuzzVM(file, Options{TraceDepth: 32})
+			vr := fuzzVM(file, Options{TraceDepth: 32, Reference: true})
+			qres, qerr := vq.Invoke("Bad.m")
+			rres, rerr := vr.Invoke("Bad.m")
+			if errStr(qerr) != errStr(rerr) {
+				t.Fatalf("errors diverge:\n  quickened: %s\n  reference: %s", errStr(qerr), errStr(rerr))
+			}
+			if !valueEq(qres, rres, 8) {
+				t.Fatalf("results diverge: %v vs %v", qres, rres)
+			}
+			if vq.steps != vr.steps || vq.NowTicks() != vr.NowTicks() {
+				t.Fatalf("accounting diverges: steps %d/%d, ticks %d/%d",
+					vq.steps, vr.steps, vq.NowTicks(), vr.NowTicks())
+			}
+			qt, rt := vq.Trace(), vr.Trace()
+			if len(qt) != len(rt) {
+				t.Fatalf("trace lengths diverge: %d vs %d", len(qt), len(rt))
+			}
+			for i := range qt {
+				if qt[i] != rt[i] {
+					t.Fatalf("trace[%d] diverges: %+v vs %+v", i, qt[i], rt[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomCode sweeps random instruction streams —
+// including invalid opcodes, out-of-range registers, wild branch
+// targets, and accidental fusable dyads — through both paths. This is
+// the fuzz-seed leg of the harness: quickening must be a total,
+// semantics-preserving rewrite over arbitrary input.
+func TestDifferentialRandomCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const numFiles = 60
+	for fi := 0; fi < numFiles; fi++ {
+		n := 4 + rng.Intn(24)
+		code := make([]dex.Instr, n)
+		for i := range code {
+			code[i] = dex.Instr{
+				Op:  dex.Op(rng.Intn(dex.NumOps + 3)), // a bit past opMax: invalid ops too
+				A:   int32(rng.Intn(10) - 2),
+				B:   int32(rng.Intn(10) - 2),
+				C:   int32(rng.Intn(n+6) - 3),
+				Imm: int64(rng.Intn(20) - 4),
+			}
+		}
+		var tables []dex.SwitchTable
+		if rng.Intn(2) == 0 {
+			tables = append(tables, dex.SwitchTable{
+				Cases: []dex.SwitchCase{
+					{Match: int64(rng.Intn(6)), Target: int32(rng.Intn(n+4) - 2)},
+					{Match: int64(rng.Intn(6)), Target: int32(rng.Intn(n+4) - 2)},
+				},
+				Default: int32(rng.Intn(n+4) - 2),
+			})
+		}
+		file := badFile(6, code, tables...)
+		// Trace on for some files; obs accounting comes with fuzzVM's
+		// nil registry either way, so compare steps/clock/result only.
+		opts := Options{MaxSteps: 2_000, MaxDepth: 8}
+		if fi%3 == 0 {
+			opts.TraceDepth = 64
+		}
+		vq := fuzzVM(file, opts)
+		ro := opts
+		ro.Reference = true
+		vr := fuzzVM(file, ro)
+		qres, qerr := vq.Invoke("Bad.m")
+		rres, rerr := vr.Invoke("Bad.m")
+		if errStr(qerr) != errStr(rerr) {
+			t.Fatalf("file %d: errors diverge:\n  quickened: %s\n  reference: %s\n  code: %+v",
+				fi, errStr(qerr), errStr(rerr), code)
+		}
+		if !valueEq(qres, rres, 8) {
+			t.Fatalf("file %d: results diverge: %v vs %v\n  code: %+v", fi, qres, rres, code)
+		}
+		if vq.steps != vr.steps || vq.NowTicks() != vr.NowTicks() {
+			t.Fatalf("file %d: accounting diverges: steps %d/%d ticks %d/%d\n  code: %+v",
+				fi, vq.steps, vr.steps, vq.NowTicks(), vr.NowTicks(), code)
+		}
+		qt, rt := vq.Trace(), vr.Trace()
+		if len(qt) != len(rt) {
+			t.Fatalf("file %d: trace lengths diverge: %d vs %d", fi, len(qt), len(rt))
+		}
+		for i := range qt {
+			if qt[i] != rt[i] {
+				t.Fatalf("file %d: trace[%d] diverges: %+v vs %+v", fi, i, qt[i], rt[i])
+			}
+		}
+	}
+}

@@ -14,10 +14,6 @@ import (
 // validation (or was corrupted in memory after it) surfaces as a
 // RuntimeError, the same fate as any other bytecode-level fault.
 func (v *VM) Invoke(full string, args ...dex.Value) (res dex.Value, err error) {
-	m, ok := v.app.methods[full]
-	if !ok {
-		return dex.Nil(), fmt.Errorf("vm: no such method %q", full)
-	}
 	defer func() {
 		if r := recover(); r != nil {
 			res = dex.Nil()
@@ -26,7 +22,19 @@ func (v *VM) Invoke(full string, args ...dex.Value) (res dex.Value, err error) {
 		}
 	}()
 	v.steps = 0
-	res, err = v.call(v.app, "", m, args, 0)
+	if v.opts.Reference {
+		m, ok := v.app.methods[full]
+		if !ok {
+			return dex.Nil(), fmt.Errorf("vm: no such method %q", full)
+		}
+		res, err = v.call(v.app, "", m, args, 0)
+	} else {
+		qm := v.app.q.byName[full]
+		if qm == nil {
+			return dex.Nil(), fmt.Errorf("vm: no such method %q", full)
+		}
+		res, err = v.qcall(v.app, "", qm, args, 0)
+	}
 	if v.obsInvokes != nil {
 		// Dispatch-time profile in virtual ticks: one observation per
 		// top-level Invoke, so the per-instruction path stays free of
@@ -239,7 +247,7 @@ func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, de
 				return dex.Nil(), fault(pc, "arg window [%d,%d) outside %d registers", in.B, int(in.B)+int(in.C), len(regs))
 			}
 			callArgs := regs[in.B : int(in.B)+int(in.C)]
-			res, err := v.callAPI(u, inPayload, m, dex.API(in.Imm), callArgs, depth)
+			res, err := v.callAPI(u, inPayload, m.FullName(), dex.API(in.Imm), callArgs, depth)
 			if err != nil {
 				return dex.Nil(), err
 			}
@@ -254,10 +262,10 @@ func (v *VM) call(u *unit, inPayload string, m *dex.Method, args []dex.Value, de
 			return dex.Nil(), nil
 
 		case dex.OpGetStatic:
-			regs[in.A] = v.statics[u.file.Str(in.Imm)]
+			regs[in.A] = v.Static(u.file.Str(in.Imm))
 
 		case dex.OpPutStatic:
-			v.statics[u.file.Str(in.Imm)] = regs[in.A]
+			v.SetStatic(u.file.Str(in.Imm), regs[in.A])
 
 		case dex.OpNewArr:
 			n, err := intOf(pc, regs[in.B])

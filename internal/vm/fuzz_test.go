@@ -1,7 +1,6 @@
 package vm
 
 import (
-	"math/rand"
 	"testing"
 
 	"bombdroid/internal/android"
@@ -11,7 +10,9 @@ import (
 
 // fuzzVM assembles a VM around file WITHOUT install-time validation —
 // the interpreter's worst case: executing code that was corrupted in
-// memory after every check already passed.
+// memory after every check already passed. buildImage (and with it the
+// quickening pass) runs on the raw file directly, so quickening itself
+// is exercised as a total function over garbage input.
 func fuzzVM(file *dex.File, opts Options) *VM {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 50_000
@@ -19,22 +20,10 @@ func fuzzVM(file *dex.File, opts Options) *VM {
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = 24
 	}
-	v := &VM{
-		app:          newUnit(file),
-		pkg:          &apk.Package{Name: "fuzz"},
-		dev:          android.EmulatorLab(1)[0],
-		opts:         opts,
-		statics:      make(map[string]dex.Value),
-		rng:          rand.New(rand.NewSource(1)),
-		hooks:        make(map[dex.API]Hook),
-		profile:      make(map[string]int64),
-		payloads:     make(map[int64]*payloadUnit),
-		decryptCache: make(map[int64]int64),
-		outerFired:   make(map[int64]bool),
-		bombChecks:   make(map[string]int64),
+	if opts.Seed == 0 {
+		opts.Seed = 1
 	}
-	v.initStatics(file)
-	return v
+	return newVM(buildImage(file), &apk.Package{Name: "fuzz"}, android.EmulatorLab(1)[0], opts)
 }
 
 // runAllMethods drives every method with zero-value arguments; the

@@ -95,6 +95,8 @@ type unit struct {
 	// once at load time so the interpreter's OpInvoke path is a single
 	// map hit instead of two lookups per call.
 	resolved map[string]resolvedMethod
+	// q is the quickened program (quicken.go), built after resolved.
+	q *qprog
 }
 
 // resolvedMethod is one precomputed invoke target.
@@ -157,6 +159,13 @@ type Options struct {
 	// at install time only; later flash corruption is the app's
 	// problem).
 	BlobFault func(blob int64, sealed []byte) []byte
+	// Reference selects the retained reference interpreter (exec.go)
+	// instead of the quickened one (qexec.go). The two are
+	// observationally byte-identical — results, traces, fault ledgers,
+	// obs opcode counts — a contract the differential harness enforces;
+	// the reference path exists as that harness's oracle and costs one
+	// branch per top-level Invoke otherwise.
+	Reference bool
 	// Obs, when set, collects VM execution metrics into the registry:
 	// per-opcode execution counts (vm_op_total{op=...}), a per-Invoke
 	// dispatch-step histogram (vm_invoke_steps, virtual ticks), and
@@ -194,9 +203,19 @@ type VM struct {
 	dev  *android.Device
 	opts Options
 
-	statics map[string]dex.Value
-	clock   int64 // ticks
-	rng     *rand.Rand
+	// Statics live in a slot array: staticIdx (shared with the image,
+	// read-only) maps names assigned at load time; staticExtra (lazy,
+	// per-VM) covers names first seen at runtime — SetStatic from
+	// attack drivers, payload fields loaded by decryptLoad. staticSet
+	// tracks which slots were ever written (or declared), standing in
+	// for the old map's key-existence semantics.
+	staticIdx   map[string]int32
+	staticExtra map[string]int32
+	staticVals  []dex.Value
+	staticSet   []bool
+
+	clock int64 // ticks
+	rng   *rand.Rand
 
 	hooks     map[dex.API]Hook
 	observers []Observer
@@ -223,6 +242,10 @@ type VM struct {
 	// call() frames. A VM is single-goroutine by contract (campaigns
 	// parallelize by building one VM per session), so no locking.
 	freeRegs [][]dex.Value
+
+	// arena hands out qcall frames (qexec.go); same single-goroutine
+	// contract as freeRegs.
+	arena frameArena
 
 	trace     []TraceEntry // ring buffer when TraceDepth > 0
 	traceNext int
@@ -257,14 +280,24 @@ func New(p *apk.Package, dev *android.Device, opts Options) (*VM, error) {
 // NewUnverified installs without signature verification — what a
 // developer-mode attacker does with a locally modified build that was
 // never re-signed. User-side installs go through New.
+//
+// Loading goes through the process-global image cache: decoding,
+// validation, linking, and quickening run once per distinct dex blob;
+// every further install of the same bytes (a campaign installing one
+// app on hundreds of devices) shares the immutable image and copies
+// only the mutable static slots.
 func NewUnverified(p *apk.Package, dev *android.Device, opts Options) (*VM, error) {
-	file, err := p.DexFile()
+	img, err := loadImage(p.Dex)
 	if err != nil {
-		return nil, fmt.Errorf("vm: bad dex: %w", err)
+		return nil, err
 	}
-	if err := dex.Validate(file); err != nil {
-		return nil, fmt.Errorf("vm: dex validation: %w", err)
-	}
+	return newVM(img, p, dev, opts), nil
+}
+
+// newVM assembles a VM over a prebuilt image. The fuzz harness calls
+// it directly with unvalidated images; user code goes through New /
+// NewUnverified.
+func newVM(img *image, p *apk.Package, dev *android.Device, opts Options) *VM {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = DefaultMaxSteps
 	}
@@ -272,11 +305,13 @@ func NewUnverified(p *apk.Package, dev *android.Device, opts Options) (*VM, erro
 		opts.MaxDepth = DefaultMaxDepth
 	}
 	v := &VM{
-		app:          newUnit(file),
+		app:          img.unit,
 		pkg:          p,
 		dev:          dev,
 		opts:         opts,
-		statics:      make(map[string]dex.Value),
+		staticIdx:    img.staticIdx,
+		staticVals:   append([]dex.Value(nil), img.staticInit...),
+		staticSet:    append([]bool(nil), img.staticSet...),
 		rng:          rand.New(rand.NewSource(opts.Seed)),
 		hooks:        make(map[dex.API]Hook),
 		profile:      make(map[string]int64),
@@ -302,9 +337,7 @@ func NewUnverified(p *apk.Package, dev *android.Device, opts Options) (*VM, erro
 		}
 		v.obsFaults = opts.Obs.Counter("vm_faults_total")
 	}
-	v.app.buildResolved(v.app)
-	v.initStatics(file)
-	return v, nil
+	return v
 }
 
 // FlushObs publishes the VM's locally accumulated opcode counts to
@@ -376,14 +409,6 @@ func (v *VM) recordTrace(method string, pc int, op dex.Op, inPayload string) {
 	}
 }
 
-func (v *VM) initStatics(f *dex.File) {
-	for _, c := range f.Classes {
-		for _, fd := range c.Fields {
-			v.statics[c.Name+"."+fd.Name] = fd.Init
-		}
-	}
-}
-
 // Device returns the device the app runs on.
 func (v *VM) Device() *android.Device { return v.dev }
 
@@ -438,12 +463,47 @@ func (v *VM) InitMethods() []string {
 	return out
 }
 
+// staticSlot looks up the slot for a static name: load-assigned slots
+// first (shared, read-only), then this VM's runtime extensions.
+func (v *VM) staticSlot(name string) (int32, bool) {
+	if idx, ok := v.staticIdx[name]; ok {
+		return idx, true
+	}
+	idx, ok := v.staticExtra[name]
+	return idx, ok
+}
+
+// ensureStatic returns the slot for name, extending this VM's static
+// table if the name was never seen at load time.
+func (v *VM) ensureStatic(name string) int32 {
+	if idx, ok := v.staticSlot(name); ok {
+		return idx
+	}
+	idx := int32(len(v.staticVals))
+	if v.staticExtra == nil {
+		v.staticExtra = make(map[string]int32)
+	}
+	v.staticExtra[name] = idx
+	v.staticVals = append(v.staticVals, dex.Value{})
+	v.staticSet = append(v.staticSet, false)
+	return idx
+}
+
 // Static reads a static field value ("Class.Field").
-func (v *VM) Static(ref string) dex.Value { return v.statics[ref] }
+func (v *VM) Static(ref string) dex.Value {
+	if idx, ok := v.staticSlot(ref); ok {
+		return v.staticVals[idx]
+	}
+	return dex.Nil()
+}
 
 // SetStatic writes a static field (used by forced-execution attacks
 // that prepare program state).
-func (v *VM) SetStatic(ref string, val dex.Value) { v.statics[ref] = val }
+func (v *VM) SetStatic(ref string, val dex.Value) {
+	idx := v.ensureStatic(ref)
+	v.staticVals[idx] = val
+	v.staticSet[idx] = true
+}
 
 // Profile returns a copy of the method invocation counts.
 func (v *VM) Profile() map[string]int64 {

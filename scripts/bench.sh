@@ -1,40 +1,67 @@
 #!/bin/sh
-# Runs the PR's perf benchmarks and writes BENCH_PR6.json.
+# Runs the PR's perf benchmarks and writes BENCH_PR7.json.
 #
-#   scripts/bench.sh [benchtime]
+#   scripts/bench.sh [benchtime] [count]
 #
-# Stable schema: BENCH_PR6.json repeats every BENCH_PR5.json key
-# (parallel campaign path at workers=1 vs 8, VM dispatch hot path, obs
-# overhead) and adds the staged protection engine's record: cold-path
-# ns/op with its per-stage breakdown, warm-path ns/op against a hot
-# artifact cache, the warm cache hit rate, and protect_warm_speedup —
-# the acceptance bar is a ≥5× cold-over-warm ratio, since a warm
-# re-protection skips the profile and analysis stages entirely.
-# Speedup is reported honestly for whatever machine this runs on —
-# on a single-core box workers=8 can only match workers=1, never beat
-# it, which is why the core count is part of the record.
+# Stable schema: BENCH_PR7.json repeats every BENCH_PR6.json key
+# (Table 3 campaign, VM dispatch hot path, obs overhead, staged
+# protection engine, marketd ingestion and restart records) and adds
+# the quickened-VM record:
 #
-# PR5 added the marketd ingestion record — sustained events/sec and
-# p99 batch latency through the full HTTP → shard → WAL stack, and the
-# WAL replay (crash recovery) rate. The acceptance bar is ≥100k
-# events/sec through BenchmarkMarketIngestHTTP.
+#   - invoke_quickened_ns_op / invoke_ref_ns_op — the hot dispatch
+#     loop on the quickened vs the retained reference interpreter
+#     (acceptance: quickened ≤ 2675 ns/op with ≤ 8 allocs/op);
+#   - table3_allocs_reduction — the PR6 baseline campaign allocs/op
+#     (read from BENCH_PR6.json) over this build's (acceptance ≥ 3);
+#   - table3_speedup_g{1,2,4,8} — workers=8 campaign speedup over the
+#     serial GOMAXPROCS=1 baseline at an explicit GOMAXPROCS matrix,
+#     so "speedup" measures real scaling instead of whatever the bench
+#     box's scheduler happened to provide.
 #
-# New in PR6: the checkpointed restart record — milliseconds to reopen
-# a 120k-event store by full WAL replay (restart_replay_full_ms, the
-# PR-5 behaviour) vs restoring the shutdown checkpoint and replaying
-# an empty tail (restart_replay_checkpoint_ms). The acceptance bar is
-# restart_speedup ≥ 10.
+# Measurement hygiene (the PR6 file reported obs overhead of -2.7%,
+# i.e. the instrumented loop "faster" than the plain one): the micro
+# benchmarks now run -count times (default 5) and the schema reports
+# per-benchmark medians. obs_overhead_raw_pct keeps the honest median
+# difference, obs_overhead_pct clamps it at 0, and
+# obs_overhead_within_noise flags readings inside the ±3% run-to-run
+# band so consumers don't chart noise as signal.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_PR6.json
+COUNT="${2:-5}"
+OUT=BENCH_PR7.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# Micro benchmarks: COUNT interleaved rounds, medians taken in the
+# parser. Interleaving (COUNT whole-block invocations instead of one
+# -count=COUNT run) matters on a shared box: -count repeats each
+# benchmark back-to-back, so warm-up and throttle drift land entirely
+# on whichever bench runs first and the overhead ratio inherits the
+# skew — exactly how PR6 recorded a negative obs overhead.
+: > "$RAW"
+i=1
+while [ "$i" -le "$COUNT" ]; do
+	go test -run '^$' \
+		-bench 'BenchmarkInvoke$|BenchmarkInvokeRef$|BenchmarkInvokeObs$' \
+		-benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW"
+	i=$((i + 1))
+done
+
+# Table 3 campaign at an explicit GOMAXPROCS matrix. Marker lines tag
+# each block so the parser attributes rows to their core budget.
+for G in 1 2 4 8; do
+	echo "### gomaxprocs $G" | tee -a "$RAW"
+	GOMAXPROCS="$G" go test -run '^$' \
+		-bench 'BenchmarkTable3FirstTrigger' \
+		-benchmem -benchtime 1x -count 3 . | tee -a "$RAW"
+done
+echo "### gomaxprocs end" | tee -a "$RAW"
+
 go test -run '^$' \
-	-bench 'BenchmarkTable3FirstTrigger|BenchmarkInvoke$|BenchmarkInvokeObs$|BenchmarkEngineCold$|BenchmarkEngineWarm$' \
-	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+	-bench 'BenchmarkEngineCold$|BenchmarkEngineWarm$' \
+	-benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW"
 
 go test -run '^$' \
 	-bench 'BenchmarkMarketIngestHTTP$|BenchmarkWALReplay$' \
@@ -47,16 +74,41 @@ go test -run '^$' \
 	-bench 'BenchmarkRestartReplayFull$|BenchmarkRestartReplayCheckpoint$' \
 	-benchtime 5x ./internal/market | tee -a "$RAW"
 
-awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+# Previous campaign allocs/op, for the reduction ratio.
+PREV_ALLOCS="$(sed -n 's/.*"table3_workers1_allocs_op": \([0-9]*\).*/\1/p' BENCH_PR6.json 2>/dev/null || true)"
+
+awk -v cores="$(nproc 2>/dev/null || echo 1)" -v prev_allocs="${PREV_ALLOCS:-0}" '
 function metric(name,    i) {
 	for (i = 1; i <= NF; i++)
 		if ($i ~ name "$") return $(i-1)
 	return ""
 }
-/BenchmarkTable3FirstTrigger\/workers=1/  { w1 = metric("ns\\/op"); w1a = metric("allocs\\/op") }
-/BenchmarkTable3FirstTrigger\/workers=8/  { w8 = metric("ns\\/op"); w8a = metric("allocs\\/op") }
-/^BenchmarkInvokeObs/ { obs = metric("ns\\/op"); obsa = metric("allocs\\/op"); next }
-/^BenchmarkInvoke/ { inv = metric("ns\\/op"); invb = metric("B\\/op"); inva = metric("allocs\\/op") }
+# push a sample into series s; med() returns its median.
+function push(s, v) { if (v != "") { cnt[s]++; val[s, cnt[s]] = v + 0 } }
+function med(s,    n, i, j, t) {
+	n = cnt[s]
+	if (n == 0) return ""
+	for (i = 2; i <= n; i++) {
+		t = val[s, i]
+		for (j = i - 1; j >= 1 && val[s, j] > t; j--)
+			val[s, j + 1] = val[s, j]
+		val[s, j + 1] = t
+	}
+	if (n % 2) return val[s, (n + 1) / 2]
+	return (val[s, n / 2] + val[s, n / 2 + 1]) / 2
+}
+function out(v) { return v == "" ? "null" : v }
+
+/^### gomaxprocs/ { g = $3 }
+/BenchmarkTable3FirstTrigger\/workers=1/ {
+	push("t3w1_g" g, metric("ns\\/op")); push("t3w1a_g" g, metric("allocs\\/op"))
+}
+/BenchmarkTable3FirstTrigger\/workers=8/ {
+	push("t3w8_g" g, metric("ns\\/op")); push("t3w8a_g" g, metric("allocs\\/op"))
+}
+/^BenchmarkInvokeObs[-\t ]/ { push("obs", metric("ns\\/op")); push("obsa", metric("allocs\\/op")); next }
+/^BenchmarkInvokeRef[-\t ]/ { push("ref", metric("ns\\/op")); push("refa", metric("allocs\\/op")); next }
+/^BenchmarkInvoke[-\t ]/ { push("inv", metric("ns\\/op")); push("invb", metric("B\\/op")); push("inva", metric("allocs\\/op")) }
 /^BenchmarkEngineCold/ {
 	cold = metric("ns\\/op")
 	s_unpack = metric("unpack_ns_op"); s_profile = metric("profile_ns_op")
@@ -70,36 +122,59 @@ function metric(name,    i) {
 /^BenchmarkRestartReplayFull/ { rfull = metric("ms_restart") }
 /^BenchmarkRestartReplayCheckpoint/ { rckpt = metric("ms_restart") }
 END {
+	inv = med("inv"); invb = med("invb"); inva = med("inva")
+	obs = med("obs"); obsa = med("obsa")
+	ref = med("ref"); refa = med("refa")
+	# Serial campaign baseline: workers=1 pinned to one core.
+	w1 = med("t3w1_g1"); w1a = med("t3w1a_g1")
 	printf "{\n"
-	printf "  \"bench\": \"PR6 crash-consistent checkpointing for marketd\",\n"
+	printf "  \"bench\": \"PR7 quickened VM: load-time rewriting, inline caches, allocation-free hot loop\",\n"
 	printf "  \"cores\": %d,\n", cores
-	printf "  \"table3_workers1_ns_op\": %s,\n", (w1 == "" ? "null" : w1)
-	printf "  \"table3_workers8_ns_op\": %s,\n", (w8 == "" ? "null" : w8)
-	printf "  \"table3_speedup_8v1\": %s,\n", (w1 == "" || w8 == "" || w8 == 0 ? "null" : sprintf("%.2f", w1 / w8))
-	printf "  \"table3_workers1_allocs_op\": %s,\n", (w1a == "" ? "null" : w1a)
-	printf "  \"table3_workers8_allocs_op\": %s,\n", (w8a == "" ? "null" : w8a)
-	printf "  \"invoke_ns_op\": %s,\n", (inv == "" ? "null" : inv)
-	printf "  \"invoke_bytes_op\": %s,\n", (invb == "" ? "null" : invb)
-	printf "  \"invoke_allocs_op\": %s,\n", (inva == "" ? "null" : inva)
-	printf "  \"invoke_obs_ns_op\": %s,\n", (obs == "" ? "null" : obs)
-	printf "  \"invoke_obs_allocs_op\": %s,\n", (obsa == "" ? "null" : obsa)
-	printf "  \"obs_overhead_pct\": %s,\n", (inv == "" || obs == "" || inv == 0 ? "null" : sprintf("%.1f", (obs - inv) * 100.0 / inv))
-	printf "  \"protect_cold_ns_op\": %s,\n", (cold == "" ? "null" : cold)
-	printf "  \"protect_warm_ns_op\": %s,\n", (warm == "" ? "null" : warm)
+	printf "  \"bench_count\": %d,\n", cnt["inv"]
+	printf "  \"table3_workers1_ns_op\": %s,\n", out(w1)
+	w8max = med("t3w8_g8")
+	printf "  \"table3_workers8_ns_op\": %s,\n", out(w8max)
+	printf "  \"table3_speedup_8v1\": %s,\n", (w1 == "" || w8max == "" || w8max == 0 ? "null" : sprintf("%.2f", w1 / w8max))
+	for (i = 1; i <= 8; i *= 2) {
+		w8g = med("t3w8_g" i)
+		printf "  \"table3_speedup_g%d\": %s,\n", i, (w1 == "" || w8g == "" || w8g == 0 ? "null" : sprintf("%.2f", w1 / w8g))
+	}
+	printf "  \"table3_workers1_allocs_op\": %s,\n", out(w1a)
+	printf "  \"table3_workers8_allocs_op\": %s,\n", out(med("t3w8a_g8"))
+	printf "  \"table3_allocs_reduction\": %s,\n", (prev_allocs == 0 || w1a == "" || w1a == 0 ? "null" : sprintf("%.2f", prev_allocs / w1a))
+	printf "  \"invoke_ns_op\": %s,\n", out(inv)
+	printf "  \"invoke_quickened_ns_op\": %s,\n", out(inv)
+	printf "  \"invoke_ref_ns_op\": %s,\n", out(ref)
+	printf "  \"invoke_ref_allocs_op\": %s,\n", out(refa)
+	printf "  \"invoke_quickened_speedup\": %s,\n", (inv == "" || ref == "" || inv == 0 ? "null" : sprintf("%.2f", ref / inv))
+	printf "  \"invoke_bytes_op\": %s,\n", out(invb)
+	printf "  \"invoke_allocs_op\": %s,\n", out(inva)
+	printf "  \"invoke_obs_ns_op\": %s,\n", out(obs)
+	printf "  \"invoke_obs_allocs_op\": %s,\n", out(obsa)
+	if (inv == "" || obs == "" || inv == 0) {
+		raw_pct = ""
+	} else {
+		raw_pct = (obs - inv) * 100.0 / inv
+	}
+	printf "  \"obs_overhead_raw_pct\": %s,\n", (raw_pct == "" ? "null" : sprintf("%.1f", raw_pct))
+	printf "  \"obs_overhead_pct\": %s,\n", (raw_pct == "" ? "null" : sprintf("%.1f", raw_pct < 0 ? 0 : raw_pct))
+	printf "  \"obs_overhead_within_noise\": %s,\n", (raw_pct == "" ? "null" : (raw_pct < 3.0 && raw_pct > -3.0 ? "true" : "false"))
+	printf "  \"protect_cold_ns_op\": %s,\n", out(cold)
+	printf "  \"protect_warm_ns_op\": %s,\n", out(warm)
 	printf "  \"protect_warm_speedup\": %s,\n", (cold == "" || warm == "" || warm == 0 ? "null" : sprintf("%.2f", cold / warm))
-	printf "  \"protect_warm_cache_hit_pct\": %s,\n", (hitpct == "" ? "null" : hitpct)
-	printf "  \"stage_unpack_ns\": %s,\n", (s_unpack == "" ? "null" : s_unpack)
-	printf "  \"stage_profile_ns\": %s,\n", (s_profile == "" ? "null" : s_profile)
-	printf "  \"stage_analyze_ns\": %s,\n", (s_analyze == "" ? "null" : s_analyze)
-	printf "  \"stage_construct_ns\": %s,\n", (s_construct == "" ? "null" : s_construct)
-	printf "  \"stage_stego_ns\": %s,\n", (s_stego == "" ? "null" : s_stego)
-	printf "  \"stage_validate_ns\": %s,\n", (s_validate == "" ? "null" : s_validate)
-	printf "  \"stage_repack_ns\": %s,\n", (s_repack == "" ? "null" : s_repack)
-	printf "  \"market_ingest_events_per_sec\": %s,\n", (ing == "" ? "null" : ing)
-	printf "  \"market_ingest_p99_ms\": %s,\n", (ingp99 == "" ? "null" : ingp99)
-	printf "  \"market_wal_replay_events_per_sec\": %s,\n", (walrep == "" ? "null" : walrep)
-	printf "  \"restart_replay_full_ms\": %s,\n", (rfull == "" ? "null" : rfull)
-	printf "  \"restart_replay_checkpoint_ms\": %s,\n", (rckpt == "" ? "null" : rckpt)
+	printf "  \"protect_warm_cache_hit_pct\": %s,\n", out(hitpct)
+	printf "  \"stage_unpack_ns\": %s,\n", out(s_unpack)
+	printf "  \"stage_profile_ns\": %s,\n", out(s_profile)
+	printf "  \"stage_analyze_ns\": %s,\n", out(s_analyze)
+	printf "  \"stage_construct_ns\": %s,\n", out(s_construct)
+	printf "  \"stage_stego_ns\": %s,\n", out(s_stego)
+	printf "  \"stage_validate_ns\": %s,\n", out(s_validate)
+	printf "  \"stage_repack_ns\": %s,\n", out(s_repack)
+	printf "  \"market_ingest_events_per_sec\": %s,\n", out(ing)
+	printf "  \"market_ingest_p99_ms\": %s,\n", out(ingp99)
+	printf "  \"market_wal_replay_events_per_sec\": %s,\n", out(walrep)
+	printf "  \"restart_replay_full_ms\": %s,\n", out(rfull)
+	printf "  \"restart_replay_checkpoint_ms\": %s,\n", out(rckpt)
 	printf "  \"restart_speedup\": %s\n", (rfull == "" || rckpt == "" || rckpt == 0 ? "null" : sprintf("%.2f", rfull / rckpt))
 	printf "}\n"
 }' "$RAW" > "$OUT"

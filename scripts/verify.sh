@@ -16,6 +16,21 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> go test -race ./internal/vm/..."
+# The quickened interpreter shares mutable state (frame arena, statics
+# slots, the global image cache) across sessions; run the VM package
+# first and under the race detector so a data race in the hot loop
+# fails fast, before the long whole-tree pass.
+go test -race ./internal/vm/...
+
+echo "==> differential smoke: quickened vs reference interpreter"
+# The differential harness replays the corpus sample, the payload
+# suite, malformed files, and random code on both interpreter paths
+# and asserts byte-identical results, traces, fault ledgers, and obs
+# counters. -count=1 defeats the test cache so the smoke always
+# re-executes.
+go test -run 'TestDifferential' -count=1 ./internal/vm
+
 echo "==> go test -race ./..."
 go test -race ./...
 
