@@ -9,7 +9,8 @@
 // keys across -apps apps), POST them through market.Client in
 // -batch-sized batches from -workers goroutines, retrying 429
 // backpressure and 503 degraded answers, and print a JSON summary
-// with events_per_sec, p99_ms, and degraded_retries.
+// with events_per_sec, p99_ms (per-POST), e2e_p50_ms/e2e_p99_ms
+// (generation → durable ack, retries included), and degraded_retries.
 //
 //	loadgen -url ... -campaign AndroFish [-sessions 8] [-profile mild]
 //
@@ -17,11 +18,16 @@
 // detonation campaign (sim.RunChaos), and deliver its event stream
 // through the device-side report.Pipeline with an HTTP sink pointed
 // at marketd — the end-to-end paper loop: device detonations, flaky
-// channel, retries and breaker, market WAL.
+// channel, retries and breaker, market WAL. Every report is traced
+// from detonation to the daemon's post-WAL-flush ack; the JSON
+// summary carries the trace-derived e2e_p50_ms/e2e_p99_ms (virtual
+// ms) and the market's time_to_verdict_ms from the verdict timeline.
 //
 //	loadgen -url ... -verdict app-7
+//	loadgen -url ... -timeline app-7
 //
-// verdict: fetch and print one app's verdict.
+// verdict/timeline: fetch and print one app's verdict or verdict
+// timeline.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"bombdroid/internal/chaos"
 	"bombdroid/internal/exp"
 	"bombdroid/internal/market"
+	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 	"bombdroid/internal/sim"
 )
@@ -55,6 +62,35 @@ type summary struct {
 	ElapsedSec      float64 `json:"elapsed_sec"`
 	EventsPerSec    float64 `json:"events_per_sec"`
 	P99Ms           float64 `json:"p99_ms"`
+	// E2E percentiles cover a report's whole life on the wire:
+	// generation → durable ack, retries and backpressure waits
+	// included — what a device actually experiences, where p99_ms is
+	// only the per-POST attempt latency.
+	E2EP50Ms float64 `json:"e2e_p50_ms"`
+	E2EP99Ms float64 `json:"e2e_p99_ms"`
+}
+
+// campaignSummary is the campaign mode's JSON report: pipeline
+// delivery stats plus the trace-derived latency breakdown and the
+// market's time-to-verdict, the end-to-end numbers behind the paper's
+// detection-convergence claim.
+type campaignSummary struct {
+	App            string `json:"app"`
+	Sessions       int    `json:"sessions"`
+	Triggered      int    `json:"triggered"`
+	Unique         int    `json:"unique"`
+	Delivered      int64  `json:"delivered"`
+	DeadLettered   int64  `json:"dead_lettered"`
+	BreakerTripped bool   `json:"breaker_tripped"`
+	TracesClosed   int64  `json:"traces_closed"`
+	TracesAborted  int64  `json:"traces_aborted"`
+	// Virtual-ms detonation→market-ack percentiles from the pipeline's
+	// trace histogram.
+	E2EP50Ms float64 `json:"e2e_p50_ms"`
+	E2EP99Ms float64 `json:"e2e_p99_ms"`
+	// TimeToVerdictMs is the market's event-time distance from first
+	// report to threshold crossing (-1: verdict never flipped).
+	TimeToVerdictMs int64 `json:"time_to_verdict_ms"`
 }
 
 // degradedRetryDelay matches the Retry-After the daemon sends with a
@@ -76,6 +112,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	profile := fs.String("profile", "mild", "campaign: fault profile none|mild|harsh")
 	seed := fs.Int64("seed", 42, "campaign: campaign seed")
 	verdict := fs.String("verdict", "", "verdict: fetch this app's verdict and exit")
+	timeline := fs.String("timeline", "", "timeline: fetch this app's verdict timeline and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +128,14 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 			return err
 		}
 		b, _ := json.Marshal(v)
+		fmt.Fprintf(out, "%s\n", b)
+		return nil
+	case *timeline != "":
+		tl, err := cl.Timeline(*timeline)
+		if err != nil {
+			return err
+		}
+		b, _ := json.Marshal(tl)
 		fmt.Fprintf(out, "%s\n", b)
 		return nil
 	case *campaign != "":
@@ -109,7 +154,8 @@ func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, bat
 	}
 	type res struct {
 		accepted, dups, rejects, degraded int
-		lat                               []time.Duration
+		lat                               []time.Duration // per-POST attempt latency
+		e2e                               []time.Duration // per-batch generation → durable ack
 		err                               error
 	}
 	batches := make(chan int)
@@ -125,6 +171,7 @@ func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, bat
 			r := &results[w]
 			evs := make([]report.Event, batch)
 			for off := range batches {
+				gen := time.Now()
 				for j := range evs {
 					i := off + j
 					evs[j] = report.Event{
@@ -172,6 +219,7 @@ func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, bat
 					}
 					r.accepted += pr.Accepted
 					r.dups += pr.Duplicates
+					r.e2e = append(r.e2e, time.Since(gen))
 					break
 				}
 			}
@@ -192,7 +240,7 @@ feed:
 	elapsed := time.Since(start)
 
 	var s summary
-	var lat []time.Duration
+	var lat, e2e []time.Duration
 	for _, r := range results {
 		if r.err != nil && !errors.Is(r.err, context.Canceled) {
 			return r.err
@@ -202,6 +250,7 @@ feed:
 		s.Rejected429 += r.rejects
 		s.DegradedRetries += r.degraded
 		lat = append(lat, r.lat...)
+		e2e = append(e2e, r.e2e...)
 	}
 	s.Events = s.Accepted + s.Duplicates
 	s.ElapsedSec = elapsed.Seconds()
@@ -209,6 +258,11 @@ feed:
 	if len(lat) > 0 {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		s.P99Ms = float64(lat[len(lat)*99/100].Microseconds()) / 1000.0
+	}
+	if len(e2e) > 0 {
+		sort.Slice(e2e, func(i, j int) bool { return e2e[i] < e2e[j] })
+		s.E2EP50Ms = float64(e2e[len(e2e)/2].Microseconds()) / 1000.0
+		s.E2EP99Ms = float64(e2e[len(e2e)*99/100].Microseconds()) / 1000.0
 	}
 	b, _ := json.MarshalIndent(s, "", "  ")
 	fmt.Fprintf(out, "%s\n", b)
@@ -235,6 +289,14 @@ func runCampaign(ctx context.Context, out io.Writer, url, app string, sessions i
 	if err != nil {
 		return err
 	}
+	// The tracer rides the device-side pipeline: every detonation event
+	// minted at Submit, per-attempt annotations through retries and
+	// breaker holds, closed at the market's post-WAL-flush ack (the
+	// HTTP sink carries the trace id out and the server's timing header
+	// back). SampleN 1 = every report traced; a load test wants the
+	// full distribution, head sampling is for always-on fleets.
+	treg := obs.NewRegistry()
+	tracer := obs.NewTracer(treg, obs.TracerConfig{Seed: seed, SampleN: 1})
 	res, err := sim.RunChaos(ctx, p.Pirated, p.Surface, sim.ChaosOptions{
 		Sessions: sessions,
 		CapMs:    20 * 60_000,
@@ -245,19 +307,39 @@ func runCampaign(ctx context.Context, out io.Writer, url, app string, sessions i
 			report.WithMaxAttempts(200),
 			report.WithMaxBackoffMs(5 * 60_000),
 			report.WithBreakerThreshold(3),
+			report.WithTracer(tracer),
 		},
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "campaign %s: sessions=%d triggered=%d unique=%d delivered=%d dead_lettered=%d breaker_tripped=%v\n",
-		app, sessions, res.Successes, res.UniqueDetects, res.Pipeline.Delivered, res.Pipeline.DeadLettered, res.BreakerTripped)
 	cl := &market.Client{BaseURL: url}
+	tl, err := cl.Timeline(p.Pirated.Name)
+	if err != nil {
+		return err
+	}
+	e2e := tracer.E2E().Snapshot()
+	cs := campaignSummary{
+		App:             p.Pirated.Name,
+		Sessions:        sessions,
+		Triggered:       res.Successes,
+		Unique:          res.UniqueDetects,
+		Delivered:       res.Pipeline.Delivered,
+		DeadLettered:    res.Pipeline.DeadLettered,
+		BreakerTripped:  res.BreakerTripped,
+		TracesClosed:    treg.Counter("traces_closed_total").Value(),
+		TracesAborted:   treg.Counter("traces_aborted_total").Value(),
+		E2EP50Ms:        e2e.Quantile(0.5),
+		E2EP99Ms:        e2e.Quantile(0.99),
+		TimeToVerdictMs: tl.TimeToVerdictMs,
+	}
+	b, _ := json.MarshalIndent(cs, "", "  ")
+	fmt.Fprintf(out, "%s\n", b)
 	v, err := cl.Verdict(p.Pirated.Name)
 	if err != nil {
 		return err
 	}
-	b, _ := json.Marshal(v)
+	b, _ = json.Marshal(v)
 	fmt.Fprintf(out, "%s\n", b)
 	return nil
 }

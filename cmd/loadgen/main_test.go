@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bombdroid/internal/market"
+	"bombdroid/internal/report"
 )
 
 // newMarket spins an in-process marketd-equivalent for the hose to
@@ -127,18 +128,56 @@ func TestCampaignMode(t *testing.T) {
 		t.Fatalf("campaign mode: %v", err)
 	}
 	got := out.String()
-	if !strings.Contains(got, "campaign AndroFish:") {
-		t.Fatalf("missing campaign summary:\n%s", got)
-	}
-	// The second line is the market's verdict for the pirated package;
-	// a detonating campaign over threshold 1 must flag it.
+	// First block: the campaign summary JSON with the trace-derived
+	// end-to-end percentiles and the market's time-to-verdict.
 	lines := strings.Split(strings.TrimSpace(got), "\n")
+	var cs campaignSummary
+	if err := json.Unmarshal([]byte(strings.Join(lines[:len(lines)-1], "\n")), &cs); err != nil {
+		t.Fatalf("campaign summary does not parse: %v\n%s", err, got)
+	}
+	if cs.App != "AndroFish" || cs.Sessions != 4 {
+		t.Errorf("summary = %+v, want AndroFish over 4 sessions", cs)
+	}
+	if cs.Delivered == 0 || cs.TracesClosed != cs.Delivered {
+		t.Errorf("traces_closed = %d, want one closed trace per delivered report (%d)",
+			cs.TracesClosed, cs.Delivered)
+	}
+	if cs.E2EP99Ms <= 0 || cs.E2EP50Ms > cs.E2EP99Ms {
+		t.Errorf("e2e percentiles (%g, %g) not ordered positive", cs.E2EP50Ms, cs.E2EP99Ms)
+	}
+	if cs.TimeToVerdictMs < 0 {
+		t.Errorf("time_to_verdict_ms = %d, want crossed at threshold 1", cs.TimeToVerdictMs)
+	}
+	// The last line is the market's verdict for the pirated package;
+	// a detonating campaign over threshold 1 must flag it.
 	var v market.Verdict
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &v); err != nil {
 		t.Fatalf("verdict line does not parse: %v\n%s", err, got)
 	}
 	if !v.Repackaged || v.Detections == 0 {
 		t.Errorf("verdict = %+v, want repackaged with detections after campaign", v)
+	}
+}
+
+// TestTimelineMode: -timeline prints the app's verdict timeline JSON.
+func TestTimelineMode(t *testing.T) {
+	srv := newMarket(t, market.Config{Threshold: 1})
+	cl := &market.Client{BaseURL: srv.URL}
+	if _, err := cl.Post([]report.Event{
+		{App: "app.tlm", Bomb: "b1", User: "u1", TimeMs: 500, Info: "k"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-url", srv.URL, "-timeline", "app.tlm"}); err != nil {
+		t.Fatalf("timeline mode: %v", err)
+	}
+	var tl market.Timeline
+	if err := json.Unmarshal(out.Bytes(), &tl); err != nil {
+		t.Fatalf("timeline does not parse: %v\n%s", err, out.String())
+	}
+	if tl.App != "app.tlm" || len(tl.Entries) != 1 || tl.Entries[0].Kind != "threshold" {
+		t.Errorf("timeline = %+v, want one threshold entry", tl)
 	}
 }
 

@@ -8,8 +8,8 @@
 //
 //	marketd -addr :8844 -data ./marketd-data
 //	        [-shards 4] [-queue-cap 4096] [-dedup-window 65536]
-//	        [-segment-mb 64] [-threshold 3] [-fsync]
-//	        [-checkpoint-every 65536] [-drain-timeout 10s]
+//	        [-segment-mb 64] [-threshold 3] [-timeline-cap 256]
+//	        [-fsync] [-checkpoint-every 65536] [-drain-timeout 10s]
 //	        [-debug-addr :6060]
 //
 // On startup the daemon restores each shard from its newest valid
@@ -57,6 +57,7 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 	dedupWindow := fs.Int("dedup-window", 0, "per-shard dedup window size in keys (0 = default)")
 	segmentMB := fs.Int("segment-mb", 0, "WAL segment rotation size in MiB (0 = default)")
 	threshold := fs.Int("threshold", 0, "detections before an app is marked repackaged (0 = default)")
+	timelineCap := fs.Int("timeline-cap", 0, "per-shard verdict-timeline entries retained per app (0 = default; must exceed -threshold)")
 	fsync := fs.Bool("fsync", false, "fsync the WAL on every commit (survives machine crash, not just process kill)")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "records between checkpoint snapshots per shard (0 = default, negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max time to drain and seal shards on shutdown (0 = wait forever)")
@@ -75,6 +76,7 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 		DedupWindow:     *dedupWindow,
 		SegmentBytes:    int64(*segmentMB) << 20,
 		Threshold:       *threshold,
+		TimelineCap:     *timelineCap,
 		Fsync:           *fsync,
 		CheckpointEvery: *checkpointEvery,
 		Obs:             obs.NewRegistry(),

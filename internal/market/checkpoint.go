@@ -32,18 +32,27 @@ import (
 //
 // Encoding (little-endian):
 //
-//	| magic "BDCKPT1\n" | body len u32 | crc32c u32 | body |
+//	| magic "BDCKPT2\n" | body len u32 | crc32c u32 | body |
 //
 //	body = seq u64, seg u32, off u64, records u64,
-//	       apps   (count u32, then per entry: len u32, bytes, tally i64),
-//	       cur    (count u32, then per key:   len u32, bytes),
-//	       prev   (count u32, then per key:   len u32, bytes)
+//	       apps      (count u32, then per entry: len u32, bytes, tally i64),
+//	       cur       (count u32, then per key:   len u32, bytes),
+//	       prev      (count u32, then per key:   len u32, bytes),
+//	       timelines (count u32, then per app:   len u32, bytes,
+//	                  evicted u64, entries u32,
+//	                  then per entry: at u64, tie u64)
 //
 // Binary rather than JSON deliberately: at production dedup windows a
 // snapshot holds ~100k keys, and decode speed is the restart path the
 // whole feature exists to shorten.
+//
+// Version note: BDCKPT2 added the timelines section. A v1 file fails
+// the magic check and is skipped like any other unusable snapshot, so
+// a daemon upgraded over v1 data falls back to an older candidate or
+// a full replay — which rebuilds the timelines from the WAL — and
+// writes v2 from then on. No separate migration path.
 
-const ckptMagic = "BDCKPT1\n"
+const ckptMagic = "BDCKPT2\n"
 
 // maxCheckpointBody caps a decoded body allocation. Generous: a shard
 // would need ~30M dedup keys to reach it.
@@ -60,6 +69,7 @@ type checkpoint struct {
 	records   int64 // cumulative records covered (admits + replayed dups)
 	apps      map[string]int64
 	cur, prev map[string]struct{}
+	tls       map[string]*appTimeline
 }
 
 func ckptName(seq uint64) string { return fmt.Sprintf("ckpt-%08d", seq) }
@@ -74,6 +84,10 @@ func (c *checkpoint) encode() []byte {
 	}
 	for key := range c.prev {
 		size += 4 + len(key)
+	}
+	size += 4
+	for app, tl := range c.tls {
+		size += 4 + len(app) + 8 + 4 + 16*len(tl.entries)
 	}
 	body := make([]byte, 0, size)
 	body = binary.LittleEndian.AppendUint64(body, c.seq)
@@ -91,6 +105,17 @@ func (c *checkpoint) encode() []byte {
 		for key := range set {
 			body = binary.LittleEndian.AppendUint32(body, uint32(len(key)))
 			body = append(body, key...)
+		}
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(c.tls)))
+	for app, tl := range c.tls {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(app)))
+		body = append(body, app...)
+		body = binary.LittleEndian.AppendUint64(body, uint64(tl.evicted))
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(tl.entries)))
+		for _, e := range tl.entries {
+			body = binary.LittleEndian.AppendUint64(body, uint64(e.at))
+			body = binary.LittleEndian.AppendUint64(body, e.tie)
 		}
 	}
 
@@ -144,6 +169,24 @@ func decodeCheckpoint(raw []byte) (*checkpoint, error) {
 			m[d.str()] = struct{}{}
 		}
 		*set = m
+	}
+	nTLs := d.u32()
+	c.tls = make(map[string]*appTimeline, nTLs)
+	for i := uint32(0); i < nTLs && d.err == nil; i++ {
+		app := d.str()
+		tl := &appTimeline{evicted: int64(d.u64())}
+		nEntries := d.u32()
+		if d.err == nil && uint64(nEntries)*16 > uint64(len(d.s)-d.off) {
+			d.fail() // length claims more entries than bytes remain
+			break
+		}
+		tl.entries = make([]tlEntry, 0, nEntries)
+		for j := uint32(0); j < nEntries && d.err == nil; j++ {
+			at := int64(d.u64())
+			tie := d.u64()
+			tl.entries = append(tl.entries, tlEntry{at: at, tie: tie})
+		}
+		c.tls[app] = tl
 	}
 	if d.err != nil {
 		return nil, d.err

@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 
+	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 )
 
@@ -21,7 +24,22 @@ type Client struct {
 	HTTPClient *http.Client
 	// Gzip compresses request bodies (Content-Encoding: gzip).
 	Gzip bool
+	// Trace stamps each POST with an obs.TraceHeader (a synthetic
+	// per-batch id), which makes the daemon answer with its
+	// receive→post-WAL-flush-ack time in obs.ServerTimingHeader; the
+	// most recent reading is available from ServerUs. Device-side
+	// pipelines propagate real per-report trace ids through
+	// report.HTTPSink instead — this is the batch-level equivalent for
+	// load tools and benchmarks.
+	Trace bool
+
+	traceSeq int64 // batch counter behind synthetic trace ids
+	serverUs int64 // last obs.ServerTimingHeader reading
 }
+
+// ServerUs returns the daemon's most recent receive→flush-ack timing
+// (µs), 0 before any traced POST completed.
+func (c *Client) ServerUs() int64 { return atomic.LoadInt64(&c.serverUs) }
 
 func (c *Client) client() *http.Client {
 	if c.HTTPClient != nil {
@@ -66,11 +84,20 @@ func (c *Client) Post(evs []report.Event) (PostResult, error) {
 	if c.Gzip {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
+	if c.Trace {
+		seq := atomic.AddInt64(&c.traceSeq, 1)
+		req.Header.Set(obs.TraceHeader, obs.TraceID{0x6c6f6164, uint64(seq)}.String())
+	}
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return PostResult{}, err
 	}
 	defer resp.Body.Close()
+	if c.Trace {
+		if us, err := strconv.ParseInt(resp.Header.Get(obs.ServerTimingHeader), 10, 64); err == nil {
+			atomic.StoreInt64(&c.serverUs, us)
+		}
+	}
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
@@ -105,4 +132,22 @@ func (c *Client) Verdict(app string) (Verdict, error) {
 		return Verdict{}, err
 	}
 	return v, nil
+}
+
+// Timeline fetches GET /v1/apps/{app}/timeline.
+func (c *Client) Timeline(app string) (Timeline, error) {
+	resp, err := c.client().Get(c.BaseURL + "/v1/apps/" + app + "/timeline")
+	if err != nil {
+		return Timeline{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return Timeline{}, fmt.Errorf("market: GET timeline: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var tl Timeline
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		return Timeline{}, err
+	}
+	return tl, nil
 }

@@ -121,6 +121,12 @@ type Config struct {
 	// since the last snapshot, whichever of the two triggers first
 	// (default SegmentBytes).
 	CheckpointBytes int64
+	// TimelineCap bounds each (shard, app) verdict-timeline history
+	// (default 256). The earliest Threshold entries are never evicted
+	// (so first-report and threshold-crossing stay exact); past the
+	// cap, the oldest post-threshold entries are dropped and counted.
+	// Must exceed Threshold.
+	TimelineCap int
 	// FS is the filesystem the store runs on (default the real OS).
 	// Tests substitute marketfs.Fault to crash it mid-operation.
 	FS marketfs.FS
@@ -152,6 +158,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointBytes == 0 {
 		c.CheckpointBytes = c.SegmentBytes
+	}
+	if c.TimelineCap == 0 {
+		c.TimelineCap = 256
 	}
 	if c.FS == nil {
 		c.FS = marketfs.OS{}
@@ -186,6 +195,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("market: MaxBatch %d < 1", c.MaxBatch)
 	case c.CheckpointBytes < 1 && c.CheckpointEvery >= 0:
 		return fmt.Errorf("market: CheckpointBytes %d < 1", c.CheckpointBytes)
+	case c.TimelineCap <= c.Threshold:
+		return fmt.Errorf("market: TimelineCap %d must exceed Threshold %d (head retention)",
+			c.TimelineCap, c.Threshold)
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
@@ -38,16 +40,25 @@ const maxRequestBytes = 64 << 20
 //	                               could never be admitted (permanent —
 //	                               split it)
 //	GET  /v1/apps/{app}/verdict  — the app's Verdict as JSON
+//	GET  /v1/apps/{app}/timeline — the app's verdict Timeline as JSON
+//	                               (first report → tally climbs →
+//	                               threshold crossing, in event time)
 //	GET  /healthz                — per-shard health as JSON; 503 once
 //	                               any shard is degraded
 //	GET  /metrics, /metrics.json — the store's registry
 //
 // The ingestion wire format is the same Event JSON the device-side
 // report.HTTPSink emits, so a pipeline pointed at marketd needs no
-// adapter.
+// adapter. A POST carrying obs.TraceHeader is the server end of a
+// report trace: the daemon answers with obs.ServerTimingHeader — its
+// receive→post-WAL-flush-ack wall time in microseconds — closing the
+// market leg of the per-report latency breakdown, and records the
+// same quantity into the (volatile) market_server_ack_us histogram.
 func NewHandler(st *Store) http.Handler {
 	mux := http.NewServeMux()
 	reqs := st.Obs().Counter("market_http_requests_total")
+	traced := st.Obs().Counter("market_traced_requests_total")
+	hAckUs := st.Obs().Histogram("market_server_ack_us", obs.ExpBuckets(50, 4, 12), obs.Volatile())
 	maxEvents := maxRequestEvents
 	if c := st.cfg.QueueCap * st.cfg.Shards; c < maxEvents {
 		maxEvents = c
@@ -55,6 +66,14 @@ func NewHandler(st *Store) http.Handler {
 
 	mux.HandleFunc("POST /v1/reports", func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
+		recv := time.Now()
+		isTraced := false
+		if h := r.Header.Get(obs.TraceHeader); h != "" {
+			if _, err := obs.ParseTraceID(h); err == nil {
+				isTraced = true
+				traced.Inc()
+			}
+		}
 		body := io.Reader(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 		if r.Header.Get("Content-Encoding") == "gzip" {
 			zr, err := gzip.NewReader(body)
@@ -122,6 +141,14 @@ func NewHandler(st *Store) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		// The ack is post-WAL-flush (Ingest returned), so this duration
+		// covers shard queueing plus the group-commit flush — the
+		// market-side leg of the report's latency breakdown.
+		ackUs := time.Since(recv).Microseconds()
+		hAckUs.Observe(ackUs)
+		if isTraced {
+			w.Header().Set(obs.ServerTimingHeader, strconv.FormatInt(ackUs, 10))
+		}
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"accepted\":%d,\"duplicates\":%d}\n", accepted, dups)
 	})
@@ -131,6 +158,14 @@ func NewHandler(st *Store) http.Handler {
 		v := st.Verdict(r.PathValue("app"))
 		w.Header().Set("Content-Type", "application/json")
 		b, _ := json.Marshal(v)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("GET /v1/apps/{app}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		tl := st.Timeline(r.PathValue("app"))
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(tl)
 		w.Write(append(b, '\n'))
 	})
 

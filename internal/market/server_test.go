@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
+	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 )
 
@@ -323,5 +325,92 @@ func TestHTTPDegraded503(t *testing.T) {
 	cl := &Client{BaseURL: srv.URL}
 	if _, err := cl.Post([]report.Event{ev("app.503", "b2", "u1")}); !errors.Is(err, ErrDegraded) {
 		t.Errorf("Client.Post err = %v, want ErrDegraded", err)
+	}
+}
+
+// TestHTTPTimeline: the /timeline route serves the merged verdict
+// history through the typed client, consistent with /verdict.
+func TestHTTPTimeline(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Threshold: 2})
+	cl := &Client{BaseURL: srv.URL}
+
+	if _, err := cl.Post([]report.Event{
+		{App: "app.tlh", Bomb: "b1", User: "u1", TimeMs: 1000, Info: "k"},
+		{App: "app.tlh", Bomb: "b2", User: "u1", TimeMs: 3000, Info: "k"},
+		{App: "app.tlh", Bomb: "b3", User: "u1", TimeMs: 2000, Info: "k"},
+	}); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+
+	tl, err := cl.Timeline("app.tlh")
+	if err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	if tl.App != "app.tlh" || tl.Detections != 3 || !tl.Repackaged {
+		t.Fatalf("Timeline = %+v, want 3 detections, repackaged", tl)
+	}
+	if len(tl.Entries) != 3 || tl.Entries[0].Kind != "first" || tl.Entries[1].Kind != "threshold" {
+		t.Fatalf("entries = %+v, want first then threshold", tl.Entries)
+	}
+	if tl.TimeToVerdictMs != 1000 {
+		t.Errorf("time_to_verdict_ms = %d, want 1000 (1000 → 2000)", tl.TimeToVerdictMs)
+	}
+
+	empty, err := cl.Timeline("app.none")
+	if err != nil {
+		t.Fatalf("Timeline(empty): %v", err)
+	}
+	if len(empty.Entries) != 0 || empty.TimeToVerdictMs != -1 {
+		t.Errorf("empty timeline = %+v", empty)
+	}
+}
+
+// TestHTTPTraceHeaders: a POST carrying a well-formed obs.TraceHeader
+// gets the server's receive→ack duration back in ServerTimingHeader
+// (closing the market leg of the report trace); untraced and
+// malformed-header POSTs get no timing header.
+func TestHTTPTraceHeaders(t *testing.T) {
+	srv, st := newTestServer(t, Config{})
+
+	post := func(trace string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/reports",
+			ndjson(ev("app.tr", "b-"+trace, "u1")))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		if trace != "" {
+			req.Header.Set(obs.TraceHeader, trace)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	id := obs.TraceID{0xdead, 0xbeef}
+	resp := post(id.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced POST status = %d", resp.StatusCode)
+	}
+	tv := resp.Header.Get(obs.ServerTimingHeader)
+	if tv == "" {
+		t.Fatal("traced POST missing server-timing header")
+	}
+	if us, err := strconv.ParseInt(tv, 10, 64); err != nil || us < 0 {
+		t.Fatalf("server-timing %q not a non-negative integer: %v", tv, err)
+	}
+
+	if resp := post(""); resp.Header.Get(obs.ServerTimingHeader) != "" {
+		t.Error("untraced POST got a server-timing header")
+	}
+	if resp := post("not-a-trace-id"); resp.Header.Get(obs.ServerTimingHeader) != "" {
+		t.Error("malformed trace header got a server-timing header")
+	}
+
+	snap := st.Obs().Snapshot()
+	if got := snap.Counters["market_traced_requests_total"]; got != 1 {
+		t.Errorf("market_traced_requests_total = %d, want 1", got)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
@@ -64,7 +65,8 @@ type shard struct {
 	cur, prev map[string]struct{}
 
 	mu   sync.Mutex
-	apps map[string]int64 // app → admitted (unique, in-window) detections
+	apps map[string]int64        // app → admitted (unique, in-window) detections
+	tls  map[string]*appTimeline // app → bounded verdict timeline (see timeline.go)
 
 	cEvents    *obs.Counter
 	cDups      *obs.Counter
@@ -75,6 +77,7 @@ type shard struct {
 	cCkpts     *obs.Counter
 	cCkptFails *obs.Counter
 	cCompacted *obs.Counter
+	hFlushUs   *obs.Histogram
 }
 
 // shardCkptState is the worker-owned checkpoint bookkeeping.
@@ -102,6 +105,7 @@ func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
 		exited: make(chan struct{}),
 		cur:    make(map[string]struct{}),
 		apps:   make(map[string]int64),
+		tls:    make(map[string]*appTimeline),
 
 		cEvents:    cfg.Obs.Counter(obs.L("market_ingest_events_total", "shard", label)),
 		cDups:      cfg.Obs.Counter(obs.L("market_ingest_duplicates_total", "shard", label)),
@@ -112,6 +116,11 @@ func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
 		cCkpts:     cfg.Obs.Counter(obs.L("market_checkpoints_total", "shard", label)),
 		cCkptFails: cfg.Obs.Counter(obs.L("market_checkpoint_failures_total", "shard", label)),
 		cCompacted: cfg.Obs.Counter(obs.L("market_compacted_segments_total", "shard", label)),
+		// Unlabeled and shared across shards: one histogram of WAL
+		// group-commit flush durations for the whole store (wall clock,
+		// hence Volatile) — the "group-commit flush" leg of the
+		// per-report latency breakdown.
+		hFlushUs: cfg.Obs.Histogram("market_commit_flush_us", obs.ExpBuckets(50, 4, 12), obs.Volatile()),
 	}
 	s.dir = cfg.Dir + "/" + fmt.Sprintf("shard-%03d", id)
 
@@ -162,9 +171,12 @@ func (s *shard) open() (ReplayStats, error) {
 		if err != nil {
 			continue // torn or garbage snapshot: try the next-older one
 		}
-		s.cur, s.prev, s.apps = c.cur, c.prev, c.apps
+		s.cur, s.prev, s.apps, s.tls = c.cur, c.prev, c.apps, c.tls
 		if s.prev == nil {
 			s.prev = map[string]struct{}{}
+		}
+		if s.tls == nil {
+			s.tls = map[string]*appTimeline{}
 		}
 		s.ckpt.records = c.records
 		w, stats, err := openWAL(s.cfg.FS, s.dir, s.cfg.SegmentBytes, s.cfg.Fsync, c.pos, s.replayFn)
@@ -173,6 +185,7 @@ func (s *shard) open() (ReplayStats, error) {
 			// (stale checkpoint over truncated segments). errBadStart is
 			// guaranteed pre-replay, so resetting here is complete.
 			s.cur, s.prev, s.apps = make(map[string]struct{}), nil, make(map[string]int64)
+			s.tls = make(map[string]*appTimeline)
 			s.ckpt.records = 0
 			continue
 		}
@@ -240,6 +253,7 @@ func (s *shard) admit(ev report.Event) {
 	s.cur[ev.Key()] = struct{}{}
 	s.mu.Lock()
 	s.apps[ev.App]++
+	s.tlInsertLocked(ev)
 	s.mu.Unlock()
 }
 
@@ -349,10 +363,12 @@ func (s *shard) commit(batch []ingestReq, total int) {
 	}
 	err := encErr
 	if err == nil && len(payloads) > 0 {
+		flushStart := time.Now()
 		if werr := s.w.Append(payloads); werr != nil {
 			s.degrade()
 			err = fmt.Errorf("%w: shard %d wal append: %v", ErrDegraded, s.id, werr)
 		}
+		s.hFlushUs.Observe(time.Since(flushStart).Microseconds())
 	}
 	if err != nil {
 		for bi := range results {
@@ -451,6 +467,13 @@ func (s *shard) writeCheckpoint(pos walPos) error {
 	for app, n := range s.apps {
 		apps[app] = n
 	}
+	tls := make(map[string]*appTimeline, len(s.tls))
+	for app, tl := range s.tls {
+		tls[app] = &appTimeline{
+			entries: append([]tlEntry(nil), tl.entries...),
+			evicted: tl.evicted,
+		}
+	}
 	s.mu.Unlock()
 	c := &checkpoint{
 		seq:     s.ckpt.seq + 1,
@@ -459,6 +482,7 @@ func (s *shard) writeCheckpoint(pos walPos) error {
 		apps:    apps,
 		cur:     s.cur,
 		prev:    s.prev,
+		tls:     tls,
 	}
 	enc := c.encode()
 

@@ -1,0 +1,215 @@
+package market
+
+import (
+	"sort"
+
+	"bombdroid/internal/report"
+)
+
+// Verdict timelines: per-app event-time histories of how the tally
+// climbed from first report to threshold crossing — the measured form
+// of the paper's §3.5 convergence claim ("how long until enough
+// distinct detonations flag the app?").
+//
+// Storage is per shard, for the same reason the tallies are: a
+// shard's live commit order equals its WAL replay order, and the
+// retained set below is in fact independent of even that — so a
+// restarted daemon (checkpoint + tail, or full replay) serves a
+// byte-identical timeline to an uncrashed reference, which verify.sh
+// asserts.
+//
+// Each (shard, app) keeps a bounded, event-time-sorted entry list
+// with *head retention*: the earliest tlHead entries are never
+// evicted, and when the list exceeds TimelineCap the eviction victim
+// is the entry at index tlHead — always the oldest non-head entry.
+// The retained set is therefore exactly {the tlHead earliest} ∪ {the
+// TimelineCap−tlHead latest} of everything admitted, a pure function
+// of the admitted multiset, independent of arrival order.
+//
+// tlHead is the store's verdict threshold, which buys an exactness
+// guarantee: the app's globally k-th earliest report (k ≤ threshold)
+// has per-shard rank ≤ k ≤ tlHead, so the first report and the
+// threshold-crossing report are always retained with exact cumulative
+// counts — eviction can only thin the history *after* the verdict
+// flipped, where only the shape of the tail matters.
+
+// tlEntry is one admitted report in a shard's timeline: its event
+// time and a key-hash tiebreak that makes (at, tie) a total order, so
+// merges and counts are reproducible across restarts and shard
+// interleavings.
+type tlEntry struct {
+	at  int64
+	tie uint64
+}
+
+func tlLess(a, b tlEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.tie < b.tie
+}
+
+// appTimeline is one shard's bounded history for one app.
+type appTimeline struct {
+	entries []tlEntry // sorted by (at, tie)
+	evicted int64     // entries dropped at index head (the mid-gap)
+}
+
+// tlInsert admits one report into the shard's timeline for ev.App.
+// Caller holds s.mu (the same lock the tallies use).
+func (s *shard) tlInsertLocked(ev report.Event) {
+	if s.cfg.TimelineCap <= 0 {
+		return
+	}
+	tl := s.tls[ev.App]
+	if tl == nil {
+		tl = &appTimeline{}
+		s.tls[ev.App] = tl
+	}
+	e := tlEntry{at: ev.TimeMs, tie: tlTie(ev.Key())}
+	i := sort.Search(len(tl.entries), func(i int) bool { return !tlLess(tl.entries[i], e) })
+	tl.entries = append(tl.entries, tlEntry{})
+	copy(tl.entries[i+1:], tl.entries[i:])
+	tl.entries[i] = e
+	if len(tl.entries) > s.cfg.TimelineCap {
+		// Evict the oldest non-head entry; the head (earliest tlHead
+		// entries, tlHead = verdict threshold) is never touched.
+		h := s.tlHead()
+		tl.entries = append(tl.entries[:h], tl.entries[h+1:]...)
+		tl.evicted++
+	}
+}
+
+// tlHead is the per-shard never-evicted prefix length. Clamped below
+// the cap so eviction always has a victim.
+func (s *shard) tlHead() int {
+	h := s.cfg.Threshold
+	if h >= s.cfg.TimelineCap {
+		h = s.cfg.TimelineCap - 1
+	}
+	return h
+}
+
+// tlTie hashes an event key into the timeline tiebreak.
+func tlTie(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// tlSnapshot copies one app's timeline out from under s.mu.
+func (s *shard) tlSnapshot(app string) (entries []tlEntry, evicted int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tl := s.tls[app]
+	if tl == nil {
+		return nil, 0
+	}
+	return append([]tlEntry(nil), tl.entries...), tl.evicted
+}
+
+// TimelineEntry is one point on an app's verdict timeline, in event
+// time. Count is the cumulative admitted-detection tally *after* this
+// report — exact through the threshold crossing (see head retention
+// above); past it, a jump bigger than 1 marks evicted mid-history.
+type TimelineEntry struct {
+	AtMs  int64  `json:"at_ms"`
+	Count int64  `json:"count"`
+	Kind  string `json:"kind"` // "first" | "report" | "threshold"
+}
+
+// Timeline is an app's verdict history as served by
+// GET /v1/apps/{app}/timeline.
+type Timeline struct {
+	App        string `json:"app"`
+	Threshold  int    `json:"threshold"`
+	Detections int64  `json:"detections"` // == Verdict.Detections
+	Repackaged bool   `json:"repackaged"`
+	Evicted    int64  `json:"evicted"` // mid-history entries not in Entries
+	// TimeToVerdictMs is the event-time distance from the first report
+	// to the threshold crossing, -1 while the verdict has not flipped.
+	TimeToVerdictMs int64           `json:"time_to_verdict_ms"`
+	Entries         []TimelineEntry `json:"entries"`
+}
+
+// Timeline merges the app's per-shard histories into one event-time
+// timeline with exact cumulative counts at every retained entry. The
+// merge walks all retained entries in (at, tie) order; consuming a
+// shard's first post-gap entry folds that shard's evicted count in,
+// so Count stays monotone and ends at exactly Verdict.Detections.
+func (st *Store) Timeline(app string) Timeline {
+	type shardTL struct {
+		entries []tlEntry
+		evicted int64
+		idx     int   // next entry to consume
+		rank    int64 // entries (incl. evicted) consumed so far
+	}
+	tls := make([]*shardTL, 0, len(st.shards))
+	var evicted int64
+	head := st.shards[0].tlHead()
+	for _, s := range st.shards {
+		entries, ev := s.tlSnapshot(app)
+		evicted += ev
+		if len(entries) > 0 {
+			tls = append(tls, &shardTL{entries: entries, evicted: ev})
+		}
+	}
+
+	out := Timeline{
+		App:             app,
+		Threshold:       st.cfg.Threshold,
+		Evicted:         evicted,
+		TimeToVerdictMs: -1,
+	}
+	var count int64
+	crossed := false
+	for {
+		var best *shardTL
+		for _, s := range tls {
+			if s.idx >= len(s.entries) {
+				continue
+			}
+			if best == nil || tlLess(s.entries[s.idx], best.entries[best.idx]) {
+				best = s
+			}
+		}
+		if best == nil {
+			break
+		}
+		e := best.entries[best.idx]
+		// Rank of this entry within its shard, counting the evicted
+		// mid-gap once the walk moves past the retained head.
+		rank := int64(best.idx) + 1
+		if best.idx >= head {
+			rank += best.evicted
+		}
+		best.idx++
+		count += rank - best.rank
+		best.rank = rank
+
+		kind := "report"
+		if len(out.Entries) == 0 {
+			kind = "first"
+		}
+		if !crossed && count >= int64(st.cfg.Threshold) {
+			crossed = true
+			kind = "threshold"
+			if len(out.Entries) == 0 {
+				out.TimeToVerdictMs = 0
+			} else {
+				out.TimeToVerdictMs = e.at - out.Entries[0].AtMs
+			}
+		}
+		out.Entries = append(out.Entries, TimelineEntry{AtMs: e.at, Count: count, Kind: kind})
+	}
+	out.Detections = count
+	out.Repackaged = crossed
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -134,6 +135,13 @@ func tortureIteration(t *testing.T, seed int64) {
 		got, want := st2.Verdict(app), ref.Verdict(app)
 		if got != want {
 			t.Fatalf("verdict diverged for %s: recovered %+v, reference %+v", app, got, want)
+		}
+		// The verdict timeline must also survive the crash: retention is
+		// a pure function of the admitted multiset, so the recovered
+		// store's history equals the never-crashed reference's exactly.
+		tlGot, tlWant := st2.Timeline(app), ref.Timeline(app)
+		if !reflect.DeepEqual(tlGot, tlWant) {
+			t.Fatalf("timeline diverged for %s:\n recovered %+v\n reference %+v", app, tlGot, tlWant)
 		}
 	}
 }

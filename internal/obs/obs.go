@@ -112,6 +112,53 @@ type HistogramSnapshot struct {
 	Sum     int64    `json:"sum"`
 }
 
+// Snapshot returns the histogram's current buckets, count, and sum —
+// the input HistogramSnapshot.Quantile estimates percentiles from.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
+// HistogramAccum is a single-goroutine accumulator over a histogram's
+// buckets: Observe is plain adds (no atomics), Flush publishes the
+// batch into the shared histogram and clears. Hot loops that already
+// buffer their counters (the VM's per-opcode array) use it to keep
+// per-event observations off the atomic path; flushed adds commute,
+// so parallel accumulators into one histogram stay deterministic.
+type HistogramAccum struct {
+	h      *Histogram
+	counts []int64
+	sum    int64
+	count  int64
+}
+
+// Accum returns a new accumulator feeding h on Flush.
+func (h *Histogram) Accum() *HistogramAccum {
+	return &HistogramAccum{h: h, counts: make([]int64, len(h.counts))}
+}
+
+// Observe records one value locally.
+func (a *HistogramAccum) Observe(v int64) {
+	i := sort.Search(len(a.h.bounds), func(i int) bool { return v <= a.h.bounds[i] })
+	a.counts[i]++
+	a.sum += v
+	a.count++
+}
+
+// Flush publishes the accumulated observations into the underlying
+// histogram and resets the accumulator.
+func (a *HistogramAccum) Flush() {
+	if a.count == 0 {
+		return
+	}
+	for i, n := range a.counts {
+		if n != 0 {
+			a.h.counts[i].Add(n)
+			a.counts[i] = 0
+		}
+	}
+	a.h.sum.Add(a.sum)
+	a.h.count.Add(a.count)
+	a.sum, a.count = 0, 0
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	out := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
 	for i := range h.counts {
@@ -193,7 +240,11 @@ func Default() *Registry { return defaultRegistry }
 
 // L formats a metric name with label pairs in Prometheus form:
 // L("vm_op_total", "op", "add") == `vm_op_total{op="add"}`.
-// Pairs must come in (key, value) order.
+// Pairs must come in (key, value) order. Label values are escaped per
+// the text exposition format (EscapeLabelValue) — backslash, double
+// quote, and newline only; all other bytes, including non-ASCII
+// UTF-8, pass through raw (Go's %q would \u-escape them, which the
+// format does not define).
 func L(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -205,7 +256,10 @@ func L(name string, kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()

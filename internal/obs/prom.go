@@ -81,6 +81,56 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash → \\, double quote → \", line feed →
+// \n. Nothing else is touched — the format transmits all other bytes
+// (including multi-byte UTF-8) raw.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLabelValue reverses EscapeLabelValue. Unknown escape
+// sequences keep the escaped character verbatim (the scrape-side
+// convention), and a trailing lone backslash is preserved.
+func UnescapeLabelValue(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' || i == len(v)-1 {
+			b.WriteByte(v[i])
+			continue
+		}
+		i++
+		switch v[i] {
+		case 'n':
+			b.WriteByte('\n')
+		default: // \\ and \" — and anything unknown — keep the char
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
 // splitName separates `vm_op_total{op="add"}` into base "vm_op_total"
 // and label body `op="add"` (empty when unlabeled).
 func splitName(name string) (base, labels string) {

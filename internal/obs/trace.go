@@ -1,0 +1,566 @@
+package obs
+
+// Distributed report-lifecycle tracing, zero-dep like the rest of the
+// package. A TraceCtx is minted when a detonation event enters the
+// device-side report pipeline, collects stage stamps and per-attempt
+// annotations as the event survives dedup, retries, and breaker
+// transitions, rides an HTTP header to the market daemon, and is
+// closed when the market acks after its WAL flush — yielding the
+// per-report latency breakdown the paper's convergence claim (§3.5)
+// actually turns on: queue wait, backoff, network, group-commit flush.
+//
+// Determinism rules (the same contract the metrics layer keeps):
+//
+//   - Trace IDs are hashed from a seed and the event key, never drawn
+//     from an RNG or the wall clock, so the ID — and therefore the
+//     head-based sampling decision — is identical at any worker count.
+//   - Everything recorded into non-volatile metrics is measured in
+//     virtual milliseconds (detonation time, queue wait, backoff).
+//     Wall-clock stamps (network round-trip, server flush time) land
+//     only in Volatile series.
+//   - Exemplar retention keeps the slowest-N closed traces by
+//     (e2e, trace ID) — a total order — so the retained set is a pure
+//     function of the closed-trace multiset, independent of close
+//     order.
+//
+// All Tracer methods are safe for concurrent use; a TraceCtx is owned
+// by one goroutine at a time (the pipeline mutates it under its own
+// lock). A nil *Tracer and a nil *TraceCtx are no-ops everywhere, so
+// instrumented code needs no "is tracing on?" branches.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// HTTP header names the trace crosses process boundaries through:
+// the device side sends TraceHeader on ingestion POSTs; the market
+// side answers with ServerTimingHeader carrying its receive→ack wall
+// time in microseconds. Defined here (the package both sides import)
+// so the two ends cannot drift.
+const (
+	TraceHeader        = "X-Bombdroid-Trace"
+	ServerTimingHeader = "X-Bombdroid-Server-Us"
+)
+
+// TraceID is a 128-bit trace identifier, rendered as 32 hex digits.
+type TraceID [2]uint64
+
+// String renders the ID in the fixed 32-hex-digit wire form.
+func (id TraceID) String() string { return fmt.Sprintf("%016x%016x", id[0], id[1]) }
+
+// IsZero reports whether the ID is unset.
+func (id TraceID) IsZero() bool { return id[0] == 0 && id[1] == 0 }
+
+// MarshalJSON renders the ID as its hex string.
+func (id TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// ParseTraceID parses the 32-hex-digit wire form (the header value the
+// market side extracts). It rejects anything else.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("obs: trace id %q is not 32 hex digits", s)
+	}
+	for half := 0; half < 2; half++ {
+		var v uint64
+		for _, c := range s[half*16 : half*16+16] {
+			switch {
+			case c >= '0' && c <= '9':
+				v = v<<4 | uint64(c-'0')
+			case c >= 'a' && c <= 'f':
+				v = v<<4 | uint64(c-'a'+10)
+			case c >= 'A' && c <= 'F':
+				v = v<<4 | uint64(c-'A'+10)
+			default:
+				return TraceID{}, fmt.Errorf("obs: trace id %q is not hex", s)
+			}
+		}
+		id[half] = v
+	}
+	return id, nil
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64a hashes s with the given basis (seeding the basis derives
+// independent hash families from one function).
+func fnv64a(basis uint64, s string) uint64 {
+	h := basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// StageStamp is one named point in a trace's life, on the clock the
+// stage runs on (virtual ms device-side, wall ns for network hops —
+// the Name says which; see TraceCtx.StampWall).
+type StageStamp struct {
+	Name string `json:"name"`
+	AtMs int64  `json:"at_ms"`
+}
+
+// Attempt annotates one delivery attempt: when it ran, how it ended
+// ("ok", "err", "breaker-hold"), and the backoff scheduled after it.
+type Attempt struct {
+	N         int    `json:"n"`
+	AtMs      int64  `json:"at_ms"`
+	Outcome   string `json:"outcome"`
+	BackoffMs int64  `json:"backoff_ms,omitempty"`
+}
+
+// TraceCtx is one in-flight report trace. The pipeline owns it from
+// mint to close; only sampled traces retain stamps and annotations
+// (head-based sampling — the decision is made at mint from the ID, so
+// it is identical on every run and at any worker count).
+type TraceCtx struct {
+	ID         TraceID
+	DetonateMs int64 // virtual time of the detonation on-device
+	SubmitMs   int64 // virtual time the event entered the pipeline
+
+	sampled bool
+	// Set by the pipeline as the trace advances; -1 = not yet.
+	firstAttemptMs int64
+	backoffMs      int64 // total backoff charged across retries
+	attempts       int
+	stages         []StageStamp
+	attemptLog     []Attempt
+	serverNs       int64 // market-side receive→post-flush-ack, wall ns
+	networkNs      int64 // device-side POST round-trip, wall ns
+}
+
+// Sampled reports whether this trace retains stamps and annotations
+// and is an exemplar candidate.
+func (tc *TraceCtx) Sampled() bool { return tc != nil && tc.sampled }
+
+// Stamp records a named stage at a virtual-time point. Retained only
+// on sampled traces; always safe to call. The stage log is bounded
+// like the attempt log — a breaker flapping for hours must not grow
+// an unbounded stamp list on a sampled trace.
+func (tc *TraceCtx) Stamp(name string, atMs int64) {
+	if tc == nil || !tc.sampled || len(tc.stages) >= maxAttemptLog {
+		return
+	}
+	tc.stages = append(tc.stages, StageStamp{Name: name, AtMs: atMs})
+}
+
+// Attempt records one delivery attempt. The first attempt also pins
+// the queue-wait boundary (tracked on every trace, sampled or not).
+func (tc *TraceCtx) Attempt(atMs int64, outcome string, backoffMs int64) {
+	if tc == nil {
+		return
+	}
+	tc.attempts++
+	if tc.firstAttemptMs < 0 {
+		tc.firstAttemptMs = atMs
+	}
+	tc.backoffMs += backoffMs
+	if !tc.sampled || len(tc.attemptLog) >= maxAttemptLog {
+		return
+	}
+	tc.attemptLog = append(tc.attemptLog, Attempt{
+		N: tc.attempts, AtMs: atMs, Outcome: outcome, BackoffMs: backoffMs,
+	})
+}
+
+// StampServerNs records the market-side receive→ack wall time the
+// HTTP response header carried back (ack-after-WAL-flush, so this is
+// queue wait plus group-commit flush on the daemon).
+func (tc *TraceCtx) StampServerNs(ns int64) {
+	if tc != nil && ns > tc.serverNs {
+		tc.serverNs = ns
+	}
+}
+
+// StampNetworkNs records the device-side POST round-trip wall time.
+func (tc *TraceCtx) StampNetworkNs(ns int64) {
+	if tc != nil {
+		tc.networkNs += ns
+	}
+}
+
+// maxAttemptLog bounds a sampled trace's attempt annotations; a
+// pipeline configured for hundreds of attempts must not grow an
+// unbounded log per stuck event.
+const maxAttemptLog = 64
+
+// Exemplar is one closed trace retained for slow-path forensics.
+type Exemplar struct {
+	ID          TraceID      `json:"id"`
+	E2EMs       int64        `json:"e2e_ms"`
+	QueueWaitMs int64        `json:"queue_wait_ms"`
+	BackoffMs   int64        `json:"backoff_ms"`
+	Attempts    int          `json:"attempts"`
+	Outcome     string       `json:"outcome"` // "delivered" or the abort reason
+	DetonateMs  int64        `json:"detonate_ms"`
+	ServerUs    int64        `json:"server_us,omitempty"`
+	NetworkUs   int64        `json:"network_us,omitempty"`
+	Stages      []StageStamp `json:"stages,omitempty"`
+	AttemptLog  []Attempt    `json:"attempt_log,omitempty"`
+}
+
+// TracerConfig tunes a Tracer; zero fields take the noted defaults.
+type TracerConfig struct {
+	Seed        int64 // trace-ID hash seed (IDs and sampling are per-seed deterministic)
+	SampleN     int   // head-based sampling: 1-in-N traces keep stamps (default 16, 1 = all)
+	ExemplarCap int   // slowest closed traces retained (default 32)
+	WindowMs    int64 // sliding-window histogram width, virtual ms (default 1h)
+	Windows     int   // windows retained (default 48)
+}
+
+func (c TracerConfig) withDefaults() TracerConfig {
+	if c.SampleN == 0 {
+		c.SampleN = 16
+	}
+	if c.ExemplarCap == 0 {
+		c.ExemplarCap = 32
+	}
+	if c.WindowMs == 0 {
+		c.WindowMs = 3_600_000
+	}
+	if c.Windows == 0 {
+		c.Windows = 48
+	}
+	return c
+}
+
+// Tracer mints and closes report traces, recording closed-trace
+// latency breakdowns into the registry:
+//
+//	trace_e2e_ms         detonation → delivery ack (virtual)
+//	trace_queue_wait_ms  submit → first attempt (virtual)
+//	trace_backoff_ms     total retry backoff charged (virtual)
+//	trace_network_us     POST round-trips, wall (Volatile)
+//	trace_server_us      market receive → post-flush ack, wall (Volatile)
+//	traces_closed_total / traces_aborted_total / traces_sampled_total
+//
+// plus a sliding-window view of trace_e2e_ms (Windows()) and bounded
+// slowest-N exemplar retention (Exemplars()).
+type Tracer struct {
+	cfg TracerConfig
+	reg *Registry
+
+	cClosed  *Counter
+	cAborted *Counter
+	cSampled *Counter
+	hE2E     *Histogram
+	hQueue   *Histogram
+	hBackoff *Histogram
+	hNetUs   *Histogram
+	hSrvUs   *Histogram
+	wE2E     *WindowedHistogram
+
+	mu        sync.Mutex
+	exemplars []Exemplar // sorted slowest-first by (E2EMs desc, ID asc)
+}
+
+// NewTracer builds a tracer over reg (nil reg = detached metrics, the
+// tracer still works for exemplars and windows).
+func NewTracer(reg *Registry, cfg TracerConfig) *Tracer {
+	cfg = cfg.withDefaults()
+	wallBuckets := ExpBuckets(50, 4, 12) // 50µs … ~800ms in µs
+	return &Tracer{
+		cfg:      cfg,
+		reg:      reg,
+		cClosed:  reg.Counter("traces_closed_total"),
+		cAborted: reg.Counter("traces_aborted_total"),
+		cSampled: reg.Counter("traces_sampled_total"),
+		hE2E:     reg.Histogram("trace_e2e_ms", LatencyBucketsMs),
+		hQueue:   reg.Histogram("trace_queue_wait_ms", LatencyBucketsMs),
+		hBackoff: reg.Histogram("trace_backoff_ms", LatencyBucketsMs),
+		hNetUs:   reg.Histogram("trace_network_us", wallBuckets, Volatile()),
+		hSrvUs:   reg.Histogram("trace_server_us", wallBuckets, Volatile()),
+		wE2E:     NewWindowedHistogram(LatencyBucketsMs, cfg.WindowMs, cfg.Windows),
+	}
+}
+
+// Mint opens a trace for the event with the given key: ID hashed from
+// (seed, key), detonation stamp detonateMs, pipeline entry nowMs. The
+// sampling decision is head-based — taken here, from the ID alone.
+// Nil-safe: a nil tracer returns a nil ctx, and every TraceCtx method
+// accepts one.
+func (t *Tracer) Mint(key string, detonateMs, nowMs int64) *TraceCtx {
+	if t == nil {
+		return nil
+	}
+	id := TraceID{
+		fnv64a(fnvOffset64^uint64(t.cfg.Seed), key),
+		fnv64a(fnvOffset64+uint64(t.cfg.Seed)*fnvPrime64+1, key),
+	}
+	tc := &TraceCtx{
+		ID:             id,
+		DetonateMs:     detonateMs,
+		SubmitMs:       nowMs,
+		firstAttemptMs: -1,
+		sampled:        t.cfg.SampleN <= 1 || id[1]%uint64(t.cfg.SampleN) == 0,
+	}
+	if tc.sampled {
+		t.cSampled.Inc()
+		tc.stages = append(tc.stages, StageStamp{Name: "submit", AtMs: nowMs})
+	}
+	return tc
+}
+
+// Close finishes a delivered trace at virtual time nowMs, recording
+// the latency breakdown and retaining the trace as an exemplar when
+// sampled. Safe on nil tracer or ctx.
+func (t *Tracer) Close(tc *TraceCtx, nowMs int64) {
+	if t == nil || tc == nil {
+		return
+	}
+	t.finish(tc, nowMs, "delivered")
+}
+
+// Abort finishes a trace that will never be delivered (dead-lettered,
+// queue overflow) with the given reason. Aborted traces count and
+// retain exemplars but do not pollute the delivery-latency histograms.
+func (t *Tracer) Abort(tc *TraceCtx, nowMs int64, reason string) {
+	if t == nil || tc == nil {
+		return
+	}
+	t.cAborted.Inc()
+	t.exemplar(tc, nowMs, reason)
+}
+
+func (t *Tracer) finish(tc *TraceCtx, nowMs int64, outcome string) {
+	t.cClosed.Inc()
+	e2e := nowMs - tc.DetonateMs
+	t.hE2E.Observe(e2e)
+	t.wE2E.Observe(e2e, nowMs)
+	if tc.firstAttemptMs >= 0 {
+		t.hQueue.Observe(tc.firstAttemptMs - tc.SubmitMs)
+	}
+	t.hBackoff.Observe(tc.backoffMs)
+	if tc.networkNs > 0 {
+		t.hNetUs.Observe(tc.networkNs / 1_000)
+	}
+	if tc.serverNs > 0 {
+		t.hSrvUs.Observe(tc.serverNs / 1_000)
+	}
+	if tc.sampled {
+		t.exemplar(tc, nowMs, outcome)
+	}
+}
+
+// exemplar offers a finished trace to the slowest-N retention set.
+func (t *Tracer) exemplar(tc *TraceCtx, nowMs int64, outcome string) {
+	if !tc.sampled {
+		return
+	}
+	ex := Exemplar{
+		ID:          tc.ID,
+		E2EMs:       nowMs - tc.DetonateMs,
+		QueueWaitMs: queueWait(tc),
+		BackoffMs:   tc.backoffMs,
+		Attempts:    tc.attempts,
+		Outcome:     outcome,
+		DetonateMs:  tc.DetonateMs,
+		ServerUs:    tc.serverNs / 1_000,
+		NetworkUs:   tc.networkNs / 1_000,
+		Stages:      tc.stages,
+		AttemptLog:  tc.attemptLog,
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Insert into the slowest-first order; (E2EMs desc, ID asc) is a
+	// total order, so the retained set is close-order independent.
+	i := sort.Search(len(t.exemplars), func(i int) bool {
+		e := t.exemplars[i]
+		if e.E2EMs != ex.E2EMs {
+			return e.E2EMs < ex.E2EMs
+		}
+		return exemplarIDLess(ex.ID, e.ID)
+	})
+	if i >= t.cfg.ExemplarCap {
+		return
+	}
+	t.exemplars = append(t.exemplars, Exemplar{})
+	copy(t.exemplars[i+1:], t.exemplars[i:])
+	t.exemplars[i] = ex
+	if len(t.exemplars) > t.cfg.ExemplarCap {
+		t.exemplars = t.exemplars[:t.cfg.ExemplarCap]
+	}
+}
+
+func exemplarIDLess(a, b TraceID) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func queueWait(tc *TraceCtx) int64 {
+	if tc.firstAttemptMs < 0 {
+		return 0
+	}
+	return tc.firstAttemptMs - tc.SubmitMs
+}
+
+// Exemplars returns the retained slowest closed traces, slowest first.
+func (t *Tracer) Exemplars() []Exemplar {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Exemplar(nil), t.exemplars...)
+}
+
+// E2E exposes the cumulative end-to-end latency histogram (virtual
+// ms), the series loadgen derives its summary percentiles from.
+func (t *Tracer) E2E() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.hE2E
+}
+
+// Windows exposes the sliding-window view of trace_e2e_ms.
+func (t *Tracer) Windows() []WindowSnapshot {
+	if t == nil {
+		return nil
+	}
+	return t.wE2E.Windows()
+}
+
+// WindowSnapshot is one retained window of a WindowedHistogram.
+type WindowSnapshot struct {
+	// Index is the absolute window number: observations with
+	// atMs in [Index*WidthMs, (Index+1)*WidthMs) land here.
+	Index   int64             `json:"index"`
+	StartMs int64             `json:"start_ms"`
+	Hist    HistogramSnapshot `json:"hist"`
+}
+
+// WindowedHistogram buckets observations into fixed-width time
+// windows and retains the most recent `keep` of them — the data shape
+// behind "what does the tail look like *lately*", which a cumulative
+// histogram can't answer. Windows are keyed by absolute index
+// (atMs / widthMs), so two tracers fed the same observations retain
+// identical windows regardless of arrival order, as long as every
+// observation falls within the retained horizon; stragglers older
+// than the horizon are dropped and counted.
+type WindowedHistogram struct {
+	bounds  []int64
+	widthMs int64
+	keep    int
+
+	mu      sync.Mutex
+	windows map[int64]*Histogram
+	maxIdx  int64
+	started bool
+	dropped int64
+}
+
+// NewWindowedHistogram builds a windowed histogram with the given
+// bucket bounds, window width, and retention count.
+func NewWindowedHistogram(bounds []int64, widthMs int64, keep int) *WindowedHistogram {
+	if widthMs <= 0 {
+		widthMs = 3_600_000
+	}
+	if keep <= 0 {
+		keep = 48
+	}
+	return &WindowedHistogram{
+		bounds:  append([]int64(nil), bounds...),
+		widthMs: widthMs,
+		keep:    keep,
+		windows: make(map[int64]*Histogram),
+	}
+}
+
+// Observe records v into the window containing atMs, evicting windows
+// that fall out of the retention horizon.
+func (w *WindowedHistogram) Observe(v, atMs int64) {
+	idx := atMs / w.widthMs
+	if atMs < 0 {
+		idx-- // floor division for negative virtual times
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started || idx > w.maxIdx {
+		w.maxIdx = idx
+		w.started = true
+		for old := range w.windows {
+			if old <= w.maxIdx-int64(w.keep) {
+				delete(w.windows, old)
+			}
+		}
+	}
+	if idx <= w.maxIdx-int64(w.keep) {
+		w.dropped++
+		return
+	}
+	h := w.windows[idx]
+	if h == nil {
+		h = NewHistogram(w.bounds)
+		w.windows[idx] = h
+	}
+	h.Observe(v)
+}
+
+// Windows returns the retained windows, oldest first.
+func (w *WindowedHistogram) Windows() []WindowSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]WindowSnapshot, 0, len(w.windows))
+	for idx, h := range w.windows {
+		out = append(out, WindowSnapshot{Index: idx, StartMs: idx * w.widthMs, Hist: h.snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Dropped returns how many observations fell behind the retention
+// horizon (late stragglers a bounded window cannot hold).
+func (w *WindowedHistogram) Dropped() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram
+// snapshot by linear interpolation within the owning bucket, the
+// usual Prometheus-style estimator. The +Inf bucket clamps to its
+// lower bound. Returns 0 on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	lower := 0.0
+	for i, b := range s.Buckets {
+		prev := cum
+		cum += b.N
+		if float64(cum) >= rank && b.N > 0 {
+			if b.Le == "+Inf" {
+				return lower // clamp: no upper edge to interpolate toward
+			}
+			var upper float64
+			fmt.Sscanf(b.Le, "%g", &upper)
+			frac := 0.0
+			if b.N > 0 {
+				frac = (rank - float64(prev)) / float64(b.N)
+			}
+			return lower + (upper-lower)*frac
+		}
+		if i < len(s.Buckets)-1 && b.Le != "+Inf" {
+			fmt.Sscanf(b.Le, "%g", &lower)
+		}
+	}
+	return lower
+}

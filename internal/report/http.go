@@ -7,6 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
+
+	"bombdroid/internal/obs"
 )
 
 // ErrBackpressure is returned by HTTPSink.Deliver when the market
@@ -26,6 +30,12 @@ var ErrBackpressure = fmt.Errorf("market backpressure: %w", ErrSinkDown)
 // is that a nil return means the sink accepted the event, and the
 // market side only acks after its WAL commit. Bulk traffic that wants
 // batched POSTs should use market.Client directly.
+//
+// HTTPSink also implements TracedSink: with a live trace the POST
+// carries obs.TraceHeader, the wall-clock round-trip lands on the ctx
+// as network time, and the market's obs.ServerTimingHeader response
+// header (receive → post-WAL-flush ack, microseconds) is stamped back
+// so the breakdown can separate the wire from the daemon's flush.
 type HTTPSink struct {
 	// URL is the full ingestion endpoint, e.g.
 	// "http://127.0.0.1:8444/v1/reports".
@@ -38,6 +48,18 @@ type HTTPSink struct {
 // failure model: 2xx is success, 429 is ErrBackpressure, anything
 // else (including transport errors) wraps ErrSinkDown.
 func (s *HTTPSink) Deliver(ev Event, _ int64) error {
+	return s.post(ev, nil)
+}
+
+// DeliverTraced is Deliver with trace propagation: the trace ID rides
+// the request header and the ctx collects wall-clock network and
+// server-side stamps. Virtual time is not involved — wall stamps feed
+// only Volatile metrics.
+func (s *HTTPSink) DeliverTraced(ev Event, tc *obs.TraceCtx, _ int64) error {
+	return s.post(ev, tc)
+}
+
+func (s *HTTPSink) post(ev Event, tc *obs.TraceCtx) error {
 	body, err := json.Marshal(ev)
 	if err != nil {
 		return err
@@ -46,12 +68,30 @@ func (s *HTTPSink) Deliver(ev Event, _ int64) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Post(s.URL, "application/x-ndjson", bytes.NewReader(append(body, '\n')))
+	req, err := http.NewRequest(http.MethodPost, s.URL, bytes.NewReader(append(body, '\n')))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSinkDown, err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	var start time.Time
+	if tc != nil {
+		req.Header.Set(obs.TraceHeader, tc.ID.String())
+		start = time.Now()
+	}
+	resp, err := client.Do(req)
+	if tc != nil {
+		tc.StampNetworkNs(time.Since(start).Nanoseconds())
+	}
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrSinkDown, err)
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if tc != nil {
+		if us, err := strconv.ParseInt(resp.Header.Get(obs.ServerTimingHeader), 10, 64); err == nil && us > 0 {
+			tc.StampServerNs(us * 1_000)
+		}
+	}
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		return nil
@@ -62,7 +102,10 @@ func (s *HTTPSink) Deliver(ev Event, _ int64) error {
 	}
 }
 
-var _ Sink = (*HTTPSink)(nil)
+var (
+	_ Sink       = (*HTTPSink)(nil)
+	_ TracedSink = (*HTTPSink)(nil)
+)
 
 // IsBackpressure reports whether a delivery failure was the market
 // shedding load, letting callers distinguish "slow down" from "down".

@@ -1,6 +1,10 @@
 package report
 
-import "fmt"
+import (
+	"fmt"
+
+	"bombdroid/internal/obs"
+)
 
 // This file is the pipeline's public configuration contract. The
 // historical constructor New(sink, Config{...}) forced every caller —
@@ -64,6 +68,12 @@ func WithBreakerCooldownMs(ms int64) Option { return func(c *Config) { c.Breaker
 
 // WithSeed seeds the jitter RNG (schedules are deterministic per seed).
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithTracer attaches a report-lifecycle tracer: every accepted event
+// gets a deterministic trace from Submit to delivery ack (or abort),
+// annotated through retries and breaker transitions and propagated
+// across TracedSink hops. Nil (the default) keeps tracing off.
+func WithTracer(t *obs.Tracer) Option { return func(c *Config) { c.Tracer = t } }
 
 // NewPipeline is the canonical constructor: DefaultConfig plus the
 // given options. It panics on a configuration Validate rejects — an

@@ -47,6 +47,17 @@ type Sink interface {
 	Deliver(ev Event, nowMs int64) error
 }
 
+// TracedSink is the optional extension a sink implements to carry a
+// report trace across its hop (HTTPSink propagates the trace ID in a
+// request header and stamps wall-clock network/server times back onto
+// the ctx). The pipeline uses it automatically when the sink supports
+// it and the event has a live trace; plain sinks keep working
+// unchanged.
+type TracedSink interface {
+	Sink
+	DeliverTraced(ev Event, tc *obs.TraceCtx, nowMs int64) error
+}
+
 // MemorySink records delivered events — the in-process stand-in for
 // the market server, and the oracle exactly-once tests check against.
 type MemorySink struct {
@@ -131,6 +142,12 @@ type Config struct {
 	BreakerThreshold  int     // consecutive failures that trip the breaker (default 5)
 	BreakerCooldownMs int64   // open duration before a half-open probe (default 5_000)
 	Seed              int64   // jitter RNG seed (deterministic schedules)
+
+	// Tracer, when non-nil, mints a report-lifecycle trace for every
+	// accepted event: per-attempt annotations through retry/breaker,
+	// propagation over TracedSink hops, closed on delivery or abort.
+	// Nil (the default) disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +224,7 @@ type entry struct {
 	attempts int
 	dueMs    int64
 	seq      int64 // FIFO tiebreak among equal due times
+	tc       *obs.TraceCtx
 }
 
 // Pipeline is the resilient ingestion queue in front of a Sink.
@@ -285,6 +303,11 @@ func New(sink Sink, cfg Config) *Pipeline {
 // always per-instance.
 func (p *Pipeline) Obs() *obs.Registry { return p.reg }
 
+// Tracer returns the tracer this pipeline mints report traces from
+// (nil when tracing is off) — loadgen reads percentiles and exemplars
+// through it after a campaign.
+func (p *Pipeline) Tracer() *obs.Tracer { return p.cfg.Tracer }
+
 // setBreakerLocked moves the breaker state machine, recording the
 // transition in the log, the state gauge, and a labeled counter that
 // survives registry merges.
@@ -319,13 +342,18 @@ func (p *Pipeline) Submit(ev Event, nowMs int64) bool {
 	}
 	if len(p.queue) >= p.cfg.QueueCap {
 		p.cOverflow.Inc()
-		p.deadLetterLocked(ev, "queue overflow", nowMs)
+		p.deadLetterLocked(ev, p.cfg.Tracer.Mint(ev.Key(), ev.TimeMs, nowMs),
+			"queue overflow", nowMs)
 		return false
 	}
 	p.seen[ev.Key()] = true
 	p.cAccepted.Inc()
 	p.seq++
-	p.queue = append(p.queue, &entry{ev: ev, dueMs: nowMs, seq: p.seq})
+	// The trace opens here: detonation stamp from the event's own
+	// virtual time, pipeline-entry stamp from the submit clock. A nil
+	// Tracer mints a nil ctx and every downstream touch is a no-op.
+	tc := p.cfg.Tracer.Mint(ev.Key(), ev.TimeMs, nowMs)
+	p.queue = append(p.queue, &entry{ev: ev, dueMs: nowMs, seq: p.seq, tc: tc})
 	p.gQueue.Set(int64(len(p.queue)))
 	return true
 }
@@ -346,6 +374,7 @@ func (p *Pipeline) Tick(nowMs int64) int {
 			if nowMs < p.reopenMs {
 				// Fast-fail window: hold the entry without burning an
 				// attempt; it becomes due again at the probe time.
+				e.tc.Stamp("breaker-hold", nowMs)
 				e.dueMs = p.reopenMs
 				p.pushLocked(e)
 				continue
@@ -354,12 +383,14 @@ func (p *Pipeline) Tick(nowMs int64) int {
 			p.setBreakerLocked(breakerHalfOpen, nowMs)
 		}
 		p.cAttempts.Inc()
-		err := p.deliverLocked(e.ev, nowMs)
+		err := p.deliverLocked(e, nowMs)
 		if err == nil {
 			delivered++
 			p.cDelivered.Inc()
 			p.consecFails = 0
 			p.setBreakerLocked(breakerClosed, nowMs)
+			e.tc.Attempt(nowMs, "ok", 0)
+			p.cfg.Tracer.Close(e.tc, nowMs)
 			continue
 		}
 		p.consecFails++
@@ -374,12 +405,14 @@ func (p *Pipeline) Tick(nowMs int64) int {
 			p.reopenMs = nowMs + p.cfg.BreakerCooldownMs
 		}
 		if e.attempts >= p.cfg.MaxAttempts {
-			p.deadLetterLocked(e.ev, "max attempts", nowMs)
+			e.tc.Attempt(nowMs, attemptOutcome(err), 0)
+			p.deadLetterLocked(e.ev, e.tc, "max attempts", nowMs)
 			continue
 		}
 		p.cRetries.Inc()
 		d := p.backoffLocked(e.attempts)
 		p.cBackoffMs.Add(d)
+		e.tc.Attempt(nowMs, attemptOutcome(err), d)
 		e.dueMs = nowMs + d
 		p.pushLocked(e)
 		if p.brState == breakerOpen {
@@ -393,9 +426,22 @@ func (p *Pipeline) Tick(nowMs int64) int {
 
 // deliverLocked calls the sink without holding delivery-order state;
 // the pipeline lock stays held (sinks are expected to be fast or to
-// model latency in virtual time, not wall time).
-func (p *Pipeline) deliverLocked(ev Event, nowMs int64) error {
-	return p.sink.Deliver(ev, nowMs)
+// model latency in virtual time, not wall time). A TracedSink with a
+// live trace gets the ctx so the hop can propagate and stamp it.
+func (p *Pipeline) deliverLocked(e *entry, nowMs int64) error {
+	if ts, ok := p.sink.(TracedSink); ok && e.tc != nil {
+		return ts.DeliverTraced(e.ev, e.tc, nowMs)
+	}
+	return p.sink.Deliver(e.ev, nowMs)
+}
+
+// attemptOutcome labels a delivery failure for trace annotations,
+// separating "slow down" from "down".
+func attemptOutcome(err error) string {
+	if IsBackpressure(err) {
+		return "backpressure"
+	}
+	return "err"
 }
 
 // popDueLocked removes and returns the earliest due entry at nowMs.
@@ -421,8 +467,9 @@ func (p *Pipeline) popDueLocked(nowMs int64) *entry {
 
 func (p *Pipeline) pushLocked(e *entry) { p.queue = append(p.queue, e) }
 
-func (p *Pipeline) deadLetterLocked(ev Event, reason string, nowMs int64) {
+func (p *Pipeline) deadLetterLocked(ev Event, tc *obs.TraceCtx, reason string, nowMs int64) {
 	p.cDead.Inc()
+	p.cfg.Tracer.Abort(tc, nowMs, reason)
 	p.dead = append(p.dead, DeadLetter{Event: ev, Reason: reason, AtMs: nowMs})
 	p.gDeadDepth.Set(int64(len(p.dead)))
 }
@@ -492,7 +539,7 @@ func (p *Pipeline) Flush(nowMs, deadlineMs int64) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, e := range p.queue {
-		p.deadLetterLocked(e.ev, "flush deadline", deadlineMs)
+		p.deadLetterLocked(e.ev, e.tc, "flush deadline", deadlineMs)
 	}
 	p.queue = nil
 	p.gQueue.Set(0)

@@ -177,13 +177,19 @@ func RunChaos(ctx context.Context, pkg *apk.Package, surf Surface, opts ChaosOpt
 		// Detections leave the device over the faulted channel: each
 		// RespReport becomes a detection event, possibly duplicated,
 		// delayed, or swapped with its neighbour before submission.
+		// TimeMs is the detonation's true position on the campaign
+		// clock — the session window start plus the response's offset
+		// into the session — so downstream latency breakdowns (trace
+		// e2e, market verdict timelines) measure from detonation, not
+		// from the window edge.
 		var batch []report.Event
 		for _, r := range sr.Responses {
 			if r.Kind != vm.RespReport {
 				continue
 			}
 			out.Reports++
-			ev := report.Event{App: pkg.Name, Bomb: r.BombID, User: user, TimeMs: base, Info: r.Info}
+			detMs := base + (r.TimeMillis - sr.StartClockMs)
+			ev := report.Event{App: pkg.Name, Bomb: r.BombID, User: user, TimeMs: detMs, Info: r.Info}
 			if inj.Hit(opts.Profile.DelayEvent, "event-delay") {
 				ev.TimeMs += inj.DelayMs()
 			}

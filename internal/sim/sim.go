@@ -60,10 +60,17 @@ type SessionOptions struct {
 
 // SessionResult is one user's session outcome.
 type SessionResult struct {
-	Triggered      bool  // a bomb ran its detection (paper: "bomb triggered")
-	TimeToFirstMs  int64 // virtual ms until the first triggered bomb
-	FirstBomb      string
-	Responses      []vm.ResponseEvent
+	Triggered     bool  // a bomb ran its detection (paper: "bomb triggered")
+	TimeToFirstMs int64 // virtual ms until the first triggered bomb
+	FirstBomb     string
+	Responses     []vm.ResponseEvent
+	// StartClockMs is the wall position the session's virtual clock
+	// started at (the resolved value when SessionOptions.StartClockMs
+	// asked for a randomized start). Response TimeMillis values are on
+	// this clock, so TimeMillis - StartClockMs is a response's offset
+	// into the session — the detonation stamp campaign aggregators put
+	// on outbound report.Events.
+	StartClockMs   int64
 	AbnormalExit   bool // the user saw a crash/freeze
 	EventsPlayed   int
 	OuterSatisfied int
@@ -118,6 +125,7 @@ func driveSession(ctx context.Context, v *vm.VM, surf Surface, opts SessionOptio
 	}
 
 	var res SessionResult
+	res.StartClockMs = start
 	first := int64(-1)
 	v.Observe(func(call vm.APICall) {
 		if call.InPayload == "" || first >= 0 {

@@ -36,10 +36,11 @@ func (v *VM) Invoke(full string, args ...dex.Value) (res dex.Value, err error) {
 		res, err = v.qcall(v.app, "", qm, args, 0)
 	}
 	if v.obsInvokes != nil {
-		// Dispatch-time profile in virtual ticks: one observation per
-		// top-level Invoke, so the per-instruction path stays free of
+		// Dispatch-time profile in virtual ticks: one buffered
+		// observation per top-level Invoke, published with the opcode
+		// accumulator by FlushObs — the whole Invoke path is free of
 		// atomics.
-		v.obsInvokes.Inc()
+		v.obsInvokesBuf++
 		v.obsInvokeSteps.Observe(v.steps)
 	}
 	return res, err

@@ -173,6 +173,14 @@ func (v *VM) qcall(u *unit, inPayload string, qm *qmethod, args []dex.Value, dep
 
 	pc := 0
 	code := qm.code
+	// Hoisted loop invariants: obsOps and trace are fixed at VM
+	// construction, maxSteps at option resolution. Loading them once
+	// keeps the per-instruction prologue to increments and registers
+	// instead of repeated pointer chases through v (the obs-off and
+	// obs-on paths both pay these loads every dispatch).
+	obsOps := v.obsOps
+	tracing := v.trace != nil
+	maxSteps := v.opts.MaxSteps
 	for {
 		in := &code[pc]
 		if in.op < qFirstReal {
@@ -188,13 +196,13 @@ func (v *VM) qcall(u *unit, inPayload string, qm *qmethod, args []dex.Value, dep
 		}
 		v.steps++
 		v.clock++
-		if v.steps > v.opts.MaxSteps {
+		if v.steps > maxSteps {
 			return dex.Nil(), ErrBudget
 		}
-		if v.obsOps != nil {
-			v.obsOps[in.srcOp]++
+		if obsOps != nil {
+			obsOps[in.srcOp]++
 		}
-		if v.trace != nil {
+		if tracing {
 			v.recordTrace(qm.full, pc, in.srcOp, inPayload)
 		}
 		switch in.op {

@@ -257,7 +257,8 @@ type VM struct {
 	obsOps         []int64
 	obsOpCtrs      []*obs.Counter
 	obsInvokes     *obs.Counter
-	obsInvokeSteps *obs.Histogram
+	obsInvokesBuf  int64 // buffered vm_invokes_total, published by FlushObs
+	obsInvokeSteps *obs.HistogramAccum
 	obsResponses   []*obs.Counter // indexed by ResponseKind
 	obsFaults      *obs.Counter
 }
@@ -330,7 +331,7 @@ func newVM(img *image, p *apk.Package, dev *android.Device, opts Options) *VM {
 			v.obsOpCtrs[op] = opts.Obs.Counter(obs.L("vm_op_total", "op", dex.Op(op).String()))
 		}
 		v.obsInvokes = opts.Obs.Counter("vm_invokes_total")
-		v.obsInvokeSteps = opts.Obs.Histogram("vm_invoke_steps", obs.TickBuckets)
+		v.obsInvokeSteps = opts.Obs.Histogram("vm_invoke_steps", obs.TickBuckets).Accum()
 		v.obsResponses = make([]*obs.Counter, RespReport+1)
 		for k := RespCrash; k <= RespReport; k++ {
 			v.obsResponses[k] = opts.Obs.Counter(obs.L("vm_responses_total", "kind", k.String()))
@@ -340,10 +341,12 @@ func newVM(img *image, p *apk.Package, dev *android.Device, opts Options) *VM {
 	return v
 }
 
-// FlushObs publishes the VM's locally accumulated opcode counts to
-// the Options.Obs registry and clears the accumulator. Drivers call
-// it at session end; it is a no-op without Obs. Counter adds commute,
-// so flush order across parallel sessions cannot change final totals.
+// FlushObs publishes the VM's locally accumulated metrics — opcode
+// counts, the invoke counter, the dispatch-steps histogram — to the
+// Options.Obs registry and clears the accumulators. Drivers call it
+// at session end; it is a no-op without Obs. Everything published
+// commutes (counter/bucket adds), so flush order across parallel
+// sessions cannot change final totals.
 func (v *VM) FlushObs() {
 	if v.obsOps == nil {
 		return
@@ -354,6 +357,11 @@ func (v *VM) FlushObs() {
 			v.obsOps[op] = 0
 		}
 	}
+	if v.obsInvokesBuf != 0 {
+		v.obsInvokes.Add(v.obsInvokesBuf)
+		v.obsInvokesBuf = 0
+	}
+	v.obsInvokeSteps.Flush()
 }
 
 // maxFreeFrames bounds the register free-list; deeper recursion just

@@ -1,36 +1,46 @@
 #!/bin/sh
-# Runs the PR's perf benchmarks and writes BENCH_PR7.json.
+# Runs the PR's perf benchmarks and writes BENCH_PR8.json.
 #
 #   scripts/bench.sh [benchtime] [count]
 #
-# Stable schema: BENCH_PR7.json repeats every BENCH_PR6.json key
+# Stable schema: BENCH_PR8.json repeats every BENCH_PR7.json key
 # (Table 3 campaign, VM dispatch hot path, obs overhead, staged
 # protection engine, marketd ingestion and restart records) and adds
-# the quickened-VM record:
+# the tracing/timeline record:
 #
-#   - invoke_quickened_ns_op / invoke_ref_ns_op — the hot dispatch
-#     loop on the quickened vs the retained reference interpreter
-#     (acceptance: quickened ≤ 2675 ns/op with ≤ 8 allocs/op);
-#   - table3_allocs_reduction — the PR6 baseline campaign allocs/op
-#     (read from BENCH_PR6.json) over this build's (acceptance ≥ 3);
-#   - table3_speedup_g{1,2,4,8} — workers=8 campaign speedup over the
-#     serial GOMAXPROCS=1 baseline at an explicit GOMAXPROCS matrix,
-#     so "speedup" measures real scaling instead of whatever the bench
-#     box's scheduler happened to provide.
+#   - trace_overhead_pct — events/sec lost when every ingest batch
+#     carries an obs.TraceHeader (BenchmarkMarketIngestHTTPTraced vs
+#     the untraced run, interleaved medians; acceptance ≤ 3%);
+#   - e2e_p99_ms — the traced client's p99 generation→durable-ack
+#     round trip, with srv_flush_p99_ms the daemon-side slice of it
+#     (receive→post-WAL-flush ack, via obs.ServerTimingHeader);
+#   - time_to_verdict_ms — the verdict-timeline answer for the pinned
+#     BenchmarkTimeToVerdict workload (3rd distinct reporter at 250ms
+#     event-time spacing → 500), plus timeline_read_ns_op for the
+#     k-way merge cost of serving it.
+#
+# Obs-overhead denominator history: PR7's quickening roughly halved
+# invoke_ns_op, so the unchanged absolute cost of the obs counters
+# briefly read as an 11% relative overhead in BENCH_PR7.json. PR8
+# removed the remaining atomics from the Invoke path (buffered invoke
+# counter + histogram accumulator, both published by FlushObs), so the
+# ratio is back within run-to-run noise against the quickened
+# denominator — same key, honest baseline.
 #
 # Measurement hygiene (the PR6 file reported obs overhead of -2.7%,
 # i.e. the instrumented loop "faster" than the plain one): the micro
-# benchmarks now run -count times (default 5) and the schema reports
-# per-benchmark medians. obs_overhead_raw_pct keeps the honest median
-# difference, obs_overhead_pct clamps it at 0, and
+# benchmarks run -count times (default 5) interleaved and the schema
+# reports per-benchmark medians. obs_overhead_raw_pct keeps the honest
+# median difference, obs_overhead_pct clamps it at 0, and
 # obs_overhead_within_noise flags readings inside the ±3% run-to-run
-# band so consumers don't chart noise as signal.
+# band so consumers don't chart noise as signal. The traced/untraced
+# ingest pair interleaves the same way for the same reason.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 COUNT="${2:-5}"
-OUT=BENCH_PR7.json
+OUT=BENCH_PR8.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -63,8 +73,22 @@ go test -run '^$' \
 	-bench 'BenchmarkEngineCold$|BenchmarkEngineWarm$' \
 	-benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW"
 
+# Traced vs untraced ingestion, interleaved like the VM micro pair so
+# trace_overhead_pct compares medians under the same thermal/cache
+# conditions rather than inheriting warm-up skew. Five rounds: the
+# full-stack bench drifts ±5% run to run on the shared box, and a
+# 3-round median once read 3.5% for a delta that 5 rounds resolve to
+# under 1%.
+i=1
+while [ "$i" -le 5 ]; do
+	go test -run '^$' \
+		-bench 'BenchmarkMarketIngestHTTP$|BenchmarkMarketIngestHTTPTraced$' \
+		-benchmem -benchtime "$BENCHTIME" ./internal/market | tee -a "$RAW"
+	i=$((i + 1))
+done
+
 go test -run '^$' \
-	-bench 'BenchmarkMarketIngestHTTP$|BenchmarkWALReplay$' \
+	-bench 'BenchmarkWALReplay$|BenchmarkTimeToVerdict$' \
 	-benchmem -benchtime "$BENCHTIME" ./internal/market | tee -a "$RAW"
 
 # The restart pair seeds a 120k-event store per benchmark, so a fixed
@@ -117,7 +141,12 @@ function out(v) { return v == "" ? "null" : v }
 	s_repack = metric("repack_ns_op")
 }
 /^BenchmarkEngineWarm/ { warm = metric("ns\\/op"); hitpct = metric("cache_hit_pct") }
-/^BenchmarkMarketIngestHTTP/ { ing = metric("events_sec"); ingp99 = metric("p99_ms") }
+/^BenchmarkMarketIngestHTTPTraced/ {
+	push("ingt", metric("events_sec")); push("ingtp99", metric("p99_ms"))
+	push("srvp99", metric("srv_p99_ms")); next
+}
+/^BenchmarkMarketIngestHTTP/ { push("ing", metric("events_sec")); push("ingp99", metric("p99_ms")) }
+/^BenchmarkTimeToVerdict/ { ttv = metric("ttv_ms"); tlread = metric("ns\\/op") }
 /^BenchmarkWALReplay/ { walrep = metric("events_sec") }
 /^BenchmarkRestartReplayFull/ { rfull = metric("ms_restart") }
 /^BenchmarkRestartReplayCheckpoint/ { rckpt = metric("ms_restart") }
@@ -128,7 +157,7 @@ END {
 	# Serial campaign baseline: workers=1 pinned to one core.
 	w1 = med("t3w1_g1"); w1a = med("t3w1a_g1")
 	printf "{\n"
-	printf "  \"bench\": \"PR7 quickened VM: load-time rewriting, inline caches, allocation-free hot loop\",\n"
+	printf "  \"bench\": \"PR8 report-lifecycle tracing and verdict timelines: detonation to market verdict\",\n"
 	printf "  \"cores\": %d,\n", cores
 	printf "  \"bench_count\": %d,\n", cnt["inv"]
 	printf "  \"table3_workers1_ns_op\": %s,\n", out(w1)
@@ -170,8 +199,23 @@ END {
 	printf "  \"stage_stego_ns\": %s,\n", out(s_stego)
 	printf "  \"stage_validate_ns\": %s,\n", out(s_validate)
 	printf "  \"stage_repack_ns\": %s,\n", out(s_repack)
+	ing = med("ing"); ingp99 = med("ingp99")
+	ingt = med("ingt"); ingtp99 = med("ingtp99"); srvp99 = med("srvp99")
 	printf "  \"market_ingest_events_per_sec\": %s,\n", out(ing)
 	printf "  \"market_ingest_p99_ms\": %s,\n", out(ingp99)
+	printf "  \"market_ingest_traced_events_per_sec\": %s,\n", out(ingt)
+	if (ing == "" || ingt == "" || ing == 0) {
+		trace_pct = ""
+	} else {
+		trace_pct = (ing - ingt) * 100.0 / ing
+	}
+	printf "  \"trace_overhead_raw_pct\": %s,\n", (trace_pct == "" ? "null" : sprintf("%.1f", trace_pct))
+	printf "  \"trace_overhead_pct\": %s,\n", (trace_pct == "" ? "null" : sprintf("%.1f", trace_pct < 0 ? 0 : trace_pct))
+	printf "  \"trace_overhead_within_noise\": %s,\n", (trace_pct == "" ? "null" : (trace_pct < 3.0 && trace_pct > -3.0 ? "true" : "false"))
+	printf "  \"e2e_p99_ms\": %s,\n", out(ingtp99)
+	printf "  \"srv_flush_p99_ms\": %s,\n", out(srvp99)
+	printf "  \"time_to_verdict_ms\": %s,\n", out(ttv)
+	printf "  \"timeline_read_ns_op\": %s,\n", out(tlread)
 	printf "  \"market_wal_replay_events_per_sec\": %s,\n", out(walrep)
 	printf "  \"restart_replay_full_ms\": %s,\n", out(rfull)
 	printf "  \"restart_replay_checkpoint_ms\": %s,\n", out(rckpt)

@@ -1,0 +1,124 @@
+// Command checktimeline validates a marketd verdict timeline against
+// the app's verdict: the timeline JSON must parse, its entries must be
+// monotone (event times sorted, cumulative counts strictly
+// increasing), structural kinds must sit where the store promises them
+// ("first" only at index 0, "threshold" exactly where the count
+// reaches the verdict threshold), and the final entry's cumulative
+// count must equal the /verdict endpoint's detections (evicted reports
+// lose their entry but never their contribution to the counts).
+// verify.sh uses it to prove a live daemon's GET
+// /v1/apps/{app}/timeline is coherent with GET /v1/apps/{app}/verdict.
+//
+// Usage: checktimeline timeline.json verdict.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	AtMs  int64  `json:"at_ms"`
+	Count int64  `json:"count"`
+	Kind  string `json:"kind"`
+}
+
+type timeline struct {
+	App             string  `json:"app"`
+	Threshold       int     `json:"threshold"`
+	Detections      int64   `json:"detections"`
+	Repackaged      bool    `json:"repackaged"`
+	Evicted         int64   `json:"evicted"`
+	TimeToVerdictMs int64   `json:"time_to_verdict_ms"`
+	Entries         []entry `json:"entries"`
+}
+
+type verdict struct {
+	App        string `json:"app"`
+	Detections int64  `json:"detections"`
+	Threshold  int    `json:"threshold"`
+	Repackaged bool   `json:"repackaged"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "checktimeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: checktimeline timeline.json verdict.json")
+	}
+	var tl timeline
+	if err := readJSON(args[0], &tl); err != nil {
+		return err
+	}
+	var v verdict
+	if err := readJSON(args[1], &v); err != nil {
+		return err
+	}
+	if tl.App != v.App {
+		return fmt.Errorf("timeline is for %q, verdict for %q", tl.App, v.App)
+	}
+	if tl.Threshold != v.Threshold || tl.Detections != v.Detections || tl.Repackaged != v.Repackaged {
+		return fmt.Errorf("timeline header (threshold=%d detections=%d repackaged=%v) disagrees with verdict (%d, %d, %v)",
+			tl.Threshold, tl.Detections, tl.Repackaged, v.Threshold, v.Detections, v.Repackaged)
+	}
+	if len(tl.Entries) == 0 {
+		if v.Detections != 0 {
+			return fmt.Errorf("empty timeline but verdict counts %d detections", v.Detections)
+		}
+		fmt.Println("timeline ok: empty, no detections")
+		return nil
+	}
+	for i, e := range tl.Entries {
+		if i > 0 {
+			prev := tl.Entries[i-1]
+			if e.AtMs < prev.AtMs {
+				return fmt.Errorf("entry %d not monotone: at_ms %d after %d", i, e.AtMs, prev.AtMs)
+			}
+			if e.Count <= prev.Count {
+				return fmt.Errorf("entry %d not monotone: count %d after %d", i, e.Count, prev.Count)
+			}
+		}
+		// "threshold" marks the crossing (it wins over "first" when the
+		// very first report crosses, e.g. threshold 1); "first" marks
+		// the earliest entry otherwise; everything else is "report".
+		crossing := e.Count >= int64(tl.Threshold) &&
+			(i == 0 || tl.Entries[i-1].Count < int64(tl.Threshold))
+		want := "report"
+		if crossing {
+			want = "threshold"
+		} else if i == 0 {
+			want = "first"
+		}
+		if e.Kind != want {
+			return fmt.Errorf("entry %d (count %d) has kind %q, want %q", i, e.Count, e.Kind, want)
+		}
+	}
+	last := tl.Entries[len(tl.Entries)-1]
+	if last.Count != v.Detections {
+		return fmt.Errorf("final entry count %d != verdict detections %d (evicted %d entries keep their counts)",
+			last.Count, v.Detections, tl.Evicted)
+	}
+	if v.Repackaged && tl.TimeToVerdictMs < 0 {
+		return fmt.Errorf("verdict is repackaged but time_to_verdict_ms = %d", tl.TimeToVerdictMs)
+	}
+	fmt.Printf("timeline ok: %d entries, %d detections, time_to_verdict_ms=%d\n",
+		len(tl.Entries), v.Detections, tl.TimeToVerdictMs)
+	return nil
+}
+
+func readJSON(path string, dst any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, dst); err != nil {
+		return fmt.Errorf("%s is not valid JSON: %w", path, err)
+	}
+	return nil
+}

@@ -3,7 +3,9 @@
 # packages run with the obs layer exercised by their own tests), a
 # smoke run of cmd/report -metrics proving the JSON snapshot parses,
 # batch-protection smokes, a marketd lifecycle smoke (ingest, SIGTERM,
-# restart-replay), and a marketd crash smoke (kill -9 mid-hose,
+# restart-replay), a verdict-timeline smoke (campaign → monotone
+# timeline coherent with /verdict, byte-identical across restart), and
+# a marketd crash smoke (kill -9 mid-hose,
 # checkpointed recovery, no acked event lost). Tier-1 (ROADMAP.md) is `go build ./... &&
 # go test ./...`; this script is the stricter gate the chaos-hardening,
 # obs, and market-ingestion work is held to.
@@ -149,6 +151,38 @@ grep -q 'recovered 5000 records' "$SMOKE_DIR/marketd2.log" || {
 "$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict app-0 > "$SMOKE_DIR/verdict2.json"
 diff "$SMOKE_DIR/verdict1.json" "$SMOKE_DIR/verdict2.json" || {
 	echo "verify: verdict changed across restart" >&2
+	exit 1
+}
+kill -TERM "$MARKETD_PID"
+wait "$MARKETD_PID"
+
+echo "==> smoke: campaign → verdict timeline, restart replays it byte-identical"
+# A short detonation campaign against a fresh daemon, then the
+# timeline surface: GET /v1/apps/{app}/timeline must be monotone
+# (event times sorted, cumulative counts strictly increasing), its
+# structural entries must sit where the store promises them, and its
+# final entry must agree with GET /v1/apps/{app}/verdict
+# (checktimeline holds all of that). A SIGTERM restart over the same
+# data dir must then replay to a byte-identical timeline.
+MARKET_DATA="$SMOKE_DIR/marketd-timeline-data"
+start_marketd "$SMOKE_DIR/marketd-tl1.log"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -campaign AndroFish \
+	-sessions 24 -seed 7 > "$SMOKE_DIR/campaign.json"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -timeline AndroFish > "$SMOKE_DIR/timeline1.json"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict AndroFish > "$SMOKE_DIR/verdict-tl.json"
+go run ./scripts/checktimeline "$SMOKE_DIR/timeline1.json" "$SMOKE_DIR/verdict-tl.json"
+grep -q '"repackaged":true' "$SMOKE_DIR/verdict-tl.json" || {
+	echo "verify: campaign did not push AndroFish over the threshold:" >&2
+	cat "$SMOKE_DIR/campaign.json" >&2
+	exit 1
+}
+kill -TERM "$MARKETD_PID"
+wait "$MARKETD_PID"
+
+start_marketd "$SMOKE_DIR/marketd-tl2.log"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -timeline AndroFish > "$SMOKE_DIR/timeline2.json"
+diff "$SMOKE_DIR/timeline1.json" "$SMOKE_DIR/timeline2.json" || {
+	echo "verify: timeline changed across restart" >&2
 	exit 1
 }
 kill -TERM "$MARKETD_PID"
