@@ -8,7 +8,12 @@
 // fire-hose: synthesize -events detonation reports (mostly-unique
 // keys across -apps apps), POST them through market.Client in
 // -batch-sized batches from -workers goroutines, retrying 429
-// backpressure and 503 degraded answers, and print a JSON summary
+// backpressure and 503 degraded answers through the shared
+// market.RetryPolicy, and print a JSON summary
+// -url also accepts a comma-separated node list; loadgen then routes
+// batches itself through an in-process cluster.Router (fire-hose,
+// -verdict, and -timeline go federated; -campaign needs one URL —
+// point it at a router daemon to exercise a cluster).
 // with events_per_sec, p99_ms (per-POST), e2e_p50_ms/e2e_p99_ms
 // (generation → durable ack, retries included), and degraded_retries.
 //
@@ -40,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -47,6 +53,7 @@ import (
 	"bombdroid/internal/chaos"
 	"bombdroid/internal/exp"
 	"bombdroid/internal/market"
+	"bombdroid/internal/market/cluster"
 	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 	"bombdroid/internal/sim"
@@ -119,11 +126,24 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	if *url == "" {
 		return fmt.Errorf("-url is required")
 	}
-	cl := &market.Client{BaseURL: *url, Gzip: *gzipOn}
+	// -url accepts a comma-separated node list: loadgen then routes
+	// batches itself through an in-process cluster.Router instead of
+	// needing a router daemon between it and the nodes.
+	urls := splitURLs(*url)
+	var tgt target
+	if len(urls) == 1 {
+		tgt = &market.Client{BaseURL: urls[0], Gzip: *gzipOn}
+	} else {
+		rt, err := cluster.New(ctx, cluster.Config{Nodes: urls, Gzip: *gzipOn})
+		if err != nil {
+			return err
+		}
+		tgt = routerTarget{rt}
+	}
 
 	switch {
 	case *verdict != "":
-		v, err := cl.Verdict(*verdict)
+		v, err := tgt.VerdictCtx(ctx, *verdict)
 		if err != nil {
 			return err
 		}
@@ -131,7 +151,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		fmt.Fprintf(out, "%s\n", b)
 		return nil
 	case *timeline != "":
-		tl, err := cl.Timeline(*timeline)
+		tl, err := tgt.TimelineCtx(ctx, *timeline)
 		if err != nil {
 			return err
 		}
@@ -139,19 +159,62 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		fmt.Fprintf(out, "%s\n", b)
 		return nil
 	case *campaign != "":
-		return runCampaign(ctx, out, *url, *campaign, *sessions, *profile, *seed)
+		if len(urls) > 1 {
+			return fmt.Errorf("-campaign drives one HTTP endpoint; point -url at a single node or a router")
+		}
+		return runCampaign(ctx, out, urls[0], *campaign, *sessions, *profile, *seed)
 	default:
-		return fireHose(ctx, out, cl, *events, *batch, *workers, *apps, *runID)
+		return fireHose(ctx, out, tgt, *events, *batch, *workers, *apps, *runID)
 	}
 }
 
+// splitURLs parses the comma-separated -url value.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// target is what the generator modes drive: one node via
+// market.Client, or a whole cluster via an in-process router. Both
+// speak the same ctx-first surface.
+type target interface {
+	PostCtx(ctx context.Context, evs []report.Event) (market.PostResult, error)
+	VerdictCtx(ctx context.Context, app string) (market.Verdict, error)
+	TimelineCtx(ctx context.Context, app string) (market.Timeline, error)
+}
+
+// routerTarget adapts cluster.Router's Ack to the single-node shape.
+type routerTarget struct{ rt *cluster.Router }
+
+func (t routerTarget) PostCtx(ctx context.Context, evs []report.Event) (market.PostResult, error) {
+	ack, err := t.rt.PostCtx(ctx, evs)
+	return market.PostResult{Accepted: ack.Accepted, Duplicates: ack.Duplicates}, err
+}
+
+func (t routerTarget) VerdictCtx(ctx context.Context, app string) (market.Verdict, error) {
+	return t.rt.VerdictCtx(ctx, app)
+}
+
+func (t routerTarget) TimelineCtx(ctx context.Context, app string) (market.Timeline, error) {
+	return t.rt.TimelineCtx(ctx, app)
+}
+
 // fireHose hammers POST /v1/reports from workers goroutines and
-// reports throughput. 429s are retried after the daemon's Retry-After
-// beat — backpressure slows the hose, it never drops from it.
-func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, batch, workers, apps int, runID string) error {
+// reports throughput. 429s and 503s are retried through the shared
+// market.RetryPolicy (unbounded attempts, doubling backoff with
+// jitter) — backpressure slows the hose, it never drops from it — and
+// the posts are ctx-first, so Ctrl-C cancels an in-flight POST or a
+// backoff pause instead of sleeping through it.
+func fireHose(ctx context.Context, out io.Writer, cl target, events, batch, workers, apps int, runID string) error {
 	if runID == "" {
 		runID = fmt.Sprintf("%d", time.Now().UnixNano())
 	}
+	policy := market.RetryPolicy{Backoff503: degradedRetryDelay}
 	type res struct {
 		accepted, dups, rejects, degraded int
 		lat                               []time.Duration // per-POST attempt latency
@@ -182,46 +245,29 @@ func fireHose(ctx context.Context, out io.Writer, cl *market.Client, events, bat
 						Info:   "loadgen",
 					}
 				}
-				for {
+				var pr market.PostResult
+				stats, err := policy.Do(ctx, func(ctx context.Context) error {
 					t0 := time.Now()
-					pr, err := cl.Post(evs)
+					var perr error
+					pr, perr = cl.PostCtx(ctx, evs)
 					r.lat = append(r.lat, time.Since(t0))
-					if errors.Is(err, market.ErrBackpressure) {
-						r.rejects++
-						select {
-						case <-time.After(50 * time.Millisecond):
-							continue
-						case <-ctx.Done():
-							r.err = ctx.Err()
-							return
-						}
-					}
-					if errors.Is(err, market.ErrDegraded) {
-						// A degraded shard is a disk problem the operator
-						// may fix with a restart: keep retrying on the
-						// daemon's Retry-After beat, like a 429 but slower.
-						r.degraded++
-						select {
-						case <-time.After(degradedRetryDelay):
-							continue
-						case <-ctx.Done():
-							r.err = ctx.Err()
-							return
-						}
-					}
-					if err != nil {
+					return perr
+				})
+				r.rejects += stats.Retries429
+				r.degraded += stats.Retries503
+				if err != nil {
+					r.err = err
+					if !errors.Is(err, context.Canceled) {
 						// Hard error (daemon gone, 413, …): stop the feed
 						// too, or the producer would block forever on a
 						// channel no worker drains.
-						r.err = err
 						failOnce.Do(func() { close(failed) })
-						return
 					}
-					r.accepted += pr.Accepted
-					r.dups += pr.Duplicates
-					r.e2e = append(r.e2e, time.Since(gen))
-					break
+					return
 				}
+				r.accepted += pr.Accepted
+				r.dups += pr.Duplicates
+				r.e2e = append(r.e2e, time.Since(gen))
 			}
 		}(w)
 	}
@@ -314,7 +360,7 @@ func runCampaign(ctx context.Context, out io.Writer, url, app string, sessions i
 		return err
 	}
 	cl := &market.Client{BaseURL: url}
-	tl, err := cl.Timeline(p.Pirated.Name)
+	tl, err := cl.TimelineCtx(ctx, p.Pirated.Name)
 	if err != nil {
 		return err
 	}
@@ -335,7 +381,7 @@ func runCampaign(ctx context.Context, out io.Writer, url, app string, sessions i
 	}
 	b, _ := json.MarshalIndent(cs, "", "  ")
 	fmt.Fprintf(out, "%s\n", b)
-	v, err := cl.Verdict(p.Pirated.Name)
+	v, err := cl.VerdictCtx(ctx, p.Pirated.Name)
 	if err != nil {
 		return err
 	}

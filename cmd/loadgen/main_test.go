@@ -236,3 +236,92 @@ func mustParse(t *testing.T, raw string) *url.URL {
 	}
 	return u
 }
+
+// TestFireHoseCluster: a comma-separated -url routes the hose through
+// an in-process cluster router. Every event lands exactly once on its
+// owning node, and -verdict/-timeline against the same node list
+// serve the federated view.
+func TestFireHoseCluster(t *testing.T) {
+	mk := func(id string, lo, hi int) *httptest.Server {
+		return newMarket(t, market.Config{
+			Shards: 2, NodeID: id, Slots: 16,
+			Range: market.ShardRange{Lo: lo, Hi: hi}, Threshold: 3,
+		})
+	}
+	n0 := mk("n0", 0, 5)
+	n1 := mk("n1", 5, 11)
+	n2 := mk("n2", 11, 16)
+	urls := n0.URL + "," + n1.URL + "," + n2.URL
+
+	var out bytes.Buffer
+	args := []string{"-url", urls, "-events", "2000", "-batch", "100", "-workers", "3", "-apps", "4", "-run", "cl1"}
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatalf("cluster hose: %v", err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary does not parse: %v\n%s", err, out.String())
+	}
+	if s.Events != 2000 || s.Accepted != 2000 || s.Duplicates != 0 {
+		t.Errorf("summary = %+v, want 2000 accepted once across the cluster", s)
+	}
+
+	// The federated verdict sees the app's whole tally; no single node
+	// does (4 apps over 2000 events → 500 each).
+	out.Reset()
+	if err := run(context.Background(), &out, []string{"-url", urls, "-verdict", "app-0"}); err != nil {
+		t.Fatalf("federated verdict: %v", err)
+	}
+	var v market.Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Detections != 500 || !v.Repackaged {
+		t.Errorf("federated verdict = %+v, want 500 detections", v)
+	}
+	nv, err := (&market.Client{BaseURL: n0.URL}).VerdictCtx(context.Background(), "app-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.Detections == 0 || nv.Detections == 500 {
+		t.Errorf("node share = %d detections, want a strict subset", nv.Detections)
+	}
+
+	// Campaign mode drives one HTTP endpoint; a node list is a usage
+	// error, not a silent pick-the-first.
+	out.Reset()
+	if err := run(context.Background(), &out, []string{"-url", urls, "-campaign", "AndroFish"}); err == nil {
+		t.Error("campaign with a node list should fail")
+	}
+}
+
+// TestFireHoseCtxCancel: cancelling the context mid-hose stops the
+// run promptly instead of sleeping through retry backoffs.
+func TestFireHoseCtxCancel(t *testing.T) {
+	// A server that backpressures forever: without cancellation the
+	// hose would retry indefinitely.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, &out, []string{"-url", srv.URL, "-events", "1000", "-batch", "100", "-workers", "2", "-run", "cc"})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "context canceled") {
+			t.Fatalf("err = %v, want context cancellation surfaced", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hose did not stop after cancellation")
+	}
+}

@@ -11,6 +11,18 @@
 //	        [-segment-mb 64] [-threshold 3] [-timeline-cap 256]
 //	        [-fsync] [-checkpoint-every 65536] [-drain-timeout 10s]
 //	        [-debug-addr :6060]
+//	        [-node-id n0] [-slots 256] [-shard-range 0:86]
+//	marketd -router -addr :8840 -nodes http://h1:8844,http://h2:8844,...
+//
+// Multi-node: a daemon given -shard-range lo:hi owns only that slice
+// of the 0..slots key space and answers 421 to anything else; the
+// range (with -slots and -node-id) is pinned in meta.json exactly
+// like the shard count, so a restart with different flags refuses to
+// start. -router starts the stateless fan-out tier instead of a node:
+// it discovers each -nodes member's descriptor (retrying briefly so
+// routers and nodes can start in any order), validates the ranges
+// tile the slot space, and serves the same HTTP surface a single
+// node does — routed writes, federated verdicts and timelines.
 //
 // On startup the daemon restores each shard from its newest valid
 // checkpoint and replays only the WAL tail past it (full replay when
@@ -37,10 +49,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"bombdroid/internal/market"
+	"bombdroid/internal/market/cluster"
 	"bombdroid/internal/obs"
 )
 
@@ -62,11 +76,29 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 	checkpointEvery := fs.Int("checkpoint-every", 0, "records between checkpoint snapshots per shard (0 = default, negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max time to drain and seal shards on shutdown (0 = wait forever)")
 	debugAddr := fs.String("debug-addr", "", "serve metrics + pprof on this extra address")
+	nodeID := fs.String("node-id", "", "this node's cluster identity (pinned at first start)")
+	slots := fs.Int("slots", 0, "cluster key-space slot count (0 = default 256; pinned at first start)")
+	shardRange := fs.String("shard-range", "", "owned slot range as lo:hi, hi exclusive (default: all slots; pinned at first start)")
+	router := fs.Bool("router", false, "run the stateless router tier instead of a storage node (requires -nodes)")
+	nodes := fs.String("nodes", "", "comma-separated member node URLs for -router mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *router {
+		return runRouter(ctx, out, *addr, *nodes, ready)
+	}
+	if *nodes != "" {
+		return fmt.Errorf("-nodes requires -router")
+	}
 	if *data == "" {
 		return fmt.Errorf("-data is required")
+	}
+	var rng market.ShardRange
+	if *shardRange != "" {
+		var err error
+		if rng, err = market.ParseShardRange(*shardRange); err != nil {
+			return err
+		}
 	}
 
 	cfg := market.Config{
@@ -79,6 +111,9 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 		TimelineCap:     *timelineCap,
 		Fsync:           *fsync,
 		CheckpointEvery: *checkpointEvery,
+		NodeID:          *nodeID,
+		Slots:           *slots,
+		Range:           rng,
 		Obs:             obs.NewRegistry(),
 	}
 	st, stats, err := market.Open(cfg)
@@ -88,6 +123,9 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 	fmt.Fprintf(out, "marketd: recovered %d records from %d segments (%d torn tails, %d bytes truncated); %d/%d shards from checkpoint, %d tail records, %d segments compacted\n",
 		stats.Records, stats.Segments, stats.TornTails, stats.TruncatedBytes,
 		stats.Checkpoints, st.Shards(), stats.TailRecords, stats.CompactedSegments)
+	if d := st.NodeDesc(); d.RangeLo != 0 || d.RangeHi != d.Slots {
+		fmt.Fprintf(out, "marketd: node %q owns slots %s of %d\n", d.NodeID, d.Range(), d.Slots)
+	}
 
 	if *debugAddr != "" {
 		stop, bound, err := obs.ServeDebug(*debugAddr, st.Obs())
@@ -135,6 +173,67 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 		return err
 	}
 	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "marketd: clean shutdown")
+	return nil
+}
+
+// runRouter starts the stateless fan-out tier: discover the member
+// nodes (retrying briefly, so a process manager may start routers and
+// nodes in any order), then serve the cluster handler until ctx is
+// cancelled. No data directory, no WAL — all durability lives in the
+// nodes, which is what makes the router safe to run N-for-1.
+func runRouter(ctx context.Context, out io.Writer, addr, nodes string, ready chan<- string) error {
+	if nodes == "" {
+		return fmt.Errorf("-router requires -nodes")
+	}
+	var urls []string
+	for _, u := range strings.Split(nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	cfg := cluster.Config{Nodes: urls, Gzip: true, Obs: obs.NewRegistry()}
+	var rt *cluster.Router
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		if rt, err = cluster.New(ctx, cfg); err == nil {
+			break
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return fmt.Errorf("router discovery: %w", err)
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, d := range rt.Members() {
+		fmt.Fprintf(out, "marketd: router member %q owns slots %s of %d (%d shards)\n", d.NodeID, d.Range(), d.Slots, d.Shards)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "marketd: router listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	srv := &http.Server{Handler: cluster.NewHandler(rt), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "marketd: clean shutdown")

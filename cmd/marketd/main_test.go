@@ -183,3 +183,75 @@ func TestDaemonCheckpointRestart(t *testing.T) {
 		t.Errorf("restart did not come from checkpoints:\n%s", output)
 	}
 }
+
+// TestDaemonPinsShardRange: a daemon restarted with a -shard-range
+// that disagrees with the data directory's meta.json must refuse to
+// start, exactly like a -shards change.
+func TestDaemonPinsShardRange(t *testing.T) {
+	dir := t.TempDir()
+	_, stop := startDaemon(t, dir, "-node-id", "n0", "-slots", "16", "-shard-range", "0:8")
+	stop()
+
+	var out bytes.Buffer
+	err := run(context.Background(), &out,
+		[]string{"-addr", "127.0.0.1:0", "-data", dir, "-node-id", "n0", "-slots", "16", "-shard-range", "0:16"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "shard range") {
+		t.Fatalf("range change started (err = %v), want refusal", err)
+	}
+	if err := run(context.Background(), &out,
+		[]string{"-data", t.TempDir(), "-shard-range", "8:4"}, nil); err == nil {
+		t.Fatal("malformed -shard-range accepted")
+	}
+}
+
+// TestRouterMode: three partial-range daemons plus a -router daemon;
+// writes through the router land on the owning nodes and the
+// federated verdict counts them all.
+func TestRouterMode(t *testing.T) {
+	u0, stop0 := startDaemon(t, t.TempDir(), "-node-id", "n0", "-slots", "16", "-shard-range", "0:5", "-shards", "2")
+	u1, stop1 := startDaemon(t, t.TempDir(), "-node-id", "n1", "-slots", "16", "-shard-range", "5:11", "-shards", "2")
+	u2, stop2 := startDaemon(t, t.TempDir(), "-node-id", "n2", "-slots", "16", "-shard-range", "11:16", "-shards", "2")
+	defer stop0()
+	defer stop1()
+	defer stop2()
+
+	ur, stopR := startDaemon(t, t.TempDir(), "-router", "-nodes", u0+","+u1+","+u2)
+	cl := &market.Client{BaseURL: ur}
+	var evs []report.Event
+	for i := 0; i < 60; i++ {
+		evs = append(evs, report.Event{App: "app.r", Bomb: fmt.Sprintf("b%d", i), User: "u1", TimeMs: int64(i + 1)})
+	}
+	pr, err := cl.PostCtx(context.Background(), evs)
+	if err != nil || pr.Accepted != 60 {
+		t.Fatalf("post through router = %+v (%v), want 60 accepted", pr, err)
+	}
+	v, err := cl.VerdictCtx(context.Background(), "app.r")
+	if err != nil || v.Detections != 60 || !v.Repackaged {
+		t.Fatalf("federated verdict = %+v (%v), want 60 detections", v, err)
+	}
+	// No single node holds the full count.
+	for _, u := range []string{u0, u1, u2} {
+		nv, err := (&market.Client{BaseURL: u}).VerdictCtx(context.Background(), "app.r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nv.Detections == 60 || nv.Detections == 0 {
+			t.Errorf("node %s holds %d detections, want a proper share", u, nv.Detections)
+		}
+	}
+	out := stopR()
+	if !strings.Contains(out, "router listening") || !strings.Contains(out, "clean shutdown") {
+		t.Errorf("router output missing lifecycle lines:\n%s", out)
+	}
+}
+
+// TestRouterModeRequiresNodes covers the flag cross-checks.
+func TestRouterModeRequiresNodes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-router"}, nil); err == nil {
+		t.Fatal("-router without -nodes should fail")
+	}
+	if err := run(context.Background(), &out, []string{"-data", t.TempDir(), "-nodes", "http://x"}, nil); err == nil {
+		t.Fatal("-nodes without -router should fail")
+	}
+}

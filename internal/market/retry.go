@@ -1,0 +1,113 @@
+package market
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is the one retry story for everything that posts into a
+// market node: the 429/503 loops that used to be hand-rolled in
+// cmd/loadgen's fire-hose workers, market.Client callers, and now the
+// cluster router's per-node fan-out all run through Do, so the whole
+// stack backs off the same way.
+//
+// The policy follows the daemon's error contract: ErrBackpressure
+// (HTTP 429) is a full queue that clears in milliseconds — short
+// pause, retry; ErrDegraded (HTTP 503) is disk trouble an operator
+// has to notice — longer pause, retry; anything else (413s, 421s,
+// transport failures) is returned immediately, because retrying an
+// unchanged request cannot help. Pauses double per consecutive retry
+// up to MaxBackoff and carry ±Jitter randomization so a fleet of
+// retriers doesn't re-converge on the same instant — the thundering
+// herd the flat 50ms loop this replaces would have produced.
+type RetryPolicy struct {
+	// MaxAttempts bounds total calls to the posting function
+	// (0 = retry forever, until ctx cancels — the load-tool setting;
+	// servers in the request path should bound it).
+	MaxAttempts int
+	// Backoff429 is the base pause after a backpressure rejection
+	// (default 50ms, the daemon's Retry-After floor).
+	Backoff429 time.Duration
+	// Backoff503 is the base pause after a degraded rejection
+	// (default 2s, matching the daemon's Retry-After).
+	Backoff503 time.Duration
+	// MaxBackoff caps the doubling pause (default 5s).
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each pause randomized symmetrically
+	// around it (default 0.2: a 100ms pause lands in [80ms, 120ms]).
+	// Negative disables jitter entirely (deterministic tests).
+	Jitter float64
+}
+
+// RetryStats accounts one Do call: attempts made and how many retries
+// each transient cause forced. Callers surface these (loadgen's
+// rejected_429/degraded_retries, the router's per-node acks) so
+// backpressure stays visible instead of silently absorbed.
+type RetryStats struct {
+	Attempts   int
+	Retries429 int
+	Retries503 int
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Backoff429 == 0 {
+		p.Backoff429 = 50 * time.Millisecond
+	}
+	if p.Backoff503 == 0 {
+		p.Backoff503 = 2 * time.Second
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Do calls f until it succeeds, fails permanently, exhausts
+// MaxAttempts, or ctx is cancelled (pauses are cancellable, so Ctrl-C
+// interrupts a backoff instead of sleeping through it). The last
+// error is returned alongside the stats; on cancellation mid-pause
+// the error is ctx.Err().
+func (p RetryPolicy) Do(ctx context.Context, f func(ctx context.Context) error) (RetryStats, error) {
+	p = p.withDefaults()
+	var stats RetryStats
+	consecutive := 0
+	for {
+		stats.Attempts++
+		err := f(ctx)
+		var base time.Duration
+		switch {
+		case err == nil:
+			return stats, nil
+		case errors.Is(err, ErrBackpressure):
+			stats.Retries429++
+			base = p.Backoff429
+		case errors.Is(err, ErrDegraded):
+			stats.Retries503++
+			base = p.Backoff503
+		default:
+			return stats, err
+		}
+		if p.MaxAttempts > 0 && stats.Attempts >= p.MaxAttempts {
+			return stats, err
+		}
+		pause := base << consecutive
+		if pause > p.MaxBackoff || pause < base { // < base: shift overflow
+			pause = p.MaxBackoff
+		}
+		consecutive++
+		if p.Jitter > 0 {
+			span := float64(pause) * p.Jitter
+			pause = time.Duration(float64(pause) + span*(2*rand.Float64()-1))
+		}
+		select {
+		case <-time.After(pause):
+		case <-ctx.Done():
+			return stats, ctx.Err()
+		}
+	}
+}

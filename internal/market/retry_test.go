@@ -1,0 +1,82 @@
+package market
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyRetriesTransients(t *testing.T) {
+	p := RetryPolicy{Backoff429: time.Millisecond, Backoff503: time.Millisecond, Jitter: -1}
+	calls := 0
+	stats, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		switch calls {
+		case 1:
+			return ErrBackpressure
+		case 2:
+			return ErrDegraded
+		default:
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if stats.Attempts != 3 || stats.Retries429 != 1 || stats.Retries503 != 1 {
+		t.Fatalf("stats = %+v, want 3 attempts, one retry each", stats)
+	}
+}
+
+func TestRetryPolicyPermanentErrorsPassThrough(t *testing.T) {
+	p := RetryPolicy{Jitter: -1}
+	calls := 0
+	_, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return ErrBatchTooLarge
+	})
+	if !errors.Is(err, ErrBatchTooLarge) || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want immediate ErrBatchTooLarge", err, calls)
+	}
+}
+
+func TestRetryPolicyMaxAttempts(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Backoff429: time.Microsecond, Jitter: -1}
+	stats, err := p.Do(context.Background(), func(context.Context) error { return ErrBackpressure })
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("err = %v, want ErrBackpressure", err)
+	}
+	if stats.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", stats.Attempts)
+	}
+}
+
+func TestRetryPolicyCtxCancelsBackoff(t *testing.T) {
+	// A generous base pause must not delay cancellation: Ctrl-C during
+	// a backoff returns promptly with ctx.Err().
+	p := RetryPolicy{Backoff429: time.Hour, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := p.Do(ctx, func(context.Context) error { return ErrBackpressure })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt the pause")
+	}
+}
+
+func TestRetryPolicyBackoffDoublesAndCaps(t *testing.T) {
+	p := RetryPolicy{Backoff429: 10 * time.Millisecond, MaxBackoff: 25 * time.Millisecond, MaxAttempts: 4, Jitter: -1}
+	start := time.Now()
+	_, _ = p.Do(context.Background(), func(context.Context) error { return ErrBackpressure })
+	// Pauses: 10ms, 20ms, 25ms (capped) = 55ms minimum.
+	if d := time.Since(start); d < 55*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 55ms (doubling then cap)", d)
+	}
+}

@@ -38,11 +38,17 @@ const maxRequestBytes = 64 << 20
 //	                               degraded (disk trouble — retry,
 //	                               alert), 413 on a batch or event that
 //	                               could never be admitted (permanent —
-//	                               split it)
+//	                               split it), 421 on a batch whose keys
+//	                               this node does not own (permanent —
+//	                               re-route to the owning node)
 //	GET  /v1/apps/{app}/verdict  — the app's Verdict as JSON
 //	GET  /v1/apps/{app}/timeline — the app's verdict Timeline as JSON
 //	                               (first report → tally climbs →
-//	                               threshold crossing, in event time)
+//	                               threshold crossing, in event time);
+//	                               ?raw=1 serves the mergeable per-shard
+//	                               TimelineParts federation consumes
+//	GET  /v1/node                — the node's cluster NodeDesc (id,
+//	                               slots, owned shard range, merge knobs)
 //	GET  /healthz                — per-shard health as JSON; 503 once
 //	                               any shard is degraded
 //	GET  /metrics, /metrics.json — the store's registry
@@ -74,71 +80,12 @@ func NewHandler(st *Store) http.Handler {
 				traced.Inc()
 			}
 		}
-		body := io.Reader(http.MaxBytesReader(w, r.Body, maxRequestBytes))
-		if r.Header.Get("Content-Encoding") == "gzip" {
-			zr, err := gzip.NewReader(body)
-			if err != nil {
-				http.Error(w, "bad gzip body", http.StatusBadRequest)
-				return
-			}
-			defer zr.Close()
-			body = zr
-		}
-		dec := json.NewDecoder(body)
-		var evs []report.Event
-		var prevOff int64
-		for {
-			var ev report.Event
-			if err := dec.Decode(&ev); err == io.EOF {
-				break
-			} else if err != nil {
-				code := http.StatusBadRequest
-				var mbe *http.MaxBytesError
-				if errors.As(err, &mbe) {
-					code = http.StatusRequestEntityTooLarge
-				}
-				http.Error(w, fmt.Sprintf("bad event at index %d: %v", len(evs), err), code)
-				return
-			}
-			// Per-event wire bound: an event whose raw JSON alone is
-			// past MaxEventBytes can never be stored (the commit path
-			// re-checks the marshaled size, which escaping can inflate).
-			off := dec.InputOffset()
-			if off-prevOff > MaxEventBytes {
-				http.Error(w, fmt.Sprintf("event at index %d exceeds %d bytes", len(evs), MaxEventBytes),
-					http.StatusRequestEntityTooLarge)
-				return
-			}
-			prevOff = off
-			if ev.App == "" || ev.Bomb == "" || ev.User == "" {
-				http.Error(w, fmt.Sprintf("event at index %d missing app/bomb/user", len(evs)), http.StatusBadRequest)
-				return
-			}
-			evs = append(evs, ev)
-			if len(evs) > maxEvents {
-				http.Error(w, fmt.Sprintf("batch exceeds %d events, split it", maxEvents), http.StatusRequestEntityTooLarge)
-				return
-			}
+		evs, ok := ReadReports(w, r, maxEvents)
+		if !ok {
+			return
 		}
 		accepted, dups, err := st.Ingest(evs)
-		switch {
-		case errors.Is(err, ErrBackpressure):
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
-		case errors.Is(err, ErrDegraded):
-			// Degraded is a disk problem, not a load problem: retryable
-			// in principle (an operator can swap the disk and restart),
-			// so 503 + Retry-After rather than a permanent rejection,
-			// with a longer pause than the backpressure 429.
-			w.Header().Set("Retry-After", "2")
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case errors.Is(err, ErrBatchTooLarge), errors.Is(err, ErrEventTooLarge):
-			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if !WriteIngestError(w, err) {
 			return
 		}
 		// The ack is post-WAL-flush (Ingest returned), so this duration
@@ -163,9 +110,23 @@ func NewHandler(st *Store) http.Handler {
 
 	mux.HandleFunc("GET /v1/apps/{app}/timeline", func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
-		tl := st.Timeline(r.PathValue("app"))
 		w.Header().Set("Content-Type", "application/json")
-		b, _ := json.Marshal(tl)
+		// ?raw=1 serves the mergeable per-shard parts (entries with tie
+		// hashes + evicted counts) instead of the rendered timeline —
+		// the form the cluster router federates across nodes.
+		if r.URL.Query().Get("raw") == "1" {
+			b, _ := json.Marshal(st.TimelineParts(r.PathValue("app")))
+			w.Write(append(b, '\n'))
+			return
+		}
+		b, _ := json.Marshal(st.Timeline(r.PathValue("app")))
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("GET /v1/node", func(w http.ResponseWriter, _ *http.Request) {
+		reqs.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(st.NodeDesc())
 		w.Write(append(b, '\n'))
 	})
 
@@ -187,4 +148,88 @@ func NewHandler(st *Store) http.Handler {
 
 	obs.RegisterMetricsHandlers(mux, st.Obs())
 	return mux
+}
+
+// ReadReports decodes a POST /v1/reports body — newline-delimited
+// Event JSON, Content-Encoding: gzip honored — enforcing the wire
+// bounds (maxRequestBytes total, MaxEventBytes per event, maxEvents
+// per batch, app/bomb/user present). On any violation it writes the
+// error response itself and reports ok=false. Shared by the node
+// handler above and the cluster router's HTTP front, so both speak
+// byte-identical request contracts.
+func ReadReports(w http.ResponseWriter, r *http.Request, maxEvents int) ([]report.Event, bool) {
+	body := io.Reader(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			http.Error(w, "bad gzip body", http.StatusBadRequest)
+			return nil, false
+		}
+		defer zr.Close()
+		body = zr
+	}
+	dec := json.NewDecoder(body)
+	var evs []report.Event
+	var prevOff int64
+	for {
+		var ev report.Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			code := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			http.Error(w, fmt.Sprintf("bad event at index %d: %v", len(evs), err), code)
+			return nil, false
+		}
+		// Per-event wire bound: an event whose raw JSON alone is
+		// past MaxEventBytes can never be stored (the commit path
+		// re-checks the marshaled size, which escaping can inflate).
+		off := dec.InputOffset()
+		if off-prevOff > MaxEventBytes {
+			http.Error(w, fmt.Sprintf("event at index %d exceeds %d bytes", len(evs), MaxEventBytes),
+				http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+		prevOff = off
+		if ev.App == "" || ev.Bomb == "" || ev.User == "" {
+			http.Error(w, fmt.Sprintf("event at index %d missing app/bomb/user", len(evs)), http.StatusBadRequest)
+			return nil, false
+		}
+		evs = append(evs, ev)
+		if len(evs) > maxEvents {
+			http.Error(w, fmt.Sprintf("batch exceeds %d events, split it", maxEvents), http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+	}
+	return evs, true
+}
+
+// WriteIngestError maps a Store.Ingest error onto the HTTP contract:
+// 429 + Retry-After for backpressure, 503 + Retry-After for degraded
+// (disk trouble, not load — retryable once an operator intervenes),
+// 413 for a batch or event that could never be admitted, 421 for a
+// misrouted batch (this node does not own the keys — permanent here,
+// the caller must re-route), 500 otherwise. Returns true when err was
+// nil and the caller should write its success body.
+func WriteIngestError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrBackpressure):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDegraded):
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrBatchTooLarge), errors.Is(err, ErrEventTooLarge):
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+	case errors.Is(err, ErrNotOwner):
+		http.Error(w, err.Error(), http.StatusMisdirectedRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	return false
 }

@@ -139,44 +139,110 @@ type Timeline struct {
 	Entries         []TimelineEntry `json:"entries"`
 }
 
-// Timeline merges the app's per-shard histories into one event-time
-// timeline with exact cumulative counts at every retained entry. The
-// merge walks all retained entries in (at, tie) order; consuming a
-// shard's first post-gap entry folds that shard's evicted count in,
-// so Count stays monotone and ends at exactly Verdict.Detections.
-func (st *Store) Timeline(app string) Timeline {
-	type shardTL struct {
-		entries []tlEntry
+// RawTimelineEntry is one retained timeline entry in wire form: event
+// time plus the key-hash tiebreak that makes (at_ms, tie) a total
+// order. The tie must travel with the entry — it is what keeps a
+// k-way merge across shards, and across *nodes*, reproducible when
+// event times collide.
+type RawTimelineEntry struct {
+	AtMs int64  `json:"at_ms"`
+	Tie  uint64 `json:"tie"`
+}
+
+// TimelinePart is one shard's bounded per-app history as a mergeable
+// unit: its retained entries (sorted by (at_ms, tie)) and how many
+// mid-history entries were evicted at the head boundary. Parts are
+// what federation ships between nodes — merging all parts of all
+// nodes is the same computation as merging one node's shards.
+type TimelinePart struct {
+	Entries []RawTimelineEntry `json:"entries"`
+	Evicted int64              `json:"evicted"`
+}
+
+// RawTimeline is the federation wire form of an app's timeline state,
+// served at GET /v1/apps/{app}/timeline?raw=1: the per-shard parts
+// plus the merge parameters (threshold and head-retention length)
+// that must agree across every part being merged.
+type RawTimeline struct {
+	App       string         `json:"app"`
+	Threshold int            `json:"threshold"`
+	Head      int            `json:"head"`
+	Parts     []TimelinePart `json:"parts"`
+}
+
+// TimelineParts snapshots the app's per-shard histories in shard-index
+// order — the store's side of the federation contract.
+func (st *Store) TimelineParts(app string) RawTimeline {
+	out := RawTimeline{
+		App:       app,
+		Threshold: st.cfg.Threshold,
+		Head:      st.shards[0].tlHead(),
+	}
+	for _, s := range st.shards {
+		entries, ev := s.tlSnapshot(app)
+		part := TimelinePart{Evicted: ev}
+		if len(entries) > 0 {
+			part.Entries = make([]RawTimelineEntry, len(entries))
+			for i, e := range entries {
+				part.Entries[i] = RawTimelineEntry{AtMs: e.at, Tie: e.tie}
+			}
+		}
+		out.Parts = append(out.Parts, part)
+	}
+	return out
+}
+
+// MergeTimelineParts performs the k-way merge of bounded per-shard
+// histories into one event-time timeline with exact cumulative counts
+// at every retained entry. The merge walks all retained entries in
+// (at, tie) order; consuming a part's first post-gap entry folds that
+// part's evicted count in, so Count stays monotone and ends at
+// exactly the summed detections.
+//
+// The parts may come from one store's shards (Store.Timeline) or from
+// every shard of every node of a cluster (cluster.Router.Timeline) —
+// the computation is identical, which is why a federated timeline is
+// byte-identical to a single-node reference fed the same admitted
+// multiset whenever no part has evicted (and why, under eviction, the
+// head entries through the threshold crossing and the final counts
+// still agree exactly; see DESIGN.md §16 for the argument).
+func MergeTimelineParts(app string, threshold, head int, parts []TimelinePart) Timeline {
+	type partState struct {
+		entries []RawTimelineEntry
 		evicted int64
 		idx     int   // next entry to consume
 		rank    int64 // entries (incl. evicted) consumed so far
 	}
-	tls := make([]*shardTL, 0, len(st.shards))
+	tls := make([]*partState, 0, len(parts))
 	var evicted int64
-	head := st.shards[0].tlHead()
-	for _, s := range st.shards {
-		entries, ev := s.tlSnapshot(app)
-		evicted += ev
-		if len(entries) > 0 {
-			tls = append(tls, &shardTL{entries: entries, evicted: ev})
+	for _, p := range parts {
+		evicted += p.Evicted
+		if len(p.Entries) > 0 {
+			tls = append(tls, &partState{entries: p.Entries, evicted: p.Evicted})
 		}
 	}
 
 	out := Timeline{
 		App:             app,
-		Threshold:       st.cfg.Threshold,
+		Threshold:       threshold,
 		Evicted:         evicted,
 		TimeToVerdictMs: -1,
+	}
+	less := func(a, b RawTimelineEntry) bool {
+		if a.AtMs != b.AtMs {
+			return a.AtMs < b.AtMs
+		}
+		return a.Tie < b.Tie
 	}
 	var count int64
 	crossed := false
 	for {
-		var best *shardTL
+		var best *partState
 		for _, s := range tls {
 			if s.idx >= len(s.entries) {
 				continue
 			}
-			if best == nil || tlLess(s.entries[s.idx], best.entries[best.idx]) {
+			if best == nil || less(s.entries[s.idx], best.entries[best.idx]) {
 				best = s
 			}
 		}
@@ -184,7 +250,7 @@ func (st *Store) Timeline(app string) Timeline {
 			break
 		}
 		e := best.entries[best.idx]
-		// Rank of this entry within its shard, counting the evicted
+		// Rank of this entry within its part, counting the evicted
 		// mid-gap once the walk moves past the retained head.
 		rank := int64(best.idx) + 1
 		if best.idx >= head {
@@ -198,18 +264,26 @@ func (st *Store) Timeline(app string) Timeline {
 		if len(out.Entries) == 0 {
 			kind = "first"
 		}
-		if !crossed && count >= int64(st.cfg.Threshold) {
+		if !crossed && count >= int64(threshold) {
 			crossed = true
 			kind = "threshold"
 			if len(out.Entries) == 0 {
 				out.TimeToVerdictMs = 0
 			} else {
-				out.TimeToVerdictMs = e.at - out.Entries[0].AtMs
+				out.TimeToVerdictMs = e.AtMs - out.Entries[0].AtMs
 			}
 		}
-		out.Entries = append(out.Entries, TimelineEntry{AtMs: e.at, Count: count, Kind: kind})
+		out.Entries = append(out.Entries, TimelineEntry{AtMs: e.AtMs, Count: count, Kind: kind})
 	}
 	out.Detections = count
 	out.Repackaged = crossed
 	return out
+}
+
+// Timeline merges the app's per-shard histories into its event-time
+// verdict timeline — the single-node instance of the same merge the
+// cluster router runs across nodes.
+func (st *Store) Timeline(app string) Timeline {
+	raw := st.TimelineParts(app)
+	return MergeTimelineParts(app, raw.Threshold, raw.Head, raw.Parts)
 }

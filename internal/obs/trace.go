@@ -526,6 +526,76 @@ func (w *WindowedHistogram) Dropped() int64 {
 	return w.dropped
 }
 
+// MergeInto folds this windowed histogram into dst, window by
+// absolute index — the windowed counterpart of Registry.MergeInto,
+// used when per-node or per-campaign tracers are aggregated into one
+// fleet view. Windows with the same index add bucket-wise; the merged
+// horizon advances to the newer of the two maxima, and source windows
+// (or whole-window contents already evicted on either side) that fall
+// behind it are folded into dst's dropped count, exactly as if their
+// observations had arrived late at dst. Source dropped counts carry
+// over too. Merging is commutative in the totals: any merge order
+// retains the same windows and the same retained+dropped accounting.
+// Panics if the bucket bounds or window widths differ — those are
+// configuration errors, not data.
+func (w *WindowedHistogram) MergeInto(dst *WindowedHistogram) {
+	if w == nil || dst == nil || w == dst {
+		return
+	}
+	// Lock ordering: the two locks are only ever taken together here,
+	// and callers merge disjoint sources into one dst, so ordering by
+	// role is safe.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if w.widthMs != dst.widthMs {
+		panic(fmt.Sprintf("obs: windowed histograms merged with mismatched widths (%dms vs %dms)", w.widthMs, dst.widthMs))
+	}
+	if len(w.bounds) != len(dst.bounds) {
+		panic("obs: windowed histograms merged with mismatched buckets")
+	}
+	for i := range w.bounds {
+		if w.bounds[i] != dst.bounds[i] {
+			panic("obs: windowed histograms merged with mismatched buckets")
+		}
+	}
+	dst.dropped += w.dropped
+	if !w.started {
+		return
+	}
+	if !dst.started || w.maxIdx > dst.maxIdx {
+		dst.maxIdx = w.maxIdx
+		dst.started = true
+		for old := range dst.windows {
+			if old <= dst.maxIdx-int64(dst.keep) {
+				h := dst.windows[old]
+				dst.dropped += h.count.Load()
+				delete(dst.windows, old)
+			}
+		}
+	}
+	for idx, sh := range w.windows {
+		if idx <= dst.maxIdx-int64(dst.keep) {
+			dst.dropped += sh.count.Load()
+			continue
+		}
+		dh := dst.windows[idx]
+		if dh == nil {
+			dh = NewHistogram(dst.bounds)
+			dst.windows[idx] = dh
+		}
+		if len(dh.counts) != len(sh.counts) {
+			panic("obs: windowed histograms merged with mismatched buckets")
+		}
+		for i := range sh.counts {
+			dh.counts[i].Add(sh.counts[i].Load())
+		}
+		dh.sum.Add(sh.sum.Load())
+		dh.count.Add(sh.count.Load())
+	}
+}
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram
 // snapshot by linear interpolation within the owning bucket, the
 // usual Prometheus-style estimator. The +Inf bucket clamps to its

@@ -1,12 +1,25 @@
 #!/bin/sh
-# Runs the PR's perf benchmarks and writes BENCH_PR8.json.
+# Runs the PR's perf benchmarks and writes BENCH_PR9.json.
 #
 #   scripts/bench.sh [benchtime] [count]
 #
-# Stable schema: BENCH_PR8.json repeats every BENCH_PR7.json key
+# Stable schema: BENCH_PR9.json repeats every BENCH_PR8.json key
 # (Table 3 campaign, VM dispatch hot path, obs overhead, staged
-# protection engine, marketd ingestion and restart records) and adds
-# the tracing/timeline record:
+# protection engine, marketd ingestion, tracing/timeline and restart
+# records) and adds the multi-node cluster record:
+#
+#   - cluster_events_per_sec — routed ingest through a 3-node HTTP
+#     cluster (partitioning, concurrent fan-out, per-node acks);
+#     acceptance is within 20% of the single-node
+#     market_ingest_events_per_sec, reported alongside as
+#     cluster_vs_single_node_pct;
+#   - router_fanout_p99_ms — p99 of the router's receive→all-acks
+#     window from the cluster_router_fanout_us histogram;
+#   - federated_verdict_ns_op / federated_timeline_ns_op — one
+#     federated read: concurrent per-node fetches plus the commutative
+#     merge (verdict sum, timeline k-way merge over raw parts).
+#
+# PR8 record, for context:
 #
 #   - trace_overhead_pct — events/sec lost when every ingest batch
 #     carries an obs.TraceHeader (BenchmarkMarketIngestHTTPTraced vs
@@ -40,7 +53,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 COUNT="${2:-5}"
-OUT=BENCH_PR8.json
+OUT=BENCH_PR9.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -98,6 +111,18 @@ go test -run '^$' \
 	-bench 'BenchmarkRestartReplayFull$|BenchmarkRestartReplayCheckpoint$' \
 	-benchtime 5x ./internal/market | tee -a "$RAW"
 
+# Multi-node cluster: routed ingest through a 3-node HTTP cluster plus
+# the federated read pair. Interleaved rounds like the other full-stack
+# benches; the acceptance bar is cluster ingest within 20% of the
+# single-node market_ingest_events_per_sec.
+i=1
+while [ "$i" -le "$COUNT" ]; do
+	go test -run '^$' \
+		-bench 'BenchmarkClusterIngest$|BenchmarkFederatedVerdict$|BenchmarkFederatedTimeline$' \
+		-benchtime "$BENCHTIME" ./internal/market/cluster | tee -a "$RAW"
+	i=$((i + 1))
+done
+
 # Previous campaign allocs/op, for the reduction ratio.
 PREV_ALLOCS="$(sed -n 's/.*"table3_workers1_allocs_op": \([0-9]*\).*/\1/p' BENCH_PR6.json 2>/dev/null || true)"
 
@@ -150,6 +175,9 @@ function out(v) { return v == "" ? "null" : v }
 /^BenchmarkWALReplay/ { walrep = metric("events_sec") }
 /^BenchmarkRestartReplayFull/ { rfull = metric("ms_restart") }
 /^BenchmarkRestartReplayCheckpoint/ { rckpt = metric("ms_restart") }
+/^BenchmarkClusterIngest/ { push("cing", metric("events\\/s")); push("cfan", metric("p99fan_ms")) }
+/^BenchmarkFederatedVerdict/ { push("fverd", metric("ns\\/op")) }
+/^BenchmarkFederatedTimeline/ { push("ftl", metric("ns\\/op")) }
 END {
 	inv = med("inv"); invb = med("invb"); inva = med("inva")
 	obs = med("obs"); obsa = med("obsa")
@@ -157,7 +185,7 @@ END {
 	# Serial campaign baseline: workers=1 pinned to one core.
 	w1 = med("t3w1_g1"); w1a = med("t3w1a_g1")
 	printf "{\n"
-	printf "  \"bench\": \"PR8 report-lifecycle tracing and verdict timelines: detonation to market verdict\",\n"
+	printf "  \"bench\": \"PR9 multi-node marketd: shard-range ownership, router fan-out, federated verdicts\",\n"
 	printf "  \"cores\": %d,\n", cores
 	printf "  \"bench_count\": %d,\n", cnt["inv"]
 	printf "  \"table3_workers1_ns_op\": %s,\n", out(w1)
@@ -219,7 +247,13 @@ END {
 	printf "  \"market_wal_replay_events_per_sec\": %s,\n", out(walrep)
 	printf "  \"restart_replay_full_ms\": %s,\n", out(rfull)
 	printf "  \"restart_replay_checkpoint_ms\": %s,\n", out(rckpt)
-	printf "  \"restart_speedup\": %s\n", (rfull == "" || rckpt == "" || rckpt == 0 ? "null" : sprintf("%.2f", rfull / rckpt))
+	printf "  \"restart_speedup\": %s,\n", (rfull == "" || rckpt == "" || rckpt == 0 ? "null" : sprintf("%.2f", rfull / rckpt))
+	cing = med("cing"); cfan = med("cfan"); fverd = med("fverd"); ftl = med("ftl")
+	printf "  \"cluster_events_per_sec\": %s,\n", out(cing)
+	printf "  \"cluster_vs_single_node_pct\": %s,\n", (ing == "" || cing == "" || ing == 0 ? "null" : sprintf("%.1f", cing * 100.0 / ing))
+	printf "  \"router_fanout_p99_ms\": %s,\n", out(cfan)
+	printf "  \"federated_verdict_ns_op\": %s,\n", out(fverd)
+	printf "  \"federated_timeline_ns_op\": %s\n", out(ftl)
 	printf "}\n"
 }' "$RAW" > "$OUT"
 

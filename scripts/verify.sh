@@ -251,4 +251,103 @@ diff "$SMOKE_DIR/verdict3.json" "$SMOKE_DIR/verdict4.json" || {
 kill -TERM "$MARKETD_PID"
 wait "$MARKETD_PID"
 
+echo "==> smoke: 3-node cluster + router, federated reads byte-identical to a single node"
+# Three partial-range nodes tiling the 256-slot key space, a -router
+# daemon fanning out over them, and a standalone full-range reference
+# daemon. The same deterministic hose (fixed -run label) goes into
+# both; the federated /verdict and /timeline through the router must
+# then be byte-identical to the reference's. Finally one node is
+# SIGTERM-restarted over its own data dir (same flags, same port — the
+# pinned range must accept the restart) and the federated verdict must
+# not change.
+CLUSTER_DIR="$SMOKE_DIR/cluster"
+mkdir -p "$CLUSTER_DIR"
+
+start_node() { # $1 log, $2 data dir, $3 node id, $4 range, $5 addr
+	"$SMOKE_DIR/marketd" -addr "$5" -data "$2" -shards 2 -threshold 3 \
+		-node-id "$3" -slots 256 -shard-range "$4" > "$1" 2>&1 &
+	NODE_PID=$!
+	for _ in $(seq 1 100); do
+		grep -q 'listening on' "$1" 2>/dev/null && break
+		sleep 0.1
+	done
+	NODE_ADDR="$(sed -n 's/^marketd: listening on //p' "$1")"
+	[ -n "$NODE_ADDR" ] || {
+		echo "verify: cluster node $3 never bound:" >&2
+		cat "$1" >&2
+		exit 1
+	}
+}
+
+start_node "$CLUSTER_DIR/n0.log" "$CLUSTER_DIR/n0" n0 0:86 127.0.0.1:0
+N0_PID=$NODE_PID N0=$NODE_ADDR
+start_node "$CLUSTER_DIR/n1.log" "$CLUSTER_DIR/n1" n1 86:171 127.0.0.1:0
+N1_PID=$NODE_PID N1=$NODE_ADDR
+start_node "$CLUSTER_DIR/n2.log" "$CLUSTER_DIR/n2" n2 171:256 127.0.0.1:0
+N2_PID=$NODE_PID N2=$NODE_ADDR
+
+"$SMOKE_DIR/marketd" -router -addr 127.0.0.1:0 \
+	-nodes "http://$N0,http://$N1,http://$N2" > "$CLUSTER_DIR/router.log" 2>&1 &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+	grep -q 'router listening on' "$CLUSTER_DIR/router.log" 2>/dev/null && break
+	sleep 0.1
+done
+ROUTER_ADDR="$(sed -n 's/^marketd: router listening on //p' "$CLUSTER_DIR/router.log")"
+[ -n "$ROUTER_ADDR" ] || {
+	echo "verify: router never bound:" >&2
+	cat "$CLUSTER_DIR/router.log" >&2
+	exit 1
+}
+
+MARKET_DATA="$CLUSTER_DIR/reference-data"
+start_marketd "$CLUSTER_DIR/reference.log"
+REF_ADDR=$MARKET_ADDR REF_PID=$MARKETD_PID
+
+"$SMOKE_DIR/loadgen" -url "http://$ROUTER_ADDR" -events 6000 -batch 200 \
+	-workers 2 -run fed > "$CLUSTER_DIR/hose-cluster.json"
+grep -q '"accepted": 6000' "$CLUSTER_DIR/hose-cluster.json" || {
+	echo "verify: cluster hose did not land 6000 accepted events:" >&2
+	cat "$CLUSTER_DIR/hose-cluster.json" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$REF_ADDR" -events 6000 -batch 200 \
+	-workers 2 -run fed > "$CLUSTER_DIR/hose-ref.json"
+
+for app in app-0 app-7 app-63; do
+	"$SMOKE_DIR/loadgen" -url "http://$ROUTER_ADDR" -verdict "$app" > "$CLUSTER_DIR/fed-verdict-$app.json"
+	"$SMOKE_DIR/loadgen" -url "http://$REF_ADDR" -verdict "$app" > "$CLUSTER_DIR/ref-verdict-$app.json"
+	diff "$CLUSTER_DIR/fed-verdict-$app.json" "$CLUSTER_DIR/ref-verdict-$app.json" || {
+		echo "verify: federated verdict for $app differs from the single-node reference" >&2
+		exit 1
+	}
+	"$SMOKE_DIR/loadgen" -url "http://$ROUTER_ADDR" -timeline "$app" > "$CLUSTER_DIR/fed-timeline-$app.json"
+	"$SMOKE_DIR/loadgen" -url "http://$REF_ADDR" -timeline "$app" > "$CLUSTER_DIR/ref-timeline-$app.json"
+	diff "$CLUSTER_DIR/fed-timeline-$app.json" "$CLUSTER_DIR/ref-timeline-$app.json" || {
+		echo "verify: federated timeline for $app differs from the single-node reference" >&2
+		exit 1
+	}
+done
+
+# Node restart: SIGTERM n1, restart it on the same port over the same
+# data dir (meta.json pins its range — matching flags must be accepted),
+# and the federated verdict must come back unchanged.
+kill -TERM "$N1_PID"
+wait "$N1_PID"
+grep -q 'clean shutdown' "$CLUSTER_DIR/n1.log" || {
+	echo "verify: cluster node n1 did not shut down cleanly:" >&2
+	cat "$CLUSTER_DIR/n1.log" >&2
+	exit 1
+}
+start_node "$CLUSTER_DIR/n1-restart.log" "$CLUSTER_DIR/n1" n1 86:171 "$N1"
+N1_PID=$NODE_PID
+"$SMOKE_DIR/loadgen" -url "http://$ROUTER_ADDR" -verdict app-0 > "$CLUSTER_DIR/fed-verdict-restart.json"
+diff "$CLUSTER_DIR/fed-verdict-app-0.json" "$CLUSTER_DIR/fed-verdict-restart.json" || {
+	echo "verify: federated verdict changed after a node restart" >&2
+	exit 1
+}
+
+kill -TERM "$ROUTER_PID" "$N0_PID" "$N1_PID" "$N2_PID" "$REF_PID"
+wait "$ROUTER_PID" "$N0_PID" "$N1_PID" "$N2_PID" "$REF_PID"
+
 echo "verify: OK"
