@@ -31,8 +31,17 @@
 //	loadgen -url ... -verdict app-7
 //	loadgen -url ... -timeline app-7
 //
-// verdict/timeline: fetch and print one app's verdict or verdict
-// timeline.
+// verdict/timeline: fetch and print one app's fused verdict or
+// verdict timeline.
+//
+//	loadgen -url ... -fingerprint out/manifest.json
+//	loadgen -url ... -similar AndroFish
+//
+// fingerprint: walk a cmd/bombdroid -batch manifest, unpack each
+// protected output package, and upload its resource fingerprint (the
+// per-entry SHA-256 digests from the apk manifest) to
+// POST /v1/apps/{app}/fingerprint — the static-channel corpus load.
+// similar: fetch and print one app's top-K near-duplicate neighbors.
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"bombdroid/internal/apk"
 	"bombdroid/internal/chaos"
 	"bombdroid/internal/exp"
 	"bombdroid/internal/market"
@@ -118,8 +128,10 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	sessions := fs.Int("sessions", 8, "campaign: detonation sessions")
 	profile := fs.String("profile", "mild", "campaign: fault profile none|mild|harsh")
 	seed := fs.Int64("seed", 42, "campaign: campaign seed")
-	verdict := fs.String("verdict", "", "verdict: fetch this app's verdict and exit")
+	verdict := fs.String("verdict", "", "verdict: fetch this app's fused verdict and exit")
 	timeline := fs.String("timeline", "", "timeline: fetch this app's verdict timeline and exit")
+	fingerprint := fs.String("fingerprint", "", "fingerprint: upload resource fingerprints from this bombdroid -batch manifest and exit")
+	similar := fs.String("similar", "", "similar: fetch this app's near-duplicate neighbors and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,7 +144,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	urls := splitURLs(*url)
 	var tgt target
 	if len(urls) == 1 {
-		tgt = &market.Client{BaseURL: urls[0], Gzip: *gzipOn}
+		tgt = clientTarget{&market.Client{BaseURL: urls[0], Gzip: *gzipOn}}
 	} else {
 		rt, err := cluster.New(ctx, cluster.Config{Nodes: urls, Gzip: *gzipOn})
 		if err != nil {
@@ -143,7 +155,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 
 	switch {
 	case *verdict != "":
-		v, err := tgt.VerdictCtx(ctx, *verdict)
+		v, err := tgt.Verdict(ctx, *verdict)
 		if err != nil {
 			return err
 		}
@@ -151,11 +163,21 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		fmt.Fprintf(out, "%s\n", b)
 		return nil
 	case *timeline != "":
-		tl, err := tgt.TimelineCtx(ctx, *timeline)
+		tl, err := tgt.Timeline(ctx, *timeline)
 		if err != nil {
 			return err
 		}
 		b, _ := json.Marshal(tl)
+		fmt.Fprintf(out, "%s\n", b)
+		return nil
+	case *fingerprint != "":
+		return uploadFingerprints(ctx, out, tgt, *fingerprint)
+	case *similar != "":
+		sim, err := tgt.Similar(ctx, *similar)
+		if err != nil {
+			return err
+		}
+		b, _ := json.Marshal(sim)
 		fmt.Fprintf(out, "%s\n", b)
 		return nil
 	case *campaign != "":
@@ -183,25 +205,138 @@ func splitURLs(s string) []string {
 // market.Client, or a whole cluster via an in-process router. Both
 // speak the same ctx-first surface.
 type target interface {
-	PostCtx(ctx context.Context, evs []report.Event) (market.PostResult, error)
-	VerdictCtx(ctx context.Context, app string) (market.Verdict, error)
-	TimelineCtx(ctx context.Context, app string) (market.Timeline, error)
+	Post(ctx context.Context, evs []report.Event) (market.PostResult, error)
+	Verdict(ctx context.Context, app string) (market.Verdict, error)
+	Timeline(ctx context.Context, app string) (market.Timeline, error)
+	PutFingerprint(ctx context.Context, fp market.Fingerprint) (market.FingerprintAck, error)
+	Similar(ctx context.Context, app string) (market.Similar, error)
 }
 
-// routerTarget adapts cluster.Router's Ack to the single-node shape.
+// clientTarget adapts market.Client's per-resource method groups to
+// the flat target surface.
+type clientTarget struct{ cl *market.Client }
+
+func (t clientTarget) Post(ctx context.Context, evs []report.Event) (market.PostResult, error) {
+	return t.cl.Reports().Post(ctx, evs)
+}
+
+func (t clientTarget) Verdict(ctx context.Context, app string) (market.Verdict, error) {
+	return t.cl.Verdicts().Get(ctx, app)
+}
+
+func (t clientTarget) Timeline(ctx context.Context, app string) (market.Timeline, error) {
+	return t.cl.Timelines().Get(ctx, app)
+}
+
+func (t clientTarget) PutFingerprint(ctx context.Context, fp market.Fingerprint) (market.FingerprintAck, error) {
+	return t.cl.Fingerprints().Put(ctx, fp)
+}
+
+func (t clientTarget) Similar(ctx context.Context, app string) (market.Similar, error) {
+	return t.cl.Fingerprints().Similar(ctx, app)
+}
+
+// routerTarget adapts cluster.Router's federated calls (and its Ack
+// type) to the single-node shape.
 type routerTarget struct{ rt *cluster.Router }
 
-func (t routerTarget) PostCtx(ctx context.Context, evs []report.Event) (market.PostResult, error) {
+func (t routerTarget) Post(ctx context.Context, evs []report.Event) (market.PostResult, error) {
 	ack, err := t.rt.PostCtx(ctx, evs)
 	return market.PostResult{Accepted: ack.Accepted, Duplicates: ack.Duplicates}, err
 }
 
-func (t routerTarget) VerdictCtx(ctx context.Context, app string) (market.Verdict, error) {
+func (t routerTarget) Verdict(ctx context.Context, app string) (market.Verdict, error) {
 	return t.rt.VerdictCtx(ctx, app)
 }
 
-func (t routerTarget) TimelineCtx(ctx context.Context, app string) (market.Timeline, error) {
+func (t routerTarget) Timeline(ctx context.Context, app string) (market.Timeline, error) {
 	return t.rt.TimelineCtx(ctx, app)
+}
+
+func (t routerTarget) PutFingerprint(ctx context.Context, fp market.Fingerprint) (market.FingerprintAck, error) {
+	return t.rt.PutFingerprintCtx(ctx, fp)
+}
+
+func (t routerTarget) Similar(ctx context.Context, app string) (market.Similar, error) {
+	return t.rt.SimilarCtx(ctx, app)
+}
+
+// fpSummary is the fingerprint mode's JSON report. Apps is sorted so
+// two uploads of the same corpus print identical summaries.
+type fpSummary struct {
+	Manifest string   `json:"manifest"`
+	Uploaded int      `json:"uploaded"`
+	Updated  int      `json:"updated"`
+	Skipped  int      `json:"skipped"`
+	Entries  int      `json:"entries"`
+	Apps     []string `json:"apps"`
+}
+
+// batchApp mirrors the per-app rows of cmd/bombdroid's -batch
+// manifest; only the fields fingerprint mode needs.
+type batchApp struct {
+	App    string `json:"app"`
+	Status string `json:"status"`
+	Out    string `json:"out"`
+}
+
+// uploadFingerprints walks a bombdroid -batch manifest, unpacks every
+// successfully protected output APK, and uploads its per-entry digest
+// set as the app's resource fingerprint.
+func uploadFingerprints(ctx context.Context, out io.Writer, tgt target, manifestPath string) error {
+	raw, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return err
+	}
+	var man struct {
+		Apps []batchApp `json:"apps"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return fmt.Errorf("parse %s: %w", manifestPath, err)
+	}
+	s := fpSummary{Manifest: manifestPath}
+	policy := market.RetryPolicy{Backoff503: degradedRetryDelay}
+	for _, a := range man.Apps {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if a.Status != "ok" || a.Out == "" {
+			s.Skipped++
+			continue
+		}
+		data, err := os.ReadFile(a.Out)
+		if err != nil {
+			return fmt.Errorf("app %s: %w", a.App, err)
+		}
+		pkg, err := apk.Unpack(data)
+		if err != nil {
+			return fmt.Errorf("app %s: %w", a.App, err)
+		}
+		rows := pkg.Manifest.SortedDigests()
+		digests := make([]string, len(rows))
+		for i, r := range rows {
+			digests[i] = r.Digest
+		}
+		fp := market.Fingerprint{App: pkg.Name, Digests: digests}
+		var ack market.FingerprintAck
+		if _, err := policy.Do(ctx, func(ctx context.Context) error {
+			var perr error
+			ack, perr = tgt.PutFingerprint(ctx, fp)
+			return perr
+		}); err != nil {
+			return fmt.Errorf("app %s: %w", pkg.Name, err)
+		}
+		s.Uploaded++
+		s.Entries += ack.Entries
+		if ack.Updated {
+			s.Updated++
+		}
+		s.Apps = append(s.Apps, pkg.Name)
+	}
+	sort.Strings(s.Apps)
+	b, _ := json.MarshalIndent(s, "", "  ")
+	fmt.Fprintf(out, "%s\n", b)
+	return nil
 }
 
 // fireHose hammers POST /v1/reports from workers goroutines and
@@ -249,7 +384,7 @@ func fireHose(ctx context.Context, out io.Writer, cl target, events, batch, work
 				stats, err := policy.Do(ctx, func(ctx context.Context) error {
 					t0 := time.Now()
 					var perr error
-					pr, perr = cl.PostCtx(ctx, evs)
+					pr, perr = cl.Post(ctx, evs)
 					r.lat = append(r.lat, time.Since(t0))
 					return perr
 				})
@@ -360,7 +495,7 @@ func runCampaign(ctx context.Context, out io.Writer, url, app string, sessions i
 		return err
 	}
 	cl := &market.Client{BaseURL: url}
-	tl, err := cl.TimelineCtx(ctx, p.Pirated.Name)
+	tl, err := cl.Timelines().Get(ctx, p.Pirated.Name)
 	if err != nil {
 		return err
 	}
@@ -381,7 +516,7 @@ func runCampaign(ctx context.Context, out io.Writer, url, app string, sessions i
 	}
 	b, _ := json.MarshalIndent(cs, "", "  ")
 	fmt.Fprintf(out, "%s\n", b)
-	v, err := cl.VerdictCtx(ctx, p.Pirated.Name)
+	v, err := cl.Verdicts().Get(ctx, p.Pirated.Name)
 	if err != nil {
 		return err
 	}

@@ -101,7 +101,7 @@ func TestFireHoseBackpressure(t *testing.T) {
 func TestVerdictMode(t *testing.T) {
 	srv := newMarket(t, market.Config{Threshold: 1})
 	cl := &market.Client{BaseURL: srv.URL}
-	if _, err := cl.Post(nil); err != nil {
+	if _, err := cl.Reports().Post(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
@@ -112,7 +112,7 @@ func TestVerdictMode(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
 		t.Fatalf("verdict does not parse: %v\n%s", err, out.String())
 	}
-	if v.App != "app.v" || v.Repackaged {
+	if v.App != "app.v" || v.Flagged {
 		t.Errorf("verdict = %+v, want app.v, not repackaged", v)
 	}
 }
@@ -154,7 +154,7 @@ func TestCampaignMode(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &v); err != nil {
 		t.Fatalf("verdict line does not parse: %v\n%s", err, got)
 	}
-	if !v.Repackaged || v.Detections == 0 {
+	if !v.Flagged || v.Channels.Reports.Detections == 0 {
 		t.Errorf("verdict = %+v, want repackaged with detections after campaign", v)
 	}
 }
@@ -163,7 +163,7 @@ func TestCampaignMode(t *testing.T) {
 func TestTimelineMode(t *testing.T) {
 	srv := newMarket(t, market.Config{Threshold: 1})
 	cl := &market.Client{BaseURL: srv.URL}
-	if _, err := cl.Post([]report.Event{
+	if _, err := cl.Reports().Post(context.Background(), []report.Event{
 		{App: "app.tlm", Bomb: "b1", User: "u1", TimeMs: 500, Info: "k"},
 	}); err != nil {
 		t.Fatal(err)
@@ -276,15 +276,15 @@ func TestFireHoseCluster(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
 		t.Fatal(err)
 	}
-	if v.Detections != 500 || !v.Repackaged {
+	if v.Channels.Reports.Detections != 500 || !v.Flagged {
 		t.Errorf("federated verdict = %+v, want 500 detections", v)
 	}
-	nv, err := (&market.Client{BaseURL: n0.URL}).VerdictCtx(context.Background(), "app-0")
+	nv, err := (&market.Client{BaseURL: n0.URL}).Verdicts().Get(context.Background(), "app-0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nv.Detections == 0 || nv.Detections == 500 {
-		t.Errorf("node share = %d detections, want a strict subset", nv.Detections)
+	if nv.Channels.Reports.Detections == 0 || nv.Channels.Reports.Detections == 500 {
+		t.Errorf("node share = %d detections, want a strict subset", nv.Channels.Reports.Detections)
 	}
 
 	// Campaign mode drives one HTTP endpoint; a node list is a usage

@@ -10,6 +10,7 @@
 //	        [-shards 4] [-queue-cap 4096] [-dedup-window 65536]
 //	        [-segment-mb 64] [-threshold 3] [-timeline-cap 256]
 //	        [-fsync] [-checkpoint-every 65536] [-drain-timeout 10s]
+//	        [-tau 0.6] [-similar-k 10] [-max-fingerprint-entries 4096]
 //	        [-debug-addr :6060]
 //	        [-node-id n0] [-slots 256] [-shard-range 0:86]
 //	marketd -router -addr :8840 -nodes http://h1:8844,http://h2:8844,...
@@ -22,7 +23,8 @@
 // it discovers each -nodes member's descriptor (retrying briefly so
 // routers and nodes can start in any order), validates the ranges
 // tile the slot space, and serves the same HTTP surface a single
-// node does — routed writes, federated verdicts and timelines.
+// node does — routed writes (reports and fingerprints), federated
+// fused verdicts, timelines and similarity queries.
 //
 // On startup the daemon restores each shard from its newest valid
 // checkpoint and replays only the WAL tail past it (full replay when
@@ -75,6 +77,9 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 	fsync := fs.Bool("fsync", false, "fsync the WAL on every commit (survives machine crash, not just process kill)")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "records between checkpoint snapshots per shard (0 = default, negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max time to drain and seal shards on shutdown (0 = wait forever)")
+	tau := fs.Float64("tau", 0, "similarity score at or above which a neighbor counts for the fused verdict (0 = default)")
+	similarK := fs.Int("similar-k", 0, "neighbors returned by the similar query (0 = default)")
+	maxFPEntries := fs.Int("max-fingerprint-entries", 0, "max digests per uploaded fingerprint (0 = default)")
 	debugAddr := fs.String("debug-addr", "", "serve metrics + pprof on this extra address")
 	nodeID := fs.String("node-id", "", "this node's cluster identity (pinned at first start)")
 	slots := fs.Int("slots", 0, "cluster key-space slot count (0 = default 256; pinned at first start)")
@@ -102,19 +107,22 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 	}
 
 	cfg := market.Config{
-		Dir:             *data,
-		Shards:          *shards,
-		QueueCap:        *queueCap,
-		DedupWindow:     *dedupWindow,
-		SegmentBytes:    int64(*segmentMB) << 20,
-		Threshold:       *threshold,
-		TimelineCap:     *timelineCap,
-		Fsync:           *fsync,
-		CheckpointEvery: *checkpointEvery,
-		NodeID:          *nodeID,
-		Slots:           *slots,
-		Range:           rng,
-		Obs:             obs.NewRegistry(),
+		Dir:                   *data,
+		Shards:                *shards,
+		QueueCap:              *queueCap,
+		DedupWindow:           *dedupWindow,
+		SegmentBytes:          int64(*segmentMB) << 20,
+		Threshold:             *threshold,
+		TimelineCap:           *timelineCap,
+		Fsync:                 *fsync,
+		CheckpointEvery:       *checkpointEvery,
+		SimilarityTau:         *tau,
+		SimilarityK:           *similarK,
+		MaxFingerprintEntries: *maxFPEntries,
+		NodeID:                *nodeID,
+		Slots:                 *slots,
+		Range:                 rng,
+		Obs:                   obs.NewRegistry(),
 	}
 	st, stats, err := market.Open(cfg)
 	if err != nil {

@@ -81,18 +81,18 @@ func TestDaemonLifecycle(t *testing.T) {
 		{App: "app.x", Bomb: "b1", User: "u2", TimeMs: 2},
 		{App: "app.x", Bomb: "b1", User: "u1", TimeMs: 3}, // dup
 	}
-	res, err := cl.Post(evs)
+	res, err := cl.Reports().Post(context.Background(), evs)
 	if err != nil {
 		t.Fatalf("Post: %v", err)
 	}
 	if res.Accepted != 2 || res.Duplicates != 1 {
 		t.Fatalf("Post = %+v, want accepted 2, duplicates 1", res)
 	}
-	v1, err := cl.Verdict("app.x")
+	v1, err := cl.Verdicts().Get(context.Background(), "app.x")
 	if err != nil {
 		t.Fatalf("Verdict: %v", err)
 	}
-	if !v1.Repackaged || v1.Detections != 2 {
+	if !v1.Flagged || v1.Channels.Reports.Detections != 2 {
 		t.Fatalf("verdict = %+v, want repackaged with 2 detections", v1)
 	}
 
@@ -107,7 +107,7 @@ func TestDaemonLifecycle(t *testing.T) {
 	// Restart over the same data dir: replay must reproduce the state.
 	base2, stop2 := startDaemon(t, dir, "-shards", "2", "-threshold", "2")
 	cl2 := &market.Client{BaseURL: base2}
-	v2, err := cl2.Verdict("app.x")
+	v2, err := cl2.Verdicts().Get(context.Background(), "app.x")
 	if err != nil {
 		t.Fatalf("Verdict after restart: %v", err)
 	}
@@ -115,7 +115,7 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Errorf("verdict changed across restart: %+v vs %+v", v1, v2)
 	}
 	// Dedup state replayed too: the old batch is all duplicates.
-	res2, err := cl2.Post(evs)
+	res2, err := cl2.Reports().Post(context.Background(), evs)
 	if err != nil || res2.Accepted != 0 || res2.Duplicates != 3 {
 		t.Errorf("re-Post after restart = %+v (%v), want all duplicates", res2, err)
 	}
@@ -128,7 +128,7 @@ func TestDaemonLifecycle(t *testing.T) {
 func TestDaemonDebugAddr(t *testing.T) {
 	base, stop := startDaemon(t, t.TempDir(), "-debug-addr", "127.0.0.1:0")
 	cl := &market.Client{BaseURL: base}
-	if _, err := cl.Post([]report.Event{{App: "a", Bomb: "b", User: "u"}}); err != nil {
+	if _, err := cl.Reports().Post(context.Background(), []report.Event{{App: "a", Bomb: "b", User: "u"}}); err != nil {
 		t.Fatal(err)
 	}
 	output := stop()
@@ -148,7 +148,7 @@ func TestDaemonCheckpointRestart(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		evs = append(evs, report.Event{App: "app.ck", Bomb: fmt.Sprintf("b%d", i), User: "u", TimeMs: int64(i)})
 	}
-	if _, err := cl.Post(evs); err != nil {
+	if _, err := cl.Reports().Post(context.Background(), evs); err != nil {
 		t.Fatalf("Post: %v", err)
 	}
 	stop()
@@ -171,7 +171,7 @@ func TestDaemonCheckpointRestart(t *testing.T) {
 		t.Errorf("healthz = %+v, want 2 ok shards", health)
 	}
 	cl2 := &market.Client{BaseURL: base2}
-	res, err := cl2.Post(evs)
+	res, err := cl2.Reports().Post(context.Background(), evs)
 	if err != nil || res.Accepted != 0 || res.Duplicates != 50 {
 		t.Errorf("re-Post after checkpoint restart = %+v (%v), want all duplicates", res, err)
 	}
@@ -221,22 +221,22 @@ func TestRouterMode(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		evs = append(evs, report.Event{App: "app.r", Bomb: fmt.Sprintf("b%d", i), User: "u1", TimeMs: int64(i + 1)})
 	}
-	pr, err := cl.PostCtx(context.Background(), evs)
+	pr, err := cl.Reports().Post(context.Background(), evs)
 	if err != nil || pr.Accepted != 60 {
 		t.Fatalf("post through router = %+v (%v), want 60 accepted", pr, err)
 	}
-	v, err := cl.VerdictCtx(context.Background(), "app.r")
-	if err != nil || v.Detections != 60 || !v.Repackaged {
+	v, err := cl.Verdicts().Get(context.Background(), "app.r")
+	if err != nil || v.Channels.Reports.Detections != 60 || !v.Flagged {
 		t.Fatalf("federated verdict = %+v (%v), want 60 detections", v, err)
 	}
 	// No single node holds the full count.
 	for _, u := range []string{u0, u1, u2} {
-		nv, err := (&market.Client{BaseURL: u}).VerdictCtx(context.Background(), "app.r")
+		nv, err := (&market.Client{BaseURL: u}).Verdicts().Get(context.Background(), "app.r")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if nv.Detections == 60 || nv.Detections == 0 {
-			t.Errorf("node %s holds %d detections, want a proper share", u, nv.Detections)
+		if nv.Channels.Reports.Detections == 60 || nv.Channels.Reports.Detections == 0 {
+			t.Errorf("node %s holds %d detections, want a proper share", u, nv.Channels.Reports.Detections)
 		}
 	}
 	out := stopR()

@@ -392,3 +392,70 @@ func TestDoubleRepackage(t *testing.T) {
 		t.Errorf("author = %q, want the second attacker's", second.Res.Author)
 	}
 }
+
+// TestSortedDigestsDeterministic pins the canonical digest ordering
+// the market's fingerprint channel depends on: SortedDigests must be
+// sorted by entry name, stable across repeated calls and across
+// pack/unpack round trips, and its digests must change exactly when
+// the underlying entry changes.
+func TestSortedDigestsDeterministic(t *testing.T) {
+	p, _ := testPackage(t, 1)
+	ds := p.Manifest.SortedDigests()
+	if len(ds) == 0 {
+		t.Fatal("no digests")
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Entry >= ds[i].Entry {
+			t.Fatalf("digests not strictly sorted by entry: %q then %q", ds[i-1].Entry, ds[i].Entry)
+		}
+	}
+	if fmt.Sprint(p.Manifest.SortedDigests()) != fmt.Sprint(ds) {
+		t.Fatal("repeated SortedDigests calls disagree")
+	}
+
+	// Survives the wire: unpacking a packed apk yields the same order
+	// and digests.
+	blob, err := Pack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unpack(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(back.Manifest.SortedDigests()) != fmt.Sprint(ds) {
+		t.Fatal("pack/unpack round trip changed SortedDigests")
+	}
+
+	// Same inputs, independent build → identical digest set; a changed
+	// resource moves exactly that entry's digest.
+	q, _ := testPackage(t, 2) // different signing seed, same content
+	if fmt.Sprint(q.Manifest.SortedDigests()) != fmt.Sprint(ds) {
+		t.Fatal("identical content produced different digests")
+	}
+	res := Resources{Strings: []string{"hello", "tampered"}, Icon: []byte{0x89, 'P', 'N', 'G'}, Author: "honest dev"}
+	key, err := NewKeyPair(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Sign(Build("com.example.app", testDex(t), res), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rds := r.Manifest.SortedDigests()
+	if len(rds) != len(ds) {
+		t.Fatalf("entry count changed: %d vs %d", len(rds), len(ds))
+	}
+	var moved []string
+	for i := range ds {
+		if rds[i].Entry != ds[i].Entry {
+			t.Fatalf("entry order changed at %d: %q vs %q", i, rds[i].Entry, ds[i].Entry)
+		}
+		if rds[i].Digest != ds[i].Digest {
+			moved = append(moved, rds[i].Entry)
+		}
+	}
+	if len(moved) != 1 || moved[0] != EntryStrings {
+		t.Fatalf("tampering strings moved digests %v, want exactly [%s]", moved, EntryStrings)
+	}
+}

@@ -21,17 +21,31 @@ type Manifest struct {
 // DigestOf returns the recorded digest of an entry ("" if absent).
 func (m Manifest) DigestOf(name string) string { return m.Digests[name] }
 
+// EntryDigest is one manifest row in canonical order.
+type EntryDigest struct {
+	Entry  string
+	Digest string
+}
+
+// SortedDigests renders the manifest as a slice sorted by entry name
+// — the one canonical order every consumer shares (signing below, the
+// market's resource fingerprints), so fingerprint bytes never depend
+// on map iteration.
+func (m Manifest) SortedDigests() []EntryDigest {
+	out := make([]EntryDigest, 0, len(m.Digests))
+	for n, d := range m.Digests {
+		out = append(out, EntryDigest{Entry: n, Digest: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Entry < out[j].Entry })
+	return out
+}
+
 // canonical renders the manifest deterministically for signing.
 func (m Manifest) canonical() []byte {
-	names := make([]string, 0, len(m.Digests))
-	for n := range m.Digests {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	var b strings.Builder
 	b.WriteString("Manifest-Version: 1.0\n")
-	for _, n := range names {
-		fmt.Fprintf(&b, "Name: %s\nSHA-256-Digest: %s\n", n, m.Digests[n])
+	for _, e := range m.SortedDigests() {
+		fmt.Fprintf(&b, "Name: %s\nSHA-256-Digest: %s\n", e.Entry, e.Digest)
 	}
 	return []byte(b.String())
 }

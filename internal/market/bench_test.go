@@ -1,6 +1,7 @@
 package market
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sort"
@@ -67,7 +68,7 @@ func benchIngestHTTP(b *testing.B, traced bool) {
 			}
 		}
 		t0 := time.Now()
-		if _, err := cl.Post(part); err != nil {
+		if _, err := cl.Reports().Post(context.Background(), part); err != nil {
 			b.Fatal(err)
 		}
 		lat = append(lat, time.Since(t0))

@@ -32,27 +32,31 @@ import (
 //
 // Encoding (little-endian):
 //
-//	| magic "BDCKPT2\n" | body len u32 | crc32c u32 | body |
+//	| magic "BDCKPT3\n" | body len u32 | crc32c u32 | body |
 //
 //	body = seq u64, seg u32, off u64, records u64,
-//	       apps      (count u32, then per entry: len u32, bytes, tally i64),
-//	       cur       (count u32, then per key:   len u32, bytes),
-//	       prev      (count u32, then per key:   len u32, bytes),
-//	       timelines (count u32, then per app:   len u32, bytes,
-//	                  evicted u64, entries u32,
-//	                  then per entry: at u64, tie u64)
+//	       apps         (count u32, then per entry: len u32, bytes, tally i64),
+//	       cur          (count u32, then per key:   len u32, bytes),
+//	       prev         (count u32, then per key:   len u32, bytes),
+//	       timelines    (count u32, then per app:   len u32, bytes,
+//	                     evicted u64, entries u32,
+//	                     then per entry: at u64, tie u64),
+//	       fingerprints (count u32, then per app:   len u32, bytes,
+//	                     digests u32,
+//	                     then per digest: len u32, bytes)
 //
 // Binary rather than JSON deliberately: at production dedup windows a
 // snapshot holds ~100k keys, and decode speed is the restart path the
 // whole feature exists to shorten.
 //
-// Version note: BDCKPT2 added the timelines section. A v1 file fails
-// the magic check and is skipped like any other unusable snapshot, so
-// a daemon upgraded over v1 data falls back to an older candidate or
-// a full replay — which rebuilds the timelines from the WAL — and
-// writes v2 from then on. No separate migration path.
+// Version note: BDCKPT2 added the timelines section, BDCKPT3 the
+// fingerprints section. An older-magic file fails the magic check and
+// is skipped like any other unusable snapshot, so a daemon upgraded
+// over old data falls back to an older candidate or a full replay —
+// which rebuilds everything from the WAL — and writes the current
+// version from then on. No separate migration path.
 
-const ckptMagic = "BDCKPT2\n"
+const ckptMagic = "BDCKPT3\n"
 
 // maxCheckpointBody caps a decoded body allocation. Generous: a shard
 // would need ~30M dedup keys to reach it.
@@ -70,6 +74,7 @@ type checkpoint struct {
 	apps      map[string]int64
 	cur, prev map[string]struct{}
 	tls       map[string]*appTimeline
+	fps       map[string][]string // app → canonical fingerprint digests
 }
 
 func ckptName(seq uint64) string { return fmt.Sprintf("ckpt-%08d", seq) }
@@ -88,6 +93,13 @@ func (c *checkpoint) encode() []byte {
 	size += 4
 	for app, tl := range c.tls {
 		size += 4 + len(app) + 8 + 4 + 16*len(tl.entries)
+	}
+	size += 4
+	for app, digests := range c.fps {
+		size += 4 + len(app) + 4
+		for _, d := range digests {
+			size += 4 + len(d)
+		}
 	}
 	body := make([]byte, 0, size)
 	body = binary.LittleEndian.AppendUint64(body, c.seq)
@@ -116,6 +128,16 @@ func (c *checkpoint) encode() []byte {
 		for _, e := range tl.entries {
 			body = binary.LittleEndian.AppendUint64(body, uint64(e.at))
 			body = binary.LittleEndian.AppendUint64(body, e.tie)
+		}
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(c.fps)))
+	for app, digests := range c.fps {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(app)))
+		body = append(body, app...)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(digests)))
+		for _, d := range digests {
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(d)))
+			body = append(body, d...)
 		}
 	}
 
@@ -187,6 +209,21 @@ func decodeCheckpoint(raw []byte) (*checkpoint, error) {
 			tl.entries = append(tl.entries, tlEntry{at: at, tie: tie})
 		}
 		c.tls[app] = tl
+	}
+	nFPs := d.u32()
+	c.fps = make(map[string][]string, nFPs)
+	for i := uint32(0); i < nFPs && d.err == nil; i++ {
+		app := d.str()
+		nDigests := d.u32()
+		if d.err == nil && uint64(nDigests)*4 > uint64(len(d.s)-d.off) {
+			d.fail() // length claims more digests than bytes remain
+			break
+		}
+		digests := make([]string, 0, nDigests)
+		for j := uint32(0); j < nDigests && d.err == nil; j++ {
+			digests = append(digests, d.str())
+		}
+		c.fps[app] = digests
 	}
 	if d.err != nil {
 		return nil, d.err

@@ -82,8 +82,8 @@ func TestCheckpointRestartFast(t *testing.T) {
 	if stats.Records != 100 {
 		t.Errorf("Records = %d, want 100", stats.Records)
 	}
-	if v := st2.Verdict("app.fast"); v.Detections != 100 {
-		t.Errorf("Detections = %d, want 100", v.Detections)
+	if v := st2.Verdict("app.fast"); v.Channels.Reports.Detections != 100 {
+		t.Errorf("Detections = %d, want 100", v.Channels.Reports.Detections)
 	}
 	// Dedup window restored from the snapshot alone: full resubmit dedups.
 	var evs []report.Event
@@ -126,8 +126,8 @@ func TestCheckpointAtSegmentEdge(t *testing.T) {
 	if stats.Records != 10 {
 		t.Errorf("Records = %d, want 10", stats.Records)
 	}
-	if v := st2.Verdict("app.edge"); v.Detections != 10 {
-		t.Errorf("Detections = %d, want 10", v.Detections)
+	if v := st2.Verdict("app.edge"); v.Channels.Reports.Detections != 10 {
+		t.Errorf("Detections = %d, want 10", v.Channels.Reports.Detections)
 	}
 }
 
@@ -165,8 +165,8 @@ func TestCheckpointTailReplayMidSegment(t *testing.T) {
 	if stats.Records != 8 {
 		t.Errorf("Records = %d, want 8", stats.Records)
 	}
-	if v := st2.Verdict("app.tail"); v.Detections != 8 {
-		t.Errorf("Detections = %d, want 8", v.Detections)
+	if v := st2.Verdict("app.tail"); v.Channels.Reports.Detections != 8 {
+		t.Errorf("Detections = %d, want 8", v.Channels.Reports.Detections)
 	}
 }
 
@@ -202,8 +202,8 @@ func TestCompactionReclaimsSegments(t *testing.T) {
 	if stats.Records != 60 {
 		t.Errorf("Records = %d, want 60 after compaction", stats.Records)
 	}
-	if v := st2.Verdict("app.gc"); v.Detections != 60 {
-		t.Errorf("Detections = %d, want 60", v.Detections)
+	if v := st2.Verdict("app.gc"); v.Channels.Reports.Detections != 60 {
+		t.Errorf("Detections = %d, want 60", v.Channels.Reports.Detections)
 	}
 	// The checkpoint's own segment survived: reopening found it (no
 	// errBadStart fallback, which would have shown as Checkpoints = 0).
@@ -245,11 +245,11 @@ func TestCheckpointCorruptionFallsBack(t *testing.T) {
 	if stats.TailRecords != 5 {
 		t.Errorf("TailRecords = %d, want 5 (replayed past the older snapshot)", stats.TailRecords)
 	}
-	if v := st2.Verdict("app.fb"); v.Detections != 10 {
-		t.Errorf("Detections(app.fb) = %d, want 10", v.Detections)
+	if v := st2.Verdict("app.fb"); v.Channels.Reports.Detections != 10 {
+		t.Errorf("Detections(app.fb) = %d, want 10", v.Channels.Reports.Detections)
 	}
-	if v := st2.Verdict("app.fb2"); v.Detections != 5 {
-		t.Errorf("Detections(app.fb2) = %d, want 5", v.Detections)
+	if v := st2.Verdict("app.fb2"); v.Channels.Reports.Detections != 5 {
+		t.Errorf("Detections(app.fb2) = %d, want 5", v.Channels.Reports.Detections)
 	}
 	st2.Close() // writes ckpt seq 3
 
@@ -271,8 +271,8 @@ func TestCheckpointCorruptionFallsBack(t *testing.T) {
 	if stats.Records != 15 {
 		t.Errorf("Records = %d, want 15", stats.Records)
 	}
-	if v := st3.Verdict("app.fb"); v.Detections != 10 {
-		t.Errorf("full-replay Detections(app.fb) = %d, want 10", v.Detections)
+	if v := st3.Verdict("app.fb"); v.Channels.Reports.Detections != 10 {
+		t.Errorf("full-replay Detections(app.fb) = %d, want 10", v.Channels.Reports.Detections)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"bombdroid/internal/market"
+	"bombdroid/internal/market/similarity"
 	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 )
@@ -106,7 +107,7 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 	for _, u := range cfg.Nodes {
 		u = strings.TrimRight(u, "/")
 		cl := &market.Client{BaseURL: u, HTTPClient: cfg.HTTPClient, Gzip: cfg.Gzip}
-		desc, err := cl.NodeCtx(ctx)
+		desc, err := cl.Node().Get(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: discovering %s: %w", u, err)
 		}
@@ -129,6 +130,12 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 		if d.Slots != first.Slots || d.Threshold != first.Threshold || d.TimelineCap != first.TimelineCap {
 			return nil, fmt.Errorf("cluster: node %s disagrees on geometry (slots=%d threshold=%d cap=%d, want %d/%d/%d)",
 				m.name(), d.Slots, d.Threshold, d.TimelineCap, first.Slots, first.Threshold, first.TimelineCap)
+		}
+		if d.SimilarityTau != first.SimilarityTau || d.SimilarityK != first.SimilarityK {
+			// τ and K shape the fused verdict; nodes disagreeing would
+			// make the federated answer depend on which node is asked.
+			return nil, fmt.Errorf("cluster: node %s disagrees on similarity knobs (tau=%g k=%d, want %g/%d)",
+				m.name(), d.SimilarityTau, d.SimilarityK, first.SimilarityTau, first.SimilarityK)
 		}
 		if d.RangeLo != want {
 			return nil, fmt.Errorf("cluster: ranges do not tile the slot space: node %s owns %s, want lo=%d",
@@ -166,13 +173,15 @@ func (r *Router) Desc() market.NodeDesc {
 		shards += m.desc.Shards
 	}
 	return market.NodeDesc{
-		NodeID:      "cluster",
-		Slots:       r.slots,
-		RangeLo:     0,
-		RangeHi:     r.slots,
-		Shards:      shards,
-		Threshold:   r.members[0].desc.Threshold,
-		TimelineCap: r.members[0].desc.TimelineCap,
+		NodeID:        "cluster",
+		Slots:         r.slots,
+		RangeLo:       0,
+		RangeHi:       r.slots,
+		Shards:        shards,
+		Threshold:     r.members[0].desc.Threshold,
+		TimelineCap:   r.members[0].desc.TimelineCap,
+		SimilarityTau: r.members[0].desc.SimilarityTau,
+		SimilarityK:   r.members[0].desc.SimilarityK,
 	}
 }
 
@@ -237,7 +246,7 @@ func (r *Router) PostTracedCtx(ctx context.Context, evs []report.Event, traceID 
 			var res market.PostResult
 			stats, err := r.cfg.Retry.Do(ctx, func(ctx context.Context) error {
 				var perr error
-				res, perr = m.client.PostTracedCtx(ctx, part, traceID)
+				res, perr = m.client.Reports().PostTraced(ctx, part, traceID)
 				return perr
 			})
 			m.events.Add(int64(len(part)))
@@ -278,27 +287,187 @@ func (r *Router) PostTracedCtx(ctx context.Context, evs []report.Event, traceID 
 	return ack, nil
 }
 
-// VerdictCtx federates GET /v1/apps/{app}/verdict: per-node detection
+// reportsCtx federates one app's reports channel: per-node detection
 // tallies are fetched concurrently and summed. Addition commutes, and
 // ownership guarantees each admitted (app,bomb,user) key was counted
 // on exactly one node, so the result equals — field for field — the
-// verdict a single node holding every event would serve.
-func (r *Router) VerdictCtx(ctx context.Context, app string) (market.Verdict, error) {
-	tallies := make([]market.Verdict, len(r.members))
+// channel a single node holding every event would serve.
+func (r *Router) reportsCtx(ctx context.Context, app string) (market.ReportsChannel, error) {
+	tallies := make([]market.ReportsChannel, len(r.members))
 	err := r.eachMember(ctx, func(i int, m *member) error {
-		v, err := m.client.VerdictCtx(ctx, app)
-		tallies[i] = v
+		ch, err := m.client.Verdicts().Reports(ctx, app)
+		tallies[i] = ch
 		return err
 	})
 	if err != nil {
+		return market.ReportsChannel{}, err
+	}
+	out := market.ReportsChannel{Threshold: r.members[0].desc.Threshold}
+	for _, ch := range tallies {
+		out.Detections += ch.Detections
+	}
+	out.Flagged = out.Detections >= int64(out.Threshold)
+	return out, nil
+}
+
+// VerdictCtx federates GET /v1/apps/{app}/verdict into the same fused
+// multi-channel Verdict a single full-range node serves: the summed
+// reports channel, plus the similarity channel evaluated over the
+// federated top-K neighbor list (each qualifying neighbor's reports
+// tally summed across nodes in turn). Determinism carries through
+// because both rounds are integer-exact sums over disjoint node
+// state.
+func (r *Router) VerdictCtx(ctx context.Context, app string) (market.Verdict, error) {
+	reports, err := r.reportsCtx(ctx, app)
+	if err != nil {
 		return market.Verdict{}, err
 	}
-	out := market.Verdict{App: app, Threshold: r.members[0].desc.Threshold}
-	for _, v := range tallies {
-		out.Detections += v.Detections
+	sim, err := r.similarityChannelCtx(ctx, app)
+	if err != nil {
+		return market.Verdict{}, err
 	}
-	out.Repackaged = out.Detections >= int64(out.Threshold)
+	return market.Verdict{
+		App:     app,
+		Flagged: reports.Flagged || sim.Flagged,
+		Channels: market.VerdictChannels{
+			Reports:    reports,
+			Similarity: sim,
+		},
+	}, nil
+}
+
+// similarityChannelCtx mirrors the store's fusion rule over the
+// federated neighbor list: the first top-K neighbor (score desc, app
+// asc) scoring ≥ τ whose federated reports tally crosses the
+// threshold flags the channel.
+func (r *Router) similarityChannelCtx(ctx context.Context, app string) (market.SimilarityChannel, error) {
+	out := market.SimilarityChannel{Tau: r.members[0].desc.SimilarityTau}
+	sim, err := r.SimilarCtx(ctx, app)
+	if errors.Is(err, market.ErrNoFingerprint) {
+		return out, nil
+	}
+	if err != nil {
+		return market.SimilarityChannel{}, err
+	}
+	for _, n := range sim.Neighbors {
+		if n.Score < out.Tau {
+			break // sorted by score desc: nothing below τ qualifies
+		}
+		reports, err := r.reportsCtx(ctx, n.App)
+		if err != nil {
+			return market.SimilarityChannel{}, err
+		}
+		if reports.Flagged {
+			out.Neighbor, out.Score, out.Flagged = n.App, n.Score, true
+			break
+		}
+	}
 	return out, nil
+}
+
+// fpOwner is the member owning an app's fingerprint slot. Unlike
+// report events (which slot by the full event key), fingerprints slot
+// by app name alone, so one node serializes every write for an app.
+func (r *Router) fpOwner(app string) *member {
+	return r.members[r.owner[market.Slot(app, r.slots)]]
+}
+
+// PutFingerprintCtx routes a fingerprint upload to the owning node.
+func (r *Router) PutFingerprintCtx(ctx context.Context, fp market.Fingerprint) (market.FingerprintAck, error) {
+	m := r.fpOwner(fp.App)
+	var ack market.FingerprintAck
+	_, err := r.cfg.Retry.Do(ctx, func(ctx context.Context) error {
+		var perr error
+		ack, perr = m.client.Fingerprints().Put(ctx, fp)
+		return perr
+	})
+	if err != nil {
+		return market.FingerprintAck{}, fmt.Errorf("node %s: %w", m.name(), err)
+	}
+	return ack, nil
+}
+
+// FingerprintCtx reads an app's fingerprint from its owning node.
+func (r *Router) FingerprintCtx(ctx context.Context, app string) (market.Fingerprint, error) {
+	return r.fpOwner(app).client.Fingerprints().Get(ctx, app)
+}
+
+// SimilarCtx federates GET /v1/apps/{app}/similar in two rounds:
+//
+//  1. probe — fetch the query fingerprint from its owning node, then
+//     ask every node for its local candidates (apps sharing ≥1
+//     digest) concurrently;
+//  2. weigh — collect the union of digests across query and
+//     candidates, ask every node for its local document frequencies,
+//     and sum them (each app's fingerprint lives on exactly one node,
+//     so the sums equal a single full-range node's df and corpus
+//     size).
+//
+// The merged candidates then go through the exact Rank/TopK the store
+// itself runs, so the federated neighbor list — scores included — is
+// byte-identical to the single-node reference.
+func (r *Router) SimilarCtx(ctx context.Context, app string) (market.Similar, error) {
+	fp, err := r.FingerprintCtx(ctx, app)
+	if err != nil {
+		return market.Similar{}, err
+	}
+
+	probes := make([]market.ProbeResponse, len(r.members))
+	err = r.eachMember(ctx, func(i int, m *member) error {
+		p, perr := m.client.Fingerprints().Probe(ctx, market.ProbeRequest{Digests: fp.Digests, Exclude: app})
+		probes[i] = p
+		return perr
+	})
+	if err != nil {
+		return market.Similar{}, err
+	}
+	cands := make(map[string][]string)
+	digestSet := make(map[string]struct{}, len(fp.Digests))
+	for _, d := range fp.Digests {
+		digestSet[d] = struct{}{}
+	}
+	var apps int64
+	for _, p := range probes {
+		apps += p.Apps
+		for _, c := range p.Candidates {
+			cands[c.App] = c.Digests
+			for _, d := range c.Digests {
+				digestSet[d] = struct{}{}
+			}
+		}
+	}
+
+	union := make([]string, 0, len(digestSet))
+	for d := range digestSet {
+		union = append(union, d)
+	}
+	df := make(map[string]int64, len(union))
+	var dfMu sync.Mutex
+	err = r.eachMember(ctx, func(i int, m *member) error {
+		resp, perr := m.client.Fingerprints().DF(ctx, market.DFRequest{Digests: union})
+		if perr != nil {
+			return perr
+		}
+		dfMu.Lock()
+		for d, n := range resp.DF {
+			df[d] += n
+		}
+		dfMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return market.Similar{}, err
+	}
+
+	ns := similarity.TopK(
+		similarity.Rank(fp.Digests, cands, func(d string) int64 { return df[d] }, apps),
+		r.members[0].desc.SimilarityK)
+	return market.Similar{
+		App:       app,
+		Known:     true,
+		Tau:       r.members[0].desc.SimilarityTau,
+		Neighbors: ns,
+	}, nil
 }
 
 // TimelineCtx federates GET /v1/apps/{app}/timeline: every node's raw
@@ -313,7 +482,7 @@ func (r *Router) VerdictCtx(ctx context.Context, app string) (market.Verdict, er
 func (r *Router) TimelineCtx(ctx context.Context, app string) (market.Timeline, error) {
 	raws := make([]market.RawTimeline, len(r.members))
 	err := r.eachMember(ctx, func(i int, m *member) error {
-		raw, err := m.client.TimelineRawCtx(ctx, app)
+		raw, err := m.client.Timelines().Raw(ctx, app)
 		raws[i] = raw
 		return err
 	})

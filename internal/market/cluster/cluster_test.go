@@ -329,7 +329,7 @@ func TestRouterHTTPFront(t *testing.T) {
 	// A traced post through the front must come back with the router's
 	// receive→all-acked timing, like a single node would answer.
 	cl := &market.Client{BaseURL: front.URL, Trace: true}
-	pr, err := cl.PostCtx(context.Background(), evs)
+	pr, err := cl.Reports().Post(context.Background(), evs)
 	if err != nil {
 		t.Fatalf("PostCtx through front: %v", err)
 	}
@@ -341,14 +341,14 @@ func TestRouterHTTPFront(t *testing.T) {
 	}
 
 	// Federated reads through the plain single-node client.
-	v, err := cl.VerdictCtx(context.Background(), "app-a")
+	v, err := cl.Verdicts().Get(context.Background(), "app-a")
 	if err != nil {
 		t.Fatalf("verdict: %v", err)
 	}
 	if got, want := mustJSON(t, v), mustJSON(t, ref.Verdict("app-a")); got != want {
 		t.Errorf("front verdict %s, want %s", got, want)
 	}
-	tl, err := cl.TimelineCtx(context.Background(), "app-a")
+	tl, err := cl.Timelines().Get(context.Background(), "app-a")
 	if err != nil {
 		t.Fatalf("timeline: %v", err)
 	}
@@ -358,7 +358,7 @@ func TestRouterHTTPFront(t *testing.T) {
 
 	// The cluster describes itself as one full-range logical node, so
 	// fronts can stack.
-	d, err := cl.NodeCtx(context.Background())
+	d, err := cl.Node().Get(context.Background())
 	if err != nil {
 		t.Fatalf("node: %v", err)
 	}
@@ -424,7 +424,7 @@ func TestRouterReportsMembershipDrift(t *testing.T) {
 	front := httptest.NewServer(cluster.NewHandler(rt))
 	defer front.Close()
 	cl := &market.Client{BaseURL: front.URL}
-	_, err = cl.PostCtx(context.Background(), makeEvents(4, "app-a"))
+	_, err = cl.Reports().Post(context.Background(), makeEvents(4, "app-a"))
 	if err == nil || !strings.Contains(err.Error(), "502") {
 		t.Fatalf("front err = %v, want 502", err)
 	}
@@ -472,5 +472,134 @@ func TestPerNodeRegistriesAggregate(t *testing.T) {
 	}
 	if routed != int64(len(evs)) {
 		t.Errorf("routed counters = %d, want %d", routed, len(evs))
+	}
+}
+
+// fpSet builds a digest set overlapping a shared base, like a family
+// of repackaged variants.
+func fpSet(base []string, app string, drop int) []string {
+	set := append([]string(nil), base[drop:]...)
+	for i := 0; i < drop; i++ {
+		set = append(set, fmt.Sprintf("%s-own-%d", app, i))
+	}
+	return set
+}
+
+// TestFederatedFingerprints is the static-channel acceptance test: a
+// 3-node cluster loaded with fingerprints through the router serves
+// similar answers and fused verdicts byte-identical to one standalone
+// full-range store holding the same corpus — candidate, document-
+// frequency, and corpus-size federation included.
+func TestFederatedFingerprints(t *testing.T) {
+	apps := make([]string, 8)
+	base := make([]string, 12)
+	for i := range base {
+		base[i] = fmt.Sprintf("base-digest-%02d", i)
+	}
+	for i := range apps {
+		apps[i] = fmt.Sprintf("app-%d", i)
+	}
+	evs := makeEvents(9, "app-0") // flags app-0's reports channel (threshold 3)
+
+	// Reference: one full-range store.
+	ref := reference(t, evs)
+	for i, app := range apps {
+		if _, err := ref.PutFingerprint(market.Fingerprint{App: app, Digests: fpSet(base, app, i)}); err != nil {
+			t.Fatalf("reference put(%s): %v", app, err)
+		}
+	}
+
+	nodes := threeNodes(t)
+	rt := newRouter(t, nodes)
+	ctx := context.Background()
+	if _, err := rt.PostCtx(ctx, evs); err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range apps {
+		ack, err := rt.PutFingerprintCtx(ctx, market.Fingerprint{App: app, Digests: fpSet(base, app, i)})
+		if err != nil {
+			t.Fatalf("federated put(%s): %v", app, err)
+		}
+		if !ack.Updated {
+			t.Fatalf("federated put(%s) ack = %+v, want updated", app, ack)
+		}
+	}
+
+	// The fingerprints landed spread across nodes, not on one.
+	holders := 0
+	for _, n := range nodes {
+		if held := n.st.Obs(); held != nil {
+			var local int
+			for _, app := range apps {
+				if _, err := n.st.Fingerprint(app); err == nil {
+					local++
+				}
+			}
+			if local > 0 {
+				holders++
+			}
+			if local == len(apps) {
+				t.Errorf("node %s holds every fingerprint, want slot spread", n.cfg.NodeID)
+			}
+		}
+	}
+	if holders < 2 {
+		t.Errorf("fingerprints on %d nodes, want ≥ 2", holders)
+	}
+
+	for _, app := range apps {
+		fsim, err := rt.SimilarCtx(ctx, app)
+		if err != nil {
+			t.Fatalf("federated similar(%s): %v", app, err)
+		}
+		rsim, err := ref.Similar(app)
+		if err != nil {
+			t.Fatalf("reference similar(%s): %v", app, err)
+		}
+		if got, want := mustJSON(t, fsim), mustJSON(t, rsim); got != want {
+			t.Errorf("similar(%s):\n  federated %s\n  reference %s", app, got, want)
+		}
+		fv, err := rt.VerdictCtx(ctx, app)
+		if err != nil {
+			t.Fatalf("federated verdict(%s): %v", app, err)
+		}
+		if got, want := mustJSON(t, fv), mustJSON(t, ref.Verdict(app)); got != want {
+			t.Errorf("fused verdict(%s):\n  federated %s\n  reference %s", app, got, want)
+		}
+	}
+
+	// app-1 is a near-duplicate of the reports-flagged app-0: its fused
+	// verdict must flag through the similarity channel on both surfaces.
+	fv, err := rt.VerdictCtx(ctx, "app-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fv.Flagged || !fv.Channels.Similarity.Flagged || fv.Channels.Similarity.Neighbor != "app-0" {
+		t.Errorf("federated fused verdict(app-1) = %+v, want similarity-flagged via app-0", fv)
+	}
+
+	// The router's HTTP front serves the same fingerprint surface.
+	front := httptest.NewServer(cluster.NewHandler(rt))
+	defer front.Close()
+	cl := &market.Client{BaseURL: front.URL}
+	fp, err := cl.Fingerprints().Get(ctx, "app-2")
+	if err != nil {
+		t.Fatalf("front fingerprint get: %v", err)
+	}
+	want, _ := ref.Fingerprint("app-2")
+	if got, wantJSON := mustJSON(t, fp), mustJSON(t, want); got != wantJSON {
+		t.Errorf("front fingerprint = %s, want %s", got, wantJSON)
+	}
+	sim, err := cl.Fingerprints().Similar(ctx, "app-1")
+	if err != nil {
+		t.Fatalf("front similar: %v", err)
+	}
+	rsim, _ := ref.Similar("app-1")
+	if got, wantJSON := mustJSON(t, sim), mustJSON(t, rsim); got != wantJSON {
+		t.Errorf("front similar = %s, want %s", got, wantJSON)
+	}
+	ack, err := cl.Fingerprints().Put(ctx, market.Fingerprint{App: "app-9", Digests: fpSet(base, "app-9", 3)})
+	if err != nil || !ack.Updated {
+		t.Errorf("front put = %+v (%v), want updated ack", ack, err)
 	}
 }

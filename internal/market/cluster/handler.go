@@ -30,8 +30,15 @@ const maxRouterEvents = 65536
 //	                               retries, 502 when a member refused
 //	                               its share as misrouted (membership
 //	                               drift — an operator problem)
-//	GET  /v1/apps/{app}/verdict  — federated Verdict
+//	GET  /v1/apps/{app}/verdict  — federated fused Verdict
+//	                               (?channel=reports for the tally
+//	                               channel alone)
 //	GET  /v1/apps/{app}/timeline — federated Timeline
+//	POST /v1/apps/{app}/fingerprint — routed to the app's owning node
+//	GET  /v1/apps/{app}/fingerprint — fetched from the owning node
+//	GET  /v1/apps/{app}/similar  — federated near-duplicate query
+//	                               (probe + document-frequency rounds
+//	                               across all members)
 //	GET  /v1/node                — the cluster described as one
 //	                               logical full-range node
 //	GET  /healthz                — aggregate health with per-node rows
@@ -89,13 +96,81 @@ func NewHandler(r *Router) http.Handler {
 
 	mux.HandleFunc("GET /v1/apps/{app}/verdict", func(w http.ResponseWriter, req *http.Request) {
 		reqs.Inc()
-		v, err := r.VerdictCtx(req.Context(), req.PathValue("app"))
+		var v any
+		var err error
+		if req.URL.Query().Get("channel") == "reports" {
+			v, err = r.reportsCtx(req.Context(), req.PathValue("app"))
+		} else {
+			v, err = r.VerdictCtx(req.Context(), req.PathValue("app"))
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		b, _ := json.Marshal(v)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("POST /v1/apps/{app}/fingerprint", func(w http.ResponseWriter, req *http.Request) {
+		reqs.Inc()
+		var fp market.Fingerprint
+		body := http.MaxBytesReader(w, req.Body, maxRouterEvents)
+		if err := json.NewDecoder(body).Decode(&fp); err != nil {
+			http.Error(w, "bad fingerprint body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		fp.App = req.PathValue("app")
+		ack, err := r.PutFingerprintCtx(req.Context(), fp)
+		if err != nil {
+			switch {
+			case errors.Is(err, market.ErrBackpressure):
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+			case errors.Is(err, market.ErrDegraded):
+				w.Header().Set("Retry-After", "2")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			case errors.Is(err, market.ErrFingerprintTooLarge):
+				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			default:
+				http.Error(w, err.Error(), http.StatusBadGateway)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(ack)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("GET /v1/apps/{app}/fingerprint", func(w http.ResponseWriter, req *http.Request) {
+		reqs.Inc()
+		fp, err := r.FingerprintCtx(req.Context(), req.PathValue("app"))
+		if err != nil {
+			if errors.Is(err, market.ErrNoFingerprint) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(fp)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("GET /v1/apps/{app}/similar", func(w http.ResponseWriter, req *http.Request) {
+		reqs.Inc()
+		sim, err := r.SimilarCtx(req.Context(), req.PathValue("app"))
+		if err != nil {
+			if errors.Is(err, market.ErrNoFingerprint) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(sim)
 		w.Write(append(b, '\n'))
 	})
 

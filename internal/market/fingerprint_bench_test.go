@@ -1,0 +1,96 @@
+package market
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchFingerprints builds n fingerprints of width digests each, every
+// app sharing a sliding window of a common digest pool so the inverted
+// index carries realistic overlap (neighbors exist, but no digest is
+// universal).
+func benchFingerprints(n, width int) []Fingerprint {
+	fps := make([]Fingerprint, n)
+	pool := make([]string, n+width)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("sha256-digest-%06d", i)
+	}
+	for i := range fps {
+		fps[i] = Fingerprint{App: fmt.Sprintf("app-%05d", i), Digests: pool[i : i+width]}
+	}
+	return fps
+}
+
+// seedFingerprints loads a store with a corpus and returns it.
+func seedFingerprints(b *testing.B, n int) *Store {
+	st, _, err := Open(Config{Dir: b.TempDir(), Shards: 4, QueueCap: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	for _, fp := range benchFingerprints(n, 24) {
+		if _, err := st.PutFingerprint(fp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
+
+// BenchmarkFingerprintIngest measures PutFingerprint throughput —
+// canonicalize, WAL append, index update — with fresh apps so the
+// identical-upload dedup path is checked but never taken.
+func BenchmarkFingerprintIngest(b *testing.B) {
+	st, _, err := Open(Config{Dir: b.TempDir(), Shards: 4, QueueCap: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	fps := benchFingerprints(4096, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp := fps[i%len(fps)]
+		if i >= len(fps) {
+			fp.App = fmt.Sprintf("%s-lap-%d", fp.App, i/len(fps))
+		}
+		if _, err := st.PutFingerprint(fp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimilarQuery measures top-K similarity lookups against
+// corpora of increasing size. The acceptance bar is sub-quadratic
+// scaling: the inverted index visits only apps sharing at least one
+// digest with the probe, so ns/op must grow far slower than the corpus
+// (a naive all-pairs scan would grow linearly here, making the full
+// workload quadratic).
+func BenchmarkSimilarQuery(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("corpus-%d", n), func(b *testing.B) {
+			st := seedFingerprints(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Similar(fmt.Sprintf("app-%05d", i%n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFusedVerdict measures the full two-channel verdict: reports
+// tally plus the similarity walk over ranked neighbors.
+func BenchmarkFusedVerdict(b *testing.B) {
+	st := seedFingerprints(b, 1024)
+	evs := benchEvents(2048)
+	if _, _, err := st.Ingest(evs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.Verdict(fmt.Sprintf("app-%05d", i%1024))
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"bombdroid/internal/market/marketfs"
+	"bombdroid/internal/market/similarity"
 	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 )
@@ -141,6 +142,20 @@ type Config struct {
 	// refused with ErrNotOwner (HTTP 421). Pinned in meta.json: see
 	// checkMeta.
 	Range ShardRange
+	// SimilarityTau is the similarity channel's score threshold τ: an
+	// app is similarity-flagged when a top-K neighbor scoring ≥ τ is
+	// itself reports-flagged (default 0.6). Every node of a cluster
+	// must agree on it, like Threshold.
+	SimilarityTau float64
+	// SimilarityK bounds how many neighbors GET /v1/apps/{app}/similar
+	// returns — and how many the fusion rule considers (default 10).
+	// Cluster-wide agreement required.
+	SimilarityK int
+	// MaxFingerprintEntries bounds one fingerprint's digest count;
+	// larger uploads are refused permanently with
+	// ErrFingerprintTooLarge (default 4096 — comfortably inside one
+	// WAL record).
+	MaxFingerprintEntries int
 	// FS is the filesystem the store runs on (default the real OS).
 	// Tests substitute marketfs.Fault to crash it mid-operation.
 	FS marketfs.FS
@@ -178,6 +193,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Slots == 0 {
 		c.Slots = DefaultSlots
+	}
+	if c.SimilarityTau == 0 {
+		c.SimilarityTau = 0.6
+	}
+	if c.SimilarityK == 0 {
+		c.SimilarityK = 10
+	}
+	if c.MaxFingerprintEntries == 0 {
+		c.MaxFingerprintEntries = 4096
 	}
 	if c.Range.IsZero() {
 		c.Range = ShardRange{Lo: 0, Hi: c.Slots}
@@ -220,6 +244,12 @@ func (c Config) Validate() error {
 			c.TimelineCap, c.Threshold)
 	case c.Slots < 1 || c.Slots > 1<<16:
 		return fmt.Errorf("market: Slots %d outside [1,65536]", c.Slots)
+	case c.SimilarityTau <= 0 || c.SimilarityTau > 1:
+		return fmt.Errorf("market: SimilarityTau %g outside (0,1]", c.SimilarityTau)
+	case c.SimilarityK < 1:
+		return fmt.Errorf("market: SimilarityK %d < 1", c.SimilarityK)
+	case c.MaxFingerprintEntries < 1:
+		return fmt.Errorf("market: MaxFingerprintEntries %d < 1", c.MaxFingerprintEntries)
 	case c.Range.Lo < 0 || c.Range.Hi <= c.Range.Lo || c.Range.Hi > c.Slots:
 		return fmt.Errorf("market: Range %s not within [0,%d)", c.Range, c.Slots)
 	}
@@ -231,6 +261,11 @@ func (c Config) Validate() error {
 type Store struct {
 	cfg    Config
 	shards []*shard
+	// idx is the store-global fingerprint registry and near-duplicate
+	// index (the similarity detection channel). Writes flow through the
+	// owning shard's WAL first; the index itself is derived state,
+	// rebuilt from checkpoints + replay on every open.
+	idx *similarity.Index
 	// fullRange caches Range == [0, Slots): the standalone case, where
 	// admission skips the per-event ownership hash entirely.
 	fullRange bool
@@ -271,13 +306,14 @@ func Open(cfg Config) (*Store, ReplayStats, error) {
 	}
 	st := &Store{
 		cfg:       cfg,
+		idx:       similarity.NewIndex(),
 		fullRange: cfg.Range.Lo == 0 && cfg.Range.Hi == cfg.Slots,
 		rejects:   cfg.Obs.Counter("market_backpressure_rejects_total"),
 		misroute:  cfg.Obs.Counter("market_misrouted_rejects_total"),
 	}
 	var stats ReplayStats
 	for i := 0; i < cfg.Shards; i++ {
-		s, ss, err := newShard(i, cfg)
+		s, ss, err := newShard(i, cfg, st.idx)
 		if err != nil {
 			for _, prev := range st.shards {
 				prev.close()
@@ -497,28 +533,96 @@ func (st *Store) Ingest(evs []report.Event) (accepted, dups int, err error) {
 	return accepted, dups, nil
 }
 
-// Verdict is one app's standing with the market.
+// Verdict is one app's standing with the market: the fused result of
+// every detection channel, plus the per-channel breakdown. Flagged is
+// the OR across channels. The struct is comparable (no slices or
+// maps), so determinism tests compare verdicts with ==.
 type Verdict struct {
-	App        string `json:"app"`
-	Detections int64  `json:"detections"`
-	Threshold  int    `json:"threshold"`
-	Repackaged bool   `json:"repackaged"`
+	App     string          `json:"app"`
+	Flagged bool            `json:"flagged"`
+	Channels VerdictChannels `json:"channels"`
 }
 
-// Verdict sums the app's admitted detections across shards and
-// compares against the configured threshold. Degraded shards still
-// serve their (frozen) tallies.
+// VerdictChannels is the per-channel breakdown of a fused verdict.
+type VerdictChannels struct {
+	Reports    ReportsChannel    `json:"reports"`
+	Similarity SimilarityChannel `json:"similarity"`
+}
+
+// ReportsChannel is the dynamic channel: bomb-report detonation
+// tallies versus the configured threshold.
+type ReportsChannel struct {
+	Detections int64 `json:"detections"`
+	Threshold  int   `json:"threshold"`
+	Flagged    bool  `json:"flagged"`
+}
+
+// SimilarityChannel is the static channel: the app is flagged when a
+// top-K resource-fingerprint neighbor scoring ≥ τ is itself flagged by
+// the reports channel. Neighbor/Score name the first such neighbor in
+// (score desc, app asc) order; with no fingerprint or no qualifying
+// neighbor, Neighbor is empty and Score 0.
+type SimilarityChannel struct {
+	Neighbor string  `json:"neighbor,omitempty"`
+	Score    float64 `json:"score"`
+	Tau      float64 `json:"tau"`
+	Flagged  bool    `json:"flagged"`
+}
+
+// Verdict fuses the channels for one app: reports (admitted
+// detections across shards vs. threshold) OR similarity (a ≥ τ
+// near-duplicate that is itself reports-flagged). Degraded shards
+// still serve their (frozen) tallies.
 func (st *Store) Verdict(app string) Verdict {
+	reports := st.reportsChannel(app)
+	sim := st.similarityChannel(app)
+	return Verdict{
+		App:     app,
+		Flagged: reports.Flagged || sim.Flagged,
+		Channels: VerdictChannels{
+			Reports:    reports,
+			Similarity: sim,
+		},
+	}
+}
+
+// reportsChannel sums the app's admitted detections across shards and
+// compares against the configured threshold.
+func (st *Store) reportsChannel(app string) ReportsChannel {
 	var n int64
 	for _, s := range st.shards {
 		n += s.appCount(app)
 	}
-	return Verdict{
-		App:        app,
+	return ReportsChannel{
 		Detections: n,
 		Threshold:  st.cfg.Threshold,
-		Repackaged: n >= int64(st.cfg.Threshold),
+		Flagged:    n >= int64(st.cfg.Threshold),
 	}
+}
+
+// similarityChannel walks the app's top-K neighbors (the same list
+// Similar serves) and flags on the first one scoring ≥ τ whose
+// reports-channel tally crosses the threshold. Only the reports
+// channel of the neighbor counts — flag propagation through
+// similarity itself would recurse.
+func (st *Store) similarityChannel(app string) SimilarityChannel {
+	out := SimilarityChannel{Tau: st.cfg.SimilarityTau}
+	fp, ok := st.idx.Get(app)
+	if !ok || len(fp) == 0 {
+		return out
+	}
+	cands := st.idx.Candidates(fp, app)
+	ranked := similarity.TopK(similarity.Rank(fp, cands, st.idx.DF, st.idx.Apps()), st.cfg.SimilarityK)
+	for _, n := range ranked {
+		if n.Score < st.cfg.SimilarityTau {
+			break // sorted by score desc: nothing below τ qualifies
+		}
+		if st.reportsChannel(n.App).Flagged {
+			out.Neighbor, out.Score, out.Flagged = n.App, n.Score, true
+			break
+		}
+	}
+	return out
 }
 
 // Health reports how many shards are ingesting normally and how many

@@ -56,13 +56,13 @@ func TestIngestVerdictDuplicates(t *testing.T) {
 	}
 
 	v := st.Verdict("app.a")
-	if v.Detections != 3 || !v.Repackaged || v.Threshold != 3 {
+	if v.Channels.Reports.Detections != 3 || !v.Flagged || v.Channels.Reports.Threshold != 3 {
 		t.Errorf("Verdict(app.a) = %+v, want 3 detections, repackaged", v)
 	}
-	if v := st.Verdict("app.b"); v.Detections != 1 || v.Repackaged {
+	if v := st.Verdict("app.b"); v.Channels.Reports.Detections != 1 || v.Flagged {
 		t.Errorf("Verdict(app.b) = %+v, want 1 detection, not repackaged", v)
 	}
-	if v := st.Verdict("app.unknown"); v.Detections != 0 || v.Repackaged {
+	if v := st.Verdict("app.unknown"); v.Channels.Reports.Detections != 0 || v.Flagged {
 		t.Errorf("Verdict(app.unknown) = %+v, want zero", v)
 	}
 }
@@ -135,8 +135,8 @@ func TestEventTooLarge(t *testing.T) {
 	if _, _, err := st.Ingest([]report.Event{big}); !errors.Is(err, ErrEventTooLarge) {
 		t.Fatalf("oversized event: err = %v, want ErrEventTooLarge", err)
 	}
-	if v := st.Verdict("app.huge"); v.Detections != 0 {
-		t.Errorf("oversized event counted: %d detections, want 0", v.Detections)
+	if v := st.Verdict("app.huge"); v.Channels.Reports.Detections != 0 {
+		t.Errorf("oversized event counted: %d detections, want 0", v.Channels.Reports.Detections)
 	}
 	// The shard stays healthy and retrying it unchanged stays refused.
 	if accepted, _, err := st.Ingest([]report.Event{ev("app.huge", "b2", "u1")}); err != nil || accepted != 1 {
@@ -215,8 +215,8 @@ func TestConcurrentIngest(t *testing.T) {
 	if accepted+dups != 2*goroutines*perG {
 		t.Errorf("accepted+dups = %d, want %d", accepted+dups, 2*goroutines*perG)
 	}
-	if v := st.Verdict("app.c"); v.Detections != int64(wantAccepted) {
-		t.Errorf("Detections = %d, want %d", v.Detections, wantAccepted)
+	if v := st.Verdict("app.c"); v.Channels.Reports.Detections != int64(wantAccepted) {
+		t.Errorf("Detections = %d, want %d", v.Channels.Reports.Detections, wantAccepted)
 	}
 }
 

@@ -101,13 +101,15 @@ func ParseShardRange(s string) (ShardRange, error) {
 // the router can refuse a cluster whose nodes would merge
 // inconsistently.
 type NodeDesc struct {
-	NodeID      string `json:"node_id"`
-	Slots       int    `json:"slots"`
-	RangeLo     int    `json:"range_lo"`
-	RangeHi     int    `json:"range_hi"`
-	Shards      int    `json:"shards"`
-	Threshold   int    `json:"threshold"`
-	TimelineCap int    `json:"timeline_cap"`
+	NodeID        string  `json:"node_id"`
+	Slots         int     `json:"slots"`
+	RangeLo       int     `json:"range_lo"`
+	RangeHi       int     `json:"range_hi"`
+	Shards        int     `json:"shards"`
+	Threshold     int     `json:"threshold"`
+	TimelineCap   int     `json:"timeline_cap"`
+	SimilarityTau float64 `json:"similarity_tau"`
+	SimilarityK   int     `json:"similarity_k"`
 }
 
 // Range returns the descriptor's shard range.
@@ -116,13 +118,15 @@ func (d NodeDesc) Range() ShardRange { return ShardRange{Lo: d.RangeLo, Hi: d.Ra
 // NodeDesc reports this store's cluster-facing descriptor.
 func (st *Store) NodeDesc() NodeDesc {
 	return NodeDesc{
-		NodeID:      st.cfg.NodeID,
-		Slots:       st.cfg.Slots,
-		RangeLo:     st.cfg.Range.Lo,
-		RangeHi:     st.cfg.Range.Hi,
-		Shards:      st.cfg.Shards,
-		Threshold:   st.cfg.Threshold,
-		TimelineCap: st.cfg.TimelineCap,
+		NodeID:        st.cfg.NodeID,
+		Slots:         st.cfg.Slots,
+		RangeLo:       st.cfg.Range.Lo,
+		RangeHi:       st.cfg.Range.Hi,
+		Shards:        st.cfg.Shards,
+		Threshold:     st.cfg.Threshold,
+		TimelineCap:   st.cfg.TimelineCap,
+		SimilarityTau: st.cfg.SimilarityTau,
+		SimilarityK:   st.cfg.SimilarityK,
 	}
 }
 

@@ -90,7 +90,7 @@ func TestIngestRejectsOutOfRange(t *testing.T) {
 	if !errors.Is(err, ErrNotOwner) {
 		t.Fatalf("mixed batch err = %v, want ErrNotOwner", err)
 	}
-	if got := st.Verdict("app-slot").Detections; got != 1 {
+	if got := st.Verdict("app-slot").Channels.Reports.Detections; got != 1 {
 		t.Fatalf("detections = %d, want 1 (mixed batch must not be partially admitted)", got)
 	}
 	if n := reg.Counter("market_misrouted_rejects_total").Value(); n != 1 {

@@ -41,12 +41,29 @@ const maxRequestBytes = 64 << 20
 //	                               split it), 421 on a batch whose keys
 //	                               this node does not own (permanent —
 //	                               re-route to the owning node)
-//	GET  /v1/apps/{app}/verdict  — the app's Verdict as JSON
+//	GET  /v1/apps/{app}/verdict  — the app's fused multi-channel
+//	                               Verdict as JSON; ?channel=reports
+//	                               serves just the ReportsChannel (the
+//	                               federation building block)
 //	GET  /v1/apps/{app}/timeline — the app's verdict Timeline as JSON
 //	                               (first report → tally climbs →
 //	                               threshold crossing, in event time);
 //	                               ?raw=1 serves the mergeable per-shard
 //	                               TimelineParts federation consumes
+//	POST /v1/apps/{app}/fingerprint — the app's resource fingerprint
+//	                               (JSON {"digests":[...]}); 200 with a
+//	                               FingerprintAck after the WAL flush,
+//	                               413 past MaxFingerprintEntries, plus
+//	                               the ingest error contract (429/503/
+//	                               421)
+//	GET  /v1/apps/{app}/fingerprint — the stored Fingerprint; 404 when
+//	                               the app never uploaded one
+//	GET  /v1/apps/{app}/similar  — the app's Similar top-K neighbors;
+//	                               404 without a fingerprint
+//	POST /v1/similarity/probe    — federation: local candidates for a
+//	                               digest set (ProbeRequest/Response)
+//	POST /v1/similarity/df       — federation: local document
+//	                               frequencies (DFRequest/Response)
 //	GET  /v1/node                — the node's cluster NodeDesc (id,
 //	                               slots, owned shard range, merge knobs)
 //	GET  /healthz                — per-shard health as JSON; 503 once
@@ -102,9 +119,81 @@ func NewHandler(st *Store) http.Handler {
 
 	mux.HandleFunc("GET /v1/apps/{app}/verdict", func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
-		v := st.Verdict(r.PathValue("app"))
 		w.Header().Set("Content-Type", "application/json")
-		b, _ := json.Marshal(v)
+		// ?channel=reports serves the reports channel alone — the
+		// summable per-node piece the cluster router federates (the
+		// fused verdict is computed once, at the merge point).
+		if r.URL.Query().Get("channel") == "reports" {
+			b, _ := json.Marshal(st.reportsChannel(r.PathValue("app")))
+			w.Write(append(b, '\n'))
+			return
+		}
+		b, _ := json.Marshal(st.Verdict(r.PathValue("app")))
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("POST /v1/apps/{app}/fingerprint", func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		var fp Fingerprint
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&fp); err != nil {
+			http.Error(w, fmt.Sprintf("bad fingerprint body: %v", err), http.StatusBadRequest)
+			return
+		}
+		fp.App = r.PathValue("app")
+		ack, err := st.PutFingerprint(fp)
+		if !WriteIngestError(w, err) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(ack)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("GET /v1/apps/{app}/fingerprint", func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		fp, err := st.Fingerprint(r.PathValue("app"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(fp)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("GET /v1/apps/{app}/similar", func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		sim, err := st.Similar(r.PathValue("app"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(sim)
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("POST /v1/similarity/probe", func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		var req ProbeRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad probe body: %v", err), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(st.Probe(req))
+		w.Write(append(b, '\n'))
+	})
+
+	mux.HandleFunc("POST /v1/similarity/df", func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		var req DFRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad df body: %v", err), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(st.DFQuery(req))
 		w.Write(append(b, '\n'))
 	})
 
@@ -224,7 +313,8 @@ func WriteIngestError(w http.ResponseWriter, err error) bool {
 	case errors.Is(err, ErrDegraded):
 		w.Header().Set("Retry-After", "2")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	case errors.Is(err, ErrBatchTooLarge), errors.Is(err, ErrEventTooLarge):
+	case errors.Is(err, ErrBatchTooLarge), errors.Is(err, ErrEventTooLarge),
+		errors.Is(err, ErrFingerprintTooLarge):
 		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 	case errors.Is(err, ErrNotOwner):
 		http.Error(w, err.Error(), http.StatusMisdirectedRequest)

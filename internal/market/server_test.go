@@ -2,6 +2,7 @@ package market
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,7 +44,7 @@ func TestHTTPIngestAndVerdict(t *testing.T) {
 	srv, _ := newTestServer(t, Config{Threshold: 2})
 	cl := &Client{BaseURL: srv.URL}
 
-	res, err := cl.Post([]report.Event{
+	res, err := cl.Reports().Post(context.Background(), []report.Event{
 		ev("app.h", "b1", "u1"),
 		ev("app.h", "b1", "u2"),
 		ev("app.h", "b1", "u1"), // dup
@@ -55,11 +56,11 @@ func TestHTTPIngestAndVerdict(t *testing.T) {
 		t.Fatalf("Post = %+v, want accepted 2, duplicates 1", res)
 	}
 
-	v, err := cl.Verdict("app.h")
+	v, err := cl.Verdicts().Get(context.Background(), "app.h")
 	if err != nil {
 		t.Fatalf("Verdict: %v", err)
 	}
-	if v.App != "app.h" || v.Detections != 2 || !v.Repackaged {
+	if v.App != "app.h" || v.Channels.Reports.Detections != 2 || !v.Flagged {
 		t.Errorf("Verdict = %+v, want 2 detections, repackaged", v)
 	}
 }
@@ -67,7 +68,7 @@ func TestHTTPIngestAndVerdict(t *testing.T) {
 func TestHTTPGzip(t *testing.T) {
 	srv, _ := newTestServer(t, Config{})
 	cl := &Client{BaseURL: srv.URL, Gzip: true}
-	res, err := cl.Post([]report.Event{ev("app.gz", "b1", "u1"), ev("app.gz", "b2", "u1")})
+	res, err := cl.Reports().Post(context.Background(), []report.Event{ev("app.gz", "b1", "u1"), ev("app.gz", "b2", "u1")})
 	if err != nil {
 		t.Fatalf("gzip Post: %v", err)
 	}
@@ -145,7 +146,7 @@ func TestHTTPBackpressure(t *testing.T) {
 	}
 
 	cl := &Client{BaseURL: srv.URL}
-	if _, err := cl.Post(evs); !errors.Is(err, ErrBackpressure) {
+	if _, err := cl.Reports().Post(context.Background(), evs); !errors.Is(err, ErrBackpressure) {
 		t.Errorf("Client.Post on saturated store: err = %v, want ErrBackpressure", err)
 	}
 }
@@ -204,12 +205,12 @@ func TestHTTPOversizedEvent(t *testing.T) {
 
 	// Neither event was acked or tallied, and the store still works.
 	for _, app := range []string{"app.big", "app.inf"} {
-		if v := st.Verdict(app); v.Detections != 0 {
-			t.Errorf("Verdict(%s) = %d detections, want 0", app, v.Detections)
+		if v := st.Verdict(app); v.Channels.Reports.Detections != 0 {
+			t.Errorf("Verdict(%s) = %d detections, want 0", app, v.Channels.Reports.Detections)
 		}
 	}
 	cl := &Client{BaseURL: srv.URL}
-	if res, err := cl.Post([]report.Event{ev("app.ok", "b1", "u1")}); err != nil || res.Accepted != 1 {
+	if res, err := cl.Reports().Post(context.Background(), []report.Event{ev("app.ok", "b1", "u1")}); err != nil || res.Accepted != 1 {
 		t.Errorf("Post after oversized events = (%+v, %v), want accepted 1", res, err)
 	}
 }
@@ -242,7 +243,7 @@ func TestHTTPOversizedBatch(t *testing.T) {
 func TestHTTPMetricsEndpoint(t *testing.T) {
 	srv, _ := newTestServer(t, Config{})
 	cl := &Client{BaseURL: srv.URL}
-	if _, err := cl.Post([]report.Event{ev("app.met", "b1", "u1")}); err != nil {
+	if _, err := cl.Reports().Post(context.Background(), []report.Event{ev("app.met", "b1", "u1")}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -323,7 +324,7 @@ func TestHTTPDegraded503(t *testing.T) {
 	}
 
 	cl := &Client{BaseURL: srv.URL}
-	if _, err := cl.Post([]report.Event{ev("app.503", "b2", "u1")}); !errors.Is(err, ErrDegraded) {
+	if _, err := cl.Reports().Post(context.Background(), []report.Event{ev("app.503", "b2", "u1")}); !errors.Is(err, ErrDegraded) {
 		t.Errorf("Client.Post err = %v, want ErrDegraded", err)
 	}
 }
@@ -334,7 +335,7 @@ func TestHTTPTimeline(t *testing.T) {
 	srv, _ := newTestServer(t, Config{Threshold: 2})
 	cl := &Client{BaseURL: srv.URL}
 
-	if _, err := cl.Post([]report.Event{
+	if _, err := cl.Reports().Post(context.Background(), []report.Event{
 		{App: "app.tlh", Bomb: "b1", User: "u1", TimeMs: 1000, Info: "k"},
 		{App: "app.tlh", Bomb: "b2", User: "u1", TimeMs: 3000, Info: "k"},
 		{App: "app.tlh", Bomb: "b3", User: "u1", TimeMs: 2000, Info: "k"},
@@ -342,7 +343,7 @@ func TestHTTPTimeline(t *testing.T) {
 		t.Fatalf("Post: %v", err)
 	}
 
-	tl, err := cl.Timeline("app.tlh")
+	tl, err := cl.Timelines().Get(context.Background(), "app.tlh")
 	if err != nil {
 		t.Fatalf("Timeline: %v", err)
 	}
@@ -356,7 +357,7 @@ func TestHTTPTimeline(t *testing.T) {
 		t.Errorf("time_to_verdict_ms = %d, want 1000 (1000 → 2000)", tl.TimeToVerdictMs)
 	}
 
-	empty, err := cl.Timeline("app.none")
+	empty, err := cl.Timelines().Get(context.Background(), "app.none")
 	if err != nil {
 		t.Fatalf("Timeline(empty): %v", err)
 	}
@@ -412,5 +413,96 @@ func TestHTTPTraceHeaders(t *testing.T) {
 	snap := st.Obs().Snapshot()
 	if got := snap.Counters["market_traced_requests_total"]; got != 1 {
 		t.Errorf("market_traced_requests_total = %d, want 1", got)
+	}
+}
+
+// TestHTTPFingerprintRoutes drives the fingerprint surface end to end
+// through the typed client: upload, read-back, similar, the
+// channel-scoped verdict read, and the fused verdict after a
+// similarity hit.
+func TestHTTPFingerprintRoutes(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Threshold: 1})
+	cl := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	set := []string{"dg-b", "dg-a", "dg-c"}
+	ack, err := cl.Fingerprints().Put(ctx, Fingerprint{App: "app.fp", Digests: set})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if ack.Entries != 3 || !ack.Updated {
+		t.Fatalf("ack = %+v, want 3 entries updated", ack)
+	}
+	fp, err := cl.Fingerprints().Get(ctx, "app.fp")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if fp.App != "app.fp" || len(fp.Digests) != 3 || fp.Digests[0] != "dg-a" {
+		t.Errorf("Get = %+v, want canonical digests", fp)
+	}
+	if _, err := cl.Fingerprints().Get(ctx, "app.none"); !errors.Is(err, ErrNoFingerprint) {
+		t.Errorf("Get(unknown) err = %v, want ErrNoFingerprint", err)
+	}
+	if _, err := cl.Fingerprints().Similar(ctx, "app.none"); !errors.Is(err, ErrNoFingerprint) {
+		t.Errorf("Similar(unknown) err = %v, want ErrNoFingerprint", err)
+	}
+
+	// A twin plus one report on the original: similar sees score 1.0 and
+	// the twin's fused verdict flags through the similarity channel.
+	if _, err := cl.Fingerprints().Put(ctx, Fingerprint{App: "app.twin", Digests: set}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Reports().Post(ctx, []report.Event{ev("app.fp", "b1", "u1")}); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := cl.Fingerprints().Similar(ctx, "app.twin")
+	if err != nil {
+		t.Fatalf("Similar: %v", err)
+	}
+	if !sim.Known || len(sim.Neighbors) != 1 || sim.Neighbors[0].Score != 1.0 {
+		t.Fatalf("Similar = %+v, want the twin at 1.0", sim)
+	}
+	v, err := cl.Verdicts().Get(ctx, "app.twin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Flagged || !v.Channels.Similarity.Flagged || v.Channels.Similarity.Neighbor != "app.fp" {
+		t.Errorf("fused verdict = %+v, want similarity-flagged via app.fp", v)
+	}
+	// ?channel=reports answers the tally channel alone.
+	rc, err := cl.Verdicts().Reports(ctx, "app.fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Detections != 1 || !rc.Flagged {
+		t.Errorf("reports channel = %+v, want 1 detection flagged", rc)
+	}
+
+	// The probe/df federation rounds answer over HTTP too.
+	pr, err := cl.Fingerprints().Probe(ctx, ProbeRequest{Digests: set, Exclude: "app.fp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Apps != 2 || len(pr.Candidates) != 1 || pr.Candidates[0].App != "app.twin" {
+		t.Errorf("probe = %+v, want app.twin only", pr)
+	}
+	df, err := cl.Fingerprints().DF(ctx, DFRequest{Digests: []string{"dg-a", "dg-zzz"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.DF["dg-a"] != 2 || df.DF["dg-zzz"] != 0 {
+		t.Errorf("df = %+v, want dg-a:2 and dg-zzz omitted", df)
+	}
+}
+
+// TestHTTPFingerprintTooLarge: an upload past MaxFingerprintEntries is
+// a permanent 413 mapped back to ErrFingerprintTooLarge.
+func TestHTTPFingerprintTooLarge(t *testing.T) {
+	srv, _ := newTestServer(t, Config{MaxFingerprintEntries: 2})
+	cl := &Client{BaseURL: srv.URL}
+	_, err := cl.Fingerprints().Put(context.Background(),
+		Fingerprint{App: "app.big", Digests: []string{"a", "b", "c"}})
+	if !errors.Is(err, ErrFingerprintTooLarge) {
+		t.Errorf("err = %v, want ErrFingerprintTooLarge", err)
 	}
 }

@@ -9,15 +9,28 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bombdroid/internal/market/similarity"
 	"bombdroid/internal/obs"
 	"bombdroid/internal/report"
 )
 
-// ingestReq is one Ingest call's slice of events for a single shard.
-// done is buffered (cap 1), so the worker never blocks acking.
+// ingestReq is one Ingest call's slice of events for a single shard —
+// or, when fp is set, one fingerprint upload riding the same queue,
+// group commit, and WAL flush as the report firehose. done is
+// buffered (cap 1), so the worker never blocks acking.
 type ingestReq struct {
 	evs  []report.Event
+	fp   *Fingerprint
 	done chan ingestRes
+}
+
+// size is the request's weight against the shard's queue reservation:
+// its event count, or 1 for a fingerprint upload.
+func (r ingestReq) size() int {
+	if r.fp != nil {
+		return 1
+	}
+	return len(r.evs)
 }
 
 type ingestRes struct {
@@ -64,6 +77,14 @@ type shard struct {
 	// restoring one and replaying the tail lands in the identical state.
 	cur, prev map[string]struct{}
 
+	// fps is the shard's slice of the fingerprint registry: latest
+	// canonical digest set per owned app (last write wins, serialized
+	// by this worker). Worker-owned like cur/prev; reads go through the
+	// store-global idx, which mirrors every shard's fps and is synced
+	// in bulk after open and per-write during commit.
+	fps map[string][]string
+	idx *similarity.Index
+
 	mu   sync.Mutex
 	apps map[string]int64        // app → admitted (unique, in-window) detections
 	tls  map[string]*appTimeline // app → bounded verdict timeline (see timeline.go)
@@ -96,14 +117,16 @@ type shardCkptState struct {
 // is the same broken disk that will fail appends soon enough.
 const ckptFailureLimit = 3
 
-func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
+func newShard(id int, cfg Config, idx *similarity.Index) (*shard, ReplayStats, error) {
 	label := fmt.Sprintf("%d", id)
 	s := &shard{
 		id:     id,
 		cfg:    cfg,
+		idx:    idx,
 		ch:     make(chan ingestReq, cfg.QueueCap),
 		exited: make(chan struct{}),
 		cur:    make(map[string]struct{}),
+		fps:    make(map[string][]string),
 		apps:   make(map[string]int64),
 		tls:    make(map[string]*appTimeline),
 
@@ -128,22 +151,47 @@ func newShard(id int, cfg Config) (*shard, ReplayStats, error) {
 	if err != nil {
 		return nil, ReplayStats{}, err
 	}
+	// The shard's recovered fingerprint slice enters the store-global
+	// index in one pass, before the worker starts taking live writes.
+	// App → shard is a fixed hash, so no two shards ever sync the same
+	// app.
+	for app, digests := range s.fps {
+		idx.Set(app, digests)
+	}
 	s.cRecords.Add(stats.Records)
 	go s.run()
 	return s, stats, nil
 }
 
-// replayFn routes records through the same dedup gate the live commit
-// path uses. For a healthy log the gate never fires (commit only
-// appends in-window-novel keys, and replay reproduces the window
-// state record by record), but a crash between a successful WAL
-// flush and the ack can leave a retried event in the log twice —
-// admitting both would double-count it after every restart.
-func (s *shard) replayFn(ev report.Event) {
+// replayRecord dispatches one raw WAL record: fingerprint records
+// carry a leading tag byte (fpRecordTag — JSON events always start
+// with '{'), everything else decodes as a report event and goes
+// through the same dedup gate the live commit path uses. For a
+// healthy log the gate never fires (commit only appends
+// in-window-novel keys, and replay reproduces the window state record
+// by record), but a crash between a successful WAL flush and the ack
+// can leave a retried event in the log twice — admitting both would
+// double-count it after every restart. Fingerprint replay needs no
+// gate: last write wins, and replay preserves write order.
+func (s *shard) replayRecord(p []byte) error {
+	if len(p) > 0 && p[0] == fpRecordTag {
+		fp, err := decodeFingerprint(p)
+		if err != nil {
+			return err
+		}
+		s.fps[fp.App] = fp.Digests
+		s.ckpt.records++
+		return nil
+	}
+	ev, err := decodeEvent(p)
+	if err != nil {
+		return err
+	}
 	if !s.isDup(ev.Key()) {
 		s.admit(ev)
 	}
 	s.ckpt.records++
+	return nil
 }
 
 // open restores the shard's state: newest valid checkpoint plus WAL
@@ -171,21 +219,25 @@ func (s *shard) open() (ReplayStats, error) {
 		if err != nil {
 			continue // torn or garbage snapshot: try the next-older one
 		}
-		s.cur, s.prev, s.apps, s.tls = c.cur, c.prev, c.apps, c.tls
+		s.cur, s.prev, s.apps, s.tls, s.fps = c.cur, c.prev, c.apps, c.tls, c.fps
 		if s.prev == nil {
 			s.prev = map[string]struct{}{}
 		}
 		if s.tls == nil {
 			s.tls = map[string]*appTimeline{}
 		}
+		if s.fps == nil {
+			s.fps = map[string][]string{}
+		}
 		s.ckpt.records = c.records
-		w, stats, err := openWAL(s.cfg.FS, s.dir, s.cfg.SegmentBytes, s.cfg.Fsync, c.pos, s.replayFn)
+		w, stats, err := openWAL(s.cfg.FS, s.dir, s.cfg.SegmentBytes, s.cfg.Fsync, c.pos, s.replayRecord)
 		if errors.Is(err, errBadStart) {
 			// The snapshot decodes but the WAL cannot honor its position
 			// (stale checkpoint over truncated segments). errBadStart is
 			// guaranteed pre-replay, so resetting here is complete.
 			s.cur, s.prev, s.apps = make(map[string]struct{}), nil, make(map[string]int64)
 			s.tls = make(map[string]*appTimeline)
+			s.fps = make(map[string][]string)
 			s.ckpt.records = 0
 			continue
 		}
@@ -208,7 +260,7 @@ func (s *shard) open() (ReplayStats, error) {
 	// No usable checkpoint: full replay from the first segment. lastPos
 	// stays zero, so the close-time snapshot covers the replayed history
 	// even when nothing new is ingested — the next open is fast anyway.
-	w, stats, err := openWAL(s.cfg.FS, s.dir, s.cfg.SegmentBytes, s.cfg.Fsync, walPos{}, s.replayFn)
+	w, stats, err := openWAL(s.cfg.FS, s.dir, s.cfg.SegmentBytes, s.cfg.Fsync, walPos{}, s.replayRecord)
 	if err != nil {
 		return ReplayStats{}, err
 	}
@@ -290,7 +342,7 @@ func (s *shard) run() {
 			return
 		}
 		batch := []ingestReq{req}
-		n := len(req.evs)
+		n := req.size()
 	drain:
 		for n < s.cfg.MaxBatch {
 			select {
@@ -299,7 +351,7 @@ func (s *shard) run() {
 					break drain
 				}
 				batch = append(batch, r)
-				n += len(r.evs)
+				n += r.size()
 			default:
 				break drain
 			}
@@ -330,10 +382,36 @@ func (s *shard) commit(batch []ingestReq, total int) {
 	results := make([]ingestRes, len(batch))
 	var payloads [][]byte
 	var admitted []report.Event
+	var fpApplied []*Fingerprint
 	inBatch := make(map[string]struct{})
 	var encErr error
 	oversized := 0
 	for bi, req := range batch {
+		if req.fp != nil {
+			// A fingerprint identical to the stored one is a dup: no WAL
+			// record, no state change, so re-uploading a corpus is free.
+			if digestsEqual(s.fps[req.fp.App], req.fp.Digests) {
+				results[bi].dups++
+				continue
+			}
+			b, err := encodeFingerprint(req.fp)
+			if err != nil {
+				encErr = err
+				break
+			}
+			if len(b) > MaxEventBytes {
+				// Mirrors the oversized-event gate: a record the WAL
+				// cannot replay must never be acked. Permanent.
+				results[bi].err = fmt.Errorf("%w: app %q encodes to %d bytes (max %d)",
+					ErrFingerprintTooLarge, req.fp.App, len(b), MaxEventBytes)
+				oversized++
+				continue
+			}
+			payloads = append(payloads, b)
+			fpApplied = append(fpApplied, req.fp)
+			results[bi].accepted++
+			continue
+		}
 		for _, ev := range req.evs {
 			key := ev.Key()
 			if _, ok := inBatch[key]; ok || s.isDup(key) {
@@ -378,13 +456,19 @@ func (s *shard) commit(batch []ingestReq, total int) {
 		for _, ev := range admitted {
 			s.admit(ev)
 		}
+		// Fingerprints apply in WAL order (last write wins), to the
+		// worker-owned slice and the store-global index together.
+		for _, fp := range fpApplied {
+			s.fps[fp.App] = fp.Digests
+			s.idx.Set(fp.App, fp.Digests)
+		}
 		s.ckpt.records += int64(len(payloads))
 		s.ckpt.sinceRecords += len(payloads)
 		for _, p := range payloads {
 			s.ckpt.sinceBytes += walHeaderLen + int64(len(p))
 		}
 		s.cEvents.Add(int64(len(admitted)))
-		s.cDups.Add(int64(total - len(admitted) - oversized))
+		s.cDups.Add(int64(total - len(admitted) - len(fpApplied) - oversized))
 		s.cRecords.Add(int64(len(payloads)))
 		s.cBatches.Inc()
 	}
@@ -475,6 +559,12 @@ func (s *shard) writeCheckpoint(pos walPos) error {
 		}
 	}
 	s.mu.Unlock()
+	// Digest slices are immutable once stored, so the map copy is
+	// shallow; the worker owns s.fps, so no lock is needed.
+	fps := make(map[string][]string, len(s.fps))
+	for app, digests := range s.fps {
+		fps[app] = digests
+	}
 	c := &checkpoint{
 		seq:     s.ckpt.seq + 1,
 		pos:     pos,
@@ -483,6 +573,7 @@ func (s *shard) writeCheckpoint(pos walPos) error {
 		cur:     s.cur,
 		prev:    s.prev,
 		tls:     tls,
+		fps:     fps,
 	}
 	enc := c.encode()
 

@@ -130,7 +130,7 @@ type TimelineEntry struct {
 type Timeline struct {
 	App        string `json:"app"`
 	Threshold  int    `json:"threshold"`
-	Detections int64  `json:"detections"` // == Verdict.Detections
+	Detections int64  `json:"detections"` // == Verdict.Channels.Reports.Detections
 	Repackaged bool   `json:"repackaged"`
 	Evicted    int64  `json:"evicted"` // mid-history entries not in Entries
 	// TimeToVerdictMs is the event-time distance from the first report

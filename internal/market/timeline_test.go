@@ -39,13 +39,13 @@ func requireMonotone(t *testing.T, st *Store, tl Timeline) {
 		}
 	}
 	v := st.Verdict(tl.App)
-	if tl.Detections != v.Detections || tl.Repackaged != v.Repackaged {
+	if tl.Detections != v.Channels.Reports.Detections || tl.Repackaged != v.Flagged {
 		t.Fatalf("timeline (%d, %v) disagrees with verdict (%d, %v)",
-			tl.Detections, tl.Repackaged, v.Detections, v.Repackaged)
+			tl.Detections, tl.Repackaged, v.Channels.Reports.Detections, v.Flagged)
 	}
-	if len(tl.Entries) > 0 && tl.Entries[len(tl.Entries)-1].Count != v.Detections {
+	if len(tl.Entries) > 0 && tl.Entries[len(tl.Entries)-1].Count != v.Channels.Reports.Detections {
 		t.Fatalf("final count %d != verdict detections %d",
-			tl.Entries[len(tl.Entries)-1].Count, v.Detections)
+			tl.Entries[len(tl.Entries)-1].Count, v.Channels.Reports.Detections)
 	}
 }
 
@@ -230,7 +230,7 @@ func TestTimelineRestartIdentical(t *testing.T) {
 	}
 }
 
-// TestCheckpointTimelineRoundTrip covers the BDCKPT2 timelines section
+// TestCheckpointTimelineRoundTrip covers the BDCKPT3 timelines section
 // of the binary codec, including an empty timeline map and a v1-magic
 // file being rejected outright.
 func TestCheckpointTimelineRoundTrip(t *testing.T) {
@@ -270,7 +270,7 @@ func TestCheckpointTimelineRoundTrip(t *testing.T) {
 	enc := c.encode()
 	v1 := append([]byte("BDCKPT1\n"), enc[len(ckptMagic):]...)
 	if _, err := decodeCheckpoint(v1); err == nil {
-		t.Error("v1-magic checkpoint decoded under v2")
+		t.Error("v1-magic checkpoint decoded under v3")
 	}
 
 	// An entry count claiming more than the remaining bytes must fail
@@ -280,7 +280,9 @@ func TestCheckpointTimelineRoundTrip(t *testing.T) {
 		tls: map[string]*appTimeline{"a": {entries: []tlEntry{{at: 5, tie: 9}}}}}
 	bad := single.encode()
 	body := bad[len(ckptMagic)+8:]
-	binary.LittleEndian.PutUint32(body[len(body)-16-4:], 1<<20) // inflate entry count
+	// The entry count sits before the 16-byte entry and the trailing
+	// empty fingerprint section (4 bytes).
+	binary.LittleEndian.PutUint32(body[len(body)-4-16-4:], 1<<20) // inflate entry count
 	binary.LittleEndian.PutUint32(bad[len(ckptMagic)+4:], crc32.Checksum(body, castagnoli))
 	if _, err := decodeCheckpoint(bad); err == nil {
 		t.Error("oversized entry count decoded")

@@ -10,7 +10,6 @@ import (
 	"sort"
 
 	"bombdroid/internal/market/marketfs"
-	"bombdroid/internal/report"
 )
 
 // The WAL is the daemon's durability contract: an ingestion request
@@ -135,14 +134,15 @@ func baseName(name string) string {
 }
 
 // openWAL replays dir's segments from start onward (creating the
-// directory and first segment if absent), feeding each decoded event
-// to replay in record order, then opens the last segment for
-// appending. Segments before start.Seg are skipped — the caller's
-// checkpoint already covers them. A start position that no on-disk
-// segment can satisfy returns errBadStart before replay touches
-// anything, so the caller can fall back to an older checkpoint or a
-// full replay.
-func openWAL(fsys marketfs.FS, dir string, segBytes int64, fsync bool, start walPos, replay func(report.Event)) (*wal, ReplayStats, error) {
+// directory and first segment if absent), feeding each record's raw
+// payload to replay in record order, then opens the last segment for
+// appending. A replay error is a format bug (the CRC already passed)
+// and fails the open. Segments before start.Seg are skipped — the
+// caller's checkpoint already covers them. A start position that no
+// on-disk segment can satisfy returns errBadStart before replay
+// touches anything, so the caller can fall back to an older
+// checkpoint or a full replay.
+func openWAL(fsys marketfs.FS, dir string, segBytes int64, fsync bool, start walPos, replay func([]byte) error) (*wal, ReplayStats, error) {
 	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, ReplayStats{}, err
 	}
@@ -218,7 +218,7 @@ func openWAL(fsys marketfs.FS, dir string, segBytes int64, fsync bool, start wal
 // short payload, CRC mismatch) in the last segment is the torn tail:
 // the file is truncated back to the last good record. Anywhere else
 // it is corruption and an error.
-func replaySegment(fsys marketfs.FS, name string, isLast bool, startOff int64, replay func(report.Event)) (ReplayStats, error) {
+func replaySegment(fsys marketfs.FS, name string, isLast bool, startOff int64, replay func([]byte) error) (ReplayStats, error) {
 	f, err := fsys.Open(name)
 	if err != nil {
 		return ReplayStats{}, err
@@ -269,14 +269,12 @@ func replaySegment(fsys marketfs.FS, name string, isLast bool, startOff int64, r
 		if crc32.Checksum(payload, castagnoli) != sum {
 			return tornTail(f, name, isLast, off, fileSize, stats)
 		}
-		ev, err := decodeEvent(payload)
-		if err != nil {
+		if err := replay(payload); err != nil {
 			// The CRC matched, so these bytes were written exactly as
 			// committed: an undecodable record is a format bug, not a
 			// torn tail, at any position.
 			return stats, fmt.Errorf("market: %s: record at %d: %w", name, off, err)
 		}
-		replay(ev)
 		stats.Records++
 		stats.TailRecords++
 		off += walHeaderLen + int64(length)

@@ -75,8 +75,8 @@ func TestWALTornTailRecovery(t *testing.T) {
 	if stats.TruncatedBytes == 0 {
 		t.Error("TruncatedBytes = 0, want > 0")
 	}
-	if v := st2.Verdict("app.x"); v.Detections != 9 {
-		t.Errorf("Detections after recovery = %d, want 9", v.Detections)
+	if v := st2.Verdict("app.x"); v.Channels.Reports.Detections != 9 {
+		t.Errorf("Detections after recovery = %d, want 9", v.Channels.Reports.Detections)
 	}
 
 	// The torn event was never acked as durable by this store instance;
@@ -85,8 +85,8 @@ func TestWALTornTailRecovery(t *testing.T) {
 	if err != nil || accepted != 1 || dups != 0 {
 		t.Fatalf("resubmit after torn tail = (%d, %d, %v), want (1, 0, nil)", accepted, dups, err)
 	}
-	if v := st2.Verdict("app.x"); v.Detections != 10 {
-		t.Errorf("Detections after resubmit = %d, want 10", v.Detections)
+	if v := st2.Verdict("app.x"); v.Channels.Reports.Detections != 10 {
+		t.Errorf("Detections after resubmit = %d, want 10", v.Channels.Reports.Detections)
 	}
 }
 
@@ -124,7 +124,7 @@ func TestWALTornHeader(t *testing.T) {
 // The refusal happens before any byte reaches the file.
 func TestWALAppendRejectsOversized(t *testing.T) {
 	dir := t.TempDir()
-	w, _, err := openWAL(marketfs.OS{}, dir, 64<<20, false, walPos{}, func(report.Event) {})
+	w, _, err := openWAL(marketfs.OS{}, dir, 64<<20, false, walPos{}, func([]byte) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestWALAppendRejectsOversized(t *testing.T) {
 		t.Fatal(err)
 	}
 	replayed := 0
-	w2, stats, err := openWAL(marketfs.OS{}, dir, 64<<20, false, walPos{}, func(report.Event) { replayed++ })
+	w2, stats, err := openWAL(marketfs.OS{}, dir, 64<<20, false, walPos{}, func([]byte) error { replayed++; return nil })
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -184,8 +184,8 @@ func TestWALReplayDedupsDuplicateRecords(t *testing.T) {
 	if stats.Records != 2 {
 		t.Errorf("replayed %d records, want 2 (the duplicate is still read)", stats.Records)
 	}
-	if v := st2.Verdict("app.dup"); v.Detections != 1 {
-		t.Errorf("Detections = %d, want 1 — duplicate WAL record double-counted", v.Detections)
+	if v := st2.Verdict("app.dup"); v.Channels.Reports.Detections != 1 {
+		t.Errorf("Detections = %d, want 1 — duplicate WAL record double-counted", v.Channels.Reports.Detections)
 	}
 	// The dedup window knows the key: resubmitting is a duplicate.
 	if a, d, err := st2.Ingest([]report.Event{ev("app.dup", "bomb-0", "user-1")}); err != nil || a != 0 || d != 1 {
@@ -217,8 +217,8 @@ func TestWALRotation(t *testing.T) {
 	if stats.Segments != len(segs) {
 		t.Errorf("stats.Segments = %d, want %d", stats.Segments, len(segs))
 	}
-	if v := st2.Verdict("app.rot"); v.Detections != 50 {
-		t.Errorf("Detections = %d, want 50", v.Detections)
+	if v := st2.Verdict("app.rot"); v.Channels.Reports.Detections != 50 {
+		t.Errorf("Detections = %d, want 50", v.Channels.Reports.Detections)
 	}
 }
 
@@ -271,7 +271,7 @@ func TestWALRestartReplayIdentical(t *testing.T) {
 	want := make(map[string]int64)
 	for a := 0; a < 5; a++ {
 		app := fmt.Sprintf("app-%d", a)
-		want[app] = st.Verdict(app).Detections
+		want[app] = st.Verdict(app).Channels.Reports.Detections
 	}
 	st.Close()
 
@@ -284,7 +284,7 @@ func TestWALRestartReplayIdentical(t *testing.T) {
 		t.Errorf("TornTails = %d on a clean close, want 0", stats.TornTails)
 	}
 	for app, n := range want {
-		if got := st2.Verdict(app).Detections; got != n {
+		if got := st2.Verdict(app).Channels.Reports.Detections; got != n {
 			t.Errorf("Verdict(%s) = %d after restart, want %d", app, got, n)
 		}
 	}

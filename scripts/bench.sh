@@ -1,9 +1,22 @@
 #!/bin/sh
-# Runs the PR's perf benchmarks and writes BENCH_PR9.json.
+# Runs the PR's perf benchmarks and writes BENCH_PR10.json.
 #
 #   scripts/bench.sh [benchtime] [count]
 #
-# Stable schema: BENCH_PR9.json repeats every BENCH_PR8.json key
+# Stable schema: BENCH_PR10.json repeats every BENCH_PR9.json key and
+# adds the fingerprint-similarity record:
+#
+#   - fingerprint_ingest_per_sec — PutFingerprint throughput
+#     (canonicalize, WAL append, inverted-index update);
+#   - similar_query_ns_op — one top-K weighted-Jaccard lookup against
+#     the 4096-app corpus, with similar_query_1k_ns_op the 1024-app
+#     point and similar_query_corpus_ratio their quotient: a naive
+#     all-pairs scan would pay ~4.0x for the 4x corpus, so a ratio
+#     well under 4 is the sub-quadratic acceptance evidence;
+#   - fused_verdict_ns_op — one two-channel Store.Verdict (reports
+#     tally plus the ranked-neighbor similarity walk).
+#
+# PR9 record, for context: BENCH_PR9.json repeats every BENCH_PR8.json key
 # (Table 3 campaign, VM dispatch hot path, obs overhead, staged
 # protection engine, marketd ingestion, tracing/timeline and restart
 # records) and adds the multi-node cluster record:
@@ -53,7 +66,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 COUNT="${2:-5}"
-OUT=BENCH_PR9.json
+OUT=BENCH_PR10.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -103,6 +116,17 @@ done
 go test -run '^$' \
 	-bench 'BenchmarkWALReplay$|BenchmarkTimeToVerdict$' \
 	-benchmem -benchtime "$BENCHTIME" ./internal/market | tee -a "$RAW"
+
+# Fingerprint similarity: ingest throughput, the top-K query at two
+# corpus sizes (their ratio is the sub-quadratic check), and the fused
+# two-channel verdict. Interleaved rounds like the other market pairs.
+i=1
+while [ "$i" -le "$COUNT" ]; do
+	go test -run '^$' \
+		-bench 'BenchmarkFingerprintIngest$|BenchmarkSimilarQuery$|BenchmarkFusedVerdict$' \
+		-benchtime "$BENCHTIME" ./internal/market | tee -a "$RAW"
+	i=$((i + 1))
+done
 
 # The restart pair seeds a 120k-event store per benchmark, so a fixed
 # iteration count keeps the seeding cost bounded while still averaging
@@ -175,6 +199,10 @@ function out(v) { return v == "" ? "null" : v }
 /^BenchmarkWALReplay/ { walrep = metric("events_sec") }
 /^BenchmarkRestartReplayFull/ { rfull = metric("ms_restart") }
 /^BenchmarkRestartReplayCheckpoint/ { rckpt = metric("ms_restart") }
+/^BenchmarkFingerprintIngest/ { push("fping", metric("ns\\/op")) }
+/^BenchmarkSimilarQuery\/corpus-1024/ { push("sq1k", metric("ns\\/op")) }
+/^BenchmarkSimilarQuery\/corpus-4096/ { push("sq4k", metric("ns\\/op")) }
+/^BenchmarkFusedVerdict/ { push("fused", metric("ns\\/op")) }
 /^BenchmarkClusterIngest/ { push("cing", metric("events\\/s")); push("cfan", metric("p99fan_ms")) }
 /^BenchmarkFederatedVerdict/ { push("fverd", metric("ns\\/op")) }
 /^BenchmarkFederatedTimeline/ { push("ftl", metric("ns\\/op")) }
@@ -185,7 +213,7 @@ END {
 	# Serial campaign baseline: workers=1 pinned to one core.
 	w1 = med("t3w1_g1"); w1a = med("t3w1a_g1")
 	printf "{\n"
-	printf "  \"bench\": \"PR9 multi-node marketd: shard-range ownership, router fan-out, federated verdicts\",\n"
+	printf "  \"bench\": \"PR10 fingerprint similarity service, fused verdicts, v1 API redesign\",\n"
 	printf "  \"cores\": %d,\n", cores
 	printf "  \"bench_count\": %d,\n", cnt["inv"]
 	printf "  \"table3_workers1_ns_op\": %s,\n", out(w1)
@@ -253,7 +281,13 @@ END {
 	printf "  \"cluster_vs_single_node_pct\": %s,\n", (ing == "" || cing == "" || ing == 0 ? "null" : sprintf("%.1f", cing * 100.0 / ing))
 	printf "  \"router_fanout_p99_ms\": %s,\n", out(cfan)
 	printf "  \"federated_verdict_ns_op\": %s,\n", out(fverd)
-	printf "  \"federated_timeline_ns_op\": %s\n", out(ftl)
+	printf "  \"federated_timeline_ns_op\": %s,\n", out(ftl)
+	fping = med("fping"); sq1k = med("sq1k"); sq4k = med("sq4k"); fused = med("fused")
+	printf "  \"fingerprint_ingest_per_sec\": %s,\n", (fping == "" || fping == 0 ? "null" : sprintf("%.0f", 1e9 / fping))
+	printf "  \"similar_query_ns_op\": %s,\n", out(sq4k)
+	printf "  \"similar_query_1k_ns_op\": %s,\n", out(sq1k)
+	printf "  \"similar_query_corpus_ratio\": %s,\n", (sq1k == "" || sq4k == "" || sq1k == 0 ? "null" : sprintf("%.2f", sq4k / sq1k))
+	printf "  \"fused_verdict_ns_op\": %s\n", out(fused)
 	printf "}\n"
 }' "$RAW" > "$OUT"
 

@@ -34,11 +34,20 @@ type timeline struct {
 	Entries         []entry `json:"entries"`
 }
 
+// verdict mirrors the fused market verdict; the timeline is the
+// reports channel's history, so every comparison below reads
+// channels.reports, never the fused flag (similarity can flag an app
+// whose own tally sits under the threshold).
 type verdict struct {
-	App        string `json:"app"`
-	Detections int64  `json:"detections"`
-	Threshold  int    `json:"threshold"`
-	Repackaged bool   `json:"repackaged"`
+	App      string `json:"app"`
+	Flagged  bool   `json:"flagged"`
+	Channels struct {
+		Reports struct {
+			Detections int64 `json:"detections"`
+			Threshold  int   `json:"threshold"`
+			Flagged    bool  `json:"flagged"`
+		} `json:"reports"`
+	} `json:"channels"`
 }
 
 func main() {
@@ -63,13 +72,13 @@ func run(args []string) error {
 	if tl.App != v.App {
 		return fmt.Errorf("timeline is for %q, verdict for %q", tl.App, v.App)
 	}
-	if tl.Threshold != v.Threshold || tl.Detections != v.Detections || tl.Repackaged != v.Repackaged {
+	if tl.Threshold != v.Channels.Reports.Threshold || tl.Detections != v.Channels.Reports.Detections || tl.Repackaged != v.Channels.Reports.Flagged {
 		return fmt.Errorf("timeline header (threshold=%d detections=%d repackaged=%v) disagrees with verdict (%d, %d, %v)",
-			tl.Threshold, tl.Detections, tl.Repackaged, v.Threshold, v.Detections, v.Repackaged)
+			tl.Threshold, tl.Detections, tl.Repackaged, v.Channels.Reports.Threshold, v.Channels.Reports.Detections, v.Channels.Reports.Flagged)
 	}
 	if len(tl.Entries) == 0 {
-		if v.Detections != 0 {
-			return fmt.Errorf("empty timeline but verdict counts %d detections", v.Detections)
+		if v.Channels.Reports.Detections != 0 {
+			return fmt.Errorf("empty timeline but verdict counts %d detections", v.Channels.Reports.Detections)
 		}
 		fmt.Println("timeline ok: empty, no detections")
 		return nil
@@ -100,15 +109,15 @@ func run(args []string) error {
 		}
 	}
 	last := tl.Entries[len(tl.Entries)-1]
-	if last.Count != v.Detections {
+	if last.Count != v.Channels.Reports.Detections {
 		return fmt.Errorf("final entry count %d != verdict detections %d (evicted %d entries keep their counts)",
-			last.Count, v.Detections, tl.Evicted)
+			last.Count, v.Channels.Reports.Detections, tl.Evicted)
 	}
-	if v.Repackaged && tl.TimeToVerdictMs < 0 {
+	if v.Channels.Reports.Flagged && tl.TimeToVerdictMs < 0 {
 		return fmt.Errorf("verdict is repackaged but time_to_verdict_ms = %d", tl.TimeToVerdictMs)
 	}
 	fmt.Printf("timeline ok: %d entries, %d detections, time_to_verdict_ms=%d\n",
-		len(tl.Entries), v.Detections, tl.TimeToVerdictMs)
+		len(tl.Entries), v.Channels.Reports.Detections, tl.TimeToVerdictMs)
 	return nil
 }
 

@@ -6,7 +6,10 @@
 # restart-replay), a verdict-timeline smoke (campaign → monotone
 # timeline coherent with /verdict, byte-identical across restart), and
 # a marketd crash smoke (kill -9 mid-hose,
-# checkpointed recovery, no acked event lost). Tier-1 (ROADMAP.md) is `go build ./... &&
+# checkpointed recovery, no acked event lost), and a fingerprint smoke
+# (batch-protected corpus → fingerprint upload → similarity query →
+# fused verdict, byte-identical across restart and on the federated
+# router). Tier-1 (ROADMAP.md) is `go build ./... &&
 # go test ./...`; this script is the stricter gate the chaos-hardening,
 # obs, and market-ingestion work is held to.
 set -eu
@@ -123,8 +126,8 @@ grep -q '"accepted": 5000' "$SMOKE_DIR/loadgen.json" || {
 	exit 1
 }
 "$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict app-0 > "$SMOKE_DIR/verdict1.json"
-grep -q '"repackaged":true' "$SMOKE_DIR/verdict1.json" || {
-	echo "verify: app-0 not flagged repackaged after the hose" >&2
+grep -q '"flagged":true' "$SMOKE_DIR/verdict1.json" || {
+	echo "verify: app-0 not flagged after the hose" >&2
 	exit 1
 }
 for fam in market_ingest_events_total market_wal_records_total \
@@ -171,7 +174,7 @@ start_marketd "$SMOKE_DIR/marketd-tl1.log"
 "$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -timeline AndroFish > "$SMOKE_DIR/timeline1.json"
 "$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict AndroFish > "$SMOKE_DIR/verdict-tl.json"
 go run ./scripts/checktimeline "$SMOKE_DIR/timeline1.json" "$SMOKE_DIR/verdict-tl.json"
-grep -q '"repackaged":true' "$SMOKE_DIR/verdict-tl.json" || {
+grep -q '"flagged":true' "$SMOKE_DIR/verdict-tl.json" || {
 	echo "verify: campaign did not push AndroFish over the threshold:" >&2
 	cat "$SMOKE_DIR/campaign.json" >&2
 	exit 1
@@ -251,6 +254,61 @@ diff "$SMOKE_DIR/verdict3.json" "$SMOKE_DIR/verdict4.json" || {
 kill -TERM "$MARKETD_PID"
 wait "$MARKETD_PID"
 
+echo "==> smoke: fingerprint upload, similarity query, fused verdict across restart"
+# The static channel end to end: loadgen -fingerprint unpacks every
+# protected apk named by the bombdroid -batch manifest from the earlier
+# smoke and uploads its resource digests; -similar asks for weighted-
+# Jaccard neighbors; a campaign then flags one app through the reports
+# channel and the fused verdict must carry both channels. A SIGTERM
+# restart over the same data dir must replay fingerprints and serve the
+# similar answer and fused verdict byte-identical.
+# The SIGINT smoke left manifest.json partial; re-protect the (now
+# 8-app) corpus into a complete manifest for the upload.
+"$SMOKE_DIR/bombdroid" -batch "$CORPUS" -outdir "$SMOKE_DIR/protected" \
+	-manifest "$SMOKE_DIR/fp-manifest.json" -keyseed 1 -profile-events 800 > /dev/null
+MARKET_DATA="$SMOKE_DIR/marketd-fp-data"
+start_marketd "$SMOKE_DIR/marketd-fp1.log"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -fingerprint "$SMOKE_DIR/fp-manifest.json" \
+	> "$SMOKE_DIR/fp-upload.json"
+grep -q '"skipped": 0' "$SMOKE_DIR/fp-upload.json" || {
+	echo "verify: fingerprint upload skipped apps:" >&2
+	cat "$SMOKE_DIR/fp-upload.json" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -campaign AndroFish \
+	-sessions 24 -seed 7 > /dev/null
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -similar AndroFish > "$SMOKE_DIR/similar1.json"
+grep -q '"known":true' "$SMOKE_DIR/similar1.json" || {
+	echo "verify: similar query does not know AndroFish:" >&2
+	cat "$SMOKE_DIR/similar1.json" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict AndroFish > "$SMOKE_DIR/fp-verdict1.json"
+grep -q '"flagged":true' "$SMOKE_DIR/fp-verdict1.json" || {
+	echo "verify: fused verdict did not flag AndroFish" >&2
+	exit 1
+}
+grep -q '"similarity"' "$SMOKE_DIR/fp-verdict1.json" || {
+	echo "verify: fused verdict carries no similarity channel" >&2
+	exit 1
+}
+kill -TERM "$MARKETD_PID"
+wait "$MARKETD_PID"
+
+start_marketd "$SMOKE_DIR/marketd-fp2.log"
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -similar AndroFish > "$SMOKE_DIR/similar2.json"
+diff "$SMOKE_DIR/similar1.json" "$SMOKE_DIR/similar2.json" || {
+	echo "verify: similar answer changed across restart" >&2
+	exit 1
+}
+"$SMOKE_DIR/loadgen" -url "http://$MARKET_ADDR" -verdict AndroFish > "$SMOKE_DIR/fp-verdict2.json"
+diff "$SMOKE_DIR/fp-verdict1.json" "$SMOKE_DIR/fp-verdict2.json" || {
+	echo "verify: fused verdict changed across restart" >&2
+	exit 1
+}
+kill -TERM "$MARKETD_PID"
+wait "$MARKETD_PID"
+
 echo "==> smoke: 3-node cluster + router, federated reads byte-identical to a single node"
 # Three partial-range nodes tiling the 256-slot key space, a -router
 # daemon fanning out over them, and a standalone full-range reference
@@ -325,6 +383,26 @@ for app in app-0 app-7 app-63; do
 	"$SMOKE_DIR/loadgen" -url "http://$REF_ADDR" -timeline "$app" > "$CLUSTER_DIR/ref-timeline-$app.json"
 	diff "$CLUSTER_DIR/fed-timeline-$app.json" "$CLUSTER_DIR/ref-timeline-$app.json" || {
 		echo "verify: federated timeline for $app differs from the single-node reference" >&2
+		exit 1
+	}
+done
+
+# Fingerprints through the router: the same batch-manifest corpus goes
+# into the federated front and the full-range reference; the /similar
+# answer and the fused /verdict must be byte-identical.
+"$SMOKE_DIR/loadgen" -url "http://$ROUTER_ADDR" -fingerprint "$SMOKE_DIR/fp-manifest.json" > /dev/null
+"$SMOKE_DIR/loadgen" -url "http://$REF_ADDR" -fingerprint "$SMOKE_DIR/fp-manifest.json" > /dev/null
+for app in AndroFish Angulo; do
+	"$SMOKE_DIR/loadgen" -url "http://$ROUTER_ADDR" -similar "$app" > "$CLUSTER_DIR/fed-similar-$app.json"
+	"$SMOKE_DIR/loadgen" -url "http://$REF_ADDR" -similar "$app" > "$CLUSTER_DIR/ref-similar-$app.json"
+	diff "$CLUSTER_DIR/fed-similar-$app.json" "$CLUSTER_DIR/ref-similar-$app.json" || {
+		echo "verify: federated similar for $app differs from the single-node reference" >&2
+		exit 1
+	}
+	"$SMOKE_DIR/loadgen" -url "http://$ROUTER_ADDR" -verdict "$app" > "$CLUSTER_DIR/fed-fused-$app.json"
+	"$SMOKE_DIR/loadgen" -url "http://$REF_ADDR" -verdict "$app" > "$CLUSTER_DIR/ref-fused-$app.json"
+	diff "$CLUSTER_DIR/fed-fused-$app.json" "$CLUSTER_DIR/ref-fused-$app.json" || {
+		echo "verify: federated fused verdict for $app differs from the single-node reference" >&2
 		exit 1
 	}
 done
